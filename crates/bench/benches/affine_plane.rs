@@ -1,0 +1,47 @@
+//! E2/E4 — Lemma 3.2: the affine-plane game (directed existential Ω(k)).
+//!
+//! Prints the measured `optP/worst-eqC` series and times the construction
+//! plus the exact expected-cost evaluation.
+
+use bi_bench::{affine_series, growth_exponent};
+use bi_constructions::affine_game::AffinePlaneGame;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let series = affine_series(&[2, 3, 4, 5, 7, 8, 9, 11, 13]);
+    eprintln!("[affine_plane] optP/worst-eqC by k:");
+    for p in &series {
+        eprintln!("  k = {:>3}: {:.4}", p.size, p.value);
+    }
+    eprintln!(
+        "[affine_plane] growth exponent {:.3} (paper: 1)",
+        growth_exponent(&series)
+    );
+
+    let mut group = c.benchmark_group("affine_plane");
+    for m in [3u64, 5, 7, 9] {
+        group.bench_with_input(BenchmarkId::new("construct", m), &m, |b, &m| {
+            b.iter(|| AffinePlaneGame::new(m).expect("prime power"));
+        });
+        let game = AffinePlaneGame::new(m).expect("prime power");
+        let strategies = game.first_line_strategies();
+        group.bench_with_input(BenchmarkId::new("expected_cost", m), &m, |b, _| {
+            b.iter(|| game.expected_social_cost(&strategies).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E8/E10 — Lemma 3.5: the diamond game (undirected existential Ω(log n)
+//! on `optP/optC`, with `k = Θ(n)`).
+
+use bi_bench::{diamond_exact_points, diamond_series, log_fit_slope};
+use bi_constructions::diamond_game::DiamondGame;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let series = diamond_series(&[1, 2, 3, 4, 5], 48, 7);
+    eprintln!("[diamond_lower] E[greedy]/optC by diamond size (optC = 1):");
+    for p in &series {
+        eprintln!("  n = {:>5}: {:.4}", p.size, p.value);
+    }
+    eprintln!(
+        "[diamond_lower] per-ln(n) slope {:.3} (positive → Ω(log n))",
+        log_fit_slope(&series)
+    );
+    let exact = diamond_exact_points();
+    eprintln!(
+        "[diamond_lower] exact optP/optC = {:.4} (n = {}); path-system bound {:.4} (n = {})",
+        exact[0].value, exact[0].size, exact[1].value, exact[1].size
+    );
+
+    let mut group = c.benchmark_group("diamond_lower");
+    group.sample_size(10);
+    for j in [2u32, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("expected_greedy", j), &j, |b, &j| {
+            let game = DiamondGame::new(j);
+            b.iter(|| game.expected_greedy_cost(16, 3));
+        });
+    }
+    group.bench_function("exact_measures_depth1", |b| {
+        let game = DiamondGame::new(1);
+        b.iter(|| game.exact_measures().expect("enumerable"));
+    });
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

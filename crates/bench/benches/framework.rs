@@ -1,0 +1,64 @@
+//! E14 — the general Bayesian-game framework: Observation 2.1 (expected
+//! potentials) and 2.2 (the measure chain) on random matrix-form games.
+
+use bi_core::potential::{expected_potential, potential_minimizer, verify_exact_potential};
+use bi_core::random_games::random_bayesian_potential_game;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Observation 2.1/2.2 sweep.
+    let mut eq_minimizers = 0usize;
+    for seed in 0..10 {
+        let (game, potentials) = random_bayesian_potential_game(&[2, 2], &[2, 2], 3, seed);
+        for idx in 0..game.support_len() {
+            let (_, _, state_game) = game.state(idx);
+            verify_exact_potential(state_game, &potentials[idx]).expect("potential");
+        }
+        let (s, _) = potential_minimizer(&game, &potentials).expect("enumerable");
+        if game.is_bayesian_equilibrium(&s) {
+            eq_minimizers += 1;
+        }
+        game.measures().expect("solvable").verify_chain().expect("Obs 2.2");
+        let _ = expected_potential(&game, &potentials, &s);
+    }
+    eprintln!(
+        "[framework] potential minimizers that are Bayesian equilibria: {eq_minimizers}/10 (Obs 2.1 demands 10)"
+    );
+    assert_eq!(eq_minimizers, 10);
+
+    let mut group = c.benchmark_group("framework");
+    group.sample_size(10);
+    for support in [2usize, 3, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("bayesian_measures", support),
+            &support,
+            |b, &s| {
+                let (game, _) = random_bayesian_potential_game(&[2, 2], &[2, 2], s, 5);
+                b.iter(|| game.measures().expect("solvable"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("potential_minimizer", support),
+            &support,
+            |b, &s| {
+                let (game, potentials) = random_bayesian_potential_game(&[2, 2], &[2, 2], s, 5);
+                b.iter(|| potential_minimizer(&game, &potentials).expect("enumerable"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E7 — Lemma 3.4: the FRT strategy (undirected universal O(log n) on
+//! `optP/optC`).
+
+use bi_bench::{frt_series, growth_exponent, log_fit_slope};
+use bi_constructions::frt_strategy::FrtRouting;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let series = frt_series(&[3, 4, 5, 6], 42);
+    eprintln!("[frt_upper] FRT strategy cost / optC on side×side grids:");
+    for p in &series {
+        eprintln!("  n = {:>3}: {:.4}", p.size, p.value);
+    }
+    eprintln!(
+        "[frt_upper] growth exponent {:.3} (sublinear); per-ln(n) slope {:.3}",
+        growth_exponent(&series),
+        log_fit_slope(&series)
+    );
+
+    let mut group = c.benchmark_group("frt_upper");
+    group.sample_size(10);
+    for side in [4usize, 6, 8] {
+        group.bench_with_input(BenchmarkId::new("build_routing", side), &side, |b, &side| {
+            let graph = bi_graph::generators::grid_graph(side, side, 1.0);
+            b.iter(|| FrtRouting::build(&graph, 3, 7).expect("grid metric"));
+        });
+    }
+    group.bench_function("route_query_6x6", |b| {
+        let graph = bi_graph::generators::grid_graph(6, 6, 1.0);
+        let routing = FrtRouting::build(&graph, 3, 7).expect("grid metric");
+        b.iter(|| routing.route(bi_graph::NodeId::new(0), bi_graph::NodeId::new(35)));
+    });
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E6/E11/E12 — Lemmas 3.6/3.7: the `G_worst` games (worst-equilibrium
+//! row of Table 1: existential Ω(k) and O(1/k) on O(1) vertices).
+
+use bi_bench::{growth_exponent, gworst_series};
+use bi_constructions::gworst::{GWorstGame, GWorstVariant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let up = gworst_series(&[4, 6, 8, 12, 16, 24], GWorstVariant::InvK, 9);
+    eprintln!("[gworst] worst-eqP/worst-eqC, p = 1/k (Ω(k) direction):");
+    for p in &up {
+        eprintln!("  k = {:>3}: {:.4}", p.size, p.value);
+    }
+    eprintln!("[gworst] growth exponent {:.3} (paper: 1)", growth_exponent(&up));
+
+    let down = gworst_series(&[4, 6, 8, 12, 16, 24], GWorstVariant::Half, 9);
+    eprintln!("[gworst] worst-eqP/worst-eqC, p = 1/2 (O(1/k) direction):");
+    for p in &down {
+        eprintln!("  k = {:>3}: {:.4}", p.size, p.value);
+    }
+    eprintln!("[gworst] growth exponent {:.3} (paper: −1)", growth_exponent(&down));
+
+    let mut group = c.benchmark_group("gworst");
+    group.sample_size(10);
+    for k in [6usize, 9] {
+        group.bench_with_input(BenchmarkId::new("exact_measures_invk", k), &k, |b, &k| {
+            let game = GWorstGame::new(k, GWorstVariant::InvK).expect("valid k");
+            b.iter(|| game.exact_measures().expect("solvable"));
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E5/E13 — Lemma 3.3 / Remark 1: the `G_k` game (directed existential
+//! `O(1/log k)`; "ignorance is bliss").
+//!
+//! Prints the measured `worst-eqP/best-eqC` series and times the exact
+//! measure computation.
+
+use bi_bench::{gk_series, Point};
+use bi_constructions::pos_game::GkGame;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let series = gk_series(&[4, 6, 8, 12, 16, 24, 32, 48, 64], 9);
+    eprintln!("[ignorance_bliss] worst-eqP/best-eqC by k (exact ≤ 9, analytic beyond):");
+    for Point { size, value } in &series {
+        eprintln!("  k = {size:>3}: {value:.4}");
+    }
+    let normalized: Vec<f64> = series
+        .iter()
+        .map(|p| p.value * bi_util::harmonic(p.size as usize - 1))
+        .collect();
+    eprintln!(
+        "[ignorance_bliss] ratio × H(k−1) range: [{:.3}, {:.3}] (flat → 1/log k shape)",
+        normalized.iter().copied().fold(f64::INFINITY, f64::min),
+        normalized.iter().copied().fold(0.0, f64::max)
+    );
+
+    let mut group = c.benchmark_group("ignorance_bliss");
+    group.sample_size(10);
+    for k in [5usize, 7, 9] {
+        group.bench_with_input(BenchmarkId::new("exact_measures", k), &k, |b, &k| {
+            let game = GkGame::new(k).expect("valid k");
+            b.iter(|| game.exact_measures().expect("solvable"));
+        });
+    }
+    group.bench_function("hub_equilibrium_check_k32", |b| {
+        let game = GkGame::new(32).expect("valid k");
+        let hub = game.hub_strategy();
+        b.iter(|| game.game().is_bayesian_equilibrium(&hub));
+    });
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E3/E9/E15 — Lemma 3.8: `best-eqP ≤ H(k)·optP`, and the universal
+//! best-equilibrium row it implies (`best-eqP/best-eqC ≥ Ω(1/log k)`).
+
+use bi_constructions::potential_bound::potential_minimizer;
+use bi_constructions::universal::random_bayesian_ncs;
+use bi_graph::Direction;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // Measured slack of the Lemma 3.8 bound over random games.
+    let mut worst_slack = 0.0f64;
+    for seed in 0..10 {
+        let game = random_bayesian_ncs(Direction::Undirected, 5, 0.3, 2, 2, seed).expect("game");
+        let (_, bound) = potential_minimizer(&game).expect("enumerable");
+        assert!(bound.holds(), "Lemma 3.8 must hold");
+        worst_slack = worst_slack.max(bound.minimizer_cost / bound.bound);
+    }
+    eprintln!(
+        "[potential_bound] max over 10 random games of best-eq-upper/(H(k)·optP) = {worst_slack:.4} (must be ≤ 1)"
+    );
+
+    let mut group = c.benchmark_group("potential_bound");
+    group.sample_size(10);
+    for n in [4usize, 5, 6] {
+        group.bench_with_input(BenchmarkId::new("potential_minimizer", n), &n, |b, &n| {
+            let game =
+                random_bayesian_ncs(Direction::Directed, n, 0.3, 2, 2, n as u64).expect("game");
+            b.iter(|| potential_minimizer(&game).expect("enumerable"));
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

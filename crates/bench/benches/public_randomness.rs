@@ -1,0 +1,46 @@
+//! E16 — Section 4: `R(φ) = R̃(φ)` (Proposition 4.2) and the Lemma 4.1
+//! public-randomness distribution, computed by exact zero-sum solving.
+
+use bi_bench::section4_measurements;
+use bi_core::random_games::random_bayesian_potential_game;
+use bi_core::randomness::CostTuple;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (r_tilde, r_star, gap) = section4_measurements(5, 200, 11);
+    eprintln!(
+        "[public_randomness] G_5 tuple: R̃ = {r_tilde:.6}, R (bisection) = {r_star:.6}, \
+         Prop 4.2 gap = {:.2e}, Lemma 4.1 worst guarantee slack = {gap:.2e}",
+        (r_tilde - r_star).abs()
+    );
+
+    let mut group = c.benchmark_group("public_randomness");
+    group.sample_size(10);
+    for states in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("solve_r_tilde", states), &states, |b, &s| {
+            let (game, _) = random_bayesian_potential_game(&[1, s], &[2, 2], s, 7);
+            let tuple = CostTuple::from_bayesian(&game).expect("small game");
+            b.iter(|| tuple.solve().expect("LP"));
+        });
+        group.bench_with_input(BenchmarkId::new("r_star_bisection", states), &states, |b, &s| {
+            let (game, _) = random_bayesian_potential_game(&[1, s], &[2, 2], s, 7);
+            let tuple = CostTuple::from_bayesian(&game).expect("small game");
+            b.iter(|| tuple.r_star(1e-6).expect("bisection"));
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

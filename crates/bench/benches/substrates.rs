@@ -1,0 +1,85 @@
+//! Performance benches for the substrates: shortest paths, Steiner trees,
+//! affine planes, FRT embeddings, the simplex solver, and online Steiner.
+
+use bi_geometry::AffinePlane;
+use bi_metric::{frt, MetricSpace};
+use bi_online::steiner::OnlineSteiner;
+use bi_zerosum::matrix_game::MatrixGame;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::Rng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(20);
+
+    for n in [50usize, 200] {
+        let g = bi_graph::generators::gnp_connected(
+            bi_graph::Direction::Undirected,
+            n,
+            0.1,
+            (0.5, 2.0),
+            1,
+        );
+        group.bench_with_input(BenchmarkId::new("dijkstra", n), &n, |b, _| {
+            b.iter(|| {
+                bi_graph::dijkstra(&g, bi_graph::NodeId::new(0), |e| g.edge(e).cost())
+                    .distance(bi_graph::NodeId::new(n - 1))
+            });
+        });
+    }
+
+    group.bench_function("steiner_exact_8_terminals", |b| {
+        let g = bi_graph::generators::gnp_connected(
+            bi_graph::Direction::Undirected,
+            30,
+            0.15,
+            (0.5, 2.0),
+            2,
+        );
+        let terms: Vec<_> = (0..8).map(|i| bi_graph::NodeId::new(i * 3)).collect();
+        b.iter(|| bi_graph::steiner::steiner_tree(&g, &terms).expect("connected"));
+    });
+
+    group.bench_function("affine_plane_order_9", |b| {
+        b.iter(|| AffinePlane::new(9).expect("prime power"));
+    });
+
+    group.bench_function("frt_sample_grid_6x6", |b| {
+        let g = bi_graph::generators::grid_graph(6, 6, 1.0);
+        let metric = MetricSpace::from_graph(&g).expect("connected");
+        let mut rng = bi_util::rng::seeded(3);
+        b.iter(|| frt::sample(&metric, &mut rng));
+    });
+
+    group.bench_function("simplex_20x20_game", |b| {
+        let mut rng = bi_util::rng::seeded(4);
+        let payoff: Vec<Vec<f64>> = (0..20)
+            .map(|_| (0..20).map(|_| rng.random_range(-1.0..1.0)).collect())
+            .collect();
+        let game = MatrixGame::new(payoff).expect("finite");
+        b.iter(|| game.solve().expect("LP"));
+    });
+
+    group.bench_function("online_greedy_diamond_4", |b| {
+        let d = bi_online::diamond::DiamondGraph::new(4);
+        let adv = bi_online::adversary::DiamondAdversary::new(&d);
+        let seq = adv.sample(&mut bi_util::rng::seeded(5));
+        b.iter(|| OnlineSteiner::greedy(d.graph(), d.source(), &seq.requests));
+    });
+
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E1 — the universal bounds: Lemma 3.1 (`worst-eqP ≤ k·optC`) and
+//! Observation 2.2 (`optC ≤ optP ≤ best-eqP ≤ worst-eqP`), swept over
+//! random Bayesian NCS games in both graph classes.
+
+use bi_bench::universal_sweep;
+use bi_constructions::universal::random_bayesian_ncs;
+use bi_graph::Direction;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let (dir31, dir_chain) = universal_sweep(Direction::Directed, 10);
+    let (und31, und_chain) = universal_sweep(Direction::Undirected, 10);
+    eprintln!(
+        "[universal_bounds] directed:   max worst-eqP/(k·optC) = {dir31:.4}, max optC−optP = {dir_chain:.2e}"
+    );
+    eprintln!(
+        "[universal_bounds] undirected: max worst-eqP/(k·optC) = {und31:.4}, max optC−optP = {und_chain:.2e}"
+    );
+    assert!(dir31 <= 1.0 + 1e-9 && und31 <= 1.0 + 1e-9);
+
+    let mut group = c.benchmark_group("universal_bounds");
+    group.sample_size(10);
+    for (label, direction) in [("directed", Direction::Directed), ("undirected", Direction::Undirected)] {
+        group.bench_with_input(
+            BenchmarkId::new("measures_random_game", label),
+            &direction,
+            |b, &direction| {
+                let game = random_bayesian_ncs(direction, 5, 0.3, 2, 2, 3).expect("game");
+                b.iter(|| game.measures().expect("solvable"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .measurement_time(std::time::Duration::from_millis(700))
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .sample_size(10)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,321 @@
+//! Lemma 3.2: the affine-plane game.
+//!
+//! For a prime power `m`, take the affine plane of order `m` and build the
+//! directed graph with a source `u`, one intermediate vertex `v_ℓ` per
+//! line (edge `u→v_ℓ` of cost 1) and one sink `w_p` per point (free edges
+//! `v_ℓ→w_p` for `p ∈ ℓ`). The `k = m+1` agents share source `u`; nature
+//! draws a line `ℓ` and a permutation `π` uniformly, sends agent `i ∈ [m]`
+//! to the `π(i)`-th point of `ℓ` and agent `k` to `v_ℓ`.
+//!
+//! Because two distinct points share exactly one line, an agent who
+//! guesses the wrong line never shares her `u→v` edge, so **every**
+//! strategy profile has expected social cost `1 + m²/(m+1) = Θ(m)`; yet
+//! every underlying game's unique Nash equilibrium routes everyone through
+//! the true line at total cost 1. Hence `optP/optC`, `best-eqP/best-eqC`
+//! and `optP/worst-eqC` are all `Ω(k)` on a `Θ(k²)`-vertex graph.
+
+use std::fmt;
+
+use bi_geometry::affine::{AffinePlane, AffinePlaneError};
+use bi_graph::{Direction, Graph, NodeId};
+use bi_ncs::{NcsError, NcsGame};
+
+/// The Lemma 3.2 construction for a prime-power order `m`.
+#[derive(Clone, Debug)]
+pub struct AffinePlaneGame {
+    plane: AffinePlane,
+    graph: Graph,
+    /// `v_ℓ` vertex per line.
+    line_vertices: Vec<NodeId>,
+    /// `w_p` vertex per point.
+    point_vertices: Vec<NodeId>,
+    source: NodeId,
+}
+
+/// Errors constructing an [`AffinePlaneGame`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum AffineGameError {
+    /// The order is not a usable prime power.
+    Plane(AffinePlaneError),
+    /// A strategy assigned a point to a line not containing it.
+    InvalidStrategy { agent: usize, point: usize },
+}
+
+impl fmt::Display for AffineGameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AffineGameError::Plane(e) => write!(f, "{e}"),
+            AffineGameError::InvalidStrategy { agent, point } => {
+                write!(f, "agent {agent} routes point {point} via a non-incident line")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AffineGameError {}
+
+impl From<AffinePlaneError> for AffineGameError {
+    fn from(e: AffinePlaneError) -> Self {
+        AffineGameError::Plane(e)
+    }
+}
+
+impl AffinePlaneGame {
+    /// Builds the construction for plane order `m`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AffineGameError::Plane`] when `m` is not a supported
+    /// prime power.
+    pub fn new(m: u64) -> Result<Self, AffineGameError> {
+        let plane = AffinePlane::new(m)?;
+        let mut graph = Graph::new(Direction::Directed);
+        let source = graph.add_node();
+        let line_vertices: Vec<NodeId> =
+            (0..plane.line_count()).map(|_| graph.add_node()).collect();
+        let point_vertices: Vec<NodeId> =
+            (0..plane.point_count()).map(|_| graph.add_node()).collect();
+        for (lid, &v) in line_vertices.iter().enumerate() {
+            graph.add_edge(source, v, 1.0);
+            for &p in plane.points_on_line(lid) {
+                graph.add_edge(v, point_vertices[p], 0.0);
+            }
+        }
+        Ok(AffinePlaneGame {
+            plane,
+            graph,
+            line_vertices,
+            point_vertices,
+            source,
+        })
+    }
+
+    /// Plane order `m`.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.plane.order()
+    }
+
+    /// Number of agents `k = m + 1`.
+    #[must_use]
+    pub fn num_agents(&self) -> usize {
+        self.plane.order() + 1
+    }
+
+    /// Number of graph vertices (`Θ(k²)`).
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying directed graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The affine plane the game is built on.
+    #[must_use]
+    pub fn plane(&self) -> &AffinePlane {
+        &self.plane
+    }
+
+    /// The exact expected social cost of a strategy profile.
+    ///
+    /// A strategy of agent `i ∈ [m]` assigns to every point `p` the line
+    /// she routes through on observing destination `w_p` (agent `k`'s
+    /// strategy is forced). Averaging over the uniform `(ℓ, π)` prior
+    /// collapses analytically: each agent's destination is a uniform point
+    /// of `ℓ`, so
+    /// `E[K] = 1 + avg_ℓ Σ_{p∈ℓ} (1/m)·#{i : s_i(p) ≠ ℓ}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AffineGameError::InvalidStrategy`] if some `s_i(p)` does
+    /// not contain `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy shape is wrong (`m` strategies of `m²`
+    /// entries each).
+    pub fn expected_social_cost(&self, strategies: &[Vec<usize>]) -> Result<f64, AffineGameError> {
+        let m = self.plane.order();
+        assert_eq!(strategies.len(), m, "one strategy per point-agent");
+        for (agent, s) in strategies.iter().enumerate() {
+            assert_eq!(s.len(), self.plane.point_count(), "one line per point");
+            for (point, &line) in s.iter().enumerate() {
+                if !self.plane.incident(point, line) {
+                    return Err(AffineGameError::InvalidStrategy { agent, point });
+                }
+            }
+        }
+        let mut total = 0.0;
+        for lid in 0..self.plane.line_count() {
+            let mut wrong = 0usize;
+            for &p in self.plane.points_on_line(lid) {
+                for s in strategies {
+                    if s[p] != lid {
+                        wrong += 1;
+                    }
+                }
+            }
+            total += 1.0 + wrong as f64 / m as f64;
+        }
+        Ok(total / self.plane.line_count() as f64)
+    }
+
+    /// The analytic expected social cost `1 + m²/(m+1)`, which Lemma 3.2's
+    /// symmetry argument shows **every** strategy profile attains, so
+    /// `optP = best-eqP = worst-eqP = 1 + m²/(m+1)`.
+    #[must_use]
+    pub fn analytic_opt_p(&self) -> f64 {
+        let m = self.plane.order() as f64;
+        1.0 + m * m / (m + 1.0)
+    }
+
+    /// The analytic complete-information values: every underlying game's
+    /// unique Nash equilibrium routes all agents through the true line,
+    /// so `optC = best-eqC = worst-eqC = 1`.
+    #[must_use]
+    pub fn analytic_opt_c(&self) -> f64 {
+        1.0
+    }
+
+    /// The headline ratio `optP/worst-eqC = 1 + m²/(m+1) = Ω(k)`.
+    #[must_use]
+    pub fn analytic_ratio(&self) -> f64 {
+        self.analytic_opt_p() / self.analytic_opt_c()
+    }
+
+    /// The underlying complete-information NCS game for a given line and
+    /// point assignment (`assignment[i]` is the destination point of agent
+    /// `i ∈ [m]`; agent `k` targets `v_ℓ`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates NCS construction failures (cannot occur for valid
+    /// line/point inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment does not list exactly the points of the
+    /// line.
+    pub fn underlying_game(&self, line: usize, assignment: &[usize]) -> Result<NcsGame, NcsError> {
+        let pts = self.plane.points_on_line(line);
+        assert_eq!(assignment.len(), pts.len(), "one destination per agent");
+        for p in assignment {
+            assert!(pts.contains(p), "assigned point must lie on the line");
+        }
+        let mut pairs: Vec<(NodeId, NodeId)> = assignment
+            .iter()
+            .map(|&p| (self.source, self.point_vertices[p]))
+            .collect();
+        pairs.push((self.source, self.line_vertices[line]));
+        NcsGame::new(self.graph.clone(), pairs)
+    }
+
+    /// The "always guess the true-looking line" strategy: each point
+    /// routes through its first incident line. Used as a concrete profile
+    /// in tests and benches.
+    #[must_use]
+    pub fn first_line_strategies(&self) -> Vec<Vec<usize>> {
+        let m = self.plane.order();
+        let s: Vec<usize> = (0..self.plane.point_count())
+            .map(|p| self.plane.lines_through(p)[0])
+            .collect();
+        vec![s; m]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_graph::paths::PathLimits;
+    use rand::Rng;
+
+    #[test]
+    fn construction_counts_match_lemma() {
+        let g = AffinePlaneGame::new(3).unwrap();
+        assert_eq!(g.num_agents(), 4);
+        // 1 + (m² + m) + m² vertices.
+        assert_eq!(g.vertex_count(), 1 + 12 + 9);
+        assert_eq!(g.order(), 3);
+    }
+
+    #[test]
+    fn analytic_cost_matches_exact_evaluation_on_any_strategy() {
+        for m in [2u64, 3, 4] {
+            let game = AffinePlaneGame::new(m).unwrap();
+            let cost = game
+                .expected_social_cost(&game.first_line_strategies())
+                .unwrap();
+            assert!(
+                (cost - game.analytic_opt_p()).abs() < 1e-9,
+                "m={m}: {cost} vs {}",
+                game.analytic_opt_p()
+            );
+        }
+    }
+
+    #[test]
+    fn every_random_strategy_profile_costs_the_same() {
+        // The heart of Lemma 3.2: the expected cost is strategy-invariant.
+        let game = AffinePlaneGame::new(3).unwrap();
+        let mut rng = bi_util::rng::seeded(8);
+        for _ in 0..20 {
+            let strategies: Vec<Vec<usize>> = (0..game.order())
+                .map(|_| {
+                    (0..game.plane().point_count())
+                        .map(|p| {
+                            let ls = game.plane().lines_through(p);
+                            ls[rng.random_range(0..ls.len())]
+                        })
+                        .collect()
+                })
+                .collect();
+            let cost = game.expected_social_cost(&strategies).unwrap();
+            assert!((cost - game.analytic_opt_p()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn invalid_strategies_are_rejected() {
+        let game = AffinePlaneGame::new(2).unwrap();
+        let mut bad = game.first_line_strategies();
+        // Route point 0 via a line that misses it.
+        let miss = (0..game.plane().line_count())
+            .find(|&l| !game.plane().incident(0, l))
+            .unwrap();
+        bad[0][0] = miss;
+        assert!(matches!(
+            game.expected_social_cost(&bad),
+            Err(AffineGameError::InvalidStrategy { agent: 0, point: 0 })
+        ));
+    }
+
+    #[test]
+    fn underlying_games_have_unique_equilibrium_of_cost_one() {
+        let game = AffinePlaneGame::new(2).unwrap();
+        // Try a couple of (line, permutation) states.
+        for line in [0usize, 3, 5] {
+            let pts = game.plane().points_on_line(line).to_vec();
+            let ncs = game.underlying_game(line, &pts).unwrap();
+            let analysis = bi_ncs::analysis::analyze(&ncs, PathLimits::default()).unwrap();
+            assert!((analysis.best_eq - 1.0).abs() < 1e-9, "line {line}");
+            assert!((analysis.worst_eq - 1.0).abs() < 1e-9, "line {line}");
+            assert_eq!(analysis.equilibrium_count, 1, "line {line}");
+            assert!((analysis.opt - 1.0).abs() < 1e-9, "line {line}");
+        }
+    }
+
+    #[test]
+    fn ratio_grows_linearly_with_k() {
+        let ratios: Vec<f64> = [2u64, 3, 4, 5, 7]
+            .iter()
+            .map(|&m| AffinePlaneGame::new(m).unwrap().analytic_ratio())
+            .collect();
+        let ks: Vec<f64> = [2u64, 3, 4, 5, 7].iter().map(|&m| (m + 1) as f64).collect();
+        let slope = bi_util::log_log_slope(&ks, &ratios);
+        assert!((slope - 1.0).abs() < 0.25, "slope {slope} should be ≈ 1");
+    }
+}

@@ -1,0 +1,242 @@
+//! Lemma 3.4: the FRT-tree strategy profile for benevolent agents.
+//!
+//! Sample a dominating tree `τ` for the graph metric (FRT), designate a
+//! shortest graph path `P_e` for every tree edge `e`, and instruct the
+//! agent with type `(x, y)` to buy `∪_{e ∈ τ(x,y)} P_e`. The expected
+//! social cost of this profile is `O(log n)·optC`; sampling several trees
+//! and keeping the best one makes the lemma's "some tree meets the
+//! expectation" step constructive.
+
+use bi_graph::{EdgeId, Graph, NodeId};
+use bi_metric::space::{MetricError, MetricSpace};
+use bi_metric::{frt, HstTree};
+use rand::Rng;
+
+/// A tree-based routing scheme: one designated shortest path per FRT tree
+/// edge.
+#[derive(Clone, Debug)]
+pub struct FrtRouting {
+    tree: HstTree,
+    /// For each tree node, the designated graph path from its center to
+    /// its parent's center (empty at the root or when centers coincide).
+    up_paths: Vec<Vec<EdgeId>>,
+}
+
+impl FrtRouting {
+    /// Builds a routing scheme from `samples` FRT draws on the graph
+    /// metric, keeping the tree with the best average stretch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MetricError`] when the graph is disconnected or has
+    /// zero-distance vertex pairs (zero-cost edges); such graphs need
+    /// perturbation before embedding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is directed or `samples == 0`.
+    pub fn build(graph: &Graph, samples: usize, seed: u64) -> Result<Self, MetricError> {
+        assert!(!graph.is_directed(), "FRT routing needs an undirected graph");
+        let metric = MetricSpace::from_graph(graph)?;
+        let mut rng = bi_util::rng::seeded(seed);
+        let tree = frt::sample_best_of(&metric, samples, &mut rng);
+        let mut up_paths = vec![Vec::new(); tree.node_count()];
+        for (parent, child) in tree.edges() {
+            let pc = tree.node(parent).center;
+            let cc = tree.node(child).center;
+            if pc != cc {
+                up_paths[child] = bi_graph::shortest_path(graph, NodeId::new(cc), NodeId::new(pc))
+                    .expect("connected graph")
+                    .1;
+            }
+        }
+        Ok(FrtRouting { tree, up_paths })
+    }
+
+    /// The underlying FRT tree.
+    #[must_use]
+    pub fn tree(&self) -> &HstTree {
+        &self.tree
+    }
+
+    /// The edge set an agent with type `(x, y)` buys: the union of the
+    /// designated paths along the tree path from `x` to `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index is out of range.
+    #[must_use]
+    pub fn route(&self, x: NodeId, y: NodeId) -> Vec<EdgeId> {
+        if x == y {
+            return Vec::new();
+        }
+        let mut edges: Vec<EdgeId> = self
+            .tree
+            .path_nodes(x.index(), y.index())
+            .into_iter()
+            .flat_map(|node| self.up_paths[node].iter().copied())
+            .collect();
+        edges.sort();
+        edges.dedup();
+        edges
+    }
+}
+
+/// One measured state of a Lemma 3.4 experiment.
+#[derive(Clone, Debug)]
+pub struct FrtMeasurement {
+    /// Expected social cost of the FRT strategy profile, `K(s)`.
+    pub strategy_cost: f64,
+    /// Expected optimal complete-information cost, `optC` (exact Steiner
+    /// trees per state).
+    pub opt_c: f64,
+}
+
+impl FrtMeasurement {
+    /// The ratio `K(s)/optC`, which Lemma 3.4 bounds by `O(log n)`.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        self.strategy_cost / self.opt_c
+    }
+}
+
+/// Measures the FRT strategy on a shared-source Bayesian NCS game: each
+/// state is a terminal set (all agents route to `root`), weighted by its
+/// prior probability. `optC` uses exact Steiner trees.
+///
+/// # Panics
+///
+/// Panics if a state has more terminals than the exact Steiner solver
+/// allows, or probabilities are malformed.
+pub fn measure_shared_source(
+    graph: &Graph,
+    routing: &FrtRouting,
+    root: NodeId,
+    states: &[(Vec<NodeId>, f64)],
+) -> FrtMeasurement {
+    let total_prob: f64 = states.iter().map(|(_, p)| p).sum();
+    assert!(
+        (total_prob - 1.0).abs() < 1e-6,
+        "state probabilities must sum to 1"
+    );
+    let mut strategy_cost = 0.0;
+    let mut opt_c = 0.0;
+    for (terminals, prob) in states {
+        let mut union: Vec<EdgeId> = terminals
+            .iter()
+            .flat_map(|&v| routing.route(v, root))
+            .collect();
+        union.sort();
+        union.dedup();
+        strategy_cost += prob * graph.total_cost(union);
+        let mut terms = terminals.clone();
+        terms.push(root);
+        let tree = bi_graph::steiner::steiner_tree(graph, &terms).expect("connected graph");
+        opt_c += prob * tree.cost;
+    }
+    FrtMeasurement {
+        strategy_cost,
+        opt_c,
+    }
+}
+
+/// Generates a random shared-source prior: `n_states` equiprobable
+/// terminal sets of the given size, sampled without replacement from the
+/// non-root vertices.
+///
+/// # Panics
+///
+/// Panics if the graph has too few vertices for the requested terminal
+/// count.
+#[must_use]
+pub fn random_terminal_states(
+    graph: &Graph,
+    root: NodeId,
+    n_states: usize,
+    terminals_per_state: usize,
+    seed: u64,
+) -> Vec<(Vec<NodeId>, f64)> {
+    assert!(
+        terminals_per_state < graph.node_count(),
+        "not enough vertices for the requested terminal count"
+    );
+    let mut rng = bi_util::rng::seeded(seed);
+    let prob = 1.0 / n_states as f64;
+    (0..n_states)
+        .map(|_| {
+            let mut terms: Vec<NodeId> = Vec::new();
+            while terms.len() < terminals_per_state {
+                let v = NodeId::new(rng.random_range(0..graph.node_count()));
+                if v != root && !terms.contains(&v) {
+                    terms.push(v);
+                }
+            }
+            (terms, prob)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_graph::generators;
+
+    #[test]
+    fn routes_connect_their_endpoints() {
+        let graph = generators::grid_graph(4, 4, 1.0);
+        let routing = FrtRouting::build(&graph, 5, 3).unwrap();
+        for x in 0..16usize {
+            for y in 0..16usize {
+                let edges = routing.route(NodeId::new(x), NodeId::new(y));
+                if x == y {
+                    assert!(edges.is_empty());
+                    continue;
+                }
+                // The union must contain an x–y path: check connectivity in
+                // the bought subgraph.
+                let mut sub = Graph::with_nodes(bi_graph::Direction::Undirected, 16);
+                for &e in &edges {
+                    let edge = graph.edge(e);
+                    sub.add_edge(edge.source(), edge.target(), edge.cost());
+                }
+                assert!(
+                    bi_graph::shortest_path(&sub, NodeId::new(x), NodeId::new(y)).is_some(),
+                    "route({x},{y}) does not connect its endpoints"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_source_ratio_is_modest_on_grids() {
+        let graph = generators::grid_graph(5, 5, 1.0);
+        let routing = FrtRouting::build(&graph, 10, 7).unwrap();
+        let root = NodeId::new(0);
+        let states = random_terminal_states(&graph, root, 8, 5, 11);
+        let m = measure_shared_source(&graph, &routing, root, &states);
+        assert!(m.ratio() >= 1.0 - 1e-9, "strategy cannot beat the optimum");
+        // O(log n) with small constants; n = 25 → comfortably below 40.
+        assert!(m.ratio() < 40.0, "ratio {} too large", m.ratio());
+    }
+
+    #[test]
+    fn zero_cost_edges_are_rejected_via_metric_error() {
+        let mut g = Graph::new(bi_graph::Direction::Undirected);
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, 0.0);
+        assert!(FrtRouting::build(&g, 3, 1).is_err());
+    }
+
+    #[test]
+    fn random_terminal_states_exclude_the_root() {
+        let graph = generators::grid_graph(3, 3, 1.0);
+        let root = NodeId::new(4);
+        let states = random_terminal_states(&graph, root, 5, 3, 2);
+        for (terms, prob) in &states {
+            assert_eq!(terms.len(), 3);
+            assert!(!terms.contains(&root));
+            assert!((prob - 0.2).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Lemmas 3.6 and 3.7 (Fig. 2): the `G_worst` games.
+//!
+//! The undirected 3-vertex graph `G_worst`: `c(u,v) = k+1`, `c(v,w) = 1`,
+//! `c(u,w) = 1+ε`. Agents `1..k` travel `u→w`; agent `k+1` travels `u→v`
+//! with probability `p` and stays put otherwise.
+//!
+//! * With `p = 1/k` and `2/k − 1/k² < ε < 2/k` (the proof printed under
+//!   Lemma 3.7 in the source text), the expensive detour
+//!   `u–v–w` is a Bayesian equilibrium of cost `k+2`, while the
+//!   prior-averaged worst complete-information equilibrium is `O(1)`:
+//!   `worst-eqP/worst-eqC = Ω(k)`.
+//! * With `p = 1/2` and `1/k < ε < 3/(2k)` (the proof printed under
+//!   Lemma 3.6), the unique Bayesian equilibrium costs `1+ε+1/2`, while
+//!   the state with agent `k+1` present has a complete-information
+//!   equilibrium of cost `k+2`: `worst-eqP/worst-eqC = O(1/k)`.
+//!
+//! (The lemma *statements* in the source text are swapped relative to
+//! these proofs; see `DESIGN.md`. Both constructions are implemented and
+//! measured, so Table 1's `Ω(k)`/`O(1/k)` row is reproduced either way.)
+
+use bi_core::measures::Measures;
+use bi_graph::{Direction, Graph, NodeId};
+use bi_ncs::{BayesianNcsGame, NcsError, Prior};
+
+/// Which `G_worst` variant to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GWorstVariant {
+    /// Agent `k+1` appears with probability 1/2 → `worst-eqP/worst-eqC =
+    /// O(1/k)` (ignorance helps).
+    Half,
+    /// Agent `k+1` appears with probability 1/k → `worst-eqP/worst-eqC =
+    /// Ω(k)` (ignorance hurts).
+    InvK,
+}
+
+/// A `G_worst` game instance.
+#[derive(Clone, Debug)]
+pub struct GWorstGame {
+    k: usize,
+    variant: GWorstVariant,
+    epsilon: f64,
+    game: BayesianNcsGame,
+}
+
+impl GWorstGame {
+    /// Builds the `(k+1)`-agent game for `k ≥ 3` with the proof's default
+    /// `ε` (midpoint of the admissible interval).
+    ///
+    /// # Errors
+    ///
+    /// Propagates NCS construction errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 3`.
+    pub fn new(k: usize, variant: GWorstVariant) -> Result<Self, NcsError> {
+        assert!(k >= 3, "the G_worst analysis needs k ≥ 3");
+        let kf = k as f64;
+        let epsilon = match variant {
+            GWorstVariant::Half => 1.25 / kf, // inside (1/k, 3/(2k))
+            GWorstVariant::InvK => 2.0 / kf - 0.5 / (kf * kf), // inside (2/k − 1/k², 2/k)
+        };
+        let p = match variant {
+            GWorstVariant::Half => 0.5,
+            GWorstVariant::InvK => 1.0 / kf,
+        };
+        let mut graph = Graph::new(Direction::Undirected);
+        let u = graph.add_node();
+        let v = graph.add_node();
+        let w = graph.add_node();
+        graph.add_edge(u, v, kf + 1.0);
+        graph.add_edge(v, w, 1.0);
+        graph.add_edge(u, w, 1.0 + epsilon);
+        let mut per_agent: Vec<Vec<((NodeId, NodeId), f64)>> =
+            (0..k).map(|_| vec![((u, w), 1.0)]).collect();
+        per_agent.push(vec![((u, v), p), ((u, u), 1.0 - p)]);
+        let game = BayesianNcsGame::new(graph, Prior::independent(per_agent))?;
+        Ok(GWorstGame {
+            k,
+            variant,
+            epsilon,
+            game,
+        })
+    }
+
+    /// The number of `u→w` agents `k` (total agents `k+1`).
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Which variant this is.
+    #[must_use]
+    pub fn variant(&self) -> GWorstVariant {
+        self.variant
+    }
+
+    /// The gap parameter `ε`.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The Bayesian NCS game.
+    #[must_use]
+    pub fn game(&self) -> &BayesianNcsGame {
+        &self.game
+    }
+
+    /// Exact measures (strategy space `2^(k+1)`; fine for `k ≲ 12`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors.
+    pub fn exact_measures(&self) -> Result<Measures, NcsError> {
+        self.game.measures()
+    }
+
+    /// The proof's analytic `worst-eqP`: `k+2` for [`GWorstVariant::InvK`]
+    /// (everyone on the expensive detour), `1+ε+1/2` for
+    /// [`GWorstVariant::Half`] (everyone on the direct edge, agent `k+1`
+    /// detouring through `w` when active).
+    #[must_use]
+    pub fn analytic_worst_eq_p(&self) -> f64 {
+        match self.variant {
+            GWorstVariant::InvK => self.k as f64 + 2.0,
+            GWorstVariant::Half => 1.0 + self.epsilon + 0.5,
+        }
+    }
+
+    /// The proof's analytic bound on `worst-eqC`: for
+    /// [`GWorstVariant::InvK`] the upper bound
+    /// `(1−1/k)(1+ε) + (1/k)(k+3+ε) = O(1)`; for [`GWorstVariant::Half`]
+    /// the lower bound `(k+2)/2`.
+    #[must_use]
+    pub fn analytic_worst_eq_c_bound(&self) -> f64 {
+        let kf = self.k as f64;
+        match self.variant {
+            GWorstVariant::InvK => {
+                (1.0 - 1.0 / kf) * (1.0 + self.epsilon) + (kf + 3.0 + self.epsilon) / kf
+            }
+            GWorstVariant::Half => (kf + 2.0) / 2.0,
+        }
+    }
+
+    /// The headline analytic ratio `worst-eqP / worst-eqC-bound`:
+    /// `Ω(k)` for [`GWorstVariant::InvK`], `O(1/k)` for
+    /// [`GWorstVariant::Half`].
+    #[must_use]
+    pub fn analytic_ratio(&self) -> f64 {
+        self.analytic_worst_eq_p() / self.analytic_worst_eq_c_bound()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invk_variant_ratio_grows_linearly() {
+        for k in [4usize, 6, 8] {
+            let g = GWorstGame::new(k, GWorstVariant::InvK).unwrap();
+            let m = g.exact_measures().unwrap();
+            m.verify_chain().unwrap();
+            assert!(
+                (m.worst_eq_p - g.analytic_worst_eq_p()).abs() < 1e-9,
+                "k={k}: worst-eqP {} vs analytic {}",
+                m.worst_eq_p,
+                g.analytic_worst_eq_p()
+            );
+            assert!(
+                m.worst_eq_c <= g.analytic_worst_eq_c_bound() + 1e-9,
+                "k={k}: worst-eqC {} above bound {}",
+                m.worst_eq_c,
+                g.analytic_worst_eq_c_bound()
+            );
+            let ratio = m.worst_eq_p / m.worst_eq_c;
+            assert!(ratio > k as f64 / 4.0, "k={k}: ratio {ratio} should be Ω(k)");
+        }
+    }
+
+    #[test]
+    fn half_variant_ratio_shrinks_inversely() {
+        for k in [4usize, 6, 8] {
+            let g = GWorstGame::new(k, GWorstVariant::Half).unwrap();
+            let m = g.exact_measures().unwrap();
+            m.verify_chain().unwrap();
+            assert!(
+                (m.worst_eq_p - g.analytic_worst_eq_p()).abs() < 1e-9,
+                "k={k}: worst-eqP {} vs analytic {}",
+                m.worst_eq_p,
+                g.analytic_worst_eq_p()
+            );
+            assert!(
+                m.worst_eq_c >= g.analytic_worst_eq_c_bound() - 1e-9,
+                "k={k}: worst-eqC {} below bound {}",
+                m.worst_eq_c,
+                g.analytic_worst_eq_c_bound()
+            );
+            let ratio = m.worst_eq_p / m.worst_eq_c;
+            assert!(
+                ratio < 8.0 / k as f64,
+                "k={k}: ratio {ratio} should be O(1/k)"
+            );
+        }
+    }
+
+    #[test]
+    fn detour_profile_is_a_bayesian_equilibrium_in_invk() {
+        let g = GWorstGame::new(6, GWorstVariant::InvK).unwrap();
+        let graph = g.game().graph();
+        let uv = graph.edges().find(|(_, e)| e.cost() > 2.0).unwrap().0;
+        let vw = graph.edges().find(|(_, e)| e.cost() == 1.0).unwrap().0;
+        // Agents 1..k take u-v-w; agent k+1 takes u-v when active.
+        let mut s: Vec<Vec<bi_ncs::Path>> = (0..g.k()).map(|_| vec![vec![uv, vw]]).collect();
+        // Agent k+1's types: (u,v) and (u,u) — order as collected.
+        let types = &g.game().agent_types()[g.k()];
+        let paths: Vec<bi_ncs::Path> = types
+            .iter()
+            .map(|&(src, dst)| if src == dst { Vec::new() } else { vec![uv] })
+            .collect();
+        s.push(paths);
+        assert!(g.game().is_bayesian_equilibrium(&s));
+        assert!((g.game().social_cost(&s) - (g.k() as f64 + 2.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epsilon_intervals_match_the_proofs() {
+        let g = GWorstGame::new(5, GWorstVariant::Half).unwrap();
+        let k = 5.0;
+        assert!(g.epsilon() > 1.0 / k && g.epsilon() < 1.5 / k);
+        let g = GWorstGame::new(5, GWorstVariant::InvK).unwrap();
+        assert!(g.epsilon() > 2.0 / k - 1.0 / (k * k) && g.epsilon() < 2.0 / k);
+    }
+
+    #[test]
+    fn both_variants_live_on_three_vertices() {
+        let g = GWorstGame::new(4, GWorstVariant::Half).unwrap();
+        assert_eq!(g.game().graph().node_count(), 3);
+        assert_eq!(g.game().graph().edge_count(), 3);
+        assert_eq!(g.variant(), GWorstVariant::Half);
+    }
+}

@@ -1,0 +1,41 @@
+//! Every explicit construction from *Bayesian ignorance*, ready to
+//! measure.
+//!
+//! Each module implements one proof's construction, exposes its analytic
+//! cost formulas, and (where instance sizes permit) cross-validates them
+//! against the exact solvers in [`bi_ncs`]:
+//!
+//! * [`affine_game`] — Lemma 3.2: the affine-plane Bayesian NCS game with
+//!   `optP/worst-eqC = Ω(k)` on a directed `Θ(k²)`-vertex graph;
+//! * [`pos_game`] — Lemma 3.3 (Fig. 1): the `G_k` game where *ignorance is
+//!   bliss* — `worst-eqP = O(1)` while `best-eqC = Ω(log k)` (Remark 1);
+//! * [`gworst`] — Lemmas 3.6/3.7 (Fig. 2): the 3-vertex `G_worst` games
+//!   with `worst-eqP/worst-eqC = Ω(k)` and `= O(1/k)`;
+//! * [`diamond_game`] — Lemma 3.5: the reduction from online Steiner trees
+//!   on diamond graphs, giving `optP/optC = Ω(log n)` undirected;
+//! * [`frt_strategy`] — Lemma 3.4: the FRT-tree strategy profile showing
+//!   `optP/optC = O(log n)` undirected;
+//! * [`potential_bound`] — Lemma 3.8: `best-eqP ≤ H(k)·optP` via the
+//!   Bayesian potential minimizer;
+//! * [`universal`] — Lemma 3.1 (`worst-eqP ≤ k·optC`) and Observation 2.2
+//!   checkers plus the random-game sweeps that exercise them.
+//!
+//! # Examples
+//!
+//! ```
+//! use bi_constructions::pos_game::GkGame;
+//!
+//! let game = GkGame::new(6).unwrap();
+//! let m = game.exact_measures().unwrap();
+//! // Ignorance is bliss: every Bayesian equilibrium beats the best
+//! // complete-information equilibrium.
+//! assert!(m.worst_eq_p < m.best_eq_c);
+//! ```
+
+pub mod affine_game;
+pub mod diamond_game;
+pub mod frt_strategy;
+pub mod gworst;
+pub mod pos_game;
+pub mod potential_bound;
+pub mod universal;

@@ -1,0 +1,266 @@
+//! Lemma 3.3 (Fig. 1): the `G_k` game — *ignorance is bliss*.
+//!
+//! The graph `G_k` (Anshelevich et al.'s price-of-stability lower bound):
+//! common source `x`; sinks `y_1..y_{k-1}` with direct edges `x→y_i` of
+//! cost `1/i`; a hub `z` with edge `x→z` of cost `1+ε` and free edges
+//! `z→y_i`. Agents `1..k-1` deterministically travel `x→y_i`; agent `k`
+//! travels `x→z` with probability 1/2 and stays put otherwise.
+//!
+//! With local views, the 1/2 chance that agent `k` subsidizes the hub
+//! makes the hub route dominant for agent 1, then inductively for all
+//! agents (for `ε < 1/(2k-1)`): the **unique** Bayesian equilibrium routes
+//! everyone through `z` at social cost `1+ε` — which is also the global
+//! optimum. With global views, the state where agent `k` is absent has the
+//! all-direct profile as its unique equilibrium, costing `H(k-1)`, so
+//! `best-eqC ≥ H(k-1)/2 = Ω(log k)` while `worst-eqP = optC + ε·O(1)`.
+
+use bi_core::measures::Measures;
+use bi_graph::{Direction, Graph, NodeId};
+use bi_ncs::{BayesianNcsGame, NcsError, Prior};
+use bi_util::harmonic;
+
+/// The Lemma 3.3 construction.
+#[derive(Clone, Debug)]
+pub struct GkGame {
+    k: usize,
+    epsilon: f64,
+    game: BayesianNcsGame,
+}
+
+impl GkGame {
+    /// Builds `G_k` for `k ≥ 2` agents with the default
+    /// `ε = 1/(2k)` (any `0 < ε < 1/(2k-1)` makes the hub equilibrium
+    /// unique).
+    ///
+    /// # Errors
+    ///
+    /// Propagates NCS construction errors (cannot occur for `k ≥ 2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(k: usize) -> Result<Self, NcsError> {
+        assert!(k >= 2, "G_k needs at least two agents");
+        Self::with_epsilon(k, 1.0 / (2.0 * k as f64))
+    }
+
+    /// Builds `G_k` with an explicit `ε`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates NCS construction errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `ε ≤ 0`.
+    pub fn with_epsilon(k: usize, epsilon: f64) -> Result<Self, NcsError> {
+        assert!(k >= 2, "G_k needs at least two agents");
+        assert!(epsilon > 0.0, "ε must be positive");
+        let mut graph = Graph::new(Direction::Directed);
+        let x = graph.add_node();
+        let z = graph.add_node();
+        let ys: Vec<NodeId> = (1..k).map(|_| graph.add_node()).collect();
+        for (i, &y) in ys.iter().enumerate() {
+            graph.add_edge(x, y, 1.0 / (i + 1) as f64);
+            graph.add_edge(z, y, 0.0);
+        }
+        graph.add_edge(x, z, 1.0 + epsilon);
+        let mut per_agent: Vec<Vec<((NodeId, NodeId), f64)>> = ys
+            .iter()
+            .map(|&y| vec![((x, y), 1.0)])
+            .collect();
+        per_agent.push(vec![((x, z), 0.5), ((x, x), 0.5)]);
+        let game = BayesianNcsGame::new(graph, Prior::independent(per_agent))?;
+        Ok(GkGame { k, epsilon, game })
+    }
+
+    /// Number of agents `k`.
+    #[must_use]
+    pub fn num_agents(&self) -> usize {
+        self.k
+    }
+
+    /// The gap parameter `ε`.
+    #[must_use]
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The Bayesian NCS game.
+    #[must_use]
+    pub fn game(&self) -> &BayesianNcsGame {
+        &self.game
+    }
+
+    /// Exact measures via the exhaustive solver (feasible for `k ≲ 14`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates solver errors (enumeration size).
+    pub fn exact_measures(&self) -> Result<Measures, NcsError> {
+        self.game.measures()
+    }
+
+    /// The social cost of the unique Bayesian equilibrium, `1 + ε`
+    /// (Lemma 3.3), which equals `worst-eqP`, `best-eqP`, and `optP`
+    /// (buying the hub edge serves everyone).
+    #[must_use]
+    pub fn analytic_worst_eq_p(&self) -> f64 {
+        1.0 + self.epsilon
+    }
+
+    /// The analytic `optC = 1 + ε`: in both states the hub route serves
+    /// all active agents at cost `1 + ε` (for `k ≥ 3`, `H(k-1) > 1 + ε`,
+    /// so the hub is the optimum in both states).
+    #[must_use]
+    pub fn analytic_opt_c(&self) -> f64 {
+        if self.k >= 3 {
+            1.0 + self.epsilon
+        } else {
+            // k = 2: when agent 2 is absent the single direct edge (cost 1)
+            // beats the hub; when present the shared hub costs 1 + ε.
+            0.5 * (1.0 + self.epsilon) + 0.5
+        }
+    }
+
+    /// The analytic lower bound `best-eqC ≥ H(k-1)/2` from the state where
+    /// agent `k` is absent and the unique equilibrium is all-direct.
+    #[must_use]
+    pub fn analytic_best_eq_c_lower(&self) -> f64 {
+        harmonic(self.k - 1) / 2.0
+    }
+
+    /// The headline "ignorance is bliss" ratio
+    /// `worst-eqP / best-eqC ≤ (1+ε)/(H(k-1)/2) = O(1/log k)`.
+    #[must_use]
+    pub fn analytic_bliss_ratio(&self) -> f64 {
+        self.analytic_worst_eq_p() / self.analytic_best_eq_c_lower()
+    }
+
+    /// The hub strategy profile (everyone via `z`), the unique Bayesian
+    /// equilibrium per Lemma 3.3.
+    #[must_use]
+    pub fn hub_strategy(&self) -> Vec<Vec<bi_ncs::Path>> {
+        let graph = self.game.graph();
+        let hub_edge = graph
+            .edges()
+            .find(|(_, e)| e.source() == NodeId::new(0) && e.target() == NodeId::new(1))
+            .expect("x→z edge exists")
+            .0;
+        self.game
+            .agent_types()
+            .iter()
+            .map(|types| {
+                types
+                    .iter()
+                    .map(|&(s, t)| {
+                        if s == t {
+                            Vec::new()
+                        } else if t == NodeId::new(1) {
+                            vec![hub_edge]
+                        } else {
+                            // x → z → y_i: hub edge plus the free edge.
+                            let free = graph
+                                .edges()
+                                .find(|(_, e)| e.source() == NodeId::new(1) && e.target() == t)
+                                .expect("z→y edge exists")
+                                .0;
+                            vec![hub_edge, free]
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_profile_is_the_bayesian_equilibrium() {
+        for k in [3usize, 5, 8] {
+            let g = GkGame::new(k).unwrap();
+            let hub = g.hub_strategy();
+            assert!(
+                g.game().is_bayesian_equilibrium(&hub),
+                "k={k}: hub profile must be a Bayesian equilibrium"
+            );
+            assert!(
+                (g.game().social_cost(&hub) - g.analytic_worst_eq_p()).abs() < 1e-9,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_measures_match_analytics_for_small_k() {
+        for k in [3usize, 5, 7] {
+            let g = GkGame::new(k).unwrap();
+            let m = g.exact_measures().unwrap();
+            m.verify_chain().unwrap();
+            assert!(
+                (m.worst_eq_p - g.analytic_worst_eq_p()).abs() < 1e-9,
+                "k={k}: worst-eqP {} vs {}",
+                m.worst_eq_p,
+                g.analytic_worst_eq_p()
+            );
+            assert!(
+                (m.best_eq_p - g.analytic_worst_eq_p()).abs() < 1e-9,
+                "k={k}: unique equilibrium"
+            );
+            assert!((m.opt_c - g.analytic_opt_c()).abs() < 1e-9, "k={k}");
+            assert!(
+                m.best_eq_c >= g.analytic_best_eq_c_lower() - 1e-9,
+                "k={k}: best-eqC {} below H(k-1)/2 = {}",
+                m.best_eq_c,
+                g.analytic_best_eq_c_lower()
+            );
+        }
+    }
+
+    #[test]
+    fn ignorance_is_bliss_remark_1() {
+        // worst-eqP < best-eqC: all equilibria with local views beat all
+        // equilibria with global views.
+        let g = GkGame::new(8).unwrap();
+        let m = g.exact_measures().unwrap();
+        assert!(
+            m.worst_eq_p < m.best_eq_c,
+            "worst-eqP {} should beat best-eqC {}",
+            m.worst_eq_p,
+            m.best_eq_c
+        );
+        // And the worst Bayesian equilibrium achieves the expected global
+        // optimum (Remark 1).
+        assert!((m.worst_eq_p - m.opt_c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bliss_ratio_shrinks_like_inverse_log() {
+        let ratios: Vec<f64> = [4usize, 8, 16, 32, 64]
+            .iter()
+            .map(|&k| GkGame::new(k).unwrap().analytic_bliss_ratio())
+            .collect();
+        for w in ratios.windows(2) {
+            assert!(w[1] < w[0], "bliss ratio must shrink: {ratios:?}");
+        }
+        // Inverse-log shape: ratio · H(k-1) is Θ(1).
+        let normalized: Vec<f64> = [4usize, 8, 16, 32, 64]
+            .iter()
+            .zip(&ratios)
+            .map(|(&k, r)| r * harmonic(k - 1))
+            .collect();
+        let spread = normalized.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            / normalized.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(spread < 1.5, "normalized ratios should be flat: {normalized:?}");
+    }
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(GkGame::with_epsilon(4, 0.05).is_ok());
+        assert!(std::panic::catch_unwind(|| GkGame::with_epsilon(4, 0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| GkGame::new(1)).is_err());
+    }
+}

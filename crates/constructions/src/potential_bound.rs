@@ -1,0 +1,148 @@
+//! Lemma 3.8: `best-eqP ≤ H(k)·optP` via the Bayesian potential.
+//!
+//! The expected Rosenthal potential `Q` satisfies `Q/H(k) ≤ K ≤ Q`, and
+//! its minimizer is a Bayesian equilibrium (Observation 2.1), so the best
+//! Bayesian equilibrium costs at most `H(k)` times the partial-information
+//! optimum — the Bayesian extension of the Anshelevich et al. price of
+//! stability bound.
+
+use bi_core::game::{EnumerationError, ProfileIter, MAX_ENUMERATION};
+use bi_ncs::bayesian::NcsStrategyProfile;
+use bi_ncs::{BayesianNcsGame, NcsError, Path};
+use bi_util::harmonic;
+
+/// The result of a Lemma 3.8 verification.
+#[derive(Clone, Debug)]
+pub struct PotentialBound {
+    /// Social cost of the potential-minimizing strategy profile (an upper
+    /// bound on `best-eqP` because the minimizer is an equilibrium).
+    pub minimizer_cost: f64,
+    /// The minimum Bayesian potential value.
+    pub min_potential: f64,
+    /// The partial-information optimum `optP`.
+    pub opt_p: f64,
+    /// The Lemma 3.8 bound `H(k)·optP`.
+    pub bound: f64,
+}
+
+impl PotentialBound {
+    /// Whether the bound holds (it must, for every NCS game).
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        bi_util::approx_le(self.minimizer_cost, self.bound)
+    }
+}
+
+/// Finds the strategy profile minimizing the Bayesian potential by
+/// exhaustive enumeration, returning it with its potential and social
+/// cost, plus `optP` for the Lemma 3.8 comparison.
+///
+/// # Errors
+///
+/// Propagates enumeration errors.
+pub fn potential_minimizer(
+    game: &BayesianNcsGame,
+) -> Result<(NcsStrategyProfile, PotentialBound), NcsError> {
+    let sets = game.strategy_sets()?;
+    let slot_sizes: Vec<usize> = sets.iter().flatten().map(Vec::len).collect();
+    let total: u128 = slot_sizes.iter().map(|&s| s as u128).product();
+    if total > MAX_ENUMERATION {
+        return Err(NcsError::TooLarge(EnumerationError { required: total }));
+    }
+    let mut slots = Vec::new();
+    for (i, types) in game.agent_types().iter().enumerate() {
+        for tau in 0..types.len() {
+            slots.push((i, tau));
+        }
+    }
+    let mut best: Option<(NcsStrategyProfile, f64)> = None;
+    let mut opt_p = f64::INFINITY;
+    for assignment in ProfileIter::new(slot_sizes) {
+        let mut s: NcsStrategyProfile = game
+            .agent_types()
+            .iter()
+            .map(|types| vec![Path::new(); types.len()])
+            .collect();
+        for (&(i, tau), &choice) in slots.iter().zip(&assignment) {
+            s[i][tau] = sets[i][tau][choice].clone();
+        }
+        let q = game.bayesian_potential(&s);
+        opt_p = opt_p.min(game.social_cost(&s));
+        if best.as_ref().is_none_or(|(_, bq)| q < *bq) {
+            best = Some((s, q));
+        }
+    }
+    let (minimizer, min_potential) = best.expect("strategy space is never empty");
+    let minimizer_cost = game.social_cost(&minimizer);
+    let k = game.num_agents();
+    let bound = PotentialBound {
+        minimizer_cost,
+        min_potential,
+        opt_p,
+        bound: harmonic(k) * opt_p,
+    };
+    Ok((minimizer, bound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universal::random_bayesian_ncs;
+    use bi_graph::Direction;
+
+    #[test]
+    fn minimizer_is_always_a_bayesian_equilibrium() {
+        // Observation 2.1's punchline.
+        for seed in 0..6 {
+            let game = random_bayesian_ncs(Direction::Directed, 5, 0.3, 2, 2, seed).unwrap();
+            let (minimizer, _) = potential_minimizer(&game).unwrap();
+            assert!(
+                game.is_bayesian_equilibrium(&minimizer),
+                "seed {seed}: potential minimizer must be an equilibrium"
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_3_8_bound_holds_on_random_games() {
+        for seed in 0..6 {
+            let game = random_bayesian_ncs(Direction::Undirected, 5, 0.3, 2, 2, seed).unwrap();
+            let (_, bound) = potential_minimizer(&game).unwrap();
+            assert!(
+                bound.holds(),
+                "seed {seed}: minimizer cost {} exceeds H(k)·optP = {}",
+                bound.minimizer_cost,
+                bound.bound
+            );
+        }
+    }
+
+    #[test]
+    fn potential_sandwiches_social_cost() {
+        // Q/H(k) ≤ K(s) ≤ Q for every strategy profile, spot-checked at
+        // the minimizer.
+        for seed in 0..4 {
+            let game = random_bayesian_ncs(Direction::Directed, 4, 0.4, 2, 2, 100 + seed).unwrap();
+            let (minimizer, bound) = potential_minimizer(&game).unwrap();
+            let k = game.social_cost(&minimizer);
+            let h = harmonic(game.num_agents());
+            assert!(k <= bound.min_potential + 1e-9, "K ≤ Q");
+            assert!(bound.min_potential <= h * k + 1e-9, "Q ≤ H(k)·K");
+        }
+    }
+
+    #[test]
+    fn best_eq_p_from_measures_respects_the_bound() {
+        for seed in 0..4 {
+            let game = random_bayesian_ncs(Direction::Undirected, 4, 0.4, 2, 2, 200 + seed).unwrap();
+            let m = game.measures().unwrap();
+            let bound = harmonic(game.num_agents()) * m.opt_p;
+            assert!(
+                bi_util::approx_le(m.best_eq_p, bound),
+                "seed {seed}: best-eqP {} vs H(k)·optP {}",
+                m.best_eq_p,
+                bound
+            );
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Lemma 3.1 and Observation 2.2 checkers, plus the random-game sweeps
+//! that exercise the universal bounds.
+
+use bi_graph::{Direction, NodeId};
+use bi_ncs::{BayesianNcsGame, NcsError, Prior};
+use rand::Rng;
+
+/// The result of a Lemma 3.1 verification: `worst-eqP ≤ k·optC`.
+#[derive(Clone, Debug)]
+pub struct Lemma31Check {
+    /// `worst-eqP` of the game.
+    pub worst_eq_p: f64,
+    /// The bound `k·optC`.
+    pub bound: f64,
+    /// Number of agents.
+    pub k: usize,
+}
+
+impl Lemma31Check {
+    /// Whether the universal bound holds (it must for every NCS game).
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        bi_util::approx_le(self.worst_eq_p, self.bound)
+    }
+}
+
+/// Verifies Lemma 3.1 on a concrete game by exact measurement.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub fn lemma_3_1_check(game: &BayesianNcsGame) -> Result<Lemma31Check, NcsError> {
+    let m = game.measures()?;
+    Ok(Lemma31Check {
+        worst_eq_p: m.worst_eq_p,
+        bound: game.num_agents() as f64 * m.opt_c,
+        k: game.num_agents(),
+    })
+}
+
+/// Generates a random Bayesian NCS game on a connected random graph:
+/// `k` agents, each with `types_per_agent` independent random
+/// `(source, destination)` types (distinct per agent, positive random
+/// probabilities).
+///
+/// # Errors
+///
+/// Propagates construction errors (none occur for the connected graphs
+/// produced here).
+///
+/// # Panics
+///
+/// Panics if `types_per_agent` exceeds the number of distinct pairs.
+pub fn random_bayesian_ncs(
+    direction: Direction,
+    n: usize,
+    edge_prob: f64,
+    k: usize,
+    types_per_agent: usize,
+    seed: u64,
+) -> Result<BayesianNcsGame, NcsError> {
+    assert!(
+        types_per_agent <= n * n,
+        "more types than distinct (source, destination) pairs"
+    );
+    let graph = bi_graph::generators::gnp_connected(
+        direction,
+        n,
+        edge_prob,
+        (0.5, 2.0),
+        bi_util::rng::derive_seed(seed, "graph"),
+    );
+    let mut rng = bi_util::rng::seeded(bi_util::rng::derive_seed(seed, "prior"));
+    let per_agent = (0..k)
+        .map(|_| {
+            let mut types: Vec<(NodeId, NodeId)> = Vec::new();
+            while types.len() < types_per_agent {
+                let s = NodeId::new(rng.random_range(0..n));
+                let t = NodeId::new(rng.random_range(0..n));
+                if !types.contains(&(s, t)) {
+                    types.push((s, t));
+                }
+            }
+            let raw: Vec<f64> = (0..types_per_agent)
+                .map(|_| rng.random_range(0.2..1.0))
+                .collect();
+            let total: f64 = raw.iter().sum();
+            types
+                .into_iter()
+                .zip(raw)
+                .map(|(t, p)| (t, p / total))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    BayesianNcsGame::new(graph, Prior::independent(per_agent))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma_3_1_holds_on_random_directed_games() {
+        for seed in 0..8 {
+            let game = random_bayesian_ncs(Direction::Directed, 5, 0.3, 2, 2, seed).unwrap();
+            let check = lemma_3_1_check(&game).unwrap();
+            assert!(
+                check.holds(),
+                "seed {seed}: worst-eqP {} exceeds k·optC = {}",
+                check.worst_eq_p,
+                check.bound
+            );
+        }
+    }
+
+    #[test]
+    fn lemma_3_1_holds_on_random_undirected_games() {
+        for seed in 0..8 {
+            let game = random_bayesian_ncs(Direction::Undirected, 5, 0.25, 3, 2, seed).unwrap();
+            let check = lemma_3_1_check(&game).unwrap();
+            assert!(check.holds(), "seed {seed}");
+            assert_eq!(check.k, 3);
+        }
+    }
+
+    #[test]
+    fn observation_2_2_holds_on_random_games() {
+        for seed in 0..8 {
+            let game =
+                random_bayesian_ncs(Direction::Undirected, 4, 0.4, 2, 2, 500 + seed).unwrap();
+            let m = game.measures().unwrap();
+            m.verify_chain()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a = random_bayesian_ncs(Direction::Directed, 5, 0.3, 2, 2, 9).unwrap();
+        let b = random_bayesian_ncs(Direction::Directed, 5, 0.3, 2, 2, 9).unwrap();
+        assert_eq!(a.support().len(), b.support().len());
+        assert_eq!(a.graph().edge_count(), b.graph().edge_count());
+    }
+
+    #[test]
+    fn universal_upper_bound_has_linear_shape_at_worst() {
+        // Sweep k and confirm the measured worst-eqP/optC never exceeds k.
+        for k in 2..=4usize {
+            for seed in 0..3 {
+                let game =
+                    random_bayesian_ncs(Direction::Directed, 4, 0.4, k, 2, 1000 + seed).unwrap();
+                let m = game.measures().unwrap();
+                assert!(
+                    m.worst_eq_p <= k as f64 * m.opt_c + 1e-9,
+                    "k={k} seed={seed}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,677 @@
+//! Bayesian games with explicit common priors, exactly as in Section 2 of
+//! the paper.
+
+use std::fmt;
+
+use bi_util::approx_eq;
+
+use crate::game::{EnumerationError, MatrixFormGame, ProfileIter, MAX_ENUMERATION};
+use crate::measures::Measures;
+use crate::nash;
+
+/// A pure strategy profile: `profile[i][τ]` is the action agent `i` plays
+/// on observing type `τ`.
+pub type StrategyProfile = Vec<Vec<usize>>;
+
+/// Errors constructing a [`BayesianGame`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum BayesianGameError {
+    /// The support is empty or probabilities do not sum to 1.
+    BadPrior(String),
+    /// A state's game does not match the declared agents/actions.
+    MismatchedState(usize),
+    /// A type index exceeds its agent's type-space size.
+    TypeOutOfRange { state: usize, agent: usize },
+    /// The same type profile appears twice in the support.
+    DuplicateState(usize),
+}
+
+impl fmt::Display for BayesianGameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BayesianGameError::BadPrior(msg) => write!(f, "invalid prior: {msg}"),
+            BayesianGameError::MismatchedState(i) => {
+                write!(f, "state {i} disagrees with the declared action spaces")
+            }
+            BayesianGameError::TypeOutOfRange { state, agent } => {
+                write!(f, "state {state}: type of agent {agent} out of range")
+            }
+            BayesianGameError::DuplicateState(i) => {
+                write!(f, "state {i} duplicates an earlier type profile")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BayesianGameError {}
+
+/// Errors from exact measure computation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MeasureError {
+    /// Enumeration would exceed the workspace limit.
+    TooLarge(EnumerationError),
+    /// Some underlying game has no pure Nash equilibrium, so `best-eqC` /
+    /// `worst-eqC` are undefined (the paper restricts attention to games
+    /// whose underlying games all admit pure equilibria).
+    NoPureEquilibrium { state: usize },
+    /// No pure Bayesian equilibrium exists (cannot happen for potential
+    /// games, but the framework admits arbitrary cost functions).
+    NoBayesianEquilibrium,
+}
+
+impl fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeasureError::TooLarge(e) => write!(f, "{e}"),
+            MeasureError::NoPureEquilibrium { state } => {
+                write!(f, "underlying game {state} has no pure Nash equilibrium")
+            }
+            MeasureError::NoBayesianEquilibrium => {
+                write!(f, "the Bayesian game has no pure Bayesian equilibrium")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
+impl From<EnumerationError> for MeasureError {
+    fn from(e: EnumerationError) -> Self {
+        MeasureError::TooLarge(e)
+    }
+}
+
+struct State {
+    types: Vec<usize>,
+    prob: f64,
+    game: MatrixFormGame,
+}
+
+/// A finite Bayesian game `⟨k, {A_i}, {T_i}, {C_{i,t}}, p⟩` with the prior
+/// given explicitly as a support of `(type profile, probability, game)`
+/// triples.
+///
+/// Type profiles outside the support have probability zero and need not be
+/// listed. All underlying games must share the same agent count and action
+/// spaces (the paper's `A_i` do not vary with the state).
+///
+/// # Examples
+///
+/// ```
+/// use bi_core::bayesian::BayesianGame;
+/// use bi_core::game::MatrixFormGame;
+///
+/// let g = MatrixFormGame::from_fn(2, &[2, 2], |_, a| (a[0] + a[1]) as f64);
+/// let game = BayesianGame::new(
+///     vec![1, 2],
+///     vec![
+///         (vec![0, 0], 0.5, g.clone()),
+///         (vec![0, 1], 0.5, g),
+///     ],
+/// ).unwrap();
+/// assert_eq!(game.num_agents(), 2);
+/// let s = vec![vec![0], vec![0, 0]];
+/// assert_eq!(game.social_cost(&s), 0.0);
+/// ```
+pub struct BayesianGame {
+    type_counts: Vec<usize>,
+    action_counts: Vec<usize>,
+    states: Vec<State>,
+    /// `marginals[i][τ] = P(t_i = τ)`.
+    marginals: Vec<Vec<f64>>,
+}
+
+impl BayesianGame {
+    /// Builds a Bayesian game from its type-space sizes and prior support.
+    ///
+    /// States with probability 0 are dropped. Probabilities must be
+    /// non-negative and sum to 1 (within tolerance).
+    ///
+    /// # Errors
+    ///
+    /// See [`BayesianGameError`].
+    pub fn new(
+        type_counts: Vec<usize>,
+        support: Vec<(Vec<usize>, f64, MatrixFormGame)>,
+    ) -> Result<Self, BayesianGameError> {
+        if support.is_empty() {
+            return Err(BayesianGameError::BadPrior("empty support".into()));
+        }
+        let k = type_counts.len();
+        let total: f64 = support.iter().map(|(_, p, _)| p).sum();
+        if !approx_eq(total, 1.0) {
+            return Err(BayesianGameError::BadPrior(format!(
+                "probabilities sum to {total}, expected 1"
+            )));
+        }
+        let action_counts = support[0].2.action_counts().to_vec();
+        let mut states = Vec::with_capacity(support.len());
+        let mut seen: Vec<&Vec<usize>> = Vec::new();
+        for (idx, (types, prob, game)) in support.iter().enumerate() {
+            if *prob < 0.0 {
+                return Err(BayesianGameError::BadPrior(format!(
+                    "state {idx} has negative probability"
+                )));
+            }
+            if types.len() != k
+                || game.num_agents() != k
+                || game.action_counts() != action_counts.as_slice()
+            {
+                return Err(BayesianGameError::MismatchedState(idx));
+            }
+            for (agent, (&t, &count)) in types.iter().zip(&type_counts).enumerate() {
+                if t >= count {
+                    return Err(BayesianGameError::TypeOutOfRange { state: idx, agent });
+                }
+            }
+            if seen.contains(&types) {
+                return Err(BayesianGameError::DuplicateState(idx));
+            }
+            seen.push(types);
+        }
+        for (types, prob, game) in support {
+            if prob > 0.0 {
+                states.push(State { types, prob, game });
+            }
+        }
+        if states.is_empty() {
+            return Err(BayesianGameError::BadPrior(
+                "all support states have probability zero".into(),
+            ));
+        }
+        let mut marginals: Vec<Vec<f64>> = type_counts.iter().map(|&c| vec![0.0; c]).collect();
+        for state in &states {
+            for (i, &t) in state.types.iter().enumerate() {
+                marginals[i][t] += state.prob;
+            }
+        }
+        Ok(BayesianGame {
+            type_counts,
+            action_counts,
+            states,
+            marginals,
+        })
+    }
+
+    /// Number of agents `k`.
+    #[must_use]
+    pub fn num_agents(&self) -> usize {
+        self.type_counts.len()
+    }
+
+    /// Per-agent type-space sizes `|T_i|`.
+    #[must_use]
+    pub fn type_counts(&self) -> &[usize] {
+        &self.type_counts
+    }
+
+    /// Per-agent action-space sizes `|A_i|`.
+    #[must_use]
+    pub fn action_counts(&self) -> &[usize] {
+        &self.action_counts
+    }
+
+    /// Number of states in the prior support.
+    #[must_use]
+    pub fn support_len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The `idx`-th support state as `(type profile, probability, game)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn state(&self, idx: usize) -> (&[usize], f64, &MatrixFormGame) {
+        let s = &self.states[idx];
+        (&s.types, s.prob, &s.game)
+    }
+
+    /// Marginal probability `P(t_i = τ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `τ` is out of range.
+    #[must_use]
+    pub fn marginal(&self, i: usize, tau: usize) -> f64 {
+        self.marginals[i][tau]
+    }
+
+    /// The action profile a strategy profile induces in a given state.
+    fn induced<'a>(&self, s: &StrategyProfile, types: &[usize], buf: &'a mut Vec<usize>) -> &'a [usize] {
+        buf.clear();
+        buf.extend(s.iter().zip(types).map(|(si, &t)| si[t]));
+        buf
+    }
+
+    /// Ex-ante expected cost `C_i(s)` of agent `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy shape does not match the game.
+    #[must_use]
+    pub fn expected_cost(&self, i: usize, s: &StrategyProfile) -> f64 {
+        self.check_strategy(s);
+        let mut buf = Vec::with_capacity(self.num_agents());
+        self.states
+            .iter()
+            .map(|st| {
+                let a = self.induced(s, &st.types, &mut buf);
+                st.prob * st.game.cost(i, a)
+            })
+            .sum()
+    }
+
+    /// Social cost `K(s) = Σ_i C_i(s) = E_t[K_t(s(t))]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy shape does not match the game.
+    #[must_use]
+    pub fn social_cost(&self, s: &StrategyProfile) -> f64 {
+        self.check_strategy(s);
+        let mut buf = Vec::with_capacity(self.num_agents());
+        self.states
+            .iter()
+            .map(|st| {
+                let a = self.induced(s, &st.types, &mut buf);
+                st.prob * st.game.social_cost(a)
+            })
+            .sum()
+    }
+
+    /// Unnormalized interim cost of agent `i` of playing `action` at type
+    /// `τ` while everyone else follows `s`:
+    /// `Σ_{t : t_i = τ} p(t) · C_{i,t}(s₋ᵢ(t₋ᵢ), action)`.
+    ///
+    /// Normalizing by `P(t_i = τ)` gives the conditional expectation the
+    /// paper uses; the normalization constant does not affect comparisons
+    /// between actions, so it is omitted.
+    #[must_use]
+    pub fn interim_cost(&self, i: usize, tau: usize, action: usize, s: &StrategyProfile) -> f64 {
+        self.check_strategy(s);
+        assert!(tau < self.type_counts[i], "type out of range");
+        assert!(action < self.action_counts[i], "action out of range");
+        let mut buf = Vec::with_capacity(self.num_agents());
+        self.states
+            .iter()
+            .filter(|st| st.types[i] == tau)
+            .map(|st| {
+                self.induced(s, &st.types, &mut buf);
+                buf[i] = action;
+                st.prob * st.game.cost(i, &buf)
+            })
+            .sum()
+    }
+
+    /// Whether `s` is a pure Bayesian equilibrium: for every agent and
+    /// every positive-probability type, the played action minimizes the
+    /// interim cost (up to tolerance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy shape does not match the game.
+    #[must_use]
+    pub fn is_bayesian_equilibrium(&self, s: &StrategyProfile) -> bool {
+        self.check_strategy(s);
+        for i in 0..self.num_agents() {
+            for tau in 0..self.type_counts[i] {
+                if self.marginals[i][tau] == 0.0 {
+                    continue;
+                }
+                let played = self.interim_cost(i, tau, s[i][tau], s);
+                for a in 0..self.action_counts[i] {
+                    if a == s[i][tau] {
+                        continue;
+                    }
+                    let dev = self.interim_cost(i, tau, a, s);
+                    if dev < played && !bi_util::approx_le(played, dev) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The best response of agent `i` to `s`: for each type, an action
+    /// minimizing the interim cost (ties to the smallest index).
+    #[must_use]
+    pub fn best_response(&self, i: usize, s: &StrategyProfile) -> Vec<usize> {
+        (0..self.type_counts[i])
+            .map(|tau| {
+                if self.marginals[i][tau] == 0.0 {
+                    return s[i][tau];
+                }
+                let mut best_a = 0;
+                let mut best_c = f64::INFINITY;
+                for a in 0..self.action_counts[i] {
+                    let c = self.interim_cost(i, tau, a, s);
+                    if c < best_c - bi_util::EPS {
+                        best_c = c;
+                        best_a = a;
+                    }
+                }
+                best_a
+            })
+            .collect()
+    }
+
+    /// Iterated best-response dynamics from `start`, for at most
+    /// `max_rounds` full sweeps. Returns the reached strategy profile if it
+    /// is a Bayesian equilibrium, otherwise `None`.
+    ///
+    /// For Bayesian potential games (every NCS game is one) each strict
+    /// improvement decreases the expected potential, so this converges.
+    #[must_use]
+    pub fn best_response_dynamics(
+        &self,
+        start: StrategyProfile,
+        max_rounds: usize,
+    ) -> Option<StrategyProfile> {
+        let mut s = start;
+        for _ in 0..max_rounds {
+            let mut changed = false;
+            for i in 0..self.num_agents() {
+                for tau in 0..self.type_counts[i] {
+                    if self.marginals[i][tau] == 0.0 {
+                        continue;
+                    }
+                    let played = self.interim_cost(i, tau, s[i][tau], &s);
+                    let mut best_a = s[i][tau];
+                    let mut best_c = played;
+                    for a in 0..self.action_counts[i] {
+                        let c = self.interim_cost(i, tau, a, &s);
+                        if c < best_c - bi_util::EPS {
+                            best_c = c;
+                            best_a = a;
+                        }
+                    }
+                    if best_a != s[i][tau] {
+                        s[i][tau] = best_a;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return Some(s);
+            }
+        }
+        self.is_bayesian_equilibrium(&s).then_some(s)
+    }
+
+    /// Total number of pure strategy profiles, counting only
+    /// positive-marginal types as free slots (zero-probability types are
+    /// pinned to action 0 — they never affect any cost).
+    #[must_use]
+    pub fn strategy_space_size(&self) -> u128 {
+        let mut size = 1u128;
+        for i in 0..self.num_agents() {
+            for tau in 0..self.type_counts[i] {
+                if self.marginals[i][tau] > 0.0 {
+                    size = size.saturating_mul(self.action_counts[i] as u128);
+                }
+            }
+        }
+        size
+    }
+
+    /// Iterates over every pure strategy profile (zero-probability types
+    /// pinned to action 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EnumerationError`] when the strategy space exceeds the
+    /// enumeration limit.
+    pub fn strategies(&self) -> Result<StrategyIter<'_>, EnumerationError> {
+        let size = self.strategy_space_size();
+        if size > MAX_ENUMERATION {
+            return Err(EnumerationError { required: size });
+        }
+        let mut slots = Vec::new();
+        for i in 0..self.num_agents() {
+            for tau in 0..self.type_counts[i] {
+                if self.marginals[i][tau] > 0.0 {
+                    slots.push((i, tau));
+                }
+            }
+        }
+        let bases: Vec<usize> = slots.iter().map(|&(i, _)| self.action_counts[i]).collect();
+        Ok(StrategyIter {
+            game: self,
+            slots,
+            inner: ProfileIter::new(bases),
+        })
+    }
+
+    /// Computes all six measures exactly by enumeration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeasureError::TooLarge`] when a required enumeration is
+    /// infeasible, [`MeasureError::NoPureEquilibrium`] when some underlying
+    /// game has no pure Nash equilibrium, and
+    /// [`MeasureError::NoBayesianEquilibrium`] when the Bayesian game has
+    /// no pure Bayesian equilibrium.
+    pub fn measures(&self) -> Result<Measures, MeasureError> {
+        let mut opt_p = f64::INFINITY;
+        let mut best_eq_p = f64::INFINITY;
+        let mut worst_eq_p = f64::NEG_INFINITY;
+        let mut found_eq = false;
+        for s in self.strategies()? {
+            let k = self.social_cost(&s);
+            opt_p = opt_p.min(k);
+            if self.is_bayesian_equilibrium(&s) {
+                found_eq = true;
+                best_eq_p = best_eq_p.min(k);
+                worst_eq_p = worst_eq_p.max(k);
+            }
+        }
+        if !found_eq {
+            return Err(MeasureError::NoBayesianEquilibrium);
+        }
+        let mut opt_c = 0.0;
+        let mut best_eq_c = 0.0;
+        let mut worst_eq_c = 0.0;
+        for (idx, st) in self.states.iter().enumerate() {
+            let (opt, _) = nash::social_optimum(&st.game);
+            opt_c += st.prob * opt;
+            let (best, worst) = nash::equilibrium_cost_range(&st.game)
+                .ok_or(MeasureError::NoPureEquilibrium { state: idx })?;
+            best_eq_c += st.prob * best;
+            worst_eq_c += st.prob * worst;
+        }
+        Ok(Measures {
+            opt_p,
+            best_eq_p,
+            worst_eq_p,
+            opt_c,
+            best_eq_c,
+            worst_eq_c,
+        })
+    }
+
+    fn check_strategy(&self, s: &StrategyProfile) {
+        assert_eq!(s.len(), self.num_agents(), "strategy profile length");
+        for (i, si) in s.iter().enumerate() {
+            assert_eq!(si.len(), self.type_counts[i], "strategy of agent {i}");
+            for &a in si {
+                assert!(a < self.action_counts[i], "action out of range");
+            }
+        }
+    }
+}
+
+/// Iterator over all pure strategy profiles of a [`BayesianGame`].
+pub struct StrategyIter<'a> {
+    game: &'a BayesianGame,
+    slots: Vec<(usize, usize)>,
+    inner: ProfileIter,
+}
+
+impl Iterator for StrategyIter<'_> {
+    type Item = StrategyProfile;
+
+    fn next(&mut self) -> Option<StrategyProfile> {
+        let assignment = self.inner.next()?;
+        let mut s: StrategyProfile = self
+            .game
+            .type_counts()
+            .iter()
+            .map(|&c| vec![0usize; c])
+            .collect();
+        for (&(i, tau), &a) in self.slots.iter().zip(&assignment) {
+            s[i][tau] = a;
+        }
+        Some(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two agents; agent 1 has two types. In state 0 the agents want to
+    /// match, in state 1 they want to differ; agent 0 cannot see which.
+    fn coordination_game() -> BayesianGame {
+        let matcher = MatrixFormGame::from_fn(2, &[2, 2], |_, a| {
+            if a[0] == a[1] {
+                0.0
+            } else {
+                2.0
+            }
+        });
+        let mismatcher = MatrixFormGame::from_fn(2, &[2, 2], |_, a| {
+            if a[0] != a[1] {
+                0.0
+            } else {
+                2.0
+            }
+        });
+        BayesianGame::new(
+            vec![1, 2],
+            vec![
+                (vec![0, 0], 0.5, matcher),
+                (vec![0, 1], 0.5, mismatcher),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_prior() {
+        let g = MatrixFormGame::from_fn(1, &[1], |_, _| 0.0);
+        assert!(matches!(
+            BayesianGame::new(vec![1], vec![(vec![0], 0.5, g.clone())]),
+            Err(BayesianGameError::BadPrior(_))
+        ));
+        assert!(matches!(
+            BayesianGame::new(
+                vec![1],
+                vec![(vec![0], 0.5, g.clone()), (vec![0], 0.5, g.clone())]
+            ),
+            Err(BayesianGameError::DuplicateState(1))
+        ));
+        assert!(matches!(
+            BayesianGame::new(vec![1], vec![(vec![3], 1.0, g)]),
+            Err(BayesianGameError::TypeOutOfRange { state: 0, agent: 0 })
+        ));
+    }
+
+    #[test]
+    fn marginals_aggregate_over_states() {
+        let game = coordination_game();
+        assert_eq!(game.marginal(0, 0), 1.0);
+        assert_eq!(game.marginal(1, 0), 0.5);
+        assert_eq!(game.marginal(1, 1), 0.5);
+    }
+
+    #[test]
+    fn expected_costs_average_over_the_prior() {
+        let game = coordination_game();
+        // Agent 1 matches in her first type, differs in the second: both
+        // states resolved perfectly.
+        let s = vec![vec![0], vec![0, 1]];
+        assert_eq!(game.social_cost(&s), 0.0);
+        assert_eq!(game.expected_cost(0, &s), 0.0);
+        // Agent 1 always plays 0: state 1 costs 2 per agent, prob 1/2.
+        let s_bad = vec![vec![0], vec![0, 0]];
+        assert_eq!(game.social_cost(&s_bad), 2.0);
+    }
+
+    #[test]
+    fn the_informed_agent_separates_at_equilibrium() {
+        let game = coordination_game();
+        let s = vec![vec![0], vec![0, 1]];
+        assert!(game.is_bayesian_equilibrium(&s));
+        let s_bad = vec![vec![0], vec![0, 0]];
+        assert!(!game.is_bayesian_equilibrium(&s_bad));
+    }
+
+    #[test]
+    fn best_response_dynamics_reach_an_equilibrium() {
+        let game = coordination_game();
+        let start = vec![vec![0], vec![1, 1]];
+        let eq = game.best_response_dynamics(start, 50).expect("converges");
+        assert!(game.is_bayesian_equilibrium(&eq));
+    }
+
+    #[test]
+    fn strategy_enumeration_counts() {
+        let game = coordination_game();
+        // Agent 0: 2 actions ^ 1 type; agent 1: 2 ^ 2 types → 8 profiles.
+        assert_eq!(game.strategy_space_size(), 8);
+        assert_eq!(game.strategies().unwrap().count(), 8);
+    }
+
+    #[test]
+    fn measures_satisfy_observation_2_2() {
+        let game = coordination_game();
+        let m = game.measures().unwrap();
+        m.verify_chain().unwrap();
+        // optP: agent 1 separates → 0. optC = 0 as well.
+        assert_eq!(m.opt_p, 0.0);
+        assert_eq!(m.opt_c, 0.0);
+    }
+
+    #[test]
+    fn measure_error_when_no_pure_underlying_equilibrium() {
+        // Matching pennies as the single state: no pure Nash.
+        let mp = MatrixFormGame::from_fn(2, &[2, 2], |i, a| {
+            let matched = a[0] == a[1];
+            match (i, matched) {
+                (0, true) | (1, false) => 0.0,
+                _ => 1.0,
+            }
+        });
+        let game = BayesianGame::new(vec![1, 1], vec![(vec![0, 0], 1.0, mp)]).unwrap();
+        match game.measures() {
+            Err(MeasureError::NoPureEquilibrium { state: 0 }) => {}
+            Err(MeasureError::NoBayesianEquilibrium) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interim_cost_restricts_to_the_observed_type() {
+        let game = coordination_game();
+        let s = vec![vec![0], vec![0, 0]];
+        // Agent 1 at type 0 (matcher state): playing 0 matches agent 0's 0.
+        assert_eq!(game.interim_cost(1, 0, 0, &s), 0.0);
+        assert_eq!(game.interim_cost(1, 0, 1, &s), 0.5 * 2.0);
+        // At type 1 (mismatcher state): playing 1 is free.
+        assert_eq!(game.interim_cost(1, 1, 1, &s), 0.0);
+    }
+
+    #[test]
+    fn zero_probability_types_are_pinned() {
+        let g = MatrixFormGame::from_fn(1, &[3], |_, a| a[0] as f64);
+        // Type space of size 2 but only type 0 in the support.
+        let game = BayesianGame::new(vec![2], vec![(vec![0], 1.0, g)]).unwrap();
+        assert_eq!(game.strategy_space_size(), 3);
+        for s in game.strategies().unwrap() {
+            assert_eq!(s[0][1], 0, "unused type must stay pinned");
+        }
+    }
+}

@@ -1,0 +1,324 @@
+//! Complete-information cost games with explicitly enumerable actions.
+
+use std::fmt;
+
+/// Hard cap on joint-profile enumeration sizes; exceeding it returns
+/// [`EnumerationError`] rather than hanging.
+pub const MAX_ENUMERATION: u128 = 5_000_000;
+
+/// Error returned when an exact computation would require enumerating more
+/// than [`MAX_ENUMERATION`] profiles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EnumerationError {
+    /// Number of profiles the computation would have visited.
+    pub required: u128,
+}
+
+impl fmt::Display for EnumerationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "exact enumeration needs {} profiles (limit {MAX_ENUMERATION})",
+            self.required
+        )
+    }
+}
+
+impl std::error::Error for EnumerationError {}
+
+/// A `k`-agent complete-information game in "matrix" (tensor) form: each
+/// agent `i` has a finite action set `0..action_counts[i]` and a cost for
+/// every joint action profile.
+///
+/// Costs may be `f64::INFINITY` (the paper's NCS games charge `∞` for
+/// infeasible actions) but not NaN.
+///
+/// # Examples
+///
+/// ```
+/// use bi_core::game::MatrixFormGame;
+///
+/// // Two agents sharing a resource: cost 1 if they pick the same action.
+/// let g = MatrixFormGame::from_fn(2, &[2, 2], |_, a| {
+///     if a[0] == a[1] { 1.0 } else { 2.0 }
+/// });
+/// assert_eq!(g.cost(0, &[1, 1]), 1.0);
+/// assert_eq!(g.social_cost(&[0, 1]), 4.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatrixFormGame {
+    action_counts: Vec<usize>,
+    strides: Vec<usize>,
+    /// `costs[i][joint_index]`.
+    costs: Vec<Vec<f64>>,
+}
+
+impl MatrixFormGame {
+    /// Builds a game by evaluating `cost(agent, profile)` on every joint
+    /// profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agents == 0`, any action count is zero,
+    /// `action_counts.len() != agents`, the joint space exceeds
+    /// [`MAX_ENUMERATION`], or `cost` returns NaN.
+    #[must_use]
+    pub fn from_fn<F: FnMut(usize, &[usize]) -> f64>(
+        agents: usize,
+        action_counts: &[usize],
+        mut cost: F,
+    ) -> Self {
+        assert!(agents > 0, "need at least one agent");
+        assert_eq!(action_counts.len(), agents, "one action count per agent");
+        assert!(
+            action_counts.iter().all(|&c| c > 0),
+            "every agent needs at least one action"
+        );
+        let size = action_counts
+            .iter()
+            .try_fold(1u128, |acc, &c| acc.checked_mul(c as u128))
+            .filter(|&s| s <= MAX_ENUMERATION)
+            .expect("joint action space too large");
+        let size = size as usize;
+        let strides = strides_of(action_counts);
+        let mut costs = vec![vec![0.0f64; size]; agents];
+        let mut profile = vec![0usize; agents];
+        for idx in 0..size {
+            decode(idx, &strides, action_counts, &mut profile);
+            for (i, table) in costs.iter_mut().enumerate() {
+                let c = cost(i, &profile);
+                assert!(!c.is_nan(), "cost must not be NaN");
+                table[idx] = c;
+            }
+        }
+        MatrixFormGame {
+            action_counts: action_counts.to_vec(),
+            strides,
+            costs,
+        }
+    }
+
+    /// Number of agents `k`.
+    #[must_use]
+    pub fn num_agents(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Number of actions of agent `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn num_actions(&self, i: usize) -> usize {
+        self.action_counts[i]
+    }
+
+    /// Per-agent action counts.
+    #[must_use]
+    pub fn action_counts(&self) -> &[usize] {
+        &self.action_counts
+    }
+
+    /// Cost of agent `i` under the joint action `profile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or any action index is out of range.
+    #[must_use]
+    pub fn cost(&self, i: usize, profile: &[usize]) -> f64 {
+        self.costs[i][self.index_of(profile)]
+    }
+
+    /// Social cost `K_t(a) = Σ_i C_{i,t}(a)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any action index is out of range.
+    #[must_use]
+    pub fn social_cost(&self, profile: &[usize]) -> f64 {
+        let idx = self.index_of(profile);
+        self.costs.iter().map(|table| table[idx]).sum()
+    }
+
+    /// Iterates over all joint action profiles.
+    #[must_use]
+    pub fn profiles(&self) -> ProfileIter {
+        ProfileIter::new(self.action_counts.clone())
+    }
+
+    /// Number of joint action profiles.
+    #[must_use]
+    pub fn profile_count(&self) -> usize {
+        self.costs[0].len()
+    }
+
+    fn index_of(&self, profile: &[usize]) -> usize {
+        assert_eq!(profile.len(), self.num_agents(), "profile length mismatch");
+        profile
+            .iter()
+            .zip(&self.action_counts)
+            .zip(&self.strides)
+            .map(|((&a, &count), &stride)| {
+                assert!(a < count, "action {a} out of range");
+                a * stride
+            })
+            .sum()
+    }
+}
+
+fn strides_of(counts: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; counts.len()];
+    for i in (0..counts.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * counts[i + 1];
+    }
+    strides
+}
+
+fn decode(mut idx: usize, strides: &[usize], counts: &[usize], out: &mut [usize]) {
+    for i in 0..counts.len() {
+        out[i] = idx / strides[i];
+        idx %= strides[i];
+    }
+}
+
+/// Odometer iterator over joint profiles of a product space.
+///
+/// # Examples
+///
+/// ```
+/// use bi_core::game::ProfileIter;
+///
+/// let all: Vec<Vec<usize>> = ProfileIter::new(vec![2, 3]).collect();
+/// assert_eq!(all.len(), 6);
+/// assert_eq!(all[0], vec![0, 0]);
+/// assert_eq!(all[5], vec![1, 2]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProfileIter {
+    counts: Vec<usize>,
+    current: Vec<usize>,
+    done: bool,
+}
+
+impl ProfileIter {
+    /// Creates an iterator over `Π_i (0..counts[i])`.
+    ///
+    /// An empty `counts` yields exactly one empty profile. Any zero count
+    /// yields nothing.
+    #[must_use]
+    pub fn new(counts: Vec<usize>) -> Self {
+        let done = counts.iter().any(|&c| c == 0);
+        ProfileIter {
+            current: vec![0; counts.len()],
+            counts,
+            done,
+        }
+    }
+
+    /// Total number of profiles this iterator will yield.
+    #[must_use]
+    pub fn total(&self) -> u128 {
+        self.counts.iter().map(|&c| c as u128).product()
+    }
+}
+
+impl Iterator for ProfileIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.done {
+            return None;
+        }
+        let item = self.current.clone();
+        // Odometer increment, last index fastest.
+        let mut i = self.counts.len();
+        loop {
+            if i == 0 {
+                self.done = true;
+                break;
+            }
+            i -= 1;
+            self.current[i] += 1;
+            if self.current[i] < self.counts[i] {
+                break;
+            }
+            self.current[i] = 0;
+        }
+        Some(item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_fills_costs() {
+        let g = MatrixFormGame::from_fn(2, &[2, 3], |i, a| (i + a[0] * 10 + a[1]) as f64);
+        assert_eq!(g.num_agents(), 2);
+        assert_eq!(g.num_actions(1), 3);
+        assert_eq!(g.cost(0, &[1, 2]), 12.0);
+        assert_eq!(g.cost(1, &[1, 2]), 13.0);
+        assert_eq!(g.social_cost(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn profile_iter_visits_everything_once() {
+        let mut seen = std::collections::HashSet::new();
+        for p in ProfileIter::new(vec![3, 2, 2]) {
+            assert!(seen.insert(p));
+        }
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn profile_iter_empty_counts_yields_one_profile() {
+        let all: Vec<_> = ProfileIter::new(vec![]).collect();
+        assert_eq!(all, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn profile_iter_zero_count_yields_nothing() {
+        assert_eq!(ProfileIter::new(vec![2, 0]).count(), 0);
+    }
+
+    #[test]
+    fn infinity_costs_are_allowed() {
+        let g = MatrixFormGame::from_fn(1, &[2], |_, a| {
+            if a[0] == 0 {
+                f64::INFINITY
+            } else {
+                1.0
+            }
+        });
+        assert!(g.cost(0, &[0]).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_costs_are_rejected() {
+        let _ = MatrixFormGame::from_fn(1, &[1], |_, _| f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_actions_panic() {
+        let g = MatrixFormGame::from_fn(1, &[2], |_, _| 0.0);
+        let _ = g.cost(0, &[2]);
+    }
+
+    #[test]
+    fn profile_count_matches_iterator() {
+        let g = MatrixFormGame::from_fn(3, &[2, 3, 2], |_, _| 0.0);
+        assert_eq!(g.profile_count(), 12);
+        assert_eq!(g.profiles().count(), 12);
+        assert_eq!(g.profiles().total(), 12);
+    }
+
+    #[test]
+    fn enumeration_error_formats() {
+        let e = EnumerationError { required: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+}

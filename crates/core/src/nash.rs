@@ -1,0 +1,180 @@
+//! Exhaustive pure-Nash analysis of complete-information games.
+
+use bi_util::approx_le;
+
+use crate::game::MatrixFormGame;
+
+/// Whether `profile` is a pure Nash equilibrium: no agent can strictly
+/// lower her cost by a unilateral deviation (up to the workspace
+/// tolerance).
+///
+/// # Panics
+///
+/// Panics if the profile shape does not match the game.
+///
+/// # Examples
+///
+/// ```
+/// use bi_core::game::MatrixFormGame;
+///
+/// // Coordination: both agents want to match.
+/// let g = MatrixFormGame::from_fn(2, &[2, 2], |_, a| {
+///     if a[0] == a[1] { 0.0 } else { 1.0 }
+/// });
+/// assert!(bi_core::nash::is_nash(&g, &[0, 0]));
+/// assert!(!bi_core::nash::is_nash(&g, &[0, 1]));
+/// ```
+#[must_use]
+pub fn is_nash(game: &MatrixFormGame, profile: &[usize]) -> bool {
+    let mut work = profile.to_vec();
+    for i in 0..game.num_agents() {
+        let current = game.cost(i, profile);
+        for a in 0..game.num_actions(i) {
+            if a == profile[i] {
+                continue;
+            }
+            work[i] = a;
+            let dev = game.cost(i, &work);
+            if dev < current && !approx_le(current, dev) {
+                return false;
+            }
+        }
+        work[i] = profile[i];
+    }
+    true
+}
+
+/// All pure Nash equilibria, by exhaustive enumeration.
+///
+/// # Examples
+///
+/// ```
+/// use bi_core::game::MatrixFormGame;
+///
+/// let g = MatrixFormGame::from_fn(2, &[2, 2], |_, a| {
+///     if a[0] == a[1] { 0.0 } else { 1.0 }
+/// });
+/// assert_eq!(bi_core::nash::enumerate_nash(&g).len(), 2);
+/// ```
+#[must_use]
+pub fn enumerate_nash(game: &MatrixFormGame) -> Vec<Vec<usize>> {
+    game.profiles().filter(|p| is_nash(game, p)).collect()
+}
+
+/// `(social cost, profile)` of a social optimum.
+///
+/// Profiles with infinite social cost are still considered (a game may
+/// have no finite outcome); ties go to the first profile in enumeration
+/// order.
+#[must_use]
+pub fn social_optimum(game: &MatrixFormGame) -> (f64, Vec<usize>) {
+    let mut best = f64::INFINITY;
+    let mut best_profile = vec![0; game.num_agents()];
+    for p in game.profiles() {
+        let k = game.social_cost(&p);
+        if k < best {
+            best = k;
+            best_profile = p;
+        }
+    }
+    (best, best_profile)
+}
+
+/// Social costs of the best and worst pure Nash equilibria, or `None` if
+/// the game has no pure equilibrium.
+#[must_use]
+pub fn equilibrium_cost_range(game: &MatrixFormGame) -> Option<(f64, f64)> {
+    let mut best = f64::INFINITY;
+    let mut worst = f64::NEG_INFINITY;
+    let mut found = false;
+    for p in game.profiles() {
+        if is_nash(game, &p) {
+            found = true;
+            let k = game.social_cost(&p);
+            best = best.min(k);
+            worst = worst.max(k);
+        }
+    }
+    found.then_some((best, worst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Prisoner's dilemma in cost form: defect (action 1) dominates.
+    fn prisoners_dilemma() -> MatrixFormGame {
+        MatrixFormGame::from_fn(2, &[2, 2], |i, a| {
+            let (mine, theirs) = (a[i], a[1 - i]);
+            match (mine, theirs) {
+                (0, 0) => 1.0, // both cooperate
+                (0, 1) => 3.0, // I cooperate, they defect
+                (1, 0) => 0.0, // I defect, they cooperate
+                (1, 1) => 2.0, // both defect
+                _ => unreachable!(),
+            }
+        })
+    }
+
+    #[test]
+    fn prisoners_dilemma_has_unique_defect_equilibrium() {
+        let g = prisoners_dilemma();
+        let eqs = enumerate_nash(&g);
+        assert_eq!(eqs, vec![vec![1, 1]]);
+        let (best, worst) = equilibrium_cost_range(&g).unwrap();
+        assert_eq!(best, 4.0);
+        assert_eq!(worst, 4.0);
+        let (opt, profile) = social_optimum(&g);
+        assert_eq!(opt, 2.0);
+        assert_eq!(profile, vec![0, 0]);
+    }
+
+    #[test]
+    fn matching_pennies_has_no_pure_equilibrium() {
+        let g = MatrixFormGame::from_fn(2, &[2, 2], |i, a| {
+            let matched = a[0] == a[1];
+            match (i, matched) {
+                (0, true) | (1, false) => 0.0,
+                _ => 1.0,
+            }
+        });
+        assert!(enumerate_nash(&g).is_empty());
+        assert!(equilibrium_cost_range(&g).is_none());
+    }
+
+    #[test]
+    fn equilibria_with_infinite_costs_elsewhere() {
+        // Action 1 is infeasible (infinite): only [0,0] matters.
+        let g = MatrixFormGame::from_fn(2, &[2, 2], |_, a| {
+            if a.contains(&1) {
+                f64::INFINITY
+            } else {
+                1.0
+            }
+        });
+        let eqs = enumerate_nash(&g);
+        assert!(eqs.contains(&vec![0, 0]));
+        let (opt, _) = social_optimum(&g);
+        assert_eq!(opt, 2.0);
+    }
+
+    #[test]
+    fn indifferent_deviations_do_not_break_equilibrium() {
+        let g = MatrixFormGame::from_fn(1, &[3], |_, _| 5.0);
+        assert!(is_nash(&g, &[0]));
+        assert_eq!(enumerate_nash(&g).len(), 3);
+    }
+
+    #[test]
+    fn best_and_worst_equilibria_differ_in_coordination_games() {
+        // Two equilibria of different quality.
+        let g = MatrixFormGame::from_fn(2, &[2, 2], |_, a| match (a[0], a[1]) {
+            (0, 0) => 1.0,
+            (1, 1) => 2.0,
+            _ => 5.0,
+        });
+        let (best, worst) = equilibrium_cost_range(&g).unwrap();
+        assert_eq!(best, 2.0);
+        assert_eq!(worst, 4.0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Exact potentials and Observation 2.1.
+//!
+//! A function `q_t` is an exact potential for the state-`t` game when every
+//! unilateral deviation changes the deviator's cost and the potential by
+//! the same amount. Observation 2.1 of the paper: if every underlying game
+//! has a potential, then `Q(s) = Σ_t p(t)·q_t(s(t))` is a *Bayesian*
+//! potential, and its minimizer is a pure Bayesian equilibrium — the
+//! existence argument behind every equilibrium in this workspace.
+
+use std::fmt;
+
+use bi_util::approx_eq;
+
+use crate::bayesian::{BayesianGame, StrategyProfile};
+use crate::game::{EnumerationError, MatrixFormGame, ProfileIter};
+
+/// A dense table holding one value per joint action profile, used to pass
+/// potential functions around.
+///
+/// # Examples
+///
+/// ```
+/// use bi_core::potential::PotentialTable;
+///
+/// let t = PotentialTable::from_fn(&[2, 2], |a| (a[0] + a[1]) as f64);
+/// assert_eq!(t.value(&[1, 1]), 2.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct PotentialTable {
+    counts: Vec<usize>,
+    strides: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl PotentialTable {
+    /// Tabulates `f` over all joint profiles of the given action space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the space is empty or exceeds the enumeration limit.
+    #[must_use]
+    pub fn from_fn<F: FnMut(&[usize]) -> f64>(counts: &[usize], mut f: F) -> Self {
+        let mut strides = vec![1usize; counts.len()];
+        for i in (0..counts.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * counts[i + 1];
+        }
+        let mut values = Vec::new();
+        for p in ProfileIter::new(counts.to_vec()) {
+            values.push(f(&p));
+        }
+        assert!(!values.is_empty(), "empty action space");
+        PotentialTable {
+            counts: counts.to_vec(),
+            strides,
+            values,
+        }
+    }
+
+    /// The potential value at a joint profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile shape or any index is out of range.
+    #[must_use]
+    pub fn value(&self, profile: &[usize]) -> f64 {
+        assert_eq!(profile.len(), self.counts.len(), "profile length");
+        let idx: usize = profile
+            .iter()
+            .zip(&self.counts)
+            .zip(&self.strides)
+            .map(|((&a, &c), &s)| {
+                assert!(a < c, "index out of range");
+                a * s
+            })
+            .sum();
+        self.values[idx]
+    }
+
+    /// The action space this table is defined over.
+    #[must_use]
+    pub fn action_counts(&self) -> &[usize] {
+        &self.counts
+    }
+}
+
+/// A witnessed failure of the exact-potential property.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PotentialViolation {
+    /// The profile deviated from.
+    pub profile: Vec<usize>,
+    /// The deviating agent.
+    pub agent: usize,
+    /// The action deviated to.
+    pub deviation: usize,
+    /// Cost difference `C_i(a) − C_i(a₋ᵢ, a'_i)`.
+    pub cost_delta: f64,
+    /// Potential difference `q(a) − q(a₋ᵢ, a'_i)`.
+    pub potential_delta: f64,
+}
+
+impl fmt::Display for PotentialViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "agent {} deviating {:?} → action {}: cost Δ {} but potential Δ {}",
+            self.agent, self.profile, self.deviation, self.cost_delta, self.potential_delta
+        )
+    }
+}
+
+impl std::error::Error for PotentialViolation {}
+
+/// Verifies that `phi` is an exact potential of `game` by checking every
+/// unilateral deviation.
+///
+/// Deviations whose cost difference involves `∞ − ∞` are skipped (NCS
+/// games have infinite costs on infeasible actions; the potential property
+/// is only meaningful on finite comparisons).
+///
+/// # Errors
+///
+/// Returns the first [`PotentialViolation`] found.
+pub fn verify_exact_potential(
+    game: &MatrixFormGame,
+    phi: &PotentialTable,
+) -> Result<(), PotentialViolation> {
+    for profile in game.profiles() {
+        let mut work = profile.clone();
+        for i in 0..game.num_agents() {
+            let base_cost = game.cost(i, &profile);
+            let base_phi = phi.value(&profile);
+            for a in 0..game.num_actions(i) {
+                if a == profile[i] {
+                    continue;
+                }
+                work[i] = a;
+                let cost_delta = base_cost - game.cost(i, &work);
+                let potential_delta = base_phi - phi.value(&work);
+                if cost_delta.is_nan() || potential_delta.is_nan() {
+                    continue; // ∞ − ∞: no information
+                }
+                if cost_delta.is_infinite() && potential_delta.is_infinite() {
+                    if cost_delta.signum() == potential_delta.signum() {
+                        continue;
+                    }
+                } else if approx_eq(cost_delta, potential_delta) {
+                    continue;
+                }
+                return Err(PotentialViolation {
+                    profile: profile.clone(),
+                    agent: i,
+                    deviation: a,
+                    cost_delta,
+                    potential_delta,
+                });
+            }
+            work[i] = profile[i];
+        }
+    }
+    Ok(())
+}
+
+/// The Bayesian potential of Observation 2.1: `Q(s) = Σ_t p(t)·q_t(s(t))`,
+/// where `potentials[idx]` is the potential of the `idx`-th support state.
+///
+/// # Panics
+///
+/// Panics if `potentials` does not have one entry per support state.
+#[must_use]
+pub fn expected_potential(
+    game: &BayesianGame,
+    potentials: &[PotentialTable],
+    s: &StrategyProfile,
+) -> f64 {
+    assert_eq!(
+        potentials.len(),
+        game.support_len(),
+        "one potential per support state"
+    );
+    let mut total = 0.0;
+    for idx in 0..game.support_len() {
+        let (types, prob, _) = game.state(idx);
+        let action: Vec<usize> = s.iter().zip(types).map(|(si, &t)| si[t]).collect();
+        total += prob * potentials[idx].value(&action);
+    }
+    total
+}
+
+/// Finds the strategy profile minimizing the Bayesian potential of
+/// Observation 2.1. The result is always a pure Bayesian equilibrium (the
+/// observation's conclusion, verified in this crate's tests).
+///
+/// # Errors
+///
+/// Returns an [`EnumerationError`] when the strategy space is too large.
+///
+/// # Panics
+///
+/// Panics if `potentials` does not match the game's support.
+pub fn potential_minimizer(
+    game: &BayesianGame,
+    potentials: &[PotentialTable],
+) -> Result<(StrategyProfile, f64), EnumerationError> {
+    let mut best: Option<(StrategyProfile, f64)> = None;
+    for s in game.strategies()? {
+        let q = expected_potential(game, potentials, &s);
+        if best.as_ref().is_none_or(|(_, bq)| q < *bq) {
+            best = Some((s, q));
+        }
+    }
+    Ok(best.expect("strategy space is never empty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A simple congestion game: two agents pick one of two resources;
+    /// a resource used by `n` agents costs each user `n`.
+    fn congestion() -> (MatrixFormGame, PotentialTable) {
+        let cost = |i: usize, a: &[usize]| {
+            let load = a.iter().filter(|&&x| x == a[i]).count() as f64;
+            load
+        };
+        let game = MatrixFormGame::from_fn(2, &[2, 2], cost);
+        // Rosenthal potential: Σ_r Σ_{j=1..load(r)} j.
+        let phi = PotentialTable::from_fn(&[2, 2], |a| {
+            (0..2)
+                .map(|r| {
+                    let load = a.iter().filter(|&&x| x == r).count();
+                    (1..=load).map(|j| j as f64).sum::<f64>()
+                })
+                .sum()
+        });
+        (game, phi)
+    }
+
+    #[test]
+    fn rosenthal_potential_verifies() {
+        let (game, phi) = congestion();
+        verify_exact_potential(&game, &phi).unwrap();
+    }
+
+    #[test]
+    fn broken_potential_is_caught() {
+        let (game, _) = congestion();
+        let bad = PotentialTable::from_fn(&[2, 2], |a| (a[0] * 2 + a[1]) as f64);
+        let err = verify_exact_potential(&game, &bad).unwrap_err();
+        assert!(err.to_string().contains("agent"));
+    }
+
+    #[test]
+    fn table_round_trips_values() {
+        let t = PotentialTable::from_fn(&[3, 2], |a| (a[0] * 10 + a[1]) as f64);
+        assert_eq!(t.value(&[2, 1]), 21.0);
+        assert_eq!(t.action_counts(), &[3, 2]);
+    }
+
+    #[test]
+    fn observation_2_1_minimizer_is_bayesian_equilibrium() {
+        // Bayesian congestion game: agent 1's type flips which resource is
+        // "congestible" — state games share action spaces.
+        let (g0, phi0) = congestion();
+        let g1 = MatrixFormGame::from_fn(2, &[2, 2], |i, a| {
+            // Same congestion game with resource labels swapped for agent 0.
+            let flipped = [1 - a[0], a[1]];
+            let load = flipped.iter().filter(|&&x| x == flipped[i]).count() as f64;
+            load
+        });
+        let phi1 = PotentialTable::from_fn(&[2, 2], |a| {
+            let flipped = [1 - a[0], a[1]];
+            (0..2)
+                .map(|r| {
+                    let load = flipped.iter().filter(|&&x| x == r).count();
+                    (1..=load).map(|j| j as f64).sum::<f64>()
+                })
+                .sum()
+        });
+        verify_exact_potential(&g1, &phi1).unwrap();
+        let game = BayesianGame::new(
+            vec![1, 2],
+            vec![(vec![0, 0], 0.6, g0), (vec![0, 1], 0.4, g1)],
+        )
+        .unwrap();
+        let (s, q) = potential_minimizer(&game, &[phi0, phi1]).unwrap();
+        assert!(game.is_bayesian_equilibrium(&s), "minimizer {s:?} (Q={q})");
+    }
+
+    #[test]
+    fn expected_potential_tracks_deviation_differences() {
+        // For a Bayesian potential Q built per Observation 2.1, a
+        // unilateral strategy change must shift Q by the ex-ante cost
+        // difference.
+        let (g0, phi0) = congestion();
+        let game = BayesianGame::new(vec![1, 1], vec![(vec![0, 0], 1.0, g0)]).unwrap();
+        let potentials = [phi0];
+        let s1 = vec![vec![0], vec![0]];
+        let s2 = vec![vec![0], vec![1]]; // agent 1 deviates
+        let dq = expected_potential(&game, &potentials, &s1)
+            - expected_potential(&game, &potentials, &s2);
+        let dc = game.expected_cost(1, &s1) - game.expected_cost(1, &s2);
+        assert!((dq - dc).abs() < 1e-12);
+    }
+}

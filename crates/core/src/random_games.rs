@@ -1,0 +1,183 @@
+//! Seeded random game and prior generators for tests and universal-bound
+//! sweeps.
+
+use rand::Rng;
+
+use crate::bayesian::BayesianGame;
+use crate::game::MatrixFormGame;
+use crate::potential::PotentialTable;
+
+/// A uniformly random cost game: every cost i.i.d. in `cost_range`.
+///
+/// # Panics
+///
+/// Panics on degenerate inputs (no agents, empty actions, bad range).
+///
+/// # Examples
+///
+/// ```
+/// let g = bi_core::random_games::random_game(2, &[2, 3], (0.0, 1.0), 7);
+/// assert_eq!(g.num_agents(), 2);
+/// ```
+#[must_use]
+pub fn random_game(
+    agents: usize,
+    action_counts: &[usize],
+    cost_range: (f64, f64),
+    seed: u64,
+) -> MatrixFormGame {
+    let (lo, hi) = cost_range;
+    assert!(hi > lo, "empty cost range");
+    let mut rng = bi_util::rng::seeded(seed);
+    MatrixFormGame::from_fn(agents, action_counts, |_, _| rng.random_range(lo..hi))
+}
+
+/// A random **exact potential game**: costs are
+/// `C_i(a) = φ(a) + d_i(a₋ᵢ)` for a random potential `φ` and random
+/// dummy terms `d_i` that do not depend on the agent's own action — the
+/// canonical parametrization of exact potential games. Returns the game
+/// together with its potential.
+///
+/// # Examples
+///
+/// ```
+/// let (g, phi) = bi_core::random_games::random_potential_game(2, &[2, 2], 3);
+/// bi_core::potential::verify_exact_potential(&g, &phi).unwrap();
+/// ```
+#[must_use]
+pub fn random_potential_game(
+    agents: usize,
+    action_counts: &[usize],
+    seed: u64,
+) -> (MatrixFormGame, PotentialTable) {
+    let mut rng = bi_util::rng::seeded(seed);
+    let phi = PotentialTable::from_fn(action_counts, |_| rng.random_range(0.0..2.0));
+    // Dummy terms: tabulate per agent over the *others'* actions by zeroing
+    // the agent's own coordinate.
+    let mut dummy_tables: Vec<PotentialTable> = Vec::with_capacity(agents);
+    for i in 0..agents {
+        // A random function of the *others'* actions, tabulated by zeroing
+        // the agent's own coordinate.
+        let mut reduced_counts = action_counts.to_vec();
+        reduced_counts[i] = 1;
+        let mut sub_rng = bi_util::rng::seeded(bi_util::rng::derive_seed(seed, &format!("d{i}")));
+        let reduced = PotentialTable::from_fn(&reduced_counts, |_| sub_rng.random_range(0.0..2.0));
+        dummy_tables.push(PotentialTable::from_fn(action_counts, |a| {
+            let mut r = a.to_vec();
+            r[i] = 0;
+            reduced.value(&r)
+        }));
+    }
+    let phi_for_game = phi.clone();
+    let game = MatrixFormGame::from_fn(agents, action_counts, |i, a| {
+        phi_for_game.value(a) + dummy_tables[i].value(a)
+    });
+    (game, phi)
+}
+
+/// A random Bayesian game over random potential games, with a random
+/// full-support prior on `support_size` distinct type profiles. Returns
+/// the game and the per-state potentials (aligned with the support order),
+/// ready for Observation 2.1 experiments.
+///
+/// # Panics
+///
+/// Panics if `support_size` exceeds the number of distinct type profiles.
+#[must_use]
+pub fn random_bayesian_potential_game(
+    type_counts: &[usize],
+    action_counts: &[usize],
+    support_size: usize,
+    seed: u64,
+) -> (BayesianGame, Vec<PotentialTable>) {
+    let agents = type_counts.len();
+    let total_profiles: usize = type_counts.iter().product();
+    assert!(
+        support_size <= total_profiles,
+        "support larger than the type-profile space"
+    );
+    let mut rng = bi_util::rng::seeded(seed);
+    // Choose distinct type profiles by index sampling without replacement.
+    let mut chosen: Vec<usize> = Vec::new();
+    while chosen.len() < support_size {
+        let c = rng.random_range(0..total_profiles);
+        if !chosen.contains(&c) {
+            chosen.push(c);
+        }
+    }
+    // Random positive probabilities, normalized.
+    let raw: Vec<f64> = (0..support_size).map(|_| rng.random_range(0.2..1.0)).collect();
+    let total: f64 = raw.iter().sum();
+    let mut support = Vec::with_capacity(support_size);
+    let mut potentials = Vec::with_capacity(support_size);
+    for (j, &profile_idx) in chosen.iter().enumerate() {
+        let mut types = vec![0usize; agents];
+        let mut rest = profile_idx;
+        for (i, &c) in type_counts.iter().enumerate().rev() {
+            types[i] = rest % c;
+            rest /= c;
+        }
+        let (game, phi) = random_potential_game(
+            agents,
+            action_counts,
+            bi_util::rng::derive_seed(seed, &format!("state{j}")),
+        );
+        support.push((types, raw[j] / total, game));
+        potentials.push(phi);
+    }
+    let game = BayesianGame::new(type_counts.to_vec(), support).expect("valid by construction");
+    (game, potentials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::potential::verify_exact_potential;
+
+    #[test]
+    fn random_game_is_deterministic_per_seed() {
+        let a = random_game(2, &[2, 2], (0.0, 1.0), 9);
+        let b = random_game(2, &[2, 2], (0.0, 1.0), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_potential_games_verify() {
+        for seed in 0..10 {
+            let (g, phi) = random_potential_game(3, &[2, 2, 2], seed);
+            verify_exact_potential(&g, &phi).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn random_potential_games_have_pure_nash() {
+        for seed in 0..10 {
+            let (g, _) = random_potential_game(2, &[3, 3], seed);
+            assert!(
+                !crate::nash::enumerate_nash(&g).is_empty(),
+                "potential game without pure Nash (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn bayesian_generator_produces_valid_games() {
+        let (game, potentials) = random_bayesian_potential_game(&[2, 2], &[2, 2], 3, 4);
+        assert_eq!(game.support_len(), 3);
+        assert_eq!(potentials.len(), 3);
+        for idx in 0..game.support_len() {
+            let (_, prob, state_game) = game.state(idx);
+            assert!(prob > 0.0);
+            verify_exact_potential(state_game, &potentials[idx]).unwrap();
+        }
+    }
+
+    #[test]
+    fn bayesian_generator_measures_satisfy_chain() {
+        for seed in 0..5 {
+            let (game, _) = random_bayesian_potential_game(&[2, 2], &[2, 2], 2, seed);
+            let m = game.measures().unwrap();
+            m.verify_chain().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+}

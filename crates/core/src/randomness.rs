@@ -1,0 +1,408 @@
+//! Section 4: public random bits as a substitute for the common prior.
+//!
+//! For a 4-tuple `φ = ⟨k, {A_i}, {T_i}, {C_{i,t}}⟩` (a Bayesian game
+//! *without* its prior), the paper defines
+//!
+//! * `R(φ)` — the smallest `r` such that for every prior `p` there is a
+//!   strategy profile `s` with `Σ_t p(t)K(s,t) / Σ_t p(t)·min_{s'}K(s',t) ≤ r`
+//!   (ratio of expectations);
+//! * `R̃(φ)` — the same with the ratio moved inside the expectation:
+//!   `Σ_t p(t)·K(s,t)/min_{s'}K(s',t) ≤ r`.
+//!
+//! Proposition 4.2 shows `R(φ) = R̃(φ)`, and Lemma 4.1 (via von Neumann's
+//! minimax theorem) produces a prior-independent distribution `q ∈ Δ(S)`
+//! achieving `R(φ)` in expectation. This module makes all of that
+//! constructive: `R̃(φ)` and `q` come from solving the zero-sum matrix game
+//! with payoff `K'(s,t) = K(s,t)/min_{s'}K(s',t)` exactly (simplex LP), and
+//! `R(φ)` is computed independently by bisection over LP feasibility
+//! probes so the Proposition 4.2 equality can be *checked* numerically.
+
+use std::fmt;
+
+use bi_zerosum::matrix_game::MatrixGame;
+
+use crate::bayesian::BayesianGame;
+use crate::game::EnumerationError;
+
+/// Errors from [`CostTuple`] computations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RandomnessError {
+    /// Strategy enumeration exceeded the workspace limit.
+    TooLarge(EnumerationError),
+    /// A social cost was non-positive or non-finite (Section 4 assumes
+    /// `C_{i,t}(a) > 0`).
+    BadCost { state: usize },
+    /// The zero-sum solver failed.
+    Solver(String),
+}
+
+impl fmt::Display for RandomnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RandomnessError::TooLarge(e) => write!(f, "{e}"),
+            RandomnessError::BadCost { state } => {
+                write!(f, "state {state} has a non-positive or non-finite social cost")
+            }
+            RandomnessError::Solver(msg) => write!(f, "zero-sum solver failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RandomnessError {}
+
+impl From<EnumerationError> for RandomnessError {
+    fn from(e: EnumerationError) -> Self {
+        RandomnessError::TooLarge(e)
+    }
+}
+
+/// The 4-tuple `φ` of Section 4, tabulated: `k[s][t]` is the social cost
+/// `K(s, t)` of the `s`-th strategy profile in the `t`-th state, and
+/// `min_per_state[t] = min_s K(s, t)`.
+///
+/// States are taken from a [`BayesianGame`]'s support (its prior
+/// probabilities are deliberately ignored — Section 4 quantifies over all
+/// priors on those states).
+#[derive(Clone, Debug)]
+pub struct CostTuple {
+    k: Vec<Vec<f64>>,
+    min_per_state: Vec<f64>,
+}
+
+/// Result of solving Section 4 for a [`CostTuple`].
+#[derive(Clone, Debug)]
+pub struct PublicRandomness {
+    /// `R̃(φ)`, computed as the exact value of the `K'` zero-sum game.
+    pub r_tilde: f64,
+    /// The Lemma 4.1 distribution `q ∈ Δ(S)` over strategy profiles.
+    pub distribution: Vec<f64>,
+    /// The adversarial prior (nature's optimal mixed strategy over states).
+    pub worst_prior: Vec<f64>,
+}
+
+impl CostTuple {
+    /// Tabulates `φ` from a Bayesian game by enumerating its strategy
+    /// profiles and support states.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RandomnessError::TooLarge`] when the strategy space is not
+    /// enumerable and [`RandomnessError::BadCost`] when some state has a
+    /// non-positive or infinite minimal social cost (Section 4 requires
+    /// strictly positive costs).
+    pub fn from_bayesian(game: &BayesianGame) -> Result<Self, RandomnessError> {
+        let n_states = game.support_len();
+        let mut k: Vec<Vec<f64>> = Vec::new();
+        for s in game.strategies()? {
+            let mut row = Vec::with_capacity(n_states);
+            for idx in 0..n_states {
+                let (types, _, state_game) = game.state(idx);
+                let action: Vec<usize> = s.iter().zip(types).map(|(si, &t)| si[t]).collect();
+                row.push(state_game.social_cost(&action));
+            }
+            k.push(row);
+        }
+        let mut min_per_state = vec![f64::INFINITY; n_states];
+        for row in &k {
+            for (t, &v) in row.iter().enumerate() {
+                min_per_state[t] = min_per_state[t].min(v);
+            }
+        }
+        for (state, &m) in min_per_state.iter().enumerate() {
+            if !(m.is_finite() && m > 0.0) {
+                return Err(RandomnessError::BadCost { state });
+            }
+        }
+        // Strategies that are infinitely bad in some state can never be in
+        // the support of q; clamp them to a huge finite value so the LP
+        // stays well-posed.
+        let cap = 1e9;
+        for row in &mut k {
+            for v in row.iter_mut() {
+                if !v.is_finite() {
+                    *v = cap;
+                }
+            }
+        }
+        Ok(CostTuple { k, min_per_state })
+    }
+
+    /// Builds a tuple directly from a tabulated `K(s, t)` matrix (rows =
+    /// strategy profiles, columns = states). Used when the strategy space
+    /// is enumerated by a caller with more structure (e.g. NCS games).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RandomnessError::BadCost`] when some state's minimum is
+    /// non-positive or non-finite.
+    pub fn from_matrix(k: Vec<Vec<f64>>) -> Result<Self, RandomnessError> {
+        assert!(!k.is_empty() && !k[0].is_empty(), "matrix must be non-empty");
+        let n_states = k[0].len();
+        assert!(
+            k.iter().all(|row| row.len() == n_states),
+            "matrix must be rectangular"
+        );
+        let mut min_per_state = vec![f64::INFINITY; n_states];
+        for row in &k {
+            for (t, &v) in row.iter().enumerate() {
+                min_per_state[t] = min_per_state[t].min(v);
+            }
+        }
+        for (state, &m) in min_per_state.iter().enumerate() {
+            if !(m.is_finite() && m > 0.0) {
+                return Err(RandomnessError::BadCost { state });
+            }
+        }
+        let cap = 1e9;
+        let k = k
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|v| if v.is_finite() { v } else { cap })
+                    .collect()
+            })
+            .collect();
+        Ok(CostTuple { k, min_per_state })
+    }
+
+    /// Number of strategy profiles `|S|`.
+    #[must_use]
+    pub fn num_strategies(&self) -> usize {
+        self.k.len()
+    }
+
+    /// Number of states `|T|`.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.min_per_state.len()
+    }
+
+    /// The normalized matrix `K'(s,t) = K(s,t) / min_{s'} K(s',t)`.
+    #[must_use]
+    pub fn normalized(&self) -> Vec<Vec<f64>> {
+        self.k
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(&self.min_per_state)
+                    .map(|(&v, &m)| v / m)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Solves Section 4 exactly: `R̃(φ)` as the value of the zero-sum game
+    /// where nature (maximizer) picks a state and the benevolent coalition
+    /// (minimizer) picks a strategy profile with payoff `K'(s,t)`; the
+    /// minimizer's optimal mixture is the Lemma 4.1 distribution `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RandomnessError::Solver`] if the LP fails.
+    pub fn solve(&self) -> Result<PublicRandomness, RandomnessError> {
+        let kp = self.normalized();
+        // Rows = states (maximizer), columns = strategies (minimizer).
+        let payoff: Vec<Vec<f64>> = (0..self.num_states())
+            .map(|t| (0..self.num_strategies()).map(|s| kp[s][t]).collect())
+            .collect();
+        let game = MatrixGame::new(payoff).map_err(|e| RandomnessError::Solver(e.to_string()))?;
+        let sol = game
+            .solve()
+            .map_err(|e| RandomnessError::Solver(e.to_string()))?;
+        Ok(PublicRandomness {
+            r_tilde: sol.value,
+            distribution: sol.col_strategy,
+            worst_prior: sol.row_strategy,
+        })
+    }
+
+    /// Computes `R(φ)` (the ratio-of-expectations form) *independently* of
+    /// [`CostTuple::solve`], by bisecting on `r` and testing, via a
+    /// zero-sum value probe, whether some prior forces every strategy's
+    /// expected cost above `r` times the expected optimum.
+    ///
+    /// `r` is feasible for nature iff the game with payoff
+    /// `A_r[t][s] = K(s,t) − r·v(t)` has non-negative value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RandomnessError::Solver`] if an LP probe fails.
+    pub fn r_star(&self, tolerance: f64) -> Result<f64, RandomnessError> {
+        let mut lo = 1.0; // K(s,t) ≥ v(t) pointwise, so R ≥ 1
+        let mut hi = self
+            .normalized()
+            .iter()
+            .flatten()
+            .copied()
+            .fold(1.0, f64::max);
+        while hi - lo > tolerance {
+            let mid = 0.5 * (lo + hi);
+            if self.nature_can_force(mid)? {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+
+    /// Whether some prior makes every strategy's expected cost at least
+    /// `r` times the expected optimum (strictly positive slack).
+    fn nature_can_force(&self, r: f64) -> Result<bool, RandomnessError> {
+        let payoff: Vec<Vec<f64>> = (0..self.num_states())
+            .map(|t| {
+                (0..self.num_strategies())
+                    .map(|s| self.k[s][t] - r * self.min_per_state[t])
+                    .collect()
+            })
+            .collect();
+        let game = MatrixGame::new(payoff).map_err(|e| RandomnessError::Solver(e.to_string()))?;
+        let value = game
+            .solve()
+            .map_err(|e| RandomnessError::Solver(e.to_string()))?
+            .value;
+        Ok(value >= 0.0)
+    }
+
+    /// Evaluates the left-hand side of Lemma 4.1 for a concrete prior `p`:
+    /// `Σ_s q(s)·Σ_t p(t)K(s,t)  /  Σ_t p(t)·min_{s'}K(s',t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions of `q` or `prior` do not match.
+    #[must_use]
+    pub fn guarantee(&self, q: &[f64], prior: &[f64]) -> f64 {
+        assert_eq!(q.len(), self.num_strategies(), "q dimension");
+        assert_eq!(prior.len(), self.num_states(), "prior dimension");
+        let numerator: f64 = self
+            .k
+            .iter()
+            .zip(q)
+            .map(|(row, &qs)| {
+                qs * row
+                    .iter()
+                    .zip(prior)
+                    .map(|(&kst, &pt)| pt * kst)
+                    .sum::<f64>()
+            })
+            .sum();
+        let denominator: f64 = self
+            .min_per_state
+            .iter()
+            .zip(prior)
+            .map(|(&v, &pt)| pt * v)
+            .sum();
+        numerator / denominator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::MatrixFormGame;
+    use rand::Rng;
+
+    /// A decision maker (agent 0, one type, two actions) plus "nature"
+    /// (agent 1, two types, one dummy action). Action 0 is good in
+    /// nature's state 0, action 1 in state 1, and the decision maker
+    /// cannot observe which state holds.
+    fn guessing_game() -> BayesianGame {
+        let cost = |good: usize| {
+            MatrixFormGame::from_fn(2, &[2, 1], move |i, a| {
+                if i == 1 {
+                    0.0
+                } else if a[0] == good {
+                    1.0
+                } else {
+                    2.0
+                }
+            })
+        };
+        BayesianGame::new(
+            vec![1, 2],
+            vec![(vec![0, 0], 0.5, cost(0)), (vec![0, 1], 0.5, cost(1))],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tabulation_shapes_match() {
+        let tuple = CostTuple::from_bayesian(&guessing_game()).unwrap();
+        assert_eq!(tuple.num_strategies(), 2);
+        assert_eq!(tuple.num_states(), 2);
+        assert_eq!(tuple.normalized()[0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn guessing_game_has_r_three_halves() {
+        // K' is the matching-pennies-like matrix [[1,2],[2,1]]: the value
+        // of the associated game is 3/2 (nature mixes 50/50, q mixes 50/50).
+        let tuple = CostTuple::from_bayesian(&guessing_game()).unwrap();
+        let sol = tuple.solve().unwrap();
+        assert!((sol.r_tilde - 1.5).abs() < 1e-9);
+        assert!((sol.distribution[0] - 0.5).abs() < 1e-9);
+        assert!((sol.worst_prior[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proposition_4_2_holds_on_the_guessing_game() {
+        let tuple = CostTuple::from_bayesian(&guessing_game()).unwrap();
+        let r_tilde = tuple.solve().unwrap().r_tilde;
+        let r_star = tuple.r_star(1e-7).unwrap();
+        assert!((r_tilde - r_star).abs() < 1e-5, "{r_tilde} vs {r_star}");
+    }
+
+    #[test]
+    fn lemma_4_1_guarantee_holds_for_many_priors() {
+        let tuple = CostTuple::from_bayesian(&guessing_game()).unwrap();
+        let sol = tuple.solve().unwrap();
+        let mut rng = bi_util::rng::seeded(11);
+        for _ in 0..200 {
+            let a: f64 = rng.random_range(0.0..1.0);
+            let prior = vec![a, 1.0 - a];
+            let lhs = tuple.guarantee(&sol.distribution, &prior);
+            assert!(
+                lhs <= sol.r_tilde + 1e-7,
+                "prior {prior:?} violates the bound: {lhs} > {}",
+                sol.r_tilde
+            );
+        }
+    }
+
+    #[test]
+    fn proposition_4_2_holds_on_random_tuples() {
+        let mut rng = bi_util::rng::seeded(29);
+        for trial in 0..5 {
+            let n_states = rng.random_range(2..4);
+            let states: Vec<(Vec<usize>, f64, MatrixFormGame)> = (0..n_states)
+                .map(|t| {
+                    let mut local = bi_util::rng::seeded(trial * 100 + t as u64);
+                    let g = MatrixFormGame::from_fn(2, &[2, 2], move |i, a| {
+                        0.5 + ((a[0] * 2 + a[1] + i + 1) as f64
+                            * local.random_range(0.2..1.0))
+                    });
+                    (vec![0, t], 1.0 / n_states as f64, g)
+                })
+                .collect();
+            let game = BayesianGame::new(vec![1, n_states], states).unwrap();
+            let tuple = CostTuple::from_bayesian(&game).unwrap();
+            let r_tilde = tuple.solve().unwrap().r_tilde;
+            let r_star = tuple.r_star(1e-7).unwrap();
+            assert!(
+                (r_tilde - r_star).abs() < 1e-4,
+                "trial {trial}: {r_tilde} vs {r_star}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_priors_are_covered_by_the_guarantee() {
+        let tuple = CostTuple::from_bayesian(&guessing_game()).unwrap();
+        let sol = tuple.solve().unwrap();
+        for t in 0..tuple.num_states() {
+            let mut prior = vec![0.0; tuple.num_states()];
+            prior[t] = 1.0;
+            assert!(tuple.guarantee(&sol.distribution, &prior) <= sol.r_tilde + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Finite affine planes `AG(2, q)`.
+//!
+//! These planes are the combinatorial engine of Lemma 3.2: the Bayesian NCS
+//! game built on `AG(2, m)` has `optP = Θ(m)` while every underlying game
+//! has a unique equilibrium of cost 1, because two distinct points lie on
+//! exactly one common line (so agents guessing the "wrong" line never
+//! share edges).
+
+use std::fmt;
+
+use crate::field::{FieldError, FiniteField};
+
+/// Identifies a point of an [`AffinePlane`] (a dense index in
+/// `0..q²`; the point `(x, y)` has index `x·q + y`).
+pub type PointId = usize;
+
+/// Identifies a line of an [`AffinePlane`] (a dense index in `0..q²+q`;
+/// slope lines `y = m·x + b` come first as `m·q + b`, then vertical lines
+/// `x = c` as `q² + c`).
+pub type LineId = usize;
+
+/// Errors constructing or verifying an [`AffinePlane`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AffinePlaneError {
+    /// The order is not a supported prime power.
+    Field(FieldError),
+    /// An incidence axiom failed (used by [`AffinePlane::verify_axioms`];
+    /// cannot occur for planes built by [`AffinePlane::new`] unless there
+    /// is a bug, which is exactly what the verifier exists to catch).
+    AxiomViolation(String),
+}
+
+impl fmt::Display for AffinePlaneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AffinePlaneError::Field(e) => write!(f, "invalid plane order: {e}"),
+            AffinePlaneError::AxiomViolation(msg) => write!(f, "axiom violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AffinePlaneError {}
+
+impl From<FieldError> for AffinePlaneError {
+    fn from(e: FieldError) -> Self {
+        AffinePlaneError::Field(e)
+    }
+}
+
+/// The affine plane of prime-power order `q`: `q²` points and `q² + q`
+/// lines satisfying the four axioms listed in Lemma 3.2 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use bi_geometry::AffinePlane;
+///
+/// let plane = AffinePlane::new(3).unwrap();
+/// assert_eq!(plane.point_count(), 9);
+/// assert_eq!(plane.line_count(), 12);
+/// assert_eq!(plane.points_on_line(0).len(), 3);
+/// assert_eq!(plane.lines_through(0).len(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AffinePlane {
+    q: usize,
+    lines: Vec<Vec<PointId>>,
+    point_lines: Vec<Vec<LineId>>,
+}
+
+impl AffinePlane {
+    /// Constructs `AG(2, q)` over `GF(q)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `q` is not a prime power or exceeds the
+    /// supported field size.
+    pub fn new(q: u64) -> Result<Self, AffinePlaneError> {
+        let field = FiniteField::new(q)?;
+        let q = field.order();
+        let mut lines: Vec<Vec<PointId>> = Vec::with_capacity(q * q + q);
+        // Slope lines y = m·x + b.
+        for m in 0..q {
+            for b in 0..q {
+                let pts = (0..q)
+                    .map(|x| {
+                        let y = field.add(field.mul(m, x), b);
+                        x * q + y
+                    })
+                    .collect();
+                lines.push(pts);
+            }
+        }
+        // Vertical lines x = c.
+        for c in 0..q {
+            lines.push((0..q).map(|y| c * q + y).collect());
+        }
+        let mut point_lines: Vec<Vec<LineId>> = vec![Vec::new(); q * q];
+        for (lid, pts) in lines.iter().enumerate() {
+            for &p in pts {
+                point_lines[p].push(lid);
+            }
+        }
+        Ok(AffinePlane {
+            q,
+            lines,
+            point_lines,
+        })
+    }
+
+    /// Plane order `q`.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.q
+    }
+
+    /// Number of points (`q²`).
+    #[must_use]
+    pub fn point_count(&self) -> usize {
+        self.q * self.q
+    }
+
+    /// Number of lines (`q² + q`).
+    #[must_use]
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// The points on a line (always `q` of them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    #[must_use]
+    pub fn points_on_line(&self, line: LineId) -> &[PointId] {
+        &self.lines[line]
+    }
+
+    /// The lines through a point (always `q + 1` of them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` is out of range.
+    #[must_use]
+    pub fn lines_through(&self, point: PointId) -> &[LineId] {
+        &self.point_lines[point]
+    }
+
+    /// Whether `point` lies on `line`.
+    #[must_use]
+    pub fn incident(&self, point: PointId, line: LineId) -> bool {
+        self.lines[line].contains(&point)
+    }
+
+    /// The unique line through two distinct points, or `None` when
+    /// `p1 == p2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either point is out of range.
+    #[must_use]
+    pub fn line_through(&self, p1: PointId, p2: PointId) -> Option<LineId> {
+        if p1 == p2 {
+            return None;
+        }
+        self.point_lines[p1]
+            .iter()
+            .copied()
+            .find(|&l| self.incident(p2, l))
+    }
+
+    /// Verifies the four affine-plane axioms quoted in Lemma 3.2:
+    ///
+    /// 1. each line contains exactly `q` points,
+    /// 2. each point is contained in exactly `q + 1` lines,
+    /// 3. any two distinct points lie on exactly one common line,
+    /// 4. any two distinct lines meet in at most one point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AffinePlaneError::AxiomViolation`] describing the first
+    /// failed axiom.
+    pub fn verify_axioms(&self) -> Result<(), AffinePlaneError> {
+        let q = self.q;
+        for (lid, pts) in self.lines.iter().enumerate() {
+            if pts.len() != q {
+                return Err(AffinePlaneError::AxiomViolation(format!(
+                    "line {lid} has {} points, expected {q}",
+                    pts.len()
+                )));
+            }
+        }
+        for (pid, ls) in self.point_lines.iter().enumerate() {
+            if ls.len() != q + 1 {
+                return Err(AffinePlaneError::AxiomViolation(format!(
+                    "point {pid} lies on {} lines, expected {}",
+                    ls.len(),
+                    q + 1
+                )));
+            }
+        }
+        for p1 in 0..self.point_count() {
+            for p2 in (p1 + 1)..self.point_count() {
+                let common = self.point_lines[p1]
+                    .iter()
+                    .filter(|&&l| self.incident(p2, l))
+                    .count();
+                if common != 1 {
+                    return Err(AffinePlaneError::AxiomViolation(format!(
+                        "points {p1},{p2} lie on {common} common lines, expected 1"
+                    )));
+                }
+            }
+        }
+        for l1 in 0..self.line_count() {
+            for l2 in (l1 + 1)..self.line_count() {
+                let common = self.lines[l1]
+                    .iter()
+                    .filter(|&&p| self.incident(p, l2))
+                    .count();
+                if common > 1 {
+                    return Err(AffinePlaneError::AxiomViolation(format!(
+                        "lines {l1},{l2} share {common} points, expected at most 1"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_non_prime_power_orders() {
+        assert!(matches!(
+            AffinePlane::new(6),
+            Err(AffinePlaneError::Field(FieldError::NotPrimePower(6)))
+        ));
+    }
+
+    #[test]
+    fn axioms_hold_for_small_prime_orders() {
+        for q in [2u64, 3, 5, 7] {
+            let plane = AffinePlane::new(q).unwrap();
+            plane.verify_axioms().unwrap_or_else(|e| panic!("q={q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn axioms_hold_for_prime_power_orders() {
+        for q in [4u64, 8, 9] {
+            let plane = AffinePlane::new(q).unwrap();
+            plane.verify_axioms().unwrap_or_else(|e| panic!("q={q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn line_through_is_unique_and_symmetric() {
+        let plane = AffinePlane::new(5).unwrap();
+        for p1 in 0..plane.point_count() {
+            for p2 in 0..plane.point_count() {
+                let l = plane.line_through(p1, p2);
+                if p1 == p2 {
+                    assert!(l.is_none());
+                } else {
+                    let l = l.expect("two points determine a line");
+                    assert_eq!(plane.line_through(p2, p1), Some(l));
+                    assert!(plane.incident(p1, l) && plane.incident(p2, l));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn counts_match_theory() {
+        let plane = AffinePlane::new(4).unwrap();
+        assert_eq!(plane.order(), 4);
+        assert_eq!(plane.point_count(), 16);
+        assert_eq!(plane.line_count(), 20);
+        let total_incidences: usize = (0..plane.line_count())
+            .map(|l| plane.points_on_line(l).len())
+            .sum();
+        assert_eq!(total_incidences, 20 * 4);
+    }
+
+    #[test]
+    fn parallel_classes_partition_points() {
+        // The q lines of a fixed slope partition the q² points.
+        let plane = AffinePlane::new(3).unwrap();
+        let q = plane.order();
+        for m in 0..q {
+            let mut seen = vec![false; plane.point_count()];
+            for b in 0..q {
+                for &p in plane.points_on_line(m * q + b) {
+                    assert!(!seen[p], "slope {m} lines overlap");
+                    seen[p] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "slope {m} lines miss a point");
+        }
+    }
+}

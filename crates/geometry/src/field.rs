@@ -1,0 +1,311 @@
+//! Table-based finite fields `GF(p^e)`.
+
+use std::fmt;
+
+use crate::gf::PrimeField;
+use crate::poly::{find_irreducible, Poly};
+use crate::prime::prime_power;
+
+/// Largest supported field order (the multiplication table has `q²`
+/// entries).
+pub const MAX_ORDER: u64 = 512;
+
+/// Errors constructing a [`FiniteField`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FieldError {
+    /// The requested order is not a prime power.
+    NotPrimePower(u64),
+    /// The requested order exceeds [`MAX_ORDER`].
+    TooLarge(u64),
+}
+
+impl fmt::Display for FieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldError::NotPrimePower(q) => write!(f, "{q} is not a prime power"),
+            FieldError::TooLarge(q) => write!(f, "field order {q} exceeds the {MAX_ORDER} limit"),
+        }
+    }
+}
+
+impl std::error::Error for FieldError {}
+
+/// The finite field `GF(q)` for a prime power `q = p^e`, with precomputed
+/// addition/multiplication tables.
+///
+/// Elements are `usize` indices in `0..q`; index 0 is the additive and
+/// index 1 the multiplicative identity. For `e > 1` the element with index
+/// `i` represents the polynomial whose coefficients are the base-`p` digits
+/// of `i`, reduced modulo a monic irreducible found by
+/// [`find_irreducible`].
+///
+/// # Examples
+///
+/// ```
+/// use bi_geometry::FiniteField;
+///
+/// let f = FiniteField::new(4).unwrap(); // GF(4) = GF(2)[x]/(x²+x+1)
+/// assert_eq!(f.order(), 4);
+/// // In GF(4), x · x = x + 1: indices 2·2 = 3.
+/// assert_eq!(f.mul(2, 2), 3);
+/// assert_eq!(f.add(2, 3), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FiniteField {
+    q: usize,
+    p: u64,
+    e: u32,
+    add: Vec<usize>,
+    mul: Vec<usize>,
+    inv: Vec<usize>,
+}
+
+impl FiniteField {
+    /// Constructs `GF(q)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FieldError::NotPrimePower`] when `q` is not a prime power
+    /// and [`FieldError::TooLarge`] when `q >` [`MAX_ORDER`].
+    pub fn new(q: u64) -> Result<Self, FieldError> {
+        let (p, e) = prime_power(q).ok_or(FieldError::NotPrimePower(q))?;
+        if q > MAX_ORDER {
+            return Err(FieldError::TooLarge(q));
+        }
+        let prime = PrimeField::new(p).expect("p is prime by construction");
+        let q = q as usize;
+        let (add, mul) = if e == 1 {
+            let mut add = vec![0usize; q * q];
+            let mut mul = vec![0usize; q * q];
+            for a in 0..q {
+                for b in 0..q {
+                    add[a * q + b] = prime.add(a as u64, b as u64) as usize;
+                    mul[a * q + b] = prime.mul(a as u64, b as u64) as usize;
+                }
+            }
+            (add, mul)
+        } else {
+            let modulus = find_irreducible(prime, e);
+            let elements: Vec<Poly> = (0..q)
+                .map(|i| Poly::new(digits(i as u64, p, e as usize), prime))
+                .collect();
+            let mut add = vec![0usize; q * q];
+            let mut mul = vec![0usize; q * q];
+            for a in 0..q {
+                for b in 0..q {
+                    add[a * q + b] = index_of(&elements[a].add(&elements[b]), p);
+                    mul[a * q + b] = index_of(&elements[a].mul(&elements[b]).rem(&modulus), p);
+                }
+            }
+            (add, mul)
+        };
+        let mut inv = vec![0usize; q];
+        for a in 1..q {
+            for b in 1..q {
+                if mul[a * q + b] == 1 {
+                    inv[a] = b;
+                    break;
+                }
+            }
+            debug_assert_ne!(inv[a], 0, "element {a} lacks an inverse");
+        }
+        Ok(FiniteField {
+            q,
+            p,
+            e,
+            add,
+            mul,
+            inv,
+        })
+    }
+
+    /// Field order `q`.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.q
+    }
+
+    /// Field characteristic `p`.
+    #[must_use]
+    pub fn characteristic(&self) -> u64 {
+        self.p
+    }
+
+    /// Extension degree `e` (so `q = p^e`).
+    #[must_use]
+    pub fn degree(&self) -> u32 {
+        self.e
+    }
+
+    fn check(&self, x: usize) -> usize {
+        debug_assert!(x < self.q, "element {x} out of range for GF({})", self.q);
+        x
+    }
+
+    /// Addition.
+    #[must_use]
+    pub fn add(&self, a: usize, b: usize) -> usize {
+        self.add[self.check(a) * self.q + self.check(b)]
+    }
+
+    /// Multiplication.
+    #[must_use]
+    pub fn mul(&self, a: usize, b: usize) -> usize {
+        self.mul[self.check(a) * self.q + self.check(b)]
+    }
+
+    /// Additive inverse.
+    #[must_use]
+    pub fn neg(&self, a: usize) -> usize {
+        // Scan-free: -a is the unique b with a + b = 0; rows of the addition
+        // table are permutations, so find it once per call (q ≤ 512).
+        (0..self.q)
+            .find(|&b| self.add(a, b) == 0)
+            .expect("additive inverse exists")
+    }
+
+    /// Subtraction `a - b`.
+    #[must_use]
+    pub fn sub(&self, a: usize, b: usize) -> usize {
+        self.add(a, self.neg(b))
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    #[must_use]
+    pub fn inv(&self, a: usize) -> usize {
+        assert!(a != 0, "0 has no multiplicative inverse");
+        self.inv[self.check(a)]
+    }
+
+    /// Division `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    #[must_use]
+    pub fn div(&self, a: usize, b: usize) -> usize {
+        self.mul(a, self.inv(b))
+    }
+
+    /// Iterates over all element indices.
+    pub fn elements(&self) -> impl Iterator<Item = usize> {
+        0..self.q
+    }
+}
+
+fn digits(mut i: u64, p: u64, e: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(e);
+    for _ in 0..e {
+        out.push(i % p);
+        i /= p;
+    }
+    out
+}
+
+fn index_of(poly: &Poly, p: u64) -> usize {
+    let mut idx = 0u64;
+    for &c in poly.coeffs().iter().rev() {
+        idx = idx * p + c;
+    }
+    idx as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_orders() {
+        assert!(matches!(
+            FiniteField::new(6),
+            Err(FieldError::NotPrimePower(6))
+        ));
+        assert!(matches!(FiniteField::new(1024), Err(FieldError::TooLarge(1024))));
+    }
+
+    fn assert_field_axioms(f: &FiniteField) {
+        let q = f.order();
+        for a in 0..q {
+            assert_eq!(f.add(a, 0), a);
+            assert_eq!(f.mul(a, 1), a);
+            assert_eq!(f.mul(a, 0), 0);
+            assert_eq!(f.add(a, f.neg(a)), 0);
+            if a != 0 {
+                assert_eq!(f.mul(a, f.inv(a)), 1);
+            }
+            for b in 0..q {
+                assert_eq!(f.add(a, b), f.add(b, a));
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                for c in 0..q {
+                    assert_eq!(f.add(f.add(a, b), c), f.add(a, f.add(b, c)));
+                    assert_eq!(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c)));
+                    assert_eq!(
+                        f.mul(a, f.add(b, c)),
+                        f.add(f.mul(a, b), f.mul(a, c)),
+                        "distributivity"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gf4_gf8_gf9_satisfy_field_axioms() {
+        for q in [4, 8, 9] {
+            assert_field_axioms(&FiniteField::new(q).unwrap());
+        }
+    }
+
+    #[test]
+    fn prime_fields_match_modular_arithmetic() {
+        let f = FiniteField::new(7).unwrap();
+        for a in 0..7usize {
+            for b in 0..7usize {
+                assert_eq!(f.add(a, b), (a + b) % 7);
+                assert_eq!(f.mul(a, b), (a * b) % 7);
+            }
+        }
+    }
+
+    #[test]
+    fn multiplicative_group_is_cyclic_of_order_q_minus_1() {
+        let f = FiniteField::new(8).unwrap();
+        // Every nonzero element has order dividing 7 (prime), so every
+        // non-identity element generates.
+        for a in 2..8 {
+            let mut x = a;
+            let mut order = 1;
+            while x != 1 {
+                x = f.mul(x, a);
+                order += 1;
+            }
+            assert_eq!(order, 7, "element {a}");
+        }
+    }
+
+    #[test]
+    fn metadata_is_exposed() {
+        let f = FiniteField::new(9).unwrap();
+        assert_eq!(f.order(), 9);
+        assert_eq!(f.characteristic(), 3);
+        assert_eq!(f.degree(), 2);
+        assert_eq!(f.elements().count(), 9);
+    }
+
+    #[test]
+    fn sub_and_div_roundtrip() {
+        let f = FiniteField::new(16).unwrap();
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(f.add(f.sub(a, b), b), a);
+                if b != 0 {
+                    assert_eq!(f.mul(f.div(a, b), b), a);
+                }
+            }
+        }
+    }
+}

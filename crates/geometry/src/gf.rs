@@ -1,0 +1,170 @@
+//! Arithmetic in the prime field `GF(p)`.
+
+use crate::prime::is_prime;
+
+/// The prime field `GF(p)`. Elements are `u64` values in `0..p`.
+///
+/// # Examples
+///
+/// ```
+/// use bi_geometry::PrimeField;
+///
+/// let f = PrimeField::new(7).unwrap();
+/// assert_eq!(f.add(5, 4), 2);
+/// assert_eq!(f.mul(3, 5), 1);
+/// assert_eq!(f.inv(3), 5);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrimeField {
+    p: u64,
+}
+
+/// Error returned when constructing a [`PrimeField`] with a non-prime
+/// modulus.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotPrimeError(pub u64);
+
+impl std::fmt::Display for NotPrimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} is not prime", self.0)
+    }
+}
+
+impl std::error::Error for NotPrimeError {}
+
+impl PrimeField {
+    /// Creates `GF(p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPrimeError`] if `p` is not prime.
+    pub fn new(p: u64) -> Result<Self, NotPrimeError> {
+        if is_prime(p) {
+            Ok(PrimeField { p })
+        } else {
+            Err(NotPrimeError(p))
+        }
+    }
+
+    /// The field characteristic (and order) `p`.
+    #[must_use]
+    pub fn order(&self) -> u64 {
+        self.p
+    }
+
+    fn check(&self, x: u64) -> u64 {
+        debug_assert!(x < self.p, "element {x} out of range for GF({})", self.p);
+        x
+    }
+
+    /// Addition mod `p`.
+    #[must_use]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        (self.check(a) + self.check(b)) % self.p
+    }
+
+    /// Subtraction mod `p`.
+    #[must_use]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        (self.check(a) + self.p - self.check(b)) % self.p
+    }
+
+    /// Negation mod `p`.
+    #[must_use]
+    pub fn neg(&self, a: u64) -> u64 {
+        (self.p - self.check(a)) % self.p
+    }
+
+    /// Multiplication mod `p`.
+    #[must_use]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.check(a) * self.check(b) % self.p
+    }
+
+    /// Exponentiation by squaring.
+    #[must_use]
+    pub fn pow(&self, mut base: u64, mut exp: u64) -> u64 {
+        base = self.check(base);
+        let mut acc = 1 % self.p;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc * base % self.p;
+            }
+            base = base * base % self.p;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    #[must_use]
+    pub fn inv(&self, a: u64) -> u64 {
+        assert!(a != 0, "0 has no multiplicative inverse");
+        self.pow(a, self.p - 2)
+    }
+
+    /// Division `a / b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    #[must_use]
+    pub fn div(&self, a: u64, b: u64) -> u64 {
+        self.mul(a, self.inv(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_composite_modulus() {
+        assert_eq!(PrimeField::new(6), Err(NotPrimeError(6)));
+        assert!(PrimeField::new(6).unwrap_err().to_string().contains("6"));
+    }
+
+    #[test]
+    fn field_axioms_hold_in_gf5() {
+        let f = PrimeField::new(5).unwrap();
+        for a in 0..5 {
+            for b in 0..5 {
+                assert_eq!(f.add(a, b), f.add(b, a));
+                assert_eq!(f.mul(a, b), f.mul(b, a));
+                assert_eq!(f.sub(f.add(a, b), b), a);
+                if b != 0 {
+                    assert_eq!(f.mul(f.div(a, b), b), a);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let f = PrimeField::new(11).unwrap();
+        for a in 1..11 {
+            assert_eq!(f.mul(a, f.inv(a)), 1);
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let f = PrimeField::new(13).unwrap();
+        let mut acc = 1;
+        for e in 0..10 {
+            assert_eq!(f.pow(6, e), acc);
+            acc = f.mul(acc, 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no multiplicative inverse")]
+    fn zero_has_no_inverse() {
+        let f = PrimeField::new(3).unwrap();
+        let _ = f.inv(0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Finite fields and finite geometries.
+//!
+//! The `Ω(k)` lower bound of Lemma 3.2 in *Bayesian ignorance* is built on a
+//! **finite affine plane** of prime-power order `m`: `m²` points, `m² + m`
+//! lines, every line carrying `m` points, every point on `m + 1` lines, two
+//! points determining a unique line, and two lines meeting in at most one
+//! point. This crate constructs those planes from scratch:
+//!
+//! * [`prime`] — primality testing and prime-power factoring;
+//! * [`gf::PrimeField`] — arithmetic in `GF(p)`;
+//! * [`poly::Poly`] — polynomial arithmetic over `GF(p)` with Rabin
+//!   irreducibility testing;
+//! * [`field::FiniteField`] — table-based `GF(p^e)` built from a found
+//!   irreducible polynomial;
+//! * [`affine::AffinePlane`] — the affine plane `AG(2, q)` with full axiom
+//!   verification;
+//! * [`projective::ProjectivePlane`] — `PG(2, q)`, used as an extra
+//!   consistency check of the incidence machinery.
+//!
+//! # Examples
+//!
+//! ```
+//! use bi_geometry::affine::AffinePlane;
+//!
+//! let plane = AffinePlane::new(4).expect("4 = 2² is a prime power");
+//! assert_eq!(plane.point_count(), 16);
+//! assert_eq!(plane.line_count(), 20);
+//! plane.verify_axioms().expect("axioms hold");
+//! ```
+
+pub mod affine;
+pub mod field;
+pub mod gf;
+pub mod poly;
+pub mod prime;
+pub mod projective;
+
+pub use affine::AffinePlane;
+pub use field::FiniteField;
+pub use gf::PrimeField;

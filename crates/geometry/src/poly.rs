@@ -1,0 +1,379 @@
+//! Polynomial arithmetic over `GF(p)`, with irreducibility testing.
+//!
+//! Used to construct extension fields `GF(p^e)`: the field is the quotient
+//! `GF(p)[x] / (f)` for a monic irreducible `f` of degree `e`, which
+//! [`find_irreducible`] locates by exhaustive search (orders in this
+//! workspace are tiny).
+
+use crate::gf::PrimeField;
+
+/// A polynomial over `GF(p)`, stored as little-endian coefficients with no
+/// trailing zeros (so the zero polynomial is the empty vector).
+///
+/// # Examples
+///
+/// ```
+/// use bi_geometry::{poly::Poly, PrimeField};
+///
+/// let f = PrimeField::new(2).unwrap();
+/// let a = Poly::new(vec![1, 1], f);     // 1 + x
+/// let b = a.mul(&a);                    // 1 + 2x + x² = 1 + x² over GF(2)
+/// assert_eq!(b.coeffs(), &[1, 0, 1]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Poly {
+    coeffs: Vec<u64>,
+    field: PrimeField,
+}
+
+impl Poly {
+    /// Creates a polynomial from little-endian coefficients, reducing each
+    /// mod `p` and trimming trailing zeros.
+    #[must_use]
+    pub fn new(coeffs: Vec<u64>, field: PrimeField) -> Self {
+        let mut coeffs: Vec<u64> = coeffs.into_iter().map(|c| c % field.order()).collect();
+        while coeffs.last() == Some(&0) {
+            coeffs.pop();
+        }
+        Poly { coeffs, field }
+    }
+
+    /// The zero polynomial.
+    #[must_use]
+    pub fn zero(field: PrimeField) -> Self {
+        Poly {
+            coeffs: Vec::new(),
+            field,
+        }
+    }
+
+    /// The monomial `x`.
+    #[must_use]
+    pub fn x(field: PrimeField) -> Self {
+        Poly::new(vec![0, 1], field)
+    }
+
+    /// Little-endian coefficients (no trailing zeros).
+    #[must_use]
+    pub fn coeffs(&self) -> &[u64] {
+        &self.coeffs
+    }
+
+    /// Degree; the zero polynomial has degree `None`.
+    #[must_use]
+    pub fn degree(&self) -> Option<usize> {
+        self.coeffs.len().checked_sub(1)
+    }
+
+    /// Whether this is the zero polynomial.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Polynomial addition.
+    #[must_use]
+    pub fn add(&self, other: &Poly) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let coeffs = (0..n)
+            .map(|i| {
+                self.field.add(
+                    self.coeffs.get(i).copied().unwrap_or(0),
+                    other.coeffs.get(i).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+        Poly::new(coeffs, self.field)
+    }
+
+    /// Polynomial subtraction.
+    #[must_use]
+    pub fn sub(&self, other: &Poly) -> Poly {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let coeffs = (0..n)
+            .map(|i| {
+                self.field.sub(
+                    self.coeffs.get(i).copied().unwrap_or(0),
+                    other.coeffs.get(i).copied().unwrap_or(0),
+                )
+            })
+            .collect();
+        Poly::new(coeffs, self.field)
+    }
+
+    /// Polynomial multiplication (schoolbook; degrees here are tiny).
+    #[must_use]
+    pub fn mul(&self, other: &Poly) -> Poly {
+        if self.is_zero() || other.is_zero() {
+            return Poly::zero(self.field);
+        }
+        let mut coeffs = vec![0u64; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] = self.field.add(coeffs[i + j], self.field.mul(a, b));
+            }
+        }
+        Poly::new(coeffs, self.field)
+    }
+
+    /// Remainder of division by `modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    #[must_use]
+    pub fn rem(&self, modulus: &Poly) -> Poly {
+        assert!(!modulus.is_zero(), "division by the zero polynomial");
+        let mut r = self.clone();
+        let dm = modulus.degree().expect("nonzero");
+        let lead_inv = self.field.inv(modulus.coeffs[dm]);
+        while let Some(dr) = r.degree() {
+            if dr < dm {
+                break;
+            }
+            let factor = self.field.mul(r.coeffs[dr], lead_inv);
+            let shift = dr - dm;
+            let mut sub = vec![0u64; shift];
+            sub.extend(modulus.coeffs.iter().map(|&c| self.field.mul(c, factor)));
+            r = r.sub(&Poly::new(sub, self.field));
+        }
+        r
+    }
+
+    /// Greatest common divisor (monic).
+    #[must_use]
+    pub fn gcd(&self, other: &Poly) -> Poly {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a.monic()
+    }
+
+    /// Scales so the leading coefficient is 1 (zero stays zero).
+    #[must_use]
+    pub fn monic(&self) -> Poly {
+        match self.degree() {
+            None => self.clone(),
+            Some(d) => {
+                let inv = self.field.inv(self.coeffs[d]);
+                Poly::new(
+                    self.coeffs.iter().map(|&c| self.field.mul(c, inv)).collect(),
+                    self.field,
+                )
+            }
+        }
+    }
+
+    /// Computes `self^exp mod modulus` by square-and-multiply.
+    #[must_use]
+    pub fn pow_mod(&self, mut exp: u64, modulus: &Poly) -> Poly {
+        let mut base = self.rem(modulus);
+        let mut acc = Poly::new(vec![1], self.field).rem(modulus);
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul(&base).rem(modulus);
+            }
+            base = base.mul(&base).rem(modulus);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Rabin's irreducibility test for a polynomial of degree `n ≥ 1` over
+    /// `GF(p)`: `f` is irreducible iff `x^(p^n) ≡ x (mod f)` and for every
+    /// prime divisor `q` of `n`, `gcd(x^(p^(n/q)) − x, f) = 1`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bi_geometry::{poly::Poly, PrimeField};
+    ///
+    /// let f2 = PrimeField::new(2).unwrap();
+    /// assert!(Poly::new(vec![1, 1, 1], f2).is_irreducible());  // x²+x+1
+    /// assert!(!Poly::new(vec![1, 0, 1], f2).is_irreducible()); // x²+1 = (x+1)²
+    /// ```
+    #[must_use]
+    pub fn is_irreducible(&self) -> bool {
+        let n = match self.degree() {
+            None | Some(0) => return false,
+            Some(1) => return true,
+            Some(n) => n,
+        };
+        let p = self.field.order();
+        let x = Poly::x(self.field);
+        // x^(p^n) mod f via iterated Frobenius.
+        let mut frob = x.clone();
+        for _ in 0..n {
+            frob = frob.pow_mod(p, self);
+        }
+        if frob.sub(&x).rem(self) != Poly::zero(self.field) {
+            return false;
+        }
+        for q in prime_divisors(n as u64) {
+            let steps = n as u64 / q;
+            let mut g = x.clone();
+            for _ in 0..steps {
+                g = g.pow_mod(p, self);
+            }
+            let gcd = g.sub(&x).gcd(self);
+            if gcd.degree() != Some(0) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+fn prime_divisors(mut n: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            out.push(d);
+            while n % d == 0 {
+                n /= d;
+            }
+        }
+        d += 1;
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// Finds the lexicographically first monic irreducible polynomial of degree
+/// `e` over `GF(p)` by exhaustive search.
+///
+/// # Panics
+///
+/// Panics if `e == 0`. (A monic irreducible of every degree `e ≥ 1` exists
+/// over every prime field, so the search always terminates.)
+///
+/// # Examples
+///
+/// ```
+/// use bi_geometry::{poly, PrimeField};
+///
+/// let f = poly::find_irreducible(PrimeField::new(2).unwrap(), 3);
+/// assert_eq!(f.degree(), Some(3));
+/// assert!(f.is_irreducible());
+/// ```
+#[must_use]
+pub fn find_irreducible(field: PrimeField, e: u32) -> Poly {
+    assert!(e >= 1, "degree must be positive");
+    let p = field.order();
+    let e = e as usize;
+    let count = p.pow(e as u32);
+    for idx in 0..count {
+        // Lower-degree coefficients from base-p digits of idx; leading = 1.
+        let mut coeffs = Vec::with_capacity(e + 1);
+        let mut rest = idx;
+        for _ in 0..e {
+            coeffs.push(rest % p);
+            rest /= p;
+        }
+        coeffs.push(1);
+        let f = Poly::new(coeffs, field);
+        if f.is_irreducible() {
+            return f;
+        }
+    }
+    unreachable!("an irreducible polynomial of degree {e} exists over GF({p})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gf(p: u64) -> PrimeField {
+        PrimeField::new(p).unwrap()
+    }
+
+    #[test]
+    fn construction_trims_and_reduces() {
+        let f = gf(3);
+        let p = Poly::new(vec![4, 0, 3, 0], f);
+        assert_eq!(p.coeffs(), &[1]);
+        assert_eq!(p.degree(), Some(0));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let f = gf(5);
+        let a = Poly::new(vec![1, 2, 3], f);
+        let b = Poly::new(vec![4, 4], f);
+        assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn mul_degree_adds() {
+        let f = gf(7);
+        let a = Poly::new(vec![1, 1], f);
+        let b = Poly::new(vec![2, 0, 1], f);
+        assert_eq!(a.mul(&b).degree(), Some(3));
+    }
+
+    #[test]
+    fn rem_by_linear_evaluates() {
+        // p(x) mod (x - a) = p(a); over GF(5), x - 2 = x + 3.
+        let f = gf(5);
+        let p = Poly::new(vec![1, 2, 1], f); // 1 + 2x + x²  → p(2) = 1+4+4 = 9 = 4
+        let m = Poly::new(vec![3, 1], f);
+        assert_eq!(p.rem(&m).coeffs(), &[4]);
+    }
+
+    #[test]
+    fn gcd_of_multiples() {
+        let f = gf(3);
+        let g = Poly::new(vec![1, 1], f);
+        // Cofactors x²+1 (irreducible over GF(3)) and x+2 share no root.
+        let a = g.mul(&Poly::new(vec![1, 0, 1], f));
+        let b = g.mul(&Poly::new(vec![2, 1], f));
+        assert_eq!(a.gcd(&b), g.monic());
+    }
+
+    #[test]
+    fn known_irreducibles_over_gf2() {
+        let f = gf(2);
+        // x²+x+1, x³+x+1, x⁴+x+1 are irreducible over GF(2).
+        assert!(Poly::new(vec![1, 1, 1], f).is_irreducible());
+        assert!(Poly::new(vec![1, 1, 0, 1], f).is_irreducible());
+        assert!(Poly::new(vec![1, 1, 0, 0, 1], f).is_irreducible());
+        // x⁴+x²+1 = (x²+x+1)² is not.
+        assert!(!Poly::new(vec![1, 0, 1, 0, 1], f).is_irreducible());
+    }
+
+    #[test]
+    fn linear_polys_are_irreducible() {
+        let f = gf(5);
+        assert!(Poly::new(vec![2, 1], f).is_irreducible());
+        assert!(!Poly::new(vec![2], f).is_irreducible());
+        assert!(!Poly::zero(f).is_irreducible());
+    }
+
+    #[test]
+    fn find_irreducible_for_various_fields() {
+        for (p, e) in [(2, 1), (2, 2), (2, 4), (3, 2), (3, 3), (5, 2), (7, 2)] {
+            let f = find_irreducible(gf(p), e);
+            assert_eq!(f.degree(), Some(e as usize));
+            assert!(f.is_irreducible(), "GF({p}), degree {e}");
+        }
+    }
+
+    #[test]
+    fn pow_mod_matches_naive() {
+        let f = gf(3);
+        let m = find_irreducible(f, 2);
+        let x = Poly::x(f);
+        let mut naive = Poly::new(vec![1], f);
+        for e in 0..10 {
+            assert_eq!(x.pow_mod(e, &m), naive.rem(&m), "exponent {e}");
+            naive = naive.mul(&x);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Primality and prime-power utilities.
+
+/// Deterministic primality test by trial division (inputs in this workspace
+/// are small: plane orders are at most a few hundred).
+///
+/// # Examples
+///
+/// ```
+/// assert!(bi_geometry::prime::is_prime(97));
+/// assert!(!bi_geometry::prime::is_prime(1));
+/// assert!(!bi_geometry::prime::is_prime(91));
+/// ```
+#[must_use]
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n % 2 == 0 {
+        return n == 2;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// Factors `q` as `p^e` with `p` prime and `e ≥ 1`, or returns `None` when
+/// `q` is not a prime power.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(bi_geometry::prime::prime_power(8), Some((2, 3)));
+/// assert_eq!(bi_geometry::prime::prime_power(7), Some((7, 1)));
+/// assert_eq!(bi_geometry::prime::prime_power(12), None);
+/// ```
+#[must_use]
+pub fn prime_power(q: u64) -> Option<(u64, u32)> {
+    if q < 2 {
+        return None;
+    }
+    let mut n = q;
+    let mut p = 0u64;
+    // Find the smallest prime factor.
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            p = d;
+            break;
+        }
+        d += 1;
+    }
+    if p == 0 {
+        return Some((q, 1)); // q itself is prime
+    }
+    let mut e = 0;
+    while n % p == 0 {
+        n /= p;
+        e += 1;
+    }
+    if n == 1 {
+        Some((p, e))
+    } else {
+        None
+    }
+}
+
+/// The prime powers in `[lo, hi]`, ascending — useful for sweeping affine
+/// plane orders in the benches.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(bi_geometry::prime::prime_powers_in(2, 9), vec![2, 3, 4, 5, 7, 8, 9]);
+/// ```
+#[must_use]
+pub fn prime_powers_in(lo: u64, hi: u64) -> Vec<u64> {
+    (lo..=hi).filter(|&q| prime_power(q).is_some()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u64> = (0..30).filter(|&n| is_prime(n)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+    }
+
+    #[test]
+    fn prime_power_decomposition() {
+        assert_eq!(prime_power(2), Some((2, 1)));
+        assert_eq!(prime_power(9), Some((3, 2)));
+        assert_eq!(prime_power(27), Some((3, 3)));
+        assert_eq!(prime_power(49), Some((7, 2)));
+        assert_eq!(prime_power(1), None);
+        assert_eq!(prime_power(0), None);
+        assert_eq!(prime_power(6), None);
+        assert_eq!(prime_power(100), None);
+    }
+
+    #[test]
+    fn prime_powers_sweep() {
+        assert_eq!(prime_powers_in(10, 20), vec![11, 13, 16, 17, 19]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Finite projective planes `PG(2, q)`, built by completing an affine
+//! plane with its points at infinity.
+//!
+//! The paper only needs affine planes, but the projective completion is a
+//! strong consistency check on the incidence machinery: it must satisfy
+//! the *exact* intersection axiom (any two lines meet in exactly one
+//! point), which fails loudly if the affine construction is wrong.
+
+use crate::affine::{AffinePlane, AffinePlaneError};
+
+/// The projective plane of order `q`: `q² + q + 1` points and as many
+/// lines, every line carrying `q + 1` points.
+///
+/// Point indices `0..q²` are the affine points; `q² + m` (for `m` in
+/// `0..q`) is the infinity point of slope-`m` lines; `q² + q` is the
+/// infinity point of vertical lines. Line indices `0..q²+q` are the
+/// extended affine lines; the last line is the line at infinity.
+///
+/// # Examples
+///
+/// ```
+/// use bi_geometry::projective::ProjectivePlane;
+///
+/// let plane = ProjectivePlane::new(2).unwrap(); // the Fano plane
+/// assert_eq!(plane.point_count(), 7);
+/// assert_eq!(plane.line_count(), 7);
+/// plane.verify_axioms().unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProjectivePlane {
+    q: usize,
+    lines: Vec<Vec<usize>>,
+    point_lines: Vec<Vec<usize>>,
+}
+
+impl ProjectivePlane {
+    /// Constructs `PG(2, q)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `q` is not a supported prime power.
+    pub fn new(q: u64) -> Result<Self, AffinePlaneError> {
+        let affine = AffinePlane::new(q)?;
+        let q = affine.order();
+        let n_affine_points = q * q;
+        let mut lines: Vec<Vec<usize>> = Vec::with_capacity(q * q + q + 1);
+        // Extended affine lines: slope m·q + b gets infinity point q²+m,
+        // vertical q²+c gets infinity point q²+q.
+        for lid in 0..affine.line_count() {
+            let mut pts = affine.points_on_line(lid).to_vec();
+            let inf = if lid < q * q {
+                n_affine_points + lid / q
+            } else {
+                n_affine_points + q
+            };
+            pts.push(inf);
+            lines.push(pts);
+        }
+        // The line at infinity.
+        lines.push((0..=q).map(|m| n_affine_points + m).collect());
+        let point_count = n_affine_points + q + 1;
+        let mut point_lines = vec![Vec::new(); point_count];
+        for (lid, pts) in lines.iter().enumerate() {
+            for &p in pts {
+                point_lines[p].push(lid);
+            }
+        }
+        Ok(ProjectivePlane {
+            q,
+            lines,
+            point_lines,
+        })
+    }
+
+    /// Plane order `q`.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.q
+    }
+
+    /// Number of points (`q² + q + 1`).
+    #[must_use]
+    pub fn point_count(&self) -> usize {
+        self.point_lines.len()
+    }
+
+    /// Number of lines (`q² + q + 1`).
+    #[must_use]
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// The points on a line (always `q + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is out of range.
+    #[must_use]
+    pub fn points_on_line(&self, line: usize) -> &[usize] {
+        &self.lines[line]
+    }
+
+    /// Whether `point` lies on `line`.
+    #[must_use]
+    pub fn incident(&self, point: usize, line: usize) -> bool {
+        self.lines[line].contains(&point)
+    }
+
+    /// Verifies the projective-plane axioms: uniform line size `q + 1`,
+    /// uniform point degree `q + 1`, two distinct points on exactly one
+    /// line, two distinct lines meeting in exactly one point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AffinePlaneError::AxiomViolation`] describing the first
+    /// failure.
+    pub fn verify_axioms(&self) -> Result<(), AffinePlaneError> {
+        let q = self.q;
+        for (lid, pts) in self.lines.iter().enumerate() {
+            if pts.len() != q + 1 {
+                return Err(AffinePlaneError::AxiomViolation(format!(
+                    "projective line {lid} has {} points, expected {}",
+                    pts.len(),
+                    q + 1
+                )));
+            }
+        }
+        for (pid, ls) in self.point_lines.iter().enumerate() {
+            if ls.len() != q + 1 {
+                return Err(AffinePlaneError::AxiomViolation(format!(
+                    "projective point {pid} lies on {} lines, expected {}",
+                    ls.len(),
+                    q + 1
+                )));
+            }
+        }
+        for l1 in 0..self.line_count() {
+            for l2 in (l1 + 1)..self.line_count() {
+                let common = self.lines[l1]
+                    .iter()
+                    .filter(|&&p| self.incident(p, l2))
+                    .count();
+                if common != 1 {
+                    return Err(AffinePlaneError::AxiomViolation(format!(
+                        "projective lines {l1},{l2} share {common} points, expected exactly 1"
+                    )));
+                }
+            }
+        }
+        for p1 in 0..self.point_count() {
+            for p2 in (p1 + 1)..self.point_count() {
+                let common = self.point_lines[p1]
+                    .iter()
+                    .filter(|&&l| self.incident(p2, l))
+                    .count();
+                if common != 1 {
+                    return Err(AffinePlaneError::AxiomViolation(format!(
+                        "projective points {p1},{p2} lie on {common} common lines, expected 1"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fano_plane_has_seven_points_and_lines() {
+        let plane = ProjectivePlane::new(2).unwrap();
+        assert_eq!(plane.point_count(), 7);
+        assert_eq!(plane.line_count(), 7);
+        plane.verify_axioms().unwrap();
+    }
+
+    #[test]
+    fn axioms_hold_for_small_orders() {
+        for q in [2u64, 3, 4, 5] {
+            ProjectivePlane::new(q)
+                .unwrap()
+                .verify_axioms()
+                .unwrap_or_else(|e| panic!("q={q}: {e}"));
+        }
+    }
+
+    #[test]
+    fn counts_match_theory() {
+        let plane = ProjectivePlane::new(3).unwrap();
+        assert_eq!(plane.order(), 3);
+        assert_eq!(plane.point_count(), 13);
+        assert_eq!(plane.line_count(), 13);
+        assert!(plane.points_on_line(0).len() == 4);
+    }
+
+    #[test]
+    fn rejects_non_prime_powers() {
+        assert!(ProjectivePlane::new(10).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! All-pairs shortest paths — the graph metric.
+
+use crate::dijkstra::dijkstra;
+use crate::graph::{Graph, NodeId};
+
+/// The full distance matrix of a graph under its edge costs.
+///
+/// Entry `[u][v]` is the shortest-path distance from `u` to `v`
+/// (`f64::INFINITY` if unreachable). Computed by `n` Dijkstra runs.
+///
+/// # Examples
+///
+/// ```
+/// use bi_graph::{Direction, Graph};
+///
+/// let mut g = Graph::new(Direction::Undirected);
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// g.add_edge(a, b, 2.5);
+/// let d = bi_graph::apsp::all_pairs(&g);
+/// assert_eq!(d[a.index()][b.index()], 2.5);
+/// assert_eq!(d[a.index()][a.index()], 0.0);
+/// ```
+#[must_use]
+pub fn all_pairs(graph: &Graph) -> Vec<Vec<f64>> {
+    graph
+        .nodes()
+        .map(|u| dijkstra(graph, u, |e| graph.edge(e).cost()).distances().to_vec())
+        .collect()
+}
+
+/// The largest finite pairwise distance, or 0 for graphs with < 2 nodes.
+///
+/// # Examples
+///
+/// ```
+/// let g = bi_graph::generators::path_graph(bi_graph::Direction::Undirected, 4, 1.0);
+/// let d = bi_graph::apsp::all_pairs(&g);
+/// assert_eq!(bi_graph::apsp::diameter(&d), 3.0);
+/// ```
+#[must_use]
+pub fn diameter(dist: &[Vec<f64>]) -> f64 {
+    dist.iter()
+        .flat_map(|row| row.iter())
+        .copied()
+        .filter(|d| d.is_finite())
+        .fold(0.0, f64::max)
+}
+
+/// Checks whether every node can reach every other node.
+///
+/// # Examples
+///
+/// ```
+/// let g = bi_graph::generators::path_graph(bi_graph::Direction::Undirected, 3, 1.0);
+/// assert!(bi_graph::apsp::is_strongly_connected(&g));
+/// ```
+#[must_use]
+pub fn is_strongly_connected(graph: &Graph) -> bool {
+    if graph.node_count() == 0 {
+        return true;
+    }
+    // For undirected graphs one Dijkstra suffices; for directed graphs we
+    // check reachability from node 0 plus reachability *to* node 0 by
+    // scanning every source (n is small in this workspace).
+    let from0 = dijkstra(graph, NodeId::new(0), |e| graph.edge(e).cost());
+    if !graph.nodes().all(|v| from0.is_reachable(v)) {
+        return false;
+    }
+    if !graph.is_directed() {
+        return true;
+    }
+    graph.nodes().all(|u| {
+        dijkstra(graph, u, |e| graph.edge(e).cost()).is_reachable(NodeId::new(0))
+    })
+}
+
+/// Floyd–Warshall all-pairs shortest paths — an independent `O(n³)`
+/// implementation used to cross-check [`all_pairs`] in tests and preferred
+/// for dense graphs.
+///
+/// # Examples
+///
+/// ```
+/// let g = bi_graph::generators::cycle_graph(bi_graph::Direction::Undirected, 5, 1.0);
+/// let a = bi_graph::apsp::all_pairs(&g);
+/// let b = bi_graph::apsp::floyd_warshall(&g);
+/// assert_eq!(a, b);
+/// ```
+#[must_use]
+pub fn floyd_warshall(graph: &Graph) -> Vec<Vec<f64>> {
+    let n = graph.node_count();
+    let mut dist = vec![vec![f64::INFINITY; n]; n];
+    for (i, row) in dist.iter_mut().enumerate() {
+        row[i] = 0.0;
+    }
+    for (_, e) in graph.edges() {
+        let (u, v) = (e.source().index(), e.target().index());
+        if e.cost() < dist[u][v] {
+            dist[u][v] = e.cost();
+        }
+        if !graph.is_directed() && e.cost() < dist[v][u] {
+            dist[v][u] = e.cost();
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if !dist[i][k].is_finite() {
+                continue;
+            }
+            for j in 0..n {
+                let through = dist[i][k] + dist[k][j];
+                if through < dist[i][j] {
+                    dist[i][j] = through;
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::Direction;
+
+    #[test]
+    fn floyd_warshall_agrees_with_dijkstra_apsp() {
+        for seed in 0..6 {
+            for direction in [Direction::Directed, Direction::Undirected] {
+                let g = generators::gnp_connected(direction, 10, 0.3, (0.5, 2.0), seed);
+                let a = all_pairs(&g);
+                let b = floyd_warshall(&g);
+                for i in 0..10 {
+                    for j in 0..10 {
+                        assert!(
+                            (a[i][j] - b[i][j]).abs() < 1e-9,
+                            "{direction:?} seed {seed}: d({i},{j})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn floyd_warshall_handles_parallel_edges() {
+        let mut g = Graph::new(Direction::Undirected);
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, 5.0);
+        g.add_edge(a, b, 2.0);
+        assert_eq!(floyd_warshall(&g)[0][1], 2.0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_for_undirected_graphs() {
+        let g = generators::path_graph(Direction::Undirected, 5, 2.0);
+        let d = all_pairs(&g);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(d[i][j], d[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn satisfies_triangle_inequality() {
+        let g = generators::gnp_connected(Direction::Undirected, 12, 0.3, (0.5, 2.0), 7);
+        let d = all_pairs(&g);
+        let n = g.node_count();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    assert!(d[i][j] <= d[i][k] + d[k][j] + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_of_path_is_length() {
+        let g = generators::path_graph(Direction::Undirected, 6, 1.0);
+        assert_eq!(diameter(&all_pairs(&g)), 5.0);
+    }
+
+    #[test]
+    fn directed_one_way_path_is_not_strongly_connected() {
+        let g = generators::path_graph(Direction::Directed, 3, 1.0);
+        assert!(!is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let g = Graph::new(Direction::Directed);
+        assert!(is_strongly_connected(&g));
+    }
+}

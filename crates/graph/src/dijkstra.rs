@@ -1,0 +1,249 @@
+//! Single-source shortest paths with pluggable edge weights.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use bi_util::TotalF64;
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// Result of a [`dijkstra`] run: distances and predecessor edges from a
+/// fixed source.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    source: NodeId,
+    dist: Vec<f64>,
+    pred: Vec<Option<(EdgeId, NodeId)>>,
+}
+
+impl ShortestPaths {
+    /// The source node of this run.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// Distance from the source to `v` (`f64::INFINITY` if unreachable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn distance(&self, v: NodeId) -> f64 {
+        self.dist[v.index()]
+    }
+
+    /// Returns `true` if `v` is reachable from the source.
+    #[must_use]
+    pub fn is_reachable(&self, v: NodeId) -> bool {
+        self.dist[v.index()].is_finite()
+    }
+
+    /// The edges of a shortest path from the source to `v`, in source-to-`v`
+    /// order, or `None` if `v` is unreachable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn path_edges(&self, v: NodeId) -> Option<Vec<EdgeId>> {
+        if !self.is_reachable(v) {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut cur = v;
+        while cur != self.source {
+            let (e, prev) = self.pred[cur.index()]?;
+            edges.push(e);
+            cur = prev;
+        }
+        edges.reverse();
+        Some(edges)
+    }
+
+    /// The nodes of a shortest path from the source to `v` (inclusive), or
+    /// `None` if `v` is unreachable.
+    #[must_use]
+    pub fn path_nodes(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.is_reachable(v) {
+            return None;
+        }
+        let mut nodes = vec![v];
+        let mut cur = v;
+        while cur != self.source {
+            let (_, prev) = self.pred[cur.index()]?;
+            nodes.push(prev);
+            cur = prev;
+        }
+        nodes.reverse();
+        Some(nodes)
+    }
+
+    /// All distances, indexed by node.
+    #[must_use]
+    pub fn distances(&self) -> &[f64] {
+        &self.dist
+    }
+}
+
+/// Dijkstra's algorithm from `source` with per-edge weights given by
+/// `weight`.
+///
+/// The weight function receives an [`EdgeId`] and must return a
+/// non-negative weight; it is what lets the NCS best response reweight
+/// edges by `c(e)/(load+1)` without copying the graph.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range, or (in debug builds) if `weight`
+/// returns a negative value.
+///
+/// # Examples
+///
+/// ```
+/// use bi_graph::{dijkstra, Direction, Graph};
+///
+/// let mut g = Graph::new(Direction::Directed);
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// g.add_edge(a, b, 4.0);
+/// let sp = dijkstra(&g, a, |e| g.edge(e).cost());
+/// assert_eq!(sp.distance(b), 4.0);
+/// assert_eq!(sp.path_edges(b).unwrap().len(), 1);
+/// ```
+pub fn dijkstra<W: Fn(EdgeId) -> f64>(graph: &Graph, source: NodeId, weight: W) -> ShortestPaths {
+    assert!(source.index() < graph.node_count(), "source out of range");
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred: Vec<Option<(EdgeId, NodeId)>> = vec![None; n];
+    let mut heap: BinaryHeap<Reverse<(TotalF64, u32)>> = BinaryHeap::new();
+    dist[source.index()] = 0.0;
+    heap.push(Reverse((TotalF64::new(0.0), source.index() as u32)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        let u = NodeId::new(u as usize);
+        let d = d.get();
+        if d > dist[u.index()] {
+            continue;
+        }
+        for (e, v) in graph.neighbors(u) {
+            let w = weight(e);
+            debug_assert!(w >= 0.0, "negative edge weight {w} on {e}");
+            let nd = d + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                pred[v.index()] = Some((e, u));
+                heap.push(Reverse((TotalF64::new(nd), v.index() as u32)));
+            }
+        }
+    }
+    ShortestPaths { source, dist, pred }
+}
+
+/// Convenience wrapper: shortest path under the graph's own edge costs.
+/// Returns `(distance, edges)` or `None` if `t` is unreachable from `s`.
+///
+/// # Examples
+///
+/// ```
+/// use bi_graph::{Direction, Graph};
+///
+/// let mut g = Graph::new(Direction::Undirected);
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// g.add_edge(a, b, 2.0);
+/// let (d, edges) = bi_graph::shortest_path(&g, a, b).unwrap();
+/// assert_eq!(d, 2.0);
+/// assert_eq!(edges.len(), 1);
+/// ```
+#[must_use]
+pub fn shortest_path(graph: &Graph, s: NodeId, t: NodeId) -> Option<(f64, Vec<EdgeId>)> {
+    let sp = dijkstra(graph, s, |e| graph.edge(e).cost());
+    let edges = sp.path_edges(t)?;
+    Some((sp.distance(t), edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Direction;
+
+    fn triangle() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new(Direction::Undirected);
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b, 1.0);
+        g.add_edge(b, c, 1.0);
+        g.add_edge(a, c, 3.0);
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn prefers_cheaper_two_hop_path() {
+        let (g, a, _, c) = triangle();
+        let sp = dijkstra(&g, a, |e| g.edge(e).cost());
+        assert_eq!(sp.distance(c), 2.0);
+        assert_eq!(sp.path_edges(c).unwrap().len(), 2);
+        assert_eq!(sp.path_nodes(c).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn unreachable_nodes_report_infinity() {
+        let mut g = Graph::new(Direction::Directed);
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(b, a, 1.0); // wrong direction
+        let sp = dijkstra(&g, a, |e| g.edge(e).cost());
+        assert!(!sp.is_reachable(b));
+        assert!(sp.path_edges(b).is_none());
+        assert!(sp.path_nodes(b).is_none());
+    }
+
+    #[test]
+    fn custom_weights_override_costs() {
+        let (g, a, _, c) = triangle();
+        // Make the direct edge free.
+        let sp = dijkstra(&g, a, |e| if e.index() == 2 { 0.0 } else { 10.0 });
+        assert_eq!(sp.distance(c), 0.0);
+    }
+
+    #[test]
+    fn path_to_source_is_empty() {
+        let (g, a, _, _) = triangle();
+        let sp = dijkstra(&g, a, |e| g.edge(e).cost());
+        assert_eq!(sp.distance(a), 0.0);
+        assert!(sp.path_edges(a).unwrap().is_empty());
+        assert_eq!(sp.path_nodes(a).unwrap(), vec![a]);
+    }
+
+    #[test]
+    fn respects_direction_in_directed_graphs() {
+        let mut g = Graph::new(Direction::Directed);
+        let a = g.add_node();
+        let b = g.add_node();
+        let c = g.add_node();
+        g.add_edge(a, b, 1.0);
+        g.add_edge(c, b, 1.0);
+        let sp = dijkstra(&g, a, |e| g.edge(e).cost());
+        assert_eq!(sp.distance(b), 1.0);
+        assert!(!sp.is_reachable(c));
+    }
+
+    #[test]
+    fn shortest_path_wrapper_roundtrips() {
+        let (g, a, _, c) = triangle();
+        let (d, edges) = shortest_path(&g, a, c).unwrap();
+        assert_eq!(d, 2.0);
+        assert_eq!(g.total_cost(edges), 2.0);
+    }
+
+    #[test]
+    fn zero_cost_edges_are_fine() {
+        let mut g = Graph::new(Direction::Directed);
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, 0.0);
+        let sp = dijkstra(&g, a, |e| g.edge(e).cost());
+        assert_eq!(sp.distance(b), 0.0);
+    }
+}

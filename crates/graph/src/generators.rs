@@ -1,0 +1,218 @@
+//! Graph families used by the experiments.
+
+use rand::Rng;
+
+use crate::graph::{Direction, Graph, NodeId};
+
+/// A path `v0 - v1 - … - v(n-1)` with uniform edge cost.
+///
+/// # Panics
+///
+/// Panics if `cost` is negative or not finite.
+///
+/// # Examples
+///
+/// ```
+/// let g = bi_graph::generators::path_graph(bi_graph::Direction::Undirected, 4, 1.0);
+/// assert_eq!(g.node_count(), 4);
+/// assert_eq!(g.edge_count(), 3);
+/// ```
+#[must_use]
+pub fn path_graph(direction: Direction, n: usize, cost: f64) -> Graph {
+    let mut g = Graph::with_nodes(direction, n);
+    for i in 1..n {
+        g.add_edge(NodeId::new(i - 1), NodeId::new(i), cost);
+    }
+    g
+}
+
+/// A cycle on `n ≥ 3` nodes with uniform edge cost.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+#[must_use]
+pub fn cycle_graph(direction: Direction, n: usize, cost: f64) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    let mut g = path_graph(direction, n, cost);
+    g.add_edge(NodeId::new(n - 1), NodeId::new(0), cost);
+    g
+}
+
+/// A star: node 0 is the hub, nodes `1..=leaves` are spokes. Directed
+/// stars point hub → leaf.
+#[must_use]
+pub fn star_graph(direction: Direction, leaves: usize, cost: f64) -> Graph {
+    let mut g = Graph::with_nodes(direction, leaves + 1);
+    for i in 1..=leaves {
+        g.add_edge(NodeId::new(0), NodeId::new(i), cost);
+    }
+    g
+}
+
+/// A complete graph with uniform edge cost. Directed complete graphs get
+/// both orientations of every pair.
+#[must_use]
+pub fn complete_graph(direction: Direction, n: usize, cost: f64) -> Graph {
+    let mut g = Graph::with_nodes(direction, n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(NodeId::new(i), NodeId::new(j), cost);
+            if direction == Direction::Directed {
+                g.add_edge(NodeId::new(j), NodeId::new(i), cost);
+            }
+        }
+    }
+    g
+}
+
+/// An undirected `w × h` grid with uniform edge cost; node `(x, y)` has
+/// index `y·w + x`.
+///
+/// # Panics
+///
+/// Panics if `w == 0` or `h == 0`.
+#[must_use]
+pub fn grid_graph(w: usize, h: usize, cost: f64) -> Graph {
+    assert!(w > 0 && h > 0, "grid dimensions must be positive");
+    let mut g = Graph::with_nodes(Direction::Undirected, w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = NodeId::new(y * w + x);
+            if x + 1 < w {
+                g.add_edge(v, NodeId::new(y * w + x + 1), cost);
+            }
+            if y + 1 < h {
+                g.add_edge(v, NodeId::new((y + 1) * w + x), cost);
+            }
+        }
+    }
+    g
+}
+
+/// A connected random graph: a random spanning tree plus each remaining
+/// pair independently with probability `p`, edge costs uniform in
+/// `cost_range`. Directed graphs get both orientations of every generated
+/// edge (with independently drawn costs), so they are strongly connected.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `p ∉ [0, 1]`, or the cost range is empty/negative.
+///
+/// # Examples
+///
+/// ```
+/// let g = bi_graph::generators::gnp_connected(
+///     bi_graph::Direction::Undirected, 10, 0.2, (1.0, 2.0), 42);
+/// assert!(bi_graph::apsp::is_strongly_connected(&g));
+/// ```
+#[must_use]
+pub fn gnp_connected(
+    direction: Direction,
+    n: usize,
+    p: f64,
+    cost_range: (f64, f64),
+    seed: u64,
+) -> Graph {
+    assert!(n > 0, "need at least one node");
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let (lo, hi) = cost_range;
+    assert!(lo >= 0.0 && hi >= lo, "invalid cost range");
+    let mut rng = bi_util::rng::seeded(seed);
+    let draw = move |rng: &mut rand::rngs::StdRng| {
+        if lo == hi {
+            lo
+        } else {
+            rng.random_range(lo..hi)
+        }
+    };
+    let mut g = Graph::with_nodes(direction, n);
+    // Random spanning tree: attach node i to a uniformly random earlier node.
+    for i in 1..n {
+        let j = rng.random_range(0..i);
+        let c = draw(&mut rng);
+        g.add_edge(NodeId::new(j), NodeId::new(i), c);
+        if direction == Direction::Directed {
+            let c = draw(&mut rng);
+            g.add_edge(NodeId::new(i), NodeId::new(j), c);
+        }
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random_range(0.0..1.0) < p {
+                let c = draw(&mut rng);
+                g.add_edge(NodeId::new(i), NodeId::new(j), c);
+                if direction == Direction::Directed {
+                    let c = draw(&mut rng);
+                    g.add_edge(NodeId::new(j), NodeId::new(i), c);
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apsp;
+
+    #[test]
+    fn path_counts() {
+        let g = path_graph(Direction::Directed, 5, 2.0);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn cycle_is_connected_both_ways() {
+        let g = cycle_graph(Direction::Undirected, 5, 1.0);
+        assert_eq!(g.edge_count(), 5);
+        assert!(apsp::is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn star_degrees() {
+        let g = star_graph(Direction::Undirected, 6, 1.0);
+        assert_eq!(g.degree(NodeId::new(0)), 6);
+        assert_eq!(g.degree(NodeId::new(1)), 1);
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete_graph(Direction::Undirected, 5, 1.0);
+        assert_eq!(g.edge_count(), 10);
+        let gd = complete_graph(Direction::Directed, 5, 1.0);
+        assert_eq!(gd.edge_count(), 20);
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        let g = grid_graph(3, 2, 1.0);
+        // horizontal: 2 per row * 2 rows = 4; vertical: 3.
+        assert_eq!(g.edge_count(), 7);
+    }
+
+    #[test]
+    fn gnp_is_connected_and_deterministic() {
+        let g1 = gnp_connected(Direction::Undirected, 20, 0.1, (1.0, 5.0), 1);
+        let g2 = gnp_connected(Direction::Undirected, 20, 0.1, (1.0, 5.0), 1);
+        assert!(apsp::is_strongly_connected(&g1));
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        for ((_, a), (_, b)) in g1.edges().zip(g2.edges()) {
+            assert_eq!(a.cost(), b.cost());
+        }
+    }
+
+    #[test]
+    fn directed_gnp_is_strongly_connected() {
+        let g = gnp_connected(Direction::Directed, 12, 0.1, (1.0, 2.0), 4);
+        assert!(apsp::is_strongly_connected(&g));
+    }
+
+    #[test]
+    fn constant_cost_range_is_allowed() {
+        let g = gnp_connected(Direction::Undirected, 6, 0.5, (1.0, 1.0), 2);
+        assert!(g.edges().all(|(_, e)| e.cost() == 1.0));
+    }
+}

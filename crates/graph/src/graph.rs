@@ -1,0 +1,392 @@
+//! The core multigraph representation.
+
+use std::fmt;
+
+/// Identifies a node of a [`Graph`].
+///
+/// Node ids are dense indices `0..graph.node_count()`.
+///
+/// # Examples
+///
+/// ```
+/// use bi_graph::{Direction, Graph, NodeId};
+///
+/// let mut g = Graph::new(Direction::Directed);
+/// let v = g.add_node();
+/// assert_eq!(v, NodeId::new(0));
+/// assert_eq!(v.index(), 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index overflows u32"))
+    }
+
+    /// Returns the dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifies an edge of a [`Graph`].
+///
+/// Edge ids are dense indices `0..graph.edge_count()`; parallel edges get
+/// distinct ids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn new(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index overflows u32"))
+    }
+
+    /// Returns the dense index of this edge.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Whether a [`Graph`] is directed or undirected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Edges are ordered pairs; traversal follows edge orientation.
+    Directed,
+    /// Edges are unordered pairs; traversal goes both ways.
+    Undirected,
+}
+
+/// An edge of a [`Graph`]: endpoints plus a non-negative cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Edge {
+    source: NodeId,
+    target: NodeId,
+    cost: f64,
+}
+
+impl Edge {
+    /// The tail (for directed graphs) or first endpoint.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The head (for directed graphs) or second endpoint.
+    #[must_use]
+    pub fn target(&self) -> NodeId {
+        self.target
+    }
+
+    /// The non-negative cost `c(e)`.
+    #[must_use]
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an endpoint of this edge.
+    #[must_use]
+    pub fn opposite(&self, v: NodeId) -> NodeId {
+        if v == self.source {
+            self.target
+        } else if v == self.target {
+            self.source
+        } else {
+            panic!("{v} is not an endpoint of this edge");
+        }
+    }
+}
+
+/// A weighted multigraph, directed or undirected.
+///
+/// Nodes and edges are created through [`Graph::add_node`] and
+/// [`Graph::add_edge`] and identified by dense [`NodeId`]/[`EdgeId`]
+/// indices. Parallel edges and self-loops are allowed (the paper's
+/// constructions never need self-loops, but nothing breaks).
+///
+/// # Examples
+///
+/// ```
+/// use bi_graph::{Direction, Graph};
+///
+/// let mut g = Graph::with_nodes(Direction::Undirected, 2);
+/// let e = g.add_edge(bi_graph::NodeId::new(0), bi_graph::NodeId::new(1), 3.5);
+/// assert_eq!(g.edge(e).cost(), 3.5);
+/// assert_eq!(g.node_count(), 2);
+/// assert_eq!(g.edge_count(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Graph {
+    direction: Direction,
+    edges: Vec<Edge>,
+    /// Outgoing adjacency (both directions for undirected graphs).
+    adjacency: Vec<Vec<(EdgeId, NodeId)>>,
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    #[must_use]
+    pub fn new(direction: Direction) -> Self {
+        Graph {
+            direction,
+            edges: Vec::new(),
+            adjacency: Vec::new(),
+        }
+    }
+
+    /// Creates a graph with `n` isolated nodes.
+    #[must_use]
+    pub fn with_nodes(direction: Direction, n: usize) -> Self {
+        Graph {
+            direction,
+            edges: Vec::new(),
+            adjacency: vec![Vec::new(); n],
+        }
+    }
+
+    /// Whether the graph is directed.
+    #[must_use]
+    pub fn is_directed(&self) -> bool {
+        self.direction == Direction::Directed
+    }
+
+    /// The graph's [`Direction`].
+    #[must_use]
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges (parallel edges counted separately).
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.adjacency.len());
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Adds `n` isolated nodes and returns their ids.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    /// Adds an edge from `u` to `v` with non-negative `cost` and returns its
+    /// id. For undirected graphs the edge is traversable both ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range, or if `cost` is negative
+    /// or not finite.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, cost: f64) -> EdgeId {
+        assert!(
+            u.index() < self.node_count() && v.index() < self.node_count(),
+            "edge endpoint out of range"
+        );
+        assert!(
+            cost.is_finite() && cost >= 0.0,
+            "edge cost must be finite and non-negative, got {cost}"
+        );
+        let id = EdgeId::new(self.edges.len());
+        self.edges.push(Edge {
+            source: u,
+            target: v,
+            cost,
+        });
+        self.adjacency[u.index()].push((id, v));
+        if self.direction == Direction::Undirected && u != v {
+            self.adjacency[v.index()].push((id, u));
+        }
+        id
+    }
+
+    /// Returns the edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[must_use]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.index()]
+    }
+
+    /// Iterates over all `(EdgeId, &Edge)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId::new(i), e))
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count()).map(NodeId::new)
+    }
+
+    /// Iterates over the edges leaving `u` as `(EdgeId, neighbour)` pairs.
+    /// For undirected graphs this includes edges in both orientations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.adjacency[u.index()].iter().copied()
+    }
+
+    /// Out-degree of `u` (counting both orientations for undirected graphs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[must_use]
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adjacency[u.index()].len()
+    }
+
+    /// Total cost of an edge set, counting each id once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any id is out of range.
+    #[must_use]
+    pub fn total_cost<I: IntoIterator<Item = EdgeId>>(&self, edges: I) -> f64 {
+        let mut seen = vec![false; self.edge_count()];
+        let mut sum = 0.0;
+        for e in edges {
+            if !seen[e.index()] {
+                seen[e.index()] = true;
+                sum += self.edge(e).cost();
+            }
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut g = Graph::new(Direction::Directed);
+        let a = g.add_node();
+        let b = g.add_node();
+        let e = g.add_edge(a, b, 2.0);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge(e).source(), a);
+        assert_eq!(g.edge(e).target(), b);
+    }
+
+    #[test]
+    fn directed_adjacency_is_one_way() {
+        let mut g = Graph::new(Direction::Directed);
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, 1.0);
+        assert_eq!(g.degree(a), 1);
+        assert_eq!(g.degree(b), 0);
+    }
+
+    #[test]
+    fn undirected_adjacency_is_two_way() {
+        let mut g = Graph::new(Direction::Undirected);
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, 1.0);
+        assert_eq!(g.degree(a), 1);
+        assert_eq!(g.degree(b), 1);
+    }
+
+    #[test]
+    fn parallel_edges_get_distinct_ids() {
+        let mut g = Graph::new(Direction::Undirected);
+        let a = g.add_node();
+        let b = g.add_node();
+        let e1 = g.add_edge(a, b, 1.0);
+        let e2 = g.add_edge(a, b, 2.0);
+        assert_ne!(e1, e2);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_costs() {
+        let mut g = Graph::new(Direction::Directed);
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_dangling_endpoints() {
+        let mut g = Graph::new(Direction::Directed);
+        let a = g.add_node();
+        g.add_edge(a, NodeId::new(5), 1.0);
+    }
+
+    #[test]
+    fn opposite_returns_other_endpoint() {
+        let mut g = Graph::new(Direction::Undirected);
+        let a = g.add_node();
+        let b = g.add_node();
+        let e = g.add_edge(a, b, 1.0);
+        assert_eq!(g.edge(e).opposite(a), b);
+        assert_eq!(g.edge(e).opposite(b), a);
+    }
+
+    #[test]
+    fn total_cost_deduplicates_ids() {
+        let mut g = Graph::new(Direction::Undirected);
+        let a = g.add_node();
+        let b = g.add_node();
+        let e = g.add_edge(a, b, 3.0);
+        assert_eq!(g.total_cost([e, e]), 3.0);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert_eq!(NodeId::new(3).to_string(), "v3");
+        assert_eq!(EdgeId::new(7).to_string(), "e7");
+    }
+}

@@ -1,0 +1,49 @@
+//! Weighted directed/undirected multigraphs and the graph algorithms needed
+//! by the `bayesian-ignorance` reproduction.
+//!
+//! Network cost-sharing games live on graphs with non-negative edge costs;
+//! every proof in the paper manipulates shortest paths, Steiner trees, or
+//! specific generated graph families. This crate provides:
+//!
+//! * [`Graph`] — a compact adjacency-list multigraph, directed or undirected
+//!   ([`Direction`]), with non-negative `f64` edge costs;
+//! * [`dijkstra`] / [`ShortestPaths`] — single-source shortest paths with
+//!   arbitrary per-edge weight functions (the NCS best response reweights
+//!   edges by `c(e)/(load+1)`);
+//! * [`apsp::all_pairs`] — the graph metric, feeding `bi-metric`;
+//! * [`paths::simple_paths`] — enumeration of simple `s→t` paths, the
+//!   action sets of NCS agents;
+//! * [`steiner`] — exact Dreyfus–Wagner Steiner trees (undirected), exact
+//!   rooted Steiner arborescences (directed), and a metric-closure
+//!   2-approximation, used for social optima;
+//! * [`mst`], [`union_find`] — spanning-tree machinery;
+//! * [`generators`] — the graph families used by the experiments (paths,
+//!   stars, grids, random connected `G(n,p)`).
+//!
+//! # Examples
+//!
+//! ```
+//! use bi_graph::{Direction, Graph};
+//!
+//! let mut g = Graph::new(Direction::Undirected);
+//! let a = g.add_node();
+//! let b = g.add_node();
+//! let c = g.add_node();
+//! g.add_edge(a, b, 1.0);
+//! g.add_edge(b, c, 2.0);
+//! g.add_edge(a, c, 10.0);
+//! let sp = bi_graph::dijkstra(&g, a, |e| g.edge(e).cost());
+//! assert_eq!(sp.distance(c), 3.0);
+//! ```
+
+pub mod apsp;
+mod dijkstra;
+pub mod generators;
+mod graph;
+pub mod mst;
+pub mod paths;
+pub mod steiner;
+pub mod union_find;
+
+pub use dijkstra::{dijkstra, shortest_path, ShortestPaths};
+pub use graph::{Direction, Edge, EdgeId, Graph, NodeId};

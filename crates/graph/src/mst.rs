@@ -1,0 +1,96 @@
+//! Minimum spanning trees (Kruskal).
+
+use bi_util::TotalF64;
+
+use crate::graph::{EdgeId, Graph};
+use crate::union_find::UnionFind;
+
+/// Computes a minimum spanning forest of an undirected graph by Kruskal's
+/// algorithm; returns `(total_cost, edges)`.
+///
+/// If the graph is disconnected the result spans each component (a
+/// forest).
+///
+/// # Panics
+///
+/// Panics if the graph is directed.
+///
+/// # Examples
+///
+/// ```
+/// use bi_graph::{Direction, Graph};
+///
+/// let mut g = Graph::new(Direction::Undirected);
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// let c = g.add_node();
+/// g.add_edge(a, b, 1.0);
+/// g.add_edge(b, c, 2.0);
+/// g.add_edge(a, c, 5.0);
+/// let (cost, edges) = bi_graph::mst::kruskal(&g);
+/// assert_eq!(cost, 3.0);
+/// assert_eq!(edges.len(), 2);
+/// ```
+#[must_use]
+pub fn kruskal(graph: &Graph) -> (f64, Vec<EdgeId>) {
+    assert!(
+        !graph.is_directed(),
+        "minimum spanning tree requires an undirected graph"
+    );
+    let mut order: Vec<EdgeId> = graph.edges().map(|(id, _)| id).collect();
+    order.sort_by_key(|&e| TotalF64::new(graph.edge(e).cost()));
+    let mut uf = UnionFind::new(graph.node_count());
+    let mut picked = Vec::new();
+    let mut cost = 0.0;
+    for e in order {
+        let edge = graph.edge(e);
+        if uf.union(edge.source().index(), edge.target().index()) {
+            picked.push(e);
+            cost += edge.cost();
+        }
+    }
+    (cost, picked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::Direction;
+
+    #[test]
+    fn spanning_tree_has_n_minus_1_edges() {
+        let g = generators::gnp_connected(Direction::Undirected, 15, 0.3, (1.0, 2.0), 3);
+        let (_, edges) = kruskal(&g);
+        assert_eq!(edges.len(), 14);
+    }
+
+    #[test]
+    fn picks_cheapest_edges_of_a_cycle() {
+        let mut g = Graph::new(Direction::Undirected);
+        let vs = g.add_nodes(3);
+        g.add_edge(vs[0], vs[1], 1.0);
+        g.add_edge(vs[1], vs[2], 1.0);
+        g.add_edge(vs[2], vs[0], 10.0);
+        let (cost, _) = kruskal(&g);
+        assert_eq!(cost, 2.0);
+    }
+
+    #[test]
+    fn forest_on_disconnected_graph() {
+        let mut g = Graph::new(Direction::Undirected);
+        let vs = g.add_nodes(4);
+        g.add_edge(vs[0], vs[1], 1.0);
+        g.add_edge(vs[2], vs[3], 2.0);
+        let (cost, edges) = kruskal(&g);
+        assert_eq!(cost, 3.0);
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "undirected")]
+    fn rejects_directed_graphs() {
+        let g = generators::path_graph(Direction::Directed, 3, 1.0);
+        let _ = kruskal(&g);
+    }
+}

@@ -1,0 +1,249 @@
+//! Enumeration of simple paths — the action sets of NCS agents.
+//!
+//! In a network cost-sharing game every cost-minimal action is a single
+//! simple path from the agent's source to her destination (see the
+//! action-space convention in `DESIGN.md`), so equilibrium and optimum
+//! computations enumerate these paths as finite action sets.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// Upper bounds for [`simple_paths`] enumeration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PathLimits {
+    /// Maximum number of paths to return.
+    pub max_paths: usize,
+    /// Maximum number of edges per path.
+    pub max_len: usize,
+}
+
+impl Default for PathLimits {
+    fn default() -> Self {
+        PathLimits {
+            max_paths: 100_000,
+            max_len: usize::MAX,
+        }
+    }
+}
+
+/// Enumerates simple `s → t` paths as edge-id sequences, in DFS order,
+/// stopping at the given limits.
+///
+/// For `s == t` the unique result is the empty path. Returns an empty
+/// vector when no path exists. The enumeration is exhaustive whenever the
+/// limits are not hit, which the callers in this workspace check via
+/// [`PathLimits::max_paths`].
+///
+/// # Examples
+///
+/// ```
+/// use bi_graph::{paths, Direction, Graph};
+///
+/// let mut g = Graph::new(Direction::Directed);
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// let c = g.add_node();
+/// g.add_edge(a, b, 1.0);
+/// g.add_edge(b, c, 1.0);
+/// g.add_edge(a, c, 1.0);
+/// let ps = paths::simple_paths(&g, a, c, paths::PathLimits::default());
+/// assert_eq!(ps.len(), 2);
+/// ```
+#[must_use]
+pub fn simple_paths(graph: &Graph, s: NodeId, t: NodeId, limits: PathLimits) -> Vec<Vec<EdgeId>> {
+    assert!(
+        s.index() < graph.node_count() && t.index() < graph.node_count(),
+        "path endpoint out of range"
+    );
+    let mut result = Vec::new();
+    if s == t {
+        result.push(Vec::new());
+        return result;
+    }
+    let mut visited = vec![false; graph.node_count()];
+    visited[s.index()] = true;
+    let mut stack: Vec<EdgeId> = Vec::new();
+    dfs(graph, s, t, limits, &mut visited, &mut stack, &mut result);
+    result
+}
+
+fn dfs(
+    graph: &Graph,
+    u: NodeId,
+    t: NodeId,
+    limits: PathLimits,
+    visited: &mut Vec<bool>,
+    stack: &mut Vec<EdgeId>,
+    result: &mut Vec<Vec<EdgeId>>,
+) {
+    if result.len() >= limits.max_paths {
+        return;
+    }
+    if u == t {
+        result.push(stack.clone());
+        return;
+    }
+    if stack.len() >= limits.max_len {
+        return;
+    }
+    for (e, v) in graph.neighbors(u) {
+        if visited[v.index()] {
+            continue;
+        }
+        visited[v.index()] = true;
+        stack.push(e);
+        dfs(graph, v, t, limits, visited, stack, result);
+        stack.pop();
+        visited[v.index()] = false;
+        if result.len() >= limits.max_paths {
+            return;
+        }
+    }
+}
+
+/// Sum of edge costs along a path.
+///
+/// # Examples
+///
+/// ```
+/// use bi_graph::{paths, Direction, Graph};
+///
+/// let mut g = Graph::new(Direction::Directed);
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// let e = g.add_edge(a, b, 2.0);
+/// assert_eq!(paths::path_cost(&g, &[e]), 2.0);
+/// ```
+#[must_use]
+pub fn path_cost(graph: &Graph, path: &[EdgeId]) -> f64 {
+    path.iter().map(|&e| graph.edge(e).cost()).sum()
+}
+
+/// Verifies that `path` is a walk from `s` to `t` (each edge leaves the
+/// endpoint reached by the previous one; for undirected graphs either
+/// orientation is accepted).
+///
+/// # Examples
+///
+/// ```
+/// use bi_graph::{paths, Direction, Graph};
+///
+/// let mut g = Graph::new(Direction::Undirected);
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// let e = g.add_edge(a, b, 1.0);
+/// assert!(paths::is_path(&g, a, b, &[e]));
+/// assert!(paths::is_path(&g, b, a, &[e]));
+/// assert!(!paths::is_path(&g, a, a, &[e]));
+/// ```
+#[must_use]
+pub fn is_path(graph: &Graph, s: NodeId, t: NodeId, path: &[EdgeId]) -> bool {
+    let mut cur = s;
+    for &e in path {
+        let edge = graph.edge(e);
+        if edge.source() == cur {
+            cur = edge.target();
+        } else if !graph.is_directed() && edge.target() == cur {
+            cur = edge.source();
+        } else {
+            return false;
+        }
+    }
+    cur == t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::Direction;
+
+    #[test]
+    fn single_edge_path() {
+        let mut g = Graph::new(Direction::Directed);
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(a, b, 1.0);
+        let ps = simple_paths(&g, a, b, PathLimits::default());
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].len(), 1);
+    }
+
+    #[test]
+    fn source_equals_target_gives_empty_path() {
+        let g = generators::path_graph(Direction::Undirected, 3, 1.0);
+        let ps = simple_paths(&g, NodeId::new(1), NodeId::new(1), PathLimits::default());
+        assert_eq!(ps, vec![Vec::<EdgeId>::new()]);
+    }
+
+    #[test]
+    fn counts_paths_in_complete_graph() {
+        // K4 undirected: simple paths between two fixed nodes:
+        // direct (1), via one intermediate (2), via two (2) = 5.
+        let g = generators::complete_graph(Direction::Undirected, 4, 1.0);
+        let ps = simple_paths(&g, NodeId::new(0), NodeId::new(3), PathLimits::default());
+        assert_eq!(ps.len(), 5);
+    }
+
+    #[test]
+    fn respects_max_len() {
+        let g = generators::complete_graph(Direction::Undirected, 4, 1.0);
+        let ps = simple_paths(
+            &g,
+            NodeId::new(0),
+            NodeId::new(3),
+            PathLimits {
+                max_paths: 1000,
+                max_len: 1,
+            },
+        );
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn respects_max_paths() {
+        let g = generators::complete_graph(Direction::Undirected, 5, 1.0);
+        let ps = simple_paths(
+            &g,
+            NodeId::new(0),
+            NodeId::new(4),
+            PathLimits {
+                max_paths: 3,
+                max_len: usize::MAX,
+            },
+        );
+        assert_eq!(ps.len(), 3);
+    }
+
+    #[test]
+    fn all_enumerated_paths_are_valid_and_distinct() {
+        let g = generators::gnp_connected(Direction::Undirected, 8, 0.4, (1.0, 1.0), 11);
+        let s = NodeId::new(0);
+        let t = NodeId::new(7);
+        let ps = simple_paths(&g, s, t, PathLimits::default());
+        for p in &ps {
+            assert!(is_path(&g, s, t, p));
+        }
+        let mut sorted = ps.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ps.len());
+    }
+
+    #[test]
+    fn no_paths_when_disconnected() {
+        let mut g = Graph::new(Direction::Undirected);
+        let a = g.add_node();
+        let b = g.add_node();
+        let _ = (a, b);
+        assert!(simple_paths(&g, a, b, PathLimits::default()).is_empty());
+    }
+
+    #[test]
+    fn directed_enumeration_respects_orientation() {
+        let mut g = Graph::new(Direction::Directed);
+        let a = g.add_node();
+        let b = g.add_node();
+        g.add_edge(b, a, 1.0);
+        assert!(simple_paths(&g, a, b, PathLimits::default()).is_empty());
+    }
+}

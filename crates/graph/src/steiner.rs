@@ -1,0 +1,503 @@
+//! Steiner trees: exact Dreyfus–Wagner (undirected), exact rooted Steiner
+//! arborescences (directed), and a metric-closure 2-approximation.
+//!
+//! Social optima of network cost-sharing games are Steiner problems: with a
+//! shared source the optimum is a Steiner tree (undirected) or arborescence
+//! (directed) over the agents' terminals. The exact dynamic programs run in
+//! `O(3^t·n + 2^t·n log n)` for `t` terminals and are used for the paper's
+//! constructions (small `t`); the approximation backs larger sweeps.
+
+use std::collections::BinaryHeap;
+
+use bi_util::TotalF64;
+
+use crate::dijkstra::dijkstra;
+use crate::graph::{Direction, EdgeId, Graph, NodeId};
+use crate::mst;
+
+/// A Steiner tree/arborescence result: total cost plus the bought edges.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SteinerTree {
+    /// Total cost of the edge set.
+    pub cost: f64,
+    /// The edges of the tree (each id once).
+    pub edges: Vec<EdgeId>,
+}
+
+/// Hard cap on terminal count for the exact dynamic programs (the DP table
+/// has `2^t · n` entries).
+pub const MAX_EXACT_TERMINALS: usize = 14;
+
+#[derive(Clone, Copy, Debug)]
+enum Decision {
+    /// `dp[mask][v]` realized by a shortest path from `v` to the single
+    /// terminal in `mask`.
+    Leaf,
+    /// `dp[mask][v]` realized by merging `dp[sub][v]` and `dp[mask^sub][v]`.
+    Split(u32),
+    /// `dp[mask][v]` realized by `dp[mask][u]` plus the edge `e` (from `u`
+    /// towards `v` in traversal orientation).
+    Extend(NodeId, EdgeId),
+    /// Unreachable.
+    None,
+}
+
+struct Dp {
+    cost: Vec<Vec<f64>>,
+    decision: Vec<Vec<Decision>>,
+}
+
+/// Exact minimum Steiner tree connecting `terminals` in an undirected
+/// graph, via the Dreyfus–Wagner dynamic program.
+///
+/// Returns `None` if the terminals are not all in one connected component.
+/// With zero or one terminal the result is the empty tree.
+///
+/// # Panics
+///
+/// Panics if the graph is directed, a terminal is out of range, or more
+/// than [`MAX_EXACT_TERMINALS`] distinct terminals are given.
+///
+/// # Examples
+///
+/// ```
+/// use bi_graph::{steiner, Direction, Graph, NodeId};
+///
+/// let mut g = Graph::new(Direction::Undirected);
+/// let vs = g.add_nodes(4);
+/// g.add_edge(vs[0], vs[3], 1.0); // hub edges
+/// g.add_edge(vs[1], vs[3], 1.0);
+/// g.add_edge(vs[2], vs[3], 1.0);
+/// g.add_edge(vs[0], vs[1], 5.0);
+/// let tree = steiner::steiner_tree(&g, &[vs[0], vs[1], vs[2]]).unwrap();
+/// assert_eq!(tree.cost, 3.0); // goes through the hub vs[3]
+/// ```
+#[must_use]
+pub fn steiner_tree(graph: &Graph, terminals: &[NodeId]) -> Option<SteinerTree> {
+    assert!(
+        !graph.is_directed(),
+        "steiner_tree requires an undirected graph; use steiner_arborescence"
+    );
+    exact_steiner(graph, terminals, None)
+}
+
+/// Exact minimum Steiner arborescence: a min-cost subgraph of a directed
+/// graph containing a `root → t` path for every terminal `t`.
+///
+/// Returns `None` if some terminal is unreachable from `root`.
+///
+/// # Panics
+///
+/// Panics if the graph is undirected, a node is out of range, or more than
+/// [`MAX_EXACT_TERMINALS`] distinct terminals are given.
+///
+/// # Examples
+///
+/// ```
+/// use bi_graph::{steiner, Direction, Graph};
+///
+/// let mut g = Graph::new(Direction::Directed);
+/// let vs = g.add_nodes(3);
+/// g.add_edge(vs[0], vs[1], 1.0);
+/// g.add_edge(vs[1], vs[2], 1.0);
+/// g.add_edge(vs[0], vs[2], 5.0);
+/// let tree = steiner::steiner_arborescence(&g, vs[0], &[vs[1], vs[2]]).unwrap();
+/// assert_eq!(tree.cost, 2.0);
+/// ```
+#[must_use]
+pub fn steiner_arborescence(
+    graph: &Graph,
+    root: NodeId,
+    terminals: &[NodeId],
+) -> Option<SteinerTree> {
+    assert!(
+        graph.is_directed(),
+        "steiner_arborescence requires a directed graph; use steiner_tree"
+    );
+    exact_steiner(graph, terminals, Some(root))
+}
+
+/// Shared DP. For `root = None` (undirected) the answer is rooted at the
+/// first terminal; for `root = Some(r)` (directed) at `r`, and all edge
+/// relaxations run against the reversed orientation so that subtrees hang
+/// *below* their roots.
+fn exact_steiner(graph: &Graph, terminals: &[NodeId], root: Option<NodeId>) -> Option<SteinerTree> {
+    let mut terms: Vec<NodeId> = terminals.to_vec();
+    terms.sort();
+    terms.dedup();
+    if let Some(r) = root {
+        assert!(r.index() < graph.node_count(), "root out of range");
+        terms.retain(|&t| t != r);
+    }
+    for &t in &terms {
+        assert!(t.index() < graph.node_count(), "terminal out of range");
+    }
+    assert!(
+        terms.len() <= MAX_EXACT_TERMINALS,
+        "exact Steiner limited to {MAX_EXACT_TERMINALS} terminals, got {}",
+        terms.len()
+    );
+    let answer_root = match (root, terms.first()) {
+        (Some(r), _) => r,
+        (None, Some(&t)) => t,
+        (None, None) => {
+            return Some(SteinerTree {
+                cost: 0.0,
+                edges: Vec::new(),
+            })
+        }
+    };
+    if terms.is_empty() {
+        return Some(SteinerTree {
+            cost: 0.0,
+            edges: Vec::new(),
+        });
+    }
+
+    let n = graph.node_count();
+    let t = terms.len();
+    let full: u32 = (1u32 << t) - 1;
+
+    // Shortest paths from each terminal. In the directed case we need
+    // distances *to* the terminal, i.e. shortest paths in the reversed
+    // graph, which is also the orientation the Extend relaxation uses.
+    let reversed = root.map(|_| reverse(graph));
+    let search_graph = reversed.as_ref().unwrap_or(graph);
+    let from_terminal: Vec<_> = terms
+        .iter()
+        .map(|&term| dijkstra(search_graph, term, |e| search_graph.edge(e).cost()))
+        .collect();
+
+    let mut dp = Dp {
+        cost: vec![vec![f64::INFINITY; n]; (full + 1) as usize],
+        decision: vec![vec![Decision::None; n]; (full + 1) as usize],
+    };
+    for (i, sp) in from_terminal.iter().enumerate() {
+        let mask = 1usize << i;
+        for v in 0..n {
+            dp.cost[mask][v] = sp.distance(NodeId::new(v));
+            dp.decision[mask][v] = Decision::Leaf;
+        }
+    }
+
+    for mask in 1..=(full as usize) {
+        if mask.count_ones() >= 2 {
+            // Merge step: combine complementary sub-trees at the same node.
+            let mut sub = (mask - 1) & mask;
+            while sub > 0 {
+                let rest = mask ^ sub;
+                if sub < rest {
+                    sub = (sub - 1) & mask;
+                    continue; // each unordered split once
+                }
+                for v in 0..n {
+                    let c = dp.cost[sub][v] + dp.cost[rest][v];
+                    if c < dp.cost[mask][v] {
+                        dp.cost[mask][v] = c;
+                        dp.decision[mask][v] = Decision::Split(sub as u32);
+                    }
+                }
+                sub = (sub - 1) & mask;
+            }
+        } else {
+            continue; // singletons already initialized and relaxed below
+        }
+        relax(search_graph, &mut dp, mask);
+    }
+
+    let best = dp.cost[full as usize][answer_root.index()];
+    if !best.is_finite() {
+        return None;
+    }
+    let mut edges = Vec::new();
+    collect_edges(
+        graph,
+        search_graph,
+        &dp,
+        &from_terminal,
+        &terms,
+        full,
+        answer_root,
+        &mut edges,
+    );
+    edges.sort();
+    edges.dedup();
+    Some(SteinerTree {
+        cost: graph.total_cost(edges.iter().copied()),
+        edges,
+    })
+}
+
+/// Dijkstra-style relaxation of `dp[mask][·]` along graph edges.
+fn relax(search_graph: &Graph, dp: &mut Dp, mask: usize) {
+    let n = search_graph.node_count();
+    let mut heap: BinaryHeap<std::cmp::Reverse<(TotalF64, u32)>> = BinaryHeap::new();
+    for v in 0..n {
+        if dp.cost[mask][v].is_finite() {
+            heap.push(std::cmp::Reverse((TotalF64::new(dp.cost[mask][v]), v as u32)));
+        }
+    }
+    while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+        let u = u as usize;
+        let d = d.get();
+        if d > dp.cost[mask][u] {
+            continue;
+        }
+        for (e, v) in search_graph.neighbors(NodeId::new(u)) {
+            let nd = d + search_graph.edge(e).cost();
+            if nd < dp.cost[mask][v.index()] {
+                dp.cost[mask][v.index()] = nd;
+                dp.decision[mask][v.index()] = Decision::Extend(NodeId::new(u), e);
+                heap.push(std::cmp::Reverse((TotalF64::new(nd), v.index() as u32)));
+            }
+        }
+    }
+}
+
+/// Reverses a directed graph, preserving edge ids.
+fn reverse(graph: &Graph) -> Graph {
+    let mut rev = Graph::with_nodes(Direction::Directed, graph.node_count());
+    for (_, edge) in graph.edges() {
+        rev.add_edge(edge.target(), edge.source(), edge.cost());
+    }
+    rev
+}
+
+#[allow(clippy::too_many_arguments)]
+fn collect_edges(
+    graph: &Graph,
+    search_graph: &Graph,
+    dp: &Dp,
+    from_terminal: &[crate::dijkstra::ShortestPaths],
+    terms: &[NodeId],
+    mask: u32,
+    v: NodeId,
+    out: &mut Vec<EdgeId>,
+) {
+    match dp.decision[mask as usize][v.index()] {
+        Decision::None => {}
+        Decision::Leaf => {
+            let i = mask.trailing_zeros() as usize;
+            debug_assert_eq!(mask, 1 << i);
+            let _ = terms;
+            if let Some(path) = from_terminal[i].path_edges(v) {
+                out.extend(path);
+            }
+        }
+        Decision::Split(sub) => {
+            collect_edges(graph, search_graph, dp, from_terminal, terms, sub, v, out);
+            collect_edges(
+                graph,
+                search_graph,
+                dp,
+                from_terminal,
+                terms,
+                mask ^ sub,
+                v,
+                out,
+            );
+        }
+        Decision::Extend(u, e) => {
+            out.push(e);
+            collect_edges(graph, search_graph, dp, from_terminal, terms, mask, u, out);
+        }
+    }
+}
+
+/// Metric-closure 2-approximation for undirected Steiner trees: MST of the
+/// terminal metric, expanded back into graph edges.
+///
+/// Returns `None` if the terminals are disconnected.
+///
+/// # Panics
+///
+/// Panics if the graph is directed or a terminal is out of range.
+///
+/// # Examples
+///
+/// ```
+/// let g = bi_graph::generators::path_graph(bi_graph::Direction::Undirected, 5, 1.0);
+/// let ends = [bi_graph::NodeId::new(0), bi_graph::NodeId::new(4)];
+/// let t = bi_graph::steiner::metric_closure_approx(&g, &ends).unwrap();
+/// assert_eq!(t.cost, 4.0);
+/// ```
+#[must_use]
+pub fn metric_closure_approx(graph: &Graph, terminals: &[NodeId]) -> Option<SteinerTree> {
+    assert!(
+        !graph.is_directed(),
+        "metric_closure_approx requires an undirected graph"
+    );
+    let mut terms: Vec<NodeId> = terminals.to_vec();
+    terms.sort();
+    terms.dedup();
+    if terms.len() <= 1 {
+        return Some(SteinerTree {
+            cost: 0.0,
+            edges: Vec::new(),
+        });
+    }
+    let sps: Vec<_> = terms
+        .iter()
+        .map(|&t| dijkstra(graph, t, |e| graph.edge(e).cost()))
+        .collect();
+    let mut closure = Graph::with_nodes(Direction::Undirected, terms.len());
+    for i in 0..terms.len() {
+        for j in (i + 1)..terms.len() {
+            let d = sps[i].distance(terms[j]);
+            if !d.is_finite() {
+                return None;
+            }
+            closure.add_edge(NodeId::new(i), NodeId::new(j), d);
+        }
+    }
+    let (_, mst_edges) = mst::kruskal(&closure);
+    let mut edges: Vec<EdgeId> = Vec::new();
+    for ce in mst_edges {
+        let closure_edge = closure.edge(ce);
+        let i = closure_edge.source().index();
+        let j = closure_edge.target();
+        edges.extend(sps[i].path_edges(terms[j.index()]).expect("checked finite"));
+    }
+    edges.sort();
+    edges.dedup();
+    Some(SteinerTree {
+        cost: graph.total_cost(edges.iter().copied()),
+        edges,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::paths;
+
+    #[test]
+    fn empty_and_singleton_terminals_cost_zero() {
+        let g = generators::path_graph(Direction::Undirected, 3, 1.0);
+        assert_eq!(steiner_tree(&g, &[]).unwrap().cost, 0.0);
+        assert_eq!(steiner_tree(&g, &[NodeId::new(1)]).unwrap().cost, 0.0);
+    }
+
+    #[test]
+    fn two_terminals_reduce_to_shortest_path() {
+        let g = generators::gnp_connected(Direction::Undirected, 10, 0.4, (1.0, 3.0), 5);
+        let s = NodeId::new(0);
+        let t = NodeId::new(9);
+        let tree = steiner_tree(&g, &[s, t]).unwrap();
+        let (d, _) = crate::dijkstra::shortest_path(&g, s, t).unwrap();
+        assert!((tree.cost - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn star_hub_is_found() {
+        let mut g = Graph::new(Direction::Undirected);
+        let hub = g.add_node();
+        let leaves = g.add_nodes(4);
+        for &l in &leaves {
+            g.add_edge(hub, l, 1.0);
+        }
+        // expensive direct edges between leaves
+        g.add_edge(leaves[0], leaves[1], 3.0);
+        let tree = steiner_tree(&g, &leaves).unwrap();
+        assert_eq!(tree.cost, 4.0);
+        assert_eq!(tree.edges.len(), 4);
+    }
+
+    #[test]
+    fn disconnected_terminals_return_none() {
+        let mut g = Graph::new(Direction::Undirected);
+        let a = g.add_node();
+        let b = g.add_node();
+        assert!(steiner_tree(&g, &[a, b]).is_none());
+    }
+
+    #[test]
+    fn tree_edges_connect_all_terminals() {
+        let g = generators::gnp_connected(Direction::Undirected, 12, 0.3, (0.5, 2.0), 9);
+        let terms = [NodeId::new(0), NodeId::new(5), NodeId::new(11)];
+        let tree = steiner_tree(&g, &terms).unwrap();
+        // Build subgraph and check connectivity between terminals.
+        let mut sub = Graph::with_nodes(Direction::Undirected, g.node_count());
+        for &e in &tree.edges {
+            let edge = g.edge(e);
+            sub.add_edge(edge.source(), edge.target(), edge.cost());
+        }
+        for &t in &terms[1..] {
+            assert!(
+                crate::dijkstra::shortest_path(&sub, terms[0], t).is_some(),
+                "terminal {t} not connected"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_never_exceeds_approximation() {
+        for seed in 0..5 {
+            let g = generators::gnp_connected(Direction::Undirected, 10, 0.35, (0.5, 2.0), seed);
+            let terms = [NodeId::new(0), NodeId::new(3), NodeId::new(7), NodeId::new(9)];
+            let exact = steiner_tree(&g, &terms).unwrap();
+            let approx = metric_closure_approx(&g, &terms).unwrap();
+            assert!(exact.cost <= approx.cost + 1e-9);
+            assert!(approx.cost <= 2.0 * exact.cost + 1e-9);
+        }
+    }
+
+    #[test]
+    fn arborescence_uses_shared_prefix() {
+        let mut g = Graph::new(Direction::Directed);
+        let r = g.add_node();
+        let mid = g.add_node();
+        let t1 = g.add_node();
+        let t2 = g.add_node();
+        g.add_edge(r, mid, 1.0);
+        g.add_edge(mid, t1, 0.5);
+        g.add_edge(mid, t2, 0.5);
+        g.add_edge(r, t1, 10.0);
+        g.add_edge(r, t2, 10.0);
+        let tree = steiner_arborescence(&g, r, &[t1, t2]).unwrap();
+        assert!((tree.cost - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arborescence_unreachable_terminal_is_none() {
+        let mut g = Graph::new(Direction::Directed);
+        let r = g.add_node();
+        let t = g.add_node();
+        g.add_edge(t, r, 1.0); // only wrong direction
+        assert!(steiner_arborescence(&g, r, &[t]).is_none());
+    }
+
+    #[test]
+    fn arborescence_root_among_terminals_is_ignored() {
+        let mut g = Graph::new(Direction::Directed);
+        let r = g.add_node();
+        let t = g.add_node();
+        g.add_edge(r, t, 2.0);
+        let tree = steiner_arborescence(&g, r, &[r, t]).unwrap();
+        assert_eq!(tree.cost, 2.0);
+    }
+
+    #[test]
+    fn reconstructed_edges_form_valid_subgraph_paths() {
+        let mut g = Graph::new(Direction::Directed);
+        let vs = g.add_nodes(5);
+        g.add_edge(vs[0], vs[1], 1.0);
+        g.add_edge(vs[1], vs[2], 1.0);
+        g.add_edge(vs[1], vs[3], 1.0);
+        g.add_edge(vs[0], vs[4], 1.0);
+        g.add_edge(vs[4], vs[2], 5.0);
+        let tree = steiner_arborescence(&g, vs[0], &[vs[2], vs[3]]).unwrap();
+        assert!((tree.cost - 3.0).abs() < 1e-9);
+        // Subgraph must contain root->terminal paths.
+        let mut sub = Graph::with_nodes(Direction::Directed, g.node_count());
+        for &e in &tree.edges {
+            let edge = g.edge(e);
+            sub.add_edge(edge.source(), edge.target(), edge.cost());
+        }
+        for t in [vs[2], vs[3]] {
+            assert!(crate::dijkstra::shortest_path(&sub, vs[0], t).is_some());
+        }
+        let _ = paths::PathLimits::default();
+    }
+}

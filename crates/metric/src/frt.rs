@@ -1,0 +1,222 @@
+//! The Fakcharoenphol–Rao–Talwar probabilistic tree embedding.
+//!
+//! Given an `n`-point metric, FRT samples a dominating HST whose expected
+//! stretch is `O(log n)` for every pair. The construction: draw a uniform
+//! random permutation `π` of the points and `β ∈ [1, 2)` with density
+//! `1/(β ln 2)`; level-`i` clusters are carved by assigning each point to
+//! the first point in `π`-order within distance `β·2^{i-1}` (in units of
+//! the minimum distance), refining from the top level down to singletons.
+//!
+//! Tree edge weights between level `i` and `i−1` are `2^i` (scaled), which
+//! makes domination unconditional: points separated at level `i` are at
+//! metric distance ≤ `β·2^i ≤ 2^{i+1}` but at tree distance
+//! `2(2^{i+1} − 2) ≥ 2^{i+1}` for `i ≥ 1`.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::space::MetricSpace;
+use crate::tree::{HstNode, HstTree};
+
+/// Samples one FRT tree for `metric` using `rng`.
+///
+/// # Panics
+///
+/// Panics if the metric has zero points (impossible for validated
+/// [`MetricSpace`] values).
+///
+/// # Examples
+///
+/// ```
+/// use bi_metric::{frt, MetricSpace};
+///
+/// let g = bi_graph::generators::cycle_graph(bi_graph::Direction::Undirected, 8, 1.0);
+/// let metric = MetricSpace::from_graph(&g).unwrap();
+/// let tree = frt::sample(&metric, &mut bi_util::rng::seeded(1));
+/// assert_eq!(tree.point_count(), 8);
+/// // Domination: tree distances never undercut the metric.
+/// assert!(tree.distance(0, 4) >= metric.distance(0, 4));
+/// ```
+#[must_use]
+pub fn sample(metric: &MetricSpace, rng: &mut StdRng) -> HstTree {
+    let n = metric.len();
+    assert!(n > 0, "metric must be non-empty");
+    if n == 1 {
+        return HstTree::from_nodes(
+            vec![HstNode {
+                parent: None,
+                parent_weight: 0.0,
+                children: vec![],
+                center: 0,
+                level: 0,
+                point: Some(0),
+            }],
+            1,
+        );
+    }
+    let dmin = metric.min_distance();
+    // Scaled distances d'(u,v) = d(u,v)/dmin are ≥ 1.
+    let scaled = |u: usize, v: usize| metric.distance(u, v) / dmin;
+    let diameter = metric.diameter() / dmin;
+    // Top level δ with β·2^{δ-1} ≥ 2^{δ-1} ≥ diameter.
+    let delta = (diameter.log2().ceil() as u32).max(0) + 1;
+
+    let mut pi: Vec<usize> = (0..n).collect();
+    pi.shuffle(rng);
+    // β with density 1/(β ln 2) on [1,2): β = 2^U for U uniform on [0,1).
+    let beta = 2f64.powf(rng.random_range(0.0..1.0));
+
+    // Build the laminar family top-down. Each work item is a cluster with
+    // its tree-node index and level.
+    let mut nodes: Vec<HstNode> = vec![HstNode {
+        parent: None,
+        parent_weight: 0.0,
+        children: vec![],
+        center: pi[0],
+        level: delta,
+        point: if n == 1 { Some(0) } else { None },
+    }];
+    let mut queue: Vec<(usize, u32, Vec<usize>)> = vec![(0, delta, (0..n).collect())];
+    while let Some((node_idx, level, members)) = queue.pop() {
+        if level == 0 {
+            debug_assert_eq!(members.len(), 1, "level-0 clusters are singletons");
+            nodes[node_idx].point = Some(members[0]);
+            continue;
+        }
+        let child_level = level - 1;
+        let radius = if child_level == 0 {
+            beta / 2.0
+        } else {
+            beta * 2f64.powi(child_level as i32 - 1)
+        };
+        // Partition members: each goes to the π-first point within radius.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for &v in &members {
+            let center = pi
+                .iter()
+                .copied()
+                .find(|&u| scaled(u, v) <= radius)
+                .expect("v itself is within any positive radius");
+            match groups.iter_mut().find(|(c, _)| *c == center) {
+                Some((_, g)) => g.push(v),
+                None => groups.push((center, vec![v])),
+            }
+        }
+        let edge_weight = 2f64.powi(level as i32) * dmin;
+        for (center, group) in groups {
+            let child_idx = nodes.len();
+            nodes.push(HstNode {
+                parent: Some(node_idx),
+                parent_weight: edge_weight,
+                children: vec![],
+                center,
+                level: child_level,
+                point: None,
+            });
+            nodes[node_idx].children.push(child_idx);
+            queue.push((child_idx, child_level, group));
+        }
+    }
+    HstTree::from_nodes(nodes, n)
+}
+
+/// Samples `count` trees and returns the one with the smallest average
+/// stretch over all pairs — the constructive "some tree meets the
+/// expectation" step used by Lemma 3.4.
+///
+/// # Panics
+///
+/// Panics if `count == 0`.
+#[must_use]
+pub fn sample_best_of(metric: &MetricSpace, count: usize, rng: &mut StdRng) -> HstTree {
+    assert!(count > 0, "need at least one sample");
+    let mut best: Option<(f64, HstTree)> = None;
+    for _ in 0..count {
+        let tree = sample(metric, rng);
+        let avg = crate::stretch::average_stretch(metric, &tree);
+        if best.as_ref().is_none_or(|(b, _)| avg < *b) {
+            best = Some((avg, tree));
+        }
+    }
+    best.expect("count > 0").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stretch;
+    use bi_graph::generators;
+
+    fn grid_metric(side: usize) -> MetricSpace {
+        MetricSpace::from_graph(&generators::grid_graph(side, side, 1.0)).unwrap()
+    }
+
+    #[test]
+    fn every_sampled_tree_dominates() {
+        let metric = grid_metric(4);
+        for seed in 0..20 {
+            let tree = sample(&metric, &mut bi_util::rng::seeded(seed));
+            assert!(
+                stretch::is_dominating(&metric, &tree),
+                "seed {seed} produced a non-dominating tree"
+            );
+        }
+    }
+
+    #[test]
+    fn leaves_biject_with_points() {
+        let metric = grid_metric(3);
+        let tree = sample(&metric, &mut bi_util::rng::seeded(3));
+        assert_eq!(tree.point_count(), 9);
+        for p in 0..9 {
+            assert_eq!(tree.node(tree.leaf(p)).point, Some(p));
+        }
+    }
+
+    #[test]
+    fn average_stretch_is_logarithmic_in_practice() {
+        let metric = grid_metric(5); // 25 points
+        let mut rng = bi_util::rng::seeded(9);
+        let mut total = 0.0;
+        let samples = 30;
+        for _ in 0..samples {
+            total += stretch::average_stretch(&metric, &sample(&metric, &mut rng));
+        }
+        let avg = total / f64::from(samples);
+        // O(log n) with modest constants: comfortably below 60 for n = 25,
+        // and certainly above 1 (domination).
+        assert!(avg >= 1.0);
+        assert!(avg < 60.0, "average stretch {avg} unreasonably large");
+    }
+
+    #[test]
+    fn single_point_metric_is_a_lone_leaf() {
+        // Degenerate 1-point matrix is valid.
+        let m = MetricSpace::from_matrix(vec![vec![0.0]]).unwrap();
+        let tree = sample(&m, &mut bi_util::rng::seeded(0));
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.distance(0, 0), 0.0);
+    }
+
+    #[test]
+    fn best_of_sampling_improves_average_stretch() {
+        let metric = grid_metric(4);
+        let mut rng = bi_util::rng::seeded(11);
+        let single = sample(&metric, &mut bi_util::rng::seeded(12));
+        let best = sample_best_of(&metric, 20, &mut rng);
+        assert!(
+            stretch::average_stretch(&metric, &best)
+                <= stretch::average_stretch(&metric, &single) + 1e-9
+                || stretch::average_stretch(&metric, &best) < 25.0
+        );
+        assert!(stretch::is_dominating(&metric, &best));
+    }
+
+    #[test]
+    fn two_point_metric_has_correct_separation() {
+        let m = MetricSpace::from_matrix(vec![vec![0.0, 5.0], vec![5.0, 0.0]]).unwrap();
+        let tree = sample(&m, &mut bi_util::rng::seeded(2));
+        assert!(tree.distance(0, 1) >= 5.0);
+    }
+}

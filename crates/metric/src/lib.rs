@@ -1,0 +1,40 @@
+//! Finite metric spaces and probabilistic tree embeddings.
+//!
+//! Lemma 3.4 of *Bayesian ignorance* bounds `optP/optC = O(log n)` for
+//! undirected Bayesian NCS games by routing every agent along a random
+//! dominating tree: Fakcharoenphol–Rao–Talwar (FRT) prove that every
+//! `n`-point metric embeds into a distribution over hierarchically
+//! separated trees (HSTs) with expected stretch `O(log n)`, and Gupta's
+//! technique removes the Steiner (internal) nodes at constant extra
+//! distortion. This crate implements all of it:
+//!
+//! * [`space::MetricSpace`] — validated finite metrics, from matrices or
+//!   graphs (via APSP);
+//! * [`tree::HstTree`] — the hierarchical trees produced by FRT, with leaf
+//!   distances and edge traversal;
+//! * [`frt`] — the FRT sampling algorithm (random permutation + random
+//!   radius scale `β`), guaranteed dominating by construction;
+//! * [`steiner_removal`] — contraction of internal nodes onto their
+//!   centers, preserving domination by the triangle inequality;
+//! * [`stretch`] — empirical stretch measurement used by the benches.
+//!
+//! # Examples
+//!
+//! ```
+//! use bi_metric::{frt, space::MetricSpace, stretch};
+//!
+//! let g = bi_graph::generators::grid_graph(4, 4, 1.0);
+//! let metric = MetricSpace::from_graph(&g).unwrap();
+//! let tree = frt::sample(&metric, &mut bi_util::rng::seeded(7));
+//! // FRT trees dominate the metric…
+//! assert!(stretch::is_dominating(&metric, &tree));
+//! ```
+
+pub mod frt;
+pub mod space;
+pub mod steiner_removal;
+pub mod stretch;
+pub mod tree;
+
+pub use space::MetricSpace;
+pub use tree::HstTree;

@@ -1,0 +1,229 @@
+//! Validated finite metric spaces.
+
+use std::fmt;
+
+use bi_graph::Graph;
+
+/// Errors constructing a [`MetricSpace`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricError {
+    /// The matrix is empty or not square.
+    BadShape,
+    /// A diagonal entry is nonzero, an off-diagonal entry is non-positive
+    /// or non-finite, or the matrix is asymmetric.
+    NotAMetric(String),
+    /// The triangle inequality fails for the reported triple.
+    TriangleViolation(usize, usize, usize),
+    /// The source graph is not connected (some distance is infinite).
+    Disconnected,
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::BadShape => write!(f, "distance matrix must be square and non-empty"),
+            MetricError::NotAMetric(msg) => write!(f, "not a metric: {msg}"),
+            MetricError::TriangleViolation(i, j, k) => {
+                write!(f, "triangle inequality fails on ({i}, {j}, {k})")
+            }
+            MetricError::Disconnected => write!(f, "graph metric requires a connected graph"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+/// A finite metric space: a validated symmetric distance matrix with zero
+/// diagonal, positive off-diagonal entries, and the triangle inequality.
+///
+/// # Examples
+///
+/// ```
+/// use bi_metric::MetricSpace;
+///
+/// let m = MetricSpace::from_matrix(vec![
+///     vec![0.0, 1.0, 2.0],
+///     vec![1.0, 0.0, 1.0],
+///     vec![2.0, 1.0, 0.0],
+/// ]).unwrap();
+/// assert_eq!(m.len(), 3);
+/// assert_eq!(m.distance(0, 2), 2.0);
+/// assert_eq!(m.diameter(), 2.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSpace {
+    dist: Vec<Vec<f64>>,
+}
+
+impl MetricSpace {
+    /// Validates and wraps a distance matrix.
+    ///
+    /// # Errors
+    ///
+    /// See [`MetricError`].
+    pub fn from_matrix(dist: Vec<Vec<f64>>) -> Result<Self, MetricError> {
+        let n = dist.len();
+        if n == 0 || dist.iter().any(|row| row.len() != n) {
+            return Err(MetricError::BadShape);
+        }
+        for (i, row) in dist.iter().enumerate() {
+            if row[i] != 0.0 {
+                return Err(MetricError::NotAMetric(format!("d({i},{i}) ≠ 0")));
+            }
+            for (j, &d) in row.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if !d.is_finite() || d <= 0.0 {
+                    return Err(MetricError::NotAMetric(format!(
+                        "d({i},{j}) = {d} must be positive and finite"
+                    )));
+                }
+                if (d - dist[j][i]).abs() > 1e-9 * d.max(1.0) {
+                    return Err(MetricError::NotAMetric(format!("d({i},{j}) ≠ d({j},{i})")));
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    if dist[i][j] > dist[i][k] + dist[k][j] + 1e-9 {
+                        return Err(MetricError::TriangleViolation(i, j, k));
+                    }
+                }
+            }
+        }
+        Ok(MetricSpace { dist })
+    }
+
+    /// The shortest-path metric of a connected graph (undirected, or
+    /// directed with symmetric distances).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricError::Disconnected`] if some pair is unreachable
+    /// and propagates metric validation failures (e.g. asymmetric directed
+    /// distances).
+    pub fn from_graph(graph: &Graph) -> Result<Self, MetricError> {
+        let dist = bi_graph::apsp::all_pairs(graph);
+        if dist
+            .iter()
+            .flat_map(|row| row.iter())
+            .any(|d| !d.is_finite())
+        {
+            return Err(MetricError::Disconnected);
+        }
+        // Graphs may have distinct vertices at distance 0 (zero-cost
+        // edges); perturb is the caller's business, so reject instead.
+        Self::from_matrix(dist)
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.dist.len()
+    }
+
+    /// `true` when the space has no points (cannot happen for validated
+    /// spaces; included for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.dist.is_empty()
+    }
+
+    /// Distance between two points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn distance(&self, u: usize, v: usize) -> f64 {
+        self.dist[u][v]
+    }
+
+    /// Largest pairwise distance.
+    #[must_use]
+    pub fn diameter(&self) -> f64 {
+        self.dist
+            .iter()
+            .flat_map(|row| row.iter())
+            .copied()
+            .fold(0.0, f64::max)
+    }
+
+    /// Smallest positive pairwise distance (`∞` for a single point).
+    #[must_use]
+    pub fn min_distance(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        for (i, row) in self.dist.iter().enumerate() {
+            for (j, &d) in row.iter().enumerate() {
+                if i != j {
+                    min = min.min(d);
+                }
+            }
+        }
+        min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_graph::{generators, Direction};
+
+    #[test]
+    fn accepts_valid_metrics() {
+        let m = MetricSpace::from_matrix(vec![
+            vec![0.0, 2.0],
+            vec![2.0, 0.0],
+        ])
+        .unwrap();
+        assert_eq!(m.min_distance(), 2.0);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn rejects_asymmetry_and_bad_diagonals() {
+        assert!(matches!(
+            MetricSpace::from_matrix(vec![vec![0.0, 1.0], vec![2.0, 0.0]]),
+            Err(MetricError::NotAMetric(_))
+        ));
+        assert!(matches!(
+            MetricSpace::from_matrix(vec![vec![1.0]]),
+            Err(MetricError::NotAMetric(_))
+        ));
+        assert!(matches!(
+            MetricSpace::from_matrix(vec![]),
+            Err(MetricError::BadShape)
+        ));
+    }
+
+    #[test]
+    fn rejects_triangle_violations() {
+        let err = MetricSpace::from_matrix(vec![
+            vec![0.0, 10.0, 1.0],
+            vec![10.0, 0.0, 1.0],
+            vec![1.0, 1.0, 0.0],
+        ])
+        .unwrap_err();
+        assert!(matches!(err, MetricError::TriangleViolation(..)));
+        assert!(err.to_string().contains("triangle"));
+    }
+
+    #[test]
+    fn graph_metric_matches_shortest_paths() {
+        let g = generators::path_graph(Direction::Undirected, 4, 2.0);
+        let m = MetricSpace::from_graph(&g).unwrap();
+        assert_eq!(m.distance(0, 3), 6.0);
+        assert_eq!(m.diameter(), 6.0);
+        assert_eq!(m.min_distance(), 2.0);
+    }
+
+    #[test]
+    fn disconnected_graphs_are_rejected() {
+        let mut g = Graph::new(Direction::Undirected);
+        g.add_node();
+        g.add_node();
+        assert_eq!(MetricSpace::from_graph(&g), Err(MetricError::Disconnected));
+    }
+}

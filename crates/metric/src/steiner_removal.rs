@@ -1,0 +1,161 @@
+//! Steiner-node removal from HSTs (Gupta's technique, simplified).
+//!
+//! FRT trees have internal nodes for clusters; Lemma 3.4 quotes Gupta's
+//! result that these "Steiner points" can be removed at constant extra
+//! distortion. Because every FRT cluster's center *is* a metric point, the
+//! contraction here is direct: build a tree on the points where an edge
+//! joins the centers of a parent/child cluster pair whenever they differ,
+//! weighted by the HST leaf-to-leaf distance of the two centers. Each edge
+//! weight then dominates the metric distance of its endpoints, so by the
+//! triangle inequality the contracted tree still dominates the metric.
+
+use bi_graph::{Direction, Graph, NodeId};
+
+use crate::space::MetricSpace;
+use crate::tree::HstTree;
+
+/// A tree on the metric points themselves (no Steiner nodes), as an
+/// undirected weighted graph plus its pairwise distance matrix.
+#[derive(Clone, Debug)]
+pub struct ContractedTree {
+    /// The tree as a graph on `0..n` (node ids = metric point indices).
+    pub graph: Graph,
+    /// Pairwise distances in the contracted tree.
+    pub dist: Vec<Vec<f64>>,
+}
+
+/// Contracts an HST onto its centers.
+///
+/// Every cluster is identified with its center point; parent/child cluster
+/// pairs with distinct centers become tree edges weighted by the HST
+/// leaf-to-leaf distance between the centers. The result is a spanning
+/// tree of the points that still dominates the source metric.
+///
+/// # Panics
+///
+/// Panics if the tree and metric disagree on the point count.
+#[must_use]
+pub fn contract(metric: &MetricSpace, tree: &HstTree) -> ContractedTree {
+    assert_eq!(metric.len(), tree.point_count(), "point count mismatch");
+    let n = metric.len();
+    let mut graph = Graph::with_nodes(Direction::Undirected, n);
+    let mut attached = vec![false; n];
+    // Walk tree edges; whenever the child's center differs from its
+    // *effective* ancestor center, emit an edge between the two centers.
+    // Track each node's effective center (itself, or inherited from the
+    // parent when equal).
+    let root_center = tree.node(0).center;
+    attached[root_center] = true;
+    for (parent, child) in tree.edges() {
+        let pc = tree.node(parent).center;
+        let cc = tree.node(child).center;
+        if pc != cc && !attached[cc] {
+            attached[cc] = true;
+            let w = tree.distance(pc, cc).max(metric.distance(pc, cc));
+            graph.add_edge(NodeId::new(pc), NodeId::new(cc), w);
+        }
+    }
+    debug_assert!(attached.iter().all(|&a| a), "every point has a center node");
+    let dist = bi_graph::apsp::all_pairs(&graph);
+    ContractedTree { graph, dist }
+}
+
+impl ContractedTree {
+    /// Distance between two points in the contracted tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn distance(&self, u: usize, v: usize) -> f64 {
+        self.dist[u][v]
+    }
+
+    /// Whether the contracted tree dominates `metric`.
+    #[must_use]
+    pub fn dominates(&self, metric: &MetricSpace) -> bool {
+        let n = metric.len();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if self.distance(u, v) < metric.distance(u, v) - 1e-9 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Average stretch of the contracted tree over all pairs.
+    #[must_use]
+    pub fn average_stretch(&self, metric: &MetricSpace) -> f64 {
+        let n = metric.len();
+        if n < 2 {
+            return 1.0;
+        }
+        let mut total = 0.0;
+        let mut pairs = 0usize;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                total += self.distance(u, v) / metric.distance(u, v);
+                pairs += 1;
+            }
+        }
+        total / pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frt;
+    use bi_graph::generators;
+
+    fn grid_metric(side: usize) -> MetricSpace {
+        MetricSpace::from_graph(&generators::grid_graph(side, side, 1.0)).unwrap()
+    }
+
+    #[test]
+    fn contraction_spans_all_points_as_a_tree() {
+        let metric = grid_metric(4);
+        for seed in 0..10 {
+            let tree = frt::sample(&metric, &mut bi_util::rng::seeded(seed));
+            let ct = contract(&metric, &tree);
+            assert_eq!(ct.graph.node_count(), 16);
+            assert_eq!(ct.graph.edge_count(), 15, "a tree has n-1 edges");
+            assert!(bi_graph::apsp::is_strongly_connected(&ct.graph));
+        }
+    }
+
+    #[test]
+    fn contraction_preserves_domination() {
+        let metric = grid_metric(4);
+        for seed in 0..10 {
+            let tree = frt::sample(&metric, &mut bi_util::rng::seeded(100 + seed));
+            let ct = contract(&metric, &tree);
+            assert!(ct.dominates(&metric), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn contracted_stretch_stays_within_constant_of_hst_stretch() {
+        let metric = grid_metric(4);
+        let mut ratios = Vec::new();
+        for seed in 0..10 {
+            let tree = frt::sample(&metric, &mut bi_util::rng::seeded(200 + seed));
+            let hst_avg = crate::stretch::average_stretch(&metric, &tree);
+            let ct = contract(&metric, &tree);
+            ratios.push(ct.average_stretch(&metric) / hst_avg);
+        }
+        let worst = ratios.iter().copied().fold(0.0f64, f64::max);
+        assert!(worst < 8.0, "contraction blow-up {worst} exceeds Gupta's constant regime");
+    }
+
+    #[test]
+    fn single_point_contracts_to_single_node() {
+        let m = MetricSpace::from_matrix(vec![vec![0.0]]).unwrap();
+        let tree = frt::sample(&m, &mut bi_util::rng::seeded(0));
+        let ct = contract(&m, &tree);
+        assert_eq!(ct.graph.node_count(), 1);
+        assert_eq!(ct.graph.edge_count(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Stretch measurement for tree embeddings.
+
+use crate::space::MetricSpace;
+use crate::tree::HstTree;
+
+/// Whether `tree` dominates `metric`: `d_T(u,v) ≥ d(u,v)` for every pair
+/// (up to floating-point tolerance).
+///
+/// # Panics
+///
+/// Panics if the tree and metric have different point counts.
+#[must_use]
+pub fn is_dominating(metric: &MetricSpace, tree: &HstTree) -> bool {
+    assert_eq!(metric.len(), tree.point_count(), "point count mismatch");
+    for u in 0..metric.len() {
+        for v in (u + 1)..metric.len() {
+            if tree.distance(u, v) < metric.distance(u, v) - 1e-9 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Average stretch `d_T(u,v)/d(u,v)` over all unordered pairs (1.0 for
+/// metrics with fewer than two points).
+///
+/// # Panics
+///
+/// Panics if the tree and metric have different point counts.
+#[must_use]
+pub fn average_stretch(metric: &MetricSpace, tree: &HstTree) -> f64 {
+    assert_eq!(metric.len(), tree.point_count(), "point count mismatch");
+    let n = metric.len();
+    if n < 2 {
+        return 1.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            total += tree.distance(u, v) / metric.distance(u, v);
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+/// Maximum stretch over all pairs (1.0 for metrics with fewer than two
+/// points).
+///
+/// # Panics
+///
+/// Panics if the tree and metric have different point counts.
+#[must_use]
+pub fn max_stretch(metric: &MetricSpace, tree: &HstTree) -> f64 {
+    assert_eq!(metric.len(), tree.point_count(), "point count mismatch");
+    let n = metric.len();
+    let mut worst = 1.0f64;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            worst = worst.max(tree.distance(u, v) / metric.distance(u, v));
+        }
+    }
+    worst
+}
+
+/// Per-pair expected stretch over a set of sampled trees, returned as the
+/// maximum over pairs of the average over trees — the quantity FRT bounds
+/// by `O(log n)`.
+///
+/// # Panics
+///
+/// Panics if `trees` is empty or inconsistent with the metric.
+#[must_use]
+pub fn max_expected_stretch(metric: &MetricSpace, trees: &[HstTree]) -> f64 {
+    assert!(!trees.is_empty(), "need at least one tree");
+    let n = metric.len();
+    let mut worst = 0.0f64;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let avg: f64 = trees
+                .iter()
+                .map(|t| t.distance(u, v) / metric.distance(u, v))
+                .sum::<f64>()
+                / trees.len() as f64;
+            worst = worst.max(avg);
+        }
+    }
+    worst.max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frt;
+    use bi_graph::generators;
+    use bi_graph::Direction;
+
+    #[test]
+    fn expected_stretch_scales_like_log_n() {
+        // Measure max expected stretch on cycles of doubling size; the
+        // growth should be clearly sublinear (logarithmic in theory).
+        let mut values = Vec::new();
+        for &n in &[8usize, 16, 32] {
+            let metric =
+                crate::MetricSpace::from_graph(&generators::cycle_graph(Direction::Undirected, n, 1.0))
+                    .unwrap();
+            let mut rng = bi_util::rng::seeded(n as u64);
+            let trees: Vec<_> = (0..40).map(|_| frt::sample(&metric, &mut rng)).collect();
+            values.push(max_expected_stretch(&metric, &trees));
+        }
+        // Sublinear growth: quadrupling n (8 → 32) must fall well short of
+        // quadrupling the stretch, and the doubling ratio must shrink.
+        assert!(values[2] / values[0] < 3.2, "{values:?}");
+        assert!(values[2] / values[1] < values[1] / values[0], "{values:?}");
+    }
+
+    #[test]
+    fn stretch_of_identical_tree_metric_is_one() {
+        // A path metric embeds into its own path... approximate: 2-point
+        // case where any dominating tree with matching weight is exact.
+        let metric = crate::MetricSpace::from_matrix(vec![
+            vec![0.0, 3.0],
+            vec![3.0, 0.0],
+        ])
+        .unwrap();
+        let tree = frt::sample(&metric, &mut bi_util::rng::seeded(4));
+        assert!(average_stretch(&metric, &tree) >= 1.0);
+        assert!(max_stretch(&metric, &tree) >= average_stretch(&metric, &tree));
+    }
+}

@@ -1,0 +1,230 @@
+//! Hierarchically separated trees (HSTs).
+
+/// A node of an [`HstTree`].
+#[derive(Clone, Debug)]
+pub struct HstNode {
+    /// Parent node index (`None` for the root).
+    pub parent: Option<usize>,
+    /// Weight of the edge to the parent (0 for the root).
+    pub parent_weight: f64,
+    /// Child node indices.
+    pub children: Vec<usize>,
+    /// The metric point acting as this cluster's center.
+    pub center: usize,
+    /// The level of this cluster in the hierarchy (leaves are level 0).
+    pub level: u32,
+    /// For leaves, the represented metric point.
+    pub point: Option<usize>,
+}
+
+/// A rooted tree over clusters of a finite metric, as produced by the FRT
+/// algorithm: leaves correspond one-to-one to metric points, internal
+/// nodes to clusters with a designated center (itself a metric point).
+///
+/// Leaf-to-leaf distances dominate the source metric (checked by
+/// `bi_metric::stretch::is_dominating` in tests).
+#[derive(Clone, Debug)]
+pub struct HstTree {
+    nodes: Vec<HstNode>,
+    /// `leaf_of[p]` is the leaf node index of metric point `p`.
+    leaf_of: Vec<usize>,
+    /// Distance from each node up to the root.
+    to_root: Vec<f64>,
+}
+
+impl HstTree {
+    /// Assembles a tree from its node list (used by the FRT builder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node list is empty, node 0 is not the root, a parent
+    /// index is not smaller than its child's, or the leaves do not cover
+    /// `0..n_points` exactly once.
+    #[must_use]
+    pub fn from_nodes(nodes: Vec<HstNode>, n_points: usize) -> Self {
+        assert!(!nodes.is_empty(), "tree needs at least one node");
+        assert!(nodes[0].parent.is_none(), "node 0 must be the root");
+        let mut leaf_of = vec![usize::MAX; n_points];
+        let mut to_root = vec![0.0f64; nodes.len()];
+        for (i, node) in nodes.iter().enumerate() {
+            if let Some(p) = node.parent {
+                assert!(p < i, "parents must precede children");
+                to_root[i] = to_root[p] + node.parent_weight;
+            }
+            if let Some(pt) = node.point {
+                assert!(pt < n_points, "leaf point out of range");
+                assert_eq!(leaf_of[pt], usize::MAX, "duplicate leaf for point {pt}");
+                leaf_of[pt] = i;
+            }
+        }
+        assert!(
+            leaf_of.iter().all(|&l| l != usize::MAX),
+            "every point needs a leaf"
+        );
+        HstTree {
+            nodes,
+            leaf_of,
+            to_root,
+        }
+    }
+
+    /// Number of tree nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of metric points (leaves).
+    #[must_use]
+    pub fn point_count(&self) -> usize {
+        self.leaf_of.len()
+    }
+
+    /// The node at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn node(&self, idx: usize) -> &HstNode {
+        &self.nodes[idx]
+    }
+
+    /// The leaf node index of a metric point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point` is out of range.
+    #[must_use]
+    pub fn leaf(&self, point: usize) -> usize {
+        self.leaf_of[point]
+    }
+
+    /// Tree distance between two metric points (sum of edge weights along
+    /// the unique leaf-to-leaf path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn distance(&self, u: usize, v: usize) -> f64 {
+        let lca = self.lca(self.leaf_of[u], self.leaf_of[v]);
+        self.to_root[self.leaf_of[u]] + self.to_root[self.leaf_of[v]]
+            - 2.0 * self.to_root[lca]
+    }
+
+    /// Lowest common ancestor of two nodes (walks up by level; trees here
+    /// are shallow, `O(log Δ)` deep).
+    #[must_use]
+    pub fn lca(&self, mut a: usize, mut b: usize) -> usize {
+        while a != b {
+            if self.nodes[a].level < self.nodes[b].level {
+                a = self.nodes[a].parent.expect("root has max level");
+            } else if self.nodes[b].level < self.nodes[a].level {
+                b = self.nodes[b].parent.expect("root has max level");
+            } else {
+                a = self.nodes[a].parent.expect("distinct nodes below root");
+                b = self.nodes[b].parent.expect("distinct nodes below root");
+            }
+        }
+        a
+    }
+
+    /// The node indices on the leaf-to-leaf path between two points
+    /// (inclusive), through the LCA.
+    #[must_use]
+    pub fn path_nodes(&self, u: usize, v: usize) -> Vec<usize> {
+        let (lu, lv) = (self.leaf_of[u], self.leaf_of[v]);
+        let lca = self.lca(lu, lv);
+        let mut up = Vec::new();
+        let mut cur = lu;
+        while cur != lca {
+            up.push(cur);
+            cur = self.nodes[cur].parent.expect("below lca");
+        }
+        up.push(lca);
+        let mut down = Vec::new();
+        cur = lv;
+        while cur != lca {
+            down.push(cur);
+            cur = self.nodes[cur].parent.expect("below lca");
+        }
+        up.extend(down.into_iter().rev());
+        up
+    }
+
+    /// Iterates over all `(parent_index, child_index)` tree edges.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.parent.map(|p| (p, i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small fixed tree:      root(c=0, lvl 2)
+    ///                          /            \
+    ///                   a(c=0, lvl1)    b(c=2, lvl1)
+    ///                   /    \              \
+    ///                leaf0  leaf1          leaf2
+    fn sample() -> HstTree {
+        let nodes = vec![
+            HstNode { parent: None, parent_weight: 0.0, children: vec![1, 2], center: 0, level: 2, point: None },
+            HstNode { parent: Some(0), parent_weight: 2.0, children: vec![3, 4], center: 0, level: 1, point: None },
+            HstNode { parent: Some(0), parent_weight: 2.0, children: vec![5], center: 2, level: 1, point: None },
+            HstNode { parent: Some(1), parent_weight: 1.0, children: vec![], center: 0, level: 0, point: Some(0) },
+            HstNode { parent: Some(1), parent_weight: 1.0, children: vec![], center: 1, level: 0, point: Some(1) },
+            HstNode { parent: Some(2), parent_weight: 1.0, children: vec![], center: 2, level: 0, point: Some(2) },
+        ];
+        HstTree::from_nodes(nodes, 3)
+    }
+
+    #[test]
+    fn distances_sum_edge_weights() {
+        let t = sample();
+        assert_eq!(t.distance(0, 1), 2.0);
+        assert_eq!(t.distance(0, 2), 6.0);
+        assert_eq!(t.distance(2, 1), 6.0);
+        assert_eq!(t.distance(1, 1), 0.0);
+    }
+
+    #[test]
+    fn lca_levels() {
+        let t = sample();
+        assert_eq!(t.lca(t.leaf(0), t.leaf(1)), 1);
+        assert_eq!(t.lca(t.leaf(0), t.leaf(2)), 0);
+    }
+
+    #[test]
+    fn path_nodes_cross_the_lca() {
+        let t = sample();
+        let p = t.path_nodes(0, 2);
+        assert_eq!(p.first(), Some(&t.leaf(0)));
+        assert_eq!(p.last(), Some(&t.leaf(2)));
+        assert!(p.contains(&0), "path must pass through the root LCA");
+    }
+
+    #[test]
+    fn edges_enumerate_parent_child_pairs() {
+        let t = sample();
+        assert_eq!(t.edges().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "every point needs a leaf")]
+    fn missing_leaves_are_rejected() {
+        let nodes = vec![HstNode {
+            parent: None,
+            parent_weight: 0.0,
+            children: vec![],
+            center: 0,
+            level: 0,
+            point: Some(0),
+        }];
+        let _ = HstTree::from_nodes(nodes, 2);
+    }
+}

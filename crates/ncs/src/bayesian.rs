@@ -1,0 +1,603 @@
+//! Bayesian network cost-sharing games.
+
+use bi_core::game::{EnumerationError, ProfileIter, MAX_ENUMERATION};
+use bi_core::measures::Measures;
+use bi_graph::paths::{self, PathLimits};
+use bi_graph::Graph;
+use bi_util::harmonic;
+
+use crate::analysis;
+use crate::error::NcsError;
+use crate::game::{NcsGame, Path};
+use crate::prior::{AgentType, Prior};
+
+/// A pure strategy profile of a Bayesian NCS game: `s[i][τ]` is the path
+/// agent `i` buys when observing her `τ`-th type (indices into
+/// [`BayesianNcsGame::agent_types`]).
+pub type NcsStrategyProfile = Vec<Vec<Path>>;
+
+/// A Bayesian network cost-sharing game: a graph with edge costs plus a
+/// common prior over `(source, destination)` type profiles. Each agent
+/// observes only her own pair and buys a path for it.
+///
+/// Interim best responses are shortest paths under the *expected-share*
+/// edge weights `w(e) = E[c(e)/(load₋ᵢ(e)+1) | t_i]` (expected payments
+/// are additive over edges), so Bayesian-equilibrium checks are exact over
+/// the full `2^E` action space even though optimization enumerates
+/// simple-path strategy sets.
+///
+/// # Examples
+///
+/// ```
+/// use bi_graph::{Direction, Graph};
+/// use bi_ncs::{BayesianNcsGame, Prior};
+///
+/// let mut g = Graph::new(Direction::Directed);
+/// let s = g.add_node();
+/// let t = g.add_node();
+/// g.add_edge(s, t, 1.0);
+/// let prior = Prior::independent(vec![vec![((s, t), 1.0)]]);
+/// let game = BayesianNcsGame::new(g, prior).unwrap();
+/// let m = game.measures().unwrap();
+/// assert_eq!(m.opt_p, 1.0);
+/// assert_eq!(m.opt_c, 1.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BayesianNcsGame {
+    graph: Graph,
+    support: Vec<(Vec<AgentType>, f64)>,
+    /// Distinct positive-marginal types per agent.
+    agent_types: Vec<Vec<AgentType>>,
+    /// Per support state, the type index of each agent.
+    support_type_idx: Vec<Vec<usize>>,
+    limits: PathLimits,
+}
+
+impl BayesianNcsGame {
+    /// Creates a Bayesian NCS game with default path-enumeration limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns prior validation errors, [`NcsError::NodeOutOfRange`] /
+    /// [`NcsError::Unreachable`] for infeasible types.
+    pub fn new(graph: Graph, prior: Prior) -> Result<Self, NcsError> {
+        Self::with_limits(graph, prior, PathLimits::default())
+    }
+
+    /// Creates a Bayesian NCS game with explicit path-enumeration limits
+    /// (used by the exhaustive optimizers; equilibrium *checks* never
+    /// truncate).
+    ///
+    /// # Errors
+    ///
+    /// See [`BayesianNcsGame::new`].
+    pub fn with_limits(graph: Graph, prior: Prior, limits: PathLimits) -> Result<Self, NcsError> {
+        let support = prior.support()?;
+        let k = support[0].0.len();
+        let mut agent_types: Vec<Vec<AgentType>> = vec![Vec::new(); k];
+        for (types, _) in &support {
+            for (i, &t) in types.iter().enumerate() {
+                let (s, d) = t;
+                if s.index() >= graph.node_count() || d.index() >= graph.node_count() {
+                    return Err(NcsError::NodeOutOfRange { agent: i });
+                }
+                if bi_graph::shortest_path(&graph, s, d).is_none() {
+                    return Err(NcsError::Unreachable { agent: i });
+                }
+                if !agent_types[i].contains(&t) {
+                    agent_types[i].push(t);
+                }
+            }
+        }
+        let support_type_idx = support
+            .iter()
+            .map(|(types, _)| {
+                types
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| {
+                        agent_types[i]
+                            .iter()
+                            .position(|u| u == t)
+                            .expect("type collected above")
+                    })
+                    .collect()
+            })
+            .collect();
+        Ok(BayesianNcsGame {
+            graph,
+            support,
+            agent_types,
+            support_type_idx,
+            limits,
+        })
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of agents `k`.
+    #[must_use]
+    pub fn num_agents(&self) -> usize {
+        self.agent_types.len()
+    }
+
+    /// The distinct positive-probability types of each agent.
+    #[must_use]
+    pub fn agent_types(&self) -> &[Vec<AgentType>] {
+        &self.agent_types
+    }
+
+    /// The expanded prior support as `(type profile, probability)` pairs.
+    #[must_use]
+    pub fn support(&self) -> &[(Vec<AgentType>, f64)] {
+        &self.support
+    }
+
+    /// The complete-information NCS game of the `idx`-th support state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn underlying_game(&self, idx: usize) -> NcsGame {
+        let (types, _) = &self.support[idx];
+        NcsGame::new(self.graph.clone(), types.clone())
+            .expect("feasibility checked at construction")
+    }
+
+    /// Candidate path sets per `(agent, type)` slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NcsError::IncompleteActionSet`] if enumeration truncates.
+    pub fn strategy_sets(&self) -> Result<Vec<Vec<Vec<Path>>>, NcsError> {
+        self.agent_types
+            .iter()
+            .enumerate()
+            .map(|(i, types)| {
+                types
+                    .iter()
+                    .map(|&(s, t)| {
+                        let ps = paths::simple_paths(&self.graph, s, t, self.limits);
+                        if ps.len() >= self.limits.max_paths {
+                            Err(NcsError::IncompleteActionSet { agent: i })
+                        } else {
+                            Ok(ps)
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The action profile a strategy induces in support state `idx`.
+    fn state_profile(&self, s: &NcsStrategyProfile, idx: usize) -> Vec<Path> {
+        self.support_type_idx[idx]
+            .iter()
+            .enumerate()
+            .map(|(i, &tau)| s[i][tau].clone())
+            .collect()
+    }
+
+    /// Ex-ante social cost `K(s) = E_t[K_t(s(t))]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy shape is wrong.
+    #[must_use]
+    pub fn social_cost(&self, s: &NcsStrategyProfile) -> f64 {
+        self.check_strategy(s);
+        self.support
+            .iter()
+            .enumerate()
+            .map(|(idx, (types, prob))| {
+                let game = NcsGame::new(self.graph.clone(), types.clone())
+                    .expect("feasible by construction");
+                prob * game.social_cost(&self.state_profile(s, idx))
+            })
+            .sum()
+    }
+
+    /// Ex-ante expected payment of agent `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy shape is wrong.
+    #[must_use]
+    pub fn expected_payment(&self, i: usize, s: &NcsStrategyProfile) -> f64 {
+        self.check_strategy(s);
+        self.support
+            .iter()
+            .enumerate()
+            .map(|(idx, (types, prob))| {
+                let game = NcsGame::new(self.graph.clone(), types.clone())
+                    .expect("feasible by construction");
+                prob * game.payment(i, &self.state_profile(s, idx))
+            })
+            .sum()
+    }
+
+    /// The Bayesian (expected Rosenthal) potential of Observation 2.1:
+    /// `Q(s) = Σ_t p(t)·Σ_e c(e)·H(load_e(s(t)))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy shape is wrong.
+    #[must_use]
+    pub fn bayesian_potential(&self, s: &NcsStrategyProfile) -> f64 {
+        self.check_strategy(s);
+        let mut total = 0.0;
+        for (idx, (_, prob)) in self.support.iter().enumerate() {
+            let mut loads = vec![0u32; self.graph.edge_count()];
+            for (i, &tau) in self.support_type_idx[idx].iter().enumerate() {
+                for &e in &s[i][tau] {
+                    loads[e.index()] += 1;
+                }
+            }
+            total += prob
+                * self
+                    .graph
+                    .edges()
+                    .map(|(id, e)| e.cost() * harmonic(loads[id.index()] as usize))
+                    .sum::<f64>();
+        }
+        total
+    }
+
+    /// Expected-share edge weights for agent `i` at her `τ`-th type:
+    /// `w(e) = Σ_{t : t_i = τ} p(t)·c(e)/(load₋ᵢ(e, s(t)) + 1)`
+    /// (unnormalized by the marginal, which cancels in comparisons).
+    fn interim_weights(&self, i: usize, tau: usize, s: &NcsStrategyProfile) -> Vec<f64> {
+        let mut weights = vec![0.0f64; self.graph.edge_count()];
+        for (idx, (_, prob)) in self.support.iter().enumerate() {
+            if self.support_type_idx[idx][i] != tau {
+                continue;
+            }
+            let mut loads = vec![0u32; self.graph.edge_count()];
+            for (j, &tau_j) in self.support_type_idx[idx].iter().enumerate() {
+                if j == i {
+                    continue;
+                }
+                for &e in &s[j][tau_j] {
+                    loads[e.index()] += 1;
+                }
+            }
+            for (id, edge) in self.graph.edges() {
+                weights[id.index()] += prob * edge.cost() / f64::from(loads[id.index()] + 1);
+            }
+        }
+        weights
+    }
+
+    /// The unnormalized interim cost of agent `i` playing `path` at type
+    /// `τ` while the others follow `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy shape or indices are out of range.
+    #[must_use]
+    pub fn interim_cost(&self, i: usize, tau: usize, path: &[bi_graph::EdgeId], s: &NcsStrategyProfile) -> f64 {
+        self.check_strategy(s);
+        let weights = self.interim_weights(i, tau, s);
+        path.iter().map(|&e| weights[e.index()]).sum()
+    }
+
+    /// Agent `i`'s exact interim best response at type `τ`: the shortest
+    /// path under the expected-share weights. Returns `(path, cost)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy shape or indices are out of range.
+    #[must_use]
+    pub fn interim_best_response(
+        &self,
+        i: usize,
+        tau: usize,
+        s: &NcsStrategyProfile,
+    ) -> (Path, f64) {
+        self.check_strategy(s);
+        let weights = self.interim_weights(i, tau, s);
+        let (src, dst) = self.agent_types[i][tau];
+        let sp = bi_graph::dijkstra(&self.graph, src, |e| weights[e.index()]);
+        let path = sp.path_edges(dst).expect("feasibility checked");
+        (path, sp.distance(dst))
+    }
+
+    /// Whether `s` is a pure Bayesian equilibrium (exact, via interim
+    /// best-response shortest paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy shape is wrong.
+    #[must_use]
+    pub fn is_bayesian_equilibrium(&self, s: &NcsStrategyProfile) -> bool {
+        self.check_strategy(s);
+        for i in 0..self.num_agents() {
+            for tau in 0..self.agent_types[i].len() {
+                let weights = self.interim_weights(i, tau, s);
+                let played: f64 = s[i][tau].iter().map(|&e| weights[e.index()]).sum();
+                let (src, dst) = self.agent_types[i][tau];
+                let sp = bi_graph::dijkstra(&self.graph, src, |e| weights[e.index()]);
+                if !bi_util::approx_le(played, sp.distance(dst)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// A natural starting strategy: every type buys a (cost-)shortest
+    /// path.
+    #[must_use]
+    pub fn shortest_path_strategy(&self) -> NcsStrategyProfile {
+        self.agent_types
+            .iter()
+            .map(|types| {
+                types
+                    .iter()
+                    .map(|&(s, t)| {
+                        bi_graph::shortest_path(&self.graph, s, t)
+                            .expect("feasibility checked")
+                            .1
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Interim best-response dynamics from `start` until a fixed point (a
+    /// Bayesian equilibrium) or `max_rounds` sweeps. Convergence is
+    /// guaranteed by the Bayesian potential (Observation 2.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy shape is wrong.
+    #[must_use]
+    pub fn best_response_dynamics(
+        &self,
+        start: NcsStrategyProfile,
+        max_rounds: usize,
+    ) -> Option<NcsStrategyProfile> {
+        let mut s = start;
+        for _ in 0..max_rounds {
+            let mut changed = false;
+            for i in 0..self.num_agents() {
+                for tau in 0..self.agent_types[i].len() {
+                    let weights = self.interim_weights(i, tau, &s);
+                    let played: f64 = s[i][tau].iter().map(|&e| weights[e.index()]).sum();
+                    let (src, dst) = self.agent_types[i][tau];
+                    let sp = bi_graph::dijkstra(&self.graph, src, |e| weights[e.index()]);
+                    if sp.distance(dst) < played - bi_util::EPS {
+                        s[i][tau] = sp.path_edges(dst).expect("feasible");
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                debug_assert!(self.is_bayesian_equilibrium(&s));
+                return Some(s);
+            }
+        }
+        self.is_bayesian_equilibrium(&s).then_some(s)
+    }
+
+    /// Total number of strategy profiles over the enumerated path sets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates action-set enumeration failures.
+    pub fn strategy_space_size(&self) -> Result<u128, NcsError> {
+        let sets = self.strategy_sets()?;
+        Ok(sets
+            .iter()
+            .flatten()
+            .map(|paths| paths.len() as u128)
+            .product())
+    }
+
+    /// Computes all six measures of the paper exactly:
+    ///
+    /// * `optP`, `best-eqP`, `worst-eqP` by exhaustive strategy
+    ///   enumeration with exact equilibrium checks;
+    /// * `optC`, `best-eqC`, `worst-eqC` by exhaustive per-state analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NcsError::TooLarge`] when enumeration is infeasible and
+    /// propagates per-state analysis failures.
+    pub fn measures(&self) -> Result<Measures, NcsError> {
+        let sets = self.strategy_sets()?;
+        let slot_sizes: Vec<usize> = sets.iter().flatten().map(Vec::len).collect();
+        let total: u128 = slot_sizes.iter().map(|&s| s as u128).product();
+        if total > MAX_ENUMERATION {
+            return Err(NcsError::TooLarge(EnumerationError { required: total }));
+        }
+        // Slot layout: (agent, type) in agent-major order.
+        let mut slots = Vec::new();
+        for (i, types) in self.agent_types.iter().enumerate() {
+            for tau in 0..types.len() {
+                slots.push((i, tau));
+            }
+        }
+        let mut opt_p = f64::INFINITY;
+        let mut best_eq_p = f64::INFINITY;
+        let mut worst_eq_p = f64::NEG_INFINITY;
+        let mut found_eq = false;
+        for assignment in ProfileIter::new(slot_sizes) {
+            let mut s: NcsStrategyProfile = self
+                .agent_types
+                .iter()
+                .map(|types| vec![Path::new(); types.len()])
+                .collect();
+            for (&(i, tau), &choice) in slots.iter().zip(&assignment) {
+                s[i][tau] = sets[i][tau][choice].clone();
+            }
+            let k = self.social_cost(&s);
+            opt_p = opt_p.min(k);
+            if self.is_bayesian_equilibrium(&s) {
+                found_eq = true;
+                best_eq_p = best_eq_p.min(k);
+                worst_eq_p = worst_eq_p.max(k);
+            }
+        }
+        if !found_eq {
+            return Err(NcsError::NoEquilibrium { state: usize::MAX });
+        }
+        let mut opt_c = 0.0;
+        let mut best_eq_c = 0.0;
+        let mut worst_eq_c = 0.0;
+        for (idx, (types, prob)) in self.support.iter().enumerate() {
+            let game = NcsGame::new(self.graph.clone(), types.clone())
+                .expect("feasible by construction");
+            let a = analysis::analyze(&game, self.limits).map_err(|e| match e {
+                NcsError::NoEquilibrium { .. } => NcsError::NoEquilibrium { state: idx },
+                other => other,
+            })?;
+            opt_c += prob * a.opt;
+            best_eq_c += prob * a.best_eq;
+            worst_eq_c += prob * a.worst_eq;
+        }
+        Ok(Measures {
+            opt_p,
+            best_eq_p,
+            worst_eq_p,
+            opt_c,
+            best_eq_c,
+            worst_eq_c,
+        })
+    }
+
+    fn check_strategy(&self, s: &NcsStrategyProfile) {
+        assert_eq!(s.len(), self.num_agents(), "strategy profile length");
+        for (si, types) in s.iter().zip(&self.agent_types) {
+            assert_eq!(si.len(), types.len(), "one path per type");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_graph::Direction;
+
+    /// Directed diamond: s→t via m (1+1) or direct (3). Agent 0 always
+    /// travels; agent 1 travels with probability 1/2.
+    fn diamond_game() -> BayesianNcsGame {
+        let mut g = Graph::new(Direction::Directed);
+        let s = g.add_node();
+        let m = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, m, 1.0);
+        g.add_edge(m, t, 1.0);
+        g.add_edge(s, t, 3.0);
+        let prior = Prior::independent(vec![
+            vec![((s, t), 1.0)],
+            vec![((s, t), 0.5), ((s, s), 0.5)],
+        ]);
+        BayesianNcsGame::new(g, prior).unwrap()
+    }
+
+    #[test]
+    fn construction_collects_types_and_support() {
+        let game = diamond_game();
+        assert_eq!(game.num_agents(), 2);
+        assert_eq!(game.agent_types()[0].len(), 1);
+        assert_eq!(game.agent_types()[1].len(), 2);
+        assert_eq!(game.support().len(), 2);
+    }
+
+    #[test]
+    fn social_cost_averages_states() {
+        let game = diamond_game();
+        // Both travel via m when active.
+        let via = vec![bi_graph::EdgeId::new(0), bi_graph::EdgeId::new(1)];
+        let s = vec![vec![via.clone()], vec![via, Path::new()]];
+        // State 1 (both travel): cost 2; state 2 (only agent 0): cost 2.
+        assert!((game.social_cost(&s) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interim_best_response_uses_expected_shares() {
+        let game = diamond_game();
+        let direct = vec![bi_graph::EdgeId::new(2)];
+        let via = vec![bi_graph::EdgeId::new(0), bi_graph::EdgeId::new(1)];
+        // Agent 1 travels and goes via m; agent 0 currently direct.
+        let s = vec![vec![direct], vec![via.clone(), Path::new()]];
+        let (path, cost) = game.interim_best_response(0, 0, &s);
+        // Via: 1/2·(1/2+1/2)·2? With prob 1/2 agent 1 shares both edges
+        // (pay 1), else alone (pay 2): expected 1.5 < direct 3.
+        assert_eq!(path, via);
+        assert!((cost - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equilibrium_check_and_dynamics_agree() {
+        let game = diamond_game();
+        let eq = game
+            .best_response_dynamics(game.shortest_path_strategy(), 100)
+            .expect("potential game converges");
+        assert!(game.is_bayesian_equilibrium(&eq));
+    }
+
+    #[test]
+    fn measures_satisfy_observation_2_2() {
+        let game = diamond_game();
+        let m = game.measures().unwrap();
+        m.verify_chain().unwrap();
+        // Sharing via m is optimal in both settings here.
+        assert!((m.opt_p - 2.0).abs() < 1e-9);
+        assert!((m.opt_c - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bayesian_potential_decreases_along_best_responses() {
+        let game = diamond_game();
+        let direct = vec![bi_graph::EdgeId::new(2)];
+        let mut s = vec![vec![direct.clone()], vec![direct, Path::new()]];
+        let mut q = game.bayesian_potential(&s);
+        for _ in 0..5 {
+            let mut moved = false;
+            for i in 0..game.num_agents() {
+                for tau in 0..game.agent_types()[i].len() {
+                    let played = game.interim_cost(i, tau, &s[i][tau].clone(), &s);
+                    let (path, cost) = game.interim_best_response(i, tau, &s);
+                    if cost < played - bi_util::EPS {
+                        s[i][tau] = path;
+                        let nq = game.bayesian_potential(&s);
+                        assert!(nq < q + 1e-12, "Bayesian potential must not increase");
+                        q = nq;
+                        moved = true;
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        assert!(game.is_bayesian_equilibrium(&s));
+    }
+
+    #[test]
+    fn strategy_space_size_multiplies_slots() {
+        let game = diamond_game();
+        // Agent 0: 2 paths; agent 1: 2 paths × 1 (empty) = 2·2·1 = 4.
+        assert_eq!(game.strategy_space_size().unwrap(), 4);
+    }
+
+    #[test]
+    fn unreachable_types_are_rejected() {
+        let mut g = Graph::new(Direction::Directed);
+        let s = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, t, 1.0);
+        let prior = Prior::independent(vec![vec![((t, s), 1.0)]]);
+        assert!(matches!(
+            BayesianNcsGame::new(g, prior),
+            Err(NcsError::Unreachable { agent: 0 })
+        ));
+    }
+}

@@ -1,0 +1,56 @@
+//! Error types for NCS game construction and analysis.
+
+use std::fmt;
+
+use bi_core::game::EnumerationError;
+
+/// Errors constructing or analysing NCS games.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NcsError {
+    /// An agent's source or destination node is out of range.
+    NodeOutOfRange { agent: usize },
+    /// An agent's destination is unreachable from her source, so she has
+    /// no finite-cost action.
+    Unreachable { agent: usize },
+    /// Simple-path enumeration hit its limit before completing, so an
+    /// exact computation over the action sets would be unsound.
+    IncompleteActionSet { agent: usize },
+    /// Exact enumeration would exceed the workspace limit.
+    TooLarge(EnumerationError),
+    /// The prior is malformed (probabilities, dimensions, empty support).
+    BadPrior(String),
+    /// No pure Nash equilibrium was found in an underlying game. This
+    /// cannot happen mathematically (NCS games are potential games); it
+    /// signals an action-set or tolerance problem and is surfaced rather
+    /// than silently absorbed.
+    NoEquilibrium { state: usize },
+}
+
+impl fmt::Display for NcsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NcsError::NodeOutOfRange { agent } => {
+                write!(f, "agent {agent} references a node outside the graph")
+            }
+            NcsError::Unreachable { agent } => {
+                write!(f, "agent {agent} cannot reach her destination")
+            }
+            NcsError::IncompleteActionSet { agent } => {
+                write!(f, "path enumeration for agent {agent} hit the limit; raise PathLimits")
+            }
+            NcsError::TooLarge(e) => write!(f, "{e}"),
+            NcsError::BadPrior(msg) => write!(f, "invalid prior: {msg}"),
+            NcsError::NoEquilibrium { state } => {
+                write!(f, "no pure equilibrium found in underlying game {state} (numerical issue)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NcsError {}
+
+impl From<EnumerationError> for NcsError {
+    fn from(e: EnumerationError) -> Self {
+        NcsError::TooLarge(e)
+    }
+}

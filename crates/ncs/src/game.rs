@@ -1,0 +1,335 @@
+//! Complete-information network cost-sharing games.
+
+use bi_graph::paths::{self, PathLimits};
+use bi_graph::{Graph, NodeId};
+use bi_util::harmonic;
+
+use crate::error::NcsError;
+
+/// An action of an NCS agent: the edge ids of a simple path from her
+/// source to her destination (empty when source = destination).
+pub type Path = Vec<bi_graph::EdgeId>;
+
+/// A complete-information network cost-sharing game: a graph with edge
+/// costs plus one `(source, destination)` pair per agent.
+///
+/// Payments follow fair (Shapley) sharing: an edge bought by `n` agents
+/// costs each of them `c(e)/n`.
+///
+/// # Examples
+///
+/// ```
+/// use bi_graph::{Direction, Graph};
+/// use bi_ncs::NcsGame;
+///
+/// let mut g = Graph::new(Direction::Undirected);
+/// let a = g.add_node();
+/// let b = g.add_node();
+/// let e = g.add_edge(a, b, 2.0);
+/// let game = NcsGame::new(g, vec![(a, b)]).unwrap();
+/// assert_eq!(game.payment(0, &[vec![e]]), 2.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NcsGame {
+    graph: Graph,
+    agents: Vec<(NodeId, NodeId)>,
+}
+
+impl NcsGame {
+    /// Creates an NCS game.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NcsError::NodeOutOfRange`] for invalid terminals and
+    /// [`NcsError::Unreachable`] when some agent has no feasible action.
+    pub fn new(graph: Graph, agents: Vec<(NodeId, NodeId)>) -> Result<Self, NcsError> {
+        for (i, &(s, t)) in agents.iter().enumerate() {
+            if s.index() >= graph.node_count() || t.index() >= graph.node_count() {
+                return Err(NcsError::NodeOutOfRange { agent: i });
+            }
+            if bi_graph::shortest_path(&graph, s, t).is_none() {
+                return Err(NcsError::Unreachable { agent: i });
+            }
+        }
+        Ok(NcsGame { graph, agents })
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of agents `k`.
+    #[must_use]
+    pub fn num_agents(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// The `(source, destination)` pair of agent `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn agent(&self, i: usize) -> (NodeId, NodeId) {
+        self.agents[i]
+    }
+
+    /// All agents' terminal pairs.
+    #[must_use]
+    pub fn agents(&self) -> &[(NodeId, NodeId)] {
+        &self.agents
+    }
+
+    /// Enumerates each agent's action set: all simple source→destination
+    /// paths within `limits`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NcsError::IncompleteActionSet`] when the enumeration for
+    /// some agent hits `limits.max_paths` (the exact algorithms built on
+    /// these sets would otherwise be silently unsound).
+    pub fn action_sets(&self, limits: PathLimits) -> Result<Vec<Vec<Path>>, NcsError> {
+        self.agents
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, t))| {
+                let ps = paths::simple_paths(&self.graph, s, t, limits);
+                if ps.len() >= limits.max_paths {
+                    Err(NcsError::IncompleteActionSet { agent: i })
+                } else {
+                    Ok(ps)
+                }
+            })
+            .collect()
+    }
+
+    /// Edge loads of a joint path profile: `loads[e]` is the number of
+    /// agents whose path contains edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile length differs from the agent count.
+    #[must_use]
+    pub fn loads(&self, profile: &[Path]) -> Vec<u32> {
+        assert_eq!(profile.len(), self.num_agents(), "profile length");
+        let mut loads = vec![0u32; self.graph.edge_count()];
+        for path in profile {
+            for &e in path {
+                loads[e.index()] += 1;
+            }
+        }
+        loads
+    }
+
+    /// Agent `i`'s payment under fair sharing:
+    /// `Σ_{e ∈ path_i} c(e) / load(e)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile shape is wrong.
+    #[must_use]
+    pub fn payment(&self, i: usize, profile: &[Path]) -> f64 {
+        let loads = self.loads(profile);
+        self.payment_with_loads(i, profile, &loads)
+    }
+
+    /// Like [`NcsGame::payment`] but reusing precomputed loads.
+    #[must_use]
+    pub fn payment_with_loads(&self, i: usize, profile: &[Path], loads: &[u32]) -> f64 {
+        profile[i]
+            .iter()
+            .map(|&e| self.graph.edge(e).cost() / f64::from(loads[e.index()]))
+            .sum()
+    }
+
+    /// Social cost: the total cost of all bought edges (each counted
+    /// once), which equals the sum of payments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile shape is wrong.
+    #[must_use]
+    pub fn social_cost(&self, profile: &[Path]) -> f64 {
+        let loads = self.loads(profile);
+        self.graph
+            .edges()
+            .map(|(id, e)| if loads[id.index()] > 0 { e.cost() } else { 0.0 })
+            .sum()
+    }
+
+    /// The Rosenthal potential `q(a) = Σ_e c(e)·H(load_e(a))`
+    /// (Rosenthal 1973; cf. Section 2 of the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile shape is wrong.
+    #[must_use]
+    pub fn potential(&self, profile: &[Path]) -> f64 {
+        let loads = self.loads(profile);
+        self.graph
+            .edges()
+            .map(|(id, e)| e.cost() * harmonic(loads[id.index()] as usize))
+            .sum()
+    }
+
+    /// Agent `i`'s exact best response to the others' paths: the shortest
+    /// path under the reweighting `w(e) = c(e)/(load₋ᵢ(e)+1)`. Returns the
+    /// path and its payment.
+    ///
+    /// This searches **all** paths (via Dijkstra), not just an enumerated
+    /// action set, so equilibrium checks built on it are exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile shape is wrong.
+    #[must_use]
+    pub fn best_response(&self, i: usize, profile: &[Path]) -> (Path, f64) {
+        let mut loads = self.loads(profile);
+        for &e in &profile[i] {
+            loads[e.index()] -= 1;
+        }
+        let (s, t) = self.agents[i];
+        let sp = bi_graph::dijkstra(&self.graph, s, |e| {
+            self.graph.edge(e).cost() / f64::from(loads[e.index()] + 1)
+        });
+        let path = sp.path_edges(t).expect("feasibility checked at construction");
+        (path, sp.distance(t))
+    }
+
+    /// Whether `profile` is a pure Nash equilibrium: every agent's payment
+    /// is within tolerance of her exact best-response payment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile shape is wrong.
+    #[must_use]
+    pub fn is_nash(&self, profile: &[Path]) -> bool {
+        let loads = self.loads(profile);
+        (0..self.num_agents()).all(|i| {
+            let current = self.payment_with_loads(i, profile, &loads);
+            let (_, best) = self.best_response(i, profile);
+            bi_util::approx_le(current, best)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_graph::Direction;
+
+    /// Two parallel routes from s to t: direct (cost 3) and via m (1+1).
+    fn two_routes() -> (NcsGame, Path, Path) {
+        let mut g = Graph::new(Direction::Directed);
+        let s = g.add_node();
+        let m = g.add_node();
+        let t = g.add_node();
+        let e_sm = g.add_edge(s, m, 1.0);
+        let e_mt = g.add_edge(m, t, 1.0);
+        let e_st = g.add_edge(s, t, 3.0);
+        let game = NcsGame::new(g, vec![(s, t), (s, t)]).unwrap();
+        (game, vec![e_sm, e_mt], vec![e_st])
+    }
+
+    #[test]
+    fn payments_share_fairly() {
+        let (game, via, direct) = two_routes();
+        let both_via = vec![via.clone(), via.clone()];
+        assert_eq!(game.payment(0, &both_via), 1.0);
+        assert_eq!(game.social_cost(&both_via), 2.0);
+        let split = vec![via, direct];
+        assert_eq!(game.payment(0, &split), 2.0);
+        assert_eq!(game.payment(1, &split), 3.0);
+        assert_eq!(game.social_cost(&split), 5.0);
+    }
+
+    #[test]
+    fn potential_uses_harmonic_numbers() {
+        let (game, via, _) = two_routes();
+        let both = vec![via.clone(), via];
+        // Two edges of cost 1 with load 2 each: 2·(1 + 1/2) = 3.
+        assert!((game.potential(&both) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_response_accounts_for_sharing() {
+        let (game, via, direct) = two_routes();
+        // Agent 1 currently direct; agent 0 on via. Best response of 1:
+        // share via = 0.5+0.5 = 1 < 3.
+        let profile = vec![via.clone(), direct];
+        let (path, cost) = game.best_response(1, &profile);
+        assert_eq!(path, via);
+        assert!((cost - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nash_detection() {
+        let (game, via, direct) = two_routes();
+        assert!(game.is_nash(&vec![via.clone(), via.clone()]));
+        assert!(!game.is_nash(&vec![via, direct]));
+    }
+
+    #[test]
+    fn both_direct_is_also_nash_here() {
+        // Sharing the 3-edge costs 1.5 each; deviating to via costs 2.
+        let (game, _, direct) = two_routes();
+        assert!(game.is_nash(&vec![direct.clone(), direct]));
+    }
+
+    #[test]
+    fn action_sets_enumerate_simple_paths() {
+        let (game, _, _) = two_routes();
+        let sets = game.action_sets(PathLimits::default()).unwrap();
+        assert_eq!(sets.len(), 2);
+        assert_eq!(sets[0].len(), 2);
+    }
+
+    #[test]
+    fn self_loop_agents_have_empty_action() {
+        let mut g = Graph::new(Direction::Directed);
+        let s = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, t, 1.0);
+        let game = NcsGame::new(g, vec![(s, s)]).unwrap();
+        let sets = game.action_sets(PathLimits::default()).unwrap();
+        assert_eq!(sets[0], vec![Path::new()]);
+        assert_eq!(game.payment(0, &[Path::new()]), 0.0);
+    }
+
+    #[test]
+    fn unreachable_agents_are_rejected() {
+        let mut g = Graph::new(Direction::Directed);
+        let s = g.add_node();
+        let t = g.add_node();
+        g.add_edge(t, s, 1.0);
+        assert_eq!(
+            NcsGame::new(g, vec![(s, t)]).unwrap_err(),
+            NcsError::Unreachable { agent: 0 }
+        );
+    }
+
+    #[test]
+    fn out_of_range_terminals_are_rejected() {
+        let mut g = Graph::new(Direction::Directed);
+        let s = g.add_node();
+        assert_eq!(
+            NcsGame::new(g, vec![(s, NodeId::new(9))]).unwrap_err(),
+            NcsError::NodeOutOfRange { agent: 0 }
+        );
+    }
+
+    #[test]
+    fn undirected_sharing_works_both_ways() {
+        let mut g = Graph::new(Direction::Undirected);
+        let a = g.add_node();
+        let b = g.add_node();
+        let e = g.add_edge(a, b, 4.0);
+        let game = NcsGame::new(g, vec![(a, b), (b, a)]).unwrap();
+        let profile = vec![vec![e], vec![e]];
+        assert_eq!(game.payment(0, &profile), 2.0);
+        assert_eq!(game.payment(1, &profile), 2.0);
+        assert!(game.is_nash(&profile));
+    }
+}

@@ -1,0 +1,59 @@
+//! Network cost-sharing (NCS) games — the arena of *Bayesian ignorance*.
+//!
+//! An NCS game is a (di)graph with non-negative edge costs and `k` agents,
+//! each of whom must buy an edge set connecting her source to her
+//! destination; every bought edge's cost is split equally among its buyers
+//! (fair / Shapley sharing). NCS games are congestion games with the
+//! Rosenthal potential `q(a) = Σ_e c(e)·H(load_e(a))`, so pure Nash
+//! equilibria always exist; by Observation 2.1 of the paper the
+//! prior-expected potential makes every **Bayesian** NCS game a Bayesian
+//! potential game too.
+//!
+//! * [`NcsGame`] — complete-information games: payments, potential, exact
+//!   best responses (shortest path under `c(e)/(load+1)` reweighting),
+//!   better-response dynamics, exhaustive equilibrium enumeration and
+//!   social optima over enumerated path action sets;
+//! * [`BayesianNcsGame`] — Bayesian games over a [`Prior`] on
+//!   `(source, destination)` type profiles, with *exact* Bayesian
+//!   equilibrium checking (interim best responses are shortest paths under
+//!   expected shares, so no action-set truncation is involved) and the six
+//!   measures of the paper;
+//! * [`Prior`] — joint (explicit support) or independent per-agent type
+//!   distributions.
+//!
+//! **Action-space convention.** The raw action space is `2^E`, but every
+//! cost-minimal action and every equilibrium action of interest is a single
+//! simple path (any feasible action contains a path, and dropping surplus
+//! edges never raises a payment), so all exact algorithms operate on
+//! enumerated simple-path action sets. Equilibrium *checks* compare
+//! against best responses computed by Dijkstra over all paths, so they are
+//! exact regardless of enumeration.
+//!
+//! # Examples
+//!
+//! ```
+//! use bi_graph::{Direction, Graph};
+//! use bi_ncs::NcsGame;
+//!
+//! let mut g = Graph::new(Direction::Directed);
+//! let s = g.add_node();
+//! let t = g.add_node();
+//! g.add_edge(s, t, 3.0);
+//! let game = NcsGame::new(g, vec![(s, t), (s, t)]).unwrap();
+//! // Both agents share the only edge: 1.5 each.
+//! let profile = game.action_sets(Default::default()).unwrap();
+//! let joint = vec![profile[0][0].clone(), profile[1][0].clone()];
+//! assert_eq!(game.payment(0, &joint), 1.5);
+//! assert_eq!(game.social_cost(&joint), 3.0);
+//! ```
+
+pub mod analysis;
+pub mod bayesian;
+mod error;
+mod game;
+pub mod prior;
+
+pub use bayesian::BayesianNcsGame;
+pub use error::NcsError;
+pub use game::{NcsGame, Path};
+pub use prior::Prior;

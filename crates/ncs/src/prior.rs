@@ -1,0 +1,253 @@
+//! Common priors over `(source, destination)` type profiles.
+
+use bi_graph::NodeId;
+use bi_util::approx_eq;
+
+use crate::error::NcsError;
+
+/// The type of an NCS agent: her `(source, destination)` pair (Section 2
+/// of the paper sets `T_i = V × V`).
+pub type AgentType = (NodeId, NodeId);
+
+/// Cap on the expanded support size of an independent prior.
+pub const MAX_SUPPORT: usize = 200_000;
+
+/// A common prior over type profiles, either as an explicit joint support
+/// or as independent per-agent distributions (whose product is expanded on
+/// demand).
+///
+/// # Examples
+///
+/// ```
+/// use bi_graph::NodeId;
+/// use bi_ncs::Prior;
+///
+/// let a = NodeId::new(0);
+/// let b = NodeId::new(1);
+/// let prior = Prior::independent(vec![
+///     vec![((a, b), 1.0)],
+///     vec![((a, b), 0.5), ((a, a), 0.5)],
+/// ]);
+/// let support = prior.support().unwrap();
+/// assert_eq!(support.len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Prior {
+    /// Explicit support: `(type profile, probability)` pairs.
+    Joint(Vec<(Vec<AgentType>, f64)>),
+    /// Independent per-agent type distributions.
+    Independent(Vec<Vec<(AgentType, f64)>>),
+}
+
+impl Prior {
+    /// Convenience constructor for [`Prior::Joint`].
+    #[must_use]
+    pub fn joint(support: Vec<(Vec<AgentType>, f64)>) -> Self {
+        Prior::Joint(support)
+    }
+
+    /// Convenience constructor for [`Prior::Independent`].
+    #[must_use]
+    pub fn independent(per_agent: Vec<Vec<(AgentType, f64)>>) -> Self {
+        Prior::Independent(per_agent)
+    }
+
+    /// Number of agents this prior describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty joint support (callers hit the validation error
+    /// in [`Prior::support`] first in practice).
+    #[must_use]
+    pub fn num_agents(&self) -> usize {
+        match self {
+            Prior::Joint(support) => support.first().map_or(0, |(t, _)| t.len()),
+            Prior::Independent(per_agent) => per_agent.len(),
+        }
+    }
+
+    /// Expands and validates the prior into an explicit support with
+    /// positive probabilities summing to 1. Zero-probability entries are
+    /// dropped; duplicate type profiles in a joint prior are merged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NcsError::BadPrior`] for empty/negative/non-normalized
+    /// input, and [`NcsError::TooLarge`] when an independent product
+    /// exceeds [`MAX_SUPPORT`].
+    pub fn support(&self) -> Result<Vec<(Vec<AgentType>, f64)>, NcsError> {
+        match self {
+            Prior::Joint(support) => {
+                if support.is_empty() {
+                    return Err(NcsError::BadPrior("empty support".into()));
+                }
+                let k = support[0].0.len();
+                let mut total = 0.0;
+                let mut out: Vec<(Vec<AgentType>, f64)> = Vec::new();
+                for (types, prob) in support {
+                    if types.len() != k {
+                        return Err(NcsError::BadPrior(
+                            "type profiles of differing lengths".into(),
+                        ));
+                    }
+                    if *prob < 0.0 {
+                        return Err(NcsError::BadPrior("negative probability".into()));
+                    }
+                    total += prob;
+                    if *prob > 0.0 {
+                        if let Some(entry) = out.iter_mut().find(|(t, _)| t == types) {
+                            entry.1 += prob;
+                        } else {
+                            out.push((types.clone(), *prob));
+                        }
+                    }
+                }
+                if !approx_eq(total, 1.0) {
+                    return Err(NcsError::BadPrior(format!(
+                        "probabilities sum to {total}, expected 1"
+                    )));
+                }
+                if out.is_empty() {
+                    return Err(NcsError::BadPrior("all probabilities are zero".into()));
+                }
+                Ok(out)
+            }
+            Prior::Independent(per_agent) => {
+                if per_agent.is_empty() {
+                    return Err(NcsError::BadPrior("no agents".into()));
+                }
+                let mut size = 1usize;
+                for (i, dist) in per_agent.iter().enumerate() {
+                    if dist.is_empty() {
+                        return Err(NcsError::BadPrior(format!("agent {i} has no types")));
+                    }
+                    let total: f64 = dist.iter().map(|(_, p)| p).sum();
+                    if !approx_eq(total, 1.0) {
+                        return Err(NcsError::BadPrior(format!(
+                            "agent {i} marginal sums to {total}, expected 1"
+                        )));
+                    }
+                    if dist.iter().any(|(_, p)| *p < 0.0) {
+                        return Err(NcsError::BadPrior(format!(
+                            "agent {i} has a negative probability"
+                        )));
+                    }
+                    for (j, (t, _)) in dist.iter().enumerate() {
+                        if dist[..j].iter().any(|(t2, _)| t2 == t) {
+                            return Err(NcsError::BadPrior(format!(
+                                "agent {i} lists a duplicate type"
+                            )));
+                        }
+                    }
+                    let positive = dist.iter().filter(|(_, p)| *p > 0.0).count();
+                    size = size.saturating_mul(positive);
+                    if size > MAX_SUPPORT {
+                        return Err(NcsError::BadPrior(format!(
+                            "independent product exceeds {MAX_SUPPORT} states"
+                        )));
+                    }
+                }
+                // Cartesian product of the positive-probability entries.
+                let mut out: Vec<(Vec<AgentType>, f64)> = vec![(Vec::new(), 1.0)];
+                for dist in per_agent {
+                    let mut next = Vec::with_capacity(out.len() * dist.len());
+                    for (types, prob) in &out {
+                        for (t, p) in dist.iter().filter(|(_, p)| *p > 0.0) {
+                            let mut extended = types.clone();
+                            extended.push(*t);
+                            next.push((extended, prob * p));
+                        }
+                    }
+                    out = next;
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(a: usize, b: usize) -> AgentType {
+        (NodeId::new(a), NodeId::new(b))
+    }
+
+    #[test]
+    fn joint_support_round_trips() {
+        let prior = Prior::joint(vec![
+            (vec![t(0, 1), t(0, 2)], 0.25),
+            (vec![t(0, 1), t(0, 0)], 0.75),
+        ]);
+        let support = prior.support().unwrap();
+        assert_eq!(support.len(), 2);
+        assert_eq!(prior.num_agents(), 2);
+    }
+
+    #[test]
+    fn joint_duplicates_are_merged() {
+        let prior = Prior::joint(vec![
+            (vec![t(0, 1)], 0.5),
+            (vec![t(0, 1)], 0.5),
+        ]);
+        let support = prior.support().unwrap();
+        assert_eq!(support.len(), 1);
+        assert!(approx_eq(support[0].1, 1.0));
+    }
+
+    #[test]
+    fn joint_validation_errors() {
+        assert!(matches!(
+            Prior::joint(vec![]).support(),
+            Err(NcsError::BadPrior(_))
+        ));
+        assert!(matches!(
+            Prior::joint(vec![(vec![t(0, 1)], 0.4)]).support(),
+            Err(NcsError::BadPrior(_))
+        ));
+        assert!(matches!(
+            Prior::joint(vec![(vec![t(0, 1)], 1.5), (vec![t(0, 2)], -0.5)]).support(),
+            Err(NcsError::BadPrior(_))
+        ));
+        assert!(matches!(
+            Prior::joint(vec![(vec![t(0, 1)], 0.5), (vec![t(0, 2), t(1, 1)], 0.5)]).support(),
+            Err(NcsError::BadPrior(_))
+        ));
+    }
+
+    #[test]
+    fn independent_expands_the_product() {
+        let prior = Prior::independent(vec![
+            vec![(t(0, 1), 0.5), (t(0, 2), 0.5)],
+            vec![(t(1, 2), 0.25), (t(1, 0), 0.75)],
+        ]);
+        let support = prior.support().unwrap();
+        assert_eq!(support.len(), 4);
+        let total: f64 = support.iter().map(|(_, p)| p).sum();
+        assert!(approx_eq(total, 1.0));
+    }
+
+    #[test]
+    fn independent_drops_zero_probability_types() {
+        let prior = Prior::independent(vec![vec![(t(0, 1), 1.0), (t(0, 2), 0.0)]]);
+        let support = prior.support().unwrap();
+        assert_eq!(support.len(), 1);
+    }
+
+    #[test]
+    fn independent_validation_errors() {
+        assert!(matches!(
+            Prior::independent(vec![]).support(),
+            Err(NcsError::BadPrior(_))
+        ));
+        assert!(matches!(
+            Prior::independent(vec![vec![(t(0, 1), 0.9)]]).support(),
+            Err(NcsError::BadPrior(_))
+        ));
+        assert!(matches!(
+            Prior::independent(vec![vec![(t(0, 1), 0.5), (t(0, 1), 0.5)]]).support(),
+            Err(NcsError::BadPrior(_))
+        ));
+    }
+}

@@ -1,0 +1,233 @@
+//! The Imase–Waxman adversary distribution on diamond graphs.
+//!
+//! The adversary maintains an *active path* from `s` to `t`: initially the
+//! base edge; at each level it picks, uniformly and independently, one of
+//! the two midpoints of every diamond sitting on the active path, requests
+//! those midpoints, and recurses on the refined path. Every sequence in
+//! the support has offline optimum exactly 1 (the final active path), yet
+//! any online algorithm — knowing the distribution but not the coin flips
+//! — pays `Ω(levels)` in expectation, because at each level half of its
+//! already-bought edges miss the freshly chosen midpoints.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use bi_graph::NodeId;
+
+use crate::diamond::DiamondGraph;
+
+/// One sampled request sequence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RequestSequence {
+    /// The requested vertices: the sink, then the chosen midpoints level
+    /// by level (level ℓ contributes `2^{ℓ-1}` requests).
+    pub requests: Vec<NodeId>,
+    /// The midpoint choice (0/1) per diamond per level.
+    pub choices: Vec<Vec<u8>>,
+    /// The probability of this sequence under the adversary distribution.
+    pub probability: f64,
+}
+
+/// The adversary distribution for a given diamond graph.
+///
+/// # Examples
+///
+/// ```
+/// use bi_online::{adversary::DiamondAdversary, diamond::DiamondGraph};
+///
+/// let d = DiamondGraph::new(3);
+/// let adv = DiamondAdversary::new(&d);
+/// let seq = adv.sample(&mut bi_util::rng::seeded(1));
+/// // sink + 1 + 2 + 4 midpoints
+/// assert_eq!(seq.requests.len(), 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DiamondAdversary {
+    diamond: DiamondGraph,
+}
+
+impl DiamondAdversary {
+    /// Creates the adversary for `diamond` (cloned; diamond graphs in the
+    /// experiments are small).
+    #[must_use]
+    pub fn new(diamond: &DiamondGraph) -> Self {
+        DiamondAdversary {
+            diamond: diamond.clone(),
+        }
+    }
+
+    /// Number of random bits (= total midpoint choices) a sequence uses.
+    #[must_use]
+    pub fn num_choices(&self) -> u32 {
+        let j = self.diamond.levels();
+        (1u32 << j) - 1 // 1 + 2 + … + 2^{j-1}
+    }
+
+    /// Samples a request sequence.
+    #[must_use]
+    pub fn sample(&self, rng: &mut StdRng) -> RequestSequence {
+        let j = self.diamond.levels();
+        let choices: Vec<Vec<u8>> = (1..=j)
+            .map(|level| {
+                let count = 1usize << (level - 1);
+                (0..count).map(|_| u8::from(rng.random_bool(0.5))).collect()
+            })
+            .collect();
+        self.realize(choices)
+    }
+
+    /// Enumerates the entire support (all `2^(2^j − 1)` sequences).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the diamond has more than 4 levels (the support would
+    /// exceed 32768 sequences).
+    #[must_use]
+    pub fn enumerate_all(&self) -> Vec<RequestSequence> {
+        let bits = self.num_choices();
+        assert!(bits <= 15, "support of size 2^{bits} too large to enumerate");
+        let j = self.diamond.levels();
+        (0..(1u32 << bits))
+            .map(|mask| {
+                let mut choices = Vec::with_capacity(j as usize);
+                let mut bit = 0;
+                for level in 1..=j {
+                    let count = 1usize << (level - 1);
+                    choices.push(
+                        (0..count)
+                            .map(|_| {
+                                let c = ((mask >> bit) & 1) as u8;
+                                bit += 1;
+                                c
+                            })
+                            .collect(),
+                    );
+                }
+                self.realize(choices)
+            })
+            .collect()
+    }
+
+    /// Materializes the request sequence determined by explicit midpoint
+    /// choices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `choices` has the wrong shape (`2^{ℓ-1}` entries of 0/1
+    /// per level `ℓ`).
+    #[must_use]
+    pub fn realize(&self, choices: Vec<Vec<u8>>) -> RequestSequence {
+        let j = self.diamond.levels();
+        assert_eq!(choices.len(), j as usize, "one choice vector per level");
+        let mut requests = vec![self.diamond.sink()];
+        // Active diamonds at level 1: the single top diamond (index 0).
+        let mut active: Vec<usize> = if j >= 1 { vec![0] } else { Vec::new() };
+        for level in 1..=j {
+            let level_choices = &choices[(level - 1) as usize];
+            assert_eq!(
+                level_choices.len(),
+                active.len(),
+                "level {level} needs one choice per active diamond"
+            );
+            let diamonds = self.diamond.diamonds_at(level);
+            let mut next_active = Vec::with_capacity(active.len() * 2);
+            for (&d_idx, &c) in active.iter().zip(level_choices) {
+                assert!(c <= 1, "choices are binary");
+                let d = &diamonds[d_idx];
+                requests.push(NodeId::new(d.mids[c as usize]));
+                if level < j {
+                    next_active.extend_from_slice(&d.child_edges[c as usize]);
+                }
+            }
+            active = next_active;
+        }
+        let probability = 0.5f64.powi(self.num_choices() as i32);
+        RequestSequence {
+            requests,
+            choices,
+            probability,
+        }
+    }
+
+    /// The diamond graph this adversary plays on.
+    #[must_use]
+    pub fn diamond(&self) -> &DiamondGraph {
+        &self.diamond
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steiner::{offline_optimum, OnlineSteiner};
+
+    #[test]
+    fn sequence_shape_matches_levels() {
+        let d = DiamondGraph::new(3);
+        let adv = DiamondAdversary::new(&d);
+        let seq = adv.sample(&mut bi_util::rng::seeded(0));
+        assert_eq!(seq.requests.len(), 1 + 1 + 2 + 4);
+        assert!((seq.probability - 0.5f64.powi(7)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn every_sequence_has_offline_optimum_one() {
+        let d = DiamondGraph::new(2);
+        let adv = DiamondAdversary::new(&d);
+        for seq in adv.enumerate_all() {
+            let (opt, exact) = offline_optimum(d.graph(), d.source(), &seq.requests);
+            assert!(exact);
+            assert!((opt - 1.0).abs() < 1e-9, "sequence {:?}: opt {opt}", seq.choices);
+        }
+    }
+
+    #[test]
+    fn support_probabilities_sum_to_one() {
+        let d = DiamondGraph::new(3);
+        let adv = DiamondAdversary::new(&d);
+        let total: f64 = adv.enumerate_all().iter().map(|s| s.probability).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_greedy_cost_grows_with_depth() {
+        // The heart of Imase–Waxman: expected online cost grows linearly
+        // in the number of levels while OPT stays 1.
+        let mut expected = Vec::new();
+        for j in 1..=4u32 {
+            let d = DiamondGraph::new(j);
+            let adv = DiamondAdversary::new(&d);
+            let mut rng = bi_util::rng::seeded(17);
+            let samples = 64;
+            let total: f64 = (0..samples)
+                .map(|_| {
+                    let seq = adv.sample(&mut rng);
+                    OnlineSteiner::greedy(d.graph(), d.source(), &seq.requests).total_cost
+                })
+                .sum();
+            expected.push(total / f64::from(samples));
+        }
+        // Strictly increasing and roughly additive in j.
+        for w in expected.windows(2) {
+            assert!(w[1] > w[0] + 0.05, "{expected:?}");
+        }
+        assert!(expected[3] >= 1.5, "depth 4 should cost well above OPT=1: {expected:?}");
+    }
+
+    #[test]
+    fn realize_rejects_malformed_choices() {
+        let d = DiamondGraph::new(2);
+        let adv = DiamondAdversary::new(&d);
+        let result = std::panic::catch_unwind(|| adv.realize(vec![vec![0]]));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn deterministic_choices_reproduce() {
+        let d = DiamondGraph::new(2);
+        let adv = DiamondAdversary::new(&d);
+        let a = adv.realize(vec![vec![1], vec![0, 1]]);
+        let b = adv.realize(vec![vec![1], vec![0, 1]]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,198 @@
+//! Recursive diamond graphs.
+//!
+//! `D_0` is a single unit-cost edge `s–t`; `D_{j+1}` replaces every edge of
+//! `D_j` (of cost `c`) by two parallel length-2 paths through fresh
+//! midpoints, each new edge costing `c/2`. Every "canonical" `s–t` path
+//! that picks one midpoint per traversed diamond has total length exactly
+//! 1, which is what makes these graphs the classical hard instance for
+//! online Steiner trees (Imase–Waxman) and, through Lemma 3.5, for
+//! Bayesian ignorance.
+
+use bi_graph::{Direction, Graph, NodeId};
+
+/// One diamond: the split of a previous-level edge `top–bottom` into two
+/// parallel paths via `mids[0]` and `mids[1]`.
+#[derive(Clone, Debug)]
+pub struct Diamond {
+    /// Upper endpoint of the split edge.
+    pub top: usize,
+    /// Lower endpoint of the split edge.
+    pub bottom: usize,
+    /// The two fresh midpoints.
+    pub mids: [usize; 2],
+    /// For each midpoint choice, the indices (into the next level's edge
+    /// list) of the two edges `top–mid` and `mid–bottom`.
+    pub child_edges: [[usize; 2]; 2],
+}
+
+/// A fully built diamond graph `D_j` with its per-level diamond structure.
+///
+/// # Examples
+///
+/// ```
+/// let d = bi_online::diamond::DiamondGraph::new(2);
+/// assert_eq!(d.levels(), 2);
+/// assert_eq!(d.graph().node_count(), 12); // 2 + 2 + 8
+/// assert_eq!(d.graph().edge_count(), 16); // 4²
+/// ```
+#[derive(Clone, Debug)]
+pub struct DiamondGraph {
+    graph: Graph,
+    source: usize,
+    sink: usize,
+    /// `diamonds[ℓ-1][i]` is the `i`-th diamond created at level `ℓ`; it
+    /// splits the `i`-th edge of level `ℓ-1`.
+    diamonds: Vec<Vec<Diamond>>,
+}
+
+impl DiamondGraph {
+    /// Builds `D_j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels > 8` (the graph would have > 87 thousand nodes,
+    /// beyond anything the experiments need).
+    #[must_use]
+    pub fn new(levels: u32) -> Self {
+        assert!(levels <= 8, "diamond depth {levels} too large");
+        let mut node_count = 2usize; // s = 0, t = 1
+        let source = 0usize;
+        let sink = 1usize;
+        // Edge lists per level, as (u, v) node pairs; level 0 is the base
+        // edge.
+        let mut current: Vec<(usize, usize)> = vec![(source, sink)];
+        let mut diamonds: Vec<Vec<Diamond>> = Vec::with_capacity(levels as usize);
+        for _ in 0..levels {
+            let mut next: Vec<(usize, usize)> = Vec::with_capacity(current.len() * 4);
+            let mut level_diamonds = Vec::with_capacity(current.len());
+            for &(u, v) in &current {
+                let m1 = node_count;
+                let m2 = node_count + 1;
+                node_count += 2;
+                let base = next.len();
+                next.push((u, m1));
+                next.push((m1, v));
+                next.push((u, m2));
+                next.push((m2, v));
+                level_diamonds.push(Diamond {
+                    top: u,
+                    bottom: v,
+                    mids: [m1, m2],
+                    child_edges: [[base, base + 1], [base + 2, base + 3]],
+                });
+            }
+            diamonds.push(level_diamonds);
+            current = next;
+        }
+        let mut graph = Graph::with_nodes(Direction::Undirected, node_count);
+        let edge_cost = 0.5f64.powi(levels as i32);
+        for &(u, v) in &current {
+            graph.add_edge(NodeId::new(u), NodeId::new(v), edge_cost);
+        }
+        DiamondGraph {
+            graph,
+            source,
+            sink,
+            diamonds,
+        }
+    }
+
+    /// The underlying undirected graph (only the final-level edges exist).
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The source vertex `s`.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        NodeId::new(self.source)
+    }
+
+    /// The sink vertex `t`.
+    #[must_use]
+    pub fn sink(&self) -> NodeId {
+        NodeId::new(self.sink)
+    }
+
+    /// Number of subdivision levels `j`.
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        self.diamonds.len() as u32
+    }
+
+    /// The diamonds created at level `ℓ` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 or exceeds [`DiamondGraph::levels`].
+    #[must_use]
+    pub fn diamonds_at(&self, level: u32) -> &[Diamond] {
+        assert!(level >= 1 && level <= self.levels(), "level out of range");
+        &self.diamonds[(level - 1) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_follow_the_recursion() {
+        for j in 0..5u32 {
+            let d = DiamondGraph::new(j);
+            let expected_edges = 4usize.pow(j);
+            assert_eq!(d.graph().edge_count(), expected_edges, "level {j}");
+            let expected_nodes = 2 + 2 * (4usize.pow(j) - 1) / 3;
+            assert_eq!(d.graph().node_count(), expected_nodes, "level {j}");
+        }
+    }
+
+    #[test]
+    fn source_to_sink_distance_is_one_at_every_level() {
+        for j in 0..5u32 {
+            let d = DiamondGraph::new(j);
+            let (dist, _) = bi_graph::shortest_path(d.graph(), d.source(), d.sink()).unwrap();
+            assert!((dist - 1.0).abs() < 1e-12, "level {j}: {dist}");
+        }
+    }
+
+    #[test]
+    fn level_one_diamond_splits_the_base_edge() {
+        let d = DiamondGraph::new(1);
+        let ds = d.diamonds_at(1);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].top, 0);
+        assert_eq!(ds[0].bottom, 1);
+        assert_eq!(ds[0].mids, [2, 3]);
+    }
+
+    #[test]
+    fn child_edges_reference_the_next_level() {
+        let d = DiamondGraph::new(2);
+        // Level-1 diamond's child edges index into level-1's edge list,
+        // which level-2 diamonds split one-to-one.
+        let top = &d.diamonds_at(1)[0];
+        for choice in 0..2 {
+            for &edge_idx in &top.child_edges[choice] {
+                let child = &d.diamonds_at(2)[edge_idx];
+                // The child diamond splits an edge incident to the chosen
+                // midpoint.
+                let m = top.mids[choice];
+                assert!(child.top == m || child.bottom == m);
+            }
+        }
+    }
+
+    #[test]
+    fn midpoint_path_through_every_level_has_length_one() {
+        let d = DiamondGraph::new(3);
+        // Always choose midpoint 0: the resulting canonical path must have
+        // total length 1 (verified via shortest path through the forced
+        // midpoint of the top diamond and the structure below it).
+        let m = NodeId::new(d.diamonds_at(1)[0].mids[0]);
+        let (d1, _) = bi_graph::shortest_path(d.graph(), d.source(), m).unwrap();
+        let (d2, _) = bi_graph::shortest_path(d.graph(), m, d.sink()).unwrap();
+        assert!((d1 + d2 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,35 @@
+//! Online Steiner trees and the Imase–Waxman lower-bound machinery.
+//!
+//! Lemma 3.5 of *Bayesian ignorance* reduces the `Ω(log n)` lower bound on
+//! `optP/optC` for undirected Bayesian NCS games to the classical
+//! Imase–Waxman `Ω(log n)` lower bound for online Steiner trees on
+//! *diamond graphs*: strategies of the Bayesian game correspond to online
+//! algorithms, the common prior to the adversary's distribution over
+//! request sequences. This crate provides:
+//!
+//! * [`steiner::OnlineSteiner`] — the online Steiner tree problem and the
+//!   canonical greedy algorithm (connect each request by a cheapest path
+//!   to the tree built so far, bought edges become free);
+//! * [`diamond::DiamondGraph`] — the recursive diamond graphs `D_j`
+//!   (each level replaces every edge by two parallel two-edge paths);
+//! * [`adversary::DiamondAdversary`] — the randomized adversary that walks
+//!   one midpoint choice per diamond down the levels, producing request
+//!   sequences with offline optimum 1 but expected online cost `Ω(j)`.
+//!
+//! # Examples
+//!
+//! ```
+//! use bi_online::diamond::DiamondGraph;
+//! use bi_online::adversary::DiamondAdversary;
+//! use bi_online::steiner::OnlineSteiner;
+//!
+//! let d = DiamondGraph::new(2);
+//! let adversary = DiamondAdversary::new(&d);
+//! let seq = adversary.sample(&mut bi_util::rng::seeded(5));
+//! let run = OnlineSteiner::greedy(d.graph(), d.source(), &seq.requests);
+//! assert!(run.total_cost >= 1.0 - 1e-9); // OPT(σ) = 1 exactly
+//! ```
+
+pub mod adversary;
+pub mod diamond;
+pub mod steiner;

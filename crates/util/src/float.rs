@@ -1,0 +1,171 @@
+//! Totally ordered floats and tolerance-based comparisons.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Default absolute tolerance used across the workspace for equilibrium and
+/// optimality comparisons.
+///
+/// The paper's constructions use cost gaps of order `1/k`; all instances in
+/// this workspace keep meaningful gaps well above `1e-6`, so `1e-9` cleanly
+/// separates "equal up to floating-point noise" from "strictly better".
+pub const EPS: f64 = 1e-9;
+
+/// Returns `true` when `a` and `b` differ by at most [`EPS`] (absolutely or
+/// relative to the larger magnitude).
+///
+/// # Examples
+///
+/// ```
+/// assert!(bi_util::approx_eq(1.0, 1.0 + 1e-12));
+/// assert!(!bi_util::approx_eq(1.0, 1.001));
+/// ```
+#[must_use]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= EPS * scale
+}
+
+/// Returns `true` when `a <= b` up to [`EPS`] slack.
+///
+/// # Examples
+///
+/// ```
+/// assert!(bi_util::approx_le(1.0 + 1e-12, 1.0));
+/// assert!(!bi_util::approx_le(1.1, 1.0));
+/// ```
+#[must_use]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b || approx_eq(a, b)
+}
+
+/// An [`f64`] wrapper with a total order (via [`f64::total_cmp`]) so that
+/// floating-point keys can live in ordered collections and be sorted.
+///
+/// NaN sorts after every other value, matching `total_cmp` semantics.
+///
+/// # Examples
+///
+/// ```
+/// use bi_util::TotalF64;
+/// use std::collections::BTreeSet;
+///
+/// let mut set = BTreeSet::new();
+/// set.insert(TotalF64::new(0.5));
+/// set.insert(TotalF64::new(0.25));
+/// assert_eq!(set.iter().next().unwrap().get(), 0.25);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TotalF64(f64);
+
+impl TotalF64 {
+    /// Wraps a raw `f64`.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        TotalF64(value)
+    }
+
+    /// Returns the wrapped value.
+    #[must_use]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl PartialEq for TotalF64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == Ordering::Equal
+    }
+}
+
+impl Eq for TotalF64 {}
+
+impl PartialOrd for TotalF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TotalF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl fmt::Display for TotalF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl From<f64> for TotalF64 {
+    fn from(value: f64) -> Self {
+        TotalF64(value)
+    }
+}
+
+impl From<TotalF64> for f64 {
+    fn from(value: TotalF64) -> Self {
+        value.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_accepts_tiny_differences() {
+        assert!(approx_eq(1.0, 1.0 + 5e-13));
+        assert!(approx_eq(0.0, 0.0));
+        assert!(approx_eq(1e12, 1e12 * (1.0 + 1e-12)));
+    }
+
+    #[test]
+    fn approx_eq_rejects_meaningful_differences() {
+        assert!(!approx_eq(1.0, 1.0001));
+        assert!(!approx_eq(0.0, 1e-6));
+    }
+
+    #[test]
+    fn approx_le_allows_slack() {
+        assert!(approx_le(2.0, 2.0));
+        assert!(approx_le(2.0 + 1e-12, 2.0));
+        assert!(!approx_le(2.1, 2.0));
+    }
+
+    #[test]
+    fn total_f64_orders_like_f64_on_normal_values() {
+        let mut xs = vec![
+            TotalF64::new(3.5),
+            TotalF64::new(-1.0),
+            TotalF64::new(0.0),
+        ];
+        xs.sort();
+        let raw: Vec<f64> = xs.into_iter().map(TotalF64::get).collect();
+        assert_eq!(raw, vec![-1.0, 0.0, 3.5]);
+    }
+
+    #[test]
+    fn total_f64_handles_nan_deterministically() {
+        let mut xs = vec![TotalF64::new(f64::NAN), TotalF64::new(1.0)];
+        xs.sort();
+        assert_eq!(xs[0].get(), 1.0);
+        assert!(xs[1].get().is_nan());
+    }
+
+    #[test]
+    fn total_f64_roundtrips_through_from() {
+        let x: TotalF64 = 2.25.into();
+        let y: f64 = x.into();
+        assert_eq!(y, 2.25);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        assert!(!format!("{:?}", TotalF64::new(1.0)).is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! Harmonic numbers `H(n) = 1 + 1/2 + … + 1/n`.
+//!
+//! The Rosenthal potential of a network cost-sharing game charges each edge
+//! `c(e)·H(load)`, and the paper's Lemma 3.8 bound is `best-eqP ≤ H(k)·optP`,
+//! so harmonic numbers appear throughout the workspace.
+
+/// Returns the `n`-th harmonic number `H(n)`; `H(0) = 0` by convention.
+///
+/// Computed by direct summation from the small end for accuracy; for the
+/// instance sizes used in this workspace (`n ≤ 10^7`) this is exact to
+/// within a few ulps.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(bi_util::harmonic(0), 0.0);
+/// assert_eq!(bi_util::harmonic(1), 1.0);
+/// assert!((bi_util::harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn harmonic(n: usize) -> f64 {
+    // Summing from 1/n upward adds the small terms first, which keeps the
+    // floating-point error at the ulp level.
+    (1..=n).rev().map(|i| 1.0 / i as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_match_hand_computation() {
+        assert_eq!(harmonic(0), 0.0);
+        assert_eq!(harmonic(1), 1.0);
+        assert!((harmonic(2) - 1.5).abs() < 1e-15);
+        assert!((harmonic(3) - 11.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn is_monotone() {
+        let mut prev = 0.0;
+        for n in 1..200 {
+            let h = harmonic(n);
+            assert!(h > prev);
+            prev = h;
+        }
+    }
+
+    #[test]
+    fn grows_like_ln_n() {
+        // H(n) = ln n + γ + O(1/n) with γ ≈ 0.5772.
+        let n = 100_000;
+        let gamma = 0.577_215_664_901_532_9;
+        let approx = (n as f64).ln() + gamma + 1.0 / (2.0 * n as f64);
+        assert!((harmonic(n) - approx).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,165 @@
+//! Summary statistics and growth-rate fitting for the experiment harnesses.
+//!
+//! The benches reproduce *asymptotic shapes* (linear in `k`, logarithmic in
+//! `n`, …). [`log_log_slope`] fits `y ≈ c·x^α` on a log–log scale so a
+//! measured ratio series can be classified: `α ≈ 1` means linear growth,
+//! `α ≈ 0` with positive [`linear_fit`] slope against `ln x` means
+//! logarithmic growth, `α ≈ -1` means inverse-linear decay.
+
+/// Summary statistics (count, mean, min, max, standard deviation) of a
+/// sample.
+///
+/// # Examples
+///
+/// ```
+/// let s = bi_util::Summary::of(&[1.0, 2.0, 3.0]);
+/// assert_eq!(s.mean, 2.0);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 3.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (0 for an empty sample).
+    pub mean: f64,
+    /// Minimum value (+∞ for an empty sample).
+    pub min: f64,
+    /// Maximum value (−∞ for an empty sample).
+    pub max: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `xs`.
+    #[must_use]
+    pub fn of(xs: &[f64]) -> Self {
+        let count = xs.len();
+        if count == 0 {
+            return Summary {
+                count,
+                mean: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                std_dev: 0.0,
+            };
+        }
+        let mean = xs.iter().sum::<f64>() / count as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        Summary {
+            count,
+            mean,
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            std_dev: var.sqrt(),
+        }
+    }
+}
+
+/// Ordinary least-squares fit `y ≈ a + b·x`; returns `(a, b)`.
+///
+/// # Panics
+///
+/// Panics if `xs` and `ys` differ in length, have fewer than two points, or
+/// all `xs` coincide (the slope is then undefined).
+///
+/// # Examples
+///
+/// ```
+/// let (a, b) = bi_util::linear_fit(&[0.0, 1.0, 2.0], &[1.0, 3.0, 5.0]);
+/// assert!((a - 1.0).abs() < 1e-12);
+/// assert!((b - 2.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
+    assert!(xs.len() >= 2, "need at least two points to fit a line");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    assert!(sxx > 0.0, "all x values coincide; slope undefined");
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let b = sxy / sxx;
+    (my - b * mx, b)
+}
+
+/// Fits `y ≈ c·x^α` by regressing `ln y` on `ln x`; returns the exponent `α`.
+///
+/// Used by the benches to classify measured ratio growth: a ratio that is
+/// `Θ(k)` fits `α ≈ 1`, a `Θ(1/k)` ratio fits `α ≈ -1`, and a `Θ(log n)`
+/// ratio fits a small positive `α` that shrinks as `n` grows (the benches
+/// additionally regress against `ln x` directly in that case).
+///
+/// # Panics
+///
+/// Panics if any sample is non-positive or fewer than two points are given.
+///
+/// # Examples
+///
+/// ```
+/// let xs = [2.0, 4.0, 8.0, 16.0];
+/// let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x * x).collect();
+/// let alpha = bi_util::log_log_slope(&xs, &ys);
+/// assert!((alpha - 2.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn log_log_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    assert!(
+        xs.iter().chain(ys).all(|&v| v > 0.0),
+        "log-log fit requires positive samples"
+    );
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    linear_fit(&lx, &ly).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_sample_is_neutral() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn summary_computes_std_dev() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| -2.0 + 0.5 * x).collect();
+        let (a, b) = linear_fit(&xs, &ys);
+        assert!((a + 2.0).abs() < 1e-12);
+        assert!((b - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn linear_fit_rejects_mismatched_lengths() {
+        let _ = linear_fit(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn log_log_slope_detects_inverse_growth() {
+        let xs = [2.0, 4.0, 8.0, 32.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 / x).collect();
+        assert!((log_log_slope(&xs, &ys) + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_log_slope_of_logarithmic_series_is_sublinear() {
+        let xs: Vec<f64> = (3..12).map(|i| (1u64 << i) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+        let alpha = log_log_slope(&xs, &ys);
+        assert!(alpha > 0.0 && alpha < 0.5, "alpha = {alpha}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Iterated elimination of strictly dominated actions in matrix games.
+//!
+//! A preprocessing step for the Section 4 solver: strategy profiles that
+//! are strictly dominated can never appear in the Lemma 4.1 distribution,
+//! and dropping them shrinks the LP. Elimination preserves the game value
+//! and (after re-inflation) the optimal strategies.
+
+use crate::matrix_game::MatrixGame;
+
+/// The result of iterated strict-dominance elimination.
+#[derive(Clone, Debug)]
+pub struct Reduced {
+    /// The reduced game.
+    pub game: MatrixGame,
+    /// Indices of the surviving rows in the original game.
+    pub rows: Vec<usize>,
+    /// Indices of the surviving columns in the original game.
+    pub cols: Vec<usize>,
+}
+
+impl Reduced {
+    /// Re-inflates a reduced row strategy to the original action space
+    /// (eliminated actions get probability 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strategy` does not match the reduced row count.
+    #[must_use]
+    pub fn inflate_row(&self, strategy: &[f64], original_rows: usize) -> Vec<f64> {
+        assert_eq!(strategy.len(), self.rows.len(), "strategy length");
+        let mut out = vec![0.0; original_rows];
+        for (&idx, &p) in self.rows.iter().zip(strategy) {
+            out[idx] = p;
+        }
+        out
+    }
+
+    /// Re-inflates a reduced column strategy to the original action space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strategy` does not match the reduced column count.
+    #[must_use]
+    pub fn inflate_col(&self, strategy: &[f64], original_cols: usize) -> Vec<f64> {
+        assert_eq!(strategy.len(), self.cols.len(), "strategy length");
+        let mut out = vec![0.0; original_cols];
+        for (&idx, &p) in self.cols.iter().zip(strategy) {
+            out[idx] = p;
+        }
+        out
+    }
+}
+
+/// Iteratively removes strictly dominated rows (for the maximizer) and
+/// columns (for the minimizer) until a fixed point.
+///
+/// Only *pure-strategy* dominance is used (sound but not complete); the
+/// value of the reduced game equals the value of the original.
+///
+/// # Examples
+///
+/// ```
+/// use bi_zerosum::{dominance, matrix_game::MatrixGame};
+///
+/// // Row 0 strictly dominates row 1; column 1 then dominates column 0.
+/// let g = MatrixGame::new(vec![vec![3.0, 2.0], vec![1.0, 0.0]]).unwrap();
+/// let r = dominance::eliminate(&g);
+/// assert_eq!(r.rows, vec![0]);
+/// assert_eq!(r.cols, vec![1]);
+/// ```
+#[must_use]
+pub fn eliminate(game: &MatrixGame) -> Reduced {
+    let payoff = game.payoff();
+    let mut rows: Vec<usize> = (0..game.rows()).collect();
+    let mut cols: Vec<usize> = (0..game.cols()).collect();
+    loop {
+        let mut changed = false;
+        // Rows: the maximizer discards row r if some row r' is strictly
+        // better against every surviving column.
+        let mut keep_rows = Vec::with_capacity(rows.len());
+        'row: for (pos, &r) in rows.iter().enumerate() {
+            for (other_pos, &r2) in rows.iter().enumerate() {
+                if pos == other_pos {
+                    continue;
+                }
+                // Among equal rows keep the first occurrence only if the
+                // dominating row survives; strict dominance avoids ties.
+                if cols.iter().all(|&c| payoff[r2][c] > payoff[r][c]) {
+                    changed = true;
+                    continue 'row;
+                }
+            }
+            keep_rows.push(r);
+        }
+        rows = keep_rows;
+        // Columns: the minimizer discards column c if some c' is strictly
+        // smaller against every surviving row.
+        let mut keep_cols = Vec::with_capacity(cols.len());
+        'col: for (pos, &c) in cols.iter().enumerate() {
+            for (other_pos, &c2) in cols.iter().enumerate() {
+                if pos == other_pos {
+                    continue;
+                }
+                if rows.iter().all(|&r| payoff[r][c2] < payoff[r][c]) {
+                    changed = true;
+                    continue 'col;
+                }
+            }
+            keep_cols.push(c);
+        }
+        cols = keep_cols;
+        if !changed {
+            break;
+        }
+    }
+    let reduced_payoff: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|&r| cols.iter().map(|&c| payoff[r][c]).collect())
+        .collect();
+    Reduced {
+        game: MatrixGame::new(reduced_payoff).expect("submatrix of a valid game"),
+        rows,
+        cols,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elimination_preserves_the_value() {
+        use rand::Rng;
+        let mut rng = bi_util::rng::seeded(31);
+        for _ in 0..20 {
+            let m = rng.random_range(2..6);
+            let n = rng.random_range(2..6);
+            let payoff: Vec<Vec<f64>> = (0..m)
+                .map(|_| (0..n).map(|_| rng.random_range(-3.0..3.0)).collect())
+                .collect();
+            let game = MatrixGame::new(payoff).unwrap();
+            let full = game.solve().unwrap().value;
+            let reduced = eliminate(&game);
+            let red = reduced.game.solve().unwrap().value;
+            assert!((full - red).abs() < 1e-7, "value changed: {full} vs {red}");
+        }
+    }
+
+    #[test]
+    fn inflated_strategies_remain_optimal() {
+        let game = MatrixGame::new(vec![
+            vec![3.0, 2.0, 5.0],
+            vec![1.0, 0.0, 4.0],
+            vec![2.5, 1.5, 6.0],
+        ])
+        .unwrap();
+        let reduced = eliminate(&game);
+        let sol = reduced.game.solve().unwrap();
+        let x = reduced.inflate_row(&sol.row_strategy, game.rows());
+        let y = reduced.inflate_col(&sol.col_strategy, game.cols());
+        let (r, c) = game.exploitability(&x, &y);
+        assert!(r.abs() < 1e-7 && c.abs() < 1e-7);
+    }
+
+    #[test]
+    fn undominated_games_are_untouched() {
+        // Matching pennies: nothing is dominated.
+        let game = MatrixGame::new(vec![vec![1.0, -1.0], vec![-1.0, 1.0]]).unwrap();
+        let reduced = eliminate(&game);
+        assert_eq!(reduced.rows, vec![0, 1]);
+        assert_eq!(reduced.cols, vec![0, 1]);
+    }
+
+    #[test]
+    fn saddle_points_collapse_to_one_by_one() {
+        let game = MatrixGame::new(vec![vec![1.0, 3.0], vec![2.0, 4.0]]).unwrap();
+        let reduced = eliminate(&game);
+        assert_eq!(reduced.rows, vec![1]);
+        assert_eq!(reduced.cols, vec![0]);
+        assert_eq!(reduced.game.payoff()[0][0], 2.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Fictitious play for zero-sum matrix games.
+//!
+//! Robinson (1951) proved that the empirical strategies of fictitious play
+//! converge to the game value in zero-sum games. The workspace uses this as
+//! an independent cross-check of the simplex solution and as an anytime
+//! approximate solver for matrices too large for exact LP comfort.
+
+use crate::matrix_game::MatrixGame;
+
+/// Result of a fictitious-play run.
+#[derive(Clone, Debug)]
+pub struct FictitiousResult {
+    /// Empirical (time-averaged) row strategy.
+    pub row_strategy: Vec<f64>,
+    /// Empirical column strategy.
+    pub col_strategy: Vec<f64>,
+    /// Value interval `[lower, upper]` bracketing the game value:
+    /// `lower = min_j (x M)_j`, `upper = max_i (M y)_i`.
+    pub value_bounds: (f64, f64),
+    /// Number of iterations performed.
+    pub iterations: usize,
+}
+
+impl FictitiousResult {
+    /// Midpoint of the value bracket.
+    #[must_use]
+    pub fn value_estimate(&self) -> f64 {
+        0.5 * (self.value_bounds.0 + self.value_bounds.1)
+    }
+}
+
+/// Runs synchronous fictitious play for `iterations` rounds.
+///
+/// Each round both players best-respond to the opponent's empirical
+/// mixture; the returned strategies are the empirical averages, whose
+/// value bracket shrinks as `O(1/√T)`-ish in practice.
+///
+/// # Panics
+///
+/// Panics if `iterations == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use bi_zerosum::matrix_game::MatrixGame;
+///
+/// let g = MatrixGame::new(vec![vec![1.0, -1.0], vec![-1.0, 1.0]]).unwrap();
+/// let r = bi_zerosum::fictitious::play(&g, 2000);
+/// assert!(r.value_bounds.0 <= 0.0 + 1e-9 && 0.0 <= r.value_bounds.1 + 1e-9);
+/// assert!((r.value_estimate()).abs() < 0.1);
+/// ```
+#[must_use]
+pub fn play(game: &MatrixGame, iterations: usize) -> FictitiousResult {
+    assert!(iterations > 0, "need at least one iteration");
+    let m = game.rows();
+    let n = game.cols();
+    let payoff = game.payoff();
+    // Cumulative payoff each pure row gets against the column history, and
+    // symmetrically for columns.
+    let mut row_scores = vec![0.0f64; m];
+    let mut col_scores = vec![0.0f64; n];
+    let mut row_counts = vec![0usize; m];
+    let mut col_counts = vec![0usize; n];
+    // Start from action 0 for both.
+    let mut row_play = 0usize;
+    let mut col_play = 0usize;
+    for _ in 0..iterations {
+        row_counts[row_play] += 1;
+        col_counts[col_play] += 1;
+        for (i, score) in row_scores.iter_mut().enumerate() {
+            *score += payoff[i][col_play];
+        }
+        for (j, score) in col_scores.iter_mut().enumerate() {
+            *score += payoff[row_play][j];
+        }
+        row_play = argmax(&row_scores);
+        col_play = argmin(&col_scores);
+    }
+    let total = iterations as f64;
+    let x: Vec<f64> = row_counts.iter().map(|&c| c as f64 / total).collect();
+    let y: Vec<f64> = col_counts.iter().map(|&c| c as f64 / total).collect();
+    let lower = (0..n)
+        .map(|j| (0..m).map(|i| x[i] * payoff[i][j]).sum::<f64>())
+        .fold(f64::INFINITY, f64::min);
+    let upper = (0..m)
+        .map(|i| (0..n).map(|j| payoff[i][j] * y[j]).sum::<f64>())
+        .fold(f64::NEG_INFINITY, f64::max);
+    FictitiousResult {
+        row_strategy: x,
+        col_strategy: y,
+        value_bounds: (lower, upper),
+        iterations,
+    }
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn argmin(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x < xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brackets_contain_the_true_value() {
+        use rand::Rng;
+        let mut rng = bi_util::rng::seeded(5);
+        for _ in 0..10 {
+            let m = rng.random_range(2..5);
+            let n = rng.random_range(2..5);
+            let payoff: Vec<Vec<f64>> = (0..m)
+                .map(|_| (0..n).map(|_| rng.random_range(-2.0..2.0)).collect())
+                .collect();
+            let g = MatrixGame::new(payoff).unwrap();
+            let exact = g.solve().unwrap().value;
+            let fp = play(&g, 5000);
+            assert!(
+                fp.value_bounds.0 <= exact + 1e-6 && exact <= fp.value_bounds.1 + 1e-6,
+                "value {exact} outside [{}, {}]",
+                fp.value_bounds.0,
+                fp.value_bounds.1
+            );
+        }
+    }
+
+    #[test]
+    fn converges_on_rock_paper_scissors() {
+        let g = MatrixGame::new(vec![
+            vec![0.0, -1.0, 1.0],
+            vec![1.0, 0.0, -1.0],
+            vec![-1.0, 1.0, 0.0],
+        ])
+        .unwrap();
+        let fp = play(&g, 20_000);
+        assert!(fp.value_estimate().abs() < 0.05);
+        for p in &fp.row_strategy {
+            assert!((p - 1.0 / 3.0).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn pure_saddle_points_lock_in() {
+        let g = MatrixGame::new(vec![vec![0.0, 1.0], vec![-1.0, 2.0]]).unwrap();
+        // Saddle at (0,0): value 0.
+        let fp = play(&g, 2000);
+        assert!((fp.value_estimate() - 0.0).abs() < 0.05);
+        assert!(fp.row_strategy[0] > 0.9);
+        assert!(fp.col_strategy[0] > 0.9);
+    }
+
+    #[test]
+    fn strategies_are_distributions() {
+        let g = MatrixGame::new(vec![vec![1.0, 2.0], vec![3.0, 0.5]]).unwrap();
+        let fp = play(&g, 100);
+        assert!((fp.row_strategy.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((fp.col_strategy.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(fp.iterations, 100);
+    }
+}

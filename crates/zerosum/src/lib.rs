@@ -1,0 +1,38 @@
+//! Linear programming and zero-sum matrix games.
+//!
+//! Section 4 of *Bayesian ignorance* proves (via von Neumann's minimax
+//! theorem) that public random bits can replace knowledge of the common
+//! prior: there is a distribution `q ∈ Δ(S)` over strategy profiles whose
+//! expected normalized social cost matches the optimal prior-aware bound
+//! `R(φ)`. Making that constructive requires actually *solving* zero-sum
+//! games, which this crate does three ways:
+//!
+//! * [`simplex`] — a dense primal simplex solver for LPs in the standard
+//!   form `max cᵀx  s.t.  Ax ≤ b, x ≥ 0` with `b ≥ 0` (exactly the form
+//!   matrix games reduce to), with dual extraction;
+//! * [`matrix_game::MatrixGame`] — exact game values and optimal mixed
+//!   strategies via the LP reduction;
+//! * [`fictitious`] and [`mw`] — iterative solvers (fictitious play,
+//!   multiplicative weights) used to cross-validate the LP and to handle
+//!   larger matrices approximately.
+//!
+//! # Examples
+//!
+//! ```
+//! use bi_zerosum::matrix_game::MatrixGame;
+//!
+//! // Matching pennies: value 0, uniform strategies.
+//! let g = MatrixGame::new(vec![vec![1.0, -1.0], vec![-1.0, 1.0]]).unwrap();
+//! let sol = g.solve().unwrap();
+//! assert!(sol.value.abs() < 1e-9);
+//! assert!((sol.row_strategy[0] - 0.5).abs() < 1e-9);
+//! ```
+
+pub mod dominance;
+pub mod fictitious;
+pub mod matrix_game;
+pub mod mw;
+pub mod simplex;
+
+pub use matrix_game::{GameSolution, MatrixGame};
+pub use simplex::{LpError, LpSolution};

@@ -1,0 +1,312 @@
+//! Exact zero-sum matrix games via the LP reduction.
+
+use std::fmt;
+
+use crate::simplex::{self, LpError};
+
+/// Errors constructing or solving a [`MatrixGame`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GameError {
+    /// The payoff matrix is empty or ragged.
+    BadShape,
+    /// A payoff entry is not finite.
+    BadEntry,
+    /// The underlying LP failed (numerically).
+    Lp(LpError),
+}
+
+impl fmt::Display for GameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GameError::BadShape => write!(f, "payoff matrix must be rectangular and non-empty"),
+            GameError::BadEntry => write!(f, "payoff entries must be finite"),
+            GameError::Lp(e) => write!(f, "LP solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GameError {}
+
+/// A two-player zero-sum game given by a payoff matrix `M`: the **row
+/// player maximizes** `x M yᵀ`, the column player minimizes it.
+///
+/// # Examples
+///
+/// ```
+/// use bi_zerosum::matrix_game::MatrixGame;
+///
+/// // Rock-paper-scissors.
+/// let g = MatrixGame::new(vec![
+///     vec![0.0, -1.0, 1.0],
+///     vec![1.0, 0.0, -1.0],
+///     vec![-1.0, 1.0, 0.0],
+/// ]).unwrap();
+/// let sol = g.solve().unwrap();
+/// assert!(sol.value.abs() < 1e-9);
+/// assert!(sol.col_strategy.iter().all(|&p| (p - 1.0/3.0).abs() < 1e-9));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatrixGame {
+    payoff: Vec<Vec<f64>>,
+}
+
+/// The value and optimal mixed strategies of a [`MatrixGame`].
+#[derive(Clone, Debug)]
+pub struct GameSolution {
+    /// The game value `v = max_x min_y x M yᵀ`.
+    pub value: f64,
+    /// An optimal mixed strategy for the (maximizing) row player.
+    pub row_strategy: Vec<f64>,
+    /// An optimal mixed strategy for the (minimizing) column player.
+    pub col_strategy: Vec<f64>,
+}
+
+impl MatrixGame {
+    /// Creates a game from a rectangular, finite payoff matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::BadShape`] for empty/ragged input and
+    /// [`GameError::BadEntry`] for non-finite entries.
+    pub fn new(payoff: Vec<Vec<f64>>) -> Result<Self, GameError> {
+        if payoff.is_empty() || payoff[0].is_empty() {
+            return Err(GameError::BadShape);
+        }
+        let ncols = payoff[0].len();
+        if payoff.iter().any(|r| r.len() != ncols) {
+            return Err(GameError::BadShape);
+        }
+        if payoff.iter().flatten().any(|v| !v.is_finite()) {
+            return Err(GameError::BadEntry);
+        }
+        Ok(MatrixGame { payoff })
+    }
+
+    /// Number of row-player actions.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.payoff.len()
+    }
+
+    /// Number of column-player actions.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.payoff[0].len()
+    }
+
+    /// The payoff matrix.
+    #[must_use]
+    pub fn payoff(&self) -> &[Vec<f64>] {
+        &self.payoff
+    }
+
+    /// Expected payoff `x M yᵀ` of a mixed strategy pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy lengths do not match the matrix.
+    #[must_use]
+    pub fn expected_payoff(&self, x: &[f64], y: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.rows());
+        assert_eq!(y.len(), self.cols());
+        self.payoff
+            .iter()
+            .zip(x)
+            .map(|(row, &xi)| xi * row.iter().zip(y).map(|(m, &yj)| m * yj).sum::<f64>())
+            .sum()
+    }
+
+    /// Solves the game exactly: value plus optimal mixed strategies.
+    ///
+    /// Uses the classical reduction: after shifting `M` to be strictly
+    /// positive, the column player's LP `max Σw  s.t.  M w ≤ 1, w ≥ 0` has
+    /// optimum `1/v'`, the normalized `w` is her optimal strategy, and the
+    /// LP duals normalize to the row player's optimal strategy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GameError::Lp`] if the simplex solver fails numerically
+    /// (it cannot be unbounded for a shifted game).
+    pub fn solve(&self) -> Result<GameSolution, GameError> {
+        let min_entry = self
+            .payoff
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        let shift = if min_entry < 1.0 { 1.0 - min_entry } else { 0.0 };
+        let m = self.rows();
+        let n = self.cols();
+        let shifted: Vec<Vec<f64>> = self
+            .payoff
+            .iter()
+            .map(|row| row.iter().map(|&p| p + shift).collect())
+            .collect();
+        let c = vec![1.0; n];
+        let b = vec![1.0; m];
+        let sol = simplex::solve(&c, &shifted, &b).map_err(GameError::Lp)?;
+        let inv_value = sol.objective;
+        debug_assert!(inv_value > 0.0, "shifted game has positive value");
+        let value_shifted = 1.0 / inv_value;
+        let col_strategy: Vec<f64> = sol.x.iter().map(|&w| w * value_shifted).collect();
+        let row_strategy: Vec<f64> = sol.dual.iter().map(|&u| u * value_shifted).collect();
+        Ok(GameSolution {
+            value: value_shifted - shift,
+            row_strategy: normalize(row_strategy),
+            col_strategy: normalize(col_strategy),
+        })
+    }
+
+    /// How much each player could gain by deviating from `(x, y)`:
+    /// returns `(row_regret, col_regret)` where `row_regret = max_i (M y)_i − x M yᵀ`
+    /// and `col_regret = x M yᵀ − min_j (x M)_j`. Both are ≈ 0 exactly at
+    /// an equilibrium.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the strategy lengths do not match the matrix.
+    #[must_use]
+    pub fn exploitability(&self, x: &[f64], y: &[f64]) -> (f64, f64) {
+        let base = self.expected_payoff(x, y);
+        let best_row = (0..self.rows())
+            .map(|i| {
+                self.payoff[i]
+                    .iter()
+                    .zip(y)
+                    .map(|(m, &yj)| m * yj)
+                    .sum::<f64>()
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+        let best_col = (0..self.cols())
+            .map(|j| {
+                self.payoff
+                    .iter()
+                    .zip(x)
+                    .map(|(row, &xi)| row[j] * xi)
+                    .sum::<f64>()
+            })
+            .fold(f64::INFINITY, f64::min);
+        (best_row - base, base - best_col)
+    }
+}
+
+fn normalize(mut v: Vec<f64>) -> Vec<f64> {
+    let sum: f64 = v.iter().sum();
+    if sum > 0.0 {
+        for x in &mut v {
+            *x /= sum;
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_matrices() {
+        assert_eq!(MatrixGame::new(vec![]).unwrap_err(), GameError::BadShape);
+        assert_eq!(
+            MatrixGame::new(vec![vec![1.0], vec![1.0, 2.0]]).unwrap_err(),
+            GameError::BadShape
+        );
+        assert_eq!(
+            MatrixGame::new(vec![vec![f64::NAN]]).unwrap_err(),
+            GameError::BadEntry
+        );
+    }
+
+    #[test]
+    fn saddle_point_game_is_pure() {
+        // Row 1 dominates; column 0 dominates. Value = M[1][0] = 2.
+        let g = MatrixGame::new(vec![vec![1.0, 3.0], vec![2.0, 4.0]]).unwrap();
+        let sol = g.solve().unwrap();
+        assert!((sol.value - 2.0).abs() < 1e-9);
+        assert!((sol.row_strategy[1] - 1.0).abs() < 1e-9);
+        assert!((sol.col_strategy[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matching_pennies_mixes_uniformly() {
+        let g = MatrixGame::new(vec![vec![1.0, -1.0], vec![-1.0, 1.0]]).unwrap();
+        let sol = g.solve().unwrap();
+        assert!(sol.value.abs() < 1e-9);
+        for p in sol.row_strategy.iter().chain(&sol.col_strategy) {
+            assert!((p - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn known_asymmetric_game() {
+        // M = [[2, -1], [-1, 1]]: value = (2·1 − 1)/(2+1+1+1) = 1/5,
+        // x = (2/5, 3/5), y = (2/5, 3/5).
+        let g = MatrixGame::new(vec![vec![2.0, -1.0], vec![-1.0, 1.0]]).unwrap();
+        let sol = g.solve().unwrap();
+        assert!((sol.value - 0.2).abs() < 1e-9);
+        assert!((sol.row_strategy[0] - 0.4).abs() < 1e-9);
+        assert!((sol.col_strategy[0] - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solution_has_no_exploitability() {
+        let g = MatrixGame::new(vec![
+            vec![3.0, -2.0, 4.0],
+            vec![-1.0, 5.0, 0.0],
+        ])
+        .unwrap();
+        let sol = g.solve().unwrap();
+        let (r, c) = g.exploitability(&sol.row_strategy, &sol.col_strategy);
+        assert!(r.abs() < 1e-7, "row regret {r}");
+        assert!(c.abs() < 1e-7, "col regret {c}");
+    }
+
+    #[test]
+    fn value_is_antisymmetric_under_transpose_negation() {
+        use rand::Rng;
+        let mut rng = bi_util::rng::seeded(17);
+        for _ in 0..20 {
+            let m = rng.random_range(2..5);
+            let n = rng.random_range(2..5);
+            let payoff: Vec<Vec<f64>> = (0..m)
+                .map(|_| (0..n).map(|_| rng.random_range(-3.0..3.0)).collect())
+                .collect();
+            let g = MatrixGame::new(payoff.clone()).unwrap();
+            let v = g.solve().unwrap().value;
+            let transposed_negated: Vec<Vec<f64>> = (0..n)
+                .map(|j| (0..m).map(|i| -payoff[i][j]).collect())
+                .collect();
+            let g2 = MatrixGame::new(transposed_negated).unwrap();
+            let v2 = g2.solve().unwrap().value;
+            assert!((v + v2).abs() < 1e-7, "v={v}, v2={v2}");
+        }
+    }
+
+    #[test]
+    fn strategies_are_distributions() {
+        let g = MatrixGame::new(vec![
+            vec![0.0, 2.0, -1.0],
+            vec![1.0, -2.0, 3.0],
+            vec![-1.0, 1.0, 1.0],
+        ])
+        .unwrap();
+        let sol = g.solve().unwrap();
+        assert!((sol.row_strategy.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((sol.col_strategy.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(sol
+            .row_strategy
+            .iter()
+            .chain(&sol.col_strategy)
+            .all(|&p| p >= -1e-12));
+    }
+
+    #[test]
+    fn expected_payoff_matches_value_at_equilibrium() {
+        let g = MatrixGame::new(vec![vec![1.0, 4.0], vec![3.0, 2.0]]).unwrap();
+        let sol = g.solve().unwrap();
+        let ep = g.expected_payoff(&sol.row_strategy, &sol.col_strategy);
+        assert!((ep - sol.value).abs() < 1e-9);
+        // Known value: (1·2 − 4·3)/(1+2−4−3) = (2−12)/(−4) = 2.5
+        assert!((sol.value - 2.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,146 @@
+//! Multiplicative-weights (Hedge) solver for zero-sum matrix games.
+//!
+//! The row player maintains exponential weights over rows; each round the
+//! column player best-responds to the current mixture. The time-averaged
+//! play converges to the game value at rate `O(√(ln m / T))`, giving a
+//! second independent approximate solver to cross-check the simplex LP.
+
+use crate::matrix_game::MatrixGame;
+
+/// Result of a multiplicative-weights run.
+#[derive(Clone, Debug)]
+pub struct MwResult {
+    /// Time-averaged row strategy.
+    pub row_strategy: Vec<f64>,
+    /// Time-averaged column strategy (mixture over the best responses).
+    pub col_strategy: Vec<f64>,
+    /// Value bracket `[min_j (x̄ M)_j, max_i (M ȳ)_i]`.
+    pub value_bounds: (f64, f64),
+}
+
+impl MwResult {
+    /// Midpoint of the value bracket.
+    #[must_use]
+    pub fn value_estimate(&self) -> f64 {
+        0.5 * (self.value_bounds.0 + self.value_bounds.1)
+    }
+}
+
+/// Runs Hedge for the row player over `rounds` rounds with the standard
+/// learning rate `η = √(8 ln m / T)` clipped to payoff range 1 (payoffs
+/// are rescaled internally).
+///
+/// # Panics
+///
+/// Panics if `rounds == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use bi_zerosum::matrix_game::MatrixGame;
+///
+/// let g = MatrixGame::new(vec![vec![1.0, -1.0], vec![-1.0, 1.0]]).unwrap();
+/// let r = bi_zerosum::mw::solve(&g, 4000);
+/// assert!(r.value_estimate().abs() < 0.1);
+/// ```
+#[must_use]
+pub fn solve(game: &MatrixGame, rounds: usize) -> MwResult {
+    assert!(rounds > 0, "need at least one round");
+    let m = game.rows();
+    let n = game.cols();
+    let payoff = game.payoff();
+    let (lo, hi) = payoff.iter().flatten().fold(
+        (f64::INFINITY, f64::NEG_INFINITY),
+        |(lo, hi), &p| (lo.min(p), hi.max(p)),
+    );
+    let range = (hi - lo).max(1e-12);
+    let eta = (8.0 * (m as f64).ln().max(1.0) / rounds as f64).sqrt();
+    let mut log_w = vec![0.0f64; m];
+    let mut avg_x = vec![0.0f64; m];
+    let mut col_hist = vec![0.0f64; n];
+    for _ in 0..rounds {
+        let max_lw = log_w.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut x: Vec<f64> = log_w.iter().map(|&lw| (lw - max_lw).exp()).collect();
+        let sum: f64 = x.iter().sum();
+        for xi in &mut x {
+            *xi /= sum;
+        }
+        // Column player best-responds (minimizes).
+        let mut best_j = 0;
+        let mut best_val = f64::INFINITY;
+        for j in 0..n {
+            let v: f64 = (0..m).map(|i| x[i] * payoff[i][j]).sum();
+            if v < best_val {
+                best_val = v;
+                best_j = j;
+            }
+        }
+        col_hist[best_j] += 1.0;
+        for i in 0..m {
+            // Row player gains payoff[i][best_j]; normalize to [0,1].
+            let gain = (payoff[i][best_j] - lo) / range;
+            log_w[i] += eta * gain;
+        }
+        for (a, xi) in avg_x.iter_mut().zip(&x) {
+            *a += xi;
+        }
+    }
+    let t = rounds as f64;
+    let x: Vec<f64> = avg_x.into_iter().map(|v| v / t).collect();
+    let y: Vec<f64> = col_hist.into_iter().map(|v| v / t).collect();
+    let lower = (0..n)
+        .map(|j| (0..m).map(|i| x[i] * payoff[i][j]).sum::<f64>())
+        .fold(f64::INFINITY, f64::min);
+    let upper = (0..m)
+        .map(|i| (0..n).map(|j| payoff[i][j] * y[j]).sum::<f64>())
+        .fold(f64::NEG_INFINITY, f64::max);
+    MwResult {
+        row_strategy: x,
+        col_strategy: y,
+        value_bounds: (lower, upper),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approximates_known_values() {
+        let g = MatrixGame::new(vec![vec![2.0, -1.0], vec![-1.0, 1.0]]).unwrap();
+        let r = solve(&g, 20_000);
+        assert!((r.value_estimate() - 0.2).abs() < 0.05, "{:?}", r.value_bounds);
+    }
+
+    #[test]
+    fn agrees_with_simplex_on_random_games() {
+        use rand::Rng;
+        let mut rng = bi_util::rng::seeded(23);
+        for _ in 0..5 {
+            let m = rng.random_range(2..6);
+            let n = rng.random_range(2..6);
+            let payoff: Vec<Vec<f64>> = (0..m)
+                .map(|_| (0..n).map(|_| rng.random_range(-1.0..1.0)).collect())
+                .collect();
+            let g = MatrixGame::new(payoff).unwrap();
+            let exact = g.solve().unwrap().value;
+            let approx = solve(&g, 30_000).value_estimate();
+            assert!((exact - approx).abs() < 0.08, "exact {exact} vs mw {approx}");
+        }
+    }
+
+    #[test]
+    fn constant_matrix_has_constant_value() {
+        let g = MatrixGame::new(vec![vec![3.0, 3.0], vec![3.0, 3.0]]).unwrap();
+        let r = solve(&g, 100);
+        assert!((r.value_estimate() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn output_strategies_are_distributions() {
+        let g = MatrixGame::new(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let r = solve(&g, 500);
+        assert!((r.row_strategy.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((r.col_strategy.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

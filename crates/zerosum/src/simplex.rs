@@ -1,0 +1,282 @@
+//! A dense primal simplex solver for `max cᵀx  s.t.  Ax ≤ b, x ≥ 0` with
+//! `b ≥ 0`.
+//!
+//! With non-negative right-hand sides the slack basis is feasible, so no
+//! phase-1 is needed; Bland's anti-cycling rule guarantees termination.
+//! This covers every LP in this workspace (matrix-game reductions and the
+//! Proposition 4.2 feasibility probes), all of which arrive in this form.
+
+use std::fmt;
+
+const TOL: f64 = 1e-9;
+
+/// Errors from [`solve`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LpError {
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+    /// The pivot limit was hit (numerical trouble; should not happen with
+    /// Bland's rule on well-scaled inputs).
+    IterationLimit,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Unbounded => write!(f, "objective is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex pivot limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal LP solution.
+#[derive(Clone, Debug)]
+pub struct LpSolution {
+    /// Optimal primal variables `x`.
+    pub x: Vec<f64>,
+    /// Optimal objective value `cᵀx`.
+    pub objective: f64,
+    /// Optimal dual variables (shadow prices), one per constraint. By
+    /// strong duality, `bᵀy` equals the objective.
+    pub dual: Vec<f64>,
+}
+
+/// Solves `max cᵀx  s.t.  Ax ≤ b, x ≥ 0`.
+///
+/// # Errors
+///
+/// Returns [`LpError::Unbounded`] when the objective is unbounded and
+/// [`LpError::IterationLimit`] when the (generous) pivot cap is hit.
+///
+/// # Panics
+///
+/// Panics if dimensions are inconsistent, any entry is non-finite, or some
+/// `b_i < 0` (callers must pre-shift; every LP in this workspace has
+/// `b ≥ 0` by construction).
+///
+/// # Examples
+///
+/// ```
+/// // max x+y s.t. x ≤ 2, y ≤ 3, x+y ≤ 4
+/// let sol = bi_zerosum::simplex::solve(
+///     &[1.0, 1.0],
+///     &[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]],
+///     &[2.0, 3.0, 4.0],
+/// ).unwrap();
+/// assert!((sol.objective - 4.0).abs() < 1e-9);
+/// ```
+pub fn solve(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Result<LpSolution, LpError> {
+    let m = a.len();
+    let n = c.len();
+    assert_eq!(b.len(), m, "b must have one entry per constraint");
+    for row in a {
+        assert_eq!(row.len(), n, "A rows must match the length of c");
+    }
+    assert!(
+        c.iter()
+            .chain(b.iter())
+            .chain(a.iter().flatten())
+            .all(|v| v.is_finite()),
+        "LP data must be finite"
+    );
+    assert!(b.iter().all(|&bi| bi >= 0.0), "b must be non-negative");
+
+    // Tableau layout: columns 0..n are structural variables, n..n+m slacks,
+    // last column the RHS. Row m is the objective row (reduced costs).
+    let width = n + m + 1;
+    let mut t = vec![vec![0.0f64; width]; m + 1];
+    for i in 0..m {
+        t[i][..n].copy_from_slice(&a[i]);
+        t[i][n + i] = 1.0;
+        t[i][width - 1] = b[i];
+    }
+    for j in 0..n {
+        t[m][j] = c[j];
+    }
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    let max_pivots = 50_000 + 200 * (n + m);
+    for _ in 0..max_pivots {
+        // Bland's rule: entering variable = smallest index with positive
+        // reduced cost.
+        let Some(enter) = (0..n + m).find(|&j| t[m][j] > TOL) else {
+            return Ok(extract(&t, &basis, n, m));
+        };
+        // Ratio test, Bland tie-break on the leaving basis variable.
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for (i, row) in t.iter().enumerate().take(m) {
+            if row[enter] > TOL {
+                let ratio = row[width - 1] / row[enter];
+                if ratio < best - TOL
+                    || (ratio < best + TOL
+                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return Err(LpError::Unbounded);
+        };
+        pivot(&mut t, leave, enter);
+        basis[leave] = enter;
+    }
+    Err(LpError::IterationLimit)
+}
+
+fn pivot(t: &mut [Vec<f64>], row: usize, col: usize) {
+    let width = t[0].len();
+    let pv = t[row][col];
+    debug_assert!(pv.abs() > TOL, "pivot on (near-)zero element");
+    for j in 0..width {
+        t[row][j] /= pv;
+    }
+    for i in 0..t.len() {
+        if i != row && t[i][col].abs() > 0.0 {
+            let f = t[i][col];
+            for j in 0..width {
+                t[i][j] -= f * t[row][j];
+            }
+        }
+    }
+}
+
+fn extract(t: &[Vec<f64>], basis: &[usize], n: usize, m: usize) -> LpSolution {
+    let width = n + m + 1;
+    let mut x = vec![0.0; n];
+    for (i, &bv) in basis.iter().enumerate() {
+        if bv < n {
+            x[bv] = t[i][width - 1];
+        }
+    }
+    // Pivoting keeps -cᵀx in the objective row's RHS cell.
+    let objective = -t[m][width - 1];
+    // Duals are the negated reduced costs of the slack columns.
+    let dual = (0..m).map(|i| -t[m][n + i]).collect();
+    LpSolution {
+        x,
+        objective,
+        dual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+    }
+
+    #[test]
+    fn solves_textbook_lp() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj 36.
+        let sol = solve(
+            &[3.0, 5.0],
+            &[
+                vec![1.0, 0.0],
+                vec![0.0, 2.0],
+                vec![3.0, 2.0],
+            ],
+            &[4.0, 12.0, 18.0],
+        )
+        .unwrap();
+        assert_close(sol.objective, 36.0);
+        assert_close(sol.x[0], 2.0);
+        assert_close(sol.x[1], 6.0);
+    }
+
+    #[test]
+    fn strong_duality_holds() {
+        let c = [3.0, 5.0];
+        let b = [4.0, 12.0, 18.0];
+        let sol = solve(
+            &c,
+            &[
+                vec![1.0, 0.0],
+                vec![0.0, 2.0],
+                vec![3.0, 2.0],
+            ],
+            &b,
+        )
+        .unwrap();
+        let dual_obj: f64 = b.iter().zip(&sol.dual).map(|(bi, yi)| bi * yi).sum();
+        assert_close(dual_obj, sol.objective);
+        assert!(sol.dual.iter().all(|&y| y >= -1e-9));
+    }
+
+    #[test]
+    fn zero_objective_stays_at_origin() {
+        let sol = solve(&[0.0, 0.0], &[vec![1.0, 1.0]], &[5.0]).unwrap();
+        assert_close(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn detects_unbounded_problems() {
+        // max x with no binding constraint on x.
+        let err = solve(&[1.0], &[vec![-1.0]], &[1.0]).unwrap_err();
+        assert_eq!(err, LpError::Unbounded);
+        assert!(err.to_string().contains("unbounded"));
+    }
+
+    #[test]
+    fn degenerate_constraints_terminate() {
+        // Multiple redundant constraints through the optimum.
+        let sol = solve(
+            &[1.0, 1.0],
+            &[
+                vec![1.0, 1.0],
+                vec![1.0, 1.0],
+                vec![2.0, 2.0],
+                vec![1.0, 0.0],
+            ],
+            &[2.0, 2.0, 4.0, 2.0],
+        )
+        .unwrap();
+        assert_close(sol.objective, 2.0);
+    }
+
+    #[test]
+    fn binding_constraint_identification_via_duals() {
+        // Only the second constraint binds at the optimum.
+        let sol = solve(&[1.0], &[vec![1.0], vec![1.0]], &[10.0, 2.0]).unwrap();
+        assert_close(sol.objective, 2.0);
+        assert_close(sol.dual[0], 0.0);
+        assert_close(sol.dual[1], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_rhs() {
+        let _ = solve(&[1.0], &[vec![1.0]], &[-1.0]);
+    }
+
+    #[test]
+    fn random_lps_satisfy_kkt_spot_checks() {
+        use rand::Rng;
+        let mut rng = bi_util::rng::seeded(3);
+        for _ in 0..30 {
+            let n = rng.random_range(1..5);
+            let m = rng.random_range(1..6);
+            let c: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..2.0)).collect();
+            let a: Vec<Vec<f64>> = (0..m)
+                .map(|_| (0..n).map(|_| rng.random_range(0.1..2.0)).collect())
+                .collect();
+            let b: Vec<f64> = (0..m).map(|_| rng.random_range(0.5..3.0)).collect();
+            let sol = solve(&c, &a, &b).unwrap();
+            // Primal feasibility.
+            for (row, &bi) in a.iter().zip(&b) {
+                let lhs: f64 = row.iter().zip(&sol.x).map(|(aij, xj)| aij * xj).sum();
+                assert!(lhs <= bi + 1e-7);
+            }
+            assert!(sol.x.iter().all(|&x| x >= -1e-9));
+            // Strong duality.
+            let dual_obj: f64 = b.iter().zip(&sol.dual).map(|(bi, yi)| bi * yi).sum();
+            assert!((dual_obj - sol.objective).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Benevolent network design under uncertainty (Lemma 3.4): route demands
+//! along a sampled FRT tree and pay at most `O(log n)` times the expected
+//! complete-information optimum — no matter what the prior is.
+//!
+//! Scenario: a utility plans conduit routes on a street grid. Each day a
+//! random set of sites must be connected to the depot; crews commit to a
+//! routing *policy* before demands are known.
+//!
+//! Run with `cargo run --release --example network_design`.
+
+use bayesian_ignorance::constructions::frt_strategy::{
+    measure_shared_source, random_terminal_states, FrtRouting,
+};
+use bayesian_ignorance::graph::{generators, NodeId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("street grid   n   K(s) [FRT policy]   optC [exact Steiner]   ratio");
+    println!("-------------------------------------------------------------------");
+    for side in [3usize, 4, 5, 6, 7] {
+        let graph = generators::grid_graph(side, side, 1.0);
+        let depot = NodeId::new(0);
+        // The planning policy: built once, before any demand is observed.
+        let routing = FrtRouting::build(&graph, 16, 2024)?;
+        // A prior over demand scenarios: 8 equiprobable site sets.
+        let states = random_terminal_states(&graph, depot, 8, 4, 99);
+        let m = measure_shared_source(&graph, &routing, depot, &states);
+        println!(
+            "{side}×{side:<10} {:>3} {:>19.4} {:>21.4} {:>8.4}",
+            side * side,
+            m.strategy_cost,
+            m.opt_c,
+            m.ratio()
+        );
+    }
+    println!();
+    println!("The ratio stays flat as the grid grows — the O(log n) guarantee of");
+    println!("Lemma 3.4. Section 4 adds: with public random bits the planner does");
+    println!("not even need to know the demand distribution.");
+    Ok(())
+}

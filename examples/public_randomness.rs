@@ -1,0 +1,79 @@
+//! Section 4: public random bits replace the common prior.
+//!
+//! For a Bayesian game stripped of its prior (`φ`), the paper proves that
+//! a single distribution `q` over strategy profiles — computable without
+//! knowing the prior — achieves the optimal ratio `R(φ)` against *every*
+//! prior simultaneously. This example computes `q` exactly by solving the
+//! associated zero-sum game with the in-repo simplex LP, verifies
+//! Proposition 4.2 (`R = R̃`) by an independent bisection, and stress-tests
+//! the Lemma 4.1 guarantee against thousands of adversarial priors.
+//!
+//! Run with `cargo run --release --example public_randomness`.
+
+use bayesian_ignorance::core::bayesian::BayesianGame;
+use bayesian_ignorance::core::game::MatrixFormGame;
+use bayesian_ignorance::core::randomness::CostTuple;
+use rand::Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A planner (agent 0) must pre-position a resource at location A or B;
+    // nature (agent 1, type unobserved) decides where demand lands.
+    // Positioning wrong costs 3, right costs 1; a hedged mixed choice is
+    // what public randomness buys.
+    let state_game = |good: usize| {
+        MatrixFormGame::from_fn(2, &[2, 1], move |i, a| {
+            if i == 1 {
+                0.5 // nature's bookkeeping cost, irrelevant to the planner
+            } else if a[0] == good {
+                1.0
+            } else {
+                3.0
+            }
+        })
+    };
+    let game = BayesianGame::new(
+        vec![1, 2],
+        vec![
+            (vec![0, 0], 0.5, state_game(0)),
+            (vec![0, 1], 0.5, state_game(1)),
+        ],
+    )?;
+
+    let tuple = CostTuple::from_bayesian(&game)?;
+    let sol = tuple.solve()?;
+    let r_star = tuple.r_star(1e-9)?;
+
+    println!("R̃(φ) (zero-sum game value)   = {:.6}", sol.r_tilde);
+    println!("R(φ)  (independent bisection) = {r_star:.6}");
+    println!(
+        "Proposition 4.2 gap           = {:.2e}",
+        (sol.r_tilde - r_star).abs()
+    );
+    println!();
+    println!("Lemma 4.1 distribution q over strategy profiles:");
+    for (s, &q) in sol.distribution.iter().enumerate() {
+        if q > 1e-9 {
+            println!("  profile {s}: q = {q:.4}");
+        }
+    }
+    println!(
+        "adversarial prior (nature's optimum): {:?}",
+        sol.worst_prior
+            .iter()
+            .map(|p| (p * 1e4).round() / 1e4)
+            .collect::<Vec<_>>()
+    );
+
+    // Stress the guarantee: q must meet R̃ for every prior.
+    let mut rng = bayesian_ignorance::util::rng::seeded(7);
+    let mut worst = f64::NEG_INFINITY;
+    for _ in 0..5000 {
+        let a: f64 = rng.random_range(0.0..1.0);
+        let prior = [a, 1.0 - a];
+        worst = worst.max(tuple.guarantee(&sol.distribution, &prior));
+    }
+    println!();
+    println!("max over 5000 random priors of the q-guarantee = {worst:.6} (≤ R̃ ✓)");
+    assert!(worst <= sol.r_tilde + 1e-7);
+    Ok(())
+}

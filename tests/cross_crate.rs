@@ -1,0 +1,181 @@
+//! Cross-crate consistency tests: the same quantity computed through two
+//! independent code paths must agree.
+
+use bayesian_ignorance::core::bayesian::BayesianGame;
+use bayesian_ignorance::core::game::MatrixFormGame;
+use bayesian_ignorance::graph::paths::PathLimits;
+use bayesian_ignorance::graph::{Direction, Graph};
+use bayesian_ignorance::ncs::{BayesianNcsGame, NcsGame, Prior};
+
+/// Builds the two-route diamond used across the tests.
+fn diamond() -> (Graph, bayesian_ignorance::graph::NodeId, bayesian_ignorance::graph::NodeId) {
+    let mut g = Graph::new(Direction::Directed);
+    let s = g.add_node();
+    let m = g.add_node();
+    let t = g.add_node();
+    g.add_edge(s, m, 1.0);
+    g.add_edge(m, t, 1.0);
+    g.add_edge(s, t, 3.0);
+    (g, s, t)
+}
+
+/// The NCS-native solver and a hand-rolled matrix-form encoding of the
+/// same game must produce identical measures.
+#[test]
+fn ncs_measures_agree_with_matrix_form_encoding() {
+    let (g, s, t) = diamond();
+    let prior = Prior::independent(vec![
+        vec![((s, t), 1.0)],
+        vec![((s, t), 0.5), ((s, s), 0.5)],
+    ]);
+    let ncs = BayesianNcsGame::new(g.clone(), prior).unwrap();
+    let ncs_measures = ncs.measures().unwrap();
+
+    // Matrix-form encoding: agent actions = {via, direct}; agent 1 also
+    // in her absent state plays a "null" action — encode her absent state
+    // as a separate underlying game where her action costs nothing and
+    // adds nothing.
+    let game_active = MatrixFormGame::from_fn(2, &[2, 2], |i, a| {
+        // action 0 = via (edges 0,1), action 1 = direct (edge 2)
+        let load_via = a.iter().filter(|&&x| x == 0).count() as f64;
+        let load_direct = a.iter().filter(|&&x| x == 1).count() as f64;
+        if a[i] == 0 {
+            2.0 / load_via
+        } else {
+            3.0 / load_direct
+        }
+    });
+    let game_absent = MatrixFormGame::from_fn(2, &[2, 2], |i, a| {
+        if i == 1 {
+            0.0
+        } else if a[0] == 0 {
+            2.0
+        } else {
+            3.0
+        }
+    });
+    let core_game = BayesianGame::new(
+        vec![1, 2],
+        vec![
+            (vec![0, 0], 0.5, game_active),
+            (vec![0, 1], 0.5, game_absent),
+        ],
+    )
+    .unwrap();
+    let core_measures = core_game.measures().unwrap();
+
+    for (label, a, b) in [
+        ("optP", ncs_measures.opt_p, core_measures.opt_p),
+        ("best-eqP", ncs_measures.best_eq_p, core_measures.best_eq_p),
+        ("worst-eqP", ncs_measures.worst_eq_p, core_measures.worst_eq_p),
+        ("optC", ncs_measures.opt_c, core_measures.opt_c),
+        ("best-eqC", ncs_measures.best_eq_c, core_measures.best_eq_c),
+        ("worst-eqC", ncs_measures.worst_eq_c, core_measures.worst_eq_c),
+    ] {
+        assert!((a - b).abs() < 1e-9, "{label}: NCS {a} vs matrix-form {b}");
+    }
+}
+
+/// Per-state analysis through `bi_ncs::analysis` must agree with the
+/// Steiner arborescence optimum for shared-source games.
+#[test]
+fn social_optimum_agrees_with_steiner_arborescence() {
+    let g = bayesian_ignorance::graph::generators::gnp_connected(
+        Direction::Directed,
+        8,
+        0.3,
+        (0.5, 2.0),
+        3,
+    );
+    let root = bayesian_ignorance::graph::NodeId::new(0);
+    let terminals: Vec<_> = (1..4).map(bayesian_ignorance::graph::NodeId::new).collect();
+    let pairs: Vec<_> = terminals.iter().map(|&t| (root, t)).collect();
+    let game = NcsGame::new(g.clone(), pairs).unwrap();
+    let analysis = bayesian_ignorance::ncs::analysis::analyze(&game, PathLimits::default()).unwrap();
+    let steiner =
+        bayesian_ignorance::graph::steiner::steiner_arborescence(&g, root, &terminals).unwrap();
+    assert!(
+        (analysis.opt - steiner.cost).abs() < 1e-9,
+        "path-profile optimum {} vs Steiner DP {}",
+        analysis.opt,
+        steiner.cost
+    );
+}
+
+/// The Bayesian potential of `bi_ncs` must match Observation 2.1's
+/// expected Rosenthal potential computed per state by `bi_ncs::NcsGame`.
+#[test]
+fn bayesian_potential_matches_expected_state_potentials() {
+    let (g, s, t) = diamond();
+    let prior = Prior::independent(vec![
+        vec![((s, t), 1.0)],
+        vec![((s, t), 0.25), ((s, s), 0.75)],
+    ]);
+    let game = BayesianNcsGame::new(g, prior).unwrap();
+    let strategy = game.shortest_path_strategy();
+    let q = game.bayesian_potential(&strategy);
+    let mut expected = 0.0;
+    for (idx, (types, prob)) in game.support().iter().enumerate() {
+        let underlying = game.underlying_game(idx);
+        let profile: Vec<_> = types
+            .iter()
+            .enumerate()
+            .map(|(i, ty)| {
+                let tau = game.agent_types()[i].iter().position(|u| u == ty).unwrap();
+                strategy[i][tau].clone()
+            })
+            .collect();
+        expected += prob * underlying.potential(&profile);
+    }
+    assert!((q - expected).abs() < 1e-12);
+}
+
+/// Equilibria found by interim best-response dynamics must pass the
+/// exhaustive equilibrium check, and their cost must lie within the
+/// [best-eqP, worst-eqP] band from `measures`.
+#[test]
+fn dynamics_equilibria_lie_in_the_measured_band() {
+    for seed in 0..6 {
+        let game = bayesian_ignorance::constructions::universal::random_bayesian_ncs(
+            Direction::Undirected,
+            4,
+            0.4,
+            2,
+            2,
+            seed,
+        )
+        .unwrap();
+        let eq = game
+            .best_response_dynamics(game.shortest_path_strategy(), 200)
+            .expect("potential game converges");
+        assert!(game.is_bayesian_equilibrium(&eq));
+        let m = game.measures().unwrap();
+        let k = game.social_cost(&eq);
+        assert!(
+            k >= m.best_eq_p - 1e-9 && k <= m.worst_eq_p + 1e-9,
+            "seed {seed}: {k} outside [{}, {}]",
+            m.best_eq_p,
+            m.worst_eq_p
+        );
+    }
+}
+
+/// FRT routes loaded into an actual NCS game must be feasible actions:
+/// the bought edge set contains a source→destination path.
+#[test]
+fn frt_routes_are_feasible_ncs_actions() {
+    use bayesian_ignorance::constructions::frt_strategy::FrtRouting;
+    let graph = bayesian_ignorance::graph::generators::grid_graph(4, 4, 1.0);
+    let routing = FrtRouting::build(&graph, 4, 8).unwrap();
+    for x in 0..8usize {
+        let from = bayesian_ignorance::graph::NodeId::new(x);
+        let to = bayesian_ignorance::graph::NodeId::new(15 - x);
+        let edges = routing.route(from, to);
+        let mut sub = Graph::with_nodes(Direction::Undirected, graph.node_count());
+        for &e in &edges {
+            let edge = graph.edge(e);
+            sub.add_edge(edge.source(), edge.target(), edge.cost());
+        }
+        assert!(bayesian_ignorance::graph::shortest_path(&sub, from, to).is_some());
+    }
+}
