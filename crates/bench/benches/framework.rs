@@ -18,7 +18,10 @@ fn bench(c: &mut Criterion) {
         if game.is_bayesian_equilibrium(&s) {
             eq_minimizers += 1;
         }
-        game.measures().expect("solvable").verify_chain().expect("Obs 2.2");
+        game.measures()
+            .expect("solvable")
+            .verify_chain()
+            .expect("Obs 2.2");
         let _ = expected_potential(&game, &potentials, &s);
     }
     eprintln!(

@@ -20,10 +20,14 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("frt_upper");
     group.sample_size(10);
     for side in [4usize, 6, 8] {
-        group.bench_with_input(BenchmarkId::new("build_routing", side), &side, |b, &side| {
-            let graph = bi_graph::generators::grid_graph(side, side, 1.0);
-            b.iter(|| FrtRouting::build(&graph, 3, 7).expect("grid metric"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("build_routing", side),
+            &side,
+            |b, &side| {
+                let graph = bi_graph::generators::grid_graph(side, side, 1.0);
+                b.iter(|| FrtRouting::build(&graph, 3, 7).expect("grid metric"));
+            },
+        );
     }
     group.bench_function("route_query_6x6", |b| {
         let graph = bi_graph::generators::grid_graph(6, 6, 1.0);

@@ -11,14 +11,20 @@ fn bench(c: &mut Criterion) {
     for p in &up {
         eprintln!("  k = {:>3}: {:.4}", p.size, p.value);
     }
-    eprintln!("[gworst] growth exponent {:.3} (paper: 1)", growth_exponent(&up));
+    eprintln!(
+        "[gworst] growth exponent {:.3} (paper: 1)",
+        growth_exponent(&up)
+    );
 
     let down = gworst_series(&[4, 6, 8, 12, 16, 24], GWorstVariant::Half, 9);
     eprintln!("[gworst] worst-eqP/worst-eqC, p = 1/2 (O(1/k) direction):");
     for p in &down {
         eprintln!("  k = {:>3}: {:.4}", p.size, p.value);
     }
-    eprintln!("[gworst] growth exponent {:.3} (paper: −1)", growth_exponent(&down));
+    eprintln!(
+        "[gworst] growth exponent {:.3} (paper: −1)",
+        growth_exponent(&down)
+    );
 
     let mut group = c.benchmark_group("gworst");
     group.sample_size(10);

@@ -17,16 +17,24 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("public_randomness");
     group.sample_size(10);
     for states in [2usize, 3, 4] {
-        group.bench_with_input(BenchmarkId::new("solve_r_tilde", states), &states, |b, &s| {
-            let (game, _) = random_bayesian_potential_game(&[1, s], &[2, 2], s, 7);
-            let tuple = CostTuple::from_bayesian(&game).expect("small game");
-            b.iter(|| tuple.solve().expect("LP"));
-        });
-        group.bench_with_input(BenchmarkId::new("r_star_bisection", states), &states, |b, &s| {
-            let (game, _) = random_bayesian_potential_game(&[1, s], &[2, 2], s, 7);
-            let tuple = CostTuple::from_bayesian(&game).expect("small game");
-            b.iter(|| tuple.r_star(1e-6).expect("bisection"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("solve_r_tilde", states),
+            &states,
+            |b, &s| {
+                let (game, _) = random_bayesian_potential_game(&[1, s], &[2, 2], s, 7);
+                let tuple = CostTuple::from_bayesian(&game).expect("small game");
+                b.iter(|| tuple.solve().expect("LP"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("r_star_bisection", states),
+            &states,
+            |b, &s| {
+                let (game, _) = random_bayesian_potential_game(&[1, s], &[2, 2], s, 7);
+                let tuple = CostTuple::from_bayesian(&game).expect("small game");
+                b.iter(|| tuple.r_star(1e-6).expect("bisection"));
+            },
+        );
     }
     group.finish();
 }

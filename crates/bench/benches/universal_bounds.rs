@@ -20,7 +20,10 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("universal_bounds");
     group.sample_size(10);
-    for (label, direction) in [("directed", Direction::Directed), ("undirected", Direction::Undirected)] {
+    for (label, direction) in [
+        ("directed", Direction::Directed),
+        ("undirected", Direction::Undirected),
+    ] {
         group.bench_with_input(
             BenchmarkId::new("measures_random_game", label),
             &direction,

@@ -67,7 +67,12 @@ fn main() {
         .collect();
     println!(
         "  ratio × H(k−1) stays Θ(1): min {} / max {}",
-        fmt_f64(normalized.iter().map(|p| p.value).fold(f64::INFINITY, f64::min)),
+        fmt_f64(
+            normalized
+                .iter()
+                .map(|p| p.value)
+                .fold(f64::INFINITY, f64::min)
+        ),
         fmt_f64(normalized.iter().map(|p| p.value).fold(0.0, f64::max))
     );
 
@@ -78,7 +83,10 @@ fn main() {
         "k",
         &up,
     );
-    println!("  growth exponent: {} (paper: 1)", fmt_f64(growth_exponent(&up)));
+    println!(
+        "  growth exponent: {} (paper: 1)",
+        fmt_f64(growth_exponent(&up))
+    );
 
     let down = gworst_series(&[4, 6, 8, 12, 16, 24], GWorstVariant::Half, 9);
     print_series(
@@ -86,7 +94,10 @@ fn main() {
         "k",
         &down,
     );
-    println!("  growth exponent: {} (paper: −1)", fmt_f64(growth_exponent(&down)));
+    println!(
+        "  growth exponent: {} (paper: −1)",
+        fmt_f64(growth_exponent(&down))
+    );
 
     // ── Undirected optP/optC row ────────────────────────────────────────
     let frt = frt_series(&[3, 4, 5, 6], 42);

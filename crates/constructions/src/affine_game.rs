@@ -38,7 +38,12 @@ pub enum AffineGameError {
     /// The order is not a usable prime power.
     Plane(AffinePlaneError),
     /// A strategy assigned a point to a line not containing it.
-    InvalidStrategy { agent: usize, point: usize },
+    InvalidStrategy {
+        /// The offending agent (line index).
+        agent: usize,
+        /// The point routed via a non-incident line.
+        point: usize,
+    },
 }
 
 impl fmt::Display for AffineGameError {
@@ -46,7 +51,10 @@ impl fmt::Display for AffineGameError {
         match self {
             AffineGameError::Plane(e) => write!(f, "{e}"),
             AffineGameError::InvalidStrategy { agent, point } => {
-                write!(f, "agent {agent} routes point {point} via a non-incident line")
+                write!(
+                    f,
+                    "agent {agent} routes point {point} via a non-incident line"
+                )
             }
         }
     }
@@ -62,6 +70,25 @@ impl From<AffinePlaneError> for AffineGameError {
 
 impl AffinePlaneGame {
     /// Builds the construction for plane order `m`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bi_constructions::affine_game::AffinePlaneGame;
+    ///
+    /// // Order 3 gives k = 4 agents on a Θ(k²)-vertex graph.
+    /// let game = AffinePlaneGame::new(3).unwrap();
+    /// assert_eq!(game.num_agents(), 4);
+    ///
+    /// // Lemma 3.2: every strategy profile costs 1 + m²/(m+1) in
+    /// // expectation, while complete information always achieves 1, so
+    /// // the ignorance ratio is Θ(k).
+    /// let measured = game
+    ///     .expected_social_cost(&game.first_line_strategies())
+    ///     .unwrap();
+    /// assert!((measured - game.analytic_opt_p()).abs() < 1e-9);
+    /// assert!((game.analytic_ratio() - measured).abs() < 1e-9);
+    /// ```
     ///
     /// # Errors
     ///

@@ -36,7 +36,10 @@ impl FrtRouting {
     ///
     /// Panics if the graph is directed or `samples == 0`.
     pub fn build(graph: &Graph, samples: usize, seed: u64) -> Result<Self, MetricError> {
-        assert!(!graph.is_directed(), "FRT routing needs an undirected graph");
+        assert!(
+            !graph.is_directed(),
+            "FRT routing needs an undirected graph"
+        );
         let metric = MetricSpace::from_graph(graph)?;
         let mut rng = bi_util::rng::seeded(seed);
         let tree = frt::sample_best_of(&metric, samples, &mut rng);

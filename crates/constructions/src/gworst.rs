@@ -175,7 +175,10 @@ mod tests {
                 g.analytic_worst_eq_c_bound()
             );
             let ratio = m.worst_eq_p / m.worst_eq_c;
-            assert!(ratio > k as f64 / 4.0, "k={k}: ratio {ratio} should be Ω(k)");
+            assert!(
+                ratio > k as f64 / 4.0,
+                "k={k}: ratio {ratio} should be Ω(k)"
+            );
         }
     }
 

@@ -65,10 +65,8 @@ impl GkGame {
             graph.add_edge(z, y, 0.0);
         }
         graph.add_edge(x, z, 1.0 + epsilon);
-        let mut per_agent: Vec<Vec<((NodeId, NodeId), f64)>> = ys
-            .iter()
-            .map(|&y| vec![((x, y), 1.0)])
-            .collect();
+        let mut per_agent: Vec<Vec<((NodeId, NodeId), f64)>> =
+            ys.iter().map(|&y| vec![((x, y), 1.0)]).collect();
         per_agent.push(vec![((x, z), 0.5), ((x, x), 0.5)]);
         let game = BayesianNcsGame::new(graph, Prior::independent(per_agent))?;
         Ok(GkGame { k, epsilon, game })
@@ -254,7 +252,10 @@ mod tests {
             .collect();
         let spread = normalized.iter().copied().fold(f64::NEG_INFINITY, f64::max)
             / normalized.iter().copied().fold(f64::INFINITY, f64::min);
-        assert!(spread < 1.5, "normalized ratios should be flat: {normalized:?}");
+        assert!(
+            spread < 1.5,
+            "normalized ratios should be flat: {normalized:?}"
+        );
     }
 
     #[test]

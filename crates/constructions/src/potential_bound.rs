@@ -134,7 +134,8 @@ mod tests {
     #[test]
     fn best_eq_p_from_measures_respects_the_bound() {
         for seed in 0..4 {
-            let game = random_bayesian_ncs(Direction::Undirected, 4, 0.4, 2, 2, 200 + seed).unwrap();
+            let game =
+                random_bayesian_ncs(Direction::Undirected, 4, 0.4, 2, 2, 200 + seed).unwrap();
             let m = game.measures().unwrap();
             let bound = harmonic(game.num_agents()) * m.opt_p;
             assert!(

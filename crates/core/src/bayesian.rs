@@ -21,7 +21,12 @@ pub enum BayesianGameError {
     /// A state's game does not match the declared agents/actions.
     MismatchedState(usize),
     /// A type index exceeds its agent's type-space size.
-    TypeOutOfRange { state: usize, agent: usize },
+    TypeOutOfRange {
+        /// The support-state index containing the bad type profile.
+        state: usize,
+        /// The agent whose type index is out of range.
+        agent: usize,
+    },
     /// The same type profile appears twice in the support.
     DuplicateState(usize),
 }
@@ -53,7 +58,10 @@ pub enum MeasureError {
     /// Some underlying game has no pure Nash equilibrium, so `best-eqC` /
     /// `worst-eqC` are undefined (the paper restricts attention to games
     /// whose underlying games all admit pure equilibria).
-    NoPureEquilibrium { state: usize },
+    NoPureEquilibrium {
+        /// The support-state index of the equilibrium-free underlying game.
+        state: usize,
+    },
     /// No pure Bayesian equilibrium exists (cannot happen for potential
     /// games, but the framework admits arbitrary cost functions).
     NoBayesianEquilibrium,
@@ -239,7 +247,12 @@ impl BayesianGame {
     }
 
     /// The action profile a strategy profile induces in a given state.
-    fn induced<'a>(&self, s: &StrategyProfile, types: &[usize], buf: &'a mut Vec<usize>) -> &'a [usize] {
+    fn induced<'a>(
+        &self,
+        s: &StrategyProfile,
+        types: &[usize],
+        buf: &'a mut Vec<usize>,
+    ) -> &'a [usize] {
         buf.clear();
         buf.extend(s.iter().zip(types).map(|(si, &t)| si[t]));
         buf
@@ -535,26 +548,13 @@ mod tests {
     /// Two agents; agent 1 has two types. In state 0 the agents want to
     /// match, in state 1 they want to differ; agent 0 cannot see which.
     fn coordination_game() -> BayesianGame {
-        let matcher = MatrixFormGame::from_fn(2, &[2, 2], |_, a| {
-            if a[0] == a[1] {
-                0.0
-            } else {
-                2.0
-            }
-        });
-        let mismatcher = MatrixFormGame::from_fn(2, &[2, 2], |_, a| {
-            if a[0] != a[1] {
-                0.0
-            } else {
-                2.0
-            }
-        });
+        let matcher =
+            MatrixFormGame::from_fn(2, &[2, 2], |_, a| if a[0] == a[1] { 0.0 } else { 2.0 });
+        let mismatcher =
+            MatrixFormGame::from_fn(2, &[2, 2], |_, a| if a[0] != a[1] { 0.0 } else { 2.0 });
         BayesianGame::new(
             vec![1, 2],
-            vec![
-                (vec![0, 0], 0.5, matcher),
-                (vec![0, 1], 0.5, mismatcher),
-            ],
+            vec![(vec![0, 0], 0.5, matcher), (vec![0, 1], 0.5, mismatcher)],
         )
         .unwrap()
     }

@@ -285,13 +285,8 @@ mod tests {
 
     #[test]
     fn infinity_costs_are_allowed() {
-        let g = MatrixFormGame::from_fn(1, &[2], |_, a| {
-            if a[0] == 0 {
-                f64::INFINITY
-            } else {
-                1.0
-            }
-        });
+        let g =
+            MatrixFormGame::from_fn(1, &[2], |_, a| if a[0] == 0 { f64::INFINITY } else { 1.0 });
         assert!(g.cost(0, &[0]).is_infinite());
     }
 

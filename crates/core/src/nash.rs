@@ -145,13 +145,18 @@ mod tests {
     #[test]
     fn equilibria_with_infinite_costs_elsewhere() {
         // Action 1 is infeasible (infinite): only [0,0] matters.
-        let g = MatrixFormGame::from_fn(2, &[2, 2], |_, a| {
-            if a.contains(&1) {
-                f64::INFINITY
-            } else {
-                1.0
-            }
-        });
+        let g =
+            MatrixFormGame::from_fn(
+                2,
+                &[2, 2],
+                |_, a| {
+                    if a.contains(&1) {
+                        f64::INFINITY
+                    } else {
+                        1.0
+                    }
+                },
+            );
         let eqs = enumerate_nash(&g);
         assert!(eqs.contains(&vec![0, 0]));
         let (opt, _) = social_optimum(&g);

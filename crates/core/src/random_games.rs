@@ -106,7 +106,9 @@ pub fn random_bayesian_potential_game(
         }
     }
     // Random positive probabilities, normalized.
-    let raw: Vec<f64> = (0..support_size).map(|_| rng.random_range(0.2..1.0)).collect();
+    let raw: Vec<f64> = (0..support_size)
+        .map(|_| rng.random_range(0.2..1.0))
+        .collect();
     let total: f64 = raw.iter().sum();
     let mut support = Vec::with_capacity(support_size);
     let mut potentials = Vec::with_capacity(support_size);
@@ -177,7 +179,8 @@ mod tests {
         for seed in 0..5 {
             let (game, _) = random_bayesian_potential_game(&[2, 2], &[2, 2], 2, seed);
             let m = game.measures().unwrap();
-            m.verify_chain().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            m.verify_chain()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 }

@@ -31,7 +31,10 @@ pub enum RandomnessError {
     TooLarge(EnumerationError),
     /// A social cost was non-positive or non-finite (Section 4 assumes
     /// `C_{i,t}(a) > 0`).
-    BadCost { state: usize },
+    BadCost {
+        /// The support-state index with the invalid cost.
+        state: usize,
+    },
     /// The zero-sum solver failed.
     Solver(String),
 }
@@ -41,7 +44,10 @@ impl fmt::Display for RandomnessError {
         match self {
             RandomnessError::TooLarge(e) => write!(f, "{e}"),
             RandomnessError::BadCost { state } => {
-                write!(f, "state {state} has a non-positive or non-finite social cost")
+                write!(
+                    f,
+                    "state {state} has a non-positive or non-finite social cost"
+                )
             }
             RandomnessError::Solver(msg) => write!(f, "zero-sum solver failed: {msg}"),
         }
@@ -136,7 +142,10 @@ impl CostTuple {
     /// Returns [`RandomnessError::BadCost`] when some state's minimum is
     /// non-positive or non-finite.
     pub fn from_matrix(k: Vec<Vec<f64>>) -> Result<Self, RandomnessError> {
-        assert!(!k.is_empty() && !k[0].is_empty(), "matrix must be non-empty");
+        assert!(
+            !k.is_empty() && !k[0].is_empty(),
+            "matrix must be non-empty"
+        );
         let n_states = k[0].len();
         assert!(
             k.iter().all(|row| row.len() == n_states),
@@ -378,8 +387,7 @@ mod tests {
                 .map(|t| {
                     let mut local = bi_util::rng::seeded(trial * 100 + t as u64);
                     let g = MatrixFormGame::from_fn(2, &[2, 2], move |i, a| {
-                        0.5 + ((a[0] * 2 + a[1] + i + 1) as f64
-                            * local.random_range(0.2..1.0))
+                        0.5 + ((a[0] * 2 + a[1] + i + 1) as f64 * local.random_range(0.2..1.0))
                     });
                     (vec![0, t], 1.0 / n_states as f64, g)
                 })

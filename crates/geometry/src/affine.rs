@@ -245,7 +245,9 @@ mod tests {
     fn axioms_hold_for_small_prime_orders() {
         for q in [2u64, 3, 5, 7] {
             let plane = AffinePlane::new(q).unwrap();
-            plane.verify_axioms().unwrap_or_else(|e| panic!("q={q}: {e}"));
+            plane
+                .verify_axioms()
+                .unwrap_or_else(|e| panic!("q={q}: {e}"));
         }
     }
 
@@ -253,7 +255,9 @@ mod tests {
     fn axioms_hold_for_prime_power_orders() {
         for q in [4u64, 8, 9] {
             let plane = AffinePlane::new(q).unwrap();
-            plane.verify_axioms().unwrap_or_else(|e| panic!("q={q}: {e}"));
+            plane
+                .verify_axioms()
+                .unwrap_or_else(|e| panic!("q={q}: {e}"));
         }
     }
 

@@ -224,7 +224,10 @@ mod tests {
             FiniteField::new(6),
             Err(FieldError::NotPrimePower(6))
         ));
-        assert!(matches!(FiniteField::new(1024), Err(FieldError::TooLarge(1024))));
+        assert!(matches!(
+            FiniteField::new(1024),
+            Err(FieldError::TooLarge(1024))
+        ));
     }
 
     fn assert_field_axioms(f: &FiniteField) {

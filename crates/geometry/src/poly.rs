@@ -161,7 +161,10 @@ impl Poly {
             Some(d) => {
                 let inv = self.field.inv(self.coeffs[d]);
                 Poly::new(
-                    self.coeffs.iter().map(|&c| self.field.mul(c, inv)).collect(),
+                    self.coeffs
+                        .iter()
+                        .map(|&c| self.field.mul(c, inv))
+                        .collect(),
                     self.field,
                 )
             }

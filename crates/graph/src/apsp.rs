@@ -25,7 +25,11 @@ use crate::graph::{Graph, NodeId};
 pub fn all_pairs(graph: &Graph) -> Vec<Vec<f64>> {
     graph
         .nodes()
-        .map(|u| dijkstra(graph, u, |e| graph.edge(e).cost()).distances().to_vec())
+        .map(|u| {
+            dijkstra(graph, u, |e| graph.edge(e).cost())
+                .distances()
+                .to_vec()
+        })
         .collect()
 }
 
@@ -70,9 +74,9 @@ pub fn is_strongly_connected(graph: &Graph) -> bool {
     if !graph.is_directed() {
         return true;
     }
-    graph.nodes().all(|u| {
-        dijkstra(graph, u, |e| graph.edge(e).cost()).is_reachable(NodeId::new(0))
-    })
+    graph
+        .nodes()
+        .all(|u| dijkstra(graph, u, |e| graph.edge(e).cost()).is_reachable(NodeId::new(0)))
 }
 
 /// Floyd–Warshall all-pairs shortest paths — an independent `O(n³)`

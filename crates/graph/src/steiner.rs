@@ -234,7 +234,10 @@ fn relax(search_graph: &Graph, dp: &mut Dp, mask: usize) {
     let mut heap: BinaryHeap<std::cmp::Reverse<(TotalF64, u32)>> = BinaryHeap::new();
     for v in 0..n {
         if dp.cost[mask][v].is_finite() {
-            heap.push(std::cmp::Reverse((TotalF64::new(dp.cost[mask][v]), v as u32)));
+            heap.push(std::cmp::Reverse((
+                TotalF64::new(dp.cost[mask][v]),
+                v as u32,
+            )));
         }
     }
     while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
@@ -435,7 +438,12 @@ mod tests {
     fn exact_never_exceeds_approximation() {
         for seed in 0..5 {
             let g = generators::gnp_connected(Direction::Undirected, 10, 0.35, (0.5, 2.0), seed);
-            let terms = [NodeId::new(0), NodeId::new(3), NodeId::new(7), NodeId::new(9)];
+            let terms = [
+                NodeId::new(0),
+                NodeId::new(3),
+                NodeId::new(7),
+                NodeId::new(9),
+            ];
             let exact = steiner_tree(&g, &terms).unwrap();
             let approx = metric_closure_approx(&g, &terms).unwrap();
             assert!(exact.cost <= approx.cost + 1e-9);

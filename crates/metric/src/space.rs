@@ -173,11 +173,7 @@ mod tests {
 
     #[test]
     fn accepts_valid_metrics() {
-        let m = MetricSpace::from_matrix(vec![
-            vec![0.0, 2.0],
-            vec![2.0, 0.0],
-        ])
-        .unwrap();
+        let m = MetricSpace::from_matrix(vec![vec![0.0, 2.0], vec![2.0, 0.0]]).unwrap();
         assert_eq!(m.min_distance(), 2.0);
         assert!(!m.is_empty());
     }

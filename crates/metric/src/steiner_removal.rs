@@ -147,7 +147,10 @@ mod tests {
             ratios.push(ct.average_stretch(&metric) / hst_avg);
         }
         let worst = ratios.iter().copied().fold(0.0f64, f64::max);
-        assert!(worst < 8.0, "contraction blow-up {worst} exceeds Gupta's constant regime");
+        assert!(
+            worst < 8.0,
+            "contraction blow-up {worst} exceeds Gupta's constant regime"
+        );
     }
 
     #[test]

@@ -103,9 +103,12 @@ mod tests {
         // growth should be clearly sublinear (logarithmic in theory).
         let mut values = Vec::new();
         for &n in &[8usize, 16, 32] {
-            let metric =
-                crate::MetricSpace::from_graph(&generators::cycle_graph(Direction::Undirected, n, 1.0))
-                    .unwrap();
+            let metric = crate::MetricSpace::from_graph(&generators::cycle_graph(
+                Direction::Undirected,
+                n,
+                1.0,
+            ))
+            .unwrap();
             let mut rng = bi_util::rng::seeded(n as u64);
             let trees: Vec<_> = (0..40).map(|_| frt::sample(&metric, &mut rng)).collect();
             values.push(max_expected_stretch(&metric, &trees));
@@ -120,11 +123,7 @@ mod tests {
     fn stretch_of_identical_tree_metric_is_one() {
         // A path metric embeds into its own path... approximate: 2-point
         // case where any dominating tree with matching weight is exact.
-        let metric = crate::MetricSpace::from_matrix(vec![
-            vec![0.0, 3.0],
-            vec![3.0, 0.0],
-        ])
-        .unwrap();
+        let metric = crate::MetricSpace::from_matrix(vec![vec![0.0, 3.0], vec![3.0, 0.0]]).unwrap();
         let tree = frt::sample(&metric, &mut bi_util::rng::seeded(4));
         assert!(average_stretch(&metric, &tree) >= 1.0);
         assert!(max_stretch(&metric, &tree) >= average_stretch(&metric, &tree));

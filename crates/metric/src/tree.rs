@@ -109,8 +109,7 @@ impl HstTree {
     #[must_use]
     pub fn distance(&self, u: usize, v: usize) -> f64 {
         let lca = self.lca(self.leaf_of[u], self.leaf_of[v]);
-        self.to_root[self.leaf_of[u]] + self.to_root[self.leaf_of[v]]
-            - 2.0 * self.to_root[lca]
+        self.to_root[self.leaf_of[u]] + self.to_root[self.leaf_of[v]] - 2.0 * self.to_root[lca]
     }
 
     /// Lowest common ancestor of two nodes (walks up by level; trees here
@@ -173,12 +172,54 @@ mod tests {
     ///                leaf0  leaf1          leaf2
     fn sample() -> HstTree {
         let nodes = vec![
-            HstNode { parent: None, parent_weight: 0.0, children: vec![1, 2], center: 0, level: 2, point: None },
-            HstNode { parent: Some(0), parent_weight: 2.0, children: vec![3, 4], center: 0, level: 1, point: None },
-            HstNode { parent: Some(0), parent_weight: 2.0, children: vec![5], center: 2, level: 1, point: None },
-            HstNode { parent: Some(1), parent_weight: 1.0, children: vec![], center: 0, level: 0, point: Some(0) },
-            HstNode { parent: Some(1), parent_weight: 1.0, children: vec![], center: 1, level: 0, point: Some(1) },
-            HstNode { parent: Some(2), parent_weight: 1.0, children: vec![], center: 2, level: 0, point: Some(2) },
+            HstNode {
+                parent: None,
+                parent_weight: 0.0,
+                children: vec![1, 2],
+                center: 0,
+                level: 2,
+                point: None,
+            },
+            HstNode {
+                parent: Some(0),
+                parent_weight: 2.0,
+                children: vec![3, 4],
+                center: 0,
+                level: 1,
+                point: None,
+            },
+            HstNode {
+                parent: Some(0),
+                parent_weight: 2.0,
+                children: vec![5],
+                center: 2,
+                level: 1,
+                point: None,
+            },
+            HstNode {
+                parent: Some(1),
+                parent_weight: 1.0,
+                children: vec![],
+                center: 0,
+                level: 0,
+                point: Some(0),
+            },
+            HstNode {
+                parent: Some(1),
+                parent_weight: 1.0,
+                children: vec![],
+                center: 1,
+                level: 0,
+                point: Some(1),
+            },
+            HstNode {
+                parent: Some(2),
+                parent_weight: 1.0,
+                children: vec![],
+                center: 2,
+                level: 0,
+                point: Some(2),
+            },
         ];
         HstTree::from_nodes(nodes, 3)
     }

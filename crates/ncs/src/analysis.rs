@@ -162,13 +162,8 @@ mod tests {
         // games; checked on random complete-information NCS games.
         use rand::Rng;
         for seed in 0..8 {
-            let g = bi_graph::generators::gnp_connected(
-                Direction::Directed,
-                6,
-                0.3,
-                (0.5, 2.0),
-                seed,
-            );
+            let g =
+                bi_graph::generators::gnp_connected(Direction::Directed, 6, 0.3, (0.5, 2.0), seed);
             let mut rng = bi_util::rng::seeded(1000 + seed);
             let k = 3;
             let pairs: Vec<_> = (0..k)

@@ -280,7 +280,13 @@ impl BayesianNcsGame {
     ///
     /// Panics if the strategy shape or indices are out of range.
     #[must_use]
-    pub fn interim_cost(&self, i: usize, tau: usize, path: &[bi_graph::EdgeId], s: &NcsStrategyProfile) -> f64 {
+    pub fn interim_cost(
+        &self,
+        i: usize,
+        tau: usize,
+        path: &[bi_graph::EdgeId],
+        s: &NcsStrategyProfile,
+    ) -> f64 {
         self.check_strategy(s);
         let weights = self.interim_weights(i, tau, s);
         path.iter().map(|&e| weights[e.index()]).sum()
@@ -405,6 +411,37 @@ impl BayesianNcsGame {
     ///   enumeration with exact equilibrium checks;
     /// * `optC`, `best-eqC`, `worst-eqC` by exhaustive per-state analysis.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bi_graph::{Direction, Graph};
+    /// use bi_ncs::{BayesianNcsGame, Prior};
+    ///
+    /// // Two routes from s to t: a two-hop route of cost 2 and a direct
+    /// // edge of cost 3.
+    /// let mut g = Graph::new(Direction::Directed);
+    /// let s = g.add_node();
+    /// let m = g.add_node();
+    /// let t = g.add_node();
+    /// g.add_edge(s, m, 1.0);
+    /// g.add_edge(m, t, 1.0);
+    /// g.add_edge(s, t, 3.0);
+    ///
+    /// // Agent 0 always travels s→t; agent 1 travels s→t or stays put.
+    /// let prior = Prior::independent(vec![
+    ///     vec![((s, t), 1.0)],
+    ///     vec![((s, t), 0.5), ((s, s), 0.5)],
+    /// ]);
+    /// let game = BayesianNcsGame::new(g, prior)?;
+    /// let measures = game.measures()?;
+    /// // Someone must buy a route in every state, so optC ≥ 2; partial
+    /// // information can only cost more (Observation 2.2's chain).
+    /// assert!(measures.opt_c >= 2.0 - 1e-9);
+    /// assert!(measures.opt_p >= measures.opt_c - 1e-9);
+    /// assert!(measures.verify_chain().is_ok());
+    /// # Ok::<(), bi_ncs::NcsError>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`NcsError::TooLarge`] when enumeration is infeasible and
@@ -451,8 +488,8 @@ impl BayesianNcsGame {
         let mut best_eq_c = 0.0;
         let mut worst_eq_c = 0.0;
         for (idx, (types, prob)) in self.support.iter().enumerate() {
-            let game = NcsGame::new(self.graph.clone(), types.clone())
-                .expect("feasible by construction");
+            let game =
+                NcsGame::new(self.graph.clone(), types.clone()).expect("feasible by construction");
             let a = analysis::analyze(&game, self.limits).map_err(|e| match e {
                 NcsError::NoEquilibrium { .. } => NcsError::NoEquilibrium { state: idx },
                 other => other,

@@ -8,13 +8,22 @@ use bi_core::game::EnumerationError;
 #[derive(Clone, Debug, PartialEq)]
 pub enum NcsError {
     /// An agent's source or destination node is out of range.
-    NodeOutOfRange { agent: usize },
+    NodeOutOfRange {
+        /// The agent whose terminal pair is invalid.
+        agent: usize,
+    },
     /// An agent's destination is unreachable from her source, so she has
     /// no finite-cost action.
-    Unreachable { agent: usize },
+    Unreachable {
+        /// The agent with no finite-cost action.
+        agent: usize,
+    },
     /// Simple-path enumeration hit its limit before completing, so an
     /// exact computation over the action sets would be unsound.
-    IncompleteActionSet { agent: usize },
+    IncompleteActionSet {
+        /// The agent whose action set was truncated.
+        agent: usize,
+    },
     /// Exact enumeration would exceed the workspace limit.
     TooLarge(EnumerationError),
     /// The prior is malformed (probabilities, dimensions, empty support).
@@ -23,7 +32,10 @@ pub enum NcsError {
     /// cannot happen mathematically (NCS games are potential games); it
     /// signals an action-set or tolerance problem and is surfaced rather
     /// than silently absorbed.
-    NoEquilibrium { state: usize },
+    NoEquilibrium {
+        /// The support-state index whose underlying game failed.
+        state: usize,
+    },
 }
 
 impl fmt::Display for NcsError {
@@ -36,12 +48,18 @@ impl fmt::Display for NcsError {
                 write!(f, "agent {agent} cannot reach her destination")
             }
             NcsError::IncompleteActionSet { agent } => {
-                write!(f, "path enumeration for agent {agent} hit the limit; raise PathLimits")
+                write!(
+                    f,
+                    "path enumeration for agent {agent} hit the limit; raise PathLimits"
+                )
             }
             NcsError::TooLarge(e) => write!(f, "{e}"),
             NcsError::BadPrior(msg) => write!(f, "invalid prior: {msg}"),
             NcsError::NoEquilibrium { state } => {
-                write!(f, "no pure equilibrium found in underlying game {state} (numerical issue)")
+                write!(
+                    f,
+                    "no pure equilibrium found in underlying game {state} (numerical issue)"
+                )
             }
         }
     }

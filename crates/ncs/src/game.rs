@@ -194,7 +194,9 @@ impl NcsGame {
         let sp = bi_graph::dijkstra(&self.graph, s, |e| {
             self.graph.edge(e).cost() / f64::from(loads[e.index()] + 1)
         });
-        let path = sp.path_edges(t).expect("feasibility checked at construction");
+        let path = sp
+            .path_edges(t)
+            .expect("feasibility checked at construction");
         (path, sp.distance(t))
     }
 

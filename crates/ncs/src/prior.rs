@@ -47,6 +47,27 @@ impl Prior {
     }
 
     /// Convenience constructor for [`Prior::Independent`].
+    ///
+    /// Each inner vector is one agent's type distribution as
+    /// `((source, destination), probability)` pairs; the joint support is
+    /// their product.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bi_graph::NodeId;
+    /// use bi_ncs::Prior;
+    ///
+    /// let (a, b) = (NodeId::new(0), NodeId::new(1));
+    /// // Agent 0 is deterministic; agent 1 travels with probability 1/2.
+    /// let prior = Prior::independent(vec![
+    ///     vec![((a, b), 1.0)],
+    ///     vec![((a, b), 0.5), ((a, a), 0.5)],
+    /// ]);
+    /// let support = prior.support().unwrap();
+    /// assert_eq!(support.len(), 2);
+    /// assert!(support.iter().all(|(_, p)| (p - 0.5).abs() < 1e-12));
+    /// ```
     #[must_use]
     pub fn independent(per_agent: Vec<Vec<(AgentType, f64)>>) -> Self {
         Prior::Independent(per_agent)
@@ -187,10 +208,7 @@ mod tests {
 
     #[test]
     fn joint_duplicates_are_merged() {
-        let prior = Prior::joint(vec![
-            (vec![t(0, 1)], 0.5),
-            (vec![t(0, 1)], 0.5),
-        ]);
+        let prior = Prior::joint(vec![(vec![t(0, 1)], 0.5), (vec![t(0, 1)], 0.5)]);
         let support = prior.support().unwrap();
         assert_eq!(support.len(), 1);
         assert!(approx_eq(support[0].1, 1.0));

@@ -85,7 +85,10 @@ impl DiamondAdversary {
     #[must_use]
     pub fn enumerate_all(&self) -> Vec<RequestSequence> {
         let bits = self.num_choices();
-        assert!(bits <= 15, "support of size 2^{bits} too large to enumerate");
+        assert!(
+            bits <= 15,
+            "support of size 2^{bits} too large to enumerate"
+        );
         let j = self.diamond.levels();
         (0..(1u32 << bits))
             .map(|mask| {
@@ -177,7 +180,11 @@ mod tests {
         for seq in adv.enumerate_all() {
             let (opt, exact) = offline_optimum(d.graph(), d.source(), &seq.requests);
             assert!(exact);
-            assert!((opt - 1.0).abs() < 1e-9, "sequence {:?}: opt {opt}", seq.choices);
+            assert!(
+                (opt - 1.0).abs() < 1e-9,
+                "sequence {:?}: opt {opt}",
+                seq.choices
+            );
         }
     }
 
@@ -211,7 +218,10 @@ mod tests {
         for w in expected.windows(2) {
             assert!(w[1] > w[0] + 0.05, "{expected:?}");
         }
-        assert!(expected[3] >= 1.5, "depth 4 should cost well above OPT=1: {expected:?}");
+        assert!(
+            expected[3] >= 1.5,
+            "depth 4 should cost well above OPT=1: {expected:?}"
+        );
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl OnlineSteiner {
     /// ```
     #[must_use]
     pub fn greedy(graph: &Graph, root: NodeId, requests: &[NodeId]) -> Self {
-        assert!(!graph.is_directed(), "online Steiner runs on undirected graphs");
+        assert!(
+            !graph.is_directed(),
+            "online Steiner runs on undirected graphs"
+        );
         let mut bought_flags = vec![false; graph.edge_count()];
         let mut bought = Vec::new();
         let mut step_costs = Vec::with_capacity(requests.len());

@@ -139,11 +139,7 @@ mod tests {
 
     #[test]
     fn total_f64_orders_like_f64_on_normal_values() {
-        let mut xs = vec![
-            TotalF64::new(3.5),
-            TotalF64::new(-1.0),
-            TotalF64::new(0.0),
-        ];
+        let mut xs = vec![TotalF64::new(3.5), TotalF64::new(-1.0), TotalF64::new(0.0)];
         xs.sort();
         let raw: Vec<f64> = xs.into_iter().map(TotalF64::get).collect();
         assert_eq!(raw, vec![-1.0, 0.0, 3.5]);

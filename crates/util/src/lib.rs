@@ -20,7 +20,9 @@
 //! ```
 
 pub mod float;
-pub mod harmonic;
+// Private module: its single item is re-exported below, and rustdoc rejects
+// a root-level module and function sharing the name `harmonic`.
+mod harmonic;
 pub mod rng;
 pub mod stats;
 pub mod table;

@@ -134,7 +134,11 @@ impl MatrixGame {
             .flatten()
             .copied()
             .fold(f64::INFINITY, f64::min);
-        let shift = if min_entry < 1.0 { 1.0 - min_entry } else { 0.0 };
+        let shift = if min_entry < 1.0 {
+            1.0 - min_entry
+        } else {
+            0.0
+        };
         let m = self.rows();
         let n = self.cols();
         let shifted: Vec<Vec<f64>> = self
@@ -250,11 +254,7 @@ mod tests {
 
     #[test]
     fn solution_has_no_exploitability() {
-        let g = MatrixGame::new(vec![
-            vec![3.0, -2.0, 4.0],
-            vec![-1.0, 5.0, 0.0],
-        ])
-        .unwrap();
+        let g = MatrixGame::new(vec![vec![3.0, -2.0, 4.0], vec![-1.0, 5.0, 0.0]]).unwrap();
         let sol = g.solve().unwrap();
         let (r, c) = g.exploitability(&sol.row_strategy, &sol.col_strategy);
         assert!(r.abs() < 1e-7, "row regret {r}");

@@ -49,10 +49,12 @@ pub fn solve(game: &MatrixGame, rounds: usize) -> MwResult {
     let m = game.rows();
     let n = game.cols();
     let payoff = game.payoff();
-    let (lo, hi) = payoff.iter().flatten().fold(
-        (f64::INFINITY, f64::NEG_INFINITY),
-        |(lo, hi), &p| (lo.min(p), hi.max(p)),
-    );
+    let (lo, hi) = payoff
+        .iter()
+        .flatten()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| {
+            (lo.min(p), hi.max(p))
+        });
     let range = (hi - lo).max(1e-12);
     let eta = (8.0 * (m as f64).ln().max(1.0) / rounds as f64).sqrt();
     let mut log_w = vec![0.0f64; m];
@@ -109,7 +111,11 @@ mod tests {
     fn approximates_known_values() {
         let g = MatrixGame::new(vec![vec![2.0, -1.0], vec![-1.0, 1.0]]).unwrap();
         let r = solve(&g, 20_000);
-        assert!((r.value_estimate() - 0.2).abs() < 0.05, "{:?}", r.value_bounds);
+        assert!(
+            (r.value_estimate() - 0.2).abs() < 0.05,
+            "{:?}",
+            r.value_bounds
+        );
     }
 
     #[test]
@@ -125,7 +131,10 @@ mod tests {
             let g = MatrixGame::new(payoff).unwrap();
             let exact = g.solve().unwrap().value;
             let approx = solve(&g, 30_000).value_estimate();
-            assert!((exact - approx).abs() < 0.08, "exact {exact} vs mw {approx}");
+            assert!(
+                (exact - approx).abs() < 0.08,
+                "exact {exact} vs mw {approx}"
+            );
         }
     }
 

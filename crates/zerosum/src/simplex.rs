@@ -111,8 +111,7 @@ pub fn solve(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Result<LpSolution, LpError
             if row[enter] > TOL {
                 let ratio = row[width - 1] / row[enter];
                 if ratio < best - TOL
-                    || (ratio < best + TOL
-                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                    || (ratio < best + TOL && leave.is_some_and(|l| basis[i] < basis[l]))
                 {
                     best = ratio;
                     leave = Some(i);
@@ -157,11 +156,7 @@ fn extract(t: &[Vec<f64>], basis: &[usize], n: usize, m: usize) -> LpSolution {
     let objective = -t[m][width - 1];
     // Duals are the negated reduced costs of the slack columns.
     let dual = (0..m).map(|i| -t[m][n + i]).collect();
-    LpSolution {
-        x,
-        objective,
-        dual,
-    }
+    LpSolution { x, objective, dual }
 }
 
 #[cfg(test)]
@@ -177,11 +172,7 @@ mod tests {
         // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj 36.
         let sol = solve(
             &[3.0, 5.0],
-            &[
-                vec![1.0, 0.0],
-                vec![0.0, 2.0],
-                vec![3.0, 2.0],
-            ],
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
             &[4.0, 12.0, 18.0],
         )
         .unwrap();
@@ -194,16 +185,7 @@ mod tests {
     fn strong_duality_holds() {
         let c = [3.0, 5.0];
         let b = [4.0, 12.0, 18.0];
-        let sol = solve(
-            &c,
-            &[
-                vec![1.0, 0.0],
-                vec![0.0, 2.0],
-                vec![3.0, 2.0],
-            ],
-            &b,
-        )
-        .unwrap();
+        let sol = solve(&c, &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]], &b).unwrap();
         let dual_obj: f64 = b.iter().zip(&sol.dual).map(|(bi, yi)| bi * yi).sum();
         assert_close(dual_obj, sol.objective);
         assert!(sol.dual.iter().all(|&y| y >= -1e-9));

@@ -26,10 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             m.worst_eq_p / m.best_eq_c,
             m.opt_c
         );
-        assert!(
-            m.worst_eq_p < m.best_eq_c,
-            "ignorance must be bliss in G_k"
-        );
+        assert!(m.worst_eq_p < m.best_eq_c, "ignorance must be bliss in G_k");
     }
     println!();
     println!("Larger k (analytic: the exact solver would need 2^(k-1) profiles):");

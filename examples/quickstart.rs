@@ -29,16 +29,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let measures = game.measures()?;
     measures.verify_chain()?; // Observation 2.2
 
-    println!("optP      = {:.4}   optC      = {:.4}", measures.opt_p, measures.opt_c);
-    println!("best-eqP  = {:.4}   best-eqC  = {:.4}", measures.best_eq_p, measures.best_eq_c);
-    println!("worst-eqP = {:.4}   worst-eqC = {:.4}", measures.worst_eq_p, measures.worst_eq_c);
+    println!(
+        "optP      = {:.4}   optC      = {:.4}",
+        measures.opt_p, measures.opt_c
+    );
+    println!(
+        "best-eqP  = {:.4}   best-eqC  = {:.4}",
+        measures.best_eq_p, measures.best_eq_c
+    );
+    println!(
+        "worst-eqP = {:.4}   worst-eqC = {:.4}",
+        measures.worst_eq_p, measures.worst_eq_c
+    );
 
     let ratios = measures.ratios();
     println!();
     println!("effect of Bayesian ignorance:");
-    println!("  optP/optC           = {:.4}  (benevolent agents)", ratios.opt);
-    println!("  best-eqP/best-eqC   = {:.4}  (selfish, best equilibria)", ratios.best_eq);
-    println!("  worst-eqP/worst-eqC = {:.4}  (selfish, worst equilibria)", ratios.worst_eq);
+    println!(
+        "  optP/optC           = {:.4}  (benevolent agents)",
+        ratios.opt
+    );
+    println!(
+        "  best-eqP/best-eqC   = {:.4}  (selfish, best equilibria)",
+        ratios.best_eq
+    );
+    println!(
+        "  worst-eqP/worst-eqC = {:.4}  (selfish, worst equilibria)",
+        ratios.worst_eq
+    );
 
     // A Bayesian equilibrium, found by interim best-response dynamics
     // (guaranteed to converge: NCS games are Bayesian potential games).
@@ -46,6 +64,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .best_response_dynamics(game.shortest_path_strategy(), 100)
         .expect("potential game converges");
     println!();
-    println!("equilibrium social cost K(s) = {:.4}", game.social_cost(&eq));
+    println!(
+        "equilibrium social cost K(s) = {:.4}",
+        game.social_cost(&eq)
+    );
     Ok(())
 }

@@ -8,7 +8,11 @@ use bayesian_ignorance::graph::{Direction, Graph};
 use bayesian_ignorance::ncs::{BayesianNcsGame, NcsGame, Prior};
 
 /// Builds the two-route diamond used across the tests.
-fn diamond() -> (Graph, bayesian_ignorance::graph::NodeId, bayesian_ignorance::graph::NodeId) {
+fn diamond() -> (
+    Graph,
+    bayesian_ignorance::graph::NodeId,
+    bayesian_ignorance::graph::NodeId,
+) {
     let mut g = Graph::new(Direction::Directed);
     let s = g.add_node();
     let m = g.add_node();
@@ -67,10 +71,18 @@ fn ncs_measures_agree_with_matrix_form_encoding() {
     for (label, a, b) in [
         ("optP", ncs_measures.opt_p, core_measures.opt_p),
         ("best-eqP", ncs_measures.best_eq_p, core_measures.best_eq_p),
-        ("worst-eqP", ncs_measures.worst_eq_p, core_measures.worst_eq_p),
+        (
+            "worst-eqP",
+            ncs_measures.worst_eq_p,
+            core_measures.worst_eq_p,
+        ),
         ("optC", ncs_measures.opt_c, core_measures.opt_c),
         ("best-eqC", ncs_measures.best_eq_c, core_measures.best_eq_c),
-        ("worst-eqC", ncs_measures.worst_eq_c, core_measures.worst_eq_c),
+        (
+            "worst-eqC",
+            ncs_measures.worst_eq_c,
+            core_measures.worst_eq_c,
+        ),
     ] {
         assert!((a - b).abs() < 1e-9, "{label}: NCS {a} vs matrix-form {b}");
     }
@@ -91,7 +103,8 @@ fn social_optimum_agrees_with_steiner_arborescence() {
     let terminals: Vec<_> = (1..4).map(bayesian_ignorance::graph::NodeId::new).collect();
     let pairs: Vec<_> = terminals.iter().map(|&t| (root, t)).collect();
     let game = NcsGame::new(g.clone(), pairs).unwrap();
-    let analysis = bayesian_ignorance::ncs::analysis::analyze(&game, PathLimits::default()).unwrap();
+    let analysis =
+        bayesian_ignorance::ncs::analysis::analyze(&game, PathLimits::default()).unwrap();
     let steiner =
         bayesian_ignorance::graph::steiner::steiner_arborescence(&g, root, &terminals).unwrap();
     assert!(

@@ -48,7 +48,10 @@ fn lemma_3_2_affine_plane_ratio_is_linear_in_k() {
         ratios.push(game.analytic_ratio());
     }
     let slope = bayesian_ignorance::util::log_log_slope(&ks, &ratios);
-    assert!((slope - 1.0).abs() < 0.25, "Ω(k) shape, got exponent {slope}");
+    assert!(
+        (slope - 1.0).abs() < 0.25,
+        "Ω(k) shape, got exponent {slope}"
+    );
 }
 
 #[test]

@@ -1,0 +1,333 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate implements the subset of the criterion 0.5 API that the
+//! `bi-bench` benches use: [`Criterion`], [`BenchmarkId`], benchmark groups
+//! with [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark warms up for `warm_up_time`, then runs
+//! batches of iterations until `measurement_time` elapses (at least
+//! `sample_size` iterations), and reports the mean wall-clock time per
+//! iteration on stdout as `name/param ... time: <mean>`. There are no
+//! statistical analyses, plots, or saved baselines — swap the real criterion
+//! back in (same API) when the environment has network access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Config {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(700),
+            sample_size: 10,
+        }
+    }
+}
+
+/// The benchmark harness entry point. Mirror of `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets how long each benchmark measures for.
+    #[must_use]
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.config.measurement_time = duration;
+        self
+    }
+
+    /// Sets how long each benchmark warms up for.
+    #[must_use]
+    pub fn warm_up_time(mut self, duration: Duration) -> Self {
+        self.config.warm_up_time = duration;
+        self
+    }
+
+    /// Sets the minimum number of measured iterations.
+    #[must_use]
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.config.sample_size = samples;
+        self
+    }
+
+    /// In real criterion this applies CLI filters; the stand-in accepts and
+    /// ignores them so generated `main` functions stay source-compatible.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.config,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let config = self.config;
+        run_one(&id.into().render(None), config, f);
+    }
+
+    /// Prints the closing summary (no-op in the stand-in).
+    pub fn final_summary(&self) {}
+}
+
+/// A named benchmark within a group, optionally parameterized.
+/// Mirror of `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self, group: Option<&str>) -> String {
+        let mut out = String::new();
+        if let Some(g) = group {
+            out.push_str(g);
+            out.push('/');
+        }
+        out.push_str(&self.function);
+        if let Some(p) = &self.parameter {
+            if !self.function.is_empty() {
+                out.push('/');
+            }
+            out.push_str(p);
+        }
+        out
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        Self {
+            function: function.to_owned(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        Self {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+/// Mirror of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the minimum number of measured iterations for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.config.sample_size = samples;
+        self
+    }
+
+    /// Overrides the measurement time for this group.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.config.measurement_time = duration;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_one(&id.into().render(Some(&self.name)), self.config, f);
+        self
+    }
+
+    /// Runs one benchmark in this group, handing `input` to the closure.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.render(Some(&self.name)), self.config, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Times a single benchmark routine. Mirror of `criterion::Bencher`.
+pub struct Bencher {
+    config: Config,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly (warm-up, then timed batches) and records
+    /// the mean wall-clock time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_up_deadline = Instant::now() + self.config.warm_up_time;
+        while Instant::now() < warm_up_deadline {
+            black_box(routine());
+        }
+        let started = Instant::now();
+        let deadline = started + self.config.measurement_time;
+        let mut iterations = 0u64;
+        loop {
+            black_box(routine());
+            iterations += 1;
+            if iterations >= self.config.sample_size as u64 && Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.total = started.elapsed();
+        self.iterations = iterations;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, config: Config, mut f: F) {
+    let mut bencher = Bencher {
+        config,
+        total: Duration::ZERO,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    if bencher.iterations == 0 {
+        println!("{name:<50} (no measurement: Bencher::iter not called)");
+    } else {
+        let per_iter = bencher.total.as_secs_f64() / bencher.iterations as f64;
+        println!(
+            "{name:<50} time: {:>12} ({} iterations)",
+            format_time(per_iter),
+            bencher.iterations
+        );
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Declares a benchmark group runner function. Mirror of
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        /// Runs every benchmark target of this group.
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`. Mirror of
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn targets_run(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(1));
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * x));
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default()
+            .measurement_time(Duration::from_millis(1))
+            .warm_up_time(Duration::from_millis(1))
+            .sample_size(2);
+        targets = targets_run
+    }
+
+    #[test]
+    fn group_macro_expands_and_runs() {
+        benches();
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(
+            BenchmarkId::new("f", 3).render(Some("g")),
+            "g/f/3".to_string()
+        );
+        assert_eq!(BenchmarkId::from_parameter(5).render(None), "5".to_string());
+    }
+}

@@ -1,0 +1,306 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this crate provides the subset of the proptest API that
+//! `tests/proptest_invariants.rs` uses: the [`proptest!`] macro,
+//! [`prop_assert!`]/[`prop_assert_eq!`], [`ProptestConfig`], range and
+//! [`collection::vec`] strategies, and [`sample::select`].
+//!
+//! Semantics: each `#[test]` function inside [`proptest!`] is run for
+//! `ProptestConfig::cases` generated inputs drawn from a generator seeded
+//! deterministically from the test's module path and name, so failures are
+//! reproducible run-to-run. Unlike real proptest there is **no shrinking**:
+//! a failing case reports the case number and message only. That trade-off
+//! keeps the stand-in tiny while preserving the tests' power to catch
+//! structural bugs.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and range/vec implementations.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A generator of values of type [`Strategy::Value`].
+    ///
+    /// Mirror of `proptest::strategy::Strategy`, reduced to plain seeded
+    /// sampling (no value trees, no shrinking).
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )+};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn sample_value(&self, rng: &mut StdRng) -> f64 {
+            rng.random_range(self.clone())
+        }
+    }
+
+    /// Strategy returned by [`crate::collection::vec`].
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+
+    /// Strategy returned by [`crate::sample::select`].
+    pub struct Select<T> {
+        pub(crate) options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut StdRng) -> T {
+            self.options[rng.random_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies ([`vec()`]).
+
+    use super::strategy::{Strategy, VecStrategy};
+
+    /// Generates `Vec`s whose length is drawn from `len` and whose elements
+    /// are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit option lists ([`select`]).
+
+    use super::strategy::Select;
+
+    /// Generates values uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (on first sample) if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+}
+
+/// Per-`proptest!` block configuration. Mirror of
+/// `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A test-case failure raised by [`prop_assert!`] and friends.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Derives the deterministic generator for one proptest function.
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[must_use]
+pub fn deterministic_rng(test_path: &str) -> StdRng {
+    // FNV-1a over the fully qualified test name: stable across runs and
+    // independent of declaration order.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_path.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Draws one value from a strategy. Implementation detail of [`proptest!`];
+/// free function so the macro body needs no trait imports at the call site.
+#[doc(hidden)]
+pub fn sample_one<S: strategy::Strategy>(strategy: &S, rng: &mut StdRng) -> S::Value {
+    strategy.sample_value(rng)
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+///
+/// Supports the optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` attribute.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::deterministic_rng(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                $(let $pat = $crate::sample_one(&($strategy), &mut rng);)+
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::core::result::Result::Ok(()) })();
+                if let ::core::result::Result::Err(err) = outcome {
+                    ::core::panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name), case + 1, config.cases, err
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current test case (by returning a [`TestCaseError`]) unless the
+/// condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, TestCaseError};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(x in 2usize..9, y in -1.5f64..1.5) {
+            prop_assert!((2..9).contains(&x));
+            prop_assert!((-1.5..1.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(mut xs in prop::collection::vec(0u32..10, 1..6)) {
+            xs.sort_unstable();
+            prop_assert!(!xs.is_empty() && xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn select_draws_from_options(q in prop::sample::select(vec![2u64, 3, 5, 7])) {
+            prop_assert!([2, 3, 5, 7].contains(&q));
+        }
+    }
+
+    #[test]
+    fn failures_panic_with_case_number() {
+        let result = std::panic::catch_unwind(|| {
+            // No `#[test]` here: the fn is declared inside this test's body
+            // purely to exercise the macro expansion, not to be collected.
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                fn always_fails(x in 0u64..10) {
+                    prop_assert!(x > 100, "x was {x}");
+                }
+            }
+            always_fails();
+        });
+        let payload = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(payload.contains("failed at case 1/4"), "{payload}");
+    }
+}
