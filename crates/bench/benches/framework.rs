@@ -3,6 +3,7 @@
 
 use bi_core::potential::{expected_potential, potential_minimizer, verify_exact_potential};
 use bi_core::random_games::random_bayesian_potential_game;
+use bi_core::solve::{Backend, Solver};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench(c: &mut Criterion) {
@@ -10,9 +11,9 @@ fn bench(c: &mut Criterion) {
     let mut eq_minimizers = 0usize;
     for seed in 0..10 {
         let (game, potentials) = random_bayesian_potential_game(&[2, 2], &[2, 2], 3, seed);
-        for idx in 0..game.support_len() {
+        for (idx, potential) in potentials.iter().enumerate() {
             let (_, _, state_game) = game.state(idx);
-            verify_exact_potential(state_game, &potentials[idx]).expect("potential");
+            verify_exact_potential(state_game, potential).expect("potential");
         }
         let (s, _) = potential_minimizer(&game, &potentials).expect("enumerable");
         if game.is_bayesian_equilibrium(&s) {
@@ -49,6 +50,32 @@ fn bench(c: &mut Criterion) {
             },
         );
     }
+    group.finish();
+
+    // The unified engine: backend and thread-count cost profile on one
+    // mid-size random Bayesian potential game.
+    let mut group = c.benchmark_group("solver");
+    group.sample_size(10);
+    let (game, _) = random_bayesian_potential_game(&[2, 2], &[2, 2], 4, 5);
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("exhaustive_threads", threads),
+            &threads,
+            |b, &threads| {
+                let solver = Solver::builder().threads(threads).build();
+                b.iter(|| solver.solve(&game).expect("solvable"));
+            },
+        );
+    }
+    group.bench_function("monte_carlo_256", |b| {
+        let solver = Solver::builder()
+            .backend(Backend::MonteCarloSampling {
+                samples: 256,
+                seed: 5,
+            })
+            .build();
+        b.iter(|| solver.solve(&game).expect("solvable"));
+    });
     group.finish();
 }
 

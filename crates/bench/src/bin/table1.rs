@@ -6,8 +6,8 @@
 //! recorded in `EXPERIMENTS.md`.
 
 use bi_bench::{
-    affine_series, diamond_exact_points, diamond_series, frt_series, gk_series, growth_exponent,
-    gworst_series, log_fit_slope, section4_measurements, universal_sweep, Point,
+    affine_series, backend_comparison, diamond_exact_points, diamond_series, frt_series, gk_series,
+    growth_exponent, gworst_series, log_fit_slope, section4_measurements, universal_sweep, Point,
 };
 use bi_constructions::gworst::GWorstVariant;
 use bi_graph::Direction;
@@ -144,6 +144,32 @@ fn main() {
         "  Lemma 4.1: max over 200 random priors of (guarantee − R̃) = {} (must be ≤ 0)",
         fmt_f64(gap)
     );
+
+    // ── Solver backends ─────────────────────────────────────────────────
+    println!("\n[E17] unified solver backends on one random Bayesian NCS game (seed 11):");
+    let mut t = TextTable::new(vec![
+        "backend",
+        "optP",
+        "best-eqP",
+        "worst-eqP",
+        "exact",
+        "profiles",
+    ]);
+    for (label, report, secs) in backend_comparison(11) {
+        let m = report.measures;
+        // Wall-clock goes to stderr: stdout must be identical run-to-run.
+        eprintln!("  [E17] {label}: {:.4} ms", secs * 1e3);
+        t.add_row(vec![
+            label,
+            fmt_f64(m.opt_p),
+            fmt_f64(m.best_eq_p),
+            fmt_f64(m.worst_eq_p),
+            report.exact.to_string(),
+            report.profiles_evaluated.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("  exact rows agree bit-for-bit; sampled rows bracket them from inside.");
 
     println!("\nDone. See EXPERIMENTS.md for the paper-vs-measured record.");
 }

@@ -13,6 +13,7 @@ use bi_constructions::gworst::{GWorstGame, GWorstVariant};
 use bi_constructions::pos_game::GkGame;
 use bi_constructions::universal::{lemma_3_1_check, random_bayesian_ncs};
 use bi_core::randomness::CostTuple;
+use bi_core::solve::{Backend, SolveReport, Solver};
 use bi_graph::{Direction, NodeId};
 
 /// One measured point of an experiment series.
@@ -174,6 +175,46 @@ pub fn universal_sweep(direction: Direction, trials: u64) -> (f64, f64) {
     (max_lemma31, max_chain_violation)
 }
 
+/// E17 — the unified solver's backends on one seeded random Bayesian NCS
+/// game (2 agents × 2 types on a 5-vertex directed network): exact
+/// exhaustive sweeps (single- and multi-threaded), best-response-dynamics
+/// restarts, and Monte Carlo sampling. Returns
+/// `(label, report, wall-clock seconds)` rows; the exact rows must agree
+/// bit-for-bit and the sampled rows must bracket them (recorded in
+/// `EXPERIMENTS.md`).
+///
+/// # Panics
+///
+/// Panics if the seeded instance is unsolvable (it is not).
+#[must_use]
+pub fn backend_comparison(seed: u64) -> Vec<(String, SolveReport, f64)> {
+    let game = random_bayesian_ncs(Direction::Directed, 5, 0.35, 2, 2, seed).expect("valid game");
+    let configs: Vec<(&str, Solver)> = vec![
+        ("exhaustive/1-thread", Solver::builder().build()),
+        ("exhaustive/4-threads", Solver::builder().threads(4).build()),
+        (
+            "best-response/16-restarts",
+            Solver::builder()
+                .backend(Backend::BestResponseDynamics { restarts: 16, seed })
+                .build(),
+        ),
+        (
+            "monte-carlo/256-samples",
+            Solver::builder()
+                .backend(Backend::MonteCarloSampling { samples: 256, seed })
+                .build(),
+        ),
+    ];
+    configs
+        .into_iter()
+        .map(|(label, solver)| {
+            let t0 = std::time::Instant::now();
+            let report = solver.solve(&game).expect("solvable");
+            (label.to_string(), report, t0.elapsed().as_secs_f64())
+        })
+        .collect()
+}
+
 /// E16 — Section 4: builds the `G_k` cost tuple, solves for `R̃(φ)` and
 /// the public-randomness distribution `q`, computes `R(φ)` independently
 /// by bisection, and returns `(r_tilde, r_star, worst_guarantee_gap)`
@@ -329,5 +370,22 @@ mod tests {
     fn diamond_exact_points_grow() {
         let pts = diamond_exact_points();
         assert!(pts[1].value > pts[0].value);
+    }
+
+    #[test]
+    fn backend_comparison_rows_are_consistent() {
+        let rows = backend_comparison(11);
+        assert_eq!(rows.len(), 4);
+        let exact = rows[0].1.measures;
+        // The two exhaustive rows agree bit-for-bit; sampled rows bracket.
+        assert_eq!(exact, rows[1].1.measures);
+        for (label, report, _) in &rows[2..] {
+            assert!(!report.exact, "{label}");
+            assert!(exact.opt_p <= report.measures.opt_p + 1e-12, "{label}");
+            assert!(
+                report.measures.worst_eq_p <= exact.worst_eq_p + 1e-12,
+                "{label}"
+            );
+        }
     }
 }

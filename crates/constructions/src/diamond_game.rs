@@ -17,7 +17,7 @@
 use bi_core::measures::Measures;
 use bi_graph::paths::{self, PathLimits};
 use bi_graph::NodeId;
-use bi_ncs::{BayesianNcsGame, NcsError, Prior};
+use bi_ncs::{BayesianNcsGame, NcsError, Prior, SolveError, SolveReport, Solver};
 use bi_online::adversary::DiamondAdversary;
 use bi_online::diamond::DiamondGraph;
 use bi_online::steiner::OnlineSteiner;
@@ -99,6 +99,22 @@ impl DiamondGame {
     /// Propagates solver errors.
     pub fn exact_measures(&self) -> Result<Measures, NcsError> {
         self.bayesian_game()?.measures()
+    }
+
+    /// Solves the Bayesian game through a configured [`Solver`]. With a
+    /// sampling backend this is the first way to get (inner-approximate)
+    /// equilibrium measures at depths `j ≥ 3`, where the strategy space
+    /// explodes beyond exhaustive reach.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors ([`NcsError`], wrapped as
+    /// [`SolveError::Model`]) and [`SolveError`]s.
+    pub fn solve_with(&self, solver: &Solver) -> Result<SolveReport, SolveError> {
+        let game = self
+            .bayesian_game()
+            .map_err(|e| SolveError::Model(Box::new(e)))?;
+        solver.solve(&game)
     }
 
     /// `optC` is exactly 1: every sequence in the support lies on one
@@ -274,7 +290,7 @@ mod tests {
         // prob 1/2 the midpoint lies on t's chosen side (no extra cost),
         // else it adds 1/2: E = 1 + 1/4… depending on tie-breaking the
         // value is in [1, 1.5].
-        assert!(cost >= 1.0 - 1e-9 && cost <= 1.5 + 1e-9, "cost {cost}");
+        assert!((1.0 - 1e-9..=1.5 + 1e-9).contains(&cost), "cost {cost}");
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use bi_core::measures::Measures;
 use bi_graph::{Direction, Graph, NodeId};
-use bi_ncs::{BayesianNcsGame, NcsError, Prior};
+use bi_ncs::{BayesianNcsGame, NcsError, Prior, SolveError, SolveReport, Solver};
 
 /// Which `G_worst` variant to build.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -114,6 +114,16 @@ impl GWorstGame {
     /// Propagates solver errors.
     pub fn exact_measures(&self) -> Result<Measures, NcsError> {
         self.game.measures()
+    }
+
+    /// Solves the game through a configured [`Solver`] — e.g. a budgeted
+    /// Monte Carlo backend for `k` beyond exhaustive reach.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SolveError`]s.
+    pub fn solve_with(&self, solver: &Solver) -> Result<SolveReport, SolveError> {
+        solver.solve(&self.game)
     }
 
     /// The proof's analytic `worst-eqP`: `k+2` for [`GWorstVariant::InvK`]

@@ -16,7 +16,7 @@
 
 use bi_core::measures::Measures;
 use bi_graph::{Direction, Graph, NodeId};
-use bi_ncs::{BayesianNcsGame, NcsError, Prior};
+use bi_ncs::{BayesianNcsGame, NcsError, Prior, SolveError, SolveReport, Solver};
 use bi_util::harmonic;
 
 /// The Lemma 3.3 construction.
@@ -97,6 +97,16 @@ impl GkGame {
     /// Propagates solver errors (enumeration size).
     pub fn exact_measures(&self) -> Result<Measures, NcsError> {
         self.game.measures()
+    }
+
+    /// Solves the game through a configured [`Solver`] — e.g. a budgeted
+    /// Monte Carlo backend for `k` beyond exhaustive reach.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SolveError`]s.
+    pub fn solve_with(&self, solver: &Solver) -> Result<SolveReport, SolveError> {
+        solver.solve(&self.game)
     }
 
     /// The social cost of the unique Bayesian equilibrium, `1 + ε`

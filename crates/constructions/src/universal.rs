@@ -2,7 +2,7 @@
 //! that exercise the universal bounds.
 
 use bi_graph::{Direction, NodeId};
-use bi_ncs::{BayesianNcsGame, NcsError, Prior};
+use bi_ncs::{BayesianNcsGame, NcsError, Prior, SolveError, Solver};
 use rand::Rng;
 
 /// The result of a Lemma 3.1 verification: `worst-eqP ≤ k·optC`.
@@ -34,6 +34,26 @@ pub fn lemma_3_1_check(game: &BayesianNcsGame) -> Result<Lemma31Check, NcsError>
     Ok(Lemma31Check {
         worst_eq_p: m.worst_eq_p,
         bound: game.num_agents() as f64 * m.opt_c,
+        k: game.num_agents(),
+    })
+}
+
+/// Verifies Lemma 3.1 through a configured [`Solver`]. With an exhaustive
+/// backend this equals [`lemma_3_1_check`]; with a sampling backend the
+/// reported `worst-eqP` is an inner approximation, so a failing check is
+/// still a genuine counterexample while a passing check is one-sided.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`]s.
+pub fn lemma_3_1_check_with(
+    game: &BayesianNcsGame,
+    solver: &Solver,
+) -> Result<Lemma31Check, SolveError> {
+    let report = solver.solve(game)?;
+    Ok(Lemma31Check {
+        worst_eq_p: report.measures.worst_eq_p,
+        bound: game.num_agents() as f64 * report.measures.opt_c,
         k: game.num_agents(),
     })
 }

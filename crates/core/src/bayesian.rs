@@ -7,7 +7,9 @@ use bi_util::approx_eq;
 
 use crate::game::{EnumerationError, MatrixFormGame, ProfileIter, MAX_ENUMERATION};
 use crate::measures::Measures;
+use crate::model::{BayesianModel, CompleteInfo};
 use crate::nash;
+use crate::solve::{SolveError, Solver};
 
 /// A pure strategy profile: `profile[i][τ]` is the action agent `i` plays
 /// on observing type `τ`.
@@ -15,6 +17,7 @@ pub type StrategyProfile = Vec<Vec<usize>>;
 
 /// Errors constructing a [`BayesianGame`].
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum BayesianGameError {
     /// The support is empty or probabilities do not sum to 1.
     BadPrior(String),
@@ -52,6 +55,7 @@ impl std::error::Error for BayesianGameError {}
 
 /// Errors from exact measure computation.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum MeasureError {
     /// Enumeration would exceed the workspace limit.
     TooLarge(EnumerationError),
@@ -65,6 +69,11 @@ pub enum MeasureError {
     /// No pure Bayesian equilibrium exists (cannot happen for potential
     /// games, but the framework admits arbitrary cost functions).
     NoBayesianEquilibrium,
+    /// The unified solver failed in a way with no measure-specific
+    /// mapping (kept as a message; the typed error is
+    /// [`crate::solve::SolveError`] — call [`Solver::solve`] directly for
+    /// structured handling).
+    Solver(String),
 }
 
 impl fmt::Display for MeasureError {
@@ -77,11 +86,19 @@ impl fmt::Display for MeasureError {
             MeasureError::NoBayesianEquilibrium => {
                 write!(f, "the Bayesian game has no pure Bayesian equilibrium")
             }
+            MeasureError::Solver(msg) => write!(f, "solver error: {msg}"),
         }
     }
 }
 
-impl std::error::Error for MeasureError {}
+impl std::error::Error for MeasureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MeasureError::TooLarge(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<EnumerationError> for MeasureError {
     fn from(e: EnumerationError) -> Self {
@@ -320,7 +337,8 @@ impl BayesianGame {
 
     /// Whether `s` is a pure Bayesian equilibrium: for every agent and
     /// every positive-probability type, the played action minimizes the
-    /// interim cost (up to tolerance).
+    /// interim cost (up to tolerance). Routed through
+    /// [`BayesianModel::is_equilibrium`].
     ///
     /// # Panics
     ///
@@ -328,28 +346,12 @@ impl BayesianGame {
     #[must_use]
     pub fn is_bayesian_equilibrium(&self, s: &StrategyProfile) -> bool {
         self.check_strategy(s);
-        for i in 0..self.num_agents() {
-            for tau in 0..self.type_counts[i] {
-                if self.marginals[i][tau] == 0.0 {
-                    continue;
-                }
-                let played = self.interim_cost(i, tau, s[i][tau], s);
-                for a in 0..self.action_counts[i] {
-                    if a == s[i][tau] {
-                        continue;
-                    }
-                    let dev = self.interim_cost(i, tau, a, s);
-                    if dev < played && !bi_util::approx_le(played, dev) {
-                        return false;
-                    }
-                }
-            }
-        }
-        true
+        BayesianModel::is_equilibrium(self, s)
     }
 
     /// The best response of agent `i` to `s`: for each type, an action
-    /// minimizing the interim cost (ties to the smallest index).
+    /// minimizing the interim cost (ties to the smallest index;
+    /// zero-probability types keep their current action).
     #[must_use]
     pub fn best_response(&self, i: usize, s: &StrategyProfile) -> Vec<usize> {
         (0..self.type_counts[i])
@@ -357,23 +359,15 @@ impl BayesianGame {
                 if self.marginals[i][tau] == 0.0 {
                     return s[i][tau];
                 }
-                let mut best_a = 0;
-                let mut best_c = f64::INFINITY;
-                for a in 0..self.action_counts[i] {
-                    let c = self.interim_cost(i, tau, a, s);
-                    if c < best_c - bi_util::EPS {
-                        best_c = c;
-                        best_a = a;
-                    }
-                }
-                best_a
+                BayesianModel::best_response(self, i, tau, s).0
             })
             .collect()
     }
 
     /// Iterated best-response dynamics from `start`, for at most
     /// `max_rounds` full sweeps. Returns the reached strategy profile if it
-    /// is a Bayesian equilibrium, otherwise `None`.
+    /// is a Bayesian equilibrium, otherwise `None`. Routed through
+    /// [`BayesianModel::best_response_dynamics`].
     ///
     /// For Bayesian potential games (every NCS game is one) each strict
     /// improvement decreases the expected potential, so this converges.
@@ -383,51 +377,7 @@ impl BayesianGame {
         start: StrategyProfile,
         max_rounds: usize,
     ) -> Option<StrategyProfile> {
-        let mut s = start;
-        for _ in 0..max_rounds {
-            let mut changed = false;
-            for i in 0..self.num_agents() {
-                for tau in 0..self.type_counts[i] {
-                    if self.marginals[i][tau] == 0.0 {
-                        continue;
-                    }
-                    let played = self.interim_cost(i, tau, s[i][tau], &s);
-                    let mut best_a = s[i][tau];
-                    let mut best_c = played;
-                    for a in 0..self.action_counts[i] {
-                        let c = self.interim_cost(i, tau, a, &s);
-                        if c < best_c - bi_util::EPS {
-                            best_c = c;
-                            best_a = a;
-                        }
-                    }
-                    if best_a != s[i][tau] {
-                        s[i][tau] = best_a;
-                        changed = true;
-                    }
-                }
-            }
-            if !changed {
-                return Some(s);
-            }
-        }
-        self.is_bayesian_equilibrium(&s).then_some(s)
-    }
-
-    /// Total number of pure strategy profiles, counting only
-    /// positive-marginal types as free slots (zero-probability types are
-    /// pinned to action 0 — they never affect any cost).
-    #[must_use]
-    pub fn strategy_space_size(&self) -> u128 {
-        let mut size = 1u128;
-        for i in 0..self.num_agents() {
-            for tau in 0..self.type_counts[i] {
-                if self.marginals[i][tau] > 0.0 {
-                    size = size.saturating_mul(self.action_counts[i] as u128);
-                }
-            }
-        }
-        size
+        BayesianModel::best_response_dynamics(self, start, max_rounds)
     }
 
     /// Iterates over every pure strategy profile (zero-probability types
@@ -438,7 +388,9 @@ impl BayesianGame {
     /// Returns an [`EnumerationError`] when the strategy space exceeds the
     /// enumeration limit.
     pub fn strategies(&self) -> Result<StrategyIter<'_>, EnumerationError> {
-        let size = self.strategy_space_size();
+        let size = BayesianModel::strategy_space_size(self).map_err(|_| EnumerationError {
+            required: u128::MAX,
+        })?;
         if size > MAX_ENUMERATION {
             return Err(EnumerationError { required: size });
         }
@@ -460,6 +412,11 @@ impl BayesianGame {
 
     /// Computes all six measures exactly by enumeration.
     ///
+    /// This is a thin compatibility wrapper over
+    /// `Solver::default().solve(&game)` — prefer [`Solver`] directly for
+    /// budgets, sampled backends, multi-threaded sweeps, and the
+    /// structured [`crate::solve::SolveReport`].
+    ///
     /// # Errors
     ///
     /// Returns [`MeasureError::TooLarge`] when a required enumeration is
@@ -468,41 +425,22 @@ impl BayesianGame {
     /// [`MeasureError::NoBayesianEquilibrium`] when the Bayesian game has
     /// no pure Bayesian equilibrium.
     pub fn measures(&self) -> Result<Measures, MeasureError> {
-        let mut opt_p = f64::INFINITY;
-        let mut best_eq_p = f64::INFINITY;
-        let mut worst_eq_p = f64::NEG_INFINITY;
-        let mut found_eq = false;
-        for s in self.strategies()? {
-            let k = self.social_cost(&s);
-            opt_p = opt_p.min(k);
-            if self.is_bayesian_equilibrium(&s) {
-                found_eq = true;
-                best_eq_p = best_eq_p.min(k);
-                worst_eq_p = worst_eq_p.max(k);
-            }
+        match Solver::default().solve(self) {
+            Ok(report) => Ok(report.measures),
+            Err(e) => Err(match e {
+                SolveError::BudgetExceeded { required, .. } => {
+                    MeasureError::TooLarge(EnumerationError { required })
+                }
+                SolveError::SpaceTooLarge => MeasureError::TooLarge(EnumerationError {
+                    required: u128::MAX,
+                }),
+                SolveError::NoEquilibrium => MeasureError::NoBayesianEquilibrium,
+                SolveError::NoStateEquilibrium { state } => {
+                    MeasureError::NoPureEquilibrium { state }
+                }
+                other => MeasureError::Solver(other.to_string()),
+            }),
         }
-        if !found_eq {
-            return Err(MeasureError::NoBayesianEquilibrium);
-        }
-        let mut opt_c = 0.0;
-        let mut best_eq_c = 0.0;
-        let mut worst_eq_c = 0.0;
-        for (idx, st) in self.states.iter().enumerate() {
-            let (opt, _) = nash::social_optimum(&st.game);
-            opt_c += st.prob * opt;
-            let (best, worst) = nash::equilibrium_cost_range(&st.game)
-                .ok_or(MeasureError::NoPureEquilibrium { state: idx })?;
-            best_eq_c += st.prob * best;
-            worst_eq_c += st.prob * worst;
-        }
-        Ok(Measures {
-            opt_p,
-            best_eq_p,
-            worst_eq_p,
-            opt_c,
-            best_eq_c,
-            worst_eq_c,
-        })
     }
 
     fn check_strategy(&self, s: &StrategyProfile) {
@@ -513,6 +451,101 @@ impl BayesianGame {
                 assert!(a < self.action_counts[i], "action out of range");
             }
         }
+    }
+}
+
+impl BayesianModel for BayesianGame {
+    type Action = usize;
+
+    fn num_agents(&self) -> usize {
+        self.type_counts.len()
+    }
+
+    fn type_count(&self, agent: usize) -> usize {
+        self.type_counts[agent]
+    }
+
+    fn type_weight(&self, agent: usize, tau: usize) -> f64 {
+        self.marginals[agent][tau]
+    }
+
+    fn candidate_actions(&self, agent: usize, tau: usize) -> Result<Vec<usize>, SolveError> {
+        // Zero-probability types are pinned to action 0: their action
+        // never affects any cost, so a single candidate suffices.
+        if self.marginals[agent][tau] == 0.0 {
+            Ok(vec![0])
+        } else {
+            Ok((0..self.action_counts[agent]).collect())
+        }
+    }
+
+    fn candidate_count(&self, agent: usize, tau: usize) -> Result<usize, SolveError> {
+        if self.marginals[agent][tau] == 0.0 {
+            Ok(1)
+        } else {
+            Ok(self.action_counts[agent])
+        }
+    }
+
+    fn social_cost(&self, profile: &StrategyProfile) -> f64 {
+        BayesianGame::social_cost(self, profile)
+    }
+
+    fn interim_cost(
+        &self,
+        agent: usize,
+        tau: usize,
+        action: &usize,
+        profile: &StrategyProfile,
+    ) -> f64 {
+        BayesianGame::interim_cost(self, agent, tau, *action, profile)
+    }
+
+    fn best_response(&self, agent: usize, tau: usize, profile: &StrategyProfile) -> (usize, f64) {
+        // Ties to the smallest index: a later action must improve by more
+        // than the workspace tolerance to dethrone an earlier one, so
+        // float noise cannot change the chosen action (or the dynamics
+        // trajectories built on it).
+        let mut best_a = 0;
+        let mut best_c = f64::INFINITY;
+        for a in 0..self.action_counts[agent] {
+            let c = BayesianGame::interim_cost(self, agent, tau, a, profile);
+            if c < best_c - bi_util::EPS {
+                best_c = c;
+                best_a = a;
+            }
+        }
+        (best_a, best_c)
+    }
+
+    fn slot_is_stable(&self, agent: usize, tau: usize, profile: &StrategyProfile) -> bool {
+        // Exact over every deviation (the EPS tie-breaking in
+        // `best_response` may return a cost up to EPS above the true
+        // minimum, which would weaken the default check).
+        let played = BayesianGame::interim_cost(self, agent, tau, profile[agent][tau], profile);
+        (0..self.action_counts[agent]).all(|a| {
+            let dev = BayesianGame::interim_cost(self, agent, tau, a, profile);
+            dev >= played || bi_util::approx_le(played, dev)
+        })
+    }
+
+    fn complete_info(&self) -> Result<CompleteInfo, SolveError> {
+        let mut opt_c = 0.0;
+        let mut best_eq_c = 0.0;
+        let mut worst_eq_c = 0.0;
+        for (idx, st) in self.states.iter().enumerate() {
+            let (opt, _) = nash::social_optimum(&st.game);
+            opt_c += st.prob * opt;
+            let (best, worst) = nash::equilibrium_cost_range(&st.game)
+                .ok_or(SolveError::NoStateEquilibrium { state: idx })?;
+            best_eq_c += st.prob * best;
+            worst_eq_c += st.prob * worst;
+        }
+        Ok(CompleteInfo {
+            opt_c,
+            best_eq_c,
+            worst_eq_c,
+        })
     }
 }
 
@@ -621,7 +654,7 @@ mod tests {
     fn strategy_enumeration_counts() {
         let game = coordination_game();
         // Agent 0: 2 actions ^ 1 type; agent 1: 2 ^ 2 types → 8 profiles.
-        assert_eq!(game.strategy_space_size(), 8);
+        assert_eq!(game.strategy_space_size().unwrap(), 8);
         assert_eq!(game.strategies().unwrap().count(), 8);
     }
 
@@ -669,7 +702,7 @@ mod tests {
         let g = MatrixFormGame::from_fn(1, &[3], |_, a| a[0] as f64);
         // Type space of size 2 but only type 0 in the support.
         let game = BayesianGame::new(vec![2], vec![(vec![0], 1.0, g)]).unwrap();
-        assert_eq!(game.strategy_space_size(), 3);
+        assert_eq!(game.strategy_space_size().unwrap(), 3);
         for s in game.strategies().unwrap() {
             assert_eq!(s[0][1], 0, "unused type must stay pinned");
         }

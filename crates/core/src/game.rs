@@ -208,7 +208,7 @@ impl ProfileIter {
     /// yields nothing.
     #[must_use]
     pub fn new(counts: Vec<usize>) -> Self {
-        let done = counts.iter().any(|&c| c == 0);
+        let done = counts.contains(&0);
         ProfileIter {
             current: vec![0; counts.len()],
             counts,

@@ -21,6 +21,12 @@
 //!   enumeration, Bayesian-equilibrium checking, best-response dynamics;
 //! * [`measures`] — the six quantities and the three ignorance ratios,
 //!   plus the Observation 2.2 chain checker;
+//! * [`model`] — the [`BayesianModel`] trait: the primitives any game
+//!   representation (matrix form here, graph form in `bi-ncs`) exposes to
+//!   the solver, with shared default equilibrium/dynamics logic;
+//! * [`solve`] — the unified [`Solver`] engine: pluggable backends
+//!   (exhaustive, best-response dynamics, Monte Carlo sampling), budgets,
+//!   multi-threaded sweeps, structured [`SolveReport`]s;
 //! * [`randomness`] — Section 4: `R(φ)`, `R̃(φ)`, the Proposition 4.2
 //!   equality, and the Lemma 4.1 public-randomness distribution computed
 //!   by solving the associated zero-sum game exactly;
@@ -49,11 +55,15 @@
 pub mod bayesian;
 pub mod game;
 pub mod measures;
+pub mod model;
 pub mod nash;
 pub mod potential;
 pub mod random_games;
 pub mod randomness;
+pub mod solve;
 
 pub use bayesian::{BayesianGame, StrategyProfile};
 pub use game::MatrixFormGame;
 pub use measures::{IgnoranceRatios, Measures};
+pub use model::{BayesianModel, CompleteInfo};
+pub use solve::{Backend, Budget, SolveError, SolveReport, Solver, SolverBuilder};

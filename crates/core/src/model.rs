@@ -1,0 +1,218 @@
+//! The [`BayesianModel`] trait: the single abstraction the unified solver
+//! engine ([`crate::solve`]) understands.
+//!
+//! The paper's six ignorance measures are defined identically for every
+//! representation of a Bayesian game — only the primitives differ: what an
+//! *action* is (a matrix column index, a path in a graph), how a strategy
+//! profile's social cost is computed, and how an agent's interim best
+//! response is found. This trait captures exactly those primitives;
+//! everything built on top of them — equilibrium checking, best-response
+//! dynamics, strategy-space sizing, and the full measure computation in
+//! [`crate::solve::Solver`] — is shared **default-method** logic, written
+//! once.
+//!
+//! Both [`crate::bayesian::BayesianGame`] (matrix form) and
+//! `bi_ncs::BayesianNcsGame` (network cost-sharing form) implement this
+//! trait, so one `Solver` serves both.
+
+use bi_util::{approx_le, EPS};
+
+use crate::solve::SolveError;
+
+/// A pure strategy profile of a model: `profile[i][τ]` is the action agent
+/// `i` plays on observing her `τ`-th type.
+pub type Profile<M> = Vec<Vec<<M as BayesianModel>::Action>>;
+
+/// The complete-information side of the six measures: prior-expected
+/// optimum and best/worst pure-Nash social cost of the underlying games.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompleteInfo {
+    /// `optC = Σ_t p(t)·min_a K_t(a)`.
+    pub opt_c: f64,
+    /// `best-eqC = Σ_t p(t)·min over Nash equilibria of K_t`.
+    pub best_eq_c: f64,
+    /// `worst-eqC = Σ_t p(t)·max over Nash equilibria of K_t`.
+    pub worst_eq_c: f64,
+}
+
+/// A finite Bayesian game, seen through the primitives the unified solver
+/// needs.
+///
+/// # Contract
+///
+/// * Type indices `τ` range over `0..type_count(i)`; every
+///   positive-probability type of agent `i` appears exactly once.
+/// * [`candidate_actions`](Self::candidate_actions) returns a non-empty
+///   set per `(agent, type)` slot containing every action relevant for
+///   *optimization* (a social optimum and all equilibria of interest are
+///   attained on the candidate product space). Equilibrium *checks* are
+///   exact over the full action space via
+///   [`best_response`](Self::best_response), which need not be restricted
+///   to candidates.
+/// * [`interim_cost`](Self::interim_cost) may be unnormalized by the type
+///   marginal (the normalization cancels when comparing actions).
+pub trait BayesianModel: Sync {
+    /// One action of one agent (a matrix column index, a path, …).
+    type Action: Clone + Send + Sync;
+
+    /// Number of agents `k`.
+    fn num_agents(&self) -> usize;
+
+    /// Number of type slots of agent `i`.
+    fn type_count(&self, agent: usize) -> usize;
+
+    /// Prior marginal weight of agent `agent`'s type `tau`; slots with
+    /// weight `0.0` are pinned (skipped by equilibrium checks and
+    /// dynamics — their action never affects any cost).
+    fn type_weight(&self, agent: usize, tau: usize) -> f64;
+
+    /// The candidate actions of agent `agent` at type `tau` that exact
+    /// optimization enumerates.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SolveError`] when the action set cannot be enumerated
+    /// completely (e.g. path-enumeration limits).
+    fn candidate_actions(&self, agent: usize, tau: usize) -> Result<Vec<Self::Action>, SolveError>;
+
+    /// Number of candidate actions at a slot, without materializing them.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`candidate_actions`](Self::candidate_actions).
+    fn candidate_count(&self, agent: usize, tau: usize) -> Result<usize, SolveError> {
+        self.candidate_actions(agent, tau).map(|a| a.len())
+    }
+
+    /// Ex-ante social cost `K(s) = E_t[K_t(s(t))]`.
+    fn social_cost(&self, profile: &Profile<Self>) -> f64;
+
+    /// Interim cost of agent `agent` playing `action` at type `tau` while
+    /// everyone else follows `profile` (possibly unnormalized by the type
+    /// marginal).
+    fn interim_cost(
+        &self,
+        agent: usize,
+        tau: usize,
+        action: &Self::Action,
+        profile: &Profile<Self>,
+    ) -> f64;
+
+    /// Agent `agent`'s exact interim best response at type `tau`:
+    /// `(action, interim cost)`, minimizing over the **full** action
+    /// space (not just candidates).
+    fn best_response(
+        &self,
+        agent: usize,
+        tau: usize,
+        profile: &Profile<Self>,
+    ) -> (Self::Action, f64);
+
+    /// The complete-information side of the measures, computed exactly
+    /// per support state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::NoStateEquilibrium`] when some underlying
+    /// game has no pure Nash equilibrium, and propagates enumeration
+    /// failures.
+    fn complete_info(&self) -> Result<CompleteInfo, SolveError>;
+
+    /// Whether the slot `(agent, tau)` is interim-stable under `profile`:
+    /// the played action's interim cost is (approximately) no worse than
+    /// the exact best response's.
+    ///
+    /// Models can override this with a fused implementation when
+    /// [`interim_cost`](Self::interim_cost) and
+    /// [`best_response`](Self::best_response) share expensive setup.
+    fn slot_is_stable(&self, agent: usize, tau: usize, profile: &Profile<Self>) -> bool {
+        let played = self.interim_cost(agent, tau, &profile[agent][tau], profile);
+        let (_, best) = self.best_response(agent, tau, profile);
+        approx_le(played, best)
+    }
+
+    /// An interim better response at slot `(agent, tau)` improving on the
+    /// played action by more than the workspace tolerance, if one exists.
+    ///
+    /// Like [`slot_is_stable`](Self::slot_is_stable), this exists so
+    /// models can fuse the played-cost and best-response computations.
+    fn slot_improvement(
+        &self,
+        agent: usize,
+        tau: usize,
+        profile: &Profile<Self>,
+    ) -> Option<Self::Action> {
+        let played = self.interim_cost(agent, tau, &profile[agent][tau], profile);
+        let (action, cost) = self.best_response(agent, tau, profile);
+        (cost < played - EPS).then_some(action)
+    }
+
+    /// Whether `profile` is a pure Bayesian equilibrium: every
+    /// positive-weight `(agent, type)` slot is interim-stable.
+    fn is_equilibrium(&self, profile: &Profile<Self>) -> bool {
+        for i in 0..self.num_agents() {
+            for tau in 0..self.type_count(i) {
+                if self.type_weight(i, tau) == 0.0 {
+                    continue;
+                }
+                if !self.slot_is_stable(i, tau, profile) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Interim best-response dynamics from `start` until a fixed point (a
+    /// Bayesian equilibrium) or `max_rounds` full sweeps. Returns the
+    /// reached profile if it is an equilibrium, otherwise `None`.
+    ///
+    /// For Bayesian potential games (every NCS game is one) each strict
+    /// improvement decreases the expected potential, so this converges.
+    fn best_response_dynamics(
+        &self,
+        start: Profile<Self>,
+        max_rounds: usize,
+    ) -> Option<Profile<Self>>
+    where
+        Self: Sized,
+    {
+        let mut s = start;
+        for _ in 0..max_rounds {
+            let mut changed = false;
+            for i in 0..self.num_agents() {
+                for tau in 0..self.type_count(i) {
+                    if self.type_weight(i, tau) == 0.0 {
+                        continue;
+                    }
+                    if let Some(better) = self.slot_improvement(i, tau, &s) {
+                        s[i][tau] = better;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return Some(s);
+            }
+        }
+        self.is_equilibrium(&s).then_some(s)
+    }
+
+    /// Total number of pure strategy profiles over the candidate sets,
+    /// with overflow surfaced as a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::SpaceTooLarge`] when the product overflows
+    /// `u128`, and propagates candidate-enumeration failures.
+    fn strategy_space_size(&self) -> Result<u128, SolveError> {
+        let mut size = 1u128;
+        for i in 0..self.num_agents() {
+            for tau in 0..self.type_count(i) {
+                let c = self.candidate_count(i, tau)? as u128;
+                size = size.checked_mul(c).ok_or(SolveError::SpaceTooLarge)?;
+            }
+        }
+        Ok(size)
+    }
+}

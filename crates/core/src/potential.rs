@@ -178,10 +178,10 @@ pub fn expected_potential(
         "one potential per support state"
     );
     let mut total = 0.0;
-    for idx in 0..game.support_len() {
+    for (idx, potential) in potentials.iter().enumerate() {
         let (types, prob, _) = game.state(idx);
         let action: Vec<usize> = s.iter().zip(types).map(|(si, &t)| si[t]).collect();
-        total += prob * potentials[idx].value(&action);
+        total += prob * potential.value(&action);
     }
     total
 }

@@ -167,10 +167,10 @@ mod tests {
         let (game, potentials) = random_bayesian_potential_game(&[2, 2], &[2, 2], 3, 4);
         assert_eq!(game.support_len(), 3);
         assert_eq!(potentials.len(), 3);
-        for idx in 0..game.support_len() {
+        for (idx, potential) in potentials.iter().enumerate() {
             let (_, prob, state_game) = game.state(idx);
             assert!(prob > 0.0);
-            verify_exact_potential(state_game, &potentials[idx]).unwrap();
+            verify_exact_potential(state_game, potential).unwrap();
         }
     }
 

@@ -1,0 +1,828 @@
+//! The unified solver engine: one configurable entry point computing the
+//! six ignorance measures for **any** [`BayesianModel`].
+//!
+//! A [`Solver`] is built via [`SolverBuilder`] from three orthogonal
+//! knobs:
+//!
+//! * a [`Backend`] — [`Backend::ExhaustiveEnum`] (exact, the historical
+//!   behavior of `measures()`), [`Backend::BestResponseDynamics`]
+//!   (equilibria via seeded restarts of interim best-response dynamics),
+//!   or [`Backend::MonteCarloSampling`] (seeded uniform profile sampling
+//!   plus dynamics, for games whose strategy space exceeds the budget);
+//! * a [`Budget`] — `max_profiles` gates exhaustive enumeration,
+//!   `max_iterations` caps dynamics sweeps;
+//! * a thread count — the exhaustive sweep is chunked across
+//!   `std::thread` workers (results are independent of the chunking, so
+//!   threaded and single-threaded runs agree bit-for-bit).
+//!
+//! Every solve returns a structured [`SolveReport`]; failures share the
+//! single [`SolveError`] type.
+//!
+//! # Examples
+//!
+//! ```
+//! use bi_core::bayesian::BayesianGame;
+//! use bi_core::game::MatrixFormGame;
+//! use bi_core::solve::{Backend, Solver};
+//!
+//! let g0 = MatrixFormGame::from_fn(1, &[2], |_, a| if a[0] == 0 { 1.0 } else { 2.0 });
+//! let g1 = MatrixFormGame::from_fn(1, &[2], |_, a| if a[0] == 1 { 1.0 } else { 2.0 });
+//! let game = BayesianGame::new(
+//!     vec![2],
+//!     vec![(vec![0], 0.5, g0), (vec![1], 0.5, g1)],
+//! ).unwrap();
+//!
+//! let report = Solver::builder()
+//!     .backend(Backend::ExhaustiveEnum)
+//!     .threads(2)
+//!     .build()
+//!     .solve(&game)
+//!     .unwrap();
+//! assert!(report.exact);
+//! assert_eq!(report.profiles_evaluated, 4);
+//! assert_eq!(report.measures.opt_p, report.measures.opt_c);
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::game::MAX_ENUMERATION;
+use crate::measures::Measures;
+use crate::model::{BayesianModel, Profile};
+
+/// Unified error type of the solver engine.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The strategy-space size overflowed `u128` — no finite budget can
+    /// admit it.
+    SpaceTooLarge,
+    /// Exhaustive enumeration would exceed the budget; switch to a
+    /// sampling backend or raise [`Budget::max_profiles`].
+    BudgetExceeded {
+        /// Number of profiles exhaustive enumeration would visit.
+        required: u128,
+        /// The configured cap it exceeds.
+        max_profiles: u128,
+    },
+    /// No pure Bayesian equilibrium was found (for approximate backends:
+    /// within the sampled starts), so `best-eqP`/`worst-eqP` are
+    /// undefined.
+    NoEquilibrium,
+    /// An underlying complete-information game has no pure Nash
+    /// equilibrium, so `best-eqC`/`worst-eqC` are undefined.
+    NoStateEquilibrium {
+        /// The support-state index of the equilibrium-free game.
+        state: usize,
+    },
+    /// A model-specific failure (e.g. truncated path enumeration),
+    /// preserved as the error [`source`](Error::source).
+    Model(Box<dyn Error + Send + Sync>),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::SpaceTooLarge => {
+                write!(f, "strategy-space size overflows u128")
+            }
+            SolveError::BudgetExceeded {
+                required,
+                max_profiles,
+            } => write!(
+                f,
+                "exhaustive enumeration needs {required} profiles (budget {max_profiles})"
+            ),
+            SolveError::NoEquilibrium => {
+                write!(f, "no pure Bayesian equilibrium found")
+            }
+            SolveError::NoStateEquilibrium { state } => {
+                write!(f, "underlying game {state} has no pure Nash equilibrium")
+            }
+            SolveError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl Error for SolveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SolveError::Model(e) => Some(e.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// Resource guard for a solve: how much exhaustive enumeration to allow
+/// and how long dynamics may run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum number of profiles [`Backend::ExhaustiveEnum`] may visit;
+    /// larger spaces return [`SolveError::BudgetExceeded`].
+    pub max_profiles: u128,
+    /// Maximum number of full best-response sweeps per dynamics run
+    /// (used by the [`Backend::BestResponseDynamics`] and
+    /// [`Backend::MonteCarloSampling`] backends).
+    pub max_iterations: u64,
+}
+
+impl Default for Budget {
+    /// `max_profiles` defaults to the workspace enumeration limit
+    /// [`MAX_ENUMERATION`]; `max_iterations` to 256 sweeps.
+    fn default() -> Self {
+        Budget {
+            max_profiles: MAX_ENUMERATION,
+            max_iterations: 256,
+        }
+    }
+}
+
+/// The algorithm a [`Solver`] uses for the partial-information side
+/// (`optP`, `best-eqP`, `worst-eqP`). The complete-information side is
+/// always computed exactly per support state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Exact exhaustive enumeration of the candidate strategy space —
+    /// the historical behavior of `measures()`. Fails with
+    /// [`SolveError::BudgetExceeded`] beyond [`Budget::max_profiles`].
+    #[default]
+    ExhaustiveEnum,
+    /// Interim best-response dynamics from a deterministic start plus
+    /// `restarts` seeded random restarts. Reported equilibria are genuine
+    /// (each is verified exactly), but the extrema are inner
+    /// approximations: `best-eqP` from above, `worst-eqP` from below,
+    /// `optP` from above.
+    BestResponseDynamics {
+        /// Number of additional random restarts after the deterministic
+        /// first run.
+        restarts: u32,
+        /// Seed of the restart stream (deterministic per seed).
+        seed: u64,
+    },
+    /// Seeded uniform sampling of `samples` strategy profiles, each also
+    /// used as a start for best-response dynamics. Never budget-gated:
+    /// this is the backend for games whose strategy space exceeds
+    /// [`Budget::max_profiles`]. Same inner-approximation guarantees as
+    /// [`Backend::BestResponseDynamics`].
+    MonteCarloSampling {
+        /// Number of uniform profile samples.
+        samples: u32,
+        /// Seed of the sample stream (deterministic per seed).
+        seed: u64,
+    },
+}
+
+/// Structured outcome of a [`Solver::solve`] call.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolveReport {
+    /// The six ignorance measures.
+    pub measures: Measures,
+    /// The backend that produced the partial-information side.
+    pub method: Backend,
+    /// Number of strategy profiles whose social cost was evaluated.
+    pub profiles_evaluated: u128,
+    /// Whether the partial-information side is exact. `true` only for
+    /// [`Backend::ExhaustiveEnum`]; approximate backends report genuine
+    /// equilibria but possibly non-extremal ones.
+    pub exact: bool,
+}
+
+/// Builder for [`Solver`] — see the [module docs](self) for the knobs.
+///
+/// # Examples
+///
+/// ```
+/// use bi_core::solve::{Backend, Budget, Solver};
+///
+/// let solver = Solver::builder()
+///     .backend(Backend::MonteCarloSampling { samples: 128, seed: 7 })
+///     .budget(Budget { max_profiles: 10_000, max_iterations: 64 })
+///     .threads(0) // 0 = one worker per available core
+///     .build();
+/// let _ = solver;
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct SolverBuilder {
+    backend: Backend,
+    budget: Budget,
+    threads: usize,
+}
+
+impl Default for SolverBuilder {
+    /// Exhaustive backend, default [`Budget`], one thread — the exact
+    /// historical `measures()` configuration.
+    fn default() -> Self {
+        SolverBuilder {
+            backend: Backend::default(),
+            budget: Budget::default(),
+            threads: 1,
+        }
+    }
+}
+
+impl SolverBuilder {
+    /// Selects the [`Backend`].
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the whole [`Budget`].
+    #[must_use]
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets [`Budget::max_profiles`] only.
+    #[must_use]
+    pub fn max_profiles(mut self, max_profiles: u128) -> Self {
+        self.budget.max_profiles = max_profiles;
+        self
+    }
+
+    /// Sets [`Budget::max_iterations`] only.
+    #[must_use]
+    pub fn max_iterations(mut self, max_iterations: u64) -> Self {
+        self.budget.max_iterations = max_iterations;
+        self
+    }
+
+    /// Number of worker threads for the exhaustive sweep. `1` (the
+    /// default) runs inline; `0` means one worker per available core.
+    /// Results are identical regardless of the thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Finalizes the configuration.
+    #[must_use]
+    pub fn build(self) -> Solver {
+        Solver {
+            backend: self.backend,
+            budget: self.budget,
+            threads: self.threads,
+        }
+    }
+}
+
+/// The configurable measure-solving engine. Construct via
+/// [`Solver::builder`]; [`Solver::default`] reproduces the historical
+/// `measures()` behavior exactly (exhaustive, workspace budget, single
+/// thread).
+#[derive(Clone, Copy, Debug)]
+pub struct Solver {
+    backend: Backend,
+    budget: Budget,
+    threads: usize,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        SolverBuilder::default().build()
+    }
+}
+
+impl Solver {
+    /// Starts building a solver.
+    #[must_use]
+    pub fn builder() -> SolverBuilder {
+        SolverBuilder::default()
+    }
+
+    /// The configured backend.
+    #[must_use]
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// The configured budget.
+    #[must_use]
+    pub fn budget(&self) -> Budget {
+        self.budget
+    }
+
+    /// Computes the six measures of `model`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::SpaceTooLarge`] — the candidate space size
+    ///   overflows `u128` (exhaustive backend only; sampling backends
+    ///   never size the space);
+    /// * [`SolveError::BudgetExceeded`] — exhaustive enumeration over
+    ///   budget (use a sampling backend instead);
+    /// * [`SolveError::NoEquilibrium`] /
+    ///   [`SolveError::NoStateEquilibrium`] — the equilibrium-side
+    ///   measures are undefined;
+    /// * [`SolveError::Model`] — a model-specific failure (e.g.
+    ///   truncated path enumeration).
+    pub fn solve<M: BayesianModel>(&self, model: &M) -> Result<SolveReport, SolveError> {
+        let slots = SlotSets::collect(model)?;
+        let stats = match self.backend {
+            Backend::ExhaustiveEnum => {
+                // Only the exhaustive sweep needs the space size; the
+                // sampling backends must work on spaces too large to even
+                // size in `u128`.
+                let size = slots.space_size()?;
+                if size > self.budget.max_profiles {
+                    return Err(SolveError::BudgetExceeded {
+                        required: size,
+                        max_profiles: self.budget.max_profiles,
+                    });
+                }
+                self.exhaustive(model, &slots, size)
+            }
+            Backend::BestResponseDynamics { restarts, seed } => self.dynamics(
+                model,
+                &slots,
+                Starts::DeterministicThenRandom,
+                u64::from(restarts) + 1,
+                seed,
+            ),
+            Backend::MonteCarloSampling { samples, seed } => {
+                self.dynamics(model, &slots, Starts::Random, u64::from(samples), seed)
+            }
+        };
+        if !stats.found_equilibrium {
+            return Err(SolveError::NoEquilibrium);
+        }
+        let ci = model.complete_info()?;
+        Ok(SolveReport {
+            measures: Measures {
+                opt_p: stats.opt_p,
+                best_eq_p: stats.best_eq_p,
+                worst_eq_p: stats.worst_eq_p,
+                opt_c: ci.opt_c,
+                best_eq_c: ci.best_eq_c,
+                worst_eq_c: ci.worst_eq_c,
+            },
+            method: self.backend,
+            profiles_evaluated: stats.evaluated,
+            exact: matches!(self.backend, Backend::ExhaustiveEnum),
+        })
+    }
+
+    /// Exhaustive sweep, chunked across worker threads when configured.
+    fn exhaustive<M: BayesianModel>(
+        &self,
+        model: &M,
+        slots: &SlotSets<M>,
+        size: u128,
+    ) -> SweepStats {
+        let workers = effective_threads(self.threads, size);
+        if workers <= 1 {
+            return sweep_range(model, slots, 0, size);
+        }
+        let workers = workers as u128;
+        let per = size / workers;
+        let rem = size % workers;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut start = 0u128;
+            for w in 0..workers {
+                let count = per + u128::from(w < rem);
+                if count == 0 {
+                    continue;
+                }
+                let chunk_start = start;
+                handles.push(scope.spawn(move || sweep_range(model, slots, chunk_start, count)));
+                start += count;
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("solver worker panicked"))
+                .fold(SweepStats::new(), SweepStats::merge)
+        })
+    }
+
+    /// Shared driver of the two dynamics-based backends: evaluate each
+    /// start, run best-response dynamics from it, and record any
+    /// equilibrium reached.
+    fn dynamics<M: BayesianModel>(
+        &self,
+        model: &M,
+        slots: &SlotSets<M>,
+        starts: Starts,
+        runs: u64,
+        seed: u64,
+    ) -> SweepStats {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let max_rounds = usize::try_from(self.budget.max_iterations).unwrap_or(usize::MAX);
+        let mut stats = SweepStats::new();
+        for run in 0..runs {
+            let start = if starts == Starts::DeterministicThenRandom && run == 0 {
+                slots.first_candidate_profile(model)
+            } else {
+                slots.random_profile(model, &mut rng)
+            };
+            // The start only feeds `optP`: if it IS an equilibrium, the
+            // dynamics' first sweep finds no improvement and returns it,
+            // so it is recorded as one below — checking it here too would
+            // double the most expensive step of every run.
+            stats.observe(model.social_cost(&start), false);
+            // `best_response_dynamics` contract: `Some` IS an equilibrium
+            // (the no-change fixed point, or the max-rounds profile after
+            // an explicit check).
+            if let Some(eq) = model.best_response_dynamics(start, max_rounds) {
+                debug_assert!(model.is_equilibrium(&eq));
+                stats.observe(model.social_cost(&eq), true);
+            }
+        }
+        stats
+    }
+}
+
+/// Start-profile policy of [`Solver::dynamics`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Starts {
+    /// First run from the all-first-candidates profile, rest random.
+    DeterministicThenRandom,
+    /// Every run from a uniformly sampled profile.
+    Random,
+}
+
+/// Effective worker count: `threads == 0` means one per available core;
+/// never more workers than profiles.
+fn effective_threads(threads: usize, size: u128) -> usize {
+    let configured = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
+    usize::try_from(size.min(configured as u128)).unwrap_or(configured)
+}
+
+/// The flattened `(agent, type)` slot layout and per-slot candidate sets
+/// of a model, collected once per solve.
+struct SlotSets<M: BayesianModel> {
+    /// `(agent, tau)` per slot, agent-major.
+    slots: Vec<(usize, usize)>,
+    /// Candidate actions per slot, aligned with `slots`.
+    sets: Vec<Vec<M::Action>>,
+    /// `sets[j].len()` per slot.
+    sizes: Vec<usize>,
+}
+
+impl<M: BayesianModel> SlotSets<M> {
+    fn collect(model: &M) -> Result<Self, SolveError> {
+        let mut slots = Vec::new();
+        let mut sets = Vec::new();
+        for i in 0..model.num_agents() {
+            for tau in 0..model.type_count(i) {
+                let actions = model.candidate_actions(i, tau)?;
+                debug_assert!(!actions.is_empty(), "empty candidate set at ({i}, {tau})");
+                slots.push((i, tau));
+                sets.push(actions);
+            }
+        }
+        let sizes = sets.iter().map(Vec::len).collect();
+        Ok(SlotSets { slots, sets, sizes })
+    }
+
+    /// Product of the slot sizes, or [`SolveError::SpaceTooLarge`] on
+    /// `u128` overflow.
+    fn space_size(&self) -> Result<u128, SolveError> {
+        self.sizes
+            .iter()
+            .try_fold(1u128, |acc, &s| acc.checked_mul(s as u128))
+            .ok_or(SolveError::SpaceTooLarge)
+    }
+
+    /// An empty profile shell with one slot per `(agent, type)`.
+    fn shell(&self, model: &M) -> Profile<M> {
+        let mut shell: Profile<M> = (0..model.num_agents())
+            .map(|i| Vec::with_capacity(model.type_count(i)))
+            .collect();
+        for (&(i, _), set) in self.slots.iter().zip(&self.sets) {
+            shell[i].push(set[0].clone());
+        }
+        shell
+    }
+
+    /// The deterministic all-first-candidates profile.
+    fn first_candidate_profile(&self, model: &M) -> Profile<M> {
+        self.shell(model)
+    }
+
+    /// A uniformly random profile over the candidate sets.
+    fn random_profile(&self, model: &M, rng: &mut StdRng) -> Profile<M> {
+        let mut s = self.shell(model);
+        for (j, &(i, tau)) in self.slots.iter().enumerate() {
+            let choice = rng.random_range(0..self.sizes[j]);
+            s[i][tau] = self.sets[j][choice].clone();
+        }
+        s
+    }
+
+    /// Writes the mixed-radix digits of profile index `idx` (last slot
+    /// fastest, matching [`crate::game::ProfileIter`] order) into
+    /// `digits`.
+    fn decode(&self, mut idx: u128, digits: &mut [usize]) {
+        for j in (0..self.sizes.len()).rev() {
+            let base = self.sizes[j] as u128;
+            digits[j] = (idx % base) as usize;
+            idx /= base;
+        }
+    }
+}
+
+/// Running extrema of one (chunk of a) sweep.
+#[derive(Clone, Copy, Debug)]
+struct SweepStats {
+    opt_p: f64,
+    best_eq_p: f64,
+    worst_eq_p: f64,
+    found_equilibrium: bool,
+    evaluated: u128,
+}
+
+impl SweepStats {
+    fn new() -> Self {
+        SweepStats {
+            opt_p: f64::INFINITY,
+            best_eq_p: f64::INFINITY,
+            worst_eq_p: f64::NEG_INFINITY,
+            found_equilibrium: false,
+            evaluated: 0,
+        }
+    }
+
+    fn observe(&mut self, social_cost: f64, is_equilibrium: bool) {
+        self.evaluated += 1;
+        self.opt_p = self.opt_p.min(social_cost);
+        if is_equilibrium {
+            self.found_equilibrium = true;
+            self.best_eq_p = self.best_eq_p.min(social_cost);
+            self.worst_eq_p = self.worst_eq_p.max(social_cost);
+        }
+    }
+
+    fn merge(self, other: SweepStats) -> SweepStats {
+        SweepStats {
+            opt_p: self.opt_p.min(other.opt_p),
+            best_eq_p: self.best_eq_p.min(other.best_eq_p),
+            worst_eq_p: self.worst_eq_p.max(other.worst_eq_p),
+            found_equilibrium: self.found_equilibrium || other.found_equilibrium,
+            evaluated: self.evaluated + other.evaluated,
+        }
+    }
+}
+
+/// Evaluates the contiguous profile-index range `[start, start + count)`.
+fn sweep_range<M: BayesianModel>(
+    model: &M,
+    slots: &SlotSets<M>,
+    start: u128,
+    count: u128,
+) -> SweepStats {
+    let mut stats = SweepStats::new();
+    if count == 0 {
+        return stats;
+    }
+    let mut digits = vec![0usize; slots.sizes.len()];
+    slots.decode(start, &mut digits);
+    let mut profile = slots.shell(model);
+    for (j, &(i, tau)) in slots.slots.iter().enumerate() {
+        profile[i][tau] = slots.sets[j][digits[j]].clone();
+    }
+    let mut done = 0u128;
+    loop {
+        stats.observe(model.social_cost(&profile), model.is_equilibrium(&profile));
+        done += 1;
+        if done == count {
+            return stats;
+        }
+        // Odometer increment, last slot fastest; only the digits that
+        // change are rewritten into the profile (amortized O(1) per tick).
+        let mut j = digits.len();
+        loop {
+            debug_assert!(j > 0, "odometer overflow before count was reached");
+            j -= 1;
+            let (i, tau) = slots.slots[j];
+            digits[j] += 1;
+            if digits[j] < slots.sizes[j] {
+                profile[i][tau] = slots.sets[j][digits[j]].clone();
+                break;
+            }
+            digits[j] = 0;
+            profile[i][tau] = slots.sets[j][0].clone();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bayesian::BayesianGame;
+    use crate::game::MatrixFormGame;
+    use crate::model::CompleteInfo;
+    use crate::random_games::random_bayesian_potential_game;
+
+    fn coordination_game() -> BayesianGame {
+        let matcher =
+            MatrixFormGame::from_fn(2, &[2, 2], |_, a| if a[0] == a[1] { 0.0 } else { 2.0 });
+        let mismatcher =
+            MatrixFormGame::from_fn(2, &[2, 2], |_, a| if a[0] != a[1] { 0.0 } else { 2.0 });
+        BayesianGame::new(
+            vec![1, 2],
+            vec![(vec![0, 0], 0.5, matcher), (vec![0, 1], 0.5, mismatcher)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exhaustive_report_is_exact_and_counts_profiles() {
+        let game = coordination_game();
+        let report = Solver::default().solve(&game).unwrap();
+        assert!(report.exact);
+        assert_eq!(report.method, Backend::ExhaustiveEnum);
+        assert_eq!(report.profiles_evaluated, 8);
+        assert_eq!(report.measures.opt_p, 0.0);
+        report.measures.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn threaded_sweep_matches_single_threaded_bitwise() {
+        for seed in 0..4 {
+            let (game, _) = random_bayesian_potential_game(&[2, 2], &[2, 2], 3, seed);
+            let single = Solver::builder().threads(1).build().solve(&game).unwrap();
+            let multi = Solver::builder().threads(4).build().solve(&game).unwrap();
+            assert_eq!(single.measures, multi.measures, "seed {seed}");
+            assert_eq!(single.profiles_evaluated, multi.profiles_evaluated);
+        }
+    }
+
+    #[test]
+    fn budget_gates_exhaustive_enumeration() {
+        let game = coordination_game();
+        let err = Solver::builder()
+            .max_profiles(4)
+            .build()
+            .solve(&game)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SolveError::BudgetExceeded {
+                required: 8,
+                max_profiles: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn monte_carlo_ignores_the_profile_budget() {
+        let game = coordination_game();
+        let report = Solver::builder()
+            .backend(Backend::MonteCarloSampling {
+                samples: 32,
+                seed: 3,
+            })
+            .max_profiles(1)
+            .build()
+            .solve(&game)
+            .unwrap();
+        assert!(!report.exact);
+        report.measures.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn sampling_backends_bracket_the_exact_measures() {
+        for seed in 0..4 {
+            let (game, _) = random_bayesian_potential_game(&[2, 2], &[2, 2], 2, seed);
+            let exact = Solver::default().solve(&game).unwrap().measures;
+            for backend in [
+                Backend::BestResponseDynamics {
+                    restarts: 8,
+                    seed: 11,
+                },
+                Backend::MonteCarloSampling {
+                    samples: 64,
+                    seed: 11,
+                },
+            ] {
+                let approx = Solver::builder()
+                    .backend(backend)
+                    .build()
+                    .solve(&game)
+                    .unwrap()
+                    .measures;
+                assert!(exact.opt_p <= approx.opt_p + 1e-12, "seed {seed}");
+                assert!(exact.best_eq_p <= approx.best_eq_p + 1e-12, "seed {seed}");
+                assert!(approx.worst_eq_p <= exact.worst_eq_p + 1e-12, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn dynamics_backends_are_deterministic_per_seed() {
+        let (game, _) = random_bayesian_potential_game(&[2, 2], &[2, 2], 3, 9);
+        let backend = Backend::MonteCarloSampling {
+            samples: 32,
+            seed: 5,
+        };
+        let a = Solver::builder().backend(backend).build().solve(&game);
+        let b = Solver::builder().backend(backend).build().solve(&game);
+        assert_eq!(a.unwrap().measures, b.unwrap().measures);
+    }
+
+    /// 129 one-type agents with 2 candidate actions each: the candidate
+    /// product is `2^129 > u128::MAX`. Interim cost equals the played
+    /// action, so the all-zeros profile is the unique equilibrium and
+    /// best-response dynamics reach it from anywhere in one sweep.
+    struct HugeSpaceModel;
+
+    impl BayesianModel for HugeSpaceModel {
+        type Action = usize;
+
+        fn num_agents(&self) -> usize {
+            129
+        }
+
+        fn type_count(&self, _agent: usize) -> usize {
+            1
+        }
+
+        fn type_weight(&self, _agent: usize, _tau: usize) -> f64 {
+            1.0
+        }
+
+        fn candidate_actions(&self, _agent: usize, _tau: usize) -> Result<Vec<usize>, SolveError> {
+            Ok(vec![0, 1])
+        }
+
+        fn social_cost(&self, profile: &Vec<Vec<usize>>) -> f64 {
+            profile.iter().flatten().map(|&a| a as f64).sum()
+        }
+
+        fn interim_cost(
+            &self,
+            _agent: usize,
+            _tau: usize,
+            action: &usize,
+            _profile: &Vec<Vec<usize>>,
+        ) -> f64 {
+            *action as f64
+        }
+
+        fn best_response(
+            &self,
+            _agent: usize,
+            _tau: usize,
+            _profile: &Vec<Vec<usize>>,
+        ) -> (usize, f64) {
+            (0, 0.0)
+        }
+
+        fn complete_info(&self) -> Result<CompleteInfo, SolveError> {
+            Ok(CompleteInfo {
+                opt_c: 0.0,
+                best_eq_c: 0.0,
+                worst_eq_c: 0.0,
+            })
+        }
+    }
+
+    #[test]
+    fn space_overflow_errors_only_under_the_exhaustive_backend() {
+        let model = HugeSpaceModel;
+        assert!(matches!(
+            BayesianModel::strategy_space_size(&model),
+            Err(SolveError::SpaceTooLarge)
+        ));
+        let err = Solver::default().solve(&model).unwrap_err();
+        assert!(matches!(err, SolveError::SpaceTooLarge));
+
+        // The sampling backends never size the space: they must solve it.
+        let report = Solver::builder()
+            .backend(Backend::MonteCarloSampling {
+                samples: 8,
+                seed: 1,
+            })
+            .build()
+            .solve(&model)
+            .unwrap();
+        assert!(!report.exact);
+        assert_eq!(report.measures.opt_p, 0.0);
+        assert_eq!(report.measures.best_eq_p, 0.0);
+        assert_eq!(report.measures.worst_eq_p, 0.0);
+    }
+
+    #[test]
+    fn errors_format_and_chain() {
+        let e = SolveError::BudgetExceeded {
+            required: 10,
+            max_profiles: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.source().is_none());
+        let inner = crate::game::EnumerationError { required: 7 };
+        let wrapped = SolveError::Model(Box::new(inner));
+        assert!(wrapped.source().is_some());
+    }
+}

@@ -162,9 +162,9 @@ mod tests {
     fn matrix_is_symmetric_for_undirected_graphs() {
         let g = generators::path_graph(Direction::Undirected, 5, 2.0);
         let d = all_pairs(&g);
-        for i in 0..5 {
-            for j in 0..5 {
-                assert_eq!(d[i][j], d[j][i]);
+        for (i, row) in d.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, d[j][i]);
             }
         }
     }

@@ -210,16 +210,7 @@ fn exact_steiner(graph: &Graph, terminals: &[NodeId], root: Option<NodeId>) -> O
         return None;
     }
     let mut edges = Vec::new();
-    collect_edges(
-        graph,
-        search_graph,
-        &dp,
-        &from_terminal,
-        &terms,
-        full,
-        answer_root,
-        &mut edges,
-    );
+    collect_edges(&dp, &from_terminal, full, answer_root, &mut edges);
     edges.sort();
     edges.dedup();
     Some(SteinerTree {
@@ -266,13 +257,9 @@ fn reverse(graph: &Graph) -> Graph {
     rev
 }
 
-#[allow(clippy::too_many_arguments)]
 fn collect_edges(
-    graph: &Graph,
-    search_graph: &Graph,
     dp: &Dp,
     from_terminal: &[crate::dijkstra::ShortestPaths],
-    terms: &[NodeId],
     mask: u32,
     v: NodeId,
     out: &mut Vec<EdgeId>,
@@ -282,27 +269,17 @@ fn collect_edges(
         Decision::Leaf => {
             let i = mask.trailing_zeros() as usize;
             debug_assert_eq!(mask, 1 << i);
-            let _ = terms;
             if let Some(path) = from_terminal[i].path_edges(v) {
                 out.extend(path);
             }
         }
         Decision::Split(sub) => {
-            collect_edges(graph, search_graph, dp, from_terminal, terms, sub, v, out);
-            collect_edges(
-                graph,
-                search_graph,
-                dp,
-                from_terminal,
-                terms,
-                mask ^ sub,
-                v,
-                out,
-            );
+            collect_edges(dp, from_terminal, sub, v, out);
+            collect_edges(dp, from_terminal, mask ^ sub, v, out);
         }
         Decision::Extend(u, e) => {
             out.push(e);
-            collect_edges(graph, search_graph, dp, from_terminal, terms, mask, u, out);
+            collect_edges(dp, from_terminal, mask, u, out);
         }
     }
 }
@@ -344,9 +321,9 @@ pub fn metric_closure_approx(graph: &Graph, terminals: &[NodeId]) -> Option<Stei
         .map(|&t| dijkstra(graph, t, |e| graph.edge(e).cost()))
         .collect();
     let mut closure = Graph::with_nodes(Direction::Undirected, terms.len());
-    for i in 0..terms.len() {
-        for j in (i + 1)..terms.len() {
-            let d = sps[i].distance(terms[j]);
+    for (i, sp) in sps.iter().enumerate() {
+        for (j, &tj) in terms.iter().enumerate().skip(i + 1) {
+            let d = sp.distance(tj);
             if !d.is_finite() {
                 return None;
             }

@@ -60,7 +60,7 @@ pub fn sample(metric: &MetricSpace, rng: &mut StdRng) -> HstTree {
     let scaled = |u: usize, v: usize| metric.distance(u, v) / dmin;
     let diameter = metric.diameter() / dmin;
     // Top level δ with β·2^{δ-1} ≥ 2^{δ-1} ≥ diameter.
-    let delta = (diameter.log2().ceil() as u32).max(0) + 1;
+    let delta = (diameter.log2().ceil() as u32) + 1;
 
     let mut pi: Vec<usize> = (0..n).collect();
     pi.shuffle(rng);

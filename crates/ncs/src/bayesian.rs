@@ -1,7 +1,9 @@
 //! Bayesian network cost-sharing games.
 
-use bi_core::game::{EnumerationError, ProfileIter, MAX_ENUMERATION};
+use bi_core::game::EnumerationError;
 use bi_core::measures::Measures;
+use bi_core::model::{BayesianModel, CompleteInfo};
+use bi_core::solve::{SolveError, Solver};
 use bi_graph::paths::{self, PathLimits};
 use bi_graph::Graph;
 use bi_util::harmonic;
@@ -50,6 +52,12 @@ pub struct BayesianNcsGame {
     agent_types: Vec<Vec<AgentType>>,
     /// Per support state, the type index of each agent.
     support_type_idx: Vec<Vec<usize>>,
+    /// The complete-information game of each support state, built once at
+    /// construction (cost evaluations are the solver's hot path).
+    state_games: Vec<NcsGame>,
+    /// Prior marginal weight of each `(agent, type)` slot, precomputed
+    /// (the solver reads it per profile in its hot loop).
+    type_weights: Vec<Vec<f64>>,
     limits: PathLimits,
 }
 
@@ -89,7 +97,7 @@ impl BayesianNcsGame {
                 }
             }
         }
-        let support_type_idx = support
+        let support_type_idx: Vec<Vec<usize>> = support
             .iter()
             .map(|(types, _)| {
                 types
@@ -104,11 +112,28 @@ impl BayesianNcsGame {
                     .collect()
             })
             .collect();
+        let mut type_weights: Vec<Vec<f64>> = agent_types
+            .iter()
+            .map(|types| vec![0.0; types.len()])
+            .collect();
+        for (idx, (_, prob)) in support_type_idx.iter().zip(&support) {
+            for (i, &tau) in idx.iter().enumerate() {
+                type_weights[i][tau] += *prob;
+            }
+        }
+        let state_games = support
+            .iter()
+            .map(|(types, _)| {
+                NcsGame::new(graph.clone(), types.clone()).expect("feasibility checked above")
+            })
+            .collect();
         Ok(BayesianNcsGame {
             graph,
             support,
             agent_types,
             support_type_idx,
+            state_games,
+            type_weights,
             limits,
         })
     }
@@ -144,9 +169,19 @@ impl BayesianNcsGame {
     /// Panics if `idx` is out of range.
     #[must_use]
     pub fn underlying_game(&self, idx: usize) -> NcsGame {
-        let (types, _) = &self.support[idx];
-        NcsGame::new(self.graph.clone(), types.clone())
-            .expect("feasibility checked at construction")
+        self.state_games[idx].clone()
+    }
+
+    /// Candidate paths of one `(agent, type)` slot: every simple path of
+    /// the agent's terminal pair, or an error if enumeration truncates.
+    fn slot_paths(&self, agent: usize, tau: usize) -> Result<Vec<Path>, NcsError> {
+        let (s, t) = self.agent_types[agent][tau];
+        let ps = paths::simple_paths(&self.graph, s, t, self.limits);
+        if ps.len() >= self.limits.max_paths {
+            Err(NcsError::IncompleteActionSet { agent })
+        } else {
+            Ok(ps)
+        }
     }
 
     /// Candidate path sets per `(agent, type)` slot.
@@ -159,16 +194,8 @@ impl BayesianNcsGame {
             .iter()
             .enumerate()
             .map(|(i, types)| {
-                types
-                    .iter()
-                    .map(|&(s, t)| {
-                        let ps = paths::simple_paths(&self.graph, s, t, self.limits);
-                        if ps.len() >= self.limits.max_paths {
-                            Err(NcsError::IncompleteActionSet { agent: i })
-                        } else {
-                            Ok(ps)
-                        }
-                    })
+                (0..types.len())
+                    .map(|tau| self.slot_paths(i, tau))
                     .collect()
             })
             .collect()
@@ -193,12 +220,9 @@ impl BayesianNcsGame {
         self.check_strategy(s);
         self.support
             .iter()
+            .zip(&self.state_games)
             .enumerate()
-            .map(|(idx, (types, prob))| {
-                let game = NcsGame::new(self.graph.clone(), types.clone())
-                    .expect("feasible by construction");
-                prob * game.social_cost(&self.state_profile(s, idx))
-            })
+            .map(|(idx, ((_, prob), game))| prob * game.social_cost(&self.state_profile(s, idx)))
             .sum()
     }
 
@@ -212,12 +236,9 @@ impl BayesianNcsGame {
         self.check_strategy(s);
         self.support
             .iter()
+            .zip(&self.state_games)
             .enumerate()
-            .map(|(idx, (types, prob))| {
-                let game = NcsGame::new(self.graph.clone(), types.clone())
-                    .expect("feasible by construction");
-                prob * game.payment(i, &self.state_profile(s, idx))
-            })
+            .map(|(idx, ((_, prob), game))| prob * game.payment(i, &self.state_profile(s, idx)))
             .sum()
     }
 
@@ -314,7 +335,8 @@ impl BayesianNcsGame {
     }
 
     /// Whether `s` is a pure Bayesian equilibrium (exact, via interim
-    /// best-response shortest paths).
+    /// best-response shortest paths). Routed through
+    /// [`BayesianModel::is_equilibrium`].
     ///
     /// # Panics
     ///
@@ -322,18 +344,7 @@ impl BayesianNcsGame {
     #[must_use]
     pub fn is_bayesian_equilibrium(&self, s: &NcsStrategyProfile) -> bool {
         self.check_strategy(s);
-        for i in 0..self.num_agents() {
-            for tau in 0..self.agent_types[i].len() {
-                let weights = self.interim_weights(i, tau, s);
-                let played: f64 = s[i][tau].iter().map(|&e| weights[e.index()]).sum();
-                let (src, dst) = self.agent_types[i][tau];
-                let sp = bi_graph::dijkstra(&self.graph, src, |e| weights[e.index()]);
-                if !bi_util::approx_le(played, sp.distance(dst)) {
-                    return false;
-                }
-            }
-        }
-        true
+        BayesianModel::is_equilibrium(self, s)
     }
 
     /// A natural starting strategy: every type buys a (cost-)shortest
@@ -357,7 +368,8 @@ impl BayesianNcsGame {
 
     /// Interim best-response dynamics from `start` until a fixed point (a
     /// Bayesian equilibrium) or `max_rounds` sweeps. Convergence is
-    /// guaranteed by the Bayesian potential (Observation 2.1).
+    /// guaranteed by the Bayesian potential (Observation 2.1). Routed
+    /// through [`BayesianModel::best_response_dynamics`].
     ///
     /// # Panics
     ///
@@ -368,41 +380,8 @@ impl BayesianNcsGame {
         start: NcsStrategyProfile,
         max_rounds: usize,
     ) -> Option<NcsStrategyProfile> {
-        let mut s = start;
-        for _ in 0..max_rounds {
-            let mut changed = false;
-            for i in 0..self.num_agents() {
-                for tau in 0..self.agent_types[i].len() {
-                    let weights = self.interim_weights(i, tau, &s);
-                    let played: f64 = s[i][tau].iter().map(|&e| weights[e.index()]).sum();
-                    let (src, dst) = self.agent_types[i][tau];
-                    let sp = bi_graph::dijkstra(&self.graph, src, |e| weights[e.index()]);
-                    if sp.distance(dst) < played - bi_util::EPS {
-                        s[i][tau] = sp.path_edges(dst).expect("feasible");
-                        changed = true;
-                    }
-                }
-            }
-            if !changed {
-                debug_assert!(self.is_bayesian_equilibrium(&s));
-                return Some(s);
-            }
-        }
-        self.is_bayesian_equilibrium(&s).then_some(s)
-    }
-
-    /// Total number of strategy profiles over the enumerated path sets.
-    ///
-    /// # Errors
-    ///
-    /// Propagates action-set enumeration failures.
-    pub fn strategy_space_size(&self) -> Result<u128, NcsError> {
-        let sets = self.strategy_sets()?;
-        Ok(sets
-            .iter()
-            .flatten()
-            .map(|paths| paths.len() as u128)
-            .product())
+        self.check_strategy(&start);
+        BayesianModel::best_response_dynamics(self, start, max_rounds)
     }
 
     /// Computes all six measures of the paper exactly:
@@ -410,6 +389,11 @@ impl BayesianNcsGame {
     /// * `optP`, `best-eqP`, `worst-eqP` by exhaustive strategy
     ///   enumeration with exact equilibrium checks;
     /// * `optC`, `best-eqC`, `worst-eqC` by exhaustive per-state analysis.
+    ///
+    /// This is a thin compatibility wrapper over
+    /// `Solver::default().solve(&game)` — prefer [`Solver`] directly for
+    /// budgets, sampled backends, multi-threaded sweeps, and the
+    /// structured `SolveReport`.
     ///
     /// # Examples
     ///
@@ -447,65 +431,24 @@ impl BayesianNcsGame {
     /// Returns [`NcsError::TooLarge`] when enumeration is infeasible and
     /// propagates per-state analysis failures.
     pub fn measures(&self) -> Result<Measures, NcsError> {
-        let sets = self.strategy_sets()?;
-        let slot_sizes: Vec<usize> = sets.iter().flatten().map(Vec::len).collect();
-        let total: u128 = slot_sizes.iter().map(|&s| s as u128).product();
-        if total > MAX_ENUMERATION {
-            return Err(NcsError::TooLarge(EnumerationError { required: total }));
+        match Solver::default().solve(self) {
+            Ok(report) => Ok(report.measures),
+            Err(e) => Err(match e {
+                SolveError::BudgetExceeded { required, .. } => {
+                    NcsError::TooLarge(EnumerationError { required })
+                }
+                SolveError::SpaceTooLarge => NcsError::TooLarge(EnumerationError {
+                    required: u128::MAX,
+                }),
+                SolveError::NoEquilibrium => NcsError::NoEquilibrium { state: usize::MAX },
+                SolveError::NoStateEquilibrium { state } => NcsError::NoEquilibrium { state },
+                SolveError::Model(inner) => match inner.downcast::<NcsError>() {
+                    Ok(ncs) => *ncs,
+                    Err(other) => NcsError::Solver(other.to_string()),
+                },
+                other => NcsError::Solver(other.to_string()),
+            }),
         }
-        // Slot layout: (agent, type) in agent-major order.
-        let mut slots = Vec::new();
-        for (i, types) in self.agent_types.iter().enumerate() {
-            for tau in 0..types.len() {
-                slots.push((i, tau));
-            }
-        }
-        let mut opt_p = f64::INFINITY;
-        let mut best_eq_p = f64::INFINITY;
-        let mut worst_eq_p = f64::NEG_INFINITY;
-        let mut found_eq = false;
-        for assignment in ProfileIter::new(slot_sizes) {
-            let mut s: NcsStrategyProfile = self
-                .agent_types
-                .iter()
-                .map(|types| vec![Path::new(); types.len()])
-                .collect();
-            for (&(i, tau), &choice) in slots.iter().zip(&assignment) {
-                s[i][tau] = sets[i][tau][choice].clone();
-            }
-            let k = self.social_cost(&s);
-            opt_p = opt_p.min(k);
-            if self.is_bayesian_equilibrium(&s) {
-                found_eq = true;
-                best_eq_p = best_eq_p.min(k);
-                worst_eq_p = worst_eq_p.max(k);
-            }
-        }
-        if !found_eq {
-            return Err(NcsError::NoEquilibrium { state: usize::MAX });
-        }
-        let mut opt_c = 0.0;
-        let mut best_eq_c = 0.0;
-        let mut worst_eq_c = 0.0;
-        for (idx, (types, prob)) in self.support.iter().enumerate() {
-            let game =
-                NcsGame::new(self.graph.clone(), types.clone()).expect("feasible by construction");
-            let a = analysis::analyze(&game, self.limits).map_err(|e| match e {
-                NcsError::NoEquilibrium { .. } => NcsError::NoEquilibrium { state: idx },
-                other => other,
-            })?;
-            opt_c += prob * a.opt;
-            best_eq_c += prob * a.best_eq;
-            worst_eq_c += prob * a.worst_eq;
-        }
-        Ok(Measures {
-            opt_p,
-            best_eq_p,
-            worst_eq_p,
-            opt_c,
-            best_eq_c,
-            worst_eq_c,
-        })
     }
 
     fn check_strategy(&self, s: &NcsStrategyProfile) {
@@ -513,6 +456,97 @@ impl BayesianNcsGame {
         for (si, types) in s.iter().zip(&self.agent_types) {
             assert_eq!(si.len(), types.len(), "one path per type");
         }
+    }
+}
+
+impl BayesianModel for BayesianNcsGame {
+    type Action = Path;
+
+    fn num_agents(&self) -> usize {
+        self.agent_types.len()
+    }
+
+    fn type_count(&self, agent: usize) -> usize {
+        self.agent_types[agent].len()
+    }
+
+    fn type_weight(&self, agent: usize, tau: usize) -> f64 {
+        self.type_weights[agent][tau]
+    }
+
+    fn candidate_actions(&self, agent: usize, tau: usize) -> Result<Vec<Path>, SolveError> {
+        self.slot_paths(agent, tau)
+            .map_err(|e| SolveError::Model(Box::new(e)))
+    }
+
+    fn social_cost(&self, profile: &NcsStrategyProfile) -> f64 {
+        BayesianNcsGame::social_cost(self, profile)
+    }
+
+    fn interim_cost(
+        &self,
+        agent: usize,
+        tau: usize,
+        action: &Path,
+        profile: &NcsStrategyProfile,
+    ) -> f64 {
+        BayesianNcsGame::interim_cost(self, agent, tau, action, profile)
+    }
+
+    fn best_response(&self, agent: usize, tau: usize, profile: &NcsStrategyProfile) -> (Path, f64) {
+        self.interim_best_response(agent, tau, profile)
+    }
+
+    // Fused overrides: the default methods would compute the expected-share
+    // weights twice per slot (once for the played cost, once for the best
+    // response); one weights pass and one Dijkstra per slot suffice.
+
+    fn slot_is_stable(&self, agent: usize, tau: usize, profile: &NcsStrategyProfile) -> bool {
+        let weights = self.interim_weights(agent, tau, profile);
+        let played: f64 = profile[agent][tau]
+            .iter()
+            .map(|&e| weights[e.index()])
+            .sum();
+        let (src, dst) = self.agent_types[agent][tau];
+        let sp = bi_graph::dijkstra(&self.graph, src, |e| weights[e.index()]);
+        bi_util::approx_le(played, sp.distance(dst))
+    }
+
+    fn slot_improvement(
+        &self,
+        agent: usize,
+        tau: usize,
+        profile: &NcsStrategyProfile,
+    ) -> Option<Path> {
+        let weights = self.interim_weights(agent, tau, profile);
+        let played: f64 = profile[agent][tau]
+            .iter()
+            .map(|&e| weights[e.index()])
+            .sum();
+        let (src, dst) = self.agent_types[agent][tau];
+        let sp = bi_graph::dijkstra(&self.graph, src, |e| weights[e.index()]);
+        (sp.distance(dst) < played - bi_util::EPS)
+            .then(|| sp.path_edges(dst).expect("feasibility checked"))
+    }
+
+    fn complete_info(&self) -> Result<CompleteInfo, SolveError> {
+        let mut opt_c = 0.0;
+        let mut best_eq_c = 0.0;
+        let mut worst_eq_c = 0.0;
+        for (idx, ((_, prob), game)) in self.support.iter().zip(&self.state_games).enumerate() {
+            let a = analysis::analyze(game, self.limits).map_err(|e| match e {
+                NcsError::NoEquilibrium { .. } => SolveError::NoStateEquilibrium { state: idx },
+                other => SolveError::Model(Box::new(other)),
+            })?;
+            opt_c += prob * a.opt;
+            best_eq_c += prob * a.best_eq;
+            worst_eq_c += prob * a.worst_eq;
+        }
+        Ok(CompleteInfo {
+            opt_c,
+            best_eq_c,
+            worst_eq_c,
+        })
     }
 }
 

@@ -6,6 +6,7 @@ use bi_core::game::EnumerationError;
 
 /// Errors constructing or analysing NCS games.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum NcsError {
     /// An agent's source or destination node is out of range.
     NodeOutOfRange {
@@ -36,6 +37,10 @@ pub enum NcsError {
         /// The support-state index whose underlying game failed.
         state: usize,
     },
+    /// The unified solver failed in a way with no NCS-specific mapping
+    /// (kept as a message; the typed error is `bi_core::solve::SolveError`
+    /// — call `Solver::solve` directly for structured handling).
+    Solver(String),
 }
 
 impl fmt::Display for NcsError {
@@ -61,11 +66,19 @@ impl fmt::Display for NcsError {
                     "no pure equilibrium found in underlying game {state} (numerical issue)"
                 )
             }
+            NcsError::Solver(msg) => write!(f, "solver error: {msg}"),
         }
     }
 }
 
-impl std::error::Error for NcsError {}
+impl std::error::Error for NcsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NcsError::TooLarge(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<EnumerationError> for NcsError {
     fn from(e: EnumerationError) -> Self {

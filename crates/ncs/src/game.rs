@@ -269,15 +269,15 @@ mod tests {
     #[test]
     fn nash_detection() {
         let (game, via, direct) = two_routes();
-        assert!(game.is_nash(&vec![via.clone(), via.clone()]));
-        assert!(!game.is_nash(&vec![via, direct]));
+        assert!(game.is_nash(&[via.clone(), via.clone()]));
+        assert!(!game.is_nash(&[via, direct]));
     }
 
     #[test]
     fn both_direct_is_also_nash_here() {
         // Sharing the 3-edge costs 1.5 each; deviating to via costs 2.
         let (game, _, direct) = two_routes();
-        assert!(game.is_nash(&vec![direct.clone(), direct]));
+        assert!(game.is_nash(&[direct.clone(), direct]));
     }
 
     #[test]

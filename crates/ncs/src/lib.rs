@@ -57,3 +57,9 @@ pub use bayesian::BayesianNcsGame;
 pub use error::NcsError;
 pub use game::{NcsGame, Path};
 pub use prior::Prior;
+
+// Re-exported so NCS users can drive the unified engine without naming
+// `bi-core`: `BayesianNcsGame` implements `BayesianModel`, and any
+// `Solver` (exhaustive, best-response dynamics, Monte Carlo) solves it.
+pub use bi_core::model::BayesianModel;
+pub use bi_core::solve::{Backend, Budget, SolveError, SolveReport, Solver, SolverBuilder};

@@ -147,7 +147,7 @@ mod tests {
 
     #[test]
     fn total_f64_handles_nan_deterministically() {
-        let mut xs = vec![TotalF64::new(f64::NAN), TotalF64::new(1.0)];
+        let mut xs = [TotalF64::new(f64::NAN), TotalF64::new(1.0)];
         xs.sort();
         assert_eq!(xs[0].get(), 1.0);
         assert!(xs[1].get().is_nan());

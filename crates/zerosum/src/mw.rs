@@ -68,15 +68,14 @@ pub fn solve(game: &MatrixGame, rounds: usize) -> MwResult {
             *xi /= sum;
         }
         // Column player best-responds (minimizes).
-        let mut best_j = 0;
-        let mut best_val = f64::INFINITY;
-        for j in 0..n {
-            let v: f64 = (0..m).map(|i| x[i] * payoff[i][j]).sum();
-            if v < best_val {
-                best_val = v;
-                best_j = j;
-            }
-        }
+        let best_j = (0..n)
+            .map(|j| {
+                let v: f64 = x.iter().zip(payoff).map(|(xi, row)| xi * row[j]).sum();
+                (j, v)
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(j, _)| j)
+            .expect("matrix games have at least one column");
         col_hist[best_j] += 1.0;
         for i in 0..m {
             // Row player gains payoff[i][best_j]; normalize to [0,1].

@@ -92,9 +92,7 @@ pub fn solve(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Result<LpSolution, LpError
         t[i][n + i] = 1.0;
         t[i][width - 1] = b[i];
     }
-    for j in 0..n {
-        t[m][j] = c[j];
-    }
+    t[m][..n].copy_from_slice(c);
     let mut basis: Vec<usize> = (n..n + m).collect();
 
     let max_pivots = 50_000 + 200 * (n + m);
@@ -128,17 +126,18 @@ pub fn solve(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Result<LpSolution, LpError
 }
 
 fn pivot(t: &mut [Vec<f64>], row: usize, col: usize) {
-    let width = t[0].len();
     let pv = t[row][col];
     debug_assert!(pv.abs() > TOL, "pivot on (near-)zero element");
-    for j in 0..width {
-        t[row][j] /= pv;
+    for v in &mut t[row] {
+        *v /= pv;
     }
-    for i in 0..t.len() {
-        if i != row && t[i][col].abs() > 0.0 {
-            let f = t[i][col];
-            for j in 0..width {
-                t[i][j] -= f * t[row][j];
+    let (above, rest) = t.split_at_mut(row);
+    let (pivot_row, below) = rest.split_first_mut().expect("row in range");
+    for r in above.iter_mut().chain(below.iter_mut()) {
+        if r[col].abs() > 0.0 {
+            let f = r[col];
+            for (v, &p) in r.iter_mut().zip(&*pivot_row) {
+                *v -= f * p;
             }
         }
     }

@@ -1,8 +1,10 @@
-//! Quickstart: build a Bayesian network cost-sharing game, compute the six
-//! measures of *Bayesian ignorance*, and read off the three ratios.
+//! Quickstart: build a Bayesian network cost-sharing game, solve it with
+//! the unified [`Solver`] engine, and read off the three ignorance
+//! ratios.
 //!
 //! Run with `cargo run --example quickstart`.
 
+use bayesian_ignorance::core::solve::Solver;
 use bayesian_ignorance::graph::{Direction, Graph};
 use bayesian_ignorance::ncs::{BayesianNcsGame, Prior};
 
@@ -25,9 +27,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     let game = BayesianNcsGame::new(g, prior)?;
 
-    // Exact measures: partial-information (P) vs complete-information (C).
-    let measures = game.measures()?;
+    // Exact measures through the unified engine: partial-information (P)
+    // vs complete-information (C). `Solver::builder()` exposes backends
+    // (exhaustive / dynamics / Monte Carlo), budgets, and worker threads;
+    // the default reproduces the exact exhaustive solve.
+    let report = Solver::builder().threads(2).build().solve(&game)?;
+    let measures = report.measures;
     measures.verify_chain()?; // Observation 2.2
+    println!(
+        "method: {:?} (exact: {}), profiles evaluated: {}",
+        report.method, report.exact, report.profiles_evaluated
+    );
+    println!();
 
     println!(
         "optP      = {:.4}   optC      = {:.4}",

@@ -14,8 +14,11 @@
 //! This facade crate re-exports the entire workspace:
 //!
 //! * [`core`] *(crate `bi-core`)* — the Bayesian game model, equilibria,
-//!   potentials, the six ignorance measures, and Section 4's
-//!   public-randomness machinery;
+//!   potentials, the six ignorance measures, Section 4's
+//!   public-randomness machinery, and the unified solver engine
+//!   ([`core::model::BayesianModel`] + [`core::solve::Solver`]) that
+//!   computes the measures for every game representation through one
+//!   configurable entry point (pluggable backends, budgets, threads);
 //! * [`ncs`] — complete-information and Bayesian NCS games with exact
 //!   solvers;
 //! * [`constructions`] — every explicit construction from the paper
@@ -25,9 +28,12 @@
 //!
 //! # Quickstart
 //!
-//! Build a 2-agent Bayesian NCS game and measure the effect of ignorance:
+//! Build a 2-agent Bayesian NCS game and solve it through the unified
+//! engine — the same [`core::solve::Solver`] serves matrix-form
+//! [`core::BayesianGame`]s and graph-form [`ncs::BayesianNcsGame`]s:
 //!
 //! ```
+//! use bayesian_ignorance::core::solve::Solver;
 //! use bayesian_ignorance::graph::{Direction, Graph};
 //! use bayesian_ignorance::ncs::{BayesianNcsGame, NcsGame, Prior};
 //!
@@ -46,7 +52,17 @@
 //!     vec![((s, t), 0.5), ((s, s), 0.5)],
 //! ]);
 //! let game = BayesianNcsGame::new(g, prior).expect("valid game");
-//! let measures = game.measures().expect("solvable");
+//!
+//! // Exact exhaustive solve, swept by two worker threads. Swap the
+//! // backend (`Backend::MonteCarloSampling { .. }`) and budget for games
+//! // beyond exhaustive reach.
+//! let report = Solver::builder()
+//!     .threads(2)
+//!     .build()
+//!     .solve(&game)
+//!     .expect("solvable");
+//! assert!(report.exact);
+//! let measures = report.measures;
 //! // Complete or partial, someone must buy a route, so optP ≥ optC ≥ 2.
 //! assert!(measures.opt_c >= 2.0 - 1e-9);
 //! assert!(measures.opt_p >= measures.opt_c - 1e-9);

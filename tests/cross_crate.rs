@@ -192,3 +192,28 @@ fn frt_routes_are_feasible_ncs_actions() {
         assert!(bayesian_ignorance::graph::shortest_path(&sub, from, to).is_some());
     }
 }
+
+/// The generic `Solver` applied to the NCS representation and to the
+/// hand-rolled matrix-form encoding of the same game (the two
+/// [`bayesian_ignorance::core::BayesianModel`] implementations) must
+/// agree — and match what the legacy wrappers report.
+#[test]
+fn generic_solver_agrees_across_representations() {
+    use bayesian_ignorance::core::solve::Solver;
+
+    let (g, s, t) = diamond();
+    let prior = Prior::independent(vec![
+        vec![((s, t), 1.0)],
+        vec![((s, t), 0.5), ((s, s), 0.5)],
+    ]);
+    let ncs = BayesianNcsGame::new(g, prior).unwrap();
+    let solver = Solver::builder().threads(2).build();
+    let via_solver = solver.solve(&ncs).unwrap();
+    let via_wrapper = ncs.measures().unwrap();
+    assert!(via_solver.exact);
+    assert_eq!(via_solver.measures, via_wrapper);
+    assert_eq!(
+        via_solver.profiles_evaluated,
+        bayesian_ignorance::core::BayesianModel::strategy_space_size(&ncs).unwrap()
+    );
+}
