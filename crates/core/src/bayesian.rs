@@ -106,6 +106,7 @@ impl From<EnumerationError> for MeasureError {
     }
 }
 
+#[derive(Clone, Debug)]
 struct State {
     types: Vec<usize>,
     prob: f64,
@@ -138,6 +139,7 @@ struct State {
 /// let s = vec![vec![0], vec![0, 0]];
 /// assert_eq!(game.social_cost(&s), 0.0);
 /// ```
+#[derive(Clone, Debug)]
 pub struct BayesianGame {
     type_counts: Vec<usize>,
     action_counts: Vec<usize>,

@@ -53,6 +53,7 @@
 //! ```
 
 pub mod bayesian;
+pub mod codec;
 pub mod game;
 pub mod measures;
 pub mod model;
@@ -66,4 +67,4 @@ pub use bayesian::{BayesianGame, StrategyProfile};
 pub use game::MatrixFormGame;
 pub use measures::{IgnoranceRatios, Measures};
 pub use model::{BayesianModel, CompleteInfo};
-pub use solve::{Backend, Budget, SolveError, SolveReport, Solver, SolverBuilder};
+pub use solve::{Backend, Budget, SolveError, SolveReport, Solver, SolverBuilder, SolverConfig};

@@ -163,10 +163,13 @@ pub enum Backend {
         seed: u64,
     },
     /// Seeded uniform sampling of `samples` strategy profiles, each also
-    /// used as a start for best-response dynamics. Never budget-gated:
-    /// this is the backend for games whose strategy space exceeds
-    /// [`Budget::max_profiles`]. Same inner-approximation guarantees as
-    /// [`Backend::BestResponseDynamics`].
+    /// used as a start for best-response dynamics. Never *errors* on the
+    /// budget — this is the backend for games whose strategy space exceeds
+    /// [`Budget::max_profiles`] — but the number of sampled starts is
+    /// capped at `min(samples, max_profiles)` (never below one start when
+    /// any were requested), with the truncation recorded in
+    /// [`SolveReport::sample_cap`]. Same inner-approximation guarantees
+    /// as [`Backend::BestResponseDynamics`].
     MonteCarloSampling {
         /// Number of uniform profile samples.
         samples: u32,
@@ -188,6 +191,47 @@ pub struct SolveReport {
     /// [`Backend::ExhaustiveEnum`]; approximate backends report genuine
     /// equilibria but possibly non-extremal ones.
     pub exact: bool,
+    /// `Some(effective)` when a [`Backend::MonteCarloSampling`] request
+    /// asked for more samples than [`Budget::max_profiles`] allows and was
+    /// truncated to `effective` starts; `None` otherwise.
+    pub sample_cap: Option<u64>,
+}
+
+/// The full configuration of a [`Solver`] as plain data — the wire form
+/// used by the solve service (`bi-service`): backend, budget, and thread
+/// count. Convert with [`Solver::config`] / [`Solver::from_config`].
+///
+/// # Examples
+///
+/// ```
+/// use bi_core::solve::{Solver, SolverConfig};
+///
+/// let config = SolverConfig { threads: 4, ..SolverConfig::default() };
+/// let solver = Solver::from_config(config);
+/// assert_eq!(solver.config(), config);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// The algorithm of the partial-information side.
+    pub backend: Backend,
+    /// The resource guard.
+    pub budget: Budget,
+    /// Worker threads for the exhaustive sweep (`0` = one per core).
+    pub threads: usize,
+}
+
+impl Default for SolverConfig {
+    /// Matches [`Solver::default`]: exhaustive, default budget, single
+    /// thread.
+    fn default() -> Self {
+        Solver::default().config()
+    }
+}
+
+impl From<SolverConfig> for Solver {
+    fn from(config: SolverConfig) -> Self {
+        Solver::from_config(config)
+    }
 }
 
 /// Builder for [`Solver`] — see the [module docs](self) for the knobs.
@@ -308,6 +352,32 @@ impl Solver {
         self.budget
     }
 
+    /// The configured worker-thread count (`0` = one per core).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The full configuration as plain data (the wire form).
+    #[must_use]
+    pub fn config(&self) -> SolverConfig {
+        SolverConfig {
+            backend: self.backend,
+            budget: self.budget,
+            threads: self.threads,
+        }
+    }
+
+    /// Builds a solver from its plain-data configuration.
+    #[must_use]
+    pub fn from_config(config: SolverConfig) -> Solver {
+        Solver {
+            backend: config.backend,
+            budget: config.budget,
+            threads: config.threads,
+        }
+    }
+
     /// Computes the six measures of `model`.
     ///
     /// # Errors
@@ -324,6 +394,7 @@ impl Solver {
     ///   truncated path enumeration).
     pub fn solve<M: BayesianModel>(&self, model: &M) -> Result<SolveReport, SolveError> {
         let slots = SlotSets::collect(model)?;
+        let mut sample_cap = None;
         let stats = match self.backend {
             Backend::ExhaustiveEnum => {
                 // Only the exhaustive sweep needs the space size; the
@@ -346,7 +417,18 @@ impl Solver {
                 seed,
             ),
             Backend::MonteCarloSampling { samples, seed } => {
-                self.dynamics(model, &slots, Starts::Random, u64::from(samples), seed)
+                // The profile budget caps the sampled starts (it used to be
+                // silently ignored here); the truncation is reported. The
+                // floor of one start (when any were requested) keeps a
+                // zero budget from masquerading as "no equilibrium".
+                let requested = u128::from(samples);
+                let effective = requested
+                    .min(self.budget.max_profiles)
+                    .max(u128::from(samples.min(1))) as u64;
+                if u128::from(effective) < requested {
+                    sample_cap = Some(effective);
+                }
+                self.dynamics(model, &slots, Starts::Random, effective, seed)
             }
         };
         if !stats.found_equilibrium {
@@ -365,7 +447,71 @@ impl Solver {
             method: self.backend,
             profiles_evaluated: stats.evaluated,
             exact: matches!(self.backend, Backend::ExhaustiveEnum),
+            sample_cap,
         })
+    }
+
+    /// Solves a batch of games of one representation, distributing the
+    /// **games** across the configured worker threads (each individual
+    /// game is then solved single-threaded — one level of parallelism,
+    /// no oversubscription). This is the shared entry point of batch
+    /// serving (`POST /solve_batch` in `bi-service`) and the CLI drivers.
+    ///
+    /// Results are identical to calling [`Solver::solve`] on each game in
+    /// order: per-game solving is deterministic, and each result lands at
+    /// its game's index.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use bi_core::random_games::random_bayesian_potential_game;
+    /// use bi_core::solve::Solver;
+    ///
+    /// let (g0, _) = random_bayesian_potential_game(&[2, 2], &[2, 2], 2, 1);
+    /// let (g1, _) = random_bayesian_potential_game(&[2, 2], &[2, 2], 2, 2);
+    /// let solver = Solver::builder().threads(2).build();
+    /// let reports = solver.solve_many(&[&g0, &g1]);
+    /// assert_eq!(reports.len(), 2);
+    /// assert_eq!(
+    ///     reports[0].as_ref().unwrap().measures,
+    ///     solver.solve(&g0).unwrap().measures
+    /// );
+    /// ```
+    pub fn solve_many<M: BayesianModel>(
+        &self,
+        models: &[&M],
+    ) -> Vec<Result<SolveReport, SolveError>> {
+        let workers = effective_threads(self.threads, models.len() as u128);
+        if workers <= 1 || models.len() <= 1 {
+            return models.iter().map(|m| self.solve(*m)).collect();
+        }
+        // Games go wide, so each solve runs inline — same scoped-thread
+        // plumbing as the exhaustive sweep, one level up.
+        let per_game = Solver {
+            threads: 1,
+            ..*self
+        };
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: Vec<std::sync::Mutex<Option<Result<SolveReport, SolveError>>>> =
+            models.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(model) = models.get(i) else { break };
+                    *results[i].lock().expect("result slot poisoned") =
+                        Some(per_game.solve(*model));
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every index was claimed by a worker")
+            })
+            .collect()
     }
 
     /// Exhaustive sweep, chunked across worker threads when configured.
@@ -676,19 +822,109 @@ mod tests {
     }
 
     #[test]
-    fn monte_carlo_ignores_the_profile_budget() {
+    fn monte_carlo_caps_samples_at_the_profile_budget() {
         let game = coordination_game();
         let report = Solver::builder()
             .backend(Backend::MonteCarloSampling {
                 samples: 32,
                 seed: 3,
             })
-            .max_profiles(1)
+            .max_profiles(4)
             .build()
             .solve(&game)
             .unwrap();
+        // Never errors on budget, but the truncation is visible: 4 starts,
+        // each evaluated once plus its dynamics endpoint.
         assert!(!report.exact);
+        assert_eq!(report.sample_cap, Some(4));
+        assert!(report.profiles_evaluated <= 8);
         report.measures.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn monte_carlo_zero_budget_still_runs_one_start() {
+        let game = coordination_game();
+        let report = Solver::builder()
+            .backend(Backend::MonteCarloSampling {
+                samples: 32,
+                seed: 3,
+            })
+            .max_profiles(0)
+            .build()
+            .solve(&game)
+            .unwrap();
+        // Not a spurious NoEquilibrium: one start runs and its dynamics
+        // find a genuine equilibrium.
+        assert_eq!(report.sample_cap, Some(1));
+        report.measures.verify_chain().unwrap();
+    }
+
+    #[test]
+    fn monte_carlo_within_budget_reports_no_cap() {
+        let game = coordination_game();
+        let report = Solver::builder()
+            .backend(Backend::MonteCarloSampling {
+                samples: 8,
+                seed: 3,
+            })
+            .build()
+            .solve(&game)
+            .unwrap();
+        assert_eq!(report.sample_cap, None);
+        let exhaustive = Solver::default().solve(&game).unwrap();
+        assert_eq!(exhaustive.sample_cap, None);
+    }
+
+    #[test]
+    fn solve_many_matches_sequential_solves() {
+        let games: Vec<_> = (0..6)
+            .map(|seed| random_bayesian_potential_game(&[2, 2], &[2, 2], 3, seed).0)
+            .collect();
+        let refs: Vec<&BayesianGame> = games.iter().collect();
+        for threads in [1, 4] {
+            let solver = Solver::builder().threads(threads).build();
+            let batch = solver.solve_many(&refs);
+            assert_eq!(batch.len(), games.len());
+            for (game, result) in games.iter().zip(&batch) {
+                let single = solver.solve(game).unwrap();
+                let report = result.as_ref().unwrap();
+                assert_eq!(report.measures, single.measures, "threads {threads}");
+                assert_eq!(report.profiles_evaluated, single.profiles_evaluated);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_many_preserves_per_game_errors() {
+        let solvable = coordination_game();
+        let solver = Solver::builder().max_profiles(4).threads(2).build();
+        let batch = solver.solve_many(&[&solvable, &solvable]);
+        for result in batch {
+            assert!(matches!(
+                result,
+                Err(SolveError::BudgetExceeded { required: 8, .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn solver_config_round_trips() {
+        let config = SolverConfig {
+            backend: Backend::MonteCarloSampling {
+                samples: 16,
+                seed: 9,
+            },
+            budget: Budget {
+                max_profiles: 1000,
+                max_iterations: 32,
+            },
+            threads: 3,
+        };
+        let solver = Solver::from_config(config);
+        assert_eq!(solver.config(), config);
+        assert_eq!(Solver::from(config).config(), config);
+        assert_eq!(SolverConfig::default(), Solver::default().config());
+        assert_eq!(solver.threads(), 3);
     }
 
     #[test]

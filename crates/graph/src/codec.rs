@@ -1,0 +1,168 @@
+//! Wire-codec ([`Encode`]/[`Decode`]) implementation for [`Graph`] —
+//! the substrate the NCS game codec (`bi-ncs`) builds on.
+//!
+//! Representation:
+//!
+//! ```json
+//! {"direction":"directed","nodes":3,
+//!  "edges":[{"source":0,"target":1,"cost":1.5}, ...]}
+//! ```
+//!
+//! Edge order is preserved (edge ids are dense indices, and paths on the
+//! wire reference them), so encode/decode is the identity on ids.
+//!
+//! # Examples
+//!
+//! ```
+//! use bi_graph::{Direction, Graph};
+//! use bi_util::{Decode, Encode};
+//!
+//! let mut g = Graph::with_nodes(Direction::Undirected, 2);
+//! g.add_edge(bi_graph::NodeId::new(0), bi_graph::NodeId::new(1), 2.5);
+//! let decoded = Graph::decode(&g.encode()).unwrap();
+//! assert_eq!(decoded.canonical_bytes(), g.canonical_bytes());
+//! ```
+
+use bi_util::json::{field_arr, field_f64, field_str, field_usize};
+use bi_util::{CodecError, Decode, Encode, Json};
+
+use crate::graph::{Direction, Graph, NodeId};
+
+/// Largest node count a wire graph may declare. The bound keeps a
+/// constant-size hostile body (`"nodes": 9e15` is a dozen bytes) from
+/// forcing a petabyte adjacency allocation; 100k nodes ≈ 2.4 MB of
+/// adjacency headers, far beyond anything the solver can enumerate
+/// anyway.
+pub const MAX_WIRE_NODES: usize = 100_000;
+
+impl Encode for Graph {
+    fn encode(&self) -> Json {
+        let direction = match self.direction() {
+            Direction::Directed => "directed",
+            Direction::Undirected => "undirected",
+        };
+        let edges = Json::Arr(
+            self.edges()
+                .map(|(_, e)| {
+                    Json::Obj(vec![
+                        ("source".into(), Json::num(e.source().index() as f64)),
+                        ("target".into(), Json::num(e.target().index() as f64)),
+                        ("cost".into(), Json::num(e.cost())),
+                    ])
+                })
+                .collect(),
+        );
+        Json::Obj(vec![
+            ("direction".into(), Json::str(direction)),
+            ("nodes".into(), Json::num(self.node_count() as f64)),
+            ("edges".into(), edges),
+        ])
+    }
+}
+
+impl Decode for Graph {
+    fn decode(v: &Json) -> Result<Self, CodecError> {
+        let direction = match field_str(v, "direction")? {
+            "directed" => Direction::Directed,
+            "undirected" => Direction::Undirected,
+            other => {
+                return Err(CodecError::new(format!(
+                    "`direction` must be `directed` or `undirected`, got `{other}`"
+                )))
+            }
+        };
+        let nodes = field_usize(v, "nodes")?;
+        if nodes > MAX_WIRE_NODES {
+            return Err(CodecError::new(format!(
+                "`nodes` = {nodes} exceeds the wire limit of {MAX_WIRE_NODES}"
+            )));
+        }
+        let mut graph = Graph::with_nodes(direction, nodes);
+        for (idx, edge) in field_arr(v, "edges")?.iter().enumerate() {
+            let ctx = |e: CodecError| e.context(&format!("edges[{idx}]"));
+            let source = field_usize(edge, "source").map_err(ctx)?;
+            let target = field_usize(edge, "target").map_err(ctx)?;
+            let cost = field_f64(edge, "cost").map_err(ctx)?;
+            if source >= nodes || target >= nodes {
+                return Err(CodecError::new(format!(
+                    "edges[{idx}]: endpoint out of range (graph has {nodes} nodes)"
+                )));
+            }
+            if !(cost.is_finite() && cost >= 0.0) {
+                return Err(CodecError::new(format!(
+                    "edges[{idx}]: cost must be finite and non-negative"
+                )));
+            }
+            graph.add_edge(NodeId::new(source), NodeId::new(target), cost);
+        }
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graphs_round_trip_preserving_edge_ids() {
+        for direction in [Direction::Directed, Direction::Undirected] {
+            let mut g = Graph::with_nodes(direction, 4);
+            g.add_edge(NodeId::new(0), NodeId::new(1), 1.0);
+            g.add_edge(NodeId::new(1), NodeId::new(2), 0.5);
+            // A parallel edge: ids must survive the trip.
+            g.add_edge(NodeId::new(0), NodeId::new(1), 2.0);
+            let decoded = Graph::decode(&g.encode()).unwrap();
+            assert_eq!(decoded.canonical_bytes(), g.canonical_bytes());
+            assert_eq!(decoded.node_count(), 4);
+            assert_eq!(decoded.edge_count(), 3);
+            assert_eq!(decoded.direction(), direction);
+            for (id, e) in g.edges() {
+                assert_eq!(decoded.edge(id).source(), e.source());
+                assert_eq!(decoded.edge(id).cost(), e.cost());
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_graphs_are_rejected() {
+        let cases = [
+            (
+                r#"{"direction":"sideways","nodes":1,"edges":[]}"#,
+                "direction",
+            ),
+            (
+                r#"{"direction":"directed","nodes":1,"edges":[{"source":0,"target":3,"cost":1}]}"#,
+                "out of range",
+            ),
+            (
+                r#"{"direction":"directed","nodes":2,"edges":[{"source":0,"target":1,"cost":-1}]}"#,
+                "non-negative",
+            ),
+            (
+                r#"{"direction":"directed","nodes":2,"edges":[{"source":0,"target":1,"cost":Infinity}]}"#,
+                "finite",
+            ),
+            (
+                r#"{"direction":"directed","nodes":2,"edges":[{"source":0,"cost":1}]}"#,
+                "edges[0]",
+            ),
+            (
+                // A hostile constant-size body must not force a huge
+                // allocation.
+                r#"{"direction":"directed","nodes":9007199254740991,"edges":[]}"#,
+                "wire limit",
+            ),
+            (
+                r#"{"direction":"directed","nodes":2}"#,
+                "missing field `edges`",
+            ),
+        ];
+        for (input, want) in cases {
+            let err = Graph::decode_str(input).unwrap_err();
+            assert!(
+                err.to_string().contains(want),
+                "{input}: got `{err}`, wanted `{want}`"
+            );
+        }
+    }
+}

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod apsp;
+pub mod codec;
 mod dijkstra;
 pub mod generators;
 mod graph;

@@ -1,0 +1,286 @@
+//! Wire-codec ([`Encode`]/[`Decode`]) implementations for [`Prior`] and
+//! [`BayesianNcsGame`] — the graph-form half of the solve service's
+//! request surface.
+//!
+//! Representations:
+//!
+//! * an agent type (terminal pair) is `[source, destination]`;
+//! * `Prior::Joint` is `{"kind":"joint","support":[{"types":[[s,d],…],
+//!   "prob":p},…]}`; `Prior::Independent` is `{"kind":"independent",
+//!   "agents":[[{"type":[s,d],"prob":p},…],…]}` — clients can submit a
+//!   whole family of independent priors over one graph cheaply, and the
+//!   server expands the product;
+//! * a [`BayesianNcsGame`] is `{"graph":…, "prior":…}`, decoded through
+//!   [`BayesianNcsGame::new`] so wire games pass exactly the feasibility
+//!   validation in-process games do. Encoding uses the **expanded** joint
+//!   support (the game's own normal form), so two priors describing the
+//!   same distribution encode to one canonical form.
+//!
+//! # Examples
+//!
+//! ```
+//! use bi_graph::{Direction, Graph};
+//! use bi_ncs::{BayesianNcsGame, Prior};
+//! use bi_util::{Decode, Encode};
+//!
+//! let mut g = Graph::new(Direction::Directed);
+//! let s = g.add_node();
+//! let t = g.add_node();
+//! g.add_edge(s, t, 1.0);
+//! let game = BayesianNcsGame::new(g, Prior::independent(vec![vec![((s, t), 1.0)]])).unwrap();
+//! let decoded = BayesianNcsGame::decode(&game.encode()).unwrap();
+//! assert_eq!(decoded.canonical_bytes(), game.canonical_bytes());
+//! ```
+
+use bi_graph::{Graph, NodeId};
+use bi_util::json::{field, field_arr, field_f64, field_str};
+use bi_util::{CodecError, Decode, Encode, Json};
+
+use crate::bayesian::BayesianNcsGame;
+use crate::prior::{AgentType, Prior};
+
+fn encode_type((s, d): AgentType) -> Json {
+    Json::Arr(vec![
+        Json::num(s.index() as f64),
+        Json::num(d.index() as f64),
+    ])
+}
+
+fn decode_type(v: &Json) -> Result<AgentType, CodecError> {
+    let pair = v
+        .as_arr()
+        .filter(|a| a.len() == 2)
+        .ok_or_else(|| CodecError::new("a type must be a `[source, destination]` pair"))?;
+    let idx = |j: &Json| {
+        j.as_usize()
+            .ok_or_else(|| CodecError::new("type endpoints must be non-negative integers"))
+    };
+    Ok((NodeId::new(idx(&pair[0])?), NodeId::new(idx(&pair[1])?)))
+}
+
+fn encode_joint_support(support: &[(Vec<AgentType>, f64)]) -> Json {
+    Json::Arr(
+        support
+            .iter()
+            .map(|(types, prob)| {
+                Json::Obj(vec![
+                    (
+                        "types".into(),
+                        Json::Arr(types.iter().map(|&t| encode_type(t)).collect()),
+                    ),
+                    ("prob".into(), Json::num(*prob)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn decode_joint_support(items: &[Json]) -> Result<Vec<(Vec<AgentType>, f64)>, CodecError> {
+    items
+        .iter()
+        .enumerate()
+        .map(|(idx, state)| {
+            let ctx = |e: CodecError| e.context(&format!("support[{idx}]"));
+            let types = field_arr(state, "types")
+                .map_err(ctx)?
+                .iter()
+                .map(decode_type)
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(ctx)?;
+            let prob = field_f64(state, "prob").map_err(ctx)?;
+            Ok((types, prob))
+        })
+        .collect()
+}
+
+impl Encode for Prior {
+    fn encode(&self) -> Json {
+        match self {
+            Prior::Joint(support) => Json::Obj(vec![
+                ("kind".into(), Json::str("joint")),
+                ("support".into(), encode_joint_support(support)),
+            ]),
+            Prior::Independent(per_agent) => Json::Obj(vec![
+                ("kind".into(), Json::str("independent")),
+                (
+                    "agents".into(),
+                    Json::Arr(
+                        per_agent
+                            .iter()
+                            .map(|dist| {
+                                Json::Arr(
+                                    dist.iter()
+                                        .map(|&(t, p)| {
+                                            Json::Obj(vec![
+                                                ("type".into(), encode_type(t)),
+                                                ("prob".into(), Json::num(p)),
+                                            ])
+                                        })
+                                        .collect(),
+                                )
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        }
+    }
+}
+
+impl Decode for Prior {
+    fn decode(v: &Json) -> Result<Self, CodecError> {
+        match field_str(v, "kind")? {
+            "joint" => Ok(Prior::Joint(decode_joint_support(field_arr(
+                v, "support",
+            )?)?)),
+            "independent" => {
+                let agents = field_arr(v, "agents")?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, dist)| {
+                        let ctx = |e: CodecError| e.context(&format!("agents[{i}]"));
+                        dist.as_arr()
+                            .ok_or_else(|| {
+                                CodecError::new(format!(
+                                    "agents[{i}] must be an array of type distributions"
+                                ))
+                            })?
+                            .iter()
+                            .map(|entry| {
+                                let t =
+                                    decode_type(field(entry, "type").map_err(ctx)?).map_err(ctx)?;
+                                let p = field_f64(entry, "prob").map_err(ctx)?;
+                                Ok((t, p))
+                            })
+                            .collect::<Result<Vec<_>, CodecError>>()
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Prior::Independent(agents))
+            }
+            other => Err(CodecError::new(format!("unknown prior kind `{other}`"))),
+        }
+    }
+}
+
+impl Encode for BayesianNcsGame {
+    fn encode(&self) -> Json {
+        // The expanded joint support is the game's normal form: an
+        // independent prior and its explicit product encode identically,
+        // so the cache recognizes them as the same game.
+        Json::Obj(vec![
+            ("graph".into(), self.graph().encode()),
+            (
+                "prior".into(),
+                Json::Obj(vec![
+                    ("kind".into(), Json::str("joint")),
+                    ("support".into(), encode_joint_support(self.support())),
+                ]),
+            ),
+        ])
+    }
+}
+
+impl Decode for BayesianNcsGame {
+    fn decode(v: &Json) -> Result<Self, CodecError> {
+        let graph = Graph::decode(field(v, "graph")?).map_err(|e| e.context("graph"))?;
+        let prior = Prior::decode(field(v, "prior")?).map_err(|e| e.context("prior"))?;
+        BayesianNcsGame::new(graph, prior)
+            .map_err(|e| CodecError::new(format!("invalid NCS game: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_graph::Direction;
+
+    fn node(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn diamond() -> Graph {
+        let mut g = Graph::new(Direction::Directed);
+        let s = g.add_node();
+        let m = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, m, 1.0);
+        g.add_edge(m, t, 1.0);
+        g.add_edge(s, t, 3.0);
+        g
+    }
+
+    #[test]
+    fn priors_round_trip() {
+        let joint = Prior::joint(vec![
+            (vec![(node(0), node(2)), (node(0), node(0))], 0.25),
+            (vec![(node(0), node(2)), (node(0), node(2))], 0.75),
+        ]);
+        assert_eq!(Prior::decode(&joint.encode()).unwrap(), joint);
+        let independent = Prior::independent(vec![
+            vec![((node(0), node(2)), 1.0)],
+            vec![((node(0), node(2)), 0.5), ((node(0), node(0)), 0.5)],
+        ]);
+        assert_eq!(Prior::decode(&independent.encode()).unwrap(), independent);
+    }
+
+    #[test]
+    fn games_round_trip_and_solve_identically() {
+        let prior = Prior::independent(vec![
+            vec![((node(0), node(2)), 1.0)],
+            vec![((node(0), node(2)), 0.5), ((node(0), node(0)), 0.5)],
+        ]);
+        let game = BayesianNcsGame::new(diamond(), prior).unwrap();
+        let decoded = BayesianNcsGame::decode(&game.encode()).unwrap();
+        assert_eq!(decoded.canonical_bytes(), game.canonical_bytes());
+        assert_eq!(
+            decoded.measures().unwrap(),
+            game.measures().unwrap(),
+            "wire trip must not change solve results"
+        );
+    }
+
+    #[test]
+    fn independent_and_expanded_joint_encode_identically() {
+        let independent = Prior::independent(vec![
+            vec![((node(0), node(2)), 1.0)],
+            vec![((node(0), node(2)), 0.5), ((node(0), node(0)), 0.5)],
+        ]);
+        let joint = Prior::Joint(independent.support().unwrap());
+        let a = BayesianNcsGame::new(diamond(), independent).unwrap();
+        let b = BayesianNcsGame::new(diamond(), joint).unwrap();
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        let graph = diamond().encode().canonical_string();
+        let cases = [
+            (
+                format!(r#"{{"graph":{graph},"prior":{{"kind":"mystery"}}}}"#),
+                "unknown prior kind",
+            ),
+            (
+                format!(
+                    r#"{{"graph":{graph},"prior":{{"kind":"joint","support":[{{"types":[[0]],"prob":1}}]}}}}"#
+                ),
+                "pair",
+            ),
+            (
+                // An unreachable terminal: validation comes from the
+                // constructor, not the codec.
+                format!(
+                    r#"{{"graph":{graph},"prior":{{"kind":"joint","support":[{{"types":[[2,0]],"prob":1}}]}}}}"#
+                ),
+                "invalid NCS game",
+            ),
+            (format!(r#"{{"graph":{graph}}}"#), "missing field `prior`"),
+        ];
+        for (input, want) in cases {
+            let err = BayesianNcsGame::decode_str(&input).unwrap_err();
+            assert!(
+                err.to_string().contains(want),
+                "{input}: got `{err}`, wanted `{want}`"
+            );
+        }
+    }
+}

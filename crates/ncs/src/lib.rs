@@ -49,6 +49,7 @@
 
 pub mod analysis;
 pub mod bayesian;
+pub mod codec;
 mod error;
 mod game;
 pub mod prior;

@@ -1,0 +1,398 @@
+//! `bi-loadgen` — seeded workload replay against a running `bi-serve`.
+//!
+//! Two phases over one deterministic mixed workload (matrix-form + NCS
+//! games, see `bi_service::workload`):
+//!
+//! 1. **cold** — every unique game once: all cache misses, measuring
+//!    engine-bound throughput;
+//! 2. **hot** — `--hot` requests sampled (seeded) from the same pool:
+//!    all cache hits, measuring the served-from-cache ceiling.
+//!
+//! Then one `POST /solve_batch` over a workload slice exercises the
+//! batch path, and `GET /metrics` is scraped into the report. Results —
+//! throughput, latency percentiles, cache-hit rate, hot/cold speedup —
+//! are written to `BENCH_service.json` (committed to seed the repo's
+//! perf trajectory).
+//!
+//! Exit status is non-zero if any request failed, or if `--min-hit-rate`
+//! was given and the hot phase hit rate fell below it — which is what
+//! the CI smoke job asserts.
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bi_core::solve::SolverConfig;
+use bi_service::http::{read_response, write_request};
+use bi_service::service::{BatchRequest, SolveRequest};
+use bi_service::workload::mixed_workload;
+use bi_util::rng::{derive_seed, seeded};
+use bi_util::{Encode, Json};
+use rand::Rng;
+
+const USAGE: &str = "\
+bi-loadgen — seeded load generator for bi-serve
+
+USAGE: bi-loadgen --addr HOST:PORT [OPTIONS]
+
+OPTIONS:
+  --addr HOST:PORT    server address (required)
+  --seed N            workload seed (default 1)
+  --unique N          distinct games in the pool (default 64)
+  --hot N             hot-phase requests over the pool (default 1500)
+  --clients N         concurrent client connections (default 4)
+  --out FILE          benchmark report path (default BENCH_service.json)
+  --min-hit-rate F    fail unless the hot-phase cache-hit rate reaches F
+  --help              print this help
+";
+
+struct Args {
+    addr: String,
+    seed: u64,
+    unique: usize,
+    hot: usize,
+    clients: usize,
+    out: String,
+    min_hit_rate: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        addr: String::new(),
+        seed: 1,
+        unique: 64,
+        hot: 1500,
+        clients: 4,
+        out: "BENCH_service.json".into(),
+        min_hit_rate: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" {
+            print!("{USAGE}");
+            exit(0);
+        }
+        let value = args
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        let num = |v: &str| -> Result<usize, String> {
+            v.parse()
+                .map_err(|_| format!("flag {flag} needs an integer, got `{v}`"))
+        };
+        match flag.as_str() {
+            "--addr" => parsed.addr = value,
+            "--seed" => parsed.seed = num(&value)? as u64,
+            "--unique" => parsed.unique = num(&value)?.max(1),
+            "--hot" => parsed.hot = num(&value)?,
+            "--clients" => parsed.clients = num(&value)?.max(1),
+            "--out" => parsed.out = value,
+            "--min-hit-rate" => {
+                parsed.min_hit_rate = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("flag {flag} needs a number, got `{value}`"))?,
+                );
+            }
+            other => return Err(format!("unknown flag {other} (see --help)")),
+        }
+    }
+    if parsed.addr.is_empty() {
+        return Err("--addr is required (see --help)".into());
+    }
+    Ok(parsed)
+}
+
+/// Aggregated results of one phase.
+#[derive(Default)]
+struct PhaseStats {
+    latencies_us: Vec<u64>,
+    hits: u64,
+    misses: u64,
+    errors: u64,
+    seconds: f64,
+}
+
+impl PhaseStats {
+    fn requests(&self) -> usize {
+        self.latencies_us.len()
+    }
+
+    fn throughput_rps(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.requests() as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    fn percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("requests".into(), Json::num(self.requests() as f64)),
+            ("seconds".into(), Json::num(self.seconds)),
+            ("throughput_rps".into(), Json::num(self.throughput_rps())),
+            (
+                "latency_us".into(),
+                Json::Obj(vec![
+                    ("p50".into(), Json::num(self.percentile_us(0.50) as f64)),
+                    ("p90".into(), Json::num(self.percentile_us(0.90) as f64)),
+                    ("p99".into(), Json::num(self.percentile_us(0.99) as f64)),
+                    (
+                        "max".into(),
+                        Json::num(self.latencies_us.iter().copied().max().unwrap_or(0) as f64),
+                    ),
+                ]),
+            ),
+            ("cache_hits".into(), Json::from_u64(self.hits)),
+            ("cache_misses".into(), Json::from_u64(self.misses)),
+            ("errors".into(), Json::from_u64(self.errors)),
+        ])
+    }
+}
+
+/// One keep-alive client connection driving `/solve` requests.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request; returns `(latency_us, 2xx, cache_hit)`.
+    fn solve(&mut self, path: &str, body: &[u8]) -> std::io::Result<(u64, bool, bool)> {
+        let start = Instant::now();
+        write_request(&mut self.writer, "POST", path, body, true)?;
+        let response = read_response(&mut self.reader)?;
+        let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let ok = (200..300).contains(&response.status);
+        let hit = response.header("x-cache") == Some("hit");
+        Ok((micros, ok, hit))
+    }
+}
+
+/// Runs one phase: `schedule[c]` is the request-body sequence of client
+/// `c`; clients run concurrently over their own connections.
+fn run_phase(addr: &str, schedule: Vec<Vec<Arc<Vec<u8>>>>) -> PhaseStats {
+    let start = Instant::now();
+    let per_client: Vec<PhaseStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = schedule
+            .into_iter()
+            .map(|requests| {
+                scope.spawn(move || {
+                    let mut stats = PhaseStats::default();
+                    let Ok(mut client) = Client::connect(addr) else {
+                        stats.errors += requests.len() as u64;
+                        return stats;
+                    };
+                    for body in requests {
+                        match client.solve("/solve", &body) {
+                            Ok((micros, ok, hit)) => {
+                                stats.latencies_us.push(micros);
+                                if !ok {
+                                    stats.errors += 1;
+                                } else if hit {
+                                    stats.hits += 1;
+                                } else {
+                                    stats.misses += 1;
+                                }
+                            }
+                            Err(_) => stats.errors += 1,
+                        }
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let mut total = PhaseStats {
+        seconds: start.elapsed().as_secs_f64(),
+        ..PhaseStats::default()
+    };
+    for stats in per_client {
+        total.latencies_us.extend(stats.latencies_us);
+        total.hits += stats.hits;
+        total.misses += stats.misses;
+        total.errors += stats.errors;
+    }
+    total
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("bi-loadgen: {msg}");
+            exit(2);
+        }
+    };
+    eprintln!(
+        "bi-loadgen: addr={} seed={} unique={} hot={} clients={}",
+        args.addr, args.seed, args.unique, args.hot, args.clients
+    );
+
+    // Build the workload once; request bodies are shared across clients.
+    let games = mixed_workload(args.seed, args.unique);
+    let bodies: Vec<Arc<Vec<u8>>> = games
+        .iter()
+        .map(|game| {
+            Arc::new(
+                SolveRequest {
+                    game: game.clone(),
+                    config: SolverConfig::default(),
+                }
+                .canonical_bytes(),
+            )
+        })
+        .collect();
+
+    // Cold phase: every unique game exactly once, split across clients.
+    let clients = args.clients.min(bodies.len());
+    let mut cold_schedule: Vec<Vec<Arc<Vec<u8>>>> = vec![Vec::new(); clients];
+    for (i, body) in bodies.iter().enumerate() {
+        cold_schedule[i % clients].push(Arc::clone(body));
+    }
+    let cold = run_phase(&args.addr, cold_schedule);
+    eprintln!(
+        "bi-loadgen: cold {} req in {:.3}s ({:.0} rps, {} errors)",
+        cold.requests(),
+        cold.seconds,
+        cold.throughput_rps(),
+        cold.errors
+    );
+
+    // Hot phase: seeded sampling over the now-cached pool.
+    let hot_schedule: Vec<Vec<Arc<Vec<u8>>>> = (0..args.clients)
+        .map(|c| {
+            let mut rng = seeded(derive_seed(args.seed, &format!("client{c}")));
+            let count = args.hot / args.clients + usize::from(c < args.hot % args.clients);
+            (0..count)
+                .map(|_| Arc::clone(&bodies[rng.random_range(0..bodies.len())]))
+                .collect()
+        })
+        .collect();
+    let hot = run_phase(&args.addr, hot_schedule);
+    let hot_hit_rate = if hot.requests() > 0 {
+        hot.hits as f64 / hot.requests() as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "bi-loadgen: hot {} req in {:.3}s ({:.0} rps, hit rate {:.3}, {} errors)",
+        hot.requests(),
+        hot.seconds,
+        hot.throughput_rps(),
+        hot_hit_rate,
+        hot.errors
+    );
+
+    // One batch over a slice of the pool (all cached by now).
+    let batch_games = games.iter().take(8.min(games.len())).cloned().collect();
+    let batch_body = BatchRequest {
+        games: batch_games,
+        config: SolverConfig::default(),
+    }
+    .canonical_bytes();
+    let mut batch_ok = false;
+    let mut batch_errors = 0u64;
+    match Client::connect(&args.addr) {
+        Ok(mut client) => match client.solve("/solve_batch", &batch_body) {
+            Ok((_, ok, _)) => {
+                batch_ok = ok;
+                if !ok {
+                    batch_errors += 1;
+                }
+            }
+            Err(_) => batch_errors += 1,
+        },
+        Err(_) => batch_errors += 1,
+    }
+
+    // Scrape the server's own view for the report.
+    let server_metrics = scrape_metrics(&args.addr).unwrap_or(Json::Null);
+
+    let speedup = if cold.throughput_rps() > 0.0 {
+        hot.throughput_rps() / cold.throughput_rps()
+    } else {
+        0.0
+    };
+    let report = Json::Obj(vec![
+        (
+            "workload".into(),
+            Json::Obj(vec![
+                ("seed".into(), Json::from_u64(args.seed)),
+                ("unique_games".into(), Json::num(games.len() as f64)),
+                ("clients".into(), Json::num(args.clients as f64)),
+                (
+                    "total_requests".into(),
+                    Json::num((cold.requests() + hot.requests() + 1) as f64),
+                ),
+            ]),
+        ),
+        ("cold".into(), cold.to_json()),
+        ("hot".into(), hot.to_json()),
+        ("hot_hit_rate".into(), Json::num(hot_hit_rate)),
+        ("hot_over_cold_throughput".into(), Json::num(speedup)),
+        ("batch_2xx".into(), Json::Bool(batch_ok)),
+        ("server_metrics".into(), server_metrics),
+    ]);
+    let mut file = match std::fs::File::create(&args.out) {
+        Ok(file) => file,
+        Err(e) => {
+            eprintln!("bi-loadgen: cannot write {}: {e}", args.out);
+            exit(1);
+        }
+    };
+    file.write_all(report.to_string().as_bytes())
+        .and_then(|()| file.write_all(b"\n"))
+        .expect("report write");
+    println!(
+        "bi-loadgen: cold {:.0} rps | hot {:.0} rps | speedup {:.1}x | hit rate {:.3} -> {}",
+        cold.throughput_rps(),
+        hot.throughput_rps(),
+        speedup,
+        hot_hit_rate,
+        args.out
+    );
+
+    let total_errors = cold.errors + hot.errors + batch_errors;
+    if total_errors > 0 {
+        eprintln!("bi-loadgen: FAIL — {total_errors} request(s) failed");
+        exit(1);
+    }
+    if let Some(min) = args.min_hit_rate {
+        if hot_hit_rate < min {
+            eprintln!("bi-loadgen: FAIL — hot hit rate {hot_hit_rate:.3} < required {min:.3}");
+            exit(1);
+        }
+    }
+}
+
+fn scrape_metrics(addr: &str) -> Option<Json> {
+    let mut client = Client::connect(addr).ok()?;
+    write_request(&mut client.writer, "GET", "/metrics", b"", false).ok()?;
+    let response = read_response(&mut client.reader).ok()?;
+    Json::parse(std::str::from_utf8(&response.body).ok()?).ok()
+}

@@ -1,0 +1,99 @@
+//! `bi-serve` — the solve server binary.
+//!
+//! Binds a TCP listener, prints the bound address (parse the
+//! `listening on` line for ephemeral ports), and serves forever:
+//!
+//! ```text
+//! bi-serve --addr 127.0.0.1:0 --workers 4 --queue 256 \
+//!          --cache-capacity 4096 --cache-shards 16
+//! ```
+//!
+//! Endpoints: `POST /solve`, `POST /solve_batch`, `GET /metrics`,
+//! `GET /healthz` — see the `bi_service::server` docs for wire formats.
+
+use std::io::Write;
+use std::process::exit;
+use std::time::Duration;
+
+use bi_service::{Server, ServerConfig};
+
+const USAGE: &str = "\
+bi-serve — concurrent Bayesian-ignorance solve service
+
+USAGE: bi-serve [OPTIONS]
+
+OPTIONS:
+  --addr HOST:PORT      bind address (default 127.0.0.1:0 = ephemeral port)
+  --workers N           worker threads, 0 = one per core (default 0)
+  --queue N             pending-connection queue bound; overflow gets 503 (default 128)
+  --cache-capacity N    total solve-cache entries, 0 disables (default 4096)
+  --cache-shards N      independently locked cache shards (default 16)
+  --timeout-secs N      idle keep-alive timeout per connection (default 10)
+  --help                print this help
+";
+
+fn parse_args() -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" {
+            print!("{USAGE}");
+            exit(0);
+        }
+        let value = args
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--addr" => config.addr = value,
+            "--workers" => config.workers = parse_num(&flag, &value)?,
+            "--queue" => config.queue_capacity = parse_num(&flag, &value)?,
+            "--cache-capacity" => config.cache.capacity = parse_num(&flag, &value)?,
+            "--cache-shards" => config.cache.shards = parse_num(&flag, &value)?,
+            "--timeout-secs" => {
+                config.read_timeout = Duration::from_secs(parse_num(&flag, &value)? as u64);
+            }
+            other => return Err(format!("unknown flag {other} (see --help)")),
+        }
+    }
+    Ok(config)
+}
+
+fn parse_num(flag: &str, value: &str) -> Result<usize, String> {
+    value
+        .parse()
+        .map_err(|_| format!("flag {flag} needs a non-negative integer, got `{value}`"))
+}
+
+fn main() {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("bi-serve: {msg}");
+            exit(2);
+        }
+    };
+    eprintln!(
+        "bi-serve: workers={} queue={} cache={}x{} timeout={}s",
+        config.workers,
+        config.queue_capacity,
+        config.cache.capacity,
+        config.cache.shards,
+        config.read_timeout.as_secs(),
+    );
+    let server = match Server::bind(config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bi-serve: bind failed: {e}");
+            exit(1);
+        }
+    };
+    let addr = server.local_addr().expect("bound listener has an address");
+    // The machine-readable line: CI and the load generator parse it to
+    // discover ephemeral ports.
+    println!("bi-serve listening on {addr}");
+    std::io::stdout().flush().expect("stdout flush");
+    if let Err(e) = server.run() {
+        eprintln!("bi-serve: serving failed: {e}");
+        exit(1);
+    }
+}

@@ -1,0 +1,413 @@
+//! The content-addressed solve cache: a sharded, capacity-bounded LRU
+//! keyed by canonical wire bytes.
+//!
+//! The paper's measures are pure functions of a game description, which
+//! makes solve results perfectly cacheable: the cache key is the
+//! canonical JSON of the request (game + backend + budget — thread count
+//! excluded, it never changes results), addressed by 64-bit FNV-1a
+//! ([`bi_util::fnv1a`]). The hash picks a shard; each shard is an
+//! independent `Mutex`-guarded LRU, so concurrent workers rarely contend
+//! on the same lock. Within a shard, lookups go through a `HashMap` keyed
+//! by the **full** key bytes (FNV-hashed), so a 64-bit collision can
+//! never return the wrong entry — the hash only routes, the bytes decide.
+//!
+//! Eviction is exact LRU per shard via an intrusive doubly-linked list
+//! over a slab: `get`, `insert`, and evict are all O(1). Hit, miss,
+//! insertion, and eviction counts are kept in atomics and surface in the
+//! server's `GET /metrics`.
+//!
+//! # Examples
+//!
+//! ```
+//! use bi_service::cache::{CacheConfig, ShardedLru};
+//!
+//! let cache: ShardedLru<u32> = ShardedLru::new(CacheConfig {
+//!     capacity: 2,
+//!     shards: 1,
+//! });
+//! cache.insert(b"a", 1);
+//! cache.insert(b"b", 2);
+//! assert_eq!(cache.get(b"a"), Some(1));
+//! cache.insert(b"c", 3); // evicts "b", the least recently used
+//! assert_eq!(cache.get(b"b"), None);
+//! let stats = cache.stats();
+//! assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 1));
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use bi_util::{fnv1a, FnvBuildHasher};
+
+/// No-link sentinel of the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+/// Sizing of a [`ShardedLru`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total entry capacity across all shards (`0` disables caching).
+    pub capacity: usize,
+    /// Number of independently locked shards (clamped to at least 1).
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    /// 4096 entries across 16 shards.
+    fn default() -> Self {
+        CacheConfig {
+            capacity: 4096,
+            shards: 16,
+        }
+    }
+}
+
+/// A point-in-time snapshot of cache effectiveness, reported by
+/// `GET /metrics`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `get` calls that found a live entry.
+    pub hits: u64,
+    /// `get` calls that found nothing.
+    pub misses: u64,
+    /// Entries inserted (updates of an existing key count too).
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Live entries right now.
+    pub entries: usize,
+    /// Total capacity across shards.
+    pub capacity: usize,
+}
+
+/// One LRU slab entry: the key (for exact comparison), the value, and the
+/// intrusive recency links.
+struct Entry<V> {
+    key: Arc<[u8]>,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// One shard: an exact LRU over a slab with a byte-keyed index.
+struct Shard<V> {
+    /// Full key bytes → slab slot; FNV-hashed, deterministic.
+    index: HashMap<Arc<[u8]>, usize, FnvBuildHasher>,
+    slots: Vec<Entry<V>>,
+    free: Vec<usize>,
+    /// Most recently used slot (`NIL` when empty).
+    head: usize,
+    /// Least recently used slot (`NIL` when empty).
+    tail: usize,
+    capacity: usize,
+}
+
+impl<V: Clone> Shard<V> {
+    fn new(capacity: usize) -> Self {
+        Shard {
+            index: HashMap::with_hasher(FnvBuildHasher),
+            slots: Vec::with_capacity(capacity.min(1024)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Detaches `slot` from the recency list.
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    /// Attaches `slot` at the most-recently-used end.
+    fn push_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NIL;
+        self.slots[slot].next = self.head;
+        match self.head {
+            NIL => self.tail = slot,
+            h => self.slots[h].prev = slot,
+        }
+        self.head = slot;
+    }
+
+    fn get(&mut self, key: &[u8]) -> Option<V> {
+        let slot = *self.index.get(key)?;
+        self.unlink(slot);
+        self.push_front(slot);
+        Some(self.slots[slot].value.clone())
+    }
+
+    /// Inserts or updates; returns whether an eviction happened.
+    fn insert(&mut self, key: &[u8], value: V) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if let Some(&slot) = self.index.get(key) {
+            self.slots[slot].value = value;
+            self.unlink(slot);
+            self.push_front(slot);
+            return false;
+        }
+        let mut evicted = false;
+        if self.index.len() == self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL, "non-empty shard at capacity");
+            self.unlink(lru);
+            self.index.remove(&self.slots[lru].key);
+            self.free.push(lru);
+            evicted = true;
+        }
+        let key: Arc<[u8]> = Arc::from(key);
+        let entry = Entry {
+            key: Arc::clone(&key),
+            value,
+            prev: NIL,
+            next: NIL,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = entry;
+                slot
+            }
+            None => {
+                self.slots.push(entry);
+                self.slots.len() - 1
+            }
+        };
+        self.index.insert(key, slot);
+        self.push_front(slot);
+        evicted
+    }
+}
+
+/// A sharded, capacity-bounded, exact-LRU cache keyed by canonical bytes.
+///
+/// Values are cloned out on hit — use a cheap-to-clone `V` (the service
+/// stores `Arc<[u8]>` response bodies).
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V: Clone> ShardedLru<V> {
+    /// Creates a cache with `config.capacity` entries spread over
+    /// `config.shards` independently locked shards. The shard count is
+    /// clamped to the capacity so no shard ends up with zero entries
+    /// (which would silently make part of the keyspace uncacheable).
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        let shards = config.shards.max(1).min(config.capacity.max(1));
+        // Spread the capacity as evenly as possible; the first `rem`
+        // shards take one extra entry so the total is exact.
+        let per = config.capacity / shards;
+        let rem = config.capacity % shards;
+        ShardedLru {
+            shards: (0..shards)
+                .map(|i| Mutex::new(Shard::new(per + usize::from(i < rem))))
+                .collect(),
+            capacity: config.capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &[u8]) -> &Mutex<Shard<V>> {
+        let h = fnv1a(key);
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &[u8]) -> Option<V> {
+        let result = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key);
+        match result {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    /// Inserts (or refreshes) `key → value`, evicting the shard's least
+    /// recently used entry if the shard is full.
+    pub fn insert(&self, key: &[u8], value: V) {
+        let evicted = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time effectiveness snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard poisoned").index.len())
+                .sum(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_order_is_exact_within_a_shard() {
+        let cache: ShardedLru<u32> = ShardedLru::new(CacheConfig {
+            capacity: 3,
+            shards: 1,
+        });
+        cache.insert(b"a", 1);
+        cache.insert(b"b", 2);
+        cache.insert(b"c", 3);
+        // Touch "a" so "b" becomes the LRU.
+        assert_eq!(cache.get(b"a"), Some(1));
+        cache.insert(b"d", 4);
+        assert_eq!(cache.get(b"b"), None, "LRU entry must be evicted");
+        assert_eq!(cache.get(b"a"), Some(1));
+        assert_eq!(cache.get(b"c"), Some(3));
+        assert_eq!(cache.get(b"d"), Some(4));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn updates_refresh_instead_of_evicting() {
+        let cache: ShardedLru<u32> = ShardedLru::new(CacheConfig {
+            capacity: 2,
+            shards: 1,
+        });
+        cache.insert(b"a", 1);
+        cache.insert(b"b", 2);
+        cache.insert(b"a", 10); // update, no eviction
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.get(b"a"), Some(10));
+        cache.insert(b"c", 3); // now "b" is LRU
+        assert_eq!(cache.get(b"b"), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache: ShardedLru<u32> = ShardedLru::new(CacheConfig {
+            capacity: 0,
+            shards: 4,
+        });
+        cache.insert(b"a", 1);
+        assert_eq!(cache.get(b"a"), None);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn capacity_spreads_exactly_across_shards() {
+        let cache: ShardedLru<u32> = ShardedLru::new(CacheConfig {
+            capacity: 10,
+            shards: 4,
+        });
+        let per: Vec<usize> = cache
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap().capacity)
+            .collect();
+        assert_eq!(per.iter().sum::<usize>(), 10);
+        assert_eq!(*per.iter().max().unwrap() - *per.iter().min().unwrap(), 1);
+    }
+
+    #[test]
+    fn shard_count_clamps_to_capacity_so_every_shard_caches() {
+        // capacity 8 over 16 configured shards: without clamping, half
+        // the keyspace would route to zero-capacity shards and never
+        // cache.
+        let cache: ShardedLru<u32> = ShardedLru::new(CacheConfig {
+            capacity: 8,
+            shards: 16,
+        });
+        assert_eq!(cache.shards.len(), 8);
+        for i in 0..200u32 {
+            let key = format!("key-{i}");
+            cache.insert(key.as_bytes(), i);
+            assert_eq!(
+                cache.get(key.as_bytes()),
+                Some(i),
+                "a just-inserted key must always be retrievable"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_reuse_keeps_hot_keys_across_shards() {
+        let cache: ShardedLru<usize> = ShardedLru::new(CacheConfig {
+            capacity: 64,
+            shards: 8,
+        });
+        for round in 0..4 {
+            for i in 0..32 {
+                let key = format!("game-{i}");
+                match cache.get(key.as_bytes()) {
+                    Some(v) => assert_eq!(v, i),
+                    None => {
+                        assert_eq!(round, 0, "only the first round may miss");
+                        cache.insert(key.as_bytes(), i);
+                    }
+                }
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 32);
+        assert_eq!(stats.hits, 3 * 32);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache: Arc<ShardedLru<u64>> = Arc::new(ShardedLru::new(CacheConfig {
+            capacity: 128,
+            shards: 8,
+        }));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let key = format!("k{}", i % 50);
+                        if let Some(v) = cache.get(key.as_bytes()) {
+                            assert_eq!(v, i % 50, "thread {t}");
+                        } else {
+                            cache.insert(key.as_bytes(), i % 50);
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 800);
+        assert!(stats.entries <= 50);
+    }
+}

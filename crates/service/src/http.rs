@@ -1,0 +1,447 @@
+//! A minimal HTTP/1.1 layer over `std::io` streams: enough protocol for
+//! the solve service and its load generator, and nothing more.
+//!
+//! Supported: request line + headers + `Content-Length` bodies,
+//! keep-alive (HTTP/1.1 default) and `Connection: close`, and plain
+//! status responses. Not supported (requests using them get `400`/`501`):
+//! chunked transfer encoding, upgrades, continuations.
+//!
+//! Both sides of the repo speak this module: the server parses requests
+//! with [`read_request`] and answers with [`Response::write`]; the load
+//! generator writes requests with [`write_request`] and parses responses
+//! with [`read_response`].
+
+use std::io::{self, BufRead, Read, Write};
+
+/// Longest accepted request line + header block, in bytes.
+const MAX_HEAD: usize = 64 * 1024;
+
+/// Largest accepted request/response body, in bytes (a wire-form game of
+/// a few thousand states fits comfortably).
+const MAX_BODY: usize = 64 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// The method verb, uppercased by the client (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target (path + optional query), e.g. `/solve`.
+    pub path: String,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of header `name` (lowercase), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after this exchange
+    /// (HTTP/1.1 default unless `Connection: close`).
+    #[must_use]
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A request parse failure, mapped to a status code by the server.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HttpError {
+    /// The status the server should answer with (`400` or `501`).
+    pub status: u16,
+    /// What was wrong.
+    pub msg: String,
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status, self.msg)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+fn bad(msg: impl Into<String>) -> HttpError {
+    HttpError {
+        status: 400,
+        msg: msg.into(),
+    }
+}
+
+/// Reads one request from `stream`.
+///
+/// Returns `Ok(None)` on clean end-of-stream before any byte of a
+/// request (the keep-alive peer hung up), `Err(Ok(HttpError))`-style
+/// protocol failures as the inner `Result`, and transport failures as
+/// `io::Error`.
+///
+/// # Errors
+///
+/// `io::Error` for transport failures (including read timeouts).
+pub fn read_request<S: BufRead>(stream: &mut S) -> io::Result<Option<Result<Request, HttpError>>> {
+    let mut line = String::new();
+    if read_limited_line(stream, &mut line, MAX_HEAD)? == 0 {
+        return Ok(None); // clean EOF between requests
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Ok(Some(Err(bad("malformed request line"))));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(Some(Err(bad("unsupported HTTP version"))));
+    }
+    let method = method.to_string();
+    let path = path.to_string();
+    let mut headers = Vec::new();
+    let mut head_bytes = line.len();
+    loop {
+        line.clear();
+        if read_limited_line(stream, &mut line, MAX_HEAD)? == 0 {
+            return Ok(Some(Err(bad("connection closed inside headers"))));
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD {
+            return Ok(Some(Err(bad("header block too large"))));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        let Some((name, value)) = trimmed.split_once(':') else {
+            return Ok(Some(Err(bad("malformed header"))));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    if headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Ok(Some(Err(HttpError {
+            status: 501,
+            msg: "transfer encodings are not supported".into(),
+        })));
+    }
+    let mut body = Vec::new();
+    if let Some(len) = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.as_str())
+    {
+        let Ok(len) = len.parse::<usize>() else {
+            return Ok(Some(Err(bad("invalid Content-Length"))));
+        };
+        if len > MAX_BODY {
+            return Ok(Some(Err(HttpError {
+                status: 413,
+                msg: "body too large".into(),
+            })));
+        }
+        body = vec![0u8; len];
+        stream.read_exact(&mut body)?;
+    }
+    Ok(Some(Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })))
+}
+
+/// `read_line` with a byte cap (a peer streaming an endless header line
+/// must not exhaust memory).
+fn read_limited_line<S: BufRead>(
+    stream: &mut S,
+    line: &mut String,
+    max: usize,
+) -> io::Result<usize> {
+    let mut taken = stream.take(max as u64 + 1);
+    let n = taken.read_line(line)?;
+    if n > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "line exceeds the protocol limit",
+        ));
+    }
+    Ok(n)
+}
+
+/// An outgoing HTTP response.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// The status code.
+    pub status: u16,
+    /// The response body.
+    pub body: Vec<u8>,
+    /// The `Content-Type` (the service always speaks JSON).
+    pub content_type: &'static str,
+    /// Extra `(name, value)` headers (e.g. `X-Cache`).
+    pub extra_headers: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    /// A JSON response with the given status and body.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// Adds an extra header.
+    #[must_use]
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
+    /// Writes the response; `keep_alive` controls the `Connection`
+    /// header.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport failures.
+    pub fn write<S: Write>(&self, stream: &mut S, keep_alive: bool) -> io::Result<()> {
+        let reason = reason_phrase(self.status);
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len(),
+            connection,
+        );
+        for (name, value) in &self.extra_headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Writes one client request (used by the load generator and tests).
+///
+/// # Errors
+///
+/// Returns transport failures.
+pub fn write_request<S: Write>(
+    stream: &mut S,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: bi-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A parsed client-side view of a response: status, headers, body.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// The status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The value of header `name` (lowercase), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one response (used by the load generator and tests).
+///
+/// # Errors
+///
+/// Returns `io::ErrorKind::InvalidData` on protocol violations and
+/// transport failures as-is.
+pub fn read_response<S: BufRead>(stream: &mut S) -> io::Result<ClientResponse> {
+    let invalid = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut line = String::new();
+    if read_limited_line(stream, &mut line, MAX_HEAD)? == 0 {
+        return Err(invalid("connection closed before the status line"));
+    }
+    let mut parts = line.split_whitespace();
+    let status = parts
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| invalid("malformed status line"))?;
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        if read_limited_line(stream, &mut line, MAX_HEAD)? == 0 {
+            return Err(invalid("connection closed inside headers"));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let len = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .ok_or_else(|| invalid("response without Content-Length"))?;
+    if len > MAX_BODY {
+        return Err(invalid("response body too large"));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn requests_round_trip_through_the_wire_format() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/solve", b"{\"x\":1}", true).unwrap();
+        let req = read_request(&mut BufReader::new(&wire[..]))
+            .unwrap()
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/solve");
+        assert_eq!(req.body, b"{\"x\":1}");
+        assert!(req.keep_alive());
+        assert_eq!(req.header("content-type"), Some("application/json"));
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "GET", "/healthz", b"", false).unwrap();
+        let req = read_request(&mut BufReader::new(&wire[..]))
+            .unwrap()
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn eof_between_requests_is_clean() {
+        let wire: &[u8] = b"";
+        assert!(read_request(&mut BufReader::new(wire)).unwrap().is_none());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let mut wire = Vec::new();
+        Response::json(200, br#"{"ok":true}"#.to_vec())
+            .with_header("X-Cache", "hit")
+            .write(&mut wire, true)
+            .unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, br#"{"ok":true}"#);
+        assert_eq!(resp.header("x-cache"), Some("hit"));
+        assert_eq!(resp.header("connection"), Some("keep-alive"));
+    }
+
+    #[test]
+    fn malformed_requests_report_protocol_errors() {
+        let cases: [(&[u8], u16); 4] = [
+            (b"NONSENSE\r\n\r\n", 400),
+            (b"GET /x SPDY/3\r\n\r\n", 400),
+            (b"POST /solve HTTP/1.1\r\nContent-Length: nine\r\n\r\n", 400),
+            (
+                b"POST /solve HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                501,
+            ),
+        ];
+        for (wire, status) in cases {
+            let err = read_request(&mut BufReader::new(wire))
+                .unwrap()
+                .unwrap()
+                .unwrap_err();
+            assert_eq!(
+                err.status,
+                status,
+                "wire {:?}",
+                String::from_utf8_lossy(wire)
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_cheaply() {
+        let wire = format!(
+            "POST /solve HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        let err = read_request(&mut BufReader::new(wire.as_bytes()))
+            .unwrap()
+            .unwrap()
+            .unwrap_err();
+        assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn two_keep_alive_requests_parse_in_sequence() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "GET", "/metrics", b"", true).unwrap();
+        write_request(&mut wire, "GET", "/healthz", b"", true).unwrap();
+        let mut reader = BufReader::new(&wire[..]);
+        let a = read_request(&mut reader).unwrap().unwrap().unwrap();
+        let b = read_request(&mut reader).unwrap().unwrap().unwrap();
+        assert_eq!(a.path, "/metrics");
+        assert_eq!(b.path, "/healthz");
+        assert!(read_request(&mut reader).unwrap().is_none());
+    }
+}

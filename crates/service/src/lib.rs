@@ -1,0 +1,77 @@
+//! # bi-service
+//!
+//! The serving layer of the `bayesian-ignorance` workspace: everything
+//! between the unified solver engine (`bi_core::solve::Solver`) and a
+//! TCP socket, built on `std` alone.
+//!
+//! The paper's six ignorance measures are **pure functions of a game
+//! description** — the same request always has the same answer — which
+//! makes solve results perfectly content-addressable. This crate turns
+//! that observation into a subsystem:
+//!
+//! ```text
+//!                 canonical JSON             FNV-1a over
+//!                 (bi-util json +            canonical bytes
+//!                  per-crate codecs)              │
+//!   client ──► codec ──► SolveRequest ──► sharded LRU cache ──► Solver
+//!     ▲                                     hit │    │ miss        │
+//!     │                                         ▼    ▼             ▼
+//!     └──────────── HTTP/1.1 keep-alive ◄── SolveReport bytes ◄────┘
+//!                 (bi-serve worker pool,
+//!                  bounded queue, 503 backpressure)
+//! ```
+//!
+//! * [`cache`] — the content-addressed solve cache: 64-bit FNV-1a over
+//!   canonical request bytes into a sharded, capacity-bounded, exact-LRU
+//!   store with hit/miss/eviction counters;
+//! * [`service`] — the transport-independent core: [`GameSpec`] (matrix
+//!   or NCS games), [`SolveRequest`]/[`BatchRequest`] wire types, and
+//!   [`SolveService`] routing every solve through the cache and
+//!   [`Solver::solve_many`] for batches;
+//! * [`http`] — a minimal HTTP/1.1 request/response layer over
+//!   `std::io`;
+//! * [`server`] — the `bi-serve` engine: `TcpListener` accept loop,
+//!   bounded request queue with `503` backpressure, fixed worker pool,
+//!   endpoints `POST /solve`, `POST /solve_batch`, `GET /metrics`,
+//!   `GET /healthz`;
+//! * [`metrics`] — the relaxed-atomic counters `GET /metrics` reports.
+//!
+//! The two binaries are thin wrappers: `bi-serve` runs [`Server`];
+//! `bi-loadgen` replays seeded random-game workloads against a running
+//! server and writes `BENCH_service.json` (throughput, latency
+//! percentiles, cache-hit rate).
+//!
+//! [`Solver::solve_many`]: bi_core::solve::Solver::solve_many
+//!
+//! # Examples
+//!
+//! In-process use of the service core (no sockets):
+//!
+//! ```
+//! use bi_core::random_games::random_bayesian_potential_game;
+//! use bi_core::solve::SolverConfig;
+//! use bi_service::{CacheConfig, GameSpec, SolveRequest, SolveService};
+//!
+//! let service = SolveService::new(CacheConfig::default());
+//! let (game, _) = random_bayesian_potential_game(&[2, 2], &[2, 2], 2, 7);
+//! let request = SolveRequest {
+//!     game: GameSpec::Matrix(game),
+//!     config: SolverConfig::default(),
+//! };
+//! let cold = service.solve(&request).unwrap();
+//! let warm = service.solve(&request).unwrap();
+//! assert!(!cold.cache_hit && warm.cache_hit);
+//! assert_eq!(cold.body, warm.body);
+//! ```
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod service;
+pub mod workload;
+
+pub use cache::{CacheConfig, CacheStats, ShardedLru};
+pub use metrics::ServiceMetrics;
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use service::{BatchRequest, GameSpec, SolveOutcome, SolveRequest, SolveService};

@@ -1,0 +1,131 @@
+//! Service counters, surfaced as JSON by `GET /metrics`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use bi_util::Json;
+
+use crate::cache::CacheStats;
+
+/// Monotonic counters of the serving layer. All relaxed atomics — the
+/// numbers are observability, not synchronization.
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    /// Requests fully parsed and routed (any endpoint).
+    pub requests_total: AtomicU64,
+    /// `POST /solve` requests routed.
+    pub solve_requests: AtomicU64,
+    /// `POST /solve_batch` requests routed.
+    pub batch_requests: AtomicU64,
+    /// Individual games solved by the engine (cache misses, including
+    /// every game of a batch that missed).
+    pub solves_computed: AtomicU64,
+    /// Responses with 2xx status.
+    pub responses_2xx: AtomicU64,
+    /// Responses with 4xx status (decode/validation failures).
+    pub responses_4xx: AtomicU64,
+    /// Responses with 5xx status, excluding queue rejections.
+    pub responses_5xx: AtomicU64,
+    /// Connections answered `503` because the request queue was full.
+    pub rejected_busy: AtomicU64,
+    /// Connections accepted.
+    pub connections_total: AtomicU64,
+    start: Instant,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        ServiceMetrics {
+            requests_total: AtomicU64::new(0),
+            solve_requests: AtomicU64::new(0),
+            batch_requests: AtomicU64::new(0),
+            solves_computed: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            connections_total: AtomicU64::new(0),
+            start: Instant::now(),
+        }
+    }
+}
+
+impl ServiceMetrics {
+    /// Bumps the status-class counter for a response.
+    pub fn record_status(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The `GET /metrics` document: service counters plus the cache
+    /// snapshot.
+    #[must_use]
+    pub fn to_json(&self, cache: CacheStats) -> Json {
+        let count = |c: &AtomicU64| Json::from_u64(c.load(Ordering::Relaxed));
+        Json::Obj(vec![
+            (
+                "uptime_seconds".into(),
+                Json::num(self.start.elapsed().as_secs_f64()),
+            ),
+            ("connections_total".into(), count(&self.connections_total)),
+            ("requests_total".into(), count(&self.requests_total)),
+            ("solve_requests".into(), count(&self.solve_requests)),
+            ("batch_requests".into(), count(&self.batch_requests)),
+            ("solves_computed".into(), count(&self.solves_computed)),
+            ("responses_2xx".into(), count(&self.responses_2xx)),
+            ("responses_4xx".into(), count(&self.responses_4xx)),
+            ("responses_5xx".into(), count(&self.responses_5xx)),
+            ("rejected_busy".into(), count(&self.rejected_busy)),
+            (
+                "cache".into(),
+                Json::Obj(vec![
+                    ("hits".into(), Json::from_u64(cache.hits)),
+                    ("misses".into(), Json::from_u64(cache.misses)),
+                    ("insertions".into(), Json::from_u64(cache.insertions)),
+                    ("evictions".into(), Json::from_u64(cache.evictions)),
+                    ("entries".into(), Json::num(cache.entries as f64)),
+                    ("capacity".into(), Json::num(cache.capacity as f64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_classes_are_counted() {
+        let m = ServiceMetrics::default();
+        m.record_status(200);
+        m.record_status(204);
+        m.record_status(404);
+        m.record_status(503);
+        assert_eq!(m.responses_2xx.load(Ordering::Relaxed), 2);
+        assert_eq!(m.responses_4xx.load(Ordering::Relaxed), 1);
+        assert_eq!(m.responses_5xx.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn metrics_document_includes_cache_stats() {
+        let m = ServiceMetrics::default();
+        m.requests_total.fetch_add(3, Ordering::Relaxed);
+        let doc = m.to_json(CacheStats {
+            hits: 5,
+            misses: 2,
+            insertions: 2,
+            evictions: 1,
+            entries: 1,
+            capacity: 64,
+        });
+        assert_eq!(doc.get("requests_total").unwrap().as_u64(), Some(3));
+        let cache = doc.get("cache").unwrap();
+        assert_eq!(cache.get("hits").unwrap().as_u64(), Some(5));
+        assert_eq!(cache.get("capacity").unwrap().as_usize(), Some(64));
+    }
+}

@@ -1,0 +1,402 @@
+//! The concurrent HTTP server: a `std::net::TcpListener` accept loop, a
+//! **bounded** request queue, and a fixed pool of worker threads routing
+//! every request through the shared [`SolveService`].
+//!
+//! Backpressure is explicit: the accept loop `try_send`s each connection
+//! into a `sync_channel` of capacity [`ServerConfig::queue_capacity`];
+//! when the queue is full the connection is answered `503 Service
+//! Unavailable` immediately instead of piling up latency. Workers speak
+//! keep-alive HTTP/1.1 (see [`crate::http`]) and serve any number of
+//! requests per connection.
+//!
+//! Endpoints:
+//!
+//! | Endpoint            | Behavior                                        |
+//! |---------------------|-------------------------------------------------|
+//! | `POST /solve`       | one game through cache + [`Solver`]; `X-Cache: hit\|miss` |
+//! | `POST /solve_batch` | many games, one config; misses go through `solve_many` |
+//! | `GET /metrics`      | service counters + cache stats as JSON          |
+//! | `GET /healthz`      | liveness probe                                  |
+//!
+//! [`Solver`]: bi_core::solve::Solver
+
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bi_util::{Decode, Json};
+
+use crate::cache::CacheConfig;
+use crate::http::{read_request, Response};
+use crate::service::{error_body, BatchRequest, SolveRequest, SolveService};
+
+/// Server sizing and addressing.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; use port `0` for an ephemeral port (the bound
+    /// address is available via [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads (`0` = one per available core).
+    pub workers: usize,
+    /// Pending-connection queue bound; overflow is answered `503`.
+    pub queue_capacity: usize,
+    /// Solve-cache sizing.
+    pub cache: CacheConfig,
+    /// Idle keep-alive read timeout per connection.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    /// Ephemeral port on localhost, one worker per core, a queue of 128
+    /// pending connections, the default cache, 10 s idle timeout.
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_capacity: 128,
+            cache: CacheConfig::default(),
+            read_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A bound (but not yet serving) solve server.
+pub struct Server {
+    listener: TcpListener,
+    config: ServerConfig,
+    service: Arc<SolveService>,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared service state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind failure.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let service = Arc::new(SolveService::new(config.cache));
+        Ok(Server {
+            listener,
+            config,
+            service,
+        })
+    }
+
+    /// The actually bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared service state (for tests and embedding).
+    #[must_use]
+    pub fn service(&self) -> Arc<SolveService> {
+        Arc::clone(&self.service)
+    }
+
+    /// Starts the accept loop and worker pool; returns a handle that
+    /// stops everything on [`ServerHandle::stop`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener cloning failures.
+    pub fn start(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let workers = if self.config.workers == 0 {
+            std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
+        } else {
+            self.config.workers
+        };
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = sync_channel::<TcpStream>(self.config.queue_capacity.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut worker_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let service = Arc::clone(&self.service);
+            let shutdown = Arc::clone(&shutdown);
+            let timeout = self.config.read_timeout;
+            worker_handles.push(std::thread::spawn(move || {
+                worker_loop(&rx, &service, &shutdown, timeout);
+            }));
+        }
+        let listener = self.listener;
+        let service = Arc::clone(&self.service);
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept = std::thread::spawn(move || {
+            // `tx` lives in this thread; dropping it on exit disconnects
+            // the workers' `recv` and ends the pool.
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                service
+                    .metrics()
+                    .connections_total
+                    .fetch_add(1, Ordering::Relaxed);
+                match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => reject_busy(stream, &service),
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+        });
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            accept: Some(accept),
+            workers: worker_handles,
+            service: self.service,
+        })
+    }
+
+    /// Binds-and-serves forever (the `bi-serve` binary's main loop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates startup failures; never returns otherwise.
+    pub fn run(self) -> io::Result<()> {
+        let handle = self.start()?;
+        // Serving threads run forever; park the caller.
+        if let Some(accept) = handle.accept {
+            let _ = accept.join();
+        }
+        Ok(())
+    }
+}
+
+/// A running server: address plus the stop switch.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    service: Arc<SolveService>,
+}
+
+impl ServerHandle {
+    /// The serving address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service state (for asserting on metrics in tests).
+    #[must_use]
+    pub fn service(&self) -> Arc<SolveService> {
+        Arc::clone(&self.service)
+    }
+
+    /// Stops accepting, drains the pool, and joins all threads.
+    pub fn stop(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Answers `503` on the accept thread when the queue is full — the
+/// backpressure path must stay cheap and never block on a worker.
+fn reject_busy(mut stream: TcpStream, service: &SolveService) {
+    service
+        .metrics()
+        .rejected_busy
+        .fetch_add(1, Ordering::Relaxed);
+    service.metrics().record_status(503);
+    let response = Response::json(503, error_body("request queue is full, retry later"));
+    let _ = response.write(&mut stream, false);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    service: &SolveService,
+    shutdown: &AtomicBool,
+    timeout: Duration,
+) {
+    loop {
+        let stream = match rx.lock().expect("queue lock poisoned").recv() {
+            Ok(stream) => stream,
+            Err(_) => return, // accept loop gone
+        };
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let _ = handle_connection(stream, service, shutdown, timeout);
+    }
+}
+
+/// Serves keep-alive requests on one connection until the peer closes,
+/// an error occurs, or shutdown begins.
+fn handle_connection(
+    stream: TcpStream,
+    service: &SolveService,
+    shutdown: &AtomicBool,
+    timeout: Duration,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(None) => return Ok(()), // peer closed cleanly
+            Ok(Some(Ok(request))) => request,
+            Ok(Some(Err(protocol))) => {
+                // Protocol errors poison framing: answer and close.
+                service.metrics().record_status(protocol.status);
+                let response = Response::json(protocol.status, error_body(&protocol.msg));
+                response.write(&mut writer, false)?;
+                return Ok(());
+            }
+            Err(_) => return Ok(()), // timeout or transport failure
+        };
+        let keep_alive = request.keep_alive() && !shutdown.load(Ordering::Relaxed);
+        let response = route(service, &request.method, &request.path, &request.body);
+        service.metrics().record_status(response.status);
+        response.write(&mut writer, keep_alive)?;
+        if !keep_alive {
+            writer.flush()?;
+            return Ok(());
+        }
+    }
+}
+
+/// Routes one parsed request to its endpoint.
+fn route(service: &SolveService, method: &str, path: &str, body: &[u8]) -> Response {
+    service
+        .metrics()
+        .requests_total
+        .fetch_add(1, Ordering::Relaxed);
+    match (method, path) {
+        ("GET", "/healthz") => Response::json(
+            200,
+            Json::Obj(vec![("status".into(), Json::str("ok"))]).canonical_bytes(),
+        ),
+        ("GET", "/metrics") => Response::json(200, service.metrics_json().to_string().into_bytes()),
+        ("POST", "/solve") => {
+            service
+                .metrics()
+                .solve_requests
+                .fetch_add(1, Ordering::Relaxed);
+            handle_solve(service, body)
+        }
+        ("POST", "/solve_batch") => {
+            service
+                .metrics()
+                .batch_requests
+                .fetch_add(1, Ordering::Relaxed);
+            handle_batch(service, body)
+        }
+        (_, "/healthz" | "/metrics" | "/solve" | "/solve_batch") => {
+            Response::json(405, error_body("method not allowed"))
+        }
+        _ => Response::json(404, error_body("unknown endpoint")),
+    }
+}
+
+fn parse_body<T: Decode>(body: &[u8]) -> Result<T, Response> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::json(400, error_body("body must be UTF-8 JSON")))?;
+    T::decode_str(text).map_err(|e| Response::json(400, error_body(&e.to_string())))
+}
+
+fn handle_solve(service: &SolveService, body: &[u8]) -> Response {
+    let request: SolveRequest = match parse_body(body) {
+        Ok(request) => request,
+        Err(response) => return response,
+    };
+    match service.solve(&request) {
+        Ok(outcome) => Response::json(200, outcome.body.to_vec())
+            .with_header("X-Cache", if outcome.cache_hit { "hit" } else { "miss" }),
+        // The request was well-formed; the game is unsolvable as asked
+        // (budget, no equilibrium, …) — a semantic 422, not a 400.
+        Err(e) => Response::json(422, error_body(&e.to_string())),
+    }
+}
+
+fn handle_batch(service: &SolveService, body: &[u8]) -> Response {
+    let batch: BatchRequest = match parse_body(body) {
+        Ok(batch) => batch,
+        Err(response) => return response,
+    };
+    let results = service.solve_batch(&batch);
+    let (mut hits, mut misses) = (0u64, 0u64);
+    // The per-game bodies are already canonical JSON bytes; splice them
+    // instead of re-parsing.
+    let mut out = String::from(r#"{"reports":["#);
+    for (i, result) in results.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match result {
+            Ok(outcome) => {
+                if outcome.cache_hit {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+                out.push_str(r#"{"report":"#);
+                out.push_str(std::str::from_utf8(&outcome.body).expect("canonical JSON is UTF-8"));
+                out.push('}');
+            }
+            Err(e) => {
+                out.push_str(
+                    std::str::from_utf8(&error_body(&e.to_string()))
+                        .expect("canonical JSON is UTF-8"),
+                );
+            }
+        }
+    }
+    out.push_str("]}");
+    Response::json(200, out.into_bytes())
+        .with_header("X-Cache-Hits", hits.to_string())
+        .with_header("X-Cache-Misses", misses.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_rejects_unknown_paths_and_methods() {
+        let service = SolveService::new(CacheConfig::default());
+        assert_eq!(route(&service, "GET", "/nope", b"").status, 404);
+        assert_eq!(route(&service, "DELETE", "/solve", b"").status, 405);
+        assert_eq!(route(&service, "POST", "/healthz", b"").status, 405);
+        assert_eq!(route(&service, "GET", "/healthz", b"").status, 200);
+    }
+
+    #[test]
+    fn solve_endpoint_maps_error_classes_to_statuses() {
+        let service = SolveService::new(CacheConfig::default());
+        assert_eq!(route(&service, "POST", "/solve", b"not json").status, 400);
+        assert_eq!(route(&service, "POST", "/solve", b"\xff\xfe").status, 400);
+        assert_eq!(route(&service, "POST", "/solve", b"{}").status, 400);
+    }
+
+    #[test]
+    fn metrics_endpoint_reports_counts() {
+        let service = SolveService::new(CacheConfig::default());
+        let _ = route(&service, "GET", "/healthz", b"");
+        let response = route(&service, "GET", "/metrics", b"");
+        assert_eq!(response.status, 200);
+        let doc = Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert_eq!(doc.get("requests_total").unwrap().as_u64(), Some(2));
+    }
+}

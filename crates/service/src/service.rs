@@ -1,0 +1,485 @@
+//! The transport-independent service core: typed requests, the
+//! content-addressed cache keying, and the solve/batch handlers the HTTP
+//! server (and any future transport) routes into.
+//!
+//! Request wire forms:
+//!
+//! * `POST /solve` — `{"game": {"kind": "matrix"|"ncs", "game": …},
+//!   "config": SolverConfig}` (`config` optional, defaults to
+//!   [`SolverConfig::default`]); the response body is the canonical
+//!   [`SolveReport`] JSON — byte-identical to encoding an in-process
+//!   [`Solver::solve`] result.
+//! * `POST /solve_batch` — `{"games": [GameSpec, …], "config": …}`: one
+//!   shared config, many games (e.g. a family of priors over one
+//!   underlying graph). Uncached games go through
+//!   [`Solver::solve_many`], so the batch parallelizes across games; the
+//!   response is `{"reports": [{"report": …} | {"error": …}, …]}`,
+//!   aligned by index.
+//!
+//! The cache key is the canonical bytes of `{game, backend, budget}` —
+//! the thread count is deliberately **excluded** (sweeps are bit-for-bit
+//! identical across thread counts, so results are shareable across
+//! differently-threaded clients).
+
+use std::sync::Arc;
+
+use bi_core::solve::{SolveError, SolveReport, Solver, SolverConfig};
+use bi_core::BayesianGame;
+use bi_ncs::BayesianNcsGame;
+use bi_util::json::field;
+use bi_util::{CodecError, Decode, Encode, Json};
+
+use crate::cache::{CacheConfig, CacheStats, ShardedLru};
+use crate::metrics::ServiceMetrics;
+
+/// A solvable game in either representation the solver serves.
+#[derive(Clone, Debug)]
+pub enum GameSpec {
+    /// A matrix-form Bayesian game (`bi-core`).
+    Matrix(BayesianGame),
+    /// A Bayesian network cost-sharing game (`bi-ncs`).
+    Ncs(BayesianNcsGame),
+}
+
+impl Encode for GameSpec {
+    fn encode(&self) -> Json {
+        let (kind, game) = match self {
+            GameSpec::Matrix(g) => ("matrix", g.encode()),
+            GameSpec::Ncs(g) => ("ncs", g.encode()),
+        };
+        Json::Obj(vec![
+            ("kind".into(), Json::str(kind)),
+            ("game".into(), game),
+        ])
+    }
+}
+
+impl Decode for GameSpec {
+    fn decode(v: &Json) -> Result<Self, CodecError> {
+        match bi_util::json::field_str(v, "kind")? {
+            "matrix" => Ok(GameSpec::Matrix(
+                BayesianGame::decode(field(v, "game")?).map_err(|e| e.context("game"))?,
+            )),
+            "ncs" => Ok(GameSpec::Ncs(
+                BayesianNcsGame::decode(field(v, "game")?).map_err(|e| e.context("game"))?,
+            )),
+            other => Err(CodecError::new(format!("unknown game kind `{other}`"))),
+        }
+    }
+}
+
+/// One `POST /solve` request: a game plus the solver configuration.
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    /// The game to solve.
+    pub game: GameSpec,
+    /// How to solve it.
+    pub config: SolverConfig,
+}
+
+impl Encode for SolveRequest {
+    fn encode(&self) -> Json {
+        Json::Obj(vec![
+            ("game".into(), self.game.encode()),
+            ("config".into(), self.config.encode()),
+        ])
+    }
+}
+
+impl Decode for SolveRequest {
+    fn decode(v: &Json) -> Result<Self, CodecError> {
+        let game = GameSpec::decode(field(v, "game")?).map_err(|e| e.context("game"))?;
+        let config = match v.get("config") {
+            None | Some(Json::Null) => SolverConfig::default(),
+            Some(c) => SolverConfig::decode(c).map_err(|e| e.context("config"))?,
+        };
+        Ok(SolveRequest { game, config })
+    }
+}
+
+/// One `POST /solve_batch` request: many games, one shared configuration.
+#[derive(Clone, Debug)]
+pub struct BatchRequest {
+    /// The games to solve, answered in order.
+    pub games: Vec<GameSpec>,
+    /// The shared solver configuration.
+    pub config: SolverConfig,
+}
+
+impl Encode for BatchRequest {
+    fn encode(&self) -> Json {
+        Json::Obj(vec![
+            (
+                "games".into(),
+                Json::Arr(self.games.iter().map(Encode::encode).collect()),
+            ),
+            ("config".into(), self.config.encode()),
+        ])
+    }
+}
+
+impl Decode for BatchRequest {
+    fn decode(v: &Json) -> Result<Self, CodecError> {
+        let games = bi_util::json::field_arr(v, "games")?
+            .iter()
+            .enumerate()
+            .map(|(i, g)| GameSpec::decode(g).map_err(|e| e.context(&format!("games[{i}]"))))
+            .collect::<Result<Vec<_>, _>>()?;
+        let config = match v.get("config") {
+            None | Some(Json::Null) => SolverConfig::default(),
+            Some(c) => SolverConfig::decode(c).map_err(|e| e.context("config"))?,
+        };
+        Ok(BatchRequest { games, config })
+    }
+}
+
+/// The result of routing one solve through the cache.
+#[derive(Clone, Debug)]
+pub struct SolveOutcome {
+    /// The canonical [`SolveReport`] JSON bytes (shared with the cache).
+    pub body: Arc<[u8]>,
+    /// Whether the cache answered (no engine work happened).
+    pub cache_hit: bool,
+}
+
+/// The serving core: a solve cache plus service counters, shared by all
+/// worker threads.
+pub struct SolveService {
+    cache: ShardedLru<Arc<[u8]>>,
+    metrics: ServiceMetrics,
+}
+
+impl SolveService {
+    /// Creates a service with the given cache sizing.
+    #[must_use]
+    pub fn new(cache: CacheConfig) -> Self {
+        SolveService {
+            cache: ShardedLru::new(cache),
+            metrics: ServiceMetrics::default(),
+        }
+    }
+
+    /// The service counters (the server records statuses here too).
+    #[must_use]
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// The cache effectiveness snapshot.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The `GET /metrics` document.
+    #[must_use]
+    pub fn metrics_json(&self) -> Json {
+        self.metrics.to_json(self.cache.stats())
+    }
+
+    /// The content address of a request: canonical bytes of
+    /// `{game, backend, budget}` (threads excluded — they never change
+    /// results).
+    #[must_use]
+    pub fn cache_key(game: &GameSpec, config: &SolverConfig) -> Vec<u8> {
+        Json::Obj(vec![
+            ("game".into(), game.encode()),
+            ("backend".into(), config.backend.encode()),
+            ("budget".into(), config.budget.encode()),
+        ])
+        .canonical_bytes()
+    }
+
+    /// Solves one request through the cache. On a miss the report is
+    /// computed by [`Solver::solve`], encoded canonically, and inserted;
+    /// on a hit the engine is never invoked.
+    ///
+    /// # Errors
+    ///
+    /// Returns the engine's [`SolveError`] (never cached).
+    pub fn solve(&self, request: &SolveRequest) -> Result<SolveOutcome, SolveError> {
+        let key = Self::cache_key(&request.game, &request.config);
+        if let Some(body) = self.cache.get(&key) {
+            return Ok(SolveOutcome {
+                body,
+                cache_hit: true,
+            });
+        }
+        let solver = Solver::from_config(request.config);
+        let report = match &request.game {
+            GameSpec::Matrix(g) => solver.solve(g),
+            GameSpec::Ncs(g) => solver.solve(g),
+        }?;
+        self.metrics
+            .solves_computed
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(SolveOutcome {
+            body: self.insert_report(key, &report),
+            cache_hit: false,
+        })
+    }
+
+    /// Solves a batch: answers cached games immediately, routes the
+    /// misses of each representation through one [`Solver::solve_many`]
+    /// call (games parallelize across the solver's threads), and returns
+    /// per-game results aligned with the input order.
+    pub fn solve_batch(&self, batch: &BatchRequest) -> Vec<Result<SolveOutcome, SolveError>> {
+        let solver = Solver::from_config(batch.config);
+        let mut results: Vec<Option<Result<SolveOutcome, SolveError>>> =
+            batch.games.iter().map(|_| None).collect();
+        let mut matrix_misses: Vec<(usize, Vec<u8>, &BayesianGame)> = Vec::new();
+        let mut ncs_misses: Vec<(usize, Vec<u8>, &BayesianNcsGame)> = Vec::new();
+        for (i, game) in batch.games.iter().enumerate() {
+            let key = Self::cache_key(game, &batch.config);
+            if let Some(body) = self.cache.get(&key) {
+                results[i] = Some(Ok(SolveOutcome {
+                    body,
+                    cache_hit: true,
+                }));
+            } else {
+                match game {
+                    GameSpec::Matrix(g) => matrix_misses.push((i, key, g)),
+                    GameSpec::Ncs(g) => ncs_misses.push((i, key, g)),
+                }
+            }
+        }
+        let matrix_refs: Vec<&BayesianGame> = matrix_misses.iter().map(|(_, _, g)| *g).collect();
+        let matrix_results = solver.solve_many(&matrix_refs);
+        for ((i, key, _), result) in matrix_misses.into_iter().zip(matrix_results) {
+            results[i] = Some(self.finish_miss(key, result));
+        }
+        let ncs_refs: Vec<&BayesianNcsGame> = ncs_misses.iter().map(|(_, _, g)| *g).collect();
+        let ncs_results = solver.solve_many(&ncs_refs);
+        for ((i, key, _), result) in ncs_misses.into_iter().zip(ncs_results) {
+            results[i] = Some(self.finish_miss(key, result));
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every game is either a hit or a routed miss"))
+            .collect()
+    }
+
+    fn finish_miss(
+        &self,
+        key: Vec<u8>,
+        result: Result<SolveReport, SolveError>,
+    ) -> Result<SolveOutcome, SolveError> {
+        let report = result?;
+        self.metrics
+            .solves_computed
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(SolveOutcome {
+            body: self.insert_report(key, &report),
+            cache_hit: false,
+        })
+    }
+
+    fn insert_report(&self, key: Vec<u8>, report: &SolveReport) -> Arc<[u8]> {
+        let body: Arc<[u8]> = Arc::from(report.canonical_bytes());
+        self.cache.insert(&key, Arc::clone(&body));
+        body
+    }
+}
+
+/// A JSON error body: `{"error": "..."}`.
+#[must_use]
+pub fn error_body(msg: &str) -> Vec<u8> {
+    Json::Obj(vec![("error".into(), Json::str(msg))])
+        .canonical_string()
+        .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bi_core::random_games::random_bayesian_potential_game;
+    use bi_core::solve::Backend;
+    use bi_graph::{Direction, Graph};
+    use bi_ncs::Prior;
+
+    fn matrix_game(seed: u64) -> GameSpec {
+        GameSpec::Matrix(random_bayesian_potential_game(&[2, 2], &[2, 2], 2, seed).0)
+    }
+
+    fn ncs_game() -> GameSpec {
+        let mut g = Graph::new(Direction::Directed);
+        let s = g.add_node();
+        let m = g.add_node();
+        let t = g.add_node();
+        g.add_edge(s, m, 1.0);
+        g.add_edge(m, t, 1.0);
+        g.add_edge(s, t, 3.0);
+        let prior = Prior::independent(vec![
+            vec![((s, t), 1.0)],
+            vec![((s, t), 0.5), ((s, s), 0.5)],
+        ]);
+        GameSpec::Ncs(BayesianNcsGame::new(g, prior).unwrap())
+    }
+
+    fn request(game: GameSpec) -> SolveRequest {
+        SolveRequest {
+            game,
+            config: SolverConfig::default(),
+        }
+    }
+
+    #[test]
+    fn solve_results_match_the_in_process_engine_exactly() {
+        let service = SolveService::new(CacheConfig::default());
+        for game in [matrix_game(1), ncs_game()] {
+            let outcome = service.solve(&request(game.clone())).unwrap();
+            assert!(!outcome.cache_hit);
+            let direct = match &game {
+                GameSpec::Matrix(g) => Solver::default().solve(g).unwrap(),
+                GameSpec::Ncs(g) => Solver::default().solve(g).unwrap(),
+            };
+            assert_eq!(
+                outcome.body.as_ref(),
+                direct.canonical_bytes().as_slice(),
+                "service bytes must be identical to the in-process report"
+            );
+        }
+    }
+
+    #[test]
+    fn resubmission_hits_the_cache() {
+        let service = SolveService::new(CacheConfig::default());
+        let req = request(matrix_game(2));
+        let cold = service.solve(&req).unwrap();
+        let warm = service.solve(&req).unwrap();
+        assert!(!cold.cache_hit);
+        assert!(warm.cache_hit);
+        assert_eq!(cold.body, warm.body);
+        let stats = service.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn thread_count_does_not_split_the_cache() {
+        let service = SolveService::new(CacheConfig::default());
+        let game = matrix_game(3);
+        let one = SolveRequest {
+            game: game.clone(),
+            config: SolverConfig {
+                threads: 1,
+                ..SolverConfig::default()
+            },
+        };
+        let four = SolveRequest {
+            game,
+            config: SolverConfig {
+                threads: 4,
+                ..SolverConfig::default()
+            },
+        };
+        assert_eq!(
+            SolveService::cache_key(&one.game, &one.config),
+            SolveService::cache_key(&four.game, &four.config)
+        );
+        service.solve(&one).unwrap();
+        assert!(service.solve(&four).unwrap().cache_hit);
+    }
+
+    #[test]
+    fn different_backends_are_different_content() {
+        let game = matrix_game(4);
+        let exhaustive = request(game.clone());
+        let sampled = SolveRequest {
+            game,
+            config: SolverConfig {
+                backend: Backend::MonteCarloSampling {
+                    samples: 16,
+                    seed: 1,
+                },
+                ..SolverConfig::default()
+            },
+        };
+        assert_ne!(
+            SolveService::cache_key(&exhaustive.game, &exhaustive.config),
+            SolveService::cache_key(&sampled.game, &sampled.config)
+        );
+    }
+
+    #[test]
+    fn batches_mix_hits_misses_and_representations() {
+        let service = SolveService::new(CacheConfig::default());
+        // Pre-warm one of the games.
+        service.solve(&request(matrix_game(5))).unwrap();
+        let batch = BatchRequest {
+            games: vec![matrix_game(5), matrix_game(6), ncs_game()],
+            config: SolverConfig::default(),
+        };
+        let results = service.solve_batch(&batch);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].as_ref().unwrap().cache_hit);
+        assert!(!results[1].as_ref().unwrap().cache_hit);
+        assert!(!results[2].as_ref().unwrap().cache_hit);
+        // Each answer matches a direct solve.
+        for (game, result) in batch.games.iter().zip(&results) {
+            let direct = match game {
+                GameSpec::Matrix(g) => Solver::default().solve(g).unwrap(),
+                GameSpec::Ncs(g) => Solver::default().solve(g).unwrap(),
+            };
+            assert_eq!(
+                result.as_ref().unwrap().body.as_ref(),
+                direct.canonical_bytes().as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn engine_errors_pass_through_and_are_not_cached() {
+        let service = SolveService::new(CacheConfig::default());
+        let req = SolveRequest {
+            game: matrix_game(7),
+            config: SolverConfig {
+                budget: bi_core::solve::Budget {
+                    max_profiles: 1,
+                    max_iterations: 8,
+                },
+                ..SolverConfig::default()
+            },
+        };
+        assert!(matches!(
+            service.solve(&req),
+            Err(SolveError::BudgetExceeded { .. })
+        ));
+        assert_eq!(service.cache_stats().insertions, 0);
+        // Batch errors stay per-game.
+        let results = service.solve_batch(&BatchRequest {
+            games: vec![req.game.clone()],
+            config: req.config,
+        });
+        assert!(matches!(results[0], Err(SolveError::BudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn requests_round_trip_on_the_wire() {
+        let req = request(matrix_game(8));
+        let decoded = SolveRequest::decode(&req.encode()).unwrap();
+        assert_eq!(
+            SolveService::cache_key(&decoded.game, &decoded.config),
+            SolveService::cache_key(&req.game, &req.config)
+        );
+        // Config defaults when omitted.
+        let bare = Json::Obj(vec![("game".into(), req.game.encode())]);
+        let decoded = SolveRequest::decode(&bare).unwrap();
+        assert_eq!(decoded.config, SolverConfig::default());
+        let batch = BatchRequest {
+            games: vec![matrix_game(8), ncs_game()],
+            config: SolverConfig::default(),
+        };
+        let decoded = BatchRequest::decode(&batch.encode()).unwrap();
+        assert_eq!(decoded.games.len(), 2);
+    }
+
+    #[test]
+    fn malformed_requests_name_the_offending_field() {
+        let err = SolveRequest::decode_str(r#"{"game":{"kind":"cubic"}}"#).unwrap_err();
+        assert!(err.to_string().contains("unknown game kind"));
+        let err = SolveRequest::decode_str(r#"{}"#).unwrap_err();
+        assert!(err.to_string().contains("missing field `game`"));
+        let err = BatchRequest::decode_str(r#"{"games":[{"kind":"cubic"}]}"#).unwrap_err();
+        assert!(err.to_string().contains("games[0]"));
+    }
+}

@@ -1,0 +1,226 @@
+//! End-to-end tests: a real [`Server`] on an ephemeral port, driven over
+//! TCP with the crate's own HTTP client helpers.
+//!
+//! These pin the ISSUE-4 acceptance behaviors: `POST /solve` answers
+//! with `SolveReport` JSON byte-identical to the in-process engine for
+//! both game representations, resubmission is a cache hit visible in
+//! `GET /metrics`, batches work, and the bounded queue answers `503`
+//! under overflow.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use bi_core::solve::{Solver, SolverConfig};
+use bi_service::http::{read_response, write_request, ClientResponse};
+use bi_service::workload::{matrix_game, mixed_workload, ncs_game};
+use bi_service::{BatchRequest, GameSpec, Server, ServerConfig, ServerHandle, SolveRequest};
+use bi_util::{Encode, Json};
+
+fn start_server() -> ServerHandle {
+    let server = Server::bind(ServerConfig {
+        workers: 2,
+        queue_capacity: 16,
+        read_timeout: Duration::from_secs(2),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral port");
+    server.start().expect("start server")
+}
+
+/// One request over a fresh connection.
+fn call(addr: std::net::SocketAddr, method: &str, path: &str, body: &[u8]) -> ClientResponse {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    write_request(&mut writer, method, path, body, false).expect("write request");
+    read_response(&mut reader).expect("read response")
+}
+
+fn solve_body(game: &GameSpec) -> Vec<u8> {
+    SolveRequest {
+        game: game.clone(),
+        config: SolverConfig::default(),
+    }
+    .canonical_bytes()
+}
+
+#[test]
+fn solve_answers_match_the_in_process_engine_for_both_representations() {
+    let handle = start_server();
+    for game in [matrix_game(11), ncs_game(12)] {
+        let response = call(handle.addr(), "POST", "/solve", &solve_body(&game));
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("x-cache"), Some("miss"));
+        let direct = match &game {
+            GameSpec::Matrix(g) => Solver::default().solve(g).unwrap(),
+            GameSpec::Ncs(g) => Solver::default().solve(g).unwrap(),
+        };
+        assert_eq!(
+            response.body,
+            direct.canonical_bytes(),
+            "wire report must be byte-identical to the in-process report"
+        );
+    }
+    handle.stop();
+}
+
+#[test]
+fn resubmission_is_a_cache_hit_visible_in_metrics() {
+    let handle = start_server();
+    let body = solve_body(&matrix_game(21));
+    let cold = call(handle.addr(), "POST", "/solve", &body);
+    let warm = call(handle.addr(), "POST", "/solve", &body);
+    assert_eq!(cold.status, 200);
+    assert_eq!(warm.status, 200);
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+    assert_eq!(warm.header("x-cache"), Some("hit"));
+    assert_eq!(cold.body, warm.body);
+
+    let metrics = call(handle.addr(), "GET", "/metrics", b"");
+    assert_eq!(metrics.status, 200);
+    let doc = Json::parse(std::str::from_utf8(&metrics.body).unwrap()).unwrap();
+    let cache = doc.get("cache").expect("cache section");
+    assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1));
+    assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1));
+    assert_eq!(doc.get("solve_requests").unwrap().as_u64(), Some(2));
+    handle.stop();
+}
+
+#[test]
+fn healthz_and_unknown_endpoints() {
+    let handle = start_server();
+    let health = call(handle.addr(), "GET", "/healthz", b"");
+    assert_eq!(health.status, 200);
+    assert_eq!(health.body, br#"{"status":"ok"}"#);
+    assert_eq!(call(handle.addr(), "GET", "/nope", b"").status, 404);
+    assert_eq!(call(handle.addr(), "DELETE", "/solve", b"").status, 405);
+    handle.stop();
+}
+
+#[test]
+fn batches_share_the_cache_with_single_solves() {
+    let handle = start_server();
+    let games = mixed_workload(31, 4);
+    // Warm one game through /solve.
+    let warm = call(handle.addr(), "POST", "/solve", &solve_body(&games[0]));
+    assert_eq!(warm.status, 200);
+    let batch = BatchRequest {
+        games: games.clone(),
+        config: SolverConfig::default(),
+    };
+    let response = call(
+        handle.addr(),
+        "POST",
+        "/solve_batch",
+        &batch.canonical_bytes(),
+    );
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("x-cache-hits"), Some("1"));
+    assert_eq!(response.header("x-cache-misses"), Some("3"));
+    let doc = Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+    let reports = doc.get("reports").unwrap().as_arr().unwrap();
+    assert_eq!(reports.len(), 4);
+    for (game, entry) in games.iter().zip(reports) {
+        let direct = match game {
+            GameSpec::Matrix(g) => Solver::default().solve(g).unwrap(),
+            GameSpec::Ncs(g) => Solver::default().solve(g).unwrap(),
+        };
+        let report = entry.get("report").expect("successful report");
+        assert_eq!(
+            report.canonical_string(),
+            direct.encode().canonical_string()
+        );
+    }
+    handle.stop();
+}
+
+#[test]
+fn malformed_and_unsolvable_requests_map_to_4xx() {
+    let handle = start_server();
+    assert_eq!(call(handle.addr(), "POST", "/solve", b"{oops").status, 400);
+    assert_eq!(
+        call(
+            handle.addr(),
+            "POST",
+            "/solve",
+            br#"{"game":{"kind":"cubic"}}"#
+        )
+        .status,
+        400
+    );
+    // Well-formed but over budget: a semantic 422.
+    let game = matrix_game(41);
+    let request = SolveRequest {
+        game,
+        config: SolverConfig {
+            budget: bi_core::solve::Budget {
+                max_profiles: 1,
+                max_iterations: 8,
+            },
+            ..SolverConfig::default()
+        },
+    };
+    let response = call(handle.addr(), "POST", "/solve", &request.canonical_bytes());
+    assert_eq!(response.status, 422);
+    let doc = Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+    assert!(doc
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("budget"));
+    handle.stop();
+}
+
+#[test]
+fn overflowing_the_bounded_queue_answers_503() {
+    // One worker, queue of one: occupy the worker with an idle
+    // connection, fill the queue with a second, and the third must be
+    // rejected with 503 by the accept loop.
+    let server = Server::bind(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let handle = server.start().expect("start");
+    let addr = handle.addr();
+    let _busy = TcpStream::connect(addr).expect("worker-occupying connection");
+    std::thread::sleep(Duration::from_millis(300)); // worker picks it up
+    let _queued = TcpStream::connect(addr).expect("queued connection");
+    std::thread::sleep(Duration::from_millis(300)); // it settles in the queue
+    let rejected = call(addr, "GET", "/healthz", b"");
+    assert_eq!(rejected.status, 503, "third connection must be rejected");
+    let doc = Json::parse(std::str::from_utf8(&rejected.body).unwrap()).unwrap();
+    assert!(doc
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("queue"));
+    // Close the parked connections before stopping so the worker joins
+    // immediately instead of waiting out its read timeout.
+    drop(_busy);
+    drop(_queued);
+    handle.stop();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_on_one_connection() {
+    let handle = start_server();
+    let stream = TcpStream::connect(handle.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let body = solve_body(&matrix_game(51));
+    for i in 0..3 {
+        write_request(&mut writer, "POST", "/solve", &body, true).expect("write");
+        let response = read_response(&mut reader).expect("read");
+        assert_eq!(response.status, 200);
+        let expected = if i == 0 { "miss" } else { "hit" };
+        assert_eq!(response.header("x-cache"), Some(expected), "request {i}");
+    }
+    drop(writer);
+    handle.stop();
+}

@@ -5,8 +5,10 @@
 //! ([`TotalF64`]), harmonic numbers ([`harmonic`]), tolerance-based float
 //! comparison ([`approx_eq`], [`approx_le`]), summary statistics and
 //! log–log growth fitting ([`stats`]), seeded RNG construction
-//! ([`rng::seeded`]), and plain-text table rendering for the experiment
-//! harnesses ([`table::TextTable`]).
+//! ([`rng::seeded`]), plain-text table rendering for the experiment
+//! harnesses ([`table::TextTable`]), the canonical JSON wire codec of the
+//! solve service ([`json`]), and the FNV-1a content-address hash
+//! ([`hash`]).
 //!
 //! # Examples
 //!
@@ -23,10 +25,14 @@ pub mod float;
 // Private module: its single item is re-exported below, and rustdoc rejects
 // a root-level module and function sharing the name `harmonic`.
 mod harmonic;
+pub mod hash;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod table;
 
 pub use float::{approx_eq, approx_le, TotalF64, EPS};
 pub use harmonic::harmonic;
+pub use hash::{fnv1a, FnvBuildHasher};
+pub use json::{CodecError, Decode, Encode, Json};
 pub use stats::{linear_fit, log_log_slope, Summary};

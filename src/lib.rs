@@ -21,6 +21,11 @@
 //!   configurable entry point (pluggable backends, budgets, threads);
 //! * [`ncs`] — complete-information and Bayesian NCS games with exact
 //!   solvers;
+//! * [`service`] *(crate `bi-service`)* — the serving layer: the
+//!   canonical JSON wire codec ([`util::json`] + per-crate
+//!   `Encode`/`Decode` impls), a content-addressed sharded LRU solve
+//!   cache, the `bi-serve` HTTP server (worker pool, bounded queue,
+//!   `503` backpressure) and the `bi-loadgen` benchmark driver;
 //! * [`constructions`] — every explicit construction from the paper
 //!   (affine-plane game, `G_k`, `G_worst`, diamond game, FRT strategies);
 //! * [`graph`], [`geometry`], [`metric`], [`online`], [`zerosum`],
@@ -76,5 +81,6 @@ pub use bi_graph as graph;
 pub use bi_metric as metric;
 pub use bi_ncs as ncs;
 pub use bi_online as online;
+pub use bi_service as service;
 pub use bi_util as util;
 pub use bi_zerosum as zerosum;
