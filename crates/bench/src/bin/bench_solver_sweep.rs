@@ -1,0 +1,318 @@
+//! `bench_solver_sweep` — throughput of the solver's exhaustive sweep and
+//! sampling backends, per representation, against the pre-compiled
+//! baseline, written to `BENCH_solver.json`.
+//!
+//! The baseline is a verbatim reimplementation of the pre-compiled-kernel
+//! sweep loop (clone-based odometer over nested `Vec<Vec<Action>>`
+//! profiles, full `social_cost` / `is_equilibrium` recomputation per
+//! profile), timed **in the same run** as the compiled-kernel engine so
+//! the speedup column is an apples-to-apples measurement on the same
+//! machine and instance. The bench also asserts the two sweeps agree
+//! bit-for-bit before reporting.
+//!
+//! `--quick` shrinks instances and repeats for CI smoke runs; the
+//! committed `BENCH_solver.json` comes from a full run.
+
+use std::io::Write;
+use std::process::exit;
+use std::time::Instant;
+
+use bi_constructions::universal::random_bayesian_ncs;
+use bi_core::model::{BayesianModel, Profile};
+use bi_core::random_games::random_bayesian_potential_game;
+use bi_core::solve::{Backend, SolveReport, Solver};
+use bi_graph::Direction;
+use bi_util::Json;
+
+const USAGE: &str = "\
+bench_solver_sweep — solver sweep throughput vs the pre-compiled baseline
+
+USAGE: bench_solver_sweep [OPTIONS]
+
+OPTIONS:
+  --quick       small instances / fewer repeats (CI smoke mode)
+  --seed N      instance seed (default 11)
+  --out FILE    report path (default BENCH_solver.json)
+  --help        print this help
+";
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut parsed = Args {
+        quick: false,
+        seed: 11,
+        out: "BENCH_solver.json".into(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--help" => {
+                print!("{USAGE}");
+                exit(0);
+            }
+            "--quick" => parsed.quick = true,
+            "--seed" => {
+                let value = args.next().ok_or("--seed needs a value")?;
+                parsed.seed = value.parse().map_err(|_| format!("bad seed `{value}`"))?;
+            }
+            "--out" => parsed.out = args.next().ok_or("--out needs a value")?,
+            other => return Err(format!("unknown flag {other} (see --help)")),
+        }
+    }
+    Ok(parsed)
+}
+
+/// Extrema of one baseline sweep (mirrors the solver's internal stats).
+struct BaselineStats {
+    opt_p: f64,
+    best_eq_p: f64,
+    worst_eq_p: f64,
+    evaluated: u128,
+}
+
+/// The pre-compiled exhaustive sweep, verbatim: nested-profile odometer
+/// with one action clone per tick, `social_cost` and `is_equilibrium`
+/// recomputed from scratch on every profile.
+fn baseline_sweep<M: BayesianModel>(model: &M) -> BaselineStats {
+    let mut slots = Vec::new();
+    let mut sets: Vec<Vec<M::Action>> = Vec::new();
+    for i in 0..model.num_agents() {
+        for tau in 0..model.type_count(i) {
+            slots.push((i, tau));
+            sets.push(model.candidate_actions(i, tau).expect("enumerable"));
+        }
+    }
+    let sizes: Vec<usize> = sets.iter().map(Vec::len).collect();
+    let size: u128 = sizes.iter().map(|&s| s as u128).product();
+    let mut profile: Profile<M> = (0..model.num_agents()).map(|_| Vec::new()).collect();
+    for (&(i, _), set) in slots.iter().zip(&sets) {
+        profile[i].push(set[0].clone());
+    }
+    let mut digits = vec![0usize; sizes.len()];
+    let mut stats = BaselineStats {
+        opt_p: f64::INFINITY,
+        best_eq_p: f64::INFINITY,
+        worst_eq_p: f64::NEG_INFINITY,
+        evaluated: 0,
+    };
+    loop {
+        let k = model.social_cost(&profile);
+        stats.evaluated += 1;
+        stats.opt_p = stats.opt_p.min(k);
+        if model.is_equilibrium(&profile) {
+            stats.best_eq_p = stats.best_eq_p.min(k);
+            stats.worst_eq_p = stats.worst_eq_p.max(k);
+        }
+        if stats.evaluated == size {
+            return stats;
+        }
+        let mut j = digits.len();
+        loop {
+            assert!(j > 0, "odometer overflow");
+            j -= 1;
+            let (i, tau) = slots[j];
+            digits[j] += 1;
+            if digits[j] < sizes[j] {
+                profile[i][tau] = sets[j][digits[j]].clone();
+                break;
+            }
+            digits[j] = 0;
+            profile[i][tau] = sets[j][0].clone();
+        }
+    }
+}
+
+/// Wall-clock of the best of `repeats` runs of `f` (min filters scheduler
+/// noise), together with the last result.
+fn time_best<T>(repeats: u32, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        result = Some(r);
+    }
+    (result.expect("at least one repeat"), best)
+}
+
+struct Row {
+    backend: String,
+    profiles: u128,
+    seconds: f64,
+}
+
+impl Row {
+    fn profiles_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.profiles as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("backend".into(), Json::str(&self.backend)),
+            ("profiles".into(), Json::num(self.profiles as f64)),
+            ("seconds".into(), Json::num(self.seconds)),
+            (
+                "profiles_per_sec".into(),
+                Json::num(self.profiles_per_sec()),
+            ),
+        ])
+    }
+}
+
+/// Benches one model: baseline sweep, compiled sweeps at 1 and 4 threads,
+/// and the two sampling backends. Asserts bit-for-bit agreement between
+/// the baseline and the compiled exhaustive sweep.
+fn bench_model<M: BayesianModel>(model: &M, seed: u64, repeats: u32) -> (Vec<Row>, f64) {
+    let (base, base_secs) = time_best(repeats, || baseline_sweep(model));
+    let exhaustive = |threads: usize| Solver::builder().threads(threads).build();
+    let (report1, secs1) = time_best(repeats, || {
+        exhaustive(1).solve(model).expect("solvable instance")
+    });
+    assert_eq!(
+        (
+            base.opt_p.to_bits(),
+            base.best_eq_p.to_bits(),
+            base.worst_eq_p.to_bits()
+        ),
+        (
+            report1.measures.opt_p.to_bits(),
+            report1.measures.best_eq_p.to_bits(),
+            report1.measures.worst_eq_p.to_bits()
+        ),
+        "compiled sweep must agree with the baseline bit-for-bit"
+    );
+    assert_eq!(base.evaluated, report1.profiles_evaluated);
+    let (report4, secs4) = time_best(repeats, || {
+        exhaustive(4).solve(model).expect("solvable instance")
+    });
+    let brd = Solver::builder()
+        .backend(Backend::BestResponseDynamics { restarts: 32, seed })
+        .build();
+    let (brd_report, brd_secs) = time_best(repeats, || brd.solve(model).expect("solvable"));
+    let mc = Solver::builder()
+        .backend(Backend::MonteCarloSampling { samples: 256, seed })
+        .build();
+    let (mc_report, mc_secs) = time_best(repeats, || mc.solve(model).expect("solvable"));
+    let row = |backend: &str, report: &SolveReport, seconds: f64| Row {
+        backend: backend.into(),
+        profiles: report.profiles_evaluated,
+        seconds,
+    };
+    let rows = vec![
+        Row {
+            backend: "baseline-exhaustive/1t".into(),
+            profiles: base.evaluated,
+            seconds: base_secs,
+        },
+        row("compiled-exhaustive/1t", &report1, secs1),
+        row("compiled-exhaustive/4t", &report4, secs4),
+        row("best-response-dynamics/32-restarts", &brd_report, brd_secs),
+        row("monte-carlo/256-samples", &mc_report, mc_secs),
+    ];
+    let speedup = rows[1].profiles_per_sec() / rows[0].profiles_per_sec();
+    (rows, speedup)
+}
+
+fn suite_json(representation: &str, instance: &str, rows: &[Row], speedup: f64) -> Json {
+    Json::Obj(vec![
+        ("representation".into(), Json::str(representation)),
+        ("instance".into(), Json::str(instance)),
+        (
+            "rows".into(),
+            Json::Arr(rows.iter().map(Row::to_json).collect()),
+        ),
+        ("compiled_over_baseline_1t".into(), Json::num(speedup)),
+    ])
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("bench_solver_sweep: {msg}");
+            exit(2);
+        }
+    };
+    let repeats = if args.quick { 2 } else { 5 };
+
+    // Matrix form: 3 agents × 2 types, so the sweep space (4^6 = 4096)
+    // dwarfs each state's joint table (4^3 = 64).
+    let (matrix_types, matrix_actions, matrix_support) = if args.quick {
+        (vec![2usize, 2], vec![3usize, 3], 3usize)
+    } else {
+        (vec![2usize, 2, 2], vec![4usize, 4, 4], 4usize)
+    };
+    let (matrix_game, _) =
+        random_bayesian_potential_game(&matrix_types, &matrix_actions, matrix_support, args.seed);
+    let matrix_desc = format!(
+        "random potential game, types {matrix_types:?}, actions {matrix_actions:?}, support {matrix_support}"
+    );
+    eprintln!("bench_solver_sweep: matrix — {matrix_desc}");
+    let (matrix_rows, matrix_speedup) = bench_model(&matrix_game, args.seed, repeats);
+    for r in &matrix_rows {
+        eprintln!(
+            "  {:<36} {:>10} profiles  {:>9.0} profiles/s",
+            r.backend,
+            r.profiles,
+            r.profiles_per_sec()
+        );
+    }
+
+    // NCS form: a random directed network, 2 agents × 2 types.
+    let (ncs_nodes, ncs_p) = if args.quick { (5, 0.35) } else { (6, 0.4) };
+    let ncs_game = random_bayesian_ncs(Direction::Directed, ncs_nodes, ncs_p, 2, 2, args.seed)
+        .expect("connected generator");
+    let ncs_desc = format!(
+        "random Bayesian NCS, {ncs_nodes} nodes, edge prob {ncs_p}, 2 agents x 2 types, space {}",
+        ncs_game.strategy_space_size().expect("sized")
+    );
+    eprintln!("bench_solver_sweep: ncs — {ncs_desc}");
+    let (ncs_rows, ncs_speedup) = bench_model(&ncs_game, args.seed, repeats);
+    for r in &ncs_rows {
+        eprintln!(
+            "  {:<36} {:>10} profiles  {:>9.0} profiles/s",
+            r.backend,
+            r.profiles,
+            r.profiles_per_sec()
+        );
+    }
+
+    let report = Json::Obj(vec![
+        (
+            "mode".into(),
+            Json::str(if args.quick { "quick" } else { "full" }),
+        ),
+        ("seed".into(), Json::from_u64(args.seed)),
+        (
+            "suites".into(),
+            Json::Arr(vec![
+                suite_json("matrix", &matrix_desc, &matrix_rows, matrix_speedup),
+                suite_json("ncs", &ncs_desc, &ncs_rows, ncs_speedup),
+            ]),
+        ),
+    ]);
+    let mut file = match std::fs::File::create(&args.out) {
+        Ok(file) => file,
+        Err(e) => {
+            eprintln!("bench_solver_sweep: cannot write {}: {e}", args.out);
+            exit(1);
+        }
+    };
+    file.write_all(report.to_string().as_bytes())
+        .and_then(|()| file.write_all(b"\n"))
+        .expect("report write");
+    println!(
+        "bench_solver_sweep: matrix {matrix_speedup:.1}x | ncs {ncs_speedup:.1}x vs baseline -> {}",
+        args.out
+    );
+}

@@ -5,6 +5,7 @@ use std::fmt;
 
 use bi_util::approx_eq;
 
+use crate::compiled::{CompiledSpace, EvalKernel, Lowered, SlotStep};
 use crate::game::{EnumerationError, MatrixFormGame, ProfileIter, MAX_ENUMERATION};
 use crate::measures::Measures;
 use crate::model::{BayesianModel, CompleteInfo};
@@ -548,6 +549,246 @@ impl BayesianModel for BayesianGame {
             best_eq_c,
             worst_eq_c,
         })
+    }
+
+    fn lower<'a>(&'a self, space: &'a CompiledSpace<Self>) -> Box<dyn Lowered + 'a> {
+        Box::new(MatrixLowered::new(self, space))
+    }
+}
+
+/// Cap on precomputed social-table entries (`support states × joint
+/// profiles`) of [`MatrixLowered::prepare_sweep`]; past it the kernels
+/// compute social costs from the per-agent tables instead of
+/// materializing hundreds of megabytes of premultiplied tables.
+const MATRIX_TABLE_BUDGET: usize = 1 << 22;
+
+/// Compiled evaluation tables of a [`BayesianGame`]: per support state, a
+/// premultiplied flat social-cost table addressed by strided profile
+/// offsets, plus the `(slot, stride)` terms that keep each state's offset
+/// maintained incrementally as the sweep odometer advances digits.
+struct MatrixLowered<'a> {
+    space: &'a CompiledSpace<BayesianGame>,
+    states: Vec<MatrixState<'a>>,
+    /// Per slot: the states the slot participates in, as
+    /// `(state, stride of the slot's agent in that state)`, in state
+    /// order (interim sums must preserve the legacy state iteration
+    /// order bit-for-bit).
+    slot_states: Vec<Vec<(usize, usize)>>,
+    /// Per state, `prob · K_t(a)` per joint index — one lookup instead of
+    /// `k` table reads per profile. Built by
+    /// [`Lowered::prepare_sweep`] only: the tables amortize over an
+    /// exhaustive sweep but would dwarf a dynamics run that evaluates a
+    /// handful of profiles.
+    social: std::sync::OnceLock<Vec<Vec<f64>>>,
+}
+
+struct MatrixState<'a> {
+    prob: f64,
+    /// Per agent, the state's raw cost table (interim sums multiply by
+    /// `prob` at lookup, replicating the legacy arithmetic exactly).
+    agent_tables: Vec<&'a [f64]>,
+    /// `(slot, stride)` per agent: the state's joint index is
+    /// `Σ digit(slot)·stride`.
+    offset_terms: Vec<(usize, usize)>,
+}
+
+impl<'a> MatrixLowered<'a> {
+    fn new(game: &'a BayesianGame, space: &'a CompiledSpace<BayesianGame>) -> Self {
+        // Slot index of (agent, tau): slots are agent-major.
+        let mut slot_base = Vec::with_capacity(game.num_agents());
+        let mut acc = 0usize;
+        for &count in &game.type_counts {
+            slot_base.push(acc);
+            acc += count;
+        }
+        let mut slot_states: Vec<Vec<(usize, usize)>> = vec![Vec::new(); space.num_slots()];
+        let mut states = Vec::with_capacity(game.states.len());
+        for (s_idx, st) in game.states.iter().enumerate() {
+            let mut offset_terms = Vec::with_capacity(game.num_agents());
+            for (i, &tau) in st.types.iter().enumerate() {
+                let slot = slot_base[i] + tau;
+                let stride = st.game.stride(i);
+                offset_terms.push((slot, stride));
+                slot_states[slot].push((s_idx, stride));
+            }
+            states.push(MatrixState {
+                prob: st.prob,
+                agent_tables: (0..game.num_agents())
+                    .map(|i| st.game.cost_table(i))
+                    .collect(),
+                offset_terms,
+            });
+        }
+        MatrixLowered {
+            space,
+            states,
+            slot_states,
+            social: std::sync::OnceLock::new(),
+        }
+    }
+}
+
+impl Lowered for MatrixLowered<'_> {
+    fn kernel(&self) -> Box<dyn EvalKernel + '_> {
+        Box::new(MatrixKernel {
+            lowered: self,
+            offsets: vec![0; self.states.len()],
+            digits: vec![0; self.space.num_slots()],
+            unstable_hint: 0,
+        })
+    }
+
+    fn prepare_sweep(&self) {
+        let prod = self.states.first().map_or(0, |st| {
+            st.agent_tables.first().map_or(0, |table| table.len())
+        });
+        if self
+            .states
+            .len()
+            .checked_mul(prod)
+            .is_none_or(|entries| entries > MATRIX_TABLE_BUDGET)
+        {
+            return;
+        }
+        self.social.get_or_init(|| {
+            self.states
+                .iter()
+                .map(|st| {
+                    (0..prod)
+                        .map(|idx| {
+                            // Same fold as `MatrixFormGame::social_cost`,
+                            // premultiplied by the state's probability (the
+                            // legacy outer product) — bit-identical to the
+                            // on-the-fly path in `MatrixKernel::social_cost`.
+                            let k: f64 = st.agent_tables.iter().map(|table| table[idx]).sum();
+                            st.prob * k
+                        })
+                        .collect()
+                })
+                .collect()
+        });
+    }
+}
+
+/// Incremental evaluator over the [`MatrixLowered`] tables: maintains one
+/// strided joint-profile offset per support state, so social cost is one
+/// table lookup per state and interim deviation costs are strided reads
+/// off the same offsets.
+struct MatrixKernel<'a> {
+    lowered: &'a MatrixLowered<'a>,
+    /// Joint profile index per state under the current digits.
+    offsets: Vec<usize>,
+    digits: Vec<u32>,
+    /// The slot that refuted the previous equilibrium check — checked
+    /// first next time (pure evaluation-order heuristic; the result of
+    /// the AND is order-independent).
+    unstable_hint: usize,
+}
+
+impl MatrixKernel<'_> {
+    /// Unnormalized interim cost of the slot's agent deviating to action
+    /// `a` — bit-identical to `BayesianGame::interim_cost` (same products,
+    /// same state order).
+    fn interim(&self, slot: usize, a: usize) -> f64 {
+        let played = self.digits[slot] as usize;
+        let (agent, _) = self.lowered.space.slot(slot);
+        self.lowered.slot_states[slot]
+            .iter()
+            .map(|&(s, stride)| {
+                let state = &self.lowered.states[s];
+                let idx = self.offsets[s] - played * stride + a * stride;
+                state.prob * state.agent_tables[agent][idx]
+            })
+            .sum()
+    }
+
+    /// Bit-faithful `BayesianGame::slot_is_stable` for one slot: exact
+    /// over every deviation, with the legacy short-circuit over actions.
+    fn slot_is_stable(&self, slot: usize) -> bool {
+        let played = self.interim(slot, self.digits[slot] as usize);
+        let actions = self.lowered.space.slot_size(slot) as usize;
+        (0..actions).all(|a| {
+            let dev = self.interim(slot, a);
+            dev >= played || bi_util::approx_le(played, dev)
+        })
+    }
+}
+
+impl EvalKernel for MatrixKernel<'_> {
+    fn seed(&mut self, digits: &[u32]) {
+        self.digits.copy_from_slice(digits);
+        for (offset, state) in self.offsets.iter_mut().zip(&self.lowered.states) {
+            *offset = state
+                .offset_terms
+                .iter()
+                .map(|&(slot, stride)| digits[slot] as usize * stride)
+                .sum();
+        }
+    }
+
+    fn advance(&mut self, slot: usize, old: u32, new: u32) {
+        self.digits[slot] = new;
+        for &(s, stride) in &self.lowered.slot_states[slot] {
+            self.offsets[s] = self.offsets[s] - old as usize * stride + new as usize * stride;
+        }
+    }
+
+    fn social_cost(&mut self) -> f64 {
+        // Same fold as the legacy `BayesianGame::social_cost`: one
+        // `prob · K_t` term per state, in state order — read from the
+        // premultiplied sweep tables when built, recomputed from the
+        // per-agent tables otherwise (identical operands either way).
+        if let Some(social) = self.lowered.social.get() {
+            self.offsets
+                .iter()
+                .zip(social)
+                .map(|(&offset, table)| table[offset])
+                .sum()
+        } else {
+            self.offsets
+                .iter()
+                .zip(&self.lowered.states)
+                .map(|(&offset, state)| {
+                    let k: f64 = state.agent_tables.iter().map(|table| table[offset]).sum();
+                    state.prob * k
+                })
+                .sum()
+        }
+    }
+
+    fn is_equilibrium(&mut self) -> bool {
+        let space = self.lowered.space;
+        let mut hint = self.unstable_hint;
+        let stable = crate::compiled::stable_with_hint(
+            space.num_slots(),
+            |slot| space.weight(slot),
+            &mut hint,
+            |slot| self.slot_is_stable(slot),
+        );
+        self.unstable_hint = hint;
+        stable
+    }
+
+    fn slot_improvement(&mut self, slot: usize) -> SlotStep {
+        // Replicates the default `BayesianModel::slot_improvement` +
+        // `BayesianGame::best_response` pair: EPS tie-breaking to the
+        // smallest action index, improvement only beyond the tolerance.
+        let played = self.interim(slot, self.digits[slot] as usize);
+        let actions = self.lowered.space.slot_size(slot) as usize;
+        let mut best_a = 0usize;
+        let mut best_c = f64::INFINITY;
+        for a in 0..actions {
+            let c = self.interim(slot, a);
+            if c < best_c - bi_util::EPS {
+                best_c = c;
+                best_a = a;
+            }
+        }
+        if best_c < played - bi_util::EPS {
+            SlotStep::Improve(best_a as u32)
+        } else {
+            SlotStep::Stable
+        }
     }
 }
 

@@ -153,6 +153,17 @@ impl MatrixFormGame {
         self.costs[0].len()
     }
 
+    /// The joint-index stride of agent `i` (the compiled kernels address
+    /// the cost tables directly by strided offsets).
+    pub(crate) fn stride(&self, i: usize) -> usize {
+        self.strides[i]
+    }
+
+    /// Agent `i`'s full cost table, indexed by joint profile index.
+    pub(crate) fn cost_table(&self, i: usize) -> &[f64] {
+        &self.costs[i]
+    }
+
     fn index_of(&self, profile: &[usize]) -> usize {
         assert_eq!(profile.len(), self.num_agents(), "profile length mismatch");
         profile

@@ -24,6 +24,11 @@
 //! * [`model`] — the [`BayesianModel`] trait: the primitives any game
 //!   representation (matrix form here, graph form in `bi-ncs`) exposes to
 //!   the solver, with shared default equilibrium/dynamics logic;
+//! * [`compiled`] — the compiled evaluation layer: per-solve lowering of
+//!   any model into a flat `u32`-indexed candidate arena plus an
+//!   incremental per-representation [`EvalKernel`], so sweeps mutate one
+//!   digit buffer with zero action clones and delta-update their cost
+//!   state;
 //! * [`solve`] — the unified [`Solver`] engine: pluggable backends
 //!   (exhaustive, best-response dynamics, Monte Carlo sampling), budgets,
 //!   multi-threaded sweeps, structured [`SolveReport`]s;
@@ -54,6 +59,7 @@
 
 pub mod bayesian;
 pub mod codec;
+pub mod compiled;
 pub mod game;
 pub mod measures;
 pub mod model;
@@ -64,6 +70,7 @@ pub mod randomness;
 pub mod solve;
 
 pub use bayesian::{BayesianGame, StrategyProfile};
+pub use compiled::{CompiledSpace, EvalKernel, Lowered, SlotStep};
 pub use game::MatrixFormGame;
 pub use measures::{IgnoranceRatios, Measures};
 pub use model::{BayesianModel, CompleteInfo};

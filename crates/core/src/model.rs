@@ -17,6 +17,7 @@
 
 use bi_util::{approx_le, EPS};
 
+use crate::compiled::{CompiledSpace, GenericLowered, Lowered};
 use crate::solve::SolveError;
 
 /// A pure strategy profile of a model: `profile[i][τ]` is the action agent
@@ -53,7 +54,12 @@ pub struct CompleteInfo {
 ///   marginal (the normalization cancels when comparing actions).
 pub trait BayesianModel: Sync {
     /// One action of one agent (a matrix column index, a path, …).
-    type Action: Clone + Send + Sync;
+    ///
+    /// Equality is used by the compiled evaluation layer
+    /// ([`crate::compiled`]) to map actions produced by
+    /// [`best_response`](Self::best_response) back onto flat candidate
+    /// indices.
+    type Action: Clone + Send + Sync + PartialEq;
 
     /// Number of agents `k`.
     fn num_agents(&self) -> usize;
@@ -214,5 +220,28 @@ pub trait BayesianModel: Sync {
             }
         }
         Ok(size)
+    }
+
+    /// Lowers the model into a compiled evaluation factory over the given
+    /// flattened candidate space (see [`crate::compiled`]). The solver
+    /// calls this once per solve; each worker thread then instantiates its
+    /// own incremental [`crate::compiled::EvalKernel`] from the result.
+    ///
+    /// # Contract
+    ///
+    /// A kernel obtained from the returned factory must produce results
+    /// **bit-for-bit identical** to calling [`social_cost`](Self::social_cost),
+    /// [`is_equilibrium`](Self::is_equilibrium) and
+    /// [`slot_improvement`](Self::slot_improvement) on the materialized
+    /// profile — same floating-point operations in the same order. The
+    /// default implementation routes through exactly those trait methods;
+    /// representations override it with incrementally-maintained kernels
+    /// (matrix form: strided per-state cost-table offsets; NCS: per-state
+    /// edge loads) that preserve the arithmetic.
+    fn lower<'a>(&'a self, space: &'a CompiledSpace<Self>) -> Box<dyn Lowered + 'a>
+    where
+        Self: Sized,
+    {
+        Box::new(GenericLowered::new(self, space))
     }
 }

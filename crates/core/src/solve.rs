@@ -15,6 +15,15 @@
 //!   `std::thread` workers (results are independent of the chunking, so
 //!   threaded and single-threaded runs agree bit-for-bit).
 //!
+//! Every backend evaluates profiles through the **compiled evaluation
+//! layer** ([`crate::compiled`]): the solver lowers the model once into a
+//! flat `u32`-indexed candidate arena plus a per-representation
+//! incremental [`EvalKernel`], each worker
+//! seeds its kernel from its chunk's starting digits, and the odometer
+//! then mutates a single digit buffer with zero action clones while the
+//! kernel delta-updates its cost state. Kernels are bit-for-bit faithful
+//! to the trait-method evaluation, so this is purely a performance layer.
+//!
 //! Every solve returns a structured [`SolveReport`]; failures share the
 //! single [`SolveError`] type.
 //!
@@ -47,11 +56,12 @@ use std::error::Error;
 use std::fmt;
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
+use crate::compiled::{CompiledSpace, EvalKernel, Lowered, SlotStep};
 use crate::game::MAX_ENUMERATION;
 use crate::measures::Measures;
-use crate::model::{BayesianModel, Profile};
+use crate::model::BayesianModel;
 
 /// Unified error type of the solver engine.
 #[derive(Debug)]
@@ -393,25 +403,25 @@ impl Solver {
     /// * [`SolveError::Model`] — a model-specific failure (e.g.
     ///   truncated path enumeration).
     pub fn solve<M: BayesianModel>(&self, model: &M) -> Result<SolveReport, SolveError> {
-        let slots = SlotSets::collect(model)?;
+        let space = CompiledSpace::compile(model)?;
         let mut sample_cap = None;
         let stats = match self.backend {
             Backend::ExhaustiveEnum => {
                 // Only the exhaustive sweep needs the space size; the
                 // sampling backends must work on spaces too large to even
                 // size in `u128`.
-                let size = slots.space_size()?;
+                let size = space.space_size()?;
                 if size > self.budget.max_profiles {
                     return Err(SolveError::BudgetExceeded {
                         required: size,
                         max_profiles: self.budget.max_profiles,
                     });
                 }
-                self.exhaustive(model, &slots, size)
+                self.exhaustive(model, &space, size)
             }
             Backend::BestResponseDynamics { restarts, seed } => self.dynamics(
                 model,
-                &slots,
+                &space,
                 Starts::DeterministicThenRandom,
                 u64::from(restarts) + 1,
                 seed,
@@ -428,7 +438,7 @@ impl Solver {
                 if u128::from(effective) < requested {
                     sample_cap = Some(effective);
                 }
-                self.dynamics(model, &slots, Starts::Random, effective, seed)
+                self.dynamics(model, &space, Starts::Random, effective, seed)
             }
         };
         if !stats.found_equilibrium {
@@ -481,8 +491,14 @@ impl Solver {
         &self,
         models: &[&M],
     ) -> Vec<Result<SolveReport, SolveError>> {
+        // Fast path: 0 or 1 games never pay for the pool — no
+        // `available_parallelism` probe, no per-slot mutexes, no scoped
+        // threads (batch endpoints routinely submit single-game batches).
+        if models.len() <= 1 {
+            return models.iter().map(|m| self.solve(*m)).collect();
+        }
         let workers = effective_threads(self.threads, models.len() as u128);
-        if workers <= 1 || models.len() <= 1 {
+        if workers <= 1 {
             return models.iter().map(|m| self.solve(*m)).collect();
         }
         // Games go wide, so each solve runs inline — same scoped-thread
@@ -515,15 +531,21 @@ impl Solver {
     }
 
     /// Exhaustive sweep, chunked across worker threads when configured.
+    /// The model is lowered once; each worker seeds its own kernel from
+    /// its chunk's starting digits (the chunking is invariant, so results
+    /// agree bit-for-bit with a single-threaded sweep).
     fn exhaustive<M: BayesianModel>(
         &self,
         model: &M,
-        slots: &SlotSets<M>,
+        space: &CompiledSpace<M>,
         size: u128,
     ) -> SweepStats {
+        let lowered = model.lower(space);
+        let lowered: &dyn Lowered = &*lowered;
+        lowered.prepare_sweep();
         let workers = effective_threads(self.threads, size);
         if workers <= 1 {
-            return sweep_range(model, slots, 0, size);
+            return sweep_range(space, lowered, 0, size);
         }
         let workers = workers as u128;
         let per = size / workers;
@@ -537,7 +559,7 @@ impl Solver {
                     continue;
                 }
                 let chunk_start = start;
-                handles.push(scope.spawn(move || sweep_range(model, slots, chunk_start, count)));
+                handles.push(scope.spawn(move || sweep_range(space, lowered, chunk_start, count)));
                 start += count;
             }
             handles
@@ -549,35 +571,57 @@ impl Solver {
 
     /// Shared driver of the two dynamics-based backends: evaluate each
     /// start, run best-response dynamics from it, and record any
-    /// equilibrium reached.
+    /// equilibrium reached. The best-response scans reuse the same
+    /// incremental kernel state the sweep uses; if a best response falls
+    /// outside the candidate arena (possible only with under-covering
+    /// candidate enumerations), the affected run falls back to the
+    /// profile-based dynamics — identical trajectories either way.
     fn dynamics<M: BayesianModel>(
         &self,
         model: &M,
-        slots: &SlotSets<M>,
+        space: &CompiledSpace<M>,
         starts: Starts,
         runs: u64,
         seed: u64,
     ) -> SweepStats {
+        let lowered = model.lower(space);
         let mut rng = StdRng::seed_from_u64(seed);
         let max_rounds = usize::try_from(self.budget.max_iterations).unwrap_or(usize::MAX);
         let mut stats = SweepStats::new();
+        let mut digits = vec![0u32; space.num_slots()];
+        // One kernel for all runs: `seed` fully re-initializes its state,
+        // so per-run allocation would be pure waste.
+        let mut kernel = lowered.kernel();
         for run in 0..runs {
-            let start = if starts == Starts::DeterministicThenRandom && run == 0 {
-                slots.first_candidate_profile(model)
+            if starts == Starts::DeterministicThenRandom && run == 0 {
+                digits.fill(0);
             } else {
-                slots.random_profile(model, &mut rng)
-            };
+                space.random_digits(&mut rng, &mut digits);
+            }
+            let start_digits = digits.clone();
+            kernel.seed(&digits);
             // The start only feeds `optP`: if it IS an equilibrium, the
             // dynamics' first sweep finds no improvement and returns it,
             // so it is recorded as one below — checking it here too would
             // double the most expensive step of every run.
-            stats.observe(model.social_cost(&start), false);
-            // `best_response_dynamics` contract: `Some` IS an equilibrium
-            // (the no-change fixed point, or the max-rounds profile after
-            // an explicit check).
-            if let Some(eq) = model.best_response_dynamics(start, max_rounds) {
-                debug_assert!(model.is_equilibrium(&eq));
-                stats.observe(model.social_cost(&eq), true);
+            stats.observe(kernel.social_cost(), false);
+            match kernel_dynamics(space, kernel.as_mut(), &mut digits, max_rounds) {
+                DynamicsOutcome::Equilibrium => {
+                    debug_assert!(kernel.is_equilibrium());
+                    stats.observe(kernel.social_cost(), true);
+                }
+                DynamicsOutcome::NoEquilibrium => {}
+                DynamicsOutcome::Unrepresentable => {
+                    // Rerun this start through the model's own dynamics
+                    // (the pre-compiled path): same start, same sweep
+                    // order, same tolerances — only the bookkeeping
+                    // differs.
+                    let start = space.materialize(&start_digits);
+                    if let Some(eq) = model.best_response_dynamics(start, max_rounds) {
+                        debug_assert!(model.is_equilibrium(&eq));
+                        stats.observe(model.social_cost(&eq), true);
+                    }
+                }
             }
         }
         stats
@@ -604,77 +648,55 @@ fn effective_threads(threads: usize, size: u128) -> usize {
     usize::try_from(size.min(configured as u128)).unwrap_or(configured)
 }
 
-/// The flattened `(agent, type)` slot layout and per-slot candidate sets
-/// of a model, collected once per solve.
-struct SlotSets<M: BayesianModel> {
-    /// `(agent, tau)` per slot, agent-major.
-    slots: Vec<(usize, usize)>,
-    /// Candidate actions per slot, aligned with `slots`.
-    sets: Vec<Vec<M::Action>>,
-    /// `sets[j].len()` per slot.
-    sizes: Vec<usize>,
+/// Outcome of one kernel-driven dynamics run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum DynamicsOutcome {
+    /// The final digits are a pure Bayesian equilibrium (either the
+    /// no-change fixed point or the max-rounds profile after an explicit
+    /// check).
+    Equilibrium,
+    /// Max rounds elapsed without reaching an equilibrium.
+    NoEquilibrium,
+    /// Some best response is not in the candidate arena; the caller must
+    /// redo this run with profile-based dynamics.
+    Unrepresentable,
 }
 
-impl<M: BayesianModel> SlotSets<M> {
-    fn collect(model: &M) -> Result<Self, SolveError> {
-        let mut slots = Vec::new();
-        let mut sets = Vec::new();
-        for i in 0..model.num_agents() {
-            for tau in 0..model.type_count(i) {
-                let actions = model.candidate_actions(i, tau)?;
-                debug_assert!(!actions.is_empty(), "empty candidate set at ({i}, {tau})");
-                slots.push((i, tau));
-                sets.push(actions);
+/// Interim best-response dynamics over the flat digit buffer — the same
+/// sweep order, tolerances and termination rules as
+/// [`BayesianModel::best_response_dynamics`], with the kernel's
+/// incremental state reused across rounds.
+fn kernel_dynamics<M: BayesianModel>(
+    space: &CompiledSpace<M>,
+    kernel: &mut dyn EvalKernel,
+    digits: &mut [u32],
+    max_rounds: usize,
+) -> DynamicsOutcome {
+    for _ in 0..max_rounds {
+        let mut changed = false;
+        for (j, digit) in digits.iter_mut().enumerate() {
+            if space.weight(j) == 0.0 {
+                continue;
+            }
+            match kernel.slot_improvement(j) {
+                SlotStep::Stable => {}
+                SlotStep::Improve(new) => {
+                    let old = *digit;
+                    *digit = new;
+                    kernel.advance(j, old, new);
+                    changed = true;
+                }
+                SlotStep::Unrepresentable => return DynamicsOutcome::Unrepresentable,
             }
         }
-        let sizes = sets.iter().map(Vec::len).collect();
-        Ok(SlotSets { slots, sets, sizes })
-    }
-
-    /// Product of the slot sizes, or [`SolveError::SpaceTooLarge`] on
-    /// `u128` overflow.
-    fn space_size(&self) -> Result<u128, SolveError> {
-        self.sizes
-            .iter()
-            .try_fold(1u128, |acc, &s| acc.checked_mul(s as u128))
-            .ok_or(SolveError::SpaceTooLarge)
-    }
-
-    /// An empty profile shell with one slot per `(agent, type)`.
-    fn shell(&self, model: &M) -> Profile<M> {
-        let mut shell: Profile<M> = (0..model.num_agents())
-            .map(|i| Vec::with_capacity(model.type_count(i)))
-            .collect();
-        for (&(i, _), set) in self.slots.iter().zip(&self.sets) {
-            shell[i].push(set[0].clone());
+        if !changed {
+            return DynamicsOutcome::Equilibrium;
         }
-        shell
     }
-
-    /// The deterministic all-first-candidates profile.
-    fn first_candidate_profile(&self, model: &M) -> Profile<M> {
-        self.shell(model)
-    }
-
-    /// A uniformly random profile over the candidate sets.
-    fn random_profile(&self, model: &M, rng: &mut StdRng) -> Profile<M> {
-        let mut s = self.shell(model);
-        for (j, &(i, tau)) in self.slots.iter().enumerate() {
-            let choice = rng.random_range(0..self.sizes[j]);
-            s[i][tau] = self.sets[j][choice].clone();
-        }
-        s
-    }
-
-    /// Writes the mixed-radix digits of profile index `idx` (last slot
-    /// fastest, matching [`crate::game::ProfileIter`] order) into
-    /// `digits`.
-    fn decode(&self, mut idx: u128, digits: &mut [usize]) {
-        for j in (0..self.sizes.len()).rev() {
-            let base = self.sizes[j] as u128;
-            digits[j] = (idx % base) as usize;
-            idx /= base;
-        }
+    if kernel.is_equilibrium() {
+        DynamicsOutcome::Equilibrium
+    } else {
+        DynamicsOutcome::NoEquilibrium
     }
 }
 
@@ -720,10 +742,13 @@ impl SweepStats {
     }
 }
 
-/// Evaluates the contiguous profile-index range `[start, start + count)`.
+/// Evaluates the contiguous profile-index range `[start, start + count)`
+/// through an incremental kernel: the kernel is seeded once from the
+/// chunk's starting digits, then delta-updated per odometer tick — no
+/// action is cloned anywhere in this loop.
 fn sweep_range<M: BayesianModel>(
-    model: &M,
-    slots: &SlotSets<M>,
+    space: &CompiledSpace<M>,
+    lowered: &dyn Lowered,
     start: u128,
     count: u128,
 ) -> SweepStats {
@@ -731,33 +756,33 @@ fn sweep_range<M: BayesianModel>(
     if count == 0 {
         return stats;
     }
-    let mut digits = vec![0usize; slots.sizes.len()];
-    slots.decode(start, &mut digits);
-    let mut profile = slots.shell(model);
-    for (j, &(i, tau)) in slots.slots.iter().enumerate() {
-        profile[i][tau] = slots.sets[j][digits[j]].clone();
-    }
+    let mut digits = vec![0u32; space.num_slots()];
+    space.decode(start, &mut digits);
+    let mut kernel = lowered.kernel();
+    kernel.seed(&digits);
     let mut done = 0u128;
     loop {
-        stats.observe(model.social_cost(&profile), model.is_equilibrium(&profile));
+        stats.observe(kernel.social_cost(), kernel.is_equilibrium());
         done += 1;
         if done == count {
             return stats;
         }
         // Odometer increment, last slot fastest; only the digits that
-        // change are rewritten into the profile (amortized O(1) per tick).
+        // change are pushed into the kernel (amortized O(1) per tick).
         let mut j = digits.len();
         loop {
             debug_assert!(j > 0, "odometer overflow before count was reached");
             j -= 1;
-            let (i, tau) = slots.slots[j];
-            digits[j] += 1;
-            if digits[j] < slots.sizes[j] {
-                profile[i][tau] = slots.sets[j][digits[j]].clone();
+            let old = digits[j];
+            if old + 1 < space.slot_size(j) {
+                digits[j] = old + 1;
+                kernel.advance(j, old, old + 1);
                 break;
             }
             digits[j] = 0;
-            profile[i][tau] = slots.sets[j][0].clone();
+            if old != 0 {
+                kernel.advance(j, old, 0);
+            }
         }
     }
 }

@@ -1,5 +1,6 @@
 //! Bayesian network cost-sharing games.
 
+use bi_core::compiled::{CompiledSpace, EvalKernel, Lowered, SlotStep};
 use bi_core::game::EnumerationError;
 use bi_core::measures::Measures;
 use bi_core::model::{BayesianModel, CompleteInfo};
@@ -547,6 +548,330 @@ impl BayesianModel for BayesianNcsGame {
             best_eq_c,
             worst_eq_c,
         })
+    }
+
+    fn lower<'a>(&'a self, space: &'a CompiledSpace<Self>) -> Box<dyn Lowered + 'a> {
+        Box::new(NcsLowered::new(self, space))
+    }
+}
+
+/// Compiled evaluation tables of a [`BayesianNcsGame`]: per-state edge
+/// loads are the whole game state — social cost, interim shares and
+/// best responses are all functions of them — so kernels maintain the
+/// loads incrementally (subtract the old path's edges, add the new
+/// path's) instead of rebuilding every state's loads per profile.
+struct NcsLowered<'a> {
+    game: &'a BayesianNcsGame,
+    space: &'a CompiledSpace<BayesianNcsGame>,
+    /// `c(e)` per edge id, in `Graph::edges` order.
+    edge_costs: Vec<f64>,
+    /// Support-state probabilities, in support order.
+    state_probs: Vec<f64>,
+    /// Per state: the slot index of each agent's type in that state.
+    state_slots: Vec<Vec<usize>>,
+    /// Per slot: the support states the slot participates in, ascending
+    /// (interim sums must preserve the legacy state order bit-for-bit).
+    slot_states: Vec<Vec<usize>>,
+    /// Per slot: the agent's `(source, destination)` terminals.
+    slot_terminals: Vec<AgentType>,
+    /// Precomputed fair shares: `shares[s][e·k + n] = p_s · c(e) / (n+1)`
+    /// for every possible rival load `n ∈ 0..k` — the interim-weight hot
+    /// loop does table lookups instead of divisions (the division was
+    /// performed once here, on identical operands, so the values are
+    /// bit-identical).
+    shares: Vec<Vec<f64>>,
+    /// When `true`, the candidate sets provably contain **every** simple
+    /// path (the length limit cannot prune: `max_len ≥ |V| − 1`) and all
+    /// edge costs are non-negative — then the Dijkstra distance equals
+    /// the minimum fold-left cost over the candidates, and stability
+    /// checks can scan the arena instead of running Dijkstra per slot.
+    exact_candidates: bool,
+}
+
+impl<'a> NcsLowered<'a> {
+    fn new(game: &'a BayesianNcsGame, space: &'a CompiledSpace<BayesianNcsGame>) -> Self {
+        let edge_costs: Vec<f64> = game.graph.edges().map(|(_, e)| e.cost()).collect();
+        let mut slot_base = Vec::with_capacity(game.num_agents());
+        let mut acc = 0usize;
+        for types in &game.agent_types {
+            slot_base.push(acc);
+            acc += types.len();
+        }
+        let mut slot_states: Vec<Vec<usize>> = vec![Vec::new(); space.num_slots()];
+        let mut state_slots = Vec::with_capacity(game.support.len());
+        for (s_idx, idx) in game.support_type_idx.iter().enumerate() {
+            let slots: Vec<usize> = idx
+                .iter()
+                .enumerate()
+                .map(|(i, &tau)| slot_base[i] + tau)
+                .collect();
+            for &slot in &slots {
+                slot_states[slot].push(s_idx);
+            }
+            state_slots.push(slots);
+        }
+        let slot_terminals: Vec<AgentType> = (0..space.num_slots())
+            .map(|j| {
+                let (i, tau) = space.slot(j);
+                game.agent_types[i][tau]
+            })
+            .collect();
+        let exact_candidates = game.limits.max_len >= game.graph.node_count().saturating_sub(1)
+            && edge_costs.iter().all(|&c| c >= 0.0);
+        let k = game.num_agents();
+        let shares: Vec<Vec<f64>> = game
+            .support
+            .iter()
+            .map(|(_, prob)| {
+                let mut table = Vec::with_capacity(edge_costs.len() * k);
+                for &cost in &edge_costs {
+                    for n in 0..k as u32 {
+                        table.push(*prob * cost / f64::from(n + 1));
+                    }
+                }
+                table
+            })
+            .collect();
+        NcsLowered {
+            game,
+            space,
+            edge_costs,
+            state_probs: game.support.iter().map(|(_, p)| *p).collect(),
+            state_slots,
+            slot_states,
+            slot_terminals,
+            shares,
+            exact_candidates,
+        }
+    }
+}
+
+impl Lowered for NcsLowered<'_> {
+    fn kernel(&self) -> Box<dyn EvalKernel + '_> {
+        let states = self.state_probs.len();
+        let edges = self.edge_costs.len();
+        Box::new(NcsKernel {
+            lowered: self,
+            digits: vec![0; self.space.num_slots()],
+            loads: vec![vec![0; edges]; states],
+            state_cost: vec![0.0; states],
+            cost_dirty: vec![true; states],
+            state_mods: vec![0; states],
+            weight_cache: vec![vec![0.0; edges]; self.space.num_slots()],
+            weight_snap: self
+                .slot_states
+                .iter()
+                .map(|states| vec![0; states.len()])
+                .collect(),
+            weight_valid: vec![false; self.space.num_slots()],
+            loads_buf: vec![0; edges],
+            unstable_hint: 0,
+        })
+    }
+}
+
+/// Incremental evaluator over the [`NcsLowered`] layout.
+///
+/// * Per-state **edge loads** are delta-updated on every digit advance;
+/// * per-state **social costs** are cached and recomputed (in canonical
+///   edge order, for bit parity) only for states whose loads changed;
+/// * per-slot **interim expected-share weights** are cached and reused
+///   while no *other* agent's path changed in any of the slot's states
+///   (a slot's own path never enters its own weights).
+struct NcsKernel<'a> {
+    lowered: &'a NcsLowered<'a>,
+    digits: Vec<u32>,
+    /// `loads[state][edge]`: number of agents whose current path buys the
+    /// edge in that state.
+    loads: Vec<Vec<u32>>,
+    /// Cached `K_t` per state (valid when not dirty).
+    state_cost: Vec<f64>,
+    cost_dirty: Vec<bool>,
+    /// Bumped on every load change of a state; drives weight-cache
+    /// invalidation.
+    state_mods: Vec<u64>,
+    /// Cached interim weights per slot.
+    weight_cache: Vec<Vec<f64>>,
+    /// `state_mods` snapshot per slot (aligned with
+    /// `NcsLowered::slot_states`) at the time its weights were computed.
+    weight_snap: Vec<Vec<u64>>,
+    weight_valid: Vec<bool>,
+    /// Scratch: a state's loads minus the checked agent's own path.
+    loads_buf: Vec<u32>,
+    /// The slot that refuted the previous equilibrium check — checked
+    /// first next time (pure evaluation-order heuristic; the result of
+    /// the AND is order-independent).
+    unstable_hint: usize,
+}
+
+impl NcsKernel<'_> {
+    /// Ensures `weight_cache[slot]` holds the slot's expected-share
+    /// weights for the current digits — recomputed in the legacy order
+    /// (states ascending, edges ascending) whenever another agent's path
+    /// changed in a relevant state, reused otherwise.
+    fn refresh_weights(&mut self, slot: usize) {
+        let relevant = &self.lowered.slot_states[slot];
+        if self.weight_valid[slot]
+            && relevant
+                .iter()
+                .zip(&self.weight_snap[slot])
+                .all(|(&s, &snap)| self.state_mods[s] == snap)
+        {
+            return;
+        }
+        let own_path = self.lowered.space.action(slot, self.digits[slot]);
+        let weights = &mut self.weight_cache[slot];
+        weights.fill(0.0);
+        for (idx, &s) in relevant.iter().enumerate() {
+            self.loads_buf.copy_from_slice(&self.loads[s]);
+            for &e in own_path {
+                self.loads_buf[e.index()] -= 1;
+            }
+            // `shares` holds the precomputed `p_s·c(e)/(n+1)` divisions;
+            // the accumulation order (states ascending, edges ascending)
+            // is the legacy `interim_weights` order.
+            let shares = &self.lowered.shares[s];
+            let k = self.lowered.state_slots[s].len();
+            for (id, weight) in weights.iter_mut().enumerate() {
+                *weight += shares[id * k + self.loads_buf[id] as usize];
+            }
+            self.weight_snap[slot][idx] = self.state_mods[s];
+        }
+        self.weight_valid[slot] = true;
+    }
+
+    /// Fold-left path cost under the slot's cached weights — the exact
+    /// summation `BayesianNcsGame::interim_cost` performs.
+    fn path_cost(&self, slot: usize, path: &[bi_graph::EdgeId]) -> f64 {
+        let weights = &self.weight_cache[slot];
+        path.iter().map(|&e| weights[e.index()]).sum()
+    }
+
+    /// Bit-faithful `BayesianNcsGame::slot_is_stable` for one slot.
+    ///
+    /// With provably complete candidates and non-negative weights the
+    /// Dijkstra distance equals the minimum candidate cost (identical
+    /// fold-left sums), and `approx_le(played, min)` fails iff it fails
+    /// against some individual candidate (all comparisons share the same
+    /// relative scale `max(played, 1)`), so the scan early-exits and no
+    /// Dijkstra runs. Under custom path limits the legacy Dijkstra check
+    /// runs verbatim.
+    fn slot_is_stable(&mut self, slot: usize) -> bool {
+        self.refresh_weights(slot);
+        let played = self.path_cost(slot, self.lowered.space.action(slot, self.digits[slot]));
+        if self.lowered.exact_candidates {
+            for cand in self.lowered.space.slot_actions(slot) {
+                if !bi_util::approx_le(played, self.path_cost(slot, cand)) {
+                    return false;
+                }
+            }
+            true
+        } else {
+            let (src, dst) = self.lowered.slot_terminals[slot];
+            let weights = &self.weight_cache[slot];
+            let sp = bi_graph::dijkstra(&self.lowered.game.graph, src, |e| weights[e.index()]);
+            bi_util::approx_le(played, sp.distance(dst))
+        }
+    }
+}
+
+impl EvalKernel for NcsKernel<'_> {
+    fn seed(&mut self, digits: &[u32]) {
+        self.digits.copy_from_slice(digits);
+        for (s, slots) in self.lowered.state_slots.iter().enumerate() {
+            self.loads[s].fill(0);
+            for &slot in slots {
+                for &e in self.lowered.space.action(slot, digits[slot]) {
+                    self.loads[s][e.index()] += 1;
+                }
+            }
+            self.cost_dirty[s] = true;
+            self.state_mods[s] += 1;
+        }
+        self.weight_valid.fill(false);
+    }
+
+    fn advance(&mut self, slot: usize, old: u32, new: u32) {
+        self.digits[slot] = new;
+        let old_path = self.lowered.space.action(slot, old);
+        let new_path = self.lowered.space.action(slot, new);
+        for (idx, &s) in self.lowered.slot_states[slot].iter().enumerate() {
+            for &e in old_path {
+                self.loads[s][e.index()] -= 1;
+            }
+            for &e in new_path {
+                self.loads[s][e.index()] += 1;
+            }
+            self.cost_dirty[s] = true;
+            self.state_mods[s] += 1;
+            // The slot's own weights never depend on its own path: keep
+            // its snapshot in lock-step so the cache stays valid.
+            self.weight_snap[slot][idx] += 1;
+        }
+    }
+
+    fn social_cost(&mut self) -> f64 {
+        for s in 0..self.state_cost.len() {
+            if self.cost_dirty[s] {
+                // Same fold as `NcsGame::social_cost`: bought edges in
+                // edge-id order.
+                self.state_cost[s] = self
+                    .lowered
+                    .edge_costs
+                    .iter()
+                    .zip(&self.loads[s])
+                    .map(|(&c, &load)| if load > 0 { c } else { 0.0 })
+                    .sum();
+                self.cost_dirty[s] = false;
+            }
+        }
+        // Same outer fold as `BayesianNcsGame::social_cost`: one
+        // `prob · K_t` term per support state, in support order.
+        self.state_probs_fold()
+    }
+
+    fn is_equilibrium(&mut self) -> bool {
+        let space = self.lowered.space;
+        let mut hint = self.unstable_hint;
+        let stable = bi_core::compiled::stable_with_hint(
+            space.num_slots(),
+            |slot| space.weight(slot),
+            &mut hint,
+            |slot| self.slot_is_stable(slot),
+        );
+        self.unstable_hint = hint;
+        stable
+    }
+
+    fn slot_improvement(&mut self, slot: usize) -> SlotStep {
+        // Replicates `BayesianNcsGame::slot_improvement`: the genuine
+        // Dijkstra runs here because the dynamics must follow the exact
+        // legacy best-response *path* (not just its cost).
+        self.refresh_weights(slot);
+        let played = self.path_cost(slot, self.lowered.space.action(slot, self.digits[slot]));
+        let (src, dst) = self.lowered.slot_terminals[slot];
+        let weights = &self.weight_cache[slot];
+        let sp = bi_graph::dijkstra(&self.lowered.game.graph, src, |e| weights[e.index()]);
+        if sp.distance(dst) < played - bi_util::EPS {
+            let path = sp.path_edges(dst).expect("feasibility checked");
+            match self.lowered.space.digit_of(slot, &path) {
+                Some(digit) => SlotStep::Improve(digit),
+                None => SlotStep::Unrepresentable,
+            }
+        } else {
+            SlotStep::Stable
+        }
+    }
+}
+
+impl NcsKernel<'_> {
+    fn state_probs_fold(&self) -> f64 {
+        self.lowered
+            .state_probs
+            .iter()
+            .zip(&self.state_cost)
+            .map(|(&prob, &cost)| prob * cost)
+            .sum()
     }
 }
 

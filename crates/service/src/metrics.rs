@@ -1,4 +1,5 @@
-//! Service counters, surfaced as JSON by `GET /metrics`.
+//! Service counters and the solve-time histogram, surfaced as JSON by
+//! `GET /metrics`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -6,6 +7,90 @@ use std::time::Instant;
 use bi_util::Json;
 
 use crate::cache::CacheStats;
+
+/// Number of log₂ buckets of [`LatencyHistogram`]: covers `0 µs` to
+/// `2³⁹ µs` (≈ 6.4 days), clamping anything larger into the last bucket.
+const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A lock-free log₂-bucketed latency histogram (relaxed atomics — the
+/// numbers are observability, not synchronization).
+///
+/// Bucket `i > 0` counts samples in `[2^(i−1), 2^i)` µs; bucket 0 counts
+/// `0 µs`. Percentile queries walk the cumulative counts and report the
+/// matched bucket's inclusive upper bound (`2^i − 1`), so quantiles are
+/// conservative within a factor of 2 — plenty to observe cold-path
+/// improvements on a running service.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one sample, in microseconds.
+    pub fn record(&self, micros: u64) {
+        let bucket = (u64::BITS - micros.leading_zeros()) as usize;
+        let bucket = bucket.min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The `p`-quantile (`0.0 ..= 1.0`) as the matched bucket's upper
+    /// bound in µs, or 0 with no samples.
+    #[must_use]
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = (((count - 1) as f64) * p).round() as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen > rank {
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            }
+        }
+        (1u64 << (HISTOGRAM_BUCKETS - 1)) - 1
+    }
+
+    /// The histogram summary document: `count`, `mean_us`, and the
+    /// p50/p90/p99 bucket upper bounds.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let count = self.count();
+        let mean = if count > 0 {
+            self.sum_us.load(Ordering::Relaxed) as f64 / count as f64
+        } else {
+            0.0
+        };
+        Json::Obj(vec![
+            ("count".into(), Json::from_u64(count)),
+            ("mean_us".into(), Json::num(mean)),
+            ("p50".into(), Json::from_u64(self.percentile_us(0.50))),
+            ("p90".into(), Json::from_u64(self.percentile_us(0.90))),
+            ("p99".into(), Json::from_u64(self.percentile_us(0.99))),
+        ])
+    }
+}
 
 /// Monotonic counters of the serving layer. All relaxed atomics — the
 /// numbers are observability, not synchronization.
@@ -30,6 +115,11 @@ pub struct ServiceMetrics {
     pub rejected_busy: AtomicU64,
     /// Connections accepted.
     pub connections_total: AtomicU64,
+    /// Engine solve latency, one sample per cold engine invocation (a
+    /// `POST /solve` cache miss or one `solve_many` batch of misses),
+    /// whether or not the solve succeeded — cache hits never touch it,
+    /// so this is the cold-path histogram.
+    pub solve_us: LatencyHistogram,
     start: Instant,
 }
 
@@ -45,6 +135,7 @@ impl Default for ServiceMetrics {
             responses_5xx: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
+            solve_us: LatencyHistogram::default(),
             start: Instant::now(),
         }
     }
@@ -80,6 +171,7 @@ impl ServiceMetrics {
             ("responses_4xx".into(), count(&self.responses_4xx)),
             ("responses_5xx".into(), count(&self.responses_5xx)),
             ("rejected_busy".into(), count(&self.rejected_busy)),
+            ("solve_us".into(), self.solve_us.to_json()),
             (
                 "cache".into(),
                 Json::Obj(vec![
@@ -109,6 +201,47 @@ mod tests {
         assert_eq!(m.responses_2xx.load(Ordering::Relaxed), 2);
         assert_eq!(m.responses_4xx.load(Ordering::Relaxed), 1);
         assert_eq!(m.responses_5xx.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.percentile_us(0.5), 0);
+        // 90 fast samples in [64, 128) µs, 10 slow ones in [8192, 16384).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(10_000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile_us(0.50), 127);
+        assert_eq!(h.percentile_us(0.90), 127);
+        assert_eq!(h.percentile_us(0.99), 16_383);
+        // Zero and huge samples clamp into the terminal buckets.
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 102);
+        let doc = h.to_json();
+        assert_eq!(doc.get("count").unwrap().as_u64(), Some(102));
+        assert!(doc.get("p99").is_some());
+    }
+
+    #[test]
+    fn metrics_document_includes_solve_histogram() {
+        let m = ServiceMetrics::default();
+        m.solve_us.record(300);
+        let doc = m.to_json(CacheStats {
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+            entries: 0,
+            capacity: 64,
+        });
+        let solve = doc.get("solve_us").unwrap();
+        assert_eq!(solve.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(solve.get("p50").unwrap().as_u64(), Some(511));
     }
 
     #[test]

@@ -206,10 +206,16 @@ impl SolveService {
             });
         }
         let solver = Solver::from_config(request.config);
-        let report = match &request.game {
+        let started = std::time::Instant::now();
+        let result = match &request.game {
             GameSpec::Matrix(g) => solver.solve(g),
             GameSpec::Ncs(g) => solver.solve(g),
-        }?;
+        };
+        // Recorded before the `?` so failed invocations count too, same
+        // as the batch path: the histogram tracks engine invocations, not
+        // successes.
+        self.record_solve_time(started);
+        let report = result?;
         self.metrics
             .solves_computed
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -244,19 +250,34 @@ impl SolveService {
             }
         }
         let matrix_refs: Vec<&BayesianGame> = matrix_misses.iter().map(|(_, _, g)| *g).collect();
-        let matrix_results = solver.solve_many(&matrix_refs);
-        for ((i, key, _), result) in matrix_misses.into_iter().zip(matrix_results) {
-            results[i] = Some(self.finish_miss(key, result));
+        if !matrix_refs.is_empty() {
+            let started = std::time::Instant::now();
+            let matrix_results = solver.solve_many(&matrix_refs);
+            self.record_solve_time(started);
+            for ((i, key, _), result) in matrix_misses.into_iter().zip(matrix_results) {
+                results[i] = Some(self.finish_miss(key, result));
+            }
         }
         let ncs_refs: Vec<&BayesianNcsGame> = ncs_misses.iter().map(|(_, _, g)| *g).collect();
-        let ncs_results = solver.solve_many(&ncs_refs);
-        for ((i, key, _), result) in ncs_misses.into_iter().zip(ncs_results) {
-            results[i] = Some(self.finish_miss(key, result));
+        if !ncs_refs.is_empty() {
+            let started = std::time::Instant::now();
+            let ncs_results = solver.solve_many(&ncs_refs);
+            self.record_solve_time(started);
+            for ((i, key, _), result) in ncs_misses.into_iter().zip(ncs_results) {
+                results[i] = Some(self.finish_miss(key, result));
+            }
         }
         results
             .into_iter()
             .map(|r| r.expect("every game is either a hit or a routed miss"))
             .collect()
+    }
+
+    /// Feeds one engine invocation's wall-clock into the cold-path
+    /// histogram (`solve_us` in `GET /metrics`).
+    fn record_solve_time(&self, started: std::time::Instant) {
+        let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.metrics.solve_us.record(micros);
     }
 
     fn finish_miss(
@@ -451,6 +472,45 @@ mod tests {
             config: req.config,
         });
         assert!(matches!(results[0], Err(SolveError::BudgetExceeded { .. })));
+    }
+
+    #[test]
+    fn cold_solves_feed_the_latency_histogram() {
+        let service = SolveService::new(CacheConfig::default());
+        let req = request(matrix_game(9));
+        service.solve(&req).unwrap();
+        assert_eq!(service.metrics().solve_us.count(), 1);
+        // A cache hit never touches the engine or the histogram.
+        service.solve(&req).unwrap();
+        assert_eq!(service.metrics().solve_us.count(), 1);
+        // A batch with misses records one engine sample per representation
+        // batch; a fully-cached batch records none.
+        let batch = BatchRequest {
+            games: vec![req.game.clone(), matrix_game(10), ncs_game()],
+            config: req.config,
+        };
+        service.solve_batch(&batch);
+        assert_eq!(service.metrics().solve_us.count(), 3);
+        service.solve_batch(&batch);
+        assert_eq!(service.metrics().solve_us.count(), 3);
+        // Failed engine invocations count too (same population as the
+        // batch path).
+        let unsolvable = SolveRequest {
+            game: matrix_game(11),
+            config: SolverConfig {
+                budget: bi_core::solve::Budget {
+                    max_profiles: 1,
+                    max_iterations: 8,
+                },
+                ..SolverConfig::default()
+            },
+        };
+        assert!(service.solve(&unsolvable).is_err());
+        assert_eq!(service.metrics().solve_us.count(), 4);
+        let doc = service.metrics_json();
+        let solve = doc.get("solve_us").unwrap();
+        assert_eq!(solve.get("count").unwrap().as_u64(), Some(4));
+        assert!(solve.get("p99").unwrap().as_u64().is_some());
     }
 
     #[test]
