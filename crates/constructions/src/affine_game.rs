@@ -252,6 +252,29 @@ impl AffinePlaneGame {
             .collect();
         vec![s; m]
     }
+
+    /// Agent permutations generating the game's automorphism group: the
+    /// `m` point-agents are fully interchangeable — the expected social
+    /// cost `1 + avg_ℓ Σ_{p∈ℓ} (1/m)·#{i : s_i(p) ≠ ℓ}` depends only on
+    /// integer counts over agents, so permuting their strategies leaves
+    /// it exactly (bitwise) invariant. The adjacent transpositions
+    /// `(i, i+1)` for `i < m−1` generate `S_m` on them.
+    ///
+    /// Each generator is a length-`m` permutation over the point-agents
+    /// only: strategy profiles passed to [`Self::expected_social_cost`]
+    /// cover just those `m` agents (the line agent's route is forced),
+    /// so the permutations act on that same index space.
+    #[must_use]
+    pub fn automorphism_generators(&self) -> Vec<Vec<usize>> {
+        let m = self.plane.order();
+        (0..m.saturating_sub(1))
+            .map(|i| {
+                let mut perm: Vec<usize> = (0..m).collect();
+                perm.swap(i, i + 1);
+                perm
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

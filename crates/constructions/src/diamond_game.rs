@@ -232,6 +232,19 @@ impl DiamondGame {
         }
         (cost, system)
     }
+
+    /// Agent permutations generating the automorphism group of
+    /// [`Self::bayesian_game`]: empty. Each agent is a fixed sequence
+    /// position whose request distribution over diamond vertices differs
+    /// from every other position's (the adversary reveals vertices in
+    /// level order), so no two agents are interchangeable.
+    ///
+    /// Exported so the symmetry test layer can pin the trivial group as
+    /// a contract alongside the symmetric families.
+    #[must_use]
+    pub fn automorphism_generators(&self) -> Vec<Vec<usize>> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -160,6 +160,33 @@ impl GWorstGame {
     pub fn analytic_ratio(&self) -> f64 {
         self.analytic_worst_eq_p() / self.analytic_worst_eq_c_bound()
     }
+
+    /// Agent permutations generating the game's automorphism group: the
+    /// `k` deterministic `u→w` agents are fully interchangeable (same
+    /// terminal pair, same cost shares), so the adjacent transpositions
+    /// `(i, i+1)` for `i < k−1` generate `S_k` on them; the stochastic
+    /// agent `k` is fixed by every generator.
+    ///
+    /// Each generator is a full permutation of the `k+1` agents
+    /// (`perm[i]` is where agent `i` goes). The symmetry-reduced sweep
+    /// ([`bi_core::symmetry`]) re-derives exactly this group from the
+    /// game data; the export pins it as a testable contract.
+    #[must_use]
+    pub fn automorphism_generators(&self) -> Vec<Vec<usize>> {
+        adjacent_transpositions(self.k + 1, self.k)
+    }
+}
+
+/// The adjacent transpositions `(i, i+1)` for `i < class_len − 1`, each
+/// as a full permutation of `total` agents.
+fn adjacent_transpositions(total: usize, class_len: usize) -> Vec<Vec<usize>> {
+    (0..class_len.saturating_sub(1))
+        .map(|i| {
+            let mut perm: Vec<usize> = (0..total).collect();
+            perm.swap(i, i + 1);
+            perm
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -180,6 +180,19 @@ impl GkGame {
             })
             .collect()
     }
+
+    /// Agent permutations generating the game's automorphism group:
+    /// empty, because `G_k` has none. Every spoke agent `i < k−1`
+    /// travels to its own distinct terminal `y_i`, and the hub agent is
+    /// the only stochastic one, so no two agents are interchangeable.
+    ///
+    /// Exported (like [`crate::gworst::GWorstGame`]'s) so the symmetry
+    /// test layer can pin "no symmetry" as a contract too: the
+    /// orbit-reduced sweep must detect a trivial group here.
+    #[must_use]
+    pub fn automorphism_generators(&self) -> Vec<Vec<usize>> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -551,6 +551,63 @@ impl BayesianModel for BayesianGame {
         })
     }
 
+    fn agents_interchangeable(&self, a: usize, b: usize) -> bool {
+        // Exact bitwise interchangeability (see the trait contract): we
+        // certify that swapping agents `a` and `b` permutes every
+        // floating-point *term* of every cost computation onto an equal
+        // bit pattern in the same position, which requires
+        //
+        //   (0) identical type structure and bitwise-equal marginals,
+        //   (1) every support state fixed by the swap
+        //       (`types[a] == types[b]`),
+        //   (2) every agent's state cost table invariant under swapping
+        //       the `a`/`b` coordinates of the joint action index, and
+        //   (3) agents `a` and `b` carrying bitwise-equal cost tables.
+        //
+        // (2) makes social and third-party interim sums termwise
+        // identical under the swap; (2)+(3) make the stability decision
+        // of agent `a`'s slots under the swapped profile coincide with
+        // agent `b`'s under the original.
+        if a == b {
+            return true;
+        }
+        if self.type_counts[a] != self.type_counts[b]
+            || self.action_counts[a] != self.action_counts[b]
+        {
+            return false;
+        }
+        let eq = |x: f64, y: f64| x.to_bits() == y.to_bits();
+        if self.marginals[a].len() != self.marginals[b].len()
+            || !self.marginals[a]
+                .iter()
+                .zip(&self.marginals[b])
+                .all(|(&x, &y)| eq(x, y))
+        {
+            return false;
+        }
+        let k = self.num_agents();
+        let n = self.action_counts[a];
+        self.states.iter().all(|st| {
+            if st.types[a] != st.types[b] {
+                return false;
+            }
+            let stride_a = st.game.stride(a);
+            let stride_b = st.game.stride(b);
+            let swap = |idx: usize| {
+                let da = idx / stride_a % n;
+                let db = idx / stride_b % n;
+                idx - da * stride_a - db * stride_b + db * stride_a + da * stride_b
+            };
+            let table_a = st.game.cost_table(a);
+            let table_b = st.game.cost_table(b);
+            table_a.iter().zip(table_b).all(|(&x, &y)| eq(x, y))
+                && (0..k).all(|l| {
+                    let t = st.game.cost_table(l);
+                    (0..t.len()).all(|idx| eq(t[swap(idx)], t[idx]))
+                })
+        })
+    }
+
     fn lower<'a>(&'a self, space: &'a CompiledSpace<Self>) -> Box<dyn Lowered + 'a> {
         Box::new(MatrixLowered::new(self, space))
     }
@@ -630,10 +687,15 @@ impl<'a> MatrixLowered<'a> {
 
 impl Lowered for MatrixLowered<'_> {
     fn kernel(&self) -> Box<dyn EvalKernel + '_> {
+        let max_actions = (0..self.space.num_slots())
+            .map(|j| self.space.slot_size(j) as usize)
+            .max()
+            .unwrap_or(0);
         Box::new(MatrixKernel {
             lowered: self,
             offsets: vec![0; self.states.len()],
             digits: vec![0; self.space.num_slots()],
+            interim_buf: Vec::with_capacity(max_actions),
             unstable_hint: 0,
         })
     }
@@ -654,16 +716,27 @@ impl Lowered for MatrixLowered<'_> {
             self.states
                 .iter()
                 .map(|st| {
-                    (0..prod)
-                        .map(|idx| {
-                            // Same fold as `MatrixFormGame::social_cost`,
-                            // premultiplied by the state's probability (the
-                            // legacy outer product) — bit-identical to the
-                            // on-the-fly path in `MatrixKernel::social_cost`.
-                            let k: f64 = st.agent_tables.iter().map(|table| table[idx]).sum();
-                            st.prob * k
-                        })
-                        .collect()
+                    // Same fold as `MatrixFormGame::social_cost`,
+                    // premultiplied by the state's probability (the legacy
+                    // outer product) — bit-identical to the on-the-fly path
+                    // in `MatrixKernel::social_cost`: per entry the agent
+                    // terms accumulate from 0.0 in agent order, then scale
+                    // by `prob`. Structured as contiguous per-agent passes
+                    // so each inner loop is a unit-stride `acc[i] += t[i]`
+                    // the compiler auto-vectorizes.
+                    let mut acc = vec![0.0f64; prod];
+                    for table in &st.agent_tables {
+                        for (v, &t) in acc.iter_mut().zip(*table) {
+                            *v += t;
+                        }
+                    }
+                    for v in &mut acc {
+                        // `prob * acc` and `acc * prob` are the same bits
+                        // (IEEE multiplication commutes), so this matches
+                        // the legacy `prob * k` fold exactly.
+                        *v *= st.prob;
+                    }
+                    acc
                 })
                 .collect()
         });
@@ -679,6 +752,9 @@ struct MatrixKernel<'a> {
     /// Joint profile index per state under the current digits.
     offsets: Vec<usize>,
     digits: Vec<u32>,
+    /// Scratch buffer of per-action interim costs, filled by one fused
+    /// pass over a slot's states ([`MatrixKernel::interim_all`]).
+    interim_buf: Vec<f64>,
     /// The slot that refuted the previous equilibrium check — checked
     /// first next time (pure evaluation-order heuristic; the result of
     /// the AND is order-independent).
@@ -686,31 +762,40 @@ struct MatrixKernel<'a> {
 }
 
 impl MatrixKernel<'_> {
-    /// Unnormalized interim cost of the slot's agent deviating to action
-    /// `a` — bit-identical to `BayesianGame::interim_cost` (same products,
-    /// same state order).
-    fn interim(&self, slot: usize, a: usize) -> f64 {
+    /// Fills [`Self::interim_buf`] with the unnormalized interim cost of
+    /// every deviation at `slot` in one fused pass over the slot's states
+    /// — bit-identical per action to the legacy one-action-at-a-time
+    /// `BayesianGame::interim_cost` (each accumulator starts at `0.0` and
+    /// adds the same `prob · table[..]` products in the same state
+    /// order), but reading each state's table row once, contiguously.
+    fn interim_all(&mut self, slot: usize) {
+        let lowered = self.lowered;
         let played = self.digits[slot] as usize;
-        let (agent, _) = self.lowered.space.slot(slot);
-        self.lowered.slot_states[slot]
-            .iter()
-            .map(|&(s, stride)| {
-                let state = &self.lowered.states[s];
-                let idx = self.offsets[s] - played * stride + a * stride;
-                state.prob * state.agent_tables[agent][idx]
-            })
-            .sum()
+        let (agent, _) = lowered.space.slot(slot);
+        let actions = lowered.space.slot_size(slot) as usize;
+        self.interim_buf.clear();
+        self.interim_buf.resize(actions, 0.0);
+        for &(s, stride) in &lowered.slot_states[slot] {
+            let state = &lowered.states[s];
+            let table = state.agent_tables[agent];
+            let base = self.offsets[s] - played * stride;
+            let prob = state.prob;
+            for (a, acc) in self.interim_buf.iter_mut().enumerate() {
+                *acc += prob * table[base + a * stride];
+            }
+        }
     }
 
     /// Bit-faithful `BayesianGame::slot_is_stable` for one slot: exact
-    /// over every deviation, with the legacy short-circuit over actions.
-    fn slot_is_stable(&self, slot: usize) -> bool {
-        let played = self.interim(slot, self.digits[slot] as usize);
-        let actions = self.lowered.space.slot_size(slot) as usize;
-        (0..actions).all(|a| {
-            let dev = self.interim(slot, a);
-            dev >= played || bi_util::approx_le(played, dev)
-        })
+    /// over every deviation. The legacy short-circuit over actions only
+    /// skipped computation, never changed the decision, so the fused
+    /// all-deviations pass returns the identical boolean.
+    fn slot_is_stable(&mut self, slot: usize) -> bool {
+        self.interim_all(slot);
+        let played = self.interim_buf[self.digits[slot] as usize];
+        self.interim_buf
+            .iter()
+            .all(|&dev| dev >= played || bi_util::approx_le(played, dev))
     }
 }
 
@@ -773,12 +858,11 @@ impl EvalKernel for MatrixKernel<'_> {
         // Replicates the default `BayesianModel::slot_improvement` +
         // `BayesianGame::best_response` pair: EPS tie-breaking to the
         // smallest action index, improvement only beyond the tolerance.
-        let played = self.interim(slot, self.digits[slot] as usize);
-        let actions = self.lowered.space.slot_size(slot) as usize;
+        self.interim_all(slot);
+        let played = self.interim_buf[self.digits[slot] as usize];
         let mut best_a = 0usize;
         let mut best_c = f64::INFINITY;
-        for a in 0..actions {
-            let c = self.interim(slot, a);
+        for (a, &c) in self.interim_buf.iter().enumerate() {
             if c < best_c - bi_util::EPS {
                 best_c = c;
                 best_a = a;

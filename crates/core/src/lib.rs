@@ -31,7 +31,11 @@
 //!   state;
 //! * [`solve`] — the unified [`Solver`] engine: pluggable backends
 //!   (exhaustive, best-response dynamics, Monte Carlo sampling), budgets,
-//!   multi-threaded sweeps, structured [`SolveReport`]s;
+//!   work-stealing multi-threaded sweeps, structured [`SolveReport`]s;
+//! * [`symmetry`] — exact agent-interchangeability detection and
+//!   canonical orbit enumeration: under [`symmetry::SymmetryMode::Auto`]
+//!   the exhaustive sweep visits one representative per symmetry orbit,
+//!   bit-for-bit identical results at a fraction of the evaluations;
 //! * [`randomness`] — Section 4: `R(φ)`, `R̃(φ)`, the Proposition 4.2
 //!   equality, and the Lemma 4.1 public-randomness distribution computed
 //!   by solving the associated zero-sum game exactly;
@@ -68,10 +72,14 @@ pub mod potential;
 pub mod random_games;
 pub mod randomness;
 pub mod solve;
+pub mod symmetry;
 
 pub use bayesian::{BayesianGame, StrategyProfile};
 pub use compiled::{CompiledSpace, EvalKernel, Lowered, SlotStep};
 pub use game::MatrixFormGame;
 pub use measures::{IgnoranceRatios, Measures};
 pub use model::{BayesianModel, CompleteInfo};
-pub use solve::{Backend, Budget, SolveError, SolveReport, Solver, SolverBuilder, SolverConfig};
+pub use solve::{
+    Backend, Budget, OrbitStats, SolveError, SolveReport, Solver, SolverBuilder, SolverConfig,
+};
+pub use symmetry::{Symmetry, SymmetryMode};

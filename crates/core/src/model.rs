@@ -124,6 +124,25 @@ pub trait BayesianModel: Sync {
     /// failures.
     fn complete_info(&self) -> Result<CompleteInfo, SolveError>;
 
+    /// Whether agents `a` and `b` are **exactly interchangeable**:
+    /// swapping their entire strategies (the two agents' per-type action
+    /// assignments) in any profile leaves [`social_cost`](Self::social_cost)
+    /// and every interim-cost comparison **bit-for-bit** unchanged — the
+    /// same floating-point terms combined in the same order, not merely
+    /// equal values.
+    ///
+    /// The symmetry-reduced sweep ([`crate::symmetry`]) relies on this
+    /// contract to evaluate only one canonical representative per orbit,
+    /// so implementations must only return `true` when they can verify
+    /// the invariance on their own data (e.g. bitwise-equal cost tables
+    /// under the coordinate swap). The relation must be an equivalence
+    /// (exact interchangeability always is — transpositions compose).
+    /// The default is the always-safe `false` (no symmetry detected).
+    fn agents_interchangeable(&self, a: usize, b: usize) -> bool {
+        let _ = (a, b);
+        false
+    }
+
     /// Whether the slot `(agent, tau)` is interim-stable under `profile`:
     /// the played action's interim cost is (approximately) no worse than
     /// the exact best response's.

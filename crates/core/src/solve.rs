@@ -11,9 +11,19 @@
 //!   plus dynamics, for games whose strategy space exceeds the budget);
 //! * a [`Budget`] — `max_profiles` gates exhaustive enumeration,
 //!   `max_iterations` caps dynamics sweeps;
-//! * a thread count — the exhaustive sweep is chunked across
-//!   `std::thread` workers (results are independent of the chunking, so
-//!   threaded and single-threaded runs agree bit-for-bit).
+//! * a thread count — the exhaustive sweep runs on a **work-stealing**
+//!   scheduler: the profile range is cut into blocks that idle workers
+//!   claim from a shared atomic counter, each worker reuses one
+//!   incremental kernel across every block it steals, and the per-block
+//!   results are merged in block order, so reports are bit-for-bit
+//!   identical across any thread count (sweeps below
+//!   [`PARALLEL_SWEEP_MIN_PROFILES`] fall back to a purely sequential
+//!   sweep so small games never pay pool overhead);
+//! * a [`SymmetryMode`] — under [`SymmetryMode::Auto`] the solver
+//!   detects interchangeable agents ([`crate::symmetry`]) and sweeps only
+//!   canonical orbit representatives: identical measures, orders of
+//!   magnitude fewer evaluations on symmetric games, with the reduction
+//!   reported in [`SolveReport::orbit`].
 //!
 //! Every backend evaluates profiles through the **compiled evaluation
 //! layer** ([`crate::compiled`]): the solver lowers the model once into a
@@ -62,6 +72,14 @@ use crate::compiled::{CompiledSpace, EvalKernel, Lowered, SlotStep};
 use crate::game::MAX_ENUMERATION;
 use crate::measures::Measures;
 use crate::model::BayesianModel;
+use crate::symmetry::{Symmetry, SymmetryMode};
+
+/// Smallest sweep (in visited profiles) that uses the parallel
+/// work-stealing scheduler; anything smaller runs sequentially on the
+/// calling thread. Thread-pool spawn/join costs on the order of 100 µs —
+/// comparable to sweeping this many profiles outright — which is how a
+/// 4-thread sweep of a small game ends up *slower* than 1 thread.
+pub const PARALLEL_SWEEP_MIN_PROFILES: u128 = 1 << 14;
 
 /// Unified error type of the solver engine.
 #[derive(Debug)]
@@ -188,6 +206,21 @@ pub enum Backend {
     },
 }
 
+/// Orbit-reduction statistics of a symmetry-reduced exhaustive sweep
+/// (see [`crate::symmetry`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OrbitStats {
+    /// Canonical orbit representatives the sweep evaluated (equals
+    /// [`SolveReport::profiles_evaluated`] for a reduced sweep).
+    pub orbits_evaluated: u128,
+    /// Profiles of the full, unreduced strategy space those orbits
+    /// represent.
+    pub profiles_represented: u128,
+    /// Order of the detected symmetry group (`Π |class|!`), saturating
+    /// at `u128::MAX`.
+    pub group_order: u128,
+}
+
 /// Structured outcome of a [`Solver::solve`] call.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SolveReport {
@@ -205,6 +238,12 @@ pub struct SolveReport {
     /// asked for more samples than [`Budget::max_profiles`] allows and was
     /// truncated to `effective` starts; `None` otherwise.
     pub sample_cap: Option<u64>,
+    /// `Some(stats)` when an exhaustive sweep under
+    /// [`SymmetryMode::Auto`] found non-trivial agent symmetry and swept
+    /// only canonical orbit representatives; `None` otherwise. The
+    /// measures are identical either way — this records how much work the
+    /// reduction saved.
+    pub orbit: Option<OrbitStats>,
 }
 
 /// The full configuration of a [`Solver`] as plain data — the wire form
@@ -228,6 +267,9 @@ pub struct SolverConfig {
     pub budget: Budget,
     /// Worker threads for the exhaustive sweep (`0` = one per core).
     pub threads: usize,
+    /// Whether the exhaustive sweep reduces by agent symmetry
+    /// ([`SymmetryMode::Off`] by default).
+    pub symmetry: SymmetryMode,
 }
 
 impl Default for SolverConfig {
@@ -263,16 +305,18 @@ pub struct SolverBuilder {
     backend: Backend,
     budget: Budget,
     threads: usize,
+    symmetry: SymmetryMode,
 }
 
 impl Default for SolverBuilder {
-    /// Exhaustive backend, default [`Budget`], one thread — the exact
-    /// historical `measures()` configuration.
+    /// Exhaustive backend, default [`Budget`], one thread, no symmetry
+    /// reduction — the exact historical `measures()` configuration.
     fn default() -> Self {
         SolverBuilder {
             backend: Backend::default(),
             budget: Budget::default(),
             threads: 1,
+            symmetry: SymmetryMode::Off,
         }
     }
 }
@@ -315,6 +359,16 @@ impl SolverBuilder {
         self
     }
 
+    /// Whether the exhaustive sweep reduces by agent symmetry (see
+    /// [`crate::symmetry`]). [`SymmetryMode::Auto`] produces bit-for-bit
+    /// identical measures while evaluating only one canonical
+    /// representative per orbit; the default is [`SymmetryMode::Off`].
+    #[must_use]
+    pub fn symmetry(mut self, symmetry: SymmetryMode) -> Self {
+        self.symmetry = symmetry;
+        self
+    }
+
     /// Finalizes the configuration.
     #[must_use]
     pub fn build(self) -> Solver {
@@ -322,6 +376,7 @@ impl SolverBuilder {
             backend: self.backend,
             budget: self.budget,
             threads: self.threads,
+            symmetry: self.symmetry,
         }
     }
 }
@@ -335,6 +390,7 @@ pub struct Solver {
     backend: Backend,
     budget: Budget,
     threads: usize,
+    symmetry: SymmetryMode,
 }
 
 impl Default for Solver {
@@ -368,6 +424,12 @@ impl Solver {
         self.threads
     }
 
+    /// The configured symmetry mode.
+    #[must_use]
+    pub fn symmetry(&self) -> SymmetryMode {
+        self.symmetry
+    }
+
     /// The full configuration as plain data (the wire form).
     #[must_use]
     pub fn config(&self) -> SolverConfig {
@@ -375,6 +437,7 @@ impl Solver {
             backend: self.backend,
             budget: self.budget,
             threads: self.threads,
+            symmetry: self.symmetry,
         }
     }
 
@@ -385,6 +448,7 @@ impl Solver {
             backend: config.backend,
             budget: config.budget,
             threads: config.threads,
+            symmetry: config.symmetry,
         }
     }
 
@@ -405,19 +469,42 @@ impl Solver {
     pub fn solve<M: BayesianModel>(&self, model: &M) -> Result<SolveReport, SolveError> {
         let space = CompiledSpace::compile(model)?;
         let mut sample_cap = None;
+        let mut orbit = None;
         let stats = match self.backend {
             Backend::ExhaustiveEnum => {
                 // Only the exhaustive sweep needs the space size; the
                 // sampling backends must work on spaces too large to even
                 // size in `u128`.
                 let size = space.space_size()?;
-                if size > self.budget.max_profiles {
+                // Under `Auto`, non-trivial agent symmetry shrinks the
+                // sweep domain to canonical orbit representatives; the
+                // budget then gates the work actually done (the orbit
+                // count), still exactly and before any sweeping.
+                let symmetry = match self.symmetry {
+                    SymmetryMode::Off => None,
+                    SymmetryMode::Auto => {
+                        Some(Symmetry::detect(model, &space)).filter(|sym| !sym.is_trivial())
+                    }
+                };
+                let sweep_size = match &symmetry {
+                    None => size,
+                    Some(sym) => {
+                        let orbits = sym.orbit_count()?;
+                        orbit = Some(OrbitStats {
+                            orbits_evaluated: orbits,
+                            profiles_represented: size,
+                            group_order: sym.group_order_saturating(),
+                        });
+                        orbits
+                    }
+                };
+                if sweep_size > self.budget.max_profiles {
                     return Err(SolveError::BudgetExceeded {
-                        required: size,
+                        required: sweep_size,
                         max_profiles: self.budget.max_profiles,
                     });
                 }
-                self.exhaustive(model, &space, size)
+                self.exhaustive(model, &space, symmetry.as_ref(), sweep_size)
             }
             Backend::BestResponseDynamics { restarts, seed } => self.dynamics(
                 model,
@@ -458,6 +545,7 @@ impl Solver {
             profiles_evaluated: stats.evaluated,
             exact: matches!(self.backend, Backend::ExhaustiveEnum),
             sample_cap,
+            orbit,
         })
     }
 
@@ -530,41 +618,83 @@ impl Solver {
             .collect()
     }
 
-    /// Exhaustive sweep, chunked across worker threads when configured.
-    /// The model is lowered once; each worker seeds its own kernel from
-    /// its chunk's starting digits (the chunking is invariant, so results
-    /// agree bit-for-bit with a single-threaded sweep).
+    /// Exhaustive sweep over the flat profile space (`symmetry: None`) or
+    /// the canonical orbit domain (`symmetry: Some`), on the
+    /// work-stealing scheduler when the domain is large enough.
+    ///
+    /// The model is lowered once. Small domains (below
+    /// [`PARALLEL_SWEEP_MIN_PROFILES`]) or single-worker configurations
+    /// sweep sequentially on the calling thread. Otherwise the index
+    /// range is cut into blocks; idle workers claim the next block from a
+    /// shared atomic counter, re-seeding one long-lived kernel per block
+    /// they steal. Per-block results are merged in block-index order
+    /// after the join, so the result is bit-for-bit independent of which
+    /// worker claimed what.
     fn exhaustive<M: BayesianModel>(
         &self,
         model: &M,
         space: &CompiledSpace<M>,
+        symmetry: Option<&Symmetry>,
         size: u128,
     ) -> SweepStats {
         let lowered = model.lower(space);
         let lowered: &dyn Lowered = &*lowered;
         lowered.prepare_sweep();
         let workers = effective_threads(self.threads, size);
-        if workers <= 1 {
-            return sweep_range(space, lowered, 0, size);
+        if workers <= 1 || size < PARALLEL_SWEEP_MIN_PROFILES {
+            let mut kernel = lowered.kernel();
+            let mut digits = vec![0u32; space.num_slots()];
+            return sweep_block(space, symmetry, kernel.as_mut(), &mut digits, 0, size);
         }
-        let workers = workers as u128;
-        let per = size / workers;
-        let rem = size % workers;
+        // Block sizing: enough blocks that an unlucky worker (stalled on
+        // a slow block or a busy core) never strands more than ~1/32 of
+        // the range, but blocks long enough to amortize the O(slots)
+        // block decode + kernel re-seed.
+        let block_len = size
+            .div_ceil(workers as u128 * STEAL_BLOCKS_PER_WORKER)
+            .max(MIN_STEAL_BLOCK);
+        let num_blocks =
+            u64::try_from(size.div_ceil(block_len)).expect("block count bounded by workers * 32");
+        let next_block = std::sync::atomic::AtomicU64::new(0);
         std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            let mut start = 0u128;
-            for w in 0..workers {
-                let count = per + u128::from(w < rem);
-                if count == 0 {
-                    continue;
-                }
-                let chunk_start = start;
-                handles.push(scope.spawn(move || sweep_range(space, lowered, chunk_start, count)));
-                start += count;
-            }
-            handles
+            let next_block = &next_block;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut kernel = lowered.kernel();
+                        let mut digits = vec![0u32; space.num_slots()];
+                        let mut claimed: Vec<(u64, SweepStats)> = Vec::new();
+                        loop {
+                            let b = next_block.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if b >= num_blocks {
+                                break;
+                            }
+                            let start = u128::from(b) * block_len;
+                            let count = block_len.min(size - start);
+                            let stats = sweep_block(
+                                space,
+                                symmetry,
+                                kernel.as_mut(),
+                                &mut digits,
+                                start,
+                                count,
+                            );
+                            claimed.push((b, stats));
+                        }
+                        claimed
+                    })
+                })
+                .collect();
+            let mut blocks: Vec<(u64, SweepStats)> = handles
                 .into_iter()
-                .map(|h| h.join().expect("solver worker panicked"))
+                .flat_map(|h| h.join().expect("solver worker panicked"))
+                .collect();
+            // Deterministic merge: fold in block order, whatever the
+            // claim interleaving was.
+            blocks.sort_unstable_by_key(|&(b, _)| b);
+            blocks
+                .into_iter()
+                .map(|(_, stats)| stats)
                 .fold(SweepStats::new(), SweepStats::merge)
         })
     }
@@ -742,13 +872,27 @@ impl SweepStats {
     }
 }
 
-/// Evaluates the contiguous profile-index range `[start, start + count)`
-/// through an incremental kernel: the kernel is seeded once from the
-/// chunk's starting digits, then delta-updated per odometer tick — no
-/// action is cloned anywhere in this loop.
-fn sweep_range<M: BayesianModel>(
+/// Blocks each worker aims to claim over a full sweep: small enough that
+/// claim contention is negligible, large enough that a stalled worker
+/// strands at most ~1/32 of the range.
+const STEAL_BLOCKS_PER_WORKER: u128 = 32;
+
+/// Smallest work-stealing block, in profiles: keeps the per-block decode
+/// and kernel re-seed well under 1% of the block's evaluation work.
+const MIN_STEAL_BLOCK: u128 = 1024;
+
+/// Evaluates the contiguous index range `[start, start + count)` of the
+/// sweep domain — flat profile indices (`symmetry: None`) or canonical
+/// orbit ranks (`symmetry: Some`) — through an incremental kernel. The
+/// caller owns the kernel and digit buffer (workers reuse them across
+/// stolen blocks); the kernel is re-seeded once from the block's starting
+/// digits, then delta-updated per tick — no action is cloned anywhere in
+/// this loop.
+fn sweep_block<M: BayesianModel>(
     space: &CompiledSpace<M>,
-    lowered: &dyn Lowered,
+    symmetry: Option<&Symmetry>,
+    kernel: &mut dyn EvalKernel,
+    digits: &mut [u32],
     start: u128,
     count: u128,
 ) -> SweepStats {
@@ -756,10 +900,11 @@ fn sweep_range<M: BayesianModel>(
     if count == 0 {
         return stats;
     }
-    let mut digits = vec![0u32; space.num_slots()];
-    space.decode(start, &mut digits);
-    let mut kernel = lowered.kernel();
-    kernel.seed(&digits);
+    match symmetry {
+        None => space.decode(start, digits),
+        Some(sym) => sym.decode_canonical(start, digits),
+    }
+    kernel.seed(digits);
     let mut done = 0u128;
     loop {
         stats.observe(kernel.social_cost(), kernel.is_equilibrium());
@@ -767,21 +912,30 @@ fn sweep_range<M: BayesianModel>(
         if done == count {
             return stats;
         }
-        // Odometer increment, last slot fastest; only the digits that
-        // change are pushed into the kernel (amortized O(1) per tick).
-        let mut j = digits.len();
-        loop {
-            debug_assert!(j > 0, "odometer overflow before count was reached");
-            j -= 1;
-            let old = digits[j];
-            if old + 1 < space.slot_size(j) {
-                digits[j] = old + 1;
-                kernel.advance(j, old, old + 1);
-                break;
+        match symmetry {
+            None => {
+                // Odometer increment, last slot fastest; only the digits
+                // that change are pushed into the kernel (amortized O(1)
+                // per tick).
+                let mut j = digits.len();
+                loop {
+                    debug_assert!(j > 0, "odometer overflow before count was reached");
+                    j -= 1;
+                    let old = digits[j];
+                    if old + 1 < space.slot_size(j) {
+                        digits[j] = old + 1;
+                        kernel.advance(j, old, old + 1);
+                        break;
+                    }
+                    digits[j] = 0;
+                    if old != 0 {
+                        kernel.advance(j, old, 0);
+                    }
+                }
             }
-            digits[j] = 0;
-            if old != 0 {
-                kernel.advance(j, old, 0);
+            Some(sym) => {
+                let more = sym.next_canonical(digits, |j, old, new| kernel.advance(j, old, new));
+                debug_assert!(more, "canonical domain exhausted before count was reached");
             }
         }
     }
@@ -826,6 +980,124 @@ mod tests {
             let multi = Solver::builder().threads(4).build().solve(&game).unwrap();
             assert_eq!(single.measures, multi.measures, "seed {seed}");
             assert_eq!(single.profiles_evaluated, multi.profiles_evaluated);
+        }
+    }
+
+    /// One support state, `k` agents with one type each, every agent
+    /// paying the same permutation-invariant cost — the whole agent set
+    /// is one interchangeability class.
+    fn symmetric_congestion_game(k: usize, actions: usize) -> BayesianGame {
+        let g = MatrixFormGame::from_fn(k, &vec![actions; k], |_, a| {
+            a.iter().map(|&x| (x * x + 1) as f64).sum()
+        });
+        BayesianGame::new(vec![1; k], vec![(vec![0; k], 1.0, g)]).unwrap()
+    }
+
+    /// Seven agents, four actions, one support state, no symmetry: a
+    /// 4^7 = 16384-profile space that crosses
+    /// [`PARALLEL_SWEEP_MIN_PROFILES`], so multi-thread solves take the
+    /// work-stealing path.
+    fn large_asymmetric_game() -> BayesianGame {
+        // Exact potential structure (separable part + common term), so a
+        // pure equilibrium exists; the per-agent parts differ, so no two
+        // agents are interchangeable.
+        let g = MatrixFormGame::from_fn(7, &[4; 7], |i, a| {
+            let own = ((i + 1) * (a[i] * a[i] + 3 * a[i] + 1)) % 13;
+            let common = a
+                .iter()
+                .enumerate()
+                .map(|(j, &x)| (x + 1) * (j + 3))
+                .sum::<usize>()
+                % 17;
+            (own + common) as f64
+        });
+        BayesianGame::new(vec![1; 7], vec![(vec![0; 7], 1.0, g)]).unwrap()
+    }
+
+    #[test]
+    fn orbit_sweep_matches_full_sweep_and_reports_stats() {
+        let game = symmetric_congestion_game(3, 2);
+        let full = Solver::default().solve(&game).unwrap();
+        let reduced = Solver::builder()
+            .symmetry(SymmetryMode::Auto)
+            .build()
+            .solve(&game)
+            .unwrap();
+        assert_eq!(reduced.measures, full.measures);
+        assert_eq!(full.profiles_evaluated, 8);
+        assert_eq!(full.orbit, None);
+        // 3 interchangeable binary agents: multichoose(2, 3) = 4 orbits.
+        assert_eq!(reduced.profiles_evaluated, 4);
+        assert_eq!(
+            reduced.orbit,
+            Some(OrbitStats {
+                orbits_evaluated: 4,
+                profiles_represented: 8,
+                group_order: 6,
+            })
+        );
+    }
+
+    #[test]
+    fn auto_symmetry_on_an_asymmetric_game_reports_no_orbit() {
+        let game = coordination_game();
+        let off = Solver::default().solve(&game).unwrap();
+        let auto = Solver::builder()
+            .symmetry(SymmetryMode::Auto)
+            .build()
+            .solve(&game)
+            .unwrap();
+        assert_eq!(auto.orbit, None);
+        assert_eq!(auto.profiles_evaluated, off.profiles_evaluated);
+        assert_eq!(auto.measures, off.measures);
+    }
+
+    #[test]
+    fn budget_gates_on_the_orbit_count_under_auto_symmetry() {
+        let game = symmetric_congestion_game(3, 2);
+        // 8 profiles but only 4 orbits: a 4-profile budget fails the full
+        // sweep and exactly fits the reduced one.
+        let err = Solver::builder()
+            .max_profiles(4)
+            .build()
+            .solve(&game)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SolveError::BudgetExceeded { required: 8, .. }
+        ));
+        let report = Solver::builder()
+            .max_profiles(4)
+            .symmetry(SymmetryMode::Auto)
+            .build()
+            .solve(&game)
+            .unwrap();
+        assert_eq!(report.profiles_evaluated, 4);
+        let err = Solver::builder()
+            .max_profiles(3)
+            .symmetry(SymmetryMode::Auto)
+            .build()
+            .solve(&game)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SolveError::BudgetExceeded { required: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn work_stealing_sweep_is_deterministic_across_thread_counts() {
+        use crate::model::BayesianModel as _;
+        let game = large_asymmetric_game();
+        assert!(game.strategy_space_size().unwrap() >= PARALLEL_SWEEP_MIN_PROFILES);
+        let baseline = Solver::builder().threads(1).build().solve(&game).unwrap();
+        for threads in [2, 4, 8] {
+            let report = Solver::builder()
+                .threads(threads)
+                .build()
+                .solve(&game)
+                .unwrap();
+            assert_eq!(report, baseline, "threads {threads}");
         }
     }
 
@@ -944,12 +1216,15 @@ mod tests {
                 max_iterations: 32,
             },
             threads: 3,
+            symmetry: SymmetryMode::Auto,
         };
         let solver = Solver::from_config(config);
         assert_eq!(solver.config(), config);
         assert_eq!(Solver::from(config).config(), config);
         assert_eq!(SolverConfig::default(), Solver::default().config());
         assert_eq!(solver.threads(), 3);
+        assert_eq!(solver.symmetry(), SymmetryMode::Auto);
+        assert_eq!(Solver::default().symmetry(), SymmetryMode::Off);
     }
 
     #[test]

@@ -530,6 +530,25 @@ impl BayesianModel for BayesianNcsGame {
             .then(|| sp.path_edges(dst).expect("feasibility checked"))
     }
 
+    fn agents_interchangeable(&self, a: usize, b: usize) -> bool {
+        // Exact bitwise interchangeability (see the trait contract). NCS
+        // costs are functions of *integer* edge loads and shared per-edge
+        // constants: every agent with the same terminal pair pays the
+        // same `c(e)/load` shares. So two agents are interchangeable as
+        // soon as they have identical type lists (same terminal pairs in
+        // the same order, hence identical per-slot candidate path
+        // enumerations) and identical types in every support state:
+        // swapping their strategies then leaves every state's edge-load
+        // vector — and with it every social and interim term — exactly
+        // unchanged.
+        a == b
+            || (self.agent_types[a] == self.agent_types[b]
+                && self
+                    .support_type_idx
+                    .iter()
+                    .all(|types| types[a] == types[b]))
+    }
+
     fn complete_info(&self) -> Result<CompleteInfo, SolveError> {
         let mut opt_c = 0.0;
         let mut best_eq_c = 0.0;

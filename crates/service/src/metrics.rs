@@ -115,6 +115,16 @@ pub struct ServiceMetrics {
     pub rejected_busy: AtomicU64,
     /// Connections accepted.
     pub connections_total: AtomicU64,
+    /// Engine solves whose report carried orbit statistics (symmetry was
+    /// detected and the sweep was orbit-reduced).
+    pub orbit_sweeps: AtomicU64,
+    /// Cumulative canonical orbit representatives actually evaluated by
+    /// orbit-reduced solves (saturating).
+    pub orbits_evaluated: AtomicU64,
+    /// Cumulative profiles those orbits represent (saturating) — the
+    /// work a full sweep would have done; the ratio to
+    /// `orbits_evaluated` is the fleet-wide orbit-reduction factor.
+    pub orbit_profiles_represented: AtomicU64,
     /// Engine solve latency, one sample per cold engine invocation (a
     /// `POST /solve` cache miss or one `solve_many` batch of misses),
     /// whether or not the solve succeeded — cache hits never touch it,
@@ -135,6 +145,9 @@ impl Default for ServiceMetrics {
             responses_5xx: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
+            orbit_sweeps: AtomicU64::new(0),
+            orbits_evaluated: AtomicU64::new(0),
+            orbit_profiles_represented: AtomicU64::new(0),
             solve_us: LatencyHistogram::default(),
             start: Instant::now(),
         }
@@ -150,6 +163,22 @@ impl ServiceMetrics {
             _ => &self.responses_5xx,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one orbit-reduced engine solve: the orbits it evaluated
+    /// and the profiles those orbits represent, saturating into the
+    /// cumulative counters (orbit reductions routinely represent spaces
+    /// far beyond `u64`).
+    pub fn record_orbit_sweep(&self, orbits_evaluated: u128, profiles_represented: u128) {
+        fn saturating_add(counter: &AtomicU64, v: u128) {
+            let v = u64::try_from(v).unwrap_or(u64::MAX);
+            let _ = counter.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_add(v))
+            });
+        }
+        self.orbit_sweeps.fetch_add(1, Ordering::Relaxed);
+        saturating_add(&self.orbits_evaluated, orbits_evaluated);
+        saturating_add(&self.orbit_profiles_represented, profiles_represented);
     }
 
     /// The `GET /metrics` document: service counters plus the cache
@@ -171,6 +200,17 @@ impl ServiceMetrics {
             ("responses_4xx".into(), count(&self.responses_4xx)),
             ("responses_5xx".into(), count(&self.responses_5xx)),
             ("rejected_busy".into(), count(&self.rejected_busy)),
+            (
+                "orbit".into(),
+                Json::Obj(vec![
+                    ("sweeps".into(), count(&self.orbit_sweeps)),
+                    ("orbits_evaluated".into(), count(&self.orbits_evaluated)),
+                    (
+                        "profiles_represented".into(),
+                        count(&self.orbit_profiles_represented),
+                    ),
+                ]),
+            ),
             ("solve_us".into(), self.solve_us.to_json()),
             (
                 "cache".into(),
@@ -242,6 +282,30 @@ mod tests {
         let solve = doc.get("solve_us").unwrap();
         assert_eq!(solve.get("count").unwrap().as_u64(), Some(1));
         assert_eq!(solve.get("p50").unwrap().as_u64(), Some(511));
+    }
+
+    #[test]
+    fn orbit_counters_accumulate_and_saturate() {
+        let m = ServiceMetrics::default();
+        m.record_orbit_sweep(4, 8);
+        m.record_orbit_sweep(6, u128::MAX);
+        assert_eq!(m.orbit_sweeps.load(Ordering::Relaxed), 2);
+        assert_eq!(m.orbits_evaluated.load(Ordering::Relaxed), 10);
+        assert_eq!(
+            m.orbit_profiles_represented.load(Ordering::Relaxed),
+            u64::MAX
+        );
+        let doc = m.to_json(CacheStats {
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+            entries: 0,
+            capacity: 64,
+        });
+        let orbit = doc.get("orbit").unwrap();
+        assert_eq!(orbit.get("sweeps").unwrap().as_u64(), Some(2));
+        assert_eq!(orbit.get("orbits_evaluated").unwrap().as_u64(), Some(10));
     }
 
     #[test]

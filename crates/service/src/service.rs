@@ -16,10 +16,12 @@
 //!   response is `{"reports": [{"report": …} | {"error": …}, …]}`,
 //!   aligned by index.
 //!
-//! The cache key is the canonical bytes of `{game, backend, budget}` —
-//! the thread count is deliberately **excluded** (sweeps are bit-for-bit
-//! identical across thread counts, so results are shareable across
-//! differently-threaded clients).
+//! The cache key is the canonical bytes of `{game, backend, budget,
+//! symmetry}` — the thread count is deliberately **excluded** (sweeps are
+//! bit-for-bit identical across thread counts, so results are shareable
+//! across differently-threaded clients), but the symmetry mode is
+//! **included**: orbit-reduced reports carry different `orbit` stats and
+//! `profiles_evaluated` counts than full sweeps, so the bodies differ.
 
 use std::sync::Arc;
 
@@ -178,14 +180,16 @@ impl SolveService {
     }
 
     /// The content address of a request: canonical bytes of
-    /// `{game, backend, budget}` (threads excluded — they never change
-    /// results).
+    /// `{game, backend, budget, symmetry}` (threads excluded — they never
+    /// change results; the symmetry mode is included because it changes
+    /// the report's `orbit` stats and `profiles_evaluated`).
     #[must_use]
     pub fn cache_key(game: &GameSpec, config: &SolverConfig) -> Vec<u8> {
         Json::Obj(vec![
             ("game".into(), game.encode()),
             ("backend".into(), config.backend.encode()),
             ("budget".into(), config.budget.encode()),
+            ("symmetry".into(), config.symmetry.encode()),
         ])
         .canonical_bytes()
     }
@@ -216,9 +220,7 @@ impl SolveService {
         // successes.
         self.record_solve_time(started);
         let report = result?;
-        self.metrics
-            .solves_computed
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.record_computed(&report);
         Ok(SolveOutcome {
             body: self.insert_report(key, &report),
             cache_hit: false,
@@ -280,15 +282,26 @@ impl SolveService {
         self.metrics.solve_us.record(micros);
     }
 
+    /// Bumps the per-solve counters for a freshly computed report,
+    /// including the orbit-reduction counters when the sweep was
+    /// symmetry-reduced.
+    fn record_computed(&self, report: &SolveReport) {
+        self.metrics
+            .solves_computed
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if let Some(orbit) = &report.orbit {
+            self.metrics
+                .record_orbit_sweep(orbit.orbits_evaluated, orbit.profiles_represented);
+        }
+    }
+
     fn finish_miss(
         &self,
         key: Vec<u8>,
         result: Result<SolveReport, SolveError>,
     ) -> Result<SolveOutcome, SolveError> {
         let report = result?;
-        self.metrics
-            .solves_computed
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.record_computed(&report);
         Ok(SolveOutcome {
             body: self.insert_report(key, &report),
             cache_hit: false,
@@ -399,6 +412,62 @@ mod tests {
         );
         service.solve(&one).unwrap();
         assert!(service.solve(&four).unwrap().cache_hit);
+    }
+
+    /// Three interchangeable binary agents — `Auto` symmetry reduces its
+    /// 8-profile sweep to 4 orbits.
+    fn symmetric_game() -> GameSpec {
+        let g = bi_core::MatrixFormGame::from_fn(3, &[2, 2, 2], |_, a| {
+            a.iter().map(|&x| (x + 1) as f64).sum()
+        });
+        GameSpec::Matrix(BayesianGame::new(vec![1, 1, 1], vec![(vec![0, 0, 0], 1.0, g)]).unwrap())
+    }
+
+    #[test]
+    fn symmetry_mode_splits_the_cache_and_feeds_orbit_metrics() {
+        let service = SolveService::new(CacheConfig::default());
+        let game = symmetric_game();
+        let off = SolveRequest {
+            game: game.clone(),
+            config: SolverConfig::default(),
+        };
+        let auto = SolveRequest {
+            game,
+            config: SolverConfig {
+                symmetry: bi_core::SymmetryMode::Auto,
+                ..SolverConfig::default()
+            },
+        };
+        // Orbit-reduced reports carry different bytes, so the key must
+        // differ — an `Auto` request after an `Off` one is a miss.
+        assert_ne!(
+            SolveService::cache_key(&off.game, &off.config),
+            SolveService::cache_key(&auto.game, &auto.config)
+        );
+        let full = service.solve(&off).unwrap();
+        let reduced = service.solve(&auto).unwrap();
+        assert!(!reduced.cache_hit);
+        assert_ne!(full.body, reduced.body);
+        // Only the reduced solve feeds the orbit counters: 4 orbits
+        // representing all 8 profiles.
+        let m = service.metrics();
+        assert_eq!(m.orbit_sweeps.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(
+            m.orbits_evaluated
+                .load(std::sync::atomic::Ordering::Relaxed),
+            4
+        );
+        assert_eq!(
+            m.orbit_profiles_represented
+                .load(std::sync::atomic::Ordering::Relaxed),
+            8
+        );
+        let doc = service.metrics_json();
+        let orbit = doc.get("orbit").unwrap();
+        assert_eq!(orbit.get("sweeps").unwrap().as_u64(), Some(1));
+        // And both measures agree (the reduced body differs only in the
+        // orbit/profiles fields).
+        assert!(service.solve(&auto).unwrap().cache_hit);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use bayesian_ignorance::core::random_games::random_bayesian_potential_game;
 use bayesian_ignorance::core::solve::{Backend, Budget, SolverConfig};
+use bayesian_ignorance::core::SymmetryMode;
 use bayesian_ignorance::core::{BayesianGame, Solver};
 use bayesian_ignorance::graph::{generators, Direction, NodeId};
 use bayesian_ignorance::ncs::{BayesianNcsGame, Prior};
@@ -59,6 +60,7 @@ proptest! {
         seed in 0u64..u64::MAX,
         max_profiles in 0u64..u64::MAX,
         threads in 0usize..16,
+        auto_symmetry in 0u8..2,
     ) {
         for backend in [
             Backend::ExhaustiveEnum,
@@ -71,6 +73,7 @@ proptest! {
                     max_profiles: u128::from(max_profiles) << 32,
                     max_iterations: seed,
                 },
+                symmetry: if auto_symmetry == 1 { SymmetryMode::Auto } else { SymmetryMode::Off },
                 threads,
             };
             let decoded = SolverConfig::decode(&config.encode()).unwrap();

@@ -1,0 +1,199 @@
+//! Satellite of the symmetry-orbit PR: every construction family's
+//! exported automorphism generators actually fix its game.
+//!
+//! For each family, the test checks three layers against each other:
+//!
+//! 1. the *exported* generators (`automorphism_generators()`) are valid
+//!    permutations with the documented shape;
+//! 2. applying a generator to a strategy profile leaves costs and
+//!    equilibrium verdicts **bit-for-bit** unchanged (NCS costs are
+//!    functions of integer edge loads, affine costs of integer agent
+//!    counts, so exact invariance is the contract, not a tolerance);
+//! 3. the *detected* symmetry (`bi_core::symmetry::Symmetry::detect`)
+//!    agrees: nontrivial exactly when generators exist, trivial when
+//!    the export is empty.
+
+use bayesian_ignorance::constructions::affine_game::AffinePlaneGame;
+use bayesian_ignorance::constructions::diamond_game::DiamondGame;
+use bayesian_ignorance::constructions::gworst::{GWorstGame, GWorstVariant};
+use bayesian_ignorance::constructions::pos_game::GkGame;
+use bayesian_ignorance::core::{BayesianModel, CompiledSpace, Symmetry};
+use bayesian_ignorance::ncs::Path;
+
+/// Checks that `perm` is a permutation of `0..n`.
+fn assert_is_permutation(perm: &[usize], n: usize) {
+    assert_eq!(perm.len(), n, "permutation length");
+    let mut seen = vec![false; n];
+    for &p in perm {
+        assert!(p < n && !seen[p], "not a permutation: {perm:?}");
+        seen[p] = true;
+    }
+}
+
+/// Applies an agent permutation to a per-agent strategy list:
+/// `out[perm[i]] = s[i]`.
+fn permute<T: Clone>(s: &[T], perm: &[usize]) -> Vec<T> {
+    let mut out = s.to_vec();
+    for (i, &p) in perm.iter().enumerate() {
+        out[p] = s[i].clone();
+    }
+    out
+}
+
+#[test]
+fn gworst_generators_fix_the_game_bitwise() {
+    for variant in [GWorstVariant::Half, GWorstVariant::InvK] {
+        let k = 4;
+        let g = GWorstGame::new(k, variant).unwrap();
+        let game = g.game();
+        let generators = g.automorphism_generators();
+        assert_eq!(generators.len(), k - 1, "adjacent transpositions on 0..k");
+        for (i, perm) in generators.iter().enumerate() {
+            assert_is_permutation(perm, k + 1);
+            assert_eq!(perm[k], k, "the stochastic agent is fixed");
+            // The exported transposition swaps exactly (i, i+1) — and the
+            // model-level detection agrees those agents are interchangeable.
+            assert_eq!(perm[i], i + 1);
+            assert_eq!(perm[i + 1], i);
+            assert!(game.agents_interchangeable(i, i + 1));
+            assert!(!game.agents_interchangeable(i, k));
+        }
+
+        // Edge handles, as in the bi-constructions unit tests: u–v is the
+        // expensive edge, v–w the unit edge, u–w the direct 1+ε edge.
+        let graph = game.graph();
+        let uv = graph.edges().find(|(_, e)| e.cost() > 2.0).unwrap().0;
+        let vw = graph.edges().find(|(_, e)| e.cost() == 1.0).unwrap().0;
+        let uw = graph
+            .edges()
+            .find(|(_, e)| e.cost() > 1.0 && e.cost() < 2.0)
+            .unwrap()
+            .0;
+
+        // Sweep every pure profile: each u→w agent picks direct or detour,
+        // the stochastic agent picks direct or via-w for its active type.
+        for mask in 0u32..1 << (k + 1) {
+            let mut s: Vec<Vec<Path>> = (0..k)
+                .map(|i| {
+                    if mask >> i & 1 == 1 {
+                        vec![vec![uv, vw]]
+                    } else {
+                        vec![vec![uw]]
+                    }
+                })
+                .collect();
+            let active: Path = if mask >> k & 1 == 1 {
+                vec![uv]
+            } else {
+                vec![uw, vw]
+            };
+            s.push(
+                game.agent_types()[k]
+                    .iter()
+                    .map(|&(src, dst)| {
+                        if src == dst {
+                            Vec::new()
+                        } else {
+                            active.clone()
+                        }
+                    })
+                    .collect(),
+            );
+            let cost = game.social_cost(&s);
+            let eq = game.is_bayesian_equilibrium(&s);
+            for perm in &generators {
+                let permuted = permute(&s, perm);
+                assert_eq!(
+                    game.social_cost(&permuted).to_bits(),
+                    cost.to_bits(),
+                    "social cost must be bitwise invariant (mask {mask:#b})"
+                );
+                assert_eq!(
+                    game.is_bayesian_equilibrium(&permuted),
+                    eq,
+                    "equilibrium verdict must be invariant (mask {mask:#b})"
+                );
+            }
+        }
+
+        // The detected symmetry matches the export: one class of k
+        // interchangeable agents (group order k!) plus the fixed agent.
+        let space = CompiledSpace::compile(game).unwrap();
+        let sym = Symmetry::detect(game, &space);
+        assert!(!sym.is_trivial());
+        let factorial: u128 = (2..=k as u128).product();
+        assert_eq!(sym.group_order_saturating(), factorial);
+        assert!(
+            sym.orbit_count().unwrap() < space.space_size().unwrap(),
+            "orbit sweep must be a strict reduction"
+        );
+    }
+}
+
+#[test]
+fn affine_generators_fix_the_expected_social_cost_bitwise() {
+    let g = AffinePlaneGame::new(3).unwrap();
+    let m = g.order();
+    let generators = g.automorphism_generators();
+    assert_eq!(generators.len(), m - 1);
+
+    // A deliberately asymmetric profile: agent i guesses a different
+    // incident line per point, staggered by i.
+    let plane = g.plane();
+    let strategies: Vec<Vec<usize>> = (0..m)
+        .map(|i| {
+            (0..plane.point_count())
+                .map(|p| {
+                    let lines = plane.lines_through(p);
+                    lines[(i + p) % lines.len()]
+                })
+                .collect()
+        })
+        .collect();
+    let cost = g.expected_social_cost(&strategies).unwrap();
+    for perm in &generators {
+        assert_is_permutation(perm, m);
+        let permuted = permute(&strategies, perm);
+        assert_eq!(
+            g.expected_social_cost(&permuted).unwrap().to_bits(),
+            cost.to_bits(),
+            "point-agents are exactly interchangeable"
+        );
+    }
+    // Sanity: the uniform profile is also fixed (trivially).
+    let uniform = g.first_line_strategies();
+    let uniform_cost = g.expected_social_cost(&uniform).unwrap();
+    for perm in &generators {
+        let permuted = permute(&uniform, perm);
+        assert_eq!(
+            g.expected_social_cost(&permuted).unwrap().to_bits(),
+            uniform_cost.to_bits()
+        );
+    }
+}
+
+#[test]
+fn gk_exports_no_generators_and_detection_agrees() {
+    let g = GkGame::new(4).unwrap();
+    assert!(g.automorphism_generators().is_empty());
+    let game = g.game();
+    let space = CompiledSpace::compile(game).unwrap();
+    assert!(
+        Symmetry::detect(game, &space).is_trivial(),
+        "distinct spoke terminals leave no agent symmetry"
+    );
+    // Spot-check the model-level predicate too.
+    assert!(!game.agents_interchangeable(0, 1));
+}
+
+#[test]
+fn diamond_exports_no_generators_and_detection_agrees() {
+    let g = DiamondGame::new(2);
+    assert!(g.automorphism_generators().is_empty());
+    let game = g.bayesian_game().unwrap();
+    let space = CompiledSpace::compile(&game).unwrap();
+    assert!(
+        Symmetry::detect(&game, &space).is_trivial(),
+        "sequence positions have distinct request distributions"
+    );
+}

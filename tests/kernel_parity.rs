@@ -114,6 +114,7 @@ fn assert_reports_identical(a: &SolveReport, b: &SolveReport, context: &str) {
     );
     assert_eq!(a.sample_cap, b.sample_cap, "{context}: sample cap");
     assert_eq!(a.exact, b.exact, "{context}: exactness");
+    assert_eq!(a.orbit, b.orbit, "{context}: orbit stats");
 }
 
 /// The pre-change exhaustive sweep, verbatim, over the generic model API:
@@ -290,6 +291,96 @@ fn budget_gate_is_unchanged_by_lowering() {
         .solve(&game)
         .unwrap_err();
     assert!(matches!(err, SolveError::BudgetExceeded { required, .. } if required == space));
+}
+
+/// An exact-potential matrix game with 4^7 = 16384 profiles — exactly at
+/// [`PARALLEL_SWEEP_MIN_PROFILES`], so threads > 1 take the work-stealing
+/// path rather than the small-space sequential fallback.
+fn threshold_sized_game() -> BayesianGame {
+    use bayesian_ignorance::core::game::MatrixFormGame;
+    let matrix = MatrixFormGame::from_fn(7, &[4; 7], |i, a| {
+        let own = ((i + 1) * (a[i] * a[i] + 3 * a[i] + 1)) % 13;
+        let common = a
+            .iter()
+            .enumerate()
+            .map(|(j, &x)| (x + 1) * (j + 3))
+            .sum::<usize>()
+            % 17;
+        (own + common) as f64
+    });
+    BayesianGame::new(vec![1; 7], vec![(vec![0; 7], 1.0, matrix)]).unwrap()
+}
+
+/// The work-stealing scheduler produces **byte-identical** canonical
+/// report encodings across 1/2/4/8 threads — the wire form, not just the
+/// in-memory measures, is thread-invariant.
+#[test]
+fn work_stealing_reports_encode_identically_across_thread_counts() {
+    use bayesian_ignorance::core::solve::PARALLEL_SWEEP_MIN_PROFILES;
+    use bayesian_ignorance::util::Encode;
+    let game = threshold_sized_game();
+    assert!(game.strategy_space_size().unwrap() >= PARALLEL_SWEEP_MIN_PROFILES);
+    let baseline = Solver::builder().threads(1).build().solve(&game).unwrap();
+    let want = baseline.encode().canonical_string();
+    for threads in [2usize, 4, 8] {
+        let report = Solver::builder()
+            .threads(threads)
+            .build()
+            .solve(&game)
+            .unwrap();
+        assert_eq!(
+            report.encode().canonical_string(),
+            want,
+            "{threads} threads: canonical report bytes"
+        );
+    }
+}
+
+/// Budget exhaustion under work-stealing is deterministic and identical
+/// to the sequential engine: the gate fires before any sweeping, with
+/// the same `required` count at every thread count, and at exactly the
+/// required budget the sweep succeeds byte-identically.
+#[test]
+fn budget_exhaustion_is_identical_under_work_stealing() {
+    use bayesian_ignorance::util::Encode;
+    let game = threshold_sized_game();
+    let space = game.strategy_space_size().unwrap();
+    let want = Solver::builder()
+        .threads(1)
+        .max_profiles(space)
+        .build()
+        .solve(&game)
+        .unwrap()
+        .encode()
+        .canonical_string();
+    for threads in [1usize, 2, 4, 8] {
+        let err = Solver::builder()
+            .threads(threads)
+            .max_profiles(space - 1)
+            .build()
+            .solve(&game)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SolveError::BudgetExceeded { required, max_profiles }
+                    if required == space && max_profiles == space - 1
+            ),
+            "{threads} threads: {err:?}"
+        );
+        let report = Solver::builder()
+            .threads(threads)
+            .max_profiles(space)
+            .build()
+            .solve(&game)
+            .unwrap();
+        assert_eq!(report.profiles_evaluated, space, "{threads} threads");
+        assert_eq!(
+            report.encode().canonical_string(),
+            want,
+            "{threads} threads"
+        );
+    }
 }
 
 /// Zero-weight (pinned) slots stay pinned through the compiled sweep.
