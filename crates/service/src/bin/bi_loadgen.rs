@@ -9,14 +9,18 @@
 //!    all cache hits, measuring the served-from-cache ceiling.
 //!
 //! Then one `POST /solve_batch` over a workload slice exercises the
-//! batch path, and `GET /metrics` is scraped into the report. Results —
-//! throughput, latency percentiles, cache-hit rate, hot/cold speedup —
-//! are written to `BENCH_service.json` (committed to seed the repo's
-//! perf trajectory).
+//! batch path, an optional `--sweep-clients` pass replays the warm pool
+//! at each requested concurrency level (every connection open at once,
+//! request fire synchronized on a barrier), and `GET /metrics` is
+//! scraped into the report. Results — throughput, latency percentiles,
+//! cache-hit rate, hot/cold speedup, the client scaling curve — are
+//! written to `BENCH_service.json` (committed to seed the repo's perf
+//! trajectory).
 //!
-//! Exit status is non-zero if any request failed, or if `--min-hit-rate`
-//! was given and the hot phase hit rate fell below it — which is what
-//! the CI smoke job asserts.
+//! Exit status is non-zero if any request failed (sweep included), if
+//! `--min-hit-rate` was given and the hot phase hit rate fell below it,
+//! or if `--max-hot-p50-us` was given and the hot-phase median exceeded
+//! it — which is what the CI smoke job asserts.
 
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
@@ -43,8 +47,11 @@ OPTIONS:
   --unique N          distinct games in the pool (default 64)
   --hot N             hot-phase requests over the pool (default 1500)
   --clients N         concurrent client connections (default 4)
+  --sweep-clients L   comma-separated concurrency levels to replay the warm
+                      pool at (e.g. 4,64,256,1024); recorded as client_sweep
   --out FILE          benchmark report path (default BENCH_service.json)
   --min-hit-rate F    fail unless the hot-phase cache-hit rate reaches F
+  --max-hot-p50-us N  fail if the hot-phase median latency exceeds N µs
   --help              print this help
 ";
 
@@ -54,8 +61,10 @@ struct Args {
     unique: usize,
     hot: usize,
     clients: usize,
+    sweep_clients: Vec<usize>,
     out: String,
     min_hit_rate: Option<f64>,
+    max_hot_p50_us: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -65,8 +74,10 @@ fn parse_args() -> Result<Args, String> {
         unique: 64,
         hot: 1500,
         clients: 4,
+        sweep_clients: Vec::new(),
         out: "BENCH_service.json".into(),
         min_hit_rate: None,
+        max_hot_p50_us: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -87,6 +98,12 @@ fn parse_args() -> Result<Args, String> {
             "--unique" => parsed.unique = num(&value)?.max(1),
             "--hot" => parsed.hot = num(&value)?,
             "--clients" => parsed.clients = num(&value)?.max(1),
+            "--sweep-clients" => {
+                parsed.sweep_clients = value
+                    .split(',')
+                    .map(|v| num(v.trim()).map(|n| n.max(1)))
+                    .collect::<Result<_, _>>()?;
+            }
             "--out" => parsed.out = value,
             "--min-hit-rate" => {
                 parsed.min_hit_rate = Some(
@@ -95,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| format!("flag {flag} needs a number, got `{value}`"))?,
                 );
             }
+            "--max-hot-p50-us" => parsed.max_hot_p50_us = Some(num(&value)? as u64),
             other => return Err(format!("unknown flag {other} (see --help)")),
         }
     }
@@ -240,6 +258,81 @@ fn run_phase(addr: &str, schedule: Vec<Vec<Arc<Vec<u8>>>>) -> PhaseStats {
     total
 }
 
+/// Requests each sweep client fires after the barrier drops.
+const SWEEP_PER_CLIENT: usize = 4;
+
+/// Replays the warm pool at a fixed concurrency level: every connection
+/// is opened (sequentially, so the listen backlog never overflows a SYN
+/// burst) and stays open, then all clients fire together off a barrier.
+fn run_sweep_step(addr: &str, clients: usize, bodies: &[Arc<Vec<u8>>], seed: u64) -> PhaseStats {
+    let mut conns = Vec::with_capacity(clients);
+    let mut failed_connects = 0u64;
+    for _ in 0..clients {
+        match Client::connect(addr) {
+            Ok(client) => conns.push(client),
+            Err(_) => failed_connects += SWEEP_PER_CLIENT as u64,
+        }
+    }
+    let barrier = std::sync::Barrier::new(conns.len());
+    let start = Instant::now();
+    let per_client: Vec<PhaseStats> = std::thread::scope(|scope| {
+        let barrier = &barrier;
+        let handles: Vec<_> = conns
+            .into_iter()
+            .enumerate()
+            .map(|(c, mut client)| {
+                let requests: Vec<Arc<Vec<u8>>> = {
+                    let mut rng = seeded(derive_seed(seed, &format!("sweep{clients}c{c}")));
+                    (0..SWEEP_PER_CLIENT)
+                        .map(|_| Arc::clone(&bodies[rng.random_range(0..bodies.len())]))
+                        .collect()
+                };
+                // 1,024 default-sized stacks would be wasteful; the
+                // client loop needs almost none.
+                std::thread::Builder::new()
+                    .stack_size(256 * 1024)
+                    .spawn_scoped(scope, move || {
+                        barrier.wait();
+                        let mut stats = PhaseStats::default();
+                        for body in requests {
+                            match client.solve("/solve", &body) {
+                                Ok((micros, ok, hit)) => {
+                                    stats.latencies_us.push(micros);
+                                    if !ok {
+                                        stats.errors += 1;
+                                    } else if hit {
+                                        stats.hits += 1;
+                                    } else {
+                                        stats.misses += 1;
+                                    }
+                                }
+                                Err(_) => stats.errors += 1,
+                            }
+                        }
+                        stats
+                    })
+                    .expect("spawn sweep client")
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep client panicked"))
+            .collect()
+    });
+    let mut total = PhaseStats {
+        seconds: start.elapsed().as_secs_f64(),
+        errors: failed_connects,
+        ..PhaseStats::default()
+    };
+    for stats in per_client {
+        total.latencies_us.extend(stats.latencies_us);
+        total.hits += stats.hits;
+        total.misses += stats.misses;
+        total.errors += stats.errors;
+    }
+    total
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(args) => args,
@@ -330,6 +423,39 @@ fn main() {
         Err(_) => batch_errors += 1,
     }
 
+    // The scaling sweep: the pool is warm, so every request should be a
+    // hit — what moves across levels is concurrency, not work.
+    let mut sweep_errors = 0u64;
+    let mut sweep_json = Vec::new();
+    for &level in &args.sweep_clients {
+        let step = run_sweep_step(&args.addr, level, &bodies, args.seed);
+        let hit_rate = if step.requests() > 0 {
+            step.hits as f64 / step.requests() as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "bi-loadgen: sweep {level} clients: {} req in {:.3}s ({:.0} rps, p50 {}us, p99 {}us, {} errors)",
+            step.requests(),
+            step.seconds,
+            step.throughput_rps(),
+            step.percentile_us(0.50),
+            step.percentile_us(0.99),
+            step.errors
+        );
+        sweep_errors += step.errors;
+        sweep_json.push(Json::Obj(vec![
+            ("clients".into(), Json::num(level as f64)),
+            ("requests".into(), Json::num(step.requests() as f64)),
+            ("seconds".into(), Json::num(step.seconds)),
+            ("throughput_rps".into(), Json::num(step.throughput_rps())),
+            ("p50_us".into(), Json::num(step.percentile_us(0.50) as f64)),
+            ("p99_us".into(), Json::num(step.percentile_us(0.99) as f64)),
+            ("hit_rate".into(), Json::num(hit_rate)),
+            ("errors".into(), Json::from_u64(step.errors)),
+        ]));
+    }
+
     // Scrape the server's own view for the report.
     let server_metrics = scrape_metrics(&args.addr).unwrap_or(Json::Null);
 
@@ -356,6 +482,7 @@ fn main() {
         ("hot_hit_rate".into(), Json::num(hot_hit_rate)),
         ("hot_over_cold_throughput".into(), Json::num(speedup)),
         ("batch_2xx".into(), Json::Bool(batch_ok)),
+        ("client_sweep".into(), Json::Arr(sweep_json)),
         ("server_metrics".into(), server_metrics),
     ]);
     let mut file = match std::fs::File::create(&args.out) {
@@ -377,7 +504,7 @@ fn main() {
         args.out
     );
 
-    let total_errors = cold.errors + hot.errors + batch_errors;
+    let total_errors = cold.errors + hot.errors + batch_errors + sweep_errors;
     if total_errors > 0 {
         eprintln!("bi-loadgen: FAIL — {total_errors} request(s) failed");
         exit(1);
@@ -385,6 +512,13 @@ fn main() {
     if let Some(min) = args.min_hit_rate {
         if hot_hit_rate < min {
             eprintln!("bi-loadgen: FAIL — hot hit rate {hot_hit_rate:.3} < required {min:.3}");
+            exit(1);
+        }
+    }
+    if let Some(max) = args.max_hot_p50_us {
+        let p50 = hot.percentile_us(0.50);
+        if p50 > max {
+            eprintln!("bi-loadgen: FAIL — hot p50 {p50}us > allowed {max}us");
             exit(1);
         }
     }

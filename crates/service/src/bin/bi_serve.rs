@@ -1,11 +1,13 @@
 //! `bi-serve` — the solve server binary.
 //!
 //! Binds a TCP listener, prints the bound address (parse the
-//! `listening on` line for ephemeral ports), and serves forever:
+//! `listening on` line for ephemeral ports), and serves forever. One
+//! reactor thread multiplexes every connection; `--workers` sizes the
+//! solver pool that only cold cache misses cross into:
 //!
 //! ```text
 //! bi-serve --addr 127.0.0.1:0 --workers 4 --queue 256 \
-//!          --cache-capacity 4096 --cache-shards 16
+//!          --max-connections 8192 --cache-capacity 4096 --cache-shards 16
 //! ```
 //!
 //! Endpoints: `POST /solve`, `POST /solve_batch`, `GET /metrics`,
@@ -24,8 +26,9 @@ USAGE: bi-serve [OPTIONS]
 
 OPTIONS:
   --addr HOST:PORT      bind address (default 127.0.0.1:0 = ephemeral port)
-  --workers N           worker threads, 0 = one per core (default 0)
-  --queue N             pending-connection queue bound; overflow gets 503 (default 128)
+  --workers N           solver threads, 0 = one per core (default 0)
+  --queue N             pending-solve queue bound; overflow gets 429 (default 128)
+  --max-connections N   concurrent connection cap; overflow gets 503 (default 8192)
   --cache-capacity N    total solve-cache entries, 0 disables (default 4096)
   --cache-shards N      independently locked cache shards (default 16)
   --timeout-secs N      idle keep-alive timeout per connection (default 10)
@@ -47,6 +50,7 @@ fn parse_args() -> Result<ServerConfig, String> {
             "--addr" => config.addr = value,
             "--workers" => config.workers = parse_num(&flag, &value)?,
             "--queue" => config.queue_capacity = parse_num(&flag, &value)?,
+            "--max-connections" => config.max_connections = parse_num(&flag, &value)?,
             "--cache-capacity" => config.cache.capacity = parse_num(&flag, &value)?,
             "--cache-shards" => config.cache.shards = parse_num(&flag, &value)?,
             "--timeout-secs" => {
@@ -73,9 +77,10 @@ fn main() {
         }
     };
     eprintln!(
-        "bi-serve: workers={} queue={} cache={}x{} timeout={}s",
+        "bi-serve: workers={} queue={} max-conns={} cache={}x{} timeout={}s",
         config.workers,
         config.queue_capacity,
+        config.max_connections,
         config.cache.capacity,
         config.cache.shards,
         config.read_timeout.as_secs(),

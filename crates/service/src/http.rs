@@ -157,6 +157,156 @@ pub fn read_request<S: BufRead>(stream: &mut S) -> io::Result<Option<Result<Requ
     })))
 }
 
+/// One request head parsed **in place** from a connection buffer: all
+/// text is addressed as ranges into the scanned bytes, so the reactor's
+/// hot path allocates nothing.
+#[derive(Clone, Debug)]
+pub struct Head {
+    /// Byte range of the method verb within the scanned slice.
+    pub method: std::ops::Range<usize>,
+    /// Byte range of the request target within the scanned slice.
+    pub path: std::ops::Range<usize>,
+    /// Length of the head (request line + headers + blank line).
+    pub head_len: usize,
+    /// Declared `Content-Length` (0 when absent).
+    pub body_len: usize,
+    /// Whether the connection stays open after this exchange.
+    pub keep_alive: bool,
+}
+
+impl Head {
+    /// Total wire length of the request: head plus body.
+    #[must_use]
+    pub fn total_len(&self) -> usize {
+        self.head_len + self.body_len
+    }
+}
+
+/// Incremental head parse over a (possibly partial) buffer: the
+/// nonblocking server's entry point, fed by the connection state machine
+/// as bytes arrive.
+///
+/// Returns `Ok(None)` when the head terminator has not arrived yet
+/// (read more), `Ok(Some(head))` once the request line and headers are
+/// complete (the body may still be in flight — compare
+/// [`Head::total_len`] with the buffered length), and `Err` on protocol
+/// violations mapped to response statuses, exactly like [`read_request`].
+///
+/// # Errors
+///
+/// `400` malformed line/header/length, `413` oversized declared body,
+/// `431` head larger than the protocol cap, `501` transfer encodings.
+pub fn parse_head(buf: &[u8]) -> Result<Option<Head>, HttpError> {
+    let Some(head_len) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD {
+            return Err(HttpError {
+                status: 431,
+                msg: "header block too large".into(),
+            });
+        }
+        return Ok(None);
+    };
+    if head_len > MAX_HEAD {
+        return Err(HttpError {
+            status: 431,
+            msg: "header block too large".into(),
+        });
+    }
+    let head = &buf[..head_len];
+    let line_end = find_crlf(head).ok_or_else(|| bad("malformed request line"))?;
+    let mut parts = split_ws(&head[..line_end]);
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(bad("malformed request line"));
+    };
+    if parts.next().is_some() || !buf[version.clone()].starts_with(b"HTTP/1.") {
+        return Err(bad("unsupported HTTP version"));
+    }
+    let mut body_len = 0usize;
+    let mut keep_alive = true;
+    let mut pos = line_end + 2;
+    while pos < head_len - 2 {
+        let rel_end = find_crlf(&head[pos..]).ok_or_else(|| bad("malformed header"))?;
+        let line = &head[pos..pos + rel_end];
+        pos += rel_end + 2;
+        let colon = line
+            .iter()
+            .position(|&b| b == b':')
+            .ok_or_else(|| bad("malformed header"))?;
+        let name = trim_ascii(&line[..colon]);
+        let value = trim_ascii(&line[colon + 1..]);
+        if name.eq_ignore_ascii_case(b"content-length") {
+            let text = std::str::from_utf8(value).map_err(|_| bad("invalid Content-Length"))?;
+            body_len = text.parse().map_err(|_| bad("invalid Content-Length"))?;
+            if body_len > MAX_BODY {
+                return Err(HttpError {
+                    status: 413,
+                    msg: "body too large".into(),
+                });
+            }
+        } else if name.eq_ignore_ascii_case(b"connection") {
+            keep_alive = !value.eq_ignore_ascii_case(b"close");
+        } else if name.eq_ignore_ascii_case(b"transfer-encoding")
+            && !value.eq_ignore_ascii_case(b"identity")
+        {
+            return Err(HttpError {
+                status: 501,
+                msg: "transfer encodings are not supported".into(),
+            });
+        }
+    }
+    Ok(Some(Head {
+        method,
+        path,
+        head_len,
+        body_len,
+        keep_alive,
+    }))
+}
+
+/// Index just past the `\r\n\r\n` terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Index of the first `\r\n` in `buf`.
+fn find_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == b"\r\n")
+}
+
+/// Whitespace-separated token ranges of `line` (relative to the buffer
+/// `line` was sliced from — which is why the caller passes a prefix
+/// slice, keeping offsets absolute).
+fn split_ws(line: &[u8]) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
+    let mut pos = 0usize;
+    std::iter::from_fn(move || {
+        while pos < line.len() && line[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        if pos >= line.len() {
+            return None;
+        }
+        let start = pos;
+        while pos < line.len() && !line[pos].is_ascii_whitespace() {
+            pos += 1;
+        }
+        Some(start..pos)
+    })
+}
+
+/// `slice` without leading/trailing ASCII whitespace.
+fn trim_ascii(slice: &[u8]) -> &[u8] {
+    let start = slice
+        .iter()
+        .position(|b| !b.is_ascii_whitespace())
+        .unwrap_or(slice.len());
+    let end = slice
+        .iter()
+        .rposition(|b| !b.is_ascii_whitespace())
+        .map_or(start, |i| i + 1);
+    &slice[start..end]
+}
+
 /// `read_line` with a byte cap (a peer streaming an endless header line
 /// must not exhaust memory).
 fn read_limited_line<S: BufRead>(
@@ -214,27 +364,54 @@ impl Response {
     ///
     /// Returns transport failures.
     pub fn write<S: Write>(&self, stream: &mut S, keep_alive: bool) -> io::Result<()> {
-        let reason = reason_phrase(self.status);
-        let connection = if keep_alive { "keep-alive" } else { "close" };
-        let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        let mut head = Vec::with_capacity(128);
+        let extra: Vec<(&str, &str)> = self
+            .extra_headers
+            .iter()
+            .map(|(k, v)| (*k, v.as_str()))
+            .collect();
+        write_head_into(
+            &mut head,
             self.status,
-            reason,
             self.content_type,
             self.body.len(),
-            connection,
+            keep_alive,
+            &extra,
         );
-        for (name, value) in &self.extra_headers {
-            head.push_str(name);
-            head.push_str(": ");
-            head.push_str(value);
-            head.push_str("\r\n");
-        }
-        head.push_str("\r\n");
-        stream.write_all(head.as_bytes())?;
+        stream.write_all(&head)?;
         stream.write_all(&self.body)?;
         stream.flush()
     }
+}
+
+/// Serializes a response head into `out` (cleared first) — the one head
+/// writer both [`Response::write`] and the reactor's reusable
+/// per-connection head buffer go through.
+pub fn write_head_into(
+    out: &mut Vec<u8>,
+    status: u16,
+    content_type: &str,
+    content_length: usize,
+    keep_alive: bool,
+    extra: &[(&str, &str)],
+) {
+    use std::io::Write as _;
+    out.clear();
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        out,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        status,
+        reason_phrase(status),
+        content_type,
+        content_length,
+        connection,
+    )
+    .expect("writing to a Vec cannot fail");
+    for (name, value) in extra {
+        write!(out, "{name}: {value}\r\n").expect("writing to a Vec cannot fail");
+    }
+    out.extend_from_slice(b"\r\n");
 }
 
 fn reason_phrase(status: u16) -> &'static str {
@@ -245,6 +422,8 @@ fn reason_phrase(status: u16) -> &'static str {
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         501 => "Not Implemented",
         503 => "Service Unavailable",
         _ => "Response",
@@ -430,6 +609,95 @@ mod tests {
             .unwrap()
             .unwrap_err();
         assert_eq!(err.status, 413);
+    }
+
+    #[test]
+    fn incremental_parse_handles_partial_heads_byte_by_byte() {
+        let mut wire = Vec::new();
+        write_request(&mut wire, "POST", "/solve", b"{\"x\":1}", true).unwrap();
+        // Every strict prefix that lacks the head terminator is
+        // Incomplete, never an error.
+        let full = parse_head(&wire).unwrap().expect("complete head");
+        for cut in 0..full.head_len {
+            assert!(
+                parse_head(&wire[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        assert_eq!(&wire[full.method.clone()], b"POST");
+        assert_eq!(&wire[full.path.clone()], b"/solve");
+        assert_eq!(full.body_len, 7);
+        assert!(full.keep_alive);
+        assert_eq!(full.total_len(), wire.len());
+        // The body slice is addressable once total_len bytes arrived.
+        assert_eq!(&wire[full.head_len..full.total_len()], b"{\"x\":1}");
+    }
+
+    #[test]
+    fn incremental_parse_matches_the_blocking_parser_on_errors() {
+        let cases: [(&[u8], u16); 5] = [
+            (b"NONSENSE\r\n\r\n", 400),
+            (b"GET /x SPDY/3\r\n\r\n", 400),
+            (b"POST /solve HTTP/1.1\r\nContent-Length: nine\r\n\r\n", 400),
+            (
+                b"POST /solve HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                501,
+            ),
+            (b"POST / HTTP/1.1\r\nno-colon-header\r\n\r\n", 400),
+        ];
+        for (wire, status) in cases {
+            let err = parse_head(wire).unwrap_err();
+            assert_eq!(
+                err.status,
+                status,
+                "wire {:?}",
+                String::from_utf8_lossy(wire)
+            );
+        }
+        let huge = format!(
+            "POST /solve HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert_eq!(parse_head(huge.as_bytes()).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn incremental_parse_caps_unterminated_heads() {
+        // A peer streaming endless header bytes without the terminator
+        // must be rejected once the cap is crossed, not buffered forever.
+        let mut wire = b"GET / HTTP/1.1\r\nX-Spam: ".to_vec();
+        wire.resize(MAX_HEAD + 16, b'a');
+        assert_eq!(parse_head(&wire).unwrap_err().status, 431);
+        // Under the cap it is just incomplete.
+        assert!(parse_head(&wire[..MAX_HEAD - 1]).unwrap().is_none());
+    }
+
+    #[test]
+    fn incremental_parse_honors_connection_close() {
+        let wire = b"GET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let head = parse_head(wire).unwrap().unwrap();
+        assert!(!head.keep_alive);
+        assert_eq!(head.body_len, 0);
+    }
+
+    #[test]
+    fn head_writer_matches_response_write() {
+        let mut via_response = Vec::new();
+        Response::json(200, br#"{"ok":true}"#.to_vec())
+            .with_header("X-Cache", "hit")
+            .write(&mut via_response, true)
+            .unwrap();
+        let mut head = Vec::new();
+        write_head_into(
+            &mut head,
+            200,
+            "application/json",
+            11,
+            true,
+            &[("X-Cache", "hit")],
+        );
+        head.extend_from_slice(br#"{"ok":true}"#);
+        assert_eq!(via_response, head);
     }
 
     #[test]

@@ -10,15 +10,16 @@
 //! that observation into a subsystem:
 //!
 //! ```text
-//!                 canonical JSON             FNV-1a over
-//!                 (bi-util json +            canonical bytes
-//!                  per-crate codecs)              │
-//!   client ──► codec ──► SolveRequest ──► sharded LRU cache ──► Solver
-//!     ▲                                     hit │    │ miss        │
-//!     │                                         ▼    ▼             ▼
-//!     └──────────── HTTP/1.1 keep-alive ◄── SolveReport bytes ◄────┘
-//!                 (bi-serve worker pool,
-//!                  bounded queue, 503 backpressure)
+//!                    reactor thread (poll-based, nonblocking)
+//!   client ──► read ──► canon_check ──► raw-byte index ──► hit: bytes out
+//!     ▲                    │ non-canonical  │ miss              (zero parse)
+//!     │                    ▼                ▼
+//!     │               decode once ──► sharded LRU cache ──► hit: bytes out
+//!     │                                     │ miss
+//!     │                              bounded try_send ──► solver pool
+//!     │                                 │ full                 │
+//!     └── 429 + Retry-After ◄───────────┘      wake pipe +     │
+//!     └── SolveReport bytes ◄── completion queue ◄─────────────┘
 //! ```
 //!
 //! * [`cache`] — the content-addressed solve cache: 64-bit FNV-1a over
@@ -26,15 +27,20 @@
 //!   store with hit/miss/eviction counters;
 //! * [`service`] — the transport-independent core: [`GameSpec`] (matrix
 //!   or NCS games), [`SolveRequest`]/[`BatchRequest`] wire types, and
-//!   [`SolveService`] routing every solve through the cache and
-//!   [`Solver::solve_many`] for batches;
-//! * [`http`] — a minimal HTTP/1.1 request/response layer over
-//!   `std::io`;
-//! * [`server`] — the `bi-serve` engine: `TcpListener` accept loop,
-//!   bounded request queue with `503` backpressure, fixed worker pool,
-//!   endpoints `POST /solve`, `POST /solve_batch`, `GET /metrics`,
-//!   `GET /healthz`;
-//! * [`metrics`] — the relaxed-atomic counters `GET /metrics` reports.
+//!   [`SolveService`] routing every solve through the cache (with the
+//!   raw-byte zero-copy index in front) and [`Solver::solve_many`] for
+//!   batches;
+//! * [`http`] — a minimal HTTP/1.1 layer over `std::io`, including the
+//!   allocation-free incremental head parser the reactor feeds;
+//! * [`reactor`] — the readiness layer: a `ppoll(2)` syscall shim (no
+//!   libc) with a portable fallback, plus the loopback wake channel;
+//! * [`server`] — the `bi-serve` engine: a single reactor thread
+//!   multiplexing every connection, a solver pool that only cache misses
+//!   cross into, `429` + `Retry-After` backpressure on the bounded
+//!   pending-solve queue, endpoints `POST /solve`, `POST /solve_batch`,
+//!   `GET /metrics`, `GET /healthz`;
+//! * [`metrics`] — the relaxed-atomic counters `GET /metrics` reports,
+//!   including the reactor's zero-copy/parsed hit split.
 //!
 //! The two binaries are thin wrappers: `bi-serve` runs [`Server`];
 //! `bi-loadgen` replays seeded random-game workloads against a running
@@ -67,6 +73,7 @@
 pub mod cache;
 pub mod http;
 pub mod metrics;
+pub mod reactor;
 pub mod server;
 pub mod service;
 pub mod workload;
@@ -74,4 +81,7 @@ pub mod workload;
 pub use cache::{CacheConfig, CacheStats, ShardedLru};
 pub use metrics::ServiceMetrics;
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use service::{BatchRequest, GameSpec, SolveOutcome, SolveRequest, SolveService};
+pub use service::{
+    BatchRequest, FastOutcome, GameSpec, PreparedSolve, ServedResponse, SolveOutcome, SolveRequest,
+    SolveService,
+};

@@ -113,8 +113,21 @@ pub struct ServiceMetrics {
     pub responses_5xx: AtomicU64,
     /// Connections answered `503` because the request queue was full.
     pub rejected_busy: AtomicU64,
+    /// Requests answered `429` because the pending-solve queue was full
+    /// (backpressure, not failure — the client should retry).
+    pub backpressure_429: AtomicU64,
     /// Connections accepted.
     pub connections_total: AtomicU64,
+    /// Connections currently open (a gauge, reactor-owned).
+    pub open_connections: AtomicU64,
+    /// Reactor poll returns that reported at least one ready fd.
+    pub reactor_wakeups: AtomicU64,
+    /// `POST /solve` cache hits served straight off the raw-byte index —
+    /// no JSON value tree was built.
+    pub zero_copy_hits: AtomicU64,
+    /// `POST /solve` cache hits that went through the decode path (body
+    /// non-canonical, or first sighting of these exact bytes).
+    pub parsed_hits: AtomicU64,
     /// Engine solves whose report carried orbit statistics (symmetry was
     /// detected and the sweep was orbit-reduced).
     pub orbit_sweeps: AtomicU64,
@@ -144,7 +157,12 @@ impl Default for ServiceMetrics {
             responses_4xx: AtomicU64::new(0),
             responses_5xx: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
+            backpressure_429: AtomicU64::new(0),
             connections_total: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            reactor_wakeups: AtomicU64::new(0),
+            zero_copy_hits: AtomicU64::new(0),
+            parsed_hits: AtomicU64::new(0),
             orbit_sweeps: AtomicU64::new(0),
             orbits_evaluated: AtomicU64::new(0),
             orbit_profiles_represented: AtomicU64::new(0),
@@ -200,6 +218,16 @@ impl ServiceMetrics {
             ("responses_4xx".into(), count(&self.responses_4xx)),
             ("responses_5xx".into(), count(&self.responses_5xx)),
             ("rejected_busy".into(), count(&self.rejected_busy)),
+            (
+                "reactor".into(),
+                Json::Obj(vec![
+                    ("open_connections".into(), count(&self.open_connections)),
+                    ("wakeups".into(), count(&self.reactor_wakeups)),
+                    ("zero_copy_hits".into(), count(&self.zero_copy_hits)),
+                    ("parsed_hits".into(), count(&self.parsed_hits)),
+                    ("backpressure_429".into(), count(&self.backpressure_429)),
+                ]),
+            ),
             (
                 "orbit".into(),
                 Json::Obj(vec![
@@ -306,6 +334,21 @@ mod tests {
         let orbit = doc.get("orbit").unwrap();
         assert_eq!(orbit.get("sweeps").unwrap().as_u64(), Some(2));
         assert_eq!(orbit.get("orbits_evaluated").unwrap().as_u64(), Some(10));
+    }
+
+    #[test]
+    fn metrics_document_includes_reactor_counters() {
+        let m = ServiceMetrics::default();
+        m.zero_copy_hits.fetch_add(7, Ordering::Relaxed);
+        m.open_connections.fetch_add(3, Ordering::Relaxed);
+        m.backpressure_429.fetch_add(1, Ordering::Relaxed);
+        let doc = m.to_json(CacheStats::default());
+        let reactor = doc.get("reactor").unwrap();
+        assert_eq!(reactor.get("zero_copy_hits").unwrap().as_u64(), Some(7));
+        assert_eq!(reactor.get("parsed_hits").unwrap().as_u64(), Some(0));
+        assert_eq!(reactor.get("open_connections").unwrap().as_u64(), Some(3));
+        assert_eq!(reactor.get("backpressure_429").unwrap().as_u64(), Some(1));
+        assert_eq!(reactor.get("wakeups").unwrap().as_u64(), Some(0));
     }
 
     #[test]

@@ -1,13 +1,38 @@
-//! The concurrent HTTP server: a `std::net::TcpListener` accept loop, a
-//! **bounded** request queue, and a fixed pool of worker threads routing
-//! every request through the shared [`SolveService`].
+//! The event-driven HTTP server: a single reactor thread multiplexing
+//! every connection over [`crate::reactor`] readiness, plus a small
+//! solver pool that **only cache misses** cross into.
 //!
-//! Backpressure is explicit: the accept loop `try_send`s each connection
-//! into a `sync_channel` of capacity [`ServerConfig::queue_capacity`];
-//! when the queue is full the connection is answered `503 Service
-//! Unavailable` immediately instead of piling up latency. Workers speak
-//! keep-alive HTTP/1.1 (see [`crate::http`]) and serve any number of
-//! requests per connection.
+//! ```text
+//!                        ┌──────────────────────────────┐
+//!   clients ──accept──▶  │        reactor thread        │
+//!     ▲                  │  poll(listener, conns, wake) │
+//!     │   hits, errors,  │  read → parse → dispatch     │
+//!     └── 4xx, metrics ◀─│  write staged responses      │
+//!                        └──────┬──────────────▲────────┘
+//!                     misses    │              │ wake pipe +
+//!                 (bounded try_send)           │ completion queue
+//!                        ┌──────▼──────────────┴────────┐
+//!                        │       solver pool (N)        │
+//!                        │  complete_solve / batches    │
+//!                        └──────────────────────────────┘
+//! ```
+//!
+//! Each connection is a small state machine (reading → dispatch →
+//! writing) over two reusable buffers. Cache hits, protocol errors, and
+//! the GET endpoints are answered **on the reactor thread** — a hit never
+//! queues behind a cold solve. `POST /solve` bodies go through
+//! [`SolveService::try_serve_fast`], so a byte-identical canonical body
+//! is served straight off the raw-byte index without building a JSON
+//! value tree at all.
+//!
+//! Backpressure is explicit at two levels: the pending-solve queue is a
+//! bounded `sync_channel` whose overflow is answered `429 Too Many
+//! Requests` + `Retry-After` (the request was understood — retry
+//! shortly), and a connection cap above which new arrivals get `503` and
+//! an immediate close. Responses are staged one at a time per
+//! connection, so pipelined requests are answered strictly in order; the
+//! connection's read interest is dropped while a response is pending,
+//! letting the TCP window push back on floods.
 //!
 //! Endpoints:
 //!
@@ -15,24 +40,28 @@
 //! |---------------------|-------------------------------------------------|
 //! | `POST /solve`       | one game through cache + [`Solver`]; `X-Cache: hit\|miss` |
 //! | `POST /solve_batch` | many games, one config; misses go through `solve_many` |
-//! | `GET /metrics`      | service counters + cache stats as JSON          |
+//! | `GET /metrics`      | service counters + reactor counters + cache stats |
 //! | `GET /healthz`      | liveness probe                                  |
 //!
 //! [`Solver`]: bi_core::solve::Solver
 
-use std::io::{self, BufReader, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use bi_util::{Decode, Json};
+use bi_util::Json;
 
 use crate::cache::CacheConfig;
-use crate::http::{read_request, Response};
-use crate::service::{error_body, BatchRequest, SolveRequest, SolveService};
+use crate::http::{parse_head, write_head_into, Response};
+use crate::reactor::{
+    listener_fd, raw_fd, PollFd, Poller, WakePair, Waker, POLLERR, POLLHUP, POLLIN, POLLNVAL,
+    POLLOUT,
+};
+use crate::service::{error_body, BatchRequest, FastOutcome, PreparedSolve, SolveService};
 
 /// Server sizing and addressing.
 #[derive(Clone, Debug)]
@@ -40,19 +69,26 @@ pub struct ServerConfig {
     /// Bind address; use port `0` for an ephemeral port (the bound
     /// address is available via [`Server::local_addr`]).
     pub addr: String,
-    /// Worker threads (`0` = one per available core).
+    /// Solver threads (`0` = one per available core). Only cache misses
+    /// cross into this pool; everything else is served on the reactor.
     pub workers: usize,
-    /// Pending-connection queue bound; overflow is answered `503`.
+    /// Pending-solve queue bound; overflow is answered `429` with
+    /// `Retry-After`.
     pub queue_capacity: usize,
     /// Solve-cache sizing.
     pub cache: CacheConfig,
-    /// Idle keep-alive read timeout per connection.
+    /// Idle keep-alive timeout per connection (stalled writers count as
+    /// idle too; connections waiting on a solve do not).
     pub read_timeout: Duration,
+    /// Maximum simultaneously open connections; arrivals beyond the cap
+    /// are answered `503` and closed immediately.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
-    /// Ephemeral port on localhost, one worker per core, a queue of 128
-    /// pending connections, the default cache, 10 s idle timeout.
+    /// Ephemeral port on localhost, one solver per core, a queue of 128
+    /// pending solves, the default cache, 10 s idle timeout, 8192
+    /// connections.
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
@@ -60,6 +96,7 @@ impl Default for ServerConfig {
             queue_capacity: 128,
             cache: CacheConfig::default(),
             read_timeout: Duration::from_secs(10),
+            max_connections: 8192,
         }
     }
 }
@@ -102,60 +139,57 @@ impl Server {
         Arc::clone(&self.service)
     }
 
-    /// Starts the accept loop and worker pool; returns a handle that
-    /// stops everything on [`ServerHandle::stop`].
+    /// Starts the reactor and solver pool; returns a handle that stops
+    /// everything on [`ServerHandle::stop`].
     ///
     /// # Errors
     ///
-    /// Propagates listener cloning failures.
+    /// Propagates socket setup failures.
     pub fn start(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
+        self.listener.set_nonblocking(true)?;
         let workers = if self.config.workers == 0 {
             std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get)
         } else {
             self.config.workers
         };
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = sync_channel::<TcpStream>(self.config.queue_capacity.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let (job_tx, job_rx) = sync_channel::<Job>(self.config.queue_capacity.max(1));
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+        let wake = WakePair::new()?;
+        let stop_waker = wake.waker()?;
         let mut worker_handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let rx = Arc::clone(&rx);
+            let rx = Arc::clone(&job_rx);
             let service = Arc::clone(&self.service);
-            let shutdown = Arc::clone(&shutdown);
-            let timeout = self.config.read_timeout;
+            let completions = Arc::clone(&completions);
+            let mut waker = wake.waker()?;
             worker_handles.push(std::thread::spawn(move || {
-                worker_loop(&rx, &service, &shutdown, timeout);
+                solver_loop(&rx, &service, &completions, &mut waker);
             }));
         }
-        let listener = self.listener;
-        let service = Arc::clone(&self.service);
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept = std::thread::spawn(move || {
-            // `tx` lives in this thread; dropping it on exit disconnects
-            // the workers' `recv` and ends the pool.
-            for stream in listener.incoming() {
-                if accept_shutdown.load(Ordering::Relaxed) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                service
-                    .metrics()
-                    .connections_total
-                    .fetch_add(1, Ordering::Relaxed);
-                match tx.try_send(stream) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(stream)) => reject_busy(stream, &service),
-                    Err(TrySendError::Disconnected(_)) => break,
-                }
-            }
-        });
+        let mut reactor = Reactor {
+            listener: self.listener,
+            service: Arc::clone(&self.service),
+            poller: Poller::new(),
+            wake,
+            completions,
+            job_tx,
+            slots: Vec::new(),
+            free: Vec::new(),
+            shutdown: Arc::clone(&shutdown),
+            read_timeout: self.config.read_timeout,
+            max_connections: self.config.max_connections.max(1),
+        };
+        let reactor_handle = std::thread::spawn(move || reactor.run());
         Ok(ServerHandle {
             addr,
             shutdown,
-            accept: Some(accept),
+            reactor: Some(reactor_handle),
             workers: worker_handles,
             service: self.service,
+            waker: stop_waker,
         })
     }
 
@@ -166,9 +200,8 @@ impl Server {
     /// Propagates startup failures; never returns otherwise.
     pub fn run(self) -> io::Result<()> {
         let handle = self.start()?;
-        // Serving threads run forever; park the caller.
-        if let Some(accept) = handle.accept {
-            let _ = accept.join();
+        if let Some(reactor) = handle.reactor {
+            let _ = reactor.join();
         }
         Ok(())
     }
@@ -178,9 +211,10 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     service: Arc<SolveService>,
+    waker: Waker,
 }
 
 impl ServerHandle {
@@ -196,138 +230,627 @@ impl ServerHandle {
         Arc::clone(&self.service)
     }
 
-    /// Stops accepting, drains the pool, and joins all threads.
+    /// Stops the reactor, drains the pool, and joins all threads.
     pub fn stop(mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
+        self.waker.wake();
+        if let Some(reactor) = self.reactor.take() {
+            let _ = reactor.join();
         }
+        // The reactor owned the job sender; its exit disconnects the
+        // solver pool's `recv` and ends every worker.
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
 }
 
-/// Answers `503` on the accept thread when the queue is full — the
-/// backpressure path must stay cheap and never block on a worker.
+/// One unit of work for the solver pool — only cache misses become jobs.
+enum Job {
+    /// A decoded `POST /solve` miss.
+    Solve {
+        slot: usize,
+        generation: u64,
+        prepared: Box<PreparedSolve>,
+    },
+    /// A `POST /solve_batch` body (parsed on the worker: batches are
+    /// bulk work by definition, so their decode cost stays off the
+    /// reactor).
+    Batch {
+        slot: usize,
+        generation: u64,
+        body: Vec<u8>,
+    },
+}
+
+/// A finished job traveling back to the reactor over the wake channel.
+struct Completion {
+    slot: usize,
+    generation: u64,
+    response: Response,
+}
+
+fn solver_loop(
+    rx: &Mutex<Receiver<Job>>,
+    service: &SolveService,
+    completions: &Mutex<Vec<Completion>>,
+    waker: &mut Waker,
+) {
+    loop {
+        let job = match rx.lock().expect("job lock poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return, // reactor gone
+        };
+        let completion = run_job(service, job);
+        completions
+            .lock()
+            .expect("completion lock poisoned")
+            .push(completion);
+        waker.wake();
+    }
+}
+
+fn run_job(service: &SolveService, job: Job) -> Completion {
+    match job {
+        Job::Solve {
+            slot,
+            generation,
+            prepared,
+        } => {
+            let response = match service.complete_solve(*prepared) {
+                Ok(served) => {
+                    Response::json(200, served.body.to_vec()).with_header("X-Cache", "miss")
+                }
+                // The request was well-formed; the game is unsolvable as
+                // asked (budget, no equilibrium, …) — a semantic 422.
+                Err(e) => Response::json(422, error_body(&e.to_string())),
+            };
+            Completion {
+                slot,
+                generation,
+                response,
+            }
+        }
+        Job::Batch {
+            slot,
+            generation,
+            body,
+        } => Completion {
+            slot,
+            generation,
+            response: handle_batch(service, &body),
+        },
+    }
+}
+
+/// Per-connection read burst size.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// One connection's state machine: reading into `buf`, at most one
+/// staged response in `out`, and the in-flight marker while a solve is
+/// in the pool.
+struct Conn {
+    stream: TcpStream,
+    /// Accumulated request bytes (consumed per request, capacity kept).
+    buf: Vec<u8>,
+    /// The staged response (head + body), written from `out_pos`.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// A solve for this connection is in the pool; parsing is paused.
+    in_flight: bool,
+    /// Keep-alive of the request currently being answered.
+    req_keep_alive: bool,
+    /// Close once `out` drains (protocol error or `Connection: close`).
+    close_after_write: bool,
+    /// The peer finished sending; drop the connection once quiet.
+    eof: bool,
+    last_activity: Instant,
+}
+
+/// A slab slot: its occupant plus a generation counter so completions
+/// for closed connections are discarded instead of answering whoever
+/// reused the slot.
+struct Slot {
+    conn: Option<Conn>,
+    generation: u64,
+}
+
+/// What to do with a connection after an I/O pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConnAction {
+    Keep,
+    Remove,
+}
+
+/// The reactor: owns the listener, the connection slab, and the poll
+/// loop; everything it serves inline never touches the solver pool.
+struct Reactor {
+    listener: TcpListener,
+    service: Arc<SolveService>,
+    poller: Poller,
+    wake: WakePair,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    job_tx: SyncSender<Job>,
+    slots: Vec<Slot>,
+    free: Vec<usize>,
+    shutdown: Arc<AtomicBool>,
+    read_timeout: Duration,
+    max_connections: usize,
+}
+
+impl Reactor {
+    fn run(&mut self) {
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut fd_slots: Vec<usize> = Vec::new();
+        let timeout_ms = u32::try_from(self.read_timeout.as_millis() / 4)
+            .unwrap_or(u32::MAX)
+            .clamp(10, 200);
+        while !self.shutdown.load(Ordering::Relaxed) {
+            fds.clear();
+            fd_slots.clear();
+            fds.push(PollFd::new(self.wake.read_fd(), POLLIN));
+            fd_slots.push(usize::MAX);
+            fds.push(PollFd::new(listener_fd(&self.listener), POLLIN));
+            fd_slots.push(usize::MAX);
+            for (i, slot) in self.slots.iter().enumerate() {
+                if let Some(conn) = &slot.conn {
+                    let mut events = 0i16;
+                    if !conn.in_flight && conn.out.is_empty() && !conn.eof {
+                        events |= POLLIN;
+                    }
+                    if !conn.out.is_empty() {
+                        events |= POLLOUT;
+                    }
+                    fds.push(PollFd::new(raw_fd(&conn.stream), events));
+                    fd_slots.push(i);
+                }
+            }
+            let ready = match self.poller.wait(&mut fds, timeout_ms) {
+                Ok(n) => n,
+                Err(_) => continue,
+            };
+            if ready > 0 {
+                self.service
+                    .metrics()
+                    .reactor_wakeups
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            if fds[0].ready(POLLIN) {
+                self.wake.drain();
+            }
+            self.drain_completions();
+            if fds[1].ready(POLLIN) {
+                self.accept_ready();
+            }
+            for k in 2..fds.len() {
+                let fd = fds[k];
+                if fd.revents() == 0 {
+                    continue;
+                }
+                self.handle_conn_event(fd_slots[k], fd);
+            }
+            self.sweep_idle();
+        }
+    }
+
+    /// Applies readiness to one connection and removes it on failure.
+    fn handle_conn_event(&mut self, idx: usize, fd: PollFd) {
+        let generation = self.slots[idx].generation;
+        let action = {
+            let Some(conn) = self.slots[idx].conn.as_mut() else {
+                return;
+            };
+            let result = if fd.ready(POLLOUT) && !conn.out.is_empty() {
+                pump(conn, &self.service, &self.job_tx, idx, generation)
+            } else if fd.ready(POLLIN) && !conn.in_flight && conn.out.is_empty() && !conn.eof {
+                on_readable(conn, &self.service, &self.job_tx, idx, generation)
+            } else if fd.revents() & (POLLERR | POLLHUP | POLLNVAL) != 0 {
+                // An errored or hung-up peer we have nothing staged for
+                // (including one we are mid-solve for): drop it; any
+                // completion is discarded by the generation check.
+                Ok(ConnAction::Remove)
+            } else {
+                Ok(ConnAction::Keep)
+            };
+            result.unwrap_or(ConnAction::Remove)
+        };
+        if action == ConnAction::Remove {
+            self.remove_conn(idx);
+        }
+    }
+
+    /// Accepts until the backlog is dry, registering connections up to
+    /// the cap and answering `503` beyond it.
+    fn accept_ready(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            };
+            self.service
+                .metrics()
+                .connections_total
+                .fetch_add(1, Ordering::Relaxed);
+            let open = self.slots.iter().filter(|s| s.conn.is_some()).count();
+            if open >= self.max_connections {
+                reject_busy(stream, &self.service);
+                continue;
+            }
+            if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                continue; // the socket died before it ever registered
+            }
+            let conn = Conn {
+                stream,
+                buf: Vec::new(),
+                out: Vec::new(),
+                out_pos: 0,
+                in_flight: false,
+                req_keep_alive: true,
+                close_after_write: false,
+                eof: false,
+                last_activity: Instant::now(),
+            };
+            let idx = match self.free.pop() {
+                Some(idx) => idx,
+                None => {
+                    self.slots.push(Slot {
+                        conn: None,
+                        generation: 0,
+                    });
+                    self.slots.len() - 1
+                }
+            };
+            self.slots[idx].conn = Some(conn);
+            self.service
+                .metrics()
+                .open_connections
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Stages every completed solve onto its (still-live) connection and
+    /// pushes the response out.
+    fn drain_completions(&mut self) {
+        let done = std::mem::take(&mut *self.completions.lock().expect("completion lock poisoned"));
+        for completion in done {
+            let idx = completion.slot;
+            let action = {
+                if self.slots[idx].generation != completion.generation {
+                    continue; // the connection closed mid-solve
+                }
+                let Some(conn) = self.slots[idx].conn.as_mut() else {
+                    continue;
+                };
+                conn.in_flight = false;
+                stage_response(conn, &self.service, &completion.response);
+                pump(
+                    conn,
+                    &self.service,
+                    &self.job_tx,
+                    idx,
+                    completion.generation,
+                )
+                .unwrap_or(ConnAction::Remove)
+            };
+            if action == ConnAction::Remove {
+                self.remove_conn(idx);
+            }
+        }
+    }
+
+    /// Closes connections quiet for longer than the timeout. In-flight
+    /// connections are exempt — their clock is the solve, not the peer.
+    fn sweep_idle(&mut self) {
+        let now = Instant::now();
+        for idx in 0..self.slots.len() {
+            let stale = self.slots[idx].conn.as_ref().is_some_and(|c| {
+                !c.in_flight && now.duration_since(c.last_activity) > self.read_timeout
+            });
+            if stale {
+                self.remove_conn(idx);
+            }
+        }
+    }
+
+    fn remove_conn(&mut self, idx: usize) {
+        if self.slots[idx].conn.take().is_some() {
+            self.slots[idx].generation += 1;
+            self.free.push(idx);
+            self.service
+                .metrics()
+                .open_connections
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Reads everything available, then drives the state machine.
+fn on_readable(
+    conn: &mut Conn,
+    service: &SolveService,
+    job_tx: &SyncSender<Job>,
+    slot: usize,
+    generation: u64,
+) -> io::Result<ConnAction> {
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                conn.last_activity = Instant::now();
+                if n < chunk.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    pump(conn, service, job_tx, slot, generation)
+}
+
+/// Drives one connection as far as it can go without blocking:
+/// parse → dispatch → write, looping while pipelined requests complete.
+fn pump(
+    conn: &mut Conn,
+    service: &SolveService,
+    job_tx: &SyncSender<Job>,
+    slot: usize,
+    generation: u64,
+) -> io::Result<ConnAction> {
+    loop {
+        process_buffered(conn, service, job_tx, slot, generation);
+        if conn.out.is_empty() {
+            // Waiting on more bytes or on the solver pool. A peer that
+            // finished sending and owes us nothing is done.
+            if conn.eof && !conn.in_flight {
+                return Ok(ConnAction::Remove);
+            }
+            return Ok(ConnAction::Keep);
+        }
+        if !flush_out(conn)? {
+            return Ok(ConnAction::Keep); // socket full; wait for POLLOUT
+        }
+        conn.out.clear();
+        conn.out_pos = 0;
+        if conn.close_after_write {
+            return Ok(ConnAction::Remove);
+        }
+        // Response delivered — loop to answer the next pipelined request.
+    }
+}
+
+/// Parses and dispatches buffered requests while the connection has no
+/// staged response and no solve in flight (one response at a time keeps
+/// pipelined answers in order).
+fn process_buffered(
+    conn: &mut Conn,
+    service: &SolveService,
+    job_tx: &SyncSender<Job>,
+    slot: usize,
+    generation: u64,
+) {
+    while conn.out.is_empty() && !conn.in_flight {
+        let head = match parse_head(&conn.buf) {
+            Ok(None) => return, // need more bytes
+            Ok(Some(head)) => head,
+            Err(e) => {
+                // Protocol errors poison framing: answer and close.
+                conn.close_after_write = true;
+                stage_bytes(conn, service, e.status, &error_body(&e.msg), &[]);
+                return;
+            }
+        };
+        let total = head.total_len();
+        if conn.buf.len() < total {
+            return; // body still in flight
+        }
+        let metrics = service.metrics();
+        metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+        conn.req_keep_alive = head.keep_alive;
+        let target = classify(&conn.buf[head.method.clone()], &conn.buf[head.path.clone()]);
+        let body_range = head.head_len..total;
+        match target {
+            Target::Solve => {
+                metrics.solve_requests.fetch_add(1, Ordering::Relaxed);
+                match service.try_serve_fast(&conn.buf[body_range]) {
+                    Ok(FastOutcome::Hit(served)) => {
+                        let body = served.body;
+                        conn.buf.drain(..total);
+                        stage_bytes(conn, service, 200, &body, &[("X-Cache", "hit")]);
+                    }
+                    Ok(FastOutcome::Miss(prepared)) => {
+                        conn.buf.drain(..total);
+                        submit_job(
+                            conn,
+                            service,
+                            job_tx,
+                            Job::Solve {
+                                slot,
+                                generation,
+                                prepared,
+                            },
+                        );
+                    }
+                    Err(e) => {
+                        conn.buf.drain(..total);
+                        stage_bytes(conn, service, 400, &error_body(&e.to_string()), &[]);
+                    }
+                }
+            }
+            Target::Batch => {
+                metrics.batch_requests.fetch_add(1, Ordering::Relaxed);
+                let body = conn.buf[body_range].to_vec();
+                conn.buf.drain(..total);
+                submit_job(
+                    conn,
+                    service,
+                    job_tx,
+                    Job::Batch {
+                        slot,
+                        generation,
+                        body,
+                    },
+                );
+            }
+            Target::Healthz => {
+                conn.buf.drain(..total);
+                stage_bytes(conn, service, 200, &healthz_body(), &[]);
+            }
+            Target::Metrics => {
+                conn.buf.drain(..total);
+                let body = service.metrics_json().to_string().into_bytes();
+                stage_bytes(conn, service, 200, &body, &[]);
+            }
+            Target::MethodNotAllowed => {
+                conn.buf.drain(..total);
+                stage_bytes(conn, service, 405, &error_body("method not allowed"), &[]);
+            }
+            Target::NotFound => {
+                conn.buf.drain(..total);
+                stage_bytes(conn, service, 404, &error_body("unknown endpoint"), &[]);
+            }
+        }
+    }
+}
+
+/// Hands a miss to the solver pool, answering `429` + `Retry-After` when
+/// the bounded queue is full — backpressure, not failure.
+fn submit_job(conn: &mut Conn, service: &SolveService, job_tx: &SyncSender<Job>, job: Job) {
+    match job_tx.try_send(job) {
+        Ok(()) => conn.in_flight = true,
+        Err(TrySendError::Full(_)) => {
+            service
+                .metrics()
+                .backpressure_429
+                .fetch_add(1, Ordering::Relaxed);
+            stage_bytes(
+                conn,
+                service,
+                429,
+                &error_body("solver queue is full, retry shortly"),
+                &[("Retry-After", "1")],
+            );
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            conn.close_after_write = true;
+            stage_bytes(
+                conn,
+                service,
+                503,
+                &error_body("server is shutting down"),
+                &[],
+            );
+        }
+    }
+}
+
+/// Writes as much of the staged response as the socket accepts; `true`
+/// once fully flushed.
+fn flush_out(conn: &mut Conn) -> io::Result<bool> {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => {
+                conn.out_pos += n;
+                conn.last_activity = Instant::now();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Stages a response into the connection's reusable output buffer and
+/// records its status (the one place statuses are counted).
+fn stage_bytes(
+    conn: &mut Conn,
+    service: &SolveService,
+    status: u16,
+    body: &[u8],
+    extra: &[(&str, &str)],
+) {
+    service.metrics().record_status(status);
+    let keep = conn.req_keep_alive && !conn.close_after_write;
+    write_head_into(
+        &mut conn.out,
+        status,
+        "application/json",
+        body.len(),
+        keep,
+        extra,
+    );
+    conn.out.extend_from_slice(body);
+    conn.out_pos = 0;
+    if !keep {
+        conn.close_after_write = true;
+    }
+}
+
+/// Stages a solver-pool [`Response`] (carries its own extra headers).
+fn stage_response(conn: &mut Conn, service: &SolveService, response: &Response) {
+    let extra: Vec<(&str, &str)> = response
+        .extra_headers
+        .iter()
+        .map(|(k, v)| (*k, v.as_str()))
+        .collect();
+    stage_bytes(conn, service, response.status, &response.body, &extra);
+}
+
+/// What one parsed request asks the reactor to do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Target {
+    Solve,
+    Batch,
+    Healthz,
+    Metrics,
+    MethodNotAllowed,
+    NotFound,
+}
+
+fn classify(method: &[u8], path: &[u8]) -> Target {
+    match (method, path) {
+        (b"POST", b"/solve") => Target::Solve,
+        (b"POST", b"/solve_batch") => Target::Batch,
+        (b"GET", b"/healthz") => Target::Healthz,
+        (b"GET", b"/metrics") => Target::Metrics,
+        (_, b"/healthz" | b"/metrics" | b"/solve" | b"/solve_batch") => Target::MethodNotAllowed,
+        _ => Target::NotFound,
+    }
+}
+
+fn healthz_body() -> Vec<u8> {
+    Json::Obj(vec![("status".into(), Json::str("ok"))]).canonical_bytes()
+}
+
+/// Answers `503` on the reactor when the connection cap is reached — the
+/// rejection path must stay cheap and never block on a worker. The
+/// freshly accepted socket is still in blocking mode; the response is a
+/// handful of bytes, so the write cannot stall meaningfully.
 fn reject_busy(mut stream: TcpStream, service: &SolveService) {
     service
         .metrics()
         .rejected_busy
         .fetch_add(1, Ordering::Relaxed);
     service.metrics().record_status(503);
-    let response = Response::json(503, error_body("request queue is full, retry later"));
+    let response = Response::json(503, error_body("connection limit reached, retry later"));
     let _ = response.write(&mut stream, false);
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
-fn worker_loop(
-    rx: &Mutex<Receiver<TcpStream>>,
-    service: &SolveService,
-    shutdown: &AtomicBool,
-    timeout: Duration,
-) {
-    loop {
-        let stream = match rx.lock().expect("queue lock poisoned").recv() {
-            Ok(stream) => stream,
-            Err(_) => return, // accept loop gone
-        };
-        if shutdown.load(Ordering::Relaxed) {
-            return;
-        }
-        let _ = handle_connection(stream, service, shutdown, timeout);
-    }
-}
-
-/// Serves keep-alive requests on one connection until the peer closes,
-/// an error occurs, or shutdown begins.
-fn handle_connection(
-    stream: TcpStream,
-    service: &SolveService,
-    shutdown: &AtomicBool,
-    timeout: Duration,
-) -> io::Result<()> {
-    stream.set_read_timeout(Some(timeout))?;
-    stream.set_nodelay(true)?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    loop {
-        let request = match read_request(&mut reader) {
-            Ok(None) => return Ok(()), // peer closed cleanly
-            Ok(Some(Ok(request))) => request,
-            Ok(Some(Err(protocol))) => {
-                // Protocol errors poison framing: answer and close.
-                service.metrics().record_status(protocol.status);
-                let response = Response::json(protocol.status, error_body(&protocol.msg));
-                response.write(&mut writer, false)?;
-                return Ok(());
-            }
-            Err(_) => return Ok(()), // timeout or transport failure
-        };
-        let keep_alive = request.keep_alive() && !shutdown.load(Ordering::Relaxed);
-        let response = route(service, &request.method, &request.path, &request.body);
-        service.metrics().record_status(response.status);
-        response.write(&mut writer, keep_alive)?;
-        if !keep_alive {
-            writer.flush()?;
-            return Ok(());
-        }
-    }
-}
-
-/// Routes one parsed request to its endpoint.
-fn route(service: &SolveService, method: &str, path: &str, body: &[u8]) -> Response {
-    service
-        .metrics()
-        .requests_total
-        .fetch_add(1, Ordering::Relaxed);
-    match (method, path) {
-        ("GET", "/healthz") => Response::json(
-            200,
-            Json::Obj(vec![("status".into(), Json::str("ok"))]).canonical_bytes(),
-        ),
-        ("GET", "/metrics") => Response::json(200, service.metrics_json().to_string().into_bytes()),
-        ("POST", "/solve") => {
-            service
-                .metrics()
-                .solve_requests
-                .fetch_add(1, Ordering::Relaxed);
-            handle_solve(service, body)
-        }
-        ("POST", "/solve_batch") => {
-            service
-                .metrics()
-                .batch_requests
-                .fetch_add(1, Ordering::Relaxed);
-            handle_batch(service, body)
-        }
-        (_, "/healthz" | "/metrics" | "/solve" | "/solve_batch") => {
-            Response::json(405, error_body("method not allowed"))
-        }
-        _ => Response::json(404, error_body("unknown endpoint")),
-    }
-}
-
-fn parse_body<T: Decode>(body: &[u8]) -> Result<T, Response> {
+fn parse_body<T: bi_util::Decode>(body: &[u8]) -> Result<T, Response> {
     let text = std::str::from_utf8(body)
         .map_err(|_| Response::json(400, error_body("body must be UTF-8 JSON")))?;
     T::decode_str(text).map_err(|e| Response::json(400, error_body(&e.to_string())))
-}
-
-fn handle_solve(service: &SolveService, body: &[u8]) -> Response {
-    let request: SolveRequest = match parse_body(body) {
-        Ok(request) => request,
-        Err(response) => return response,
-    };
-    match service.solve(&request) {
-        Ok(outcome) => Response::json(200, outcome.body.to_vec())
-            .with_header("X-Cache", if outcome.cache_hit { "hit" } else { "miss" }),
-        // The request was well-formed; the game is unsolvable as asked
-        // (budget, no equilibrium, …) — a semantic 422, not a 400.
-        Err(e) => Response::json(422, error_body(&e.to_string())),
-    }
 }
 
 fn handle_batch(service: &SolveService, body: &[u8]) -> Response {
@@ -374,29 +897,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn route_rejects_unknown_paths_and_methods() {
-        let service = SolveService::new(CacheConfig::default());
-        assert_eq!(route(&service, "GET", "/nope", b"").status, 404);
-        assert_eq!(route(&service, "DELETE", "/solve", b"").status, 405);
-        assert_eq!(route(&service, "POST", "/healthz", b"").status, 405);
-        assert_eq!(route(&service, "GET", "/healthz", b"").status, 200);
+    fn classification_covers_every_endpoint() {
+        assert_eq!(classify(b"POST", b"/solve"), Target::Solve);
+        assert_eq!(classify(b"POST", b"/solve_batch"), Target::Batch);
+        assert_eq!(classify(b"GET", b"/healthz"), Target::Healthz);
+        assert_eq!(classify(b"GET", b"/metrics"), Target::Metrics);
+        assert_eq!(classify(b"DELETE", b"/solve"), Target::MethodNotAllowed);
+        assert_eq!(classify(b"POST", b"/healthz"), Target::MethodNotAllowed);
+        assert_eq!(classify(b"GET", b"/nope"), Target::NotFound);
     }
 
     #[test]
-    fn solve_endpoint_maps_error_classes_to_statuses() {
+    fn batch_handler_maps_parse_errors_to_400() {
         let service = SolveService::new(CacheConfig::default());
-        assert_eq!(route(&service, "POST", "/solve", b"not json").status, 400);
-        assert_eq!(route(&service, "POST", "/solve", b"\xff\xfe").status, 400);
-        assert_eq!(route(&service, "POST", "/solve", b"{}").status, 400);
-    }
-
-    #[test]
-    fn metrics_endpoint_reports_counts() {
-        let service = SolveService::new(CacheConfig::default());
-        let _ = route(&service, "GET", "/healthz", b"");
-        let response = route(&service, "GET", "/metrics", b"");
-        assert_eq!(response.status, 200);
-        let doc = Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
-        assert_eq!(doc.get("requests_total").unwrap().as_u64(), Some(2));
+        assert_eq!(handle_batch(&service, b"not json").status, 400);
+        assert_eq!(handle_batch(&service, &[0xff, 0xfe]).status, 400);
+        assert_eq!(handle_batch(&service, b"{}").status, 400);
     }
 }

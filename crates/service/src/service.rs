@@ -144,19 +144,79 @@ pub struct SolveOutcome {
     pub cache_hit: bool,
 }
 
+/// A `POST /solve` answer the service produced without blocking the
+/// transport: either a cache hit served inline or a completed solve.
+#[derive(Clone, Debug)]
+pub struct ServedResponse {
+    /// The canonical [`SolveReport`] JSON bytes (shared with the cache).
+    pub body: Arc<[u8]>,
+    /// Whether the cache answered (no engine work happened).
+    pub cache_hit: bool,
+    /// Whether the answer came straight off the raw-byte index: the
+    /// request body was already canonical and byte-identical to a prior
+    /// one, so no JSON value tree was built at any point.
+    pub zero_copy: bool,
+}
+
+/// A decoded cache miss, ready to cross into the solver pool. Produced by
+/// [`SolveService::try_serve_fast`], consumed by
+/// [`SolveService::complete_solve`] — the decode work happens exactly
+/// once, on the transport thread, and only the solve itself moves.
+#[derive(Debug)]
+pub struct PreparedSolve {
+    request: SolveRequest,
+    key: Vec<u8>,
+    /// The raw body bytes when they were canonical — inserted into the
+    /// raw index on success so the next byte-identical body is zero-copy.
+    raw: Option<Vec<u8>>,
+}
+
+impl PreparedSolve {
+    /// The decoded request (for transports that need to inspect it).
+    #[must_use]
+    pub fn request(&self) -> &SolveRequest {
+        &self.request
+    }
+}
+
+/// What [`SolveService::try_serve_fast`] decided for one `POST /solve`
+/// body.
+#[derive(Debug)]
+pub enum FastOutcome {
+    /// Answered from cache — the transport can write the bytes
+    /// immediately without involving the solver pool.
+    Hit(ServedResponse),
+    /// A cache miss: hand the prepared solve to a solver thread and
+    /// finish with [`SolveService::complete_solve`].
+    Miss(Box<PreparedSolve>),
+}
+
 /// The serving core: a solve cache plus service counters, shared by all
 /// worker threads.
+///
+/// Two caches back the service. The primary cache is keyed by the
+/// content address ([`SolveService::cache_key`]) and is what `solve` /
+/// `solve_batch` consult. The **raw index** maps exact request-body
+/// bytes (only bodies [`bi_util::json::canon_check`] accepts) to the
+/// same shared response `Arc`s, giving the transport a zero-parse hit
+/// path: byte-identical body ⟹ identical parse ⟹ identical result, so
+/// exact-byte keying is correct regardless of how conservatively the
+/// canonicality check classifies a body.
 pub struct SolveService {
     cache: ShardedLru<Arc<[u8]>>,
+    /// Exact request-body bytes → response bytes, canonical bodies only.
+    raw_index: ShardedLru<Arc<[u8]>>,
     metrics: ServiceMetrics,
 }
 
 impl SolveService {
-    /// Creates a service with the given cache sizing.
+    /// Creates a service with the given cache sizing (the raw-byte index
+    /// is sized identically).
     #[must_use]
     pub fn new(cache: CacheConfig) -> Self {
         SolveService {
             cache: ShardedLru::new(cache),
+            raw_index: ShardedLru::new(cache),
             metrics: ServiceMetrics::default(),
         }
     }
@@ -224,6 +284,86 @@ impl SolveService {
         Ok(SolveOutcome {
             body: self.insert_report(key, &report),
             cache_hit: false,
+        })
+    }
+
+    /// The transport fast path for one `POST /solve` body. Canonical
+    /// bodies are first looked up in the raw-byte index — a hit there is
+    /// served without building any JSON value tree. Otherwise the body is
+    /// decoded once, the primary cache consulted, and on a miss the
+    /// decoded request comes back as a [`PreparedSolve`] for the solver
+    /// pool; the transport never decodes twice.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CodecError`] when the body is not valid UTF-8 or
+    /// fails to decode as a solve request.
+    pub fn try_serve_fast(&self, body: &[u8]) -> Result<FastOutcome, CodecError> {
+        let canonical = bi_util::json::canon_check(body);
+        if canonical {
+            if let Some(cached) = self.raw_index.get(body) {
+                self.metrics
+                    .zero_copy_hits
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return Ok(FastOutcome::Hit(ServedResponse {
+                    body: cached,
+                    cache_hit: true,
+                    zero_copy: true,
+                }));
+            }
+        }
+        let text = std::str::from_utf8(body)
+            .map_err(|_| CodecError::new("request body is not valid UTF-8"))?;
+        let request = SolveRequest::decode_str(text)?;
+        let key = Self::cache_key(&request.game, &request.config);
+        let raw = canonical.then(|| body.to_vec());
+        if let Some(cached) = self.cache.get(&key) {
+            self.metrics
+                .parsed_hits
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            // Warm the raw index so the next byte-identical body skips
+            // the parse entirely.
+            if let Some(raw) = &raw {
+                self.raw_index.insert(raw, Arc::clone(&cached));
+            }
+            return Ok(FastOutcome::Hit(ServedResponse {
+                body: cached,
+                cache_hit: true,
+                zero_copy: false,
+            }));
+        }
+        Ok(FastOutcome::Miss(Box::new(PreparedSolve {
+            request,
+            key,
+            raw,
+        })))
+    }
+
+    /// Finishes a [`PreparedSolve`] on a solver thread: runs the engine,
+    /// populates both caches, and returns the response bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the engine's [`SolveError`] (never cached).
+    pub fn complete_solve(&self, prepared: PreparedSolve) -> Result<ServedResponse, SolveError> {
+        let PreparedSolve { request, key, raw } = prepared;
+        let solver = Solver::from_config(request.config);
+        let started = std::time::Instant::now();
+        let result = match &request.game {
+            GameSpec::Matrix(g) => solver.solve(g),
+            GameSpec::Ncs(g) => solver.solve(g),
+        };
+        self.record_solve_time(started);
+        let report = result?;
+        self.record_computed(&report);
+        let body = self.insert_report(key, &report);
+        if let Some(raw) = &raw {
+            self.raw_index.insert(raw, Arc::clone(&body));
+        }
+        Ok(ServedResponse {
+            body,
+            cache_hit: false,
+            zero_copy: false,
         })
     }
 
@@ -580,6 +720,79 @@ mod tests {
         let solve = doc.get("solve_us").unwrap();
         assert_eq!(solve.get("count").unwrap().as_u64(), Some(4));
         assert!(solve.get("p99").unwrap().as_u64().is_some());
+    }
+
+    #[test]
+    fn fast_path_goes_zero_copy_after_first_sighting() {
+        let service = SolveService::new(CacheConfig::default());
+        let req = request(matrix_game(12));
+        let body = req.encode().canonical_bytes();
+        // First sighting: decode once, miss, solve.
+        let prepared = match service.try_serve_fast(&body).unwrap() {
+            FastOutcome::Miss(p) => p,
+            other => panic!("expected a miss, got {other:?}"),
+        };
+        let cold = service.complete_solve(*prepared).unwrap();
+        assert!(!cold.cache_hit && !cold.zero_copy);
+        // Second sighting of the exact same canonical bytes: answered
+        // off the raw index, no parse.
+        let warm = match service.try_serve_fast(&body).unwrap() {
+            FastOutcome::Hit(r) => r,
+            other => panic!("expected a hit, got {other:?}"),
+        };
+        assert!(warm.cache_hit && warm.zero_copy);
+        assert_eq!(cold.body, warm.body);
+        // A non-canonical spelling of the same request still hits — via
+        // the parse path — and yields byte-identical response bytes.
+        let mut spaced = b" ".to_vec();
+        spaced.extend_from_slice(&body);
+        let parsed = match service.try_serve_fast(&spaced).unwrap() {
+            FastOutcome::Hit(r) => r,
+            other => panic!("expected a hit, got {other:?}"),
+        };
+        assert!(parsed.cache_hit && !parsed.zero_copy);
+        assert_eq!(parsed.body, warm.body);
+        // And the blocking path agrees byte-for-byte.
+        assert_eq!(service.solve(&req).unwrap().body, warm.body);
+        let m = service.metrics();
+        assert_eq!(
+            m.zero_copy_hits.load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        assert_eq!(m.parsed_hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn parsed_hits_warm_the_raw_index() {
+        let service = SolveService::new(CacheConfig::default());
+        let req = request(matrix_game(13));
+        // Populate the primary cache through the blocking path — the raw
+        // index has never seen these bytes.
+        service.solve(&req).unwrap();
+        let body = req.encode().canonical_bytes();
+        let first = match service.try_serve_fast(&body).unwrap() {
+            FastOutcome::Hit(r) => r,
+            other => panic!("expected a hit, got {other:?}"),
+        };
+        assert!(!first.zero_copy, "first sighting must take the parse path");
+        let second = match service.try_serve_fast(&body).unwrap() {
+            FastOutcome::Hit(r) => r,
+            other => panic!("expected a hit, got {other:?}"),
+        };
+        assert!(second.zero_copy, "the parsed hit must warm the raw index");
+        assert_eq!(first.body, second.body);
+    }
+
+    #[test]
+    fn fast_path_rejects_malformed_bodies_without_solving() {
+        let service = SolveService::new(CacheConfig::default());
+        assert!(service.try_serve_fast(b"not json").is_err());
+        assert!(service.try_serve_fast(&[0xff, 0xfe]).is_err());
+        let err = service
+            .try_serve_fast(br#"{"game":{"kind":"cubic"}}"#)
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown game kind"));
+        assert_eq!(service.cache_stats().insertions, 0);
     }
 
     #[test]

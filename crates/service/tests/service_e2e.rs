@@ -4,12 +4,14 @@
 //! These pin the ISSUE-4 acceptance behaviors: `POST /solve` answers
 //! with `SolveReport` JSON byte-identical to the in-process engine for
 //! both game representations, resubmission is a cache hit visible in
-//! `GET /metrics`, batches work, and the bounded queue answers `503`
-//! under overflow.
+//! `GET /metrics`, and batches work — plus the reactor-era contracts:
+//! the bounded pending-solve queue answers `429` + `Retry-After` under
+//! overflow, the connection cap answers `503`, and cache hits are served
+//! on the reactor thread even while every solver is busy.
 
 use std::io::BufReader;
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bi_core::solve::{Solver, SolverConfig};
 use bi_service::http::{read_response, write_request, ClientResponse};
@@ -80,9 +82,15 @@ fn resubmission_is_a_cache_hit_visible_in_metrics() {
     let metrics = call(handle.addr(), "GET", "/metrics", b"");
     assert_eq!(metrics.status, 200);
     let doc = Json::parse(std::str::from_utf8(&metrics.body).unwrap()).unwrap();
+    // The resubmitted body is canonical and byte-identical, so the warm
+    // request is answered off the raw-byte index: it never touches the
+    // primary cache, whose stats show only the cold miss.
     let cache = doc.get("cache").expect("cache section");
-    assert_eq!(cache.get("hits").unwrap().as_u64(), Some(1));
+    assert_eq!(cache.get("hits").unwrap().as_u64(), Some(0));
     assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1));
+    let reactor = doc.get("reactor").expect("reactor section");
+    assert_eq!(reactor.get("zero_copy_hits").unwrap().as_u64(), Some(1));
+    assert_eq!(reactor.get("parsed_hits").unwrap().as_u64(), Some(0));
     assert_eq!(doc.get("solve_requests").unwrap().as_u64(), Some(2));
     handle.stop();
 }
@@ -173,24 +181,128 @@ fn malformed_and_unsolvable_requests_map_to_4xx() {
     handle.stop();
 }
 
+/// A cold solve heavy enough (~100k strategy profiles) that a burst of
+/// them keeps a single solver busy for many milliseconds even in release
+/// builds — the window the backpressure tests rely on.
+fn heavy_body(seed: u64) -> Vec<u8> {
+    let (game, _) =
+        bi_core::random_games::random_bayesian_potential_game(&[2, 2], &[18, 18], 3, seed);
+    solve_body(&GameSpec::Matrix(game))
+}
+
 #[test]
-fn overflowing_the_bounded_queue_answers_503() {
-    // One worker, queue of one: occupy the worker with an idle
-    // connection, fill the queue with a second, and the third must be
-    // rejected with 503 by the accept loop.
+fn overflowing_the_solver_queue_answers_429() {
+    // One solver, a pending queue of one: a burst of distinct cold
+    // solves can park at most two (one solving, one queued) before the
+    // reactor starts answering 429 + Retry-After. No timing assumptions:
+    // the burst is written before the first heavy solve can finish.
     let server = Server::bind(ServerConfig {
         workers: 1,
         queue_capacity: 1,
+        read_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let handle = server.start().expect("start");
+    let addr = handle.addr();
+    const BURST: u64 = 6;
+    let mut conns = Vec::new();
+    for seed in 0..BURST {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        write_request(&mut writer, "POST", "/solve", &heavy_body(seed), false).expect("write");
+        conns.push((reader, writer));
+    }
+    let (mut solved, mut rejected) = (0u64, 0u64);
+    for (mut reader, _writer) in conns {
+        let response = read_response(&mut reader).expect("read");
+        match response.status {
+            200 => solved += 1,
+            429 => {
+                rejected += 1;
+                assert_eq!(
+                    response.header("retry-after"),
+                    Some("1"),
+                    "backpressure must tell the client when to come back"
+                );
+            }
+            other => panic!("unexpected status {other}"),
+        }
+    }
+    assert!(solved >= 1, "the pool must still solve what it accepted");
+    assert!(
+        rejected >= 1,
+        "a 6-deep burst into worker=1/queue=1 must overflow"
+    );
+    assert_eq!(solved + rejected, BURST);
+    let metrics = handle.service().metrics_json();
+    let reactor = metrics.get("reactor").expect("reactor section");
+    assert_eq!(
+        reactor.get("backpressure_429").unwrap().as_u64(),
+        Some(rejected)
+    );
+    handle.stop();
+}
+
+#[test]
+fn cache_hits_are_served_while_the_solver_pool_is_busy() {
+    // The hot-path tail-latency fix: with the single solver occupied by
+    // a cold solve, a cache hit must be answered by the reactor thread
+    // immediately instead of queueing behind the solve.
+    let server = Server::bind(ServerConfig {
+        workers: 1,
+        queue_capacity: 16,
+        read_timeout: Duration::from_secs(30),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let handle = server.start().expect("start");
+    let addr = handle.addr();
+    let light = solve_body(&matrix_game(61));
+    assert_eq!(call(addr, "POST", "/solve", &light).status, 200); // warm
+                                                                  // Occupy the solver with a heavy cold request (response not read yet).
+    let heavy_stream = TcpStream::connect(addr).expect("connect");
+    let mut heavy_reader = BufReader::new(heavy_stream.try_clone().expect("clone"));
+    let mut heavy_writer = heavy_stream;
+    let started = Instant::now();
+    write_request(&mut heavy_writer, "POST", "/solve", &heavy_body(100), false).expect("write");
+    // The warmed request must come back before the heavy solve does.
+    let hit = call(addr, "POST", "/solve", &light);
+    let hit_latency = started.elapsed();
+    assert_eq!(hit.status, 200);
+    assert_eq!(hit.header("x-cache"), Some("hit"));
+    let heavy = read_response(&mut heavy_reader).expect("read heavy");
+    let heavy_latency = started.elapsed();
+    assert_eq!(heavy.status, 200);
+    assert!(
+        hit_latency < heavy_latency,
+        "the hit ({hit_latency:?}) must not wait for the cold solve ({heavy_latency:?})"
+    );
+    handle.stop();
+}
+
+#[test]
+fn connections_beyond_the_cap_answer_503() {
+    let server = Server::bind(ServerConfig {
+        max_connections: 2,
         read_timeout: Duration::from_secs(5),
         ..ServerConfig::default()
     })
     .expect("bind");
     let handle = server.start().expect("start");
     let addr = handle.addr();
-    let _busy = TcpStream::connect(addr).expect("worker-occupying connection");
-    std::thread::sleep(Duration::from_millis(300)); // worker picks it up
-    let _queued = TcpStream::connect(addr).expect("queued connection");
-    std::thread::sleep(Duration::from_millis(300)); // it settles in the queue
+    // Two registered keep-alive connections (a served request proves
+    // each is registered, not just sitting in the accept backlog).
+    let mut held = Vec::new();
+    for _ in 0..2 {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut writer = stream;
+        write_request(&mut writer, "GET", "/healthz", b"", true).expect("write");
+        assert_eq!(read_response(&mut reader).expect("read").status, 200);
+        held.push((reader, writer));
+    }
     let rejected = call(addr, "GET", "/healthz", b"");
     assert_eq!(rejected.status, 503, "third connection must be rejected");
     let doc = Json::parse(std::str::from_utf8(&rejected.body).unwrap()).unwrap();
@@ -199,11 +311,8 @@ fn overflowing_the_bounded_queue_answers_503() {
         .unwrap()
         .as_str()
         .unwrap()
-        .contains("queue"));
-    // Close the parked connections before stopping so the worker joins
-    // immediately instead of waiting out its read timeout.
-    drop(_busy);
-    drop(_queued);
+        .contains("connection limit"));
+    drop(held);
     handle.stop();
 }
 

@@ -1,0 +1,169 @@
+//! The zero-copy acceptance parity suite: for every game in the codec
+//! fixture corpus (plus a seeded workload sweep), the raw-byte fast path
+//! and the parse→canonicalize path must produce **byte-identical**
+//! responses — and both must match the in-process engine exactly.
+//!
+//! This is what makes the hot path safe: `canon_check` accuracy is an
+//! efficiency concern only, because the raw index is keyed by exact body
+//! bytes. These tests pin the end-to-end consequence.
+
+use bi_core::solve::{Solver, SolverConfig};
+use bi_core::BayesianGame;
+use bi_ncs::BayesianNcsGame;
+use bi_service::cache::CacheConfig;
+use bi_service::workload::mixed_workload;
+use bi_service::{FastOutcome, GameSpec, SolveRequest, SolveService};
+use bi_util::{Decode, Encode, Json};
+
+/// Every game the codec fixture corpus contains, decoded.
+fn fixture_games() -> Vec<GameSpec> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures");
+    let read = |name: &str| std::fs::read_to_string(dir.join(name)).expect("fixture readable");
+    vec![
+        GameSpec::Matrix(
+            BayesianGame::decode_str(&read("bayesian_game.json")).expect("matrix fixture decodes"),
+        ),
+        GameSpec::Ncs(
+            BayesianNcsGame::decode_str(&read("ncs_game.json")).expect("ncs fixture decodes"),
+        ),
+    ]
+}
+
+/// The corpus: both fixtures plus a seeded mix of generated games.
+fn corpus() -> Vec<GameSpec> {
+    let mut games = fixture_games();
+    games.extend(mixed_workload(90, 6));
+    games
+}
+
+/// Non-canonical spellings of `body` that decode to the same request.
+fn respellings(body: &[u8]) -> Vec<Vec<u8>> {
+    let text = std::str::from_utf8(body).expect("canonical JSON is UTF-8");
+    vec![
+        // Leading whitespace defeats the canonical scanner outright.
+        format!(" {text}").into_bytes(),
+        format!("{text}\n").into_bytes(),
+        // Whitespace after the first `{` keeps the body valid JSON but
+        // non-canonical.
+        text.replacen('{', "{ ", 1).into_bytes(),
+    ]
+}
+
+fn served_bytes(service: &SolveService, body: &[u8]) -> (Vec<u8>, bool) {
+    match service.try_serve_fast(body).expect("body decodes") {
+        FastOutcome::Hit(served) => (served.body.to_vec(), served.zero_copy),
+        FastOutcome::Miss(prepared) => (
+            service
+                .complete_solve(*prepared)
+                .expect("solvable corpus game")
+                .body
+                .to_vec(),
+            false,
+        ),
+    }
+}
+
+#[test]
+fn zero_copy_and_parsed_paths_answer_byte_identically() {
+    let service = SolveService::new(CacheConfig::default());
+    for (i, game) in corpus().iter().enumerate() {
+        let request = SolveRequest {
+            game: game.clone(),
+            config: SolverConfig::default(),
+        };
+        let body = request.canonical_bytes();
+        // Cold: decode path, engine runs.
+        let (cold, cold_zero) = served_bytes(&service, &body);
+        assert!(!cold_zero, "game {i}: first sighting cannot be zero-copy");
+        // Warm, byte-identical body: the zero-copy path.
+        let (zero_copy, was_zero) = served_bytes(&service, &body);
+        assert!(was_zero, "game {i}: resubmission must ride the raw index");
+        // Warm, every non-canonical respelling: the parse path.
+        for (j, respelled) in respellings(&body).iter().enumerate() {
+            let (parsed, parsed_zero) = served_bytes(&service, respelled);
+            assert!(
+                !parsed_zero,
+                "game {i} respelling {j}: non-canonical bodies must be parsed"
+            );
+            assert_eq!(
+                parsed, zero_copy,
+                "game {i} respelling {j}: parsed and zero-copy responses must be byte-identical"
+            );
+        }
+        assert_eq!(
+            cold, zero_copy,
+            "game {i}: cold and hot responses must be byte-identical"
+        );
+        // And all of it equals the in-process engine, byte for byte.
+        let direct = match game {
+            GameSpec::Matrix(g) => Solver::default().solve(g).unwrap(),
+            GameSpec::Ncs(g) => Solver::default().solve(g).unwrap(),
+        };
+        assert_eq!(
+            zero_copy,
+            direct.canonical_bytes(),
+            "game {i}: service bytes must match the engine"
+        );
+    }
+}
+
+#[test]
+fn canonical_bodies_pass_the_scanner_and_respellings_fail_it() {
+    // The corpus-wide sanity check on the scanner itself: every
+    // canonical printing is accepted, every respelling rejected — so the
+    // fast path actually engages on real traffic shapes.
+    for game in corpus() {
+        let body = SolveRequest {
+            game,
+            config: SolverConfig::default(),
+        }
+        .canonical_bytes();
+        assert!(
+            bi_util::json::canon_check(&body),
+            "canonical printing must pass the scanner"
+        );
+        for respelled in respellings(&body) {
+            assert!(
+                !bi_util::json::canon_check(&respelled),
+                "respelling must fail the scanner"
+            );
+        }
+    }
+}
+
+#[test]
+fn near_aliases_never_collide_in_the_raw_index() {
+    // Two requests that differ only in the thread count share a primary
+    // cache entry but have different raw bytes — the raw index must keep
+    // them distinct while both answer with the same report bytes.
+    let service = SolveService::new(CacheConfig::default());
+    let game = mixed_workload(91, 1).remove(0);
+    let one = SolveRequest {
+        game: game.clone(),
+        config: SolverConfig {
+            threads: 1,
+            ..SolverConfig::default()
+        },
+    };
+    let four = SolveRequest {
+        game,
+        config: SolverConfig {
+            threads: 4,
+            ..SolverConfig::default()
+        },
+    };
+    let body_one = one.canonical_bytes();
+    let body_four = four.canonical_bytes();
+    assert_ne!(body_one, body_four);
+    let (cold, _) = served_bytes(&service, &body_one);
+    // The threads=4 spelling decodes to the same content address: a
+    // parsed-path hit with identical bytes, never a raw-index collision.
+    let (other, zero) = served_bytes(&service, &body_four);
+    assert!(!zero, "different raw bytes must not alias in the raw index");
+    assert_eq!(cold, other);
+    // Resubmitting each spelling is now zero-copy for both.
+    assert!(served_bytes(&service, &body_one).1);
+    assert!(served_bytes(&service, &body_four).1);
+    // And what came back is a well-formed report document.
+    assert!(Json::parse(std::str::from_utf8(&cold).unwrap()).is_ok());
+}

@@ -525,6 +525,225 @@ impl Parser<'_> {
     }
 }
 
+/// Single-pass check that `bytes` are already in canonical form — the
+/// exact byte representation [`Json::canonical_string`] produces: one
+/// JSON value, no whitespace, object keys strictly sorted, minimal
+/// string escapes, and plainly formatted numbers.
+///
+/// This is the gate of the serving tier's **zero-copy hot path**: a
+/// `POST /solve` body that passes can be content-addressed by its raw
+/// bytes (no value-tree construction, no re-encode) because canonical
+/// bytes are a bijection onto values. The check is *conservative where
+/// cheapness demands it*:
+///
+/// * **False negatives are harmless** — a canonical body misjudged
+///   non-canonical (e.g. an object key containing escape sequences,
+///   where escaped-byte order can differ from decoded-character order)
+///   just falls back to the parse → canonicalize path.
+/// * **False positives are harmless too** — the scanner validates the
+///   full JSON grammar but only the *shape* of canonical numbers (no
+///   leading zeros, no exponent, no trailing fractional zeros), not
+///   shortest-round-trip digits, so `0.3000000000000000444` passes
+///   although the canonical printer would emit `0.30000000000000004`.
+///   Callers key caches by the **exact bytes**, so two near-canonical
+///   spellings simply occupy two cache entries; they can never alias.
+///
+/// The scan allocates nothing and touches each byte once.
+#[must_use]
+pub fn canon_check(bytes: &[u8]) -> bool {
+    let mut s = CanonScanner { bytes, pos: 0 };
+    s.value(0) && s.pos == bytes.len()
+}
+
+/// The `canon_check` cursor: a no-alloc recursive-descent validator over
+/// raw bytes.
+struct CanonScanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl CanonScanner<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, token: &[u8]) -> bool {
+        if self.bytes[self.pos..].starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> bool {
+        if depth > MAX_DEPTH {
+            return false;
+        }
+        match self.peek() {
+            Some(b'n') => self.eat(b"null"),
+            Some(b't') => self.eat(b"true"),
+            Some(b'f') => self.eat(b"false"),
+            Some(b'I') => self.eat(b"Infinity"),
+            Some(b'"') => self.string().is_some(),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => false,
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> bool {
+        self.pos += 1; // `[`
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return true;
+        }
+        loop {
+            if !self.value(depth + 1) {
+                return false;
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> bool {
+        self.pos += 1; // `{`
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return true;
+        }
+        // Raw key bytes of the previous entry, for the sortedness check.
+        // Comparing raw (escaped) bytes equals comparing decoded keys
+        // only when no escapes are involved, so `string()` reports
+        // whether the key contained a backslash and we bail to the parse
+        // path in that (never produced by our own codecs) case.
+        let mut prev: Option<(usize, usize)> = None;
+        loop {
+            if self.peek() != Some(b'"') {
+                return false;
+            }
+            let start = self.pos + 1;
+            let Some(escaped) = self.string() else {
+                return false;
+            };
+            let end = self.pos - 1;
+            if escaped {
+                return false; // conservative: defer escape-order cases
+            }
+            if let Some((ps, pe)) = prev {
+                // Strictly increasing also rejects duplicate keys.
+                if self.bytes[ps..pe] >= self.bytes[start..end] {
+                    return false;
+                }
+            }
+            prev = Some((start, end));
+            if self.peek() != Some(b':') {
+                return false;
+            }
+            self.pos += 1;
+            if !self.value(depth + 1) {
+                return false;
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    /// Validates one canonical string; returns `Some(contained_escape)`
+    /// or `None` on a violation. Canonical escapes are exactly what the
+    /// printer emits: `\" \\ \n \r \t` and `\u00xx` (lowercase hex) for
+    /// the remaining control characters.
+    fn string(&mut self) -> Option<bool> {
+        self.pos += 1; // opening `"`
+        let mut escaped = false;
+        loop {
+            match self.peek()? {
+                b'"' => {
+                    self.pos += 1;
+                    return Some(escaped);
+                }
+                b'\\' => {
+                    escaped = true;
+                    self.pos += 1;
+                    match self.peek()? {
+                        b'"' | b'\\' | b'n' | b'r' | b't' => self.pos += 1,
+                        b'u' => {
+                            // Only `\u00xx` for control chars that lack a
+                            // short escape; anything else would not have
+                            // been produced by the canonical printer.
+                            let hex = self.bytes.get(self.pos + 1..self.pos + 5)?;
+                            if hex[0] != b'0' || hex[1] != b'0' {
+                                return None;
+                            }
+                            let lo = |b: u8| match b {
+                                b'0'..=b'9' => Some(u32::from(b - b'0')),
+                                b'a'..=b'f' => Some(u32::from(b - b'a') + 10),
+                                _ => None, // uppercase hex is non-canonical
+                            };
+                            let v = lo(hex[2])? * 16 + lo(hex[3])?;
+                            if v >= 0x20 || matches!(v, 0x09 | 0x0a | 0x0d) {
+                                return None; // short escape or raw char exists
+                            }
+                            self.pos += 5;
+                        }
+                        _ => return None,
+                    }
+                }
+                c if c < 0x20 => return None, // raw control char
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Canonical number shape: `-?(0|[1-9][0-9]*)(\.[0-9]*[1-9])?` or
+    /// `-Infinity`. Rust's shortest-round-trip `f64` formatter (the
+    /// canonical printer) never emits exponents, leading zeros, a bare
+    /// leading `.`, or trailing fractional zeros.
+    fn number(&mut self) -> bool {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+            if self.peek() == Some(b'I') {
+                return self.eat(b"Infinity");
+            }
+        }
+        let int_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let int_len = self.pos - int_start;
+        if int_len == 0 || (int_len > 1 && self.bytes[int_start] == b'0') {
+            return false;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start || self.bytes[self.pos - 1] == b'0' {
+                return false; // empty fraction or trailing zero
+            }
+        }
+        // An exponent (`e`/`E`) is simply not consumed: the caller then
+        // sees an unexpected byte and the check fails.
+        true
+    }
+}
+
 /// A domain type with a [`Json`] wire form.
 pub trait Encode {
     /// The JSON representation of `self`.
@@ -803,6 +1022,93 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("nesting"));
+    }
+
+    #[test]
+    fn canon_check_accepts_every_canonical_printing() {
+        let cases = [
+            "null",
+            "true",
+            "0",
+            "-1.5",
+            "Infinity",
+            "-Infinity",
+            r#""hello""#,
+            r#"{ "z": {"b": 1, "a": 2}, "a": [3, 0.25, 1e2] }"#,
+            r#""quote\" slash\\ nl\n tab\t ctrl\u0001 é∞""#,
+            "[[[[[]]]]]",
+            r#"{"game":{"kind":"matrix"},"config":null}"#,
+        ];
+        for case in cases {
+            let canon = Json::parse(case).unwrap().canonical_string();
+            assert!(
+                canon_check(canon.as_bytes()),
+                "canonical bytes must pass: {canon}"
+            );
+        }
+    }
+
+    #[test]
+    fn canon_check_rejects_non_canonical_spellings() {
+        let cases: &[&[u8]] = &[
+            b"",
+            b" null",
+            b"null ",
+            b"[1, 2]",
+            br#"{"b":1,"a":2}"#, // unsorted keys
+            br#"{"a":1,"a":2}"#, // duplicate keys
+            br#"{"a" :1}"#,      // whitespace
+            b"01",               // leading zero
+            b"1.50",             // trailing fractional zero
+            b"1.",               // empty fraction
+            b"-0.5e3",           // exponent form
+            b"+1",               // sign
+            b"NaN",
+            b"\"\\u0041\"", // printable char as \u escape
+            b"\"\\u000A\"", // uppercase hex
+            b"\"\\u0009\"", // short escape `\t` exists
+            b"\"\n\"",      // raw control character
+            br#""\/""#,     // non-canonical escape
+            b"\"raw\x01ctrl\"",
+            b"[1][2]", // trailing value
+            br#"{"a":}"#,
+            b"[1,]",
+            b"tru",
+        ];
+        for case in cases {
+            assert!(
+                !canon_check(case),
+                "must reject: {:?}",
+                String::from_utf8_lossy(case)
+            );
+        }
+    }
+
+    #[test]
+    fn canon_check_defers_escaped_object_keys() {
+        // Escaped-byte order can differ from decoded-character order, so
+        // keys containing escapes conservatively fail the check (the
+        // caller falls back to parse + canonicalize).
+        let v = Json::Obj(vec![("a\nb".into(), Json::Null)]);
+        let canon = v.canonical_string();
+        assert!(!canon_check(canon.as_bytes()));
+        // But escapes in *values* are fine.
+        let v = Json::Obj(vec![("k".into(), Json::str("a\nb"))]);
+        assert!(canon_check(v.canonical_string().as_bytes()));
+    }
+
+    #[test]
+    fn canon_check_depth_limit_matches_the_parser() {
+        let mut deep = String::new();
+        for _ in 0..200 {
+            deep.push('[');
+        }
+        for _ in 0..200 {
+            deep.push(']');
+        }
+        assert!(!canon_check(deep.as_bytes()));
+        let ok = "[".repeat(64) + &"]".repeat(64);
+        assert!(canon_check(ok.as_bytes()));
     }
 
     #[test]
