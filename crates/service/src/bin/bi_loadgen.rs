@@ -1,26 +1,36 @@
-//! `bi-loadgen` — seeded workload replay against a running `bi-serve`.
+//! `bi-loadgen` — seeded workload replay against `bi-serve` (or a
+//! `bi-router` front door, or a fleet of servers directly).
 //!
-//! Two phases over one deterministic mixed workload (matrix-form + NCS
-//! games, see `bi_service::workload`):
+//! Two phases over one deterministic workload (`--profile mixed` is the
+//! matrix-form + NCS mix, `--profile light` is 2×2 games cheap enough
+//! to push 100k+ unique keys — see `bi_service::workload`):
 //!
 //! 1. **cold** — every unique game once: all cache misses, measuring
 //!    engine-bound throughput;
 //! 2. **hot** — `--hot` requests sampled (seeded) from the same pool:
 //!    all cache hits, measuring the served-from-cache ceiling.
 //!
-//! Then one `POST /solve_batch` over a workload slice exercises the
-//! batch path, an optional `--sweep-clients` pass replays the warm pool
-//! at each requested concurrency level (every connection open at once,
-//! request fire synchronized on a barrier), and `GET /metrics` is
-//! scraped into the report. Results — throughput, latency percentiles,
-//! cache-hit rate, hot/cold speedup, the client scaling curve — are
-//! written to `BENCH_service.json` (committed to seed the repo's perf
-//! trajectory).
+//! With `--targets a,b,c` the generator shards client-side: each
+//! request body is pinned to `fnv1a(body) % n` so every key lands on
+//! one node's cache, and the report carries per-target hit/error
+//! counts. With a single `--addr` everything flows to that one
+//! address (point it at a `bi-router` to exercise server-side
+//! routing instead).
 //!
-//! Exit status is non-zero if any request failed (sweep included), if
-//! `--min-hit-rate` was given and the hot phase hit rate fell below it,
-//! or if `--max-hot-p50-us` was given and the hot-phase median exceeded
-//! it — which is what the CI smoke job asserts.
+//! Then one `POST /solve_batch` exercises the batch path, an optional
+//! `--sweep-clients` pass replays the warm pool at each requested
+//! concurrency level, and `GET /metrics` is scraped into the report.
+//! Results land in `--out` (default `BENCH_service.json`); with
+//! `--merge-section NAME` the run is written *into* the existing
+//! report under that top-level key instead of replacing the file —
+//! how cluster runs ride alongside the single-node sections.
+//!
+//! Errors are broken down per phase by cause — `429` (queue full),
+//! `503` (overloaded/no backend), transport (connect/read failures),
+//! other — so a smoke job can distinguish shed load from broken
+//! routing. Exit status is non-zero if any request failed, if
+//! `--min-hit-rate` was given and the hot phase fell below it, or if
+//! `--max-hot-p50-us` was given and the hot median exceeded it.
 
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
@@ -31,51 +41,62 @@ use std::time::Instant;
 use bi_core::solve::SolverConfig;
 use bi_service::http::{read_response, write_request};
 use bi_service::service::{BatchRequest, SolveRequest};
-use bi_service::workload::mixed_workload;
+use bi_service::workload::{light_workload, mixed_workload};
 use bi_util::rng::{derive_seed, seeded};
-use bi_util::{Encode, Json};
+use bi_util::{fnv1a, Encode, Json};
 use rand::Rng;
 
 const USAGE: &str = "\
-bi-loadgen — seeded load generator for bi-serve
+bi-loadgen — seeded load generator for bi-serve / bi-router
 
 USAGE: bi-loadgen --addr HOST:PORT [OPTIONS]
+       bi-loadgen --targets HOST:PORT,... [OPTIONS]
 
 OPTIONS:
-  --addr HOST:PORT    server address (required)
+  --addr HOST:PORT    single server (or router) address
+  --targets LIST      comma-separated server addresses; requests shard
+                      client-side by fnv1a(body) so each key is pinned
+                      to one node, with per-target accounting
   --seed N            workload seed (default 1)
   --unique N          distinct games in the pool (default 64)
+  --profile NAME      workload profile: mixed | light (default mixed)
   --hot N             hot-phase requests over the pool (default 1500)
   --clients N         concurrent client connections (default 4)
   --sweep-clients L   comma-separated concurrency levels to replay the warm
                       pool at (e.g. 4,64,256,1024); recorded as client_sweep
   --out FILE          benchmark report path (default BENCH_service.json)
+  --merge-section K   merge this run under top-level key K of an existing
+                      report instead of overwriting the file
   --min-hit-rate F    fail unless the hot-phase cache-hit rate reaches F
   --max-hot-p50-us N  fail if the hot-phase median latency exceeds N µs
   --help              print this help
 ";
 
 struct Args {
-    addr: String,
+    targets: Vec<String>,
     seed: u64,
     unique: usize,
+    profile: String,
     hot: usize,
     clients: usize,
     sweep_clients: Vec<usize>,
     out: String,
+    merge_section: Option<String>,
     min_hit_rate: Option<f64>,
     max_hot_p50_us: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut parsed = Args {
-        addr: String::new(),
+        targets: Vec::new(),
         seed: 1,
         unique: 64,
+        profile: "mixed".into(),
         hot: 1500,
         clients: 4,
         sweep_clients: Vec::new(),
         out: "BENCH_service.json".into(),
+        merge_section: None,
         min_hit_rate: None,
         max_hot_p50_us: None,
     };
@@ -93,9 +114,23 @@ fn parse_args() -> Result<Args, String> {
                 .map_err(|_| format!("flag {flag} needs an integer, got `{v}`"))
         };
         match flag.as_str() {
-            "--addr" => parsed.addr = value,
+            "--addr" => parsed.targets = vec![value],
+            "--targets" => {
+                parsed.targets = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                    .map(String::from)
+                    .collect();
+            }
             "--seed" => parsed.seed = num(&value)? as u64,
             "--unique" => parsed.unique = num(&value)?.max(1),
+            "--profile" => {
+                if value != "mixed" && value != "light" {
+                    return Err(format!("--profile takes mixed|light, got `{value}`"));
+                }
+                parsed.profile = value;
+            }
             "--hot" => parsed.hot = num(&value)?,
             "--clients" => parsed.clients = num(&value)?.max(1),
             "--sweep-clients" => {
@@ -105,6 +140,7 @@ fn parse_args() -> Result<Args, String> {
                     .collect::<Result<_, _>>()?;
             }
             "--out" => parsed.out = value,
+            "--merge-section" => parsed.merge_section = Some(value),
             "--min-hit-rate" => {
                 parsed.min_hit_rate = Some(
                     value
@@ -116,25 +152,105 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other} (see --help)")),
         }
     }
-    if parsed.addr.is_empty() {
-        return Err("--addr is required (see --help)".into());
+    if parsed.targets.is_empty() {
+        return Err("--addr or --targets is required (see --help)".into());
     }
     Ok(parsed)
 }
 
-/// Aggregated results of one phase.
-#[derive(Default)]
+/// The client-side shard of one request body: every replay of the same
+/// body lands on the same target, so each key is pinned to one node's
+/// cache exactly like a server-side consistent-hash route would.
+fn target_of(body: &[u8], targets: usize) -> usize {
+    if targets <= 1 {
+        0
+    } else {
+        (fnv1a(body) % targets as u64) as usize
+    }
+}
+
+/// Per-target accounting within one phase.
+#[derive(Clone, Copy, Default)]
+struct TargetStats {
+    requests: u64,
+    hits: u64,
+    errors: u64,
+}
+
+/// Aggregated results of one phase, with errors broken down by cause.
+#[derive(Clone, Default)]
 struct PhaseStats {
     latencies_us: Vec<u64>,
     hits: u64,
     misses: u64,
-    errors: u64,
+    errors_429: u64,
+    errors_503: u64,
+    errors_transport: u64,
+    errors_other: u64,
+    per_target: Vec<TargetStats>,
     seconds: f64,
 }
 
 impl PhaseStats {
+    fn with_targets(targets: usize) -> PhaseStats {
+        PhaseStats {
+            per_target: vec![TargetStats::default(); targets],
+            ..PhaseStats::default()
+        }
+    }
+
     fn requests(&self) -> usize {
         self.latencies_us.len()
+    }
+
+    fn errors(&self) -> u64 {
+        self.errors_429 + self.errors_503 + self.errors_transport + self.errors_other
+    }
+
+    /// Folds one request outcome into the phase totals and the target's
+    /// own row.
+    fn record(&mut self, target: usize, outcome: std::io::Result<(u64, u16, bool)>) {
+        let row = &mut self.per_target[target];
+        row.requests += 1;
+        match outcome {
+            Ok((micros, status, hit)) => {
+                self.latencies_us.push(micros);
+                if (200..300).contains(&status) {
+                    if hit {
+                        self.hits += 1;
+                        row.hits += 1;
+                    } else {
+                        self.misses += 1;
+                    }
+                } else {
+                    row.errors += 1;
+                    match status {
+                        429 => self.errors_429 += 1,
+                        503 => self.errors_503 += 1,
+                        _ => self.errors_other += 1,
+                    }
+                }
+            }
+            Err(_) => {
+                row.errors += 1;
+                self.errors_transport += 1;
+            }
+        }
+    }
+
+    fn absorb(&mut self, other: PhaseStats) {
+        self.latencies_us.extend(other.latencies_us);
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.errors_429 += other.errors_429;
+        self.errors_503 += other.errors_503;
+        self.errors_transport += other.errors_transport;
+        self.errors_other += other.errors_other;
+        for (mine, theirs) in self.per_target.iter_mut().zip(&other.per_target) {
+            mine.requests += theirs.requests;
+            mine.hits += theirs.hits;
+            mine.errors += theirs.errors;
+        }
     }
 
     fn throughput_rps(&self) -> f64 {
@@ -155,8 +271,8 @@ impl PhaseStats {
         sorted[rank.min(sorted.len() - 1)]
     }
 
-    fn to_json(&self) -> Json {
-        Json::Obj(vec![
+    fn to_json(&self, targets: &[String]) -> Json {
+        let mut doc = vec![
             ("requests".into(), Json::num(self.requests() as f64)),
             ("seconds".into(), Json::num(self.seconds)),
             ("throughput_rps".into(), Json::num(self.throughput_rps())),
@@ -174,8 +290,37 @@ impl PhaseStats {
             ),
             ("cache_hits".into(), Json::from_u64(self.hits)),
             ("cache_misses".into(), Json::from_u64(self.misses)),
-            ("errors".into(), Json::from_u64(self.errors)),
-        ])
+            ("errors".into(), Json::from_u64(self.errors())),
+            (
+                "errors_by_cause".into(),
+                Json::Obj(vec![
+                    ("status_429".into(), Json::from_u64(self.errors_429)),
+                    ("status_503".into(), Json::from_u64(self.errors_503)),
+                    ("transport".into(), Json::from_u64(self.errors_transport)),
+                    ("other".into(), Json::from_u64(self.errors_other)),
+                ]),
+            ),
+        ];
+        if targets.len() > 1 {
+            doc.push((
+                "per_target".into(),
+                Json::Arr(
+                    targets
+                        .iter()
+                        .zip(&self.per_target)
+                        .map(|(addr, row)| {
+                            Json::Obj(vec![
+                                ("addr".into(), Json::str(addr)),
+                                ("requests".into(), Json::from_u64(row.requests)),
+                                ("cache_hits".into(), Json::from_u64(row.hits)),
+                                ("errors".into(), Json::from_u64(row.errors)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(doc)
     }
 }
 
@@ -195,46 +340,77 @@ impl Client {
         })
     }
 
-    /// Sends one request; returns `(latency_us, 2xx, cache_hit)`.
-    fn solve(&mut self, path: &str, body: &[u8]) -> std::io::Result<(u64, bool, bool)> {
+    /// Sends one request; returns `(latency_us, status, cache_hit)`.
+    fn solve(&mut self, path: &str, body: &[u8]) -> std::io::Result<(u64, u16, bool)> {
         let start = Instant::now();
         write_request(&mut self.writer, "POST", path, body, true)?;
         let response = read_response(&mut self.reader)?;
         let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let ok = (200..300).contains(&response.status);
         let hit = response.header("x-cache") == Some("hit");
-        Ok((micros, ok, hit))
+        Ok((micros, response.status, hit))
     }
 }
 
-/// Runs one phase: `schedule[c]` is the request-body sequence of client
-/// `c`; clients run concurrently over their own connections.
-fn run_phase(addr: &str, schedule: Vec<Vec<Arc<Vec<u8>>>>) -> PhaseStats {
+/// One client thread's keep-alive connections, one slot per target,
+/// connected lazily and dropped on transport error so the next request
+/// reconnects fresh.
+struct ClientSet<'a> {
+    targets: &'a [String],
+    conns: Vec<Option<Client>>,
+}
+
+impl<'a> ClientSet<'a> {
+    fn new(targets: &'a [String]) -> ClientSet<'a> {
+        ClientSet {
+            targets,
+            conns: (0..targets.len()).map(|_| None).collect(),
+        }
+    }
+
+    /// Pre-opens the connection to `target` (used to keep connection
+    /// setup out of the timed window and sequential across clients).
+    fn warm(&mut self, target: usize) -> std::io::Result<()> {
+        if self.conns[target].is_none() {
+            self.conns[target] = Some(Client::connect(&self.targets[target])?);
+        }
+        Ok(())
+    }
+
+    fn solve(
+        &mut self,
+        target: usize,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<(u64, u16, bool)> {
+        if self.conns[target].is_none() {
+            self.conns[target] = Some(Client::connect(&self.targets[target])?);
+        }
+        let result = self.conns[target]
+            .as_mut()
+            .expect("connection just ensured")
+            .solve(path, body);
+        if result.is_err() {
+            self.conns[target] = None;
+        }
+        result
+    }
+}
+
+/// Runs one phase: `schedule[c]` is client `c`'s sequence of
+/// `(target, body)` requests; clients run concurrently, each with its
+/// own keep-alive connection per target.
+fn run_phase(targets: &[String], schedule: Vec<Vec<(usize, Arc<Vec<u8>>)>>) -> PhaseStats {
     let start = Instant::now();
     let per_client: Vec<PhaseStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = schedule
             .into_iter()
             .map(|requests| {
                 scope.spawn(move || {
-                    let mut stats = PhaseStats::default();
-                    let Ok(mut client) = Client::connect(addr) else {
-                        stats.errors += requests.len() as u64;
-                        return stats;
-                    };
-                    for body in requests {
-                        match client.solve("/solve", &body) {
-                            Ok((micros, ok, hit)) => {
-                                stats.latencies_us.push(micros);
-                                if !ok {
-                                    stats.errors += 1;
-                                } else if hit {
-                                    stats.hits += 1;
-                                } else {
-                                    stats.misses += 1;
-                                }
-                            }
-                            Err(_) => stats.errors += 1,
-                        }
+                    let mut stats = PhaseStats::with_targets(targets.len());
+                    let mut clients = ClientSet::new(targets);
+                    for (target, body) in requests {
+                        let outcome = clients.solve(target, "/solve", &body);
+                        stats.record(target, outcome);
                     }
                     stats
                 })
@@ -245,16 +421,11 @@ fn run_phase(addr: &str, schedule: Vec<Vec<Arc<Vec<u8>>>>) -> PhaseStats {
             .map(|h| h.join().expect("client thread panicked"))
             .collect()
     });
-    let mut total = PhaseStats {
-        seconds: start.elapsed().as_secs_f64(),
-        ..PhaseStats::default()
-    };
+    let mut total = PhaseStats::with_targets(targets.len());
     for stats in per_client {
-        total.latencies_us.extend(stats.latencies_us);
-        total.hits += stats.hits;
-        total.misses += stats.misses;
-        total.errors += stats.errors;
+        total.absorb(stats);
     }
+    total.seconds = start.elapsed().as_secs_f64();
     total
 }
 
@@ -264,50 +435,61 @@ const SWEEP_PER_CLIENT: usize = 4;
 /// Replays the warm pool at a fixed concurrency level: every connection
 /// is opened (sequentially, so the listen backlog never overflows a SYN
 /// burst) and stays open, then all clients fire together off a barrier.
-fn run_sweep_step(addr: &str, clients: usize, bodies: &[Arc<Vec<u8>>], seed: u64) -> PhaseStats {
-    let mut conns = Vec::with_capacity(clients);
-    let mut failed_connects = 0u64;
-    for _ in 0..clients {
-        match Client::connect(addr) {
-            Ok(client) => conns.push(client),
-            Err(_) => failed_connects += SWEEP_PER_CLIENT as u64,
+fn run_sweep_step(
+    targets: &[String],
+    clients: usize,
+    bodies: &[Arc<Vec<u8>>],
+    seed: u64,
+) -> PhaseStats {
+    // Draw each client's requests first so its connections can be
+    // pre-opened to exactly the targets it will hit.
+    let schedules: Vec<Vec<(usize, Arc<Vec<u8>>)>> = (0..clients)
+        .map(|c| {
+            let mut rng = seeded(derive_seed(seed, &format!("sweep{clients}c{c}")));
+            (0..SWEEP_PER_CLIENT)
+                .map(|_| {
+                    let body = Arc::clone(&bodies[rng.random_range(0..bodies.len())]);
+                    (target_of(&body, targets.len()), body)
+                })
+                .collect()
+        })
+        .collect();
+    let mut ready = Vec::with_capacity(clients);
+    let mut failed = PhaseStats::with_targets(targets.len());
+    for requests in schedules {
+        let mut set = ClientSet::new(targets);
+        let mut connected = true;
+        for &(target, _) in &requests {
+            if set.warm(target).is_err() {
+                connected = false;
+                break;
+            }
+        }
+        if connected {
+            ready.push((set, requests));
+        } else {
+            for (target, _) in requests {
+                failed.record(target, Err(std::io::Error::other("connect failed")));
+            }
         }
     }
-    let barrier = std::sync::Barrier::new(conns.len());
+    let barrier = std::sync::Barrier::new(ready.len());
     let start = Instant::now();
     let per_client: Vec<PhaseStats> = std::thread::scope(|scope| {
         let barrier = &barrier;
-        let handles: Vec<_> = conns
+        let handles: Vec<_> = ready
             .into_iter()
-            .enumerate()
-            .map(|(c, mut client)| {
-                let requests: Vec<Arc<Vec<u8>>> = {
-                    let mut rng = seeded(derive_seed(seed, &format!("sweep{clients}c{c}")));
-                    (0..SWEEP_PER_CLIENT)
-                        .map(|_| Arc::clone(&bodies[rng.random_range(0..bodies.len())]))
-                        .collect()
-                };
+            .map(|(mut set, requests)| {
                 // 1,024 default-sized stacks would be wasteful; the
                 // client loop needs almost none.
                 std::thread::Builder::new()
                     .stack_size(256 * 1024)
                     .spawn_scoped(scope, move || {
                         barrier.wait();
-                        let mut stats = PhaseStats::default();
-                        for body in requests {
-                            match client.solve("/solve", &body) {
-                                Ok((micros, ok, hit)) => {
-                                    stats.latencies_us.push(micros);
-                                    if !ok {
-                                        stats.errors += 1;
-                                    } else if hit {
-                                        stats.hits += 1;
-                                    } else {
-                                        stats.misses += 1;
-                                    }
-                                }
-                                Err(_) => stats.errors += 1,
-                            }
+                        let mut stats = PhaseStats::with_targets(set.targets.len());
+                        for (target, body) in requests {
+                            let outcome = set.solve(target, "/solve", &body);
+                            stats.record(target, outcome);
                         }
                         stats
                     })
@@ -319,18 +501,37 @@ fn run_sweep_step(addr: &str, clients: usize, bodies: &[Arc<Vec<u8>>], seed: u64
             .map(|h| h.join().expect("sweep client panicked"))
             .collect()
     });
-    let mut total = PhaseStats {
-        seconds: start.elapsed().as_secs_f64(),
-        errors: failed_connects,
-        ..PhaseStats::default()
-    };
+    let mut total = failed;
     for stats in per_client {
-        total.latencies_us.extend(stats.latencies_us);
-        total.hits += stats.hits;
-        total.misses += stats.misses;
-        total.errors += stats.errors;
+        total.absorb(stats);
     }
+    total.seconds = start.elapsed().as_secs_f64();
     total
+}
+
+/// Writes the report: whole-file by default, or merged under one
+/// top-level key of the existing report with `--merge-section`.
+fn write_report(out: &str, merge_section: Option<&str>, report: Json) -> std::io::Result<()> {
+    let document = match merge_section {
+        None => report,
+        Some(key) => {
+            let mut doc = match std::fs::read_to_string(out) {
+                Ok(text) => match Json::parse(&text) {
+                    Ok(Json::Obj(fields)) => fields,
+                    _ => Vec::new(),
+                },
+                Err(_) => Vec::new(),
+            };
+            match doc.iter_mut().find(|(k, _)| k == key) {
+                Some(slot) => slot.1 = report,
+                None => doc.push((key.into(), report)),
+            }
+            Json::Obj(doc)
+        }
+    };
+    let mut file = std::fs::File::create(out)?;
+    file.write_all(document.to_string().as_bytes())?;
+    file.write_all(b"\n")
 }
 
 fn main() {
@@ -342,12 +543,22 @@ fn main() {
         }
     };
     eprintln!(
-        "bi-loadgen: addr={} seed={} unique={} hot={} clients={}",
-        args.addr, args.seed, args.unique, args.hot, args.clients
+        "bi-loadgen: targets={} seed={} unique={} profile={} hot={} clients={}",
+        args.targets.join(","),
+        args.seed,
+        args.unique,
+        args.profile,
+        args.hot,
+        args.clients
     );
 
-    // Build the workload once; request bodies are shared across clients.
-    let games = mixed_workload(args.seed, args.unique);
+    // Build the workload once; request bodies are shared across clients
+    // and each body is pinned to its client-side shard up front.
+    let games = if args.profile == "light" {
+        light_workload(args.seed, args.unique)
+    } else {
+        mixed_workload(args.seed, args.unique)
+    };
     let bodies: Vec<Arc<Vec<u8>>> = games
         .iter()
         .map(|game| {
@@ -360,33 +571,37 @@ fn main() {
             )
         })
         .collect();
+    let sharded: Vec<(usize, Arc<Vec<u8>>)> = bodies
+        .iter()
+        .map(|body| (target_of(body, args.targets.len()), Arc::clone(body)))
+        .collect();
 
     // Cold phase: every unique game exactly once, split across clients.
     let clients = args.clients.min(bodies.len());
-    let mut cold_schedule: Vec<Vec<Arc<Vec<u8>>>> = vec![Vec::new(); clients];
-    for (i, body) in bodies.iter().enumerate() {
-        cold_schedule[i % clients].push(Arc::clone(body));
+    let mut cold_schedule: Vec<Vec<(usize, Arc<Vec<u8>>)>> = vec![Vec::new(); clients];
+    for (i, request) in sharded.iter().enumerate() {
+        cold_schedule[i % clients].push(request.clone());
     }
-    let cold = run_phase(&args.addr, cold_schedule);
+    let cold = run_phase(&args.targets, cold_schedule);
     eprintln!(
         "bi-loadgen: cold {} req in {:.3}s ({:.0} rps, {} errors)",
         cold.requests(),
         cold.seconds,
         cold.throughput_rps(),
-        cold.errors
+        cold.errors()
     );
 
     // Hot phase: seeded sampling over the now-cached pool.
-    let hot_schedule: Vec<Vec<Arc<Vec<u8>>>> = (0..args.clients)
+    let hot_schedule: Vec<Vec<(usize, Arc<Vec<u8>>)>> = (0..args.clients)
         .map(|c| {
             let mut rng = seeded(derive_seed(args.seed, &format!("client{c}")));
             let count = args.hot / args.clients + usize::from(c < args.hot % args.clients);
             (0..count)
-                .map(|_| Arc::clone(&bodies[rng.random_range(0..bodies.len())]))
+                .map(|_| sharded[rng.random_range(0..sharded.len())].clone())
                 .collect()
         })
         .collect();
-    let hot = run_phase(&args.addr, hot_schedule);
+    let hot = run_phase(&args.targets, hot_schedule);
     let hot_hit_rate = if hot.requests() > 0 {
         hot.hits as f64 / hot.requests() as f64
     } else {
@@ -398,29 +613,32 @@ fn main() {
         hot.seconds,
         hot.throughput_rps(),
         hot_hit_rate,
-        hot.errors
+        hot.errors()
     );
 
-    // One batch over a slice of the pool (all cached by now).
+    // One batch over a slice of the pool (all cached by now). Sharded
+    // like any other body: the batch lands on one node — or on the
+    // router, which splits it server-side.
     let batch_games = games.iter().take(8.min(games.len())).cloned().collect();
     let batch_body = BatchRequest {
         games: batch_games,
         config: SolverConfig::default(),
     }
     .canonical_bytes();
+    let batch_target = target_of(&batch_body, args.targets.len());
     let mut batch_ok = false;
     let mut batch_errors = 0u64;
-    match Client::connect(&args.addr) {
-        Ok(mut client) => match client.solve("/solve_batch", &batch_body) {
-            Ok((_, ok, _)) => {
-                batch_ok = ok;
-                if !ok {
+    {
+        let mut set = ClientSet::new(&args.targets);
+        match set.solve(batch_target, "/solve_batch", &batch_body) {
+            Ok((_, status, _)) => {
+                batch_ok = (200..300).contains(&status);
+                if !batch_ok {
                     batch_errors += 1;
                 }
             }
             Err(_) => batch_errors += 1,
-        },
-        Err(_) => batch_errors += 1,
+        }
     }
 
     // The scaling sweep: the pool is warm, so every request should be a
@@ -428,7 +646,7 @@ fn main() {
     let mut sweep_errors = 0u64;
     let mut sweep_json = Vec::new();
     for &level in &args.sweep_clients {
-        let step = run_sweep_step(&args.addr, level, &bodies, args.seed);
+        let step = run_sweep_step(&args.targets, level, &bodies, args.seed);
         let hit_rate = if step.requests() > 0 {
             step.hits as f64 / step.requests() as f64
         } else {
@@ -441,9 +659,9 @@ fn main() {
             step.throughput_rps(),
             step.percentile_us(0.50),
             step.percentile_us(0.99),
-            step.errors
+            step.errors()
         );
-        sweep_errors += step.errors;
+        sweep_errors += step.errors();
         sweep_json.push(Json::Obj(vec![
             ("clients".into(), Json::num(level as f64)),
             ("requests".into(), Json::num(step.requests() as f64)),
@@ -452,12 +670,26 @@ fn main() {
             ("p50_us".into(), Json::num(step.percentile_us(0.50) as f64)),
             ("p99_us".into(), Json::num(step.percentile_us(0.99) as f64)),
             ("hit_rate".into(), Json::num(hit_rate)),
-            ("errors".into(), Json::from_u64(step.errors)),
+            ("errors".into(), Json::from_u64(step.errors())),
         ]));
     }
 
-    // Scrape the server's own view for the report.
-    let server_metrics = scrape_metrics(&args.addr).unwrap_or(Json::Null);
+    // Scrape each target's own view for the report.
+    let server_metrics = if args.targets.len() == 1 {
+        scrape_metrics(&args.targets[0]).unwrap_or(Json::Null)
+    } else {
+        Json::Arr(
+            args.targets
+                .iter()
+                .map(|addr| {
+                    Json::Obj(vec![
+                        ("addr".into(), Json::str(addr)),
+                        ("metrics".into(), scrape_metrics(addr).unwrap_or(Json::Null)),
+                    ])
+                })
+                .collect(),
+        )
+    };
 
     let speedup = if cold.throughput_rps() > 0.0 {
         hot.throughput_rps() / cold.throughput_rps()
@@ -469,32 +701,31 @@ fn main() {
             "workload".into(),
             Json::Obj(vec![
                 ("seed".into(), Json::from_u64(args.seed)),
+                ("profile".into(), Json::str(&args.profile)),
                 ("unique_games".into(), Json::num(games.len() as f64)),
                 ("clients".into(), Json::num(args.clients as f64)),
+                (
+                    "targets".into(),
+                    Json::Arr(args.targets.iter().map(Json::str).collect()),
+                ),
                 (
                     "total_requests".into(),
                     Json::num((cold.requests() + hot.requests() + 1) as f64),
                 ),
             ]),
         ),
-        ("cold".into(), cold.to_json()),
-        ("hot".into(), hot.to_json()),
+        ("cold".into(), cold.to_json(&args.targets)),
+        ("hot".into(), hot.to_json(&args.targets)),
         ("hot_hit_rate".into(), Json::num(hot_hit_rate)),
         ("hot_over_cold_throughput".into(), Json::num(speedup)),
         ("batch_2xx".into(), Json::Bool(batch_ok)),
         ("client_sweep".into(), Json::Arr(sweep_json)),
         ("server_metrics".into(), server_metrics),
     ]);
-    let mut file = match std::fs::File::create(&args.out) {
-        Ok(file) => file,
-        Err(e) => {
-            eprintln!("bi-loadgen: cannot write {}: {e}", args.out);
-            exit(1);
-        }
-    };
-    file.write_all(report.to_string().as_bytes())
-        .and_then(|()| file.write_all(b"\n"))
-        .expect("report write");
+    if let Err(e) = write_report(&args.out, args.merge_section.as_deref(), report) {
+        eprintln!("bi-loadgen: cannot write {}: {e}", args.out);
+        exit(1);
+    }
     println!(
         "bi-loadgen: cold {:.0} rps | hot {:.0} rps | speedup {:.1}x | hit rate {:.3} -> {}",
         cold.throughput_rps(),
@@ -504,7 +735,7 @@ fn main() {
         args.out
     );
 
-    let total_errors = cold.errors + hot.errors + batch_errors + sweep_errors;
+    let total_errors = cold.errors() + hot.errors() + batch_errors + sweep_errors;
     if total_errors > 0 {
         eprintln!("bi-loadgen: FAIL — {total_errors} request(s) failed");
         exit(1);

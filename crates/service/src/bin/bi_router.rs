@@ -1,0 +1,128 @@
+//! `bi-router` — the consistent-hash cluster front door.
+//!
+//! Routes `POST /solve` and `POST /solve_batch` across a fleet of
+//! `bi-serve` backends by the canonical cache key, so every distinct
+//! game lands on exactly one backend's cache. Dead backends are
+//! ejected by a health prober (and by forwarding failures) and their
+//! arc of the key space fails over clockwise; the rest of the ring is
+//! untouched.
+//!
+//! ```text
+//! bi-router --addr 127.0.0.1:0 \
+//!           --backends 127.0.0.1:4101,127.0.0.1:4102,127.0.0.1:4103 \
+//!           --vnodes 64 --fallback local
+//! ```
+//!
+//! Endpoints: `POST /solve`, `POST /solve_batch`, `GET /metrics`
+//! (router + per-backend counters), `GET /healthz`.
+
+use std::io::Write;
+use std::process::exit;
+use std::time::Duration;
+
+use bi_service::{FallbackMode, Router, RouterConfig};
+
+const USAGE: &str = "\
+bi-router — consistent-hash router over a bi-serve fleet
+
+USAGE: bi-router --backends HOST:PORT,... [OPTIONS]
+
+OPTIONS:
+  --addr HOST:PORT      bind address (default 127.0.0.1:0 = ephemeral port)
+  --backends LIST       comma-separated bi-serve addresses (required)
+  --vnodes N            virtual nodes per backend on the ring (default 64)
+  --fallback MODE       `local` solves on the router when no backend is
+                        live, `503` refuses instead (default local)
+  --probe-ms N          health-probe sweep interval in ms (default 500)
+  --fail-threshold N    consecutive failures before eject (default 2)
+  --timeout-secs N      idle keep-alive timeout per client connection
+                        (default 10)
+  --help                print this help
+";
+
+fn parse_args() -> Result<RouterConfig, String> {
+    let mut config = RouterConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" {
+            print!("{USAGE}");
+            exit(0);
+        }
+        let value = args
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        match flag.as_str() {
+            "--addr" => config.addr = value,
+            "--backends" => {
+                config.backends = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|a| !a.is_empty())
+                    .map(String::from)
+                    .collect();
+            }
+            "--vnodes" => config.vnodes = parse_num(&flag, &value)?,
+            "--fallback" => {
+                config.fallback = match value.as_str() {
+                    "local" => FallbackMode::Local,
+                    "503" => FallbackMode::Unavailable,
+                    other => return Err(format!("--fallback takes local|503, got `{other}`")),
+                };
+            }
+            "--probe-ms" => {
+                config.probe_interval = Duration::from_millis(parse_num(&flag, &value)? as u64);
+            }
+            "--fail-threshold" => {
+                config.fail_threshold = parse_num(&flag, &value)?.max(1) as u32;
+            }
+            "--timeout-secs" => {
+                config.read_timeout = Duration::from_secs(parse_num(&flag, &value)? as u64);
+            }
+            other => return Err(format!("unknown flag {other} (see --help)")),
+        }
+    }
+    if config.backends.is_empty() {
+        return Err("at least one --backends address is required".into());
+    }
+    Ok(config)
+}
+
+fn parse_num(flag: &str, value: &str) -> Result<usize, String> {
+    value
+        .parse()
+        .map_err(|_| format!("flag {flag} needs a non-negative integer, got `{value}`"))
+}
+
+fn main() {
+    let config = match parse_args() {
+        Ok(config) => config,
+        Err(msg) => {
+            eprintln!("bi-router: {msg}");
+            exit(2);
+        }
+    };
+    eprintln!(
+        "bi-router: backends={} vnodes={} fallback={:?} probe={}ms threshold={}",
+        config.backends.join(","),
+        config.vnodes,
+        config.fallback,
+        config.probe_interval.as_millis(),
+        config.fail_threshold,
+    );
+    let router = match Router::bind(config) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("bi-router: bind failed: {e}");
+            exit(1);
+        }
+    };
+    let addr = router.local_addr().expect("bound listener has an address");
+    // The machine-readable line: CI and the load generator parse it to
+    // discover ephemeral ports.
+    println!("bi-router listening on {addr}");
+    std::io::stdout().flush().expect("stdout flush");
+    if let Err(e) = router.run() {
+        eprintln!("bi-router: serving failed: {e}");
+        exit(1);
+    }
+}

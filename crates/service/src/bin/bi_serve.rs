@@ -32,6 +32,8 @@ OPTIONS:
   --cache-capacity N    total solve-cache entries, 0 disables (default 4096)
   --cache-shards N      independently locked cache shards (default 16)
   --timeout-secs N      idle keep-alive timeout per connection (default 10)
+  --disk-cache PATH     append-only disk cache log; reboots replay it warm
+                        (default: memory-only)
   --help                print this help
 ";
 
@@ -56,6 +58,7 @@ fn parse_args() -> Result<ServerConfig, String> {
             "--timeout-secs" => {
                 config.read_timeout = Duration::from_secs(parse_num(&flag, &value)? as u64);
             }
+            "--disk-cache" => config.disk_path = Some(value.into()),
             other => return Err(format!("unknown flag {other} (see --help)")),
         }
     }
@@ -77,13 +80,17 @@ fn main() {
         }
     };
     eprintln!(
-        "bi-serve: workers={} queue={} max-conns={} cache={}x{} timeout={}s",
+        "bi-serve: workers={} queue={} max-conns={} cache={}x{} timeout={}s disk={}",
         config.workers,
         config.queue_capacity,
         config.max_connections,
         config.cache.capacity,
         config.cache.shards,
         config.read_timeout.as_secs(),
+        config
+            .disk_path
+            .as_deref()
+            .map_or("none".into(), |p| p.display().to_string()),
     );
     let server = match Server::bind(config) {
         Ok(server) => server,

@@ -5,14 +5,19 @@
 //! makes solve results perfectly cacheable: the cache key is the
 //! canonical JSON of the request (game + backend + budget — thread count
 //! excluded, it never changes results), addressed by 64-bit FNV-1a
-//! ([`bi_util::fnv1a`]). The hash picks a shard; each shard is an
+//! ([`bi_util::fnv1a`]). The hash is computed **once** per operation: it
+//! picks the shard, then indexes the shard's bucket map. Each shard is an
 //! independent `Mutex`-guarded LRU, so concurrent workers rarely contend
-//! on the same lock. Within a shard, lookups go through a `HashMap` keyed
-//! by the **full** key bytes (FNV-hashed), so a 64-bit collision can
-//! never return the wrong entry — the hash only routes, the bytes decide.
+//! on the same lock. Within a bucket, every candidate slot is compared
+//! against the **full** key bytes, so a 64-bit collision can never
+//! return (or displace) the wrong entry — the hash only routes, the
+//! bytes decide. The collision seam is testable: a test-only constructor
+//! overrides the hash function, forcing distinct keys onto one hash and
+//! one shard.
 //!
 //! Eviction is exact LRU per shard via an intrusive doubly-linked list
-//! over a slab: `get`, `insert`, and evict are all O(1). Hit, miss,
+//! over a slab: `get`, `insert`, and evict are all O(1) (plus the length
+//! of the — almost always singleton — collision bucket). Hit, miss,
 //! insertion, and eviction counts are kept in atomics and surface in the
 //! server's `GET /metrics`.
 //!
@@ -80,25 +85,31 @@ pub struct CacheStats {
     pub capacity: usize,
 }
 
-/// One LRU slab entry: the key (for exact comparison), the value, and the
+/// One LRU slab entry: the key (for exact comparison), its routing hash
+/// (to find the collision bucket again on evict), the value, and the
 /// intrusive recency links.
 struct Entry<V> {
     key: Arc<[u8]>,
+    hash: u64,
     value: V,
     prev: usize,
     next: usize,
 }
 
-/// One shard: an exact LRU over a slab with a byte-keyed index.
+/// One shard: an exact LRU over a slab, indexed by routing hash into
+/// collision buckets of slots. Buckets are almost always singletons; the
+/// full key bytes decide within one.
 struct Shard<V> {
-    /// Full key bytes → slab slot; FNV-hashed, deterministic.
-    index: HashMap<Arc<[u8]>, usize, FnvBuildHasher>,
+    /// Routing hash → slab slots carrying that hash.
+    index: HashMap<u64, Vec<usize>, FnvBuildHasher>,
     slots: Vec<Entry<V>>,
     free: Vec<usize>,
     /// Most recently used slot (`NIL` when empty).
     head: usize,
     /// Least recently used slot (`NIL` when empty).
     tail: usize,
+    /// Live entries (buckets can hold several, so `index.len()` is not it).
+    len: usize,
     capacity: usize,
 }
 
@@ -110,6 +121,7 @@ impl<V: Clone> Shard<V> {
             free: Vec::new(),
             head: NIL,
             tail: NIL,
+            len: 0,
             capacity,
         }
     }
@@ -138,36 +150,59 @@ impl<V: Clone> Shard<V> {
         self.head = slot;
     }
 
-    fn get(&mut self, key: &[u8]) -> Option<V> {
-        let slot = *self.index.get(key)?;
+    /// The slot in `hash`'s bucket whose key bytes equal `key`, if any —
+    /// the one place hash collisions are disambiguated.
+    fn find(&self, hash: u64, key: &[u8]) -> Option<usize> {
+        self.index
+            .get(&hash)?
+            .iter()
+            .copied()
+            .find(|&slot| self.slots[slot].key.as_ref() == key)
+    }
+
+    fn get(&mut self, hash: u64, key: &[u8]) -> Option<V> {
+        let slot = self.find(hash, key)?;
         self.unlink(slot);
         self.push_front(slot);
         Some(self.slots[slot].value.clone())
     }
 
+    /// Drops `slot` from its collision bucket (removing the bucket when
+    /// it empties).
+    fn remove_from_bucket(&mut self, slot: usize) {
+        let hash = self.slots[slot].hash;
+        if let Some(bucket) = self.index.get_mut(&hash) {
+            bucket.retain(|&s| s != slot);
+            if bucket.is_empty() {
+                self.index.remove(&hash);
+            }
+        }
+    }
+
     /// Inserts or updates; returns whether an eviction happened.
-    fn insert(&mut self, key: &[u8], value: V) -> bool {
+    fn insert(&mut self, hash: u64, key: &[u8], value: V) -> bool {
         if self.capacity == 0 {
             return false;
         }
-        if let Some(&slot) = self.index.get(key) {
+        if let Some(slot) = self.find(hash, key) {
             self.slots[slot].value = value;
             self.unlink(slot);
             self.push_front(slot);
             return false;
         }
         let mut evicted = false;
-        if self.index.len() == self.capacity {
+        if self.len == self.capacity {
             let lru = self.tail;
             debug_assert_ne!(lru, NIL, "non-empty shard at capacity");
             self.unlink(lru);
-            self.index.remove(&self.slots[lru].key);
+            self.remove_from_bucket(lru);
             self.free.push(lru);
+            self.len -= 1;
             evicted = true;
         }
-        let key: Arc<[u8]> = Arc::from(key);
         let entry = Entry {
-            key: Arc::clone(&key),
+            key: Arc::from(key),
+            hash,
             value,
             prev: NIL,
             next: NIL,
@@ -182,7 +217,8 @@ impl<V: Clone> Shard<V> {
                 self.slots.len() - 1
             }
         };
-        self.index.insert(key, slot);
+        self.index.entry(hash).or_default().push(slot);
+        self.len += 1;
         self.push_front(slot);
         evicted
     }
@@ -194,6 +230,9 @@ impl<V: Clone> Shard<V> {
 /// stores `Arc<[u8]>` response bodies).
 pub struct ShardedLru<V> {
     shards: Vec<Mutex<Shard<V>>>,
+    /// The routing hash (FNV-1a in production; overridable in tests to
+    /// force collisions through the full-key comparison seam).
+    hash_fn: fn(&[u8]) -> u64,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -208,6 +247,13 @@ impl<V: Clone> ShardedLru<V> {
     /// (which would silently make part of the keyspace uncacheable).
     #[must_use]
     pub fn new(config: CacheConfig) -> Self {
+        Self::with_hash_fn(config, fnv1a)
+    }
+
+    /// [`ShardedLru::new`] with an explicit routing-hash function — the
+    /// collision tests force every key onto one hash and one shard to
+    /// prove the byte comparison (not the hash) decides identity.
+    fn with_hash_fn(config: CacheConfig, hash_fn: fn(&[u8]) -> u64) -> Self {
         let shards = config.shards.max(1).min(config.capacity.max(1));
         // Spread the capacity as evenly as possible; the first `rem`
         // shards take one extra entry so the total is exact.
@@ -217,6 +263,7 @@ impl<V: Clone> ShardedLru<V> {
             shards: (0..shards)
                 .map(|i| Mutex::new(Shard::new(per + usize::from(i < rem))))
                 .collect(),
+            hash_fn,
             capacity: config.capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -225,18 +272,18 @@ impl<V: Clone> ShardedLru<V> {
         }
     }
 
-    fn shard(&self, key: &[u8]) -> &Mutex<Shard<V>> {
-        let h = fnv1a(key);
-        &self.shards[(h % self.shards.len() as u64) as usize]
+    fn shard(&self, hash: u64) -> &Mutex<Shard<V>> {
+        &self.shards[(hash % self.shards.len() as u64) as usize]
     }
 
     /// Looks up `key`, refreshing its recency on a hit.
     pub fn get(&self, key: &[u8]) -> Option<V> {
+        let hash = (self.hash_fn)(key);
         let result = self
-            .shard(key)
+            .shard(hash)
             .lock()
             .expect("cache shard poisoned")
-            .get(key);
+            .get(hash, key);
         match result {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -247,11 +294,12 @@ impl<V: Clone> ShardedLru<V> {
     /// Inserts (or refreshes) `key → value`, evicting the shard's least
     /// recently used entry if the shard is full.
     pub fn insert(&self, key: &[u8], value: V) {
+        let hash = (self.hash_fn)(key);
         let evicted = self
-            .shard(key)
+            .shard(hash)
             .lock()
             .expect("cache shard poisoned")
-            .insert(key, value);
+            .insert(hash, key, value);
         self.insertions.fetch_add(1, Ordering::Relaxed);
         if evicted {
             self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -268,7 +316,7 @@ impl<V: Clone> ShardedLru<V> {
             entries: self
                 .shards
                 .iter()
-                .map(|s| s.lock().expect("cache shard poisoned").index.len())
+                .map(|s| s.lock().expect("cache shard poisoned").len)
                 .sum(),
             capacity: self.capacity,
         }
@@ -409,5 +457,73 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.hits + stats.misses, 800);
         assert!(stats.entries <= 50);
+    }
+
+    /// Every key hashes to 42 — all keys share one hash, one bucket, and
+    /// one shard, so only the full-key comparison can tell them apart.
+    fn colliding<V: Clone>(capacity: usize) -> ShardedLru<V> {
+        ShardedLru::with_hash_fn(
+            CacheConfig {
+                capacity,
+                shards: 4, // >1 configured: the collision also pins the shard
+            },
+            |_| 42,
+        )
+    }
+
+    #[test]
+    fn forced_collisions_do_not_alias_on_hit() {
+        let cache = colliding::<u32>(8);
+        cache.insert(b"alpha", 1);
+        cache.insert(b"beta", 2);
+        // Same 64-bit hash, same shard, same bucket — each key still
+        // answers with its own value.
+        assert_eq!(cache.get(b"alpha"), Some(1));
+        assert_eq!(cache.get(b"beta"), Some(2));
+        // A third colliding key that was never inserted must miss, not
+        // alias onto a bucket-mate.
+        assert_eq!(cache.get(b"gamma"), None);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn forced_collisions_do_not_alias_on_insert() {
+        let cache = colliding::<u32>(8);
+        cache.insert(b"alpha", 1);
+        // An insert of a colliding-but-different key must create a new
+        // entry, not overwrite the bucket-mate …
+        cache.insert(b"beta", 2);
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.get(b"alpha"), Some(1));
+        // … while re-inserting the same key bytes must update in place.
+        cache.insert(b"alpha", 10);
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.get(b"alpha"), Some(10));
+        assert_eq!(cache.get(b"beta"), Some(2));
+    }
+
+    #[test]
+    fn forced_collisions_evict_exactly_the_lru_key() {
+        // capacity 8 over 4 shards: the pinned shard holds 2 entries, so
+        // the third colliding insert must evict the LRU bucket-mate.
+        let cache = colliding::<u32>(8);
+        cache.insert(b"alpha", 1);
+        cache.insert(b"beta", 2);
+        // Touch "alpha" so "beta" is the LRU; the eviction must remove
+        // "beta" from the shared bucket without disturbing "alpha".
+        assert_eq!(cache.get(b"alpha"), Some(1));
+        cache.insert(b"gamma", 3);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.get(b"beta"), None, "the LRU bucket-mate is gone");
+        assert_eq!(cache.get(b"alpha"), Some(1));
+        assert_eq!(cache.get(b"gamma"), Some(3));
+        // The bucket stays coherent after eviction: the evicted key can
+        // come back and all three rotate correctly.
+        cache.insert(b"beta", 20);
+        assert_eq!(cache.stats().evictions, 2);
+        assert_eq!(cache.get(b"beta"), Some(20));
+        assert_eq!(cache.stats().entries, 2);
     }
 }

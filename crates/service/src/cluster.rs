@@ -1,0 +1,910 @@
+//! The `bi-router` engine: consistent-hash routing of solve traffic
+//! across N `bi-serve` backends.
+//!
+//! Every measure the engine serves is a pure function of the canonical
+//! request bytes, so the content-addressed cache key
+//! ([`SolveService::cache_key`]) *is* the result identity — which makes
+//! horizontal sharding trivially correct: route each request to the
+//! backend owning its key and that backend's cache concentrates exactly
+//! its arc of the key space. The ring is a classic consistent hash with
+//! virtual nodes over the same 64-bit FNV-1a space the cache indexes
+//! with ([`bi_util::fnv1a`]).
+//!
+//! ```text
+//!   client ──► bi-router ──hash(cache_key)──► ring ──► backend k
+//!                 │                            │ backend k dead
+//!                 │                            ▼
+//!                 │                  clockwise successor walk
+//!                 │ every backend dead
+//!                 ▼
+//!        fallback: local solve │ 503
+//! ```
+//!
+//! **Routing is deterministic**: the ring is built once from the
+//! configured backend list, so the same key always maps to the same
+//! backend while the live set is unchanged. Liveness is handled by
+//! walking clockwise past dead backends at lookup time — ejecting a
+//! backend therefore moves **only the ejected backend's arcs** (every
+//! key whose first live point belonged to someone else keeps its
+//! mapping), and readmission restores the original assignment exactly.
+//! Both properties are locked by unit tests below.
+//!
+//! Health is probed (`GET /healthz`) on an interval; forwarding failures
+//! count against the same consecutive-failure threshold, so a backend
+//! that dies mid-burst is ejected by the traffic itself rather than
+//! waiting for the next probe cycle. Upstream connections are pooled and
+//! kept alive per backend. `/solve_batch` bodies are split by each
+//! game's key, forwarded as sub-batches, and re-merged in request order.
+
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bi_util::{fnv1a, Decode, Encode, Json};
+
+use crate::cache::{CacheConfig, ShardedLru};
+use crate::http::{read_request, ClientResponse, HttpClient, Response};
+use crate::service::{error_body, BatchRequest, FastOutcome, SolveRequest, SolveService};
+
+/// What the router does with a request when every backend is dead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FallbackMode {
+    /// Solve locally on the router (it embeds a full [`SolveService`]) —
+    /// degraded latency, no availability loss.
+    Local,
+    /// Answer `503 Service Unavailable` — the router never computes.
+    Unavailable,
+}
+
+/// A consistent-hash ring: `vnodes` virtual points per backend over the
+/// 64-bit FNV-1a space, routing a key hash to the first live backend at
+/// or clockwise after it.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// `(point, backend index)`, sorted by point; ties (64-bit point
+    /// collisions across backends) keep the lowest index, so the ring is
+    /// a pure function of the backend list.
+    points: Vec<(u64, usize)>,
+    backends: usize,
+}
+
+impl HashRing {
+    /// Builds the ring for `backends` with `vnodes` virtual points each
+    /// (point `v` of backend `b` is `fnv1a("vnode:{b}:{v}")`).
+    #[must_use]
+    pub fn new<S: AsRef<str>>(backends: &[S], vnodes: usize) -> HashRing {
+        let vnodes = vnodes.max(1);
+        let mut points = Vec::with_capacity(backends.len() * vnodes);
+        for (i, backend) in backends.iter().enumerate() {
+            for v in 0..vnodes {
+                let point = fnv1a(format!("vnode:{}:{v}", backend.as_ref()).as_bytes());
+                points.push((point, i));
+            }
+        }
+        points.sort_unstable();
+        points.dedup_by(|a, b| a.0 == b.0);
+        HashRing {
+            points,
+            backends: backends.len(),
+        }
+    }
+
+    /// How many backends the ring was built over.
+    #[must_use]
+    pub fn backends(&self) -> usize {
+        self.backends
+    }
+
+    /// The backend owning `hash`: the first point at or clockwise after
+    /// it whose backend `live` accepts, or `None` when none does.
+    /// Skipping dead backends *here* (rather than rebuilding the ring)
+    /// is what makes an eject move only the ejected arcs.
+    pub fn route(&self, hash: u64, live: impl Fn(usize) -> bool) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let start = self.points.partition_point(|&(p, _)| p < hash);
+        let n = self.points.len();
+        (0..n)
+            .map(|k| self.points[(start + k) % n].1)
+            .find(|&idx| live(idx))
+    }
+}
+
+/// Router addressing, ring shape, health policy, and timeouts.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Bind address; port `0` for ephemeral.
+    pub addr: String,
+    /// Backend `host:port` addresses the ring is built over.
+    pub backends: Vec<String>,
+    /// Virtual points per backend.
+    pub vnodes: usize,
+    /// What to do when every backend is dead.
+    pub fallback: FallbackMode,
+    /// How often the prober sweeps `/healthz` across backends.
+    pub probe_interval: Duration,
+    /// Consecutive failures (probe or forward) that eject a backend.
+    pub fail_threshold: u32,
+    /// Idle keep-alive timeout for downstream client connections.
+    pub read_timeout: Duration,
+    /// Connect deadline for upstream sockets (forwarding and probing).
+    pub connect_timeout: Duration,
+    /// Response deadline for a forwarded request.
+    pub upstream_timeout: Duration,
+    /// Pooled keep-alive connections retained per backend.
+    pub pool_capacity: usize,
+    /// Sizing of the body-bytes → routing-hash cache (skips re-decoding
+    /// hot canonical bodies).
+    pub key_cache: CacheConfig,
+}
+
+impl Default for RouterConfig {
+    /// Ephemeral port, no backends, 64 vnodes, local fallback, 500 ms
+    /// probes, 2-failure ejection, 8-connection pools.
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".into(),
+            backends: Vec::new(),
+            vnodes: 64,
+            fallback: FallbackMode::Local,
+            probe_interval: Duration::from_millis(500),
+            fail_threshold: 2,
+            read_timeout: Duration::from_secs(10),
+            connect_timeout: Duration::from_secs(1),
+            upstream_timeout: Duration::from_secs(30),
+            pool_capacity: 8,
+            key_cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// One upstream backend: liveness, failure accounting, and the
+/// keep-alive connection pool.
+struct Backend {
+    addr: String,
+    alive: AtomicBool,
+    consecutive_failures: AtomicU64,
+    pool: Mutex<Vec<HttpClient>>,
+    forwarded: AtomicU64,
+    upstream_errors: AtomicU64,
+    ejects: AtomicU64,
+    readmits: AtomicU64,
+}
+
+impl Backend {
+    fn new(addr: String) -> Backend {
+        Backend {
+            addr,
+            alive: AtomicBool::new(true),
+            consecutive_failures: AtomicU64::new(0),
+            pool: Mutex::new(Vec::new()),
+            forwarded: AtomicU64::new(0),
+            upstream_errors: AtomicU64::new(0),
+            ejects: AtomicU64::new(0),
+            readmits: AtomicU64::new(0),
+        }
+    }
+
+    /// A successful probe or forward: clears the failure streak and
+    /// readmits the backend if it was ejected.
+    fn record_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        if !self.alive.swap(true, Ordering::Relaxed) {
+            self.readmits.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A failed probe or forward: ejects at the threshold. Forwarding
+    /// failures land here too, so a backend killed mid-burst is ejected
+    /// by the very traffic that notices, not the next probe cycle.
+    fn record_failure(&self, threshold: u32) {
+        let failures = self.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if failures >= u64::from(threshold) && self.alive.swap(false, Ordering::Relaxed) {
+            self.ejects.fetch_add(1, Ordering::Relaxed);
+            // A dead backend's pooled connections are dead too.
+            self.pool.lock().expect("pool poisoned").clear();
+        }
+    }
+}
+
+/// The router's own counters (`GET /metrics`).
+#[derive(Default)]
+struct RouterMetrics {
+    requests_total: AtomicU64,
+    solve_requests: AtomicU64,
+    batch_requests: AtomicU64,
+    connections_total: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    fallback_local: AtomicU64,
+    fallback_503: AtomicU64,
+}
+
+impl RouterMetrics {
+    fn record_status(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Everything the accept loop, connection threads, and prober share.
+struct Shared {
+    config: RouterConfig,
+    ring: HashRing,
+    backends: Vec<Backend>,
+    metrics: RouterMetrics,
+    /// Exact canonical body bytes → routing hash (skips re-decode).
+    key_cache: ShardedLru<u64>,
+    /// The local-solve fallback engine.
+    local: SolveService,
+    shutdown: AtomicBool,
+}
+
+/// A bound (but not yet serving) router.
+pub struct Router {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Router {
+    /// Binds the listener and builds the ring over `config.backends`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind failure.
+    pub fn bind(config: RouterConfig) -> io::Result<Router> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let ring = HashRing::new(&config.backends, config.vnodes);
+        let backends = config.backends.iter().cloned().map(Backend::new).collect();
+        let key_cache = ShardedLru::new(config.key_cache);
+        let shared = Arc::new(Shared {
+            ring,
+            backends,
+            metrics: RouterMetrics::default(),
+            key_cache,
+            local: SolveService::new(config.key_cache),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        Ok(Router { listener, shared })
+    }
+
+    /// The actually bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Starts the accept loop and health prober; returns the stop handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket setup failures.
+    pub fn start(self) -> io::Result<RouterHandle> {
+        let addr = self.local_addr()?;
+        self.listener.set_nonblocking(true)?;
+        let accept = {
+            let shared = Arc::clone(&self.shared);
+            let listener = self.listener;
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let prober = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || probe_loop(&shared))
+        };
+        Ok(RouterHandle {
+            addr,
+            shared: self.shared,
+            accept: Some(accept),
+            prober: Some(prober),
+        })
+    }
+
+    /// Binds-and-routes forever (the `bi-router` binary's main loop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates startup failures; never returns otherwise.
+    pub fn run(self) -> io::Result<()> {
+        let handle = self.start()?;
+        if let Some(accept) = handle.accept {
+            let _ = accept.join();
+        }
+        Ok(())
+    }
+}
+
+/// A running router: address plus the stop switch.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The routing address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The `GET /metrics` document (for asserting in tests without a
+    /// socket round-trip).
+    #[must_use]
+    pub fn metrics_json(&self) -> Json {
+        metrics_json(&self.shared)
+    }
+
+    /// Stops the accept loop and prober, joining every thread (open
+    /// connection handlers included).
+    pub fn stop(mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(prober) = self.prober.take() {
+            let _ = prober.join();
+        }
+    }
+}
+
+/// Accepts connections until shutdown, one handler thread each.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared
+                    .metrics
+                    .connections_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                handlers.push(std::thread::spawn(move || handle_conn(&stream, &shared)));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                handlers.retain(|h| !h.is_finished());
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    for handler in handlers {
+        let _ = handler.join();
+    }
+}
+
+/// One downstream connection: read requests, dispatch, write responses,
+/// until idle timeout, EOF, or shutdown.
+fn handle_conn(stream: &TcpStream, shared: &Shared) {
+    if stream.set_nonblocking(false).is_err() || stream.set_nodelay(true).is_err() {
+        return;
+    }
+    let Ok(clone) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(clone);
+    let poll = Duration::from_millis(100).min(shared.config.read_timeout);
+    let mut last_activity = Instant::now();
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        // Between requests, wait with a short poll so shutdown and the
+        // idle timeout stay responsive. `peek` never consumes, so a
+        // timeout here can't tear a partially read request; buffered
+        // pipelined bytes skip the gate entirely.
+        if reader.buffer().is_empty() {
+            let mut probe = [0u8; 1];
+            if stream.set_read_timeout(Some(poll)).is_err() {
+                return;
+            }
+            match stream.peek(&mut probe) {
+                Ok(0) => return, // clean EOF
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if last_activity.elapsed() > shared.config.read_timeout {
+                        return;
+                    }
+                    continue;
+                }
+                Err(_) => return,
+            }
+        }
+        // A request is arriving: give it the full read timeout.
+        if stream
+            .set_read_timeout(Some(shared.config.read_timeout))
+            .is_err()
+        {
+            return;
+        }
+        let request = match read_request(&mut reader) {
+            Ok(Some(Ok(request))) => request,
+            Ok(Some(Err(e))) => {
+                // Protocol errors poison framing: answer and close.
+                shared.metrics.record_status(e.status);
+                let response = Response::json(e.status, error_body(&e.msg));
+                let _ = response.write(&mut &*stream, false);
+                return;
+            }
+            Ok(None) | Err(_) => return,
+        };
+        last_activity = Instant::now();
+        shared
+            .metrics
+            .requests_total
+            .fetch_add(1, Ordering::Relaxed);
+        let keep_alive = request.keep_alive();
+        let response = match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/solve") => handle_solve(shared, &request.body),
+            ("POST", "/solve_batch") => handle_batch(shared, &request.body),
+            ("GET", "/healthz") => Response::json(
+                200,
+                Json::Obj(vec![("status".into(), Json::str("ok"))]).canonical_bytes(),
+            ),
+            ("GET", "/metrics") => {
+                Response::json(200, metrics_json(shared).to_string().into_bytes())
+            }
+            (_, "/solve" | "/solve_batch" | "/healthz" | "/metrics") => {
+                Response::json(405, error_body("method not allowed"))
+            }
+            _ => Response::json(404, error_body("unknown endpoint")),
+        };
+        shared.metrics.record_status(response.status);
+        if response.write(&mut &*stream, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// The routing hash of a `/solve` body: the FNV-1a of its canonical
+/// cache key. Canonical bodies consult (and warm) the body-bytes →
+/// hash cache so hot traffic skips the JSON decode entirely.
+fn routing_hash(shared: &Shared, body: &[u8]) -> Result<u64, Response> {
+    let canonical = bi_util::json::canon_check(body);
+    if canonical {
+        if let Some(hash) = shared.key_cache.get(body) {
+            return Ok(hash);
+        }
+    }
+    let text = std::str::from_utf8(body)
+        .map_err(|_| Response::json(400, error_body("request body is not valid UTF-8")))?;
+    let request = SolveRequest::decode_str(text)
+        .map_err(|e| Response::json(400, error_body(&e.to_string())))?;
+    let key = SolveService::cache_key(&request.game, &request.config);
+    let hash = fnv1a(&key);
+    if canonical {
+        shared.key_cache.insert(body, hash);
+    }
+    Ok(hash)
+}
+
+/// Routes one `/solve` body: forward to the key's backend, failing over
+/// clockwise (each failure feeds the ejection counter), then fall back.
+fn handle_solve(shared: &Shared, body: &[u8]) -> Response {
+    shared
+        .metrics
+        .solve_requests
+        .fetch_add(1, Ordering::Relaxed);
+    let hash = match routing_hash(shared, body) {
+        Ok(hash) => hash,
+        Err(response) => return response,
+    };
+    let mut tried = vec![false; shared.backends.len()];
+    while let Some(idx) = shared.ring.route(hash, |i| {
+        !tried[i] && shared.backends[i].alive.load(Ordering::Relaxed)
+    }) {
+        tried[idx] = true;
+        let backend = &shared.backends[idx];
+        match forward(shared, idx, "/solve", body) {
+            Ok(upstream) => {
+                backend.record_success();
+                backend.forwarded.fetch_add(1, Ordering::Relaxed);
+                let cache = upstream.header("x-cache").map(str::to_string);
+                let mut response = Response::json(upstream.status, upstream.body)
+                    .with_header("X-Backend", backend.addr.clone());
+                if let Some(cache) = cache {
+                    response = response.with_header("X-Cache", cache);
+                }
+                return response;
+            }
+            Err(_) => {
+                backend.upstream_errors.fetch_add(1, Ordering::Relaxed);
+                backend.record_failure(shared.config.fail_threshold);
+            }
+        }
+    }
+    fallback_solve(shared, body)
+}
+
+/// Forwards one request to backend `idx` over a pooled connection,
+/// retrying once on a fresh socket (a pooled connection may have idled
+/// out on the backend side between bursts).
+fn forward(shared: &Shared, idx: usize, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+    let backend = &shared.backends[idx];
+    let pooled = backend.pool.lock().expect("pool poisoned").pop();
+    if let Some(mut client) = pooled {
+        if let Ok(response) = client.request("POST", path, body) {
+            release(shared, idx, client);
+            return Ok(response);
+        }
+        // Stale pooled socket: drop it and retry on a fresh connection.
+    }
+    let mut client = HttpClient::connect_timeout(&backend.addr, shared.config.connect_timeout)?;
+    client.set_read_timeout(Some(shared.config.upstream_timeout))?;
+    let response = client.request("POST", path, body)?;
+    release(shared, idx, client);
+    Ok(response)
+}
+
+/// Returns a healthy connection to backend `idx`'s pool (dropped when
+/// the pool is full).
+fn release(shared: &Shared, idx: usize, client: HttpClient) {
+    let mut pool = shared.backends[idx].pool.lock().expect("pool poisoned");
+    if pool.len() < shared.config.pool_capacity {
+        pool.push(client);
+    }
+}
+
+/// Answers a `/solve` when no live backend is left.
+fn fallback_solve(shared: &Shared, body: &[u8]) -> Response {
+    match shared.config.fallback {
+        FallbackMode::Unavailable => {
+            shared.metrics.fallback_503.fetch_add(1, Ordering::Relaxed);
+            Response::json(503, error_body("no live backend")).with_header("X-Backend", "none")
+        }
+        FallbackMode::Local => {
+            shared
+                .metrics
+                .fallback_local
+                .fetch_add(1, Ordering::Relaxed);
+            let served = match shared.local.try_serve_fast(body) {
+                Ok(FastOutcome::Hit(served)) => served,
+                Ok(FastOutcome::Miss(prepared)) => match shared.local.complete_solve(*prepared) {
+                    Ok(served) => served,
+                    Err(e) => return Response::json(422, error_body(&e.to_string())),
+                },
+                Err(e) => return Response::json(400, error_body(&e.to_string())),
+            };
+            Response::json(200, served.body.to_vec())
+                .with_header("X-Cache", if served.cache_hit { "hit" } else { "miss" })
+                .with_header("X-Backend", "local")
+        }
+    }
+}
+
+/// Splits a `/solve_batch` by each game's cache key, forwards the
+/// sub-batches, and re-merges the reports in request order. A sub-batch
+/// whose backend fails (transport or non-200) falls back whole.
+fn handle_batch(shared: &Shared, body: &[u8]) -> Response {
+    shared
+        .metrics
+        .batch_requests
+        .fetch_add(1, Ordering::Relaxed);
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => return Response::json(400, error_body("request body is not valid UTF-8")),
+    };
+    let batch = match BatchRequest::decode_str(text) {
+        Ok(batch) => batch,
+        Err(e) => return Response::json(400, error_body(&e.to_string())),
+    };
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); shared.backends.len()];
+    let mut unrouted: Vec<usize> = Vec::new();
+    for (i, game) in batch.games.iter().enumerate() {
+        let key = SolveService::cache_key(game, &batch.config);
+        match shared.ring.route(fnv1a(&key), |b| {
+            shared.backends[b].alive.load(Ordering::Relaxed)
+        }) {
+            Some(idx) => groups[idx].push(i),
+            None => unrouted.push(i),
+        }
+    }
+    let mut merged: Vec<Option<Json>> = batch.games.iter().map(|_| None).collect();
+    for (idx, group) in groups.iter().enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        let sub = BatchRequest {
+            games: group.iter().map(|&i| batch.games[i].clone()).collect(),
+            config: batch.config,
+        };
+        let sub_body = sub.encode().canonical_bytes();
+        let backend = &shared.backends[idx];
+        match forward(shared, idx, "/solve_batch", &sub_body) {
+            Ok(upstream) if upstream.status == 200 => {
+                backend.record_success();
+                backend.forwarded.fetch_add(1, Ordering::Relaxed);
+                match split_reports(&upstream.body, group.len()) {
+                    Some(reports) => {
+                        for (&orig, report) in group.iter().zip(reports) {
+                            merged[orig] = Some(report);
+                        }
+                        continue;
+                    }
+                    None => {
+                        backend.upstream_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            Ok(_) => {
+                // The backend answered but refused (429/5xx): not a
+                // liveness failure, but the games still need answers.
+                backend.upstream_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                backend.upstream_errors.fetch_add(1, Ordering::Relaxed);
+                backend.record_failure(shared.config.fail_threshold);
+            }
+        }
+        unrouted.extend_from_slice(group);
+    }
+    if !unrouted.is_empty() {
+        fallback_batch(shared, &batch, &unrouted, &mut merged);
+    }
+    let reports: Vec<Json> = merged
+        .into_iter()
+        .map(|r| r.expect("every game is routed, merged, or fallen back"))
+        .collect();
+    Response::json(
+        200,
+        Json::Obj(vec![("reports".into(), Json::Arr(reports))]).canonical_bytes(),
+    )
+}
+
+/// Parses an upstream `/solve_batch` body into its per-game report
+/// values; `None` when the shape (or count) is wrong.
+fn split_reports(body: &[u8], expected: usize) -> Option<Vec<Json>> {
+    let text = std::str::from_utf8(body).ok()?;
+    let doc = Json::parse(text).ok()?;
+    let reports = doc.get("reports")?.as_arr()?;
+    (reports.len() == expected).then(|| reports.to_vec())
+}
+
+/// Answers the still-unanswered games of a batch locally (or with
+/// per-game errors under [`FallbackMode::Unavailable`]).
+fn fallback_batch(
+    shared: &Shared,
+    batch: &BatchRequest,
+    pending: &[usize],
+    merged: &mut [Option<Json>],
+) {
+    match shared.config.fallback {
+        FallbackMode::Unavailable => {
+            shared.metrics.fallback_503.fetch_add(1, Ordering::Relaxed);
+            for &i in pending {
+                merged[i] = Some(Json::Obj(vec![(
+                    "error".into(),
+                    Json::str("no live backend"),
+                )]));
+            }
+        }
+        FallbackMode::Local => {
+            shared
+                .metrics
+                .fallback_local
+                .fetch_add(1, Ordering::Relaxed);
+            let sub = BatchRequest {
+                games: pending.iter().map(|&i| batch.games[i].clone()).collect(),
+                config: batch.config,
+            };
+            let results = shared.local.solve_batch(&sub);
+            for (&orig, result) in pending.iter().zip(results) {
+                merged[orig] = Some(match result {
+                    Ok(outcome) => {
+                        let text =
+                            std::str::from_utf8(&outcome.body).expect("canonical JSON is UTF-8");
+                        Json::Obj(vec![(
+                            "report".into(),
+                            Json::parse(text).expect("cached bodies are valid JSON"),
+                        )])
+                    }
+                    Err(e) => Json::Obj(vec![("error".into(), Json::str(e.to_string()))]),
+                });
+            }
+        }
+    }
+}
+
+/// Probes every backend's `/healthz` on the configured interval.
+fn probe_loop(shared: &Shared) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        for backend in &shared.backends {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            if probe(backend, shared.config.connect_timeout) {
+                backend.record_success();
+            } else {
+                backend.record_failure(shared.config.fail_threshold);
+            }
+        }
+        let deadline = Instant::now() + shared.config.probe_interval;
+        while Instant::now() < deadline {
+            if shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+/// One `/healthz` round-trip on a fresh connection.
+fn probe(backend: &Backend, timeout: Duration) -> bool {
+    let Ok(mut client) = HttpClient::connect_timeout(&backend.addr, timeout) else {
+        return false;
+    };
+    if client.set_read_timeout(Some(timeout)).is_err() {
+        return false;
+    }
+    client
+        .request("GET", "/healthz", b"")
+        .is_ok_and(|response| response.status == 200)
+}
+
+/// The router's `GET /metrics` document, per-backend array included.
+fn metrics_json(shared: &Shared) -> Json {
+    let load = |a: &AtomicU64| Json::from_u64(a.load(Ordering::Relaxed));
+    let key_cache = shared.key_cache.stats();
+    let backends: Vec<Json> = shared
+        .backends
+        .iter()
+        .map(|b| {
+            Json::Obj(vec![
+                ("addr".into(), Json::str(b.addr.clone())),
+                ("alive".into(), Json::Bool(b.alive.load(Ordering::Relaxed))),
+                ("consecutive_failures".into(), load(&b.consecutive_failures)),
+                ("forwarded".into(), load(&b.forwarded)),
+                ("upstream_errors".into(), load(&b.upstream_errors)),
+                ("ejects".into(), load(&b.ejects)),
+                ("readmits".into(), load(&b.readmits)),
+                (
+                    "pooled_connections".into(),
+                    Json::from_u64(b.pool.lock().expect("pool poisoned").len() as u64),
+                ),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "requests_total".into(),
+            load(&shared.metrics.requests_total),
+        ),
+        (
+            "solve_requests".into(),
+            load(&shared.metrics.solve_requests),
+        ),
+        (
+            "batch_requests".into(),
+            load(&shared.metrics.batch_requests),
+        ),
+        (
+            "connections_total".into(),
+            load(&shared.metrics.connections_total),
+        ),
+        (
+            "responses".into(),
+            Json::Obj(vec![
+                ("status_2xx".into(), load(&shared.metrics.responses_2xx)),
+                ("status_4xx".into(), load(&shared.metrics.responses_4xx)),
+                ("status_5xx".into(), load(&shared.metrics.responses_5xx)),
+            ]),
+        ),
+        (
+            "fallback".into(),
+            Json::Obj(vec![
+                ("local_solves".into(), load(&shared.metrics.fallback_local)),
+                ("unavailable_503".into(), load(&shared.metrics.fallback_503)),
+            ]),
+        ),
+        (
+            "key_cache".into(),
+            Json::Obj(vec![
+                ("hits".into(), Json::from_u64(key_cache.hits)),
+                ("misses".into(), Json::from_u64(key_cache.misses)),
+                ("entries".into(), Json::from_u64(key_cache.entries as u64)),
+            ]),
+        ),
+        ("backends".into(), Json::Arr(backends)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("10.0.0.{i}:4000")).collect()
+    }
+
+    /// The full assignment of `count` deterministic key hashes.
+    fn assignment(ring: &HashRing, live: &[bool], count: u64) -> Vec<Option<usize>> {
+        (0..count)
+            .map(|i| ring.route(fnv1a(format!("key-{i}").as_bytes()), |b| live[b]))
+            .collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let backends = addrs(3);
+        let a = HashRing::new(&backends, 64);
+        let b = HashRing::new(&backends, 64);
+        let all = vec![true; 3];
+        assert_eq!(assignment(&a, &all, 1000), assignment(&b, &all, 1000));
+    }
+
+    #[test]
+    fn every_backend_owns_a_share_of_the_space() {
+        let ring = HashRing::new(&addrs(3), 64);
+        let all = vec![true; 3];
+        let mut counts = [0usize; 3];
+        for owner in assignment(&ring, &all, 3000) {
+            counts[owner.unwrap()] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            assert!(
+                count > 300,
+                "backend {i} owns {count}/3000 keys — vnodes are not spreading"
+            );
+        }
+    }
+
+    #[test]
+    fn eject_moves_only_the_ejected_arc_and_readmit_restores_it() {
+        let ring = HashRing::new(&addrs(3), 64);
+        let before = assignment(&ring, &[true, true, true], 2000);
+        let after = assignment(&ring, &[true, false, true], 2000);
+        let mut moved = 0usize;
+        for (b, a) in before.iter().zip(&after) {
+            let (b, a) = (b.unwrap(), a.unwrap());
+            if b == 1 {
+                // The ejected backend's keys must land elsewhere …
+                assert_ne!(a, 1, "a key still routes to the ejected backend");
+                moved += 1;
+            } else {
+                // … and every other key must keep its mapping exactly.
+                assert_eq!(a, b, "an unrelated arc moved on eject");
+            }
+        }
+        assert!(moved > 0, "the ejected backend owned no keys");
+        // Readmission restores the original assignment bit-for-bit.
+        let restored = assignment(&ring, &[true, true, true], 2000);
+        assert_eq!(before, restored);
+    }
+
+    #[test]
+    fn route_is_none_only_when_every_backend_is_dead() {
+        let ring = HashRing::new(&addrs(2), 16);
+        assert_eq!(ring.route(12345, |_| false), None);
+        assert!(ring.route(12345, |i| i == 1).is_some());
+        let empty: Vec<String> = Vec::new();
+        assert_eq!(HashRing::new(&empty, 16).route(1, |_| true), None);
+    }
+
+    #[test]
+    fn single_backend_owns_everything() {
+        let backends = addrs(1);
+        let ring = HashRing::new(&backends, 8);
+        for i in 0..100u64 {
+            assert_eq!(ring.route(fnv1a(&i.to_le_bytes()), |_| true), Some(0));
+        }
+    }
+}

@@ -522,6 +522,76 @@ pub fn read_response<S: BufRead>(stream: &mut S) -> io::Result<ClientResponse> {
     })
 }
 
+/// A keep-alive HTTP/1.1 client over one TCP connection: the shared
+/// transport of the load generator, the router's upstream pools, and the
+/// socket-level test suites.
+///
+/// One request is in flight at a time ([`HttpClient::request`] writes,
+/// then blocks on the response). A transport error poisons the
+/// connection — drop the client and connect a fresh one.
+#[derive(Debug)]
+pub struct HttpClient {
+    reader: std::io::BufReader<std::net::TcpStream>,
+    writer: std::net::TcpStream,
+}
+
+impl HttpClient {
+    /// Connects to `addr` (blocking, OS default timeout).
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution and connect failures.
+    pub fn connect(addr: &str) -> io::Result<HttpClient> {
+        Self::from_stream(std::net::TcpStream::connect(addr)?)
+    }
+
+    /// Connects to `addr` with a connect deadline — the router's probe
+    /// and forwarding path must not hang on a dead backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution failures, connect failures, and the timeout.
+    pub fn connect_timeout(addr: &str, timeout: std::time::Duration) -> io::Result<HttpClient> {
+        use std::net::ToSocketAddrs;
+        let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, "address resolved to nothing")
+        })?;
+        Self::from_stream(std::net::TcpStream::connect_timeout(&resolved, timeout)?)
+    }
+
+    /// Wraps an already connected stream (nodelay is enabled here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket option and clone failures.
+    pub fn from_stream(stream: std::net::TcpStream) -> io::Result<HttpClient> {
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            reader: std::io::BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Applies a read deadline to the connection (`None` blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option failure.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// Sends one keep-alive request and blocks for the response.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport failures (the connection should be discarded).
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+        write_request(&mut self.writer, method, path, body, true)?;
+        read_response(&mut self.reader)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,12 +10,22 @@
 //! that observation into a subsystem:
 //!
 //! ```text
+//!   client ──► bi-router ──(consistent-hash ring over canonical key)──►
+//!                  │                         bi-serve node 1..N, each:
+//!                  │ all dead → fallback
+//!                  ▼
+//!             local solve / 503
+//!
 //!                    reactor thread (poll-based, nonblocking)
 //!   client ──► read ──► canon_check ──► raw-byte index ──► hit: bytes out
 //!     ▲                    │ non-canonical  │ miss              (zero parse)
 //!     │                    ▼                ▼
 //!     │               decode once ──► sharded LRU cache ──► hit: bytes out
 //!     │                                     │ miss
+//!     │                                     ▼
+//!     │                            disk tier (append-only log)
+//!     │                              │ hit: promote to LRU
+//!     │                              │ miss
 //!     │                              bounded try_send ──► solver pool
 //!     │                                 │ full                 │
 //!     └── 429 + Retry-After ◄───────────┘      wake pipe +     │
@@ -40,12 +50,22 @@
 //!   pending-solve queue, endpoints `POST /solve`, `POST /solve_batch`,
 //!   `GET /metrics`, `GET /healthz`;
 //! * [`metrics`] — the relaxed-atomic counters `GET /metrics` reports,
-//!   including the reactor's zero-copy/parsed hit split.
+//!   including the reactor's zero-copy/parsed hit split;
+//! * [`persist`] — the disk-backed second cache tier: an append-only log
+//!   of canonical-request-bytes → response-bytes with CRC-framed
+//!   records, rebuilt by a torn-tail-tolerant boot scan, appended behind
+//!   the hot path — a restarted node answers its old key space warm;
+//! * [`cluster`] — the `bi-router` engine: a consistent-hash ring
+//!   (virtual nodes over the same FNV-1a key space the cache uses)
+//!   routing `/solve` bodies by canonical cache key across N `bi-serve`
+//!   backends over keep-alive upstream pools, with `/healthz` probing,
+//!   automatic eject/readmit, and batch split/re-merge.
 //!
-//! The two binaries are thin wrappers: `bi-serve` runs [`Server`];
-//! `bi-loadgen` replays seeded random-game workloads against a running
-//! server and writes `BENCH_service.json` (throughput, latency
-//! percentiles, cache-hit rate).
+//! The three binaries are thin wrappers: `bi-serve` runs [`Server`];
+//! `bi-router` runs [`Router`] in front of N of them; `bi-loadgen`
+//! replays seeded random-game workloads against a running server (or a
+//! `--targets` list, or a router) and writes `BENCH_service.json`
+//! (throughput, latency percentiles, cache-hit rate, per-status errors).
 //!
 //! [`Solver::solve_many`]: bi_core::solve::Solver::solve_many
 //!
@@ -71,15 +91,19 @@
 //! ```
 
 pub mod cache;
+pub mod cluster;
 pub mod http;
 pub mod metrics;
+pub mod persist;
 pub mod reactor;
 pub mod server;
 pub mod service;
 pub mod workload;
 
 pub use cache::{CacheConfig, CacheStats, ShardedLru};
+pub use cluster::{FallbackMode, HashRing, Router, RouterConfig, RouterHandle};
 pub use metrics::ServiceMetrics;
+pub use persist::{DiskTier, DiskTierConfig, DiskTierStats};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use service::{
     BatchRequest, FastOutcome, GameSpec, PreparedSolve, ServedResponse, SolveOutcome, SolveRequest,

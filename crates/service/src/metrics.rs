@@ -7,6 +7,7 @@ use std::time::Instant;
 use bi_util::Json;
 
 use crate::cache::CacheStats;
+use crate::persist::DiskTierStats;
 
 /// Number of log₂ buckets of [`LatencyHistogram`]: covers `0 µs` to
 /// `2³⁹ µs` (≈ 6.4 days), clamping anything larger into the last bucket.
@@ -138,6 +139,18 @@ pub struct ServiceMetrics {
     /// work a full sweep would have done; the ratio to
     /// `orbits_evaluated` is the fleet-wide orbit-reduction factor.
     pub orbit_profiles_represented: AtomicU64,
+    /// Solve jobs currently inside the solver pool (a gauge) — together
+    /// with `cfg_queue_capacity`, a router can read how close a backend
+    /// is to shedding load.
+    pub solves_in_flight: AtomicU64,
+    /// Configured pending-solve queue bound (a gauge, set at start).
+    pub cfg_queue_capacity: AtomicU64,
+    /// Configured idle keep-alive timeout in ms (a gauge, set at start).
+    pub cfg_idle_timeout_ms: AtomicU64,
+    /// Resolved solver-pool size (a gauge, set at start).
+    pub cfg_workers: AtomicU64,
+    /// Configured connection cap (a gauge, set at start).
+    pub cfg_max_connections: AtomicU64,
     /// Engine solve latency, one sample per cold engine invocation (a
     /// `POST /solve` cache miss or one `solve_many` batch of misses),
     /// whether or not the solve succeeded — cache hits never touch it,
@@ -166,6 +179,11 @@ impl Default for ServiceMetrics {
             orbit_sweeps: AtomicU64::new(0),
             orbits_evaluated: AtomicU64::new(0),
             orbit_profiles_represented: AtomicU64::new(0),
+            solves_in_flight: AtomicU64::new(0),
+            cfg_queue_capacity: AtomicU64::new(0),
+            cfg_idle_timeout_ms: AtomicU64::new(0),
+            cfg_workers: AtomicU64::new(0),
+            cfg_max_connections: AtomicU64::new(0),
             solve_us: LatencyHistogram::default(),
             start: Instant::now(),
         }
@@ -199,12 +217,29 @@ impl ServiceMetrics {
         saturating_add(&self.orbit_profiles_represented, profiles_represented);
     }
 
-    /// The `GET /metrics` document: service counters plus the cache
-    /// snapshot.
+    /// Sets the start-time configuration gauges the document reports
+    /// under `config` (the router reads them to complete its
+    /// backpressure view of each backend).
+    pub fn set_config_gauges(
+        &self,
+        queue_capacity: usize,
+        idle_timeout_ms: u64,
+        workers: usize,
+        max_connections: usize,
+    ) {
+        let store = |g: &AtomicU64, v: u64| g.store(v, Ordering::Relaxed);
+        store(&self.cfg_queue_capacity, queue_capacity as u64);
+        store(&self.cfg_idle_timeout_ms, idle_timeout_ms);
+        store(&self.cfg_workers, workers as u64);
+        store(&self.cfg_max_connections, max_connections as u64);
+    }
+
+    /// The `GET /metrics` document: service counters, the cache
+    /// snapshot, and (when the node has one) the disk tier's.
     #[must_use]
-    pub fn to_json(&self, cache: CacheStats) -> Json {
+    pub fn to_json(&self, cache: CacheStats, disk: Option<DiskTierStats>) -> Json {
         let count = |c: &AtomicU64| Json::from_u64(c.load(Ordering::Relaxed));
-        Json::Obj(vec![
+        let mut doc = vec![
             (
                 "uptime_seconds".into(),
                 Json::num(self.start.elapsed().as_secs_f64()),
@@ -219,6 +254,15 @@ impl ServiceMetrics {
             ("responses_5xx".into(), count(&self.responses_5xx)),
             ("rejected_busy".into(), count(&self.rejected_busy)),
             (
+                "config".into(),
+                Json::Obj(vec![
+                    ("queue_capacity".into(), count(&self.cfg_queue_capacity)),
+                    ("idle_timeout_ms".into(), count(&self.cfg_idle_timeout_ms)),
+                    ("workers".into(), count(&self.cfg_workers)),
+                    ("max_connections".into(), count(&self.cfg_max_connections)),
+                ]),
+            ),
+            (
                 "reactor".into(),
                 Json::Obj(vec![
                     ("open_connections".into(), count(&self.open_connections)),
@@ -226,6 +270,7 @@ impl ServiceMetrics {
                     ("zero_copy_hits".into(), count(&self.zero_copy_hits)),
                     ("parsed_hits".into(), count(&self.parsed_hits)),
                     ("backpressure_429".into(), count(&self.backpressure_429)),
+                    ("solves_in_flight".into(), count(&self.solves_in_flight)),
                 ]),
             ),
             (
@@ -251,7 +296,31 @@ impl ServiceMetrics {
                     ("capacity".into(), Json::num(cache.capacity as f64)),
                 ]),
             ),
-        ])
+        ];
+        if let Some(disk) = disk {
+            doc.push((
+                "disk".into(),
+                Json::Obj(vec![
+                    (
+                        "recovered_records".into(),
+                        Json::from_u64(disk.recovered_records),
+                    ),
+                    (
+                        "truncated_bytes".into(),
+                        Json::from_u64(disk.truncated_bytes),
+                    ),
+                    ("hits".into(), Json::from_u64(disk.hits)),
+                    ("misses".into(), Json::from_u64(disk.misses)),
+                    ("appends".into(), Json::from_u64(disk.appends)),
+                    (
+                        "dropped_appends".into(),
+                        Json::from_u64(disk.dropped_appends),
+                    ),
+                    ("entries".into(), Json::num(disk.entries as f64)),
+                ]),
+            ));
+        }
+        Json::Obj(doc)
     }
 }
 
@@ -299,14 +368,17 @@ mod tests {
     fn metrics_document_includes_solve_histogram() {
         let m = ServiceMetrics::default();
         m.solve_us.record(300);
-        let doc = m.to_json(CacheStats {
-            hits: 0,
-            misses: 0,
-            insertions: 0,
-            evictions: 0,
-            entries: 0,
-            capacity: 64,
-        });
+        let doc = m.to_json(
+            CacheStats {
+                hits: 0,
+                misses: 0,
+                insertions: 0,
+                evictions: 0,
+                entries: 0,
+                capacity: 64,
+            },
+            None,
+        );
         let solve = doc.get("solve_us").unwrap();
         assert_eq!(solve.get("count").unwrap().as_u64(), Some(1));
         assert_eq!(solve.get("p50").unwrap().as_u64(), Some(511));
@@ -323,14 +395,17 @@ mod tests {
             m.orbit_profiles_represented.load(Ordering::Relaxed),
             u64::MAX
         );
-        let doc = m.to_json(CacheStats {
-            hits: 0,
-            misses: 0,
-            insertions: 0,
-            evictions: 0,
-            entries: 0,
-            capacity: 64,
-        });
+        let doc = m.to_json(
+            CacheStats {
+                hits: 0,
+                misses: 0,
+                insertions: 0,
+                evictions: 0,
+                entries: 0,
+                capacity: 64,
+            },
+            None,
+        );
         let orbit = doc.get("orbit").unwrap();
         assert_eq!(orbit.get("sweeps").unwrap().as_u64(), Some(2));
         assert_eq!(orbit.get("orbits_evaluated").unwrap().as_u64(), Some(10));
@@ -342,7 +417,7 @@ mod tests {
         m.zero_copy_hits.fetch_add(7, Ordering::Relaxed);
         m.open_connections.fetch_add(3, Ordering::Relaxed);
         m.backpressure_429.fetch_add(1, Ordering::Relaxed);
-        let doc = m.to_json(CacheStats::default());
+        let doc = m.to_json(CacheStats::default(), None);
         let reactor = doc.get("reactor").unwrap();
         assert_eq!(reactor.get("zero_copy_hits").unwrap().as_u64(), Some(7));
         assert_eq!(reactor.get("parsed_hits").unwrap().as_u64(), Some(0));
@@ -355,14 +430,17 @@ mod tests {
     fn metrics_document_includes_cache_stats() {
         let m = ServiceMetrics::default();
         m.requests_total.fetch_add(3, Ordering::Relaxed);
-        let doc = m.to_json(CacheStats {
-            hits: 5,
-            misses: 2,
-            insertions: 2,
-            evictions: 1,
-            entries: 1,
-            capacity: 64,
-        });
+        let doc = m.to_json(
+            CacheStats {
+                hits: 5,
+                misses: 2,
+                insertions: 2,
+                evictions: 1,
+                entries: 1,
+                capacity: 64,
+            },
+            None,
+        );
         assert_eq!(doc.get("requests_total").unwrap().as_u64(), Some(3));
         let cache = doc.get("cache").unwrap();
         assert_eq!(cache.get("hits").unwrap().as_u64(), Some(5));

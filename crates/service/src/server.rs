@@ -83,6 +83,10 @@ pub struct ServerConfig {
     /// Maximum simultaneously open connections; arrivals beyond the cap
     /// are answered `503` and closed immediately.
     pub max_connections: usize,
+    /// Path of the disk-backed cache log (`None` runs memory-only). The
+    /// log is opened (and its torn tail repaired) at bind time; a
+    /// restarted node replays its old key space warm.
+    pub disk_path: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +101,7 @@ impl Default for ServerConfig {
             cache: CacheConfig::default(),
             read_timeout: Duration::from_secs(10),
             max_connections: 8192,
+            disk_path: None,
         }
     }
 }
@@ -116,7 +121,14 @@ impl Server {
     /// Returns the bind failure.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let service = Arc::new(SolveService::new(config.cache));
+        let disk = match &config.disk_path {
+            Some(path) => Some(crate::persist::DiskTier::open(
+                path,
+                crate::persist::DiskTierConfig::default(),
+            )?),
+            None => None,
+        };
+        let service = Arc::new(SolveService::with_disk(config.cache, disk));
         Ok(Server {
             listener,
             config,
@@ -153,6 +165,12 @@ impl Server {
         } else {
             self.config.workers
         };
+        self.service.metrics().set_config_gauges(
+            self.config.queue_capacity.max(1),
+            u64::try_from(self.config.read_timeout.as_millis()).unwrap_or(u64::MAX),
+            workers,
+            self.config.max_connections.max(1),
+        );
         let shutdown = Arc::new(AtomicBool::new(false));
         let (job_tx, job_rx) = sync_channel::<Job>(self.config.queue_capacity.max(1));
         let job_rx = Arc::new(Mutex::new(job_rx));
@@ -282,6 +300,10 @@ fn solver_loop(
             Err(_) => return, // reactor gone
         };
         let completion = run_job(service, job);
+        service
+            .metrics()
+            .solves_in_flight
+            .fetch_sub(1, Ordering::Relaxed);
         completions
             .lock()
             .expect("completion lock poisoned")
@@ -725,7 +747,13 @@ fn process_buffered(
 /// the bounded queue is full — backpressure, not failure.
 fn submit_job(conn: &mut Conn, service: &SolveService, job_tx: &SyncSender<Job>, job: Job) {
     match job_tx.try_send(job) {
-        Ok(()) => conn.in_flight = true,
+        Ok(()) => {
+            conn.in_flight = true;
+            service
+                .metrics()
+                .solves_in_flight
+                .fetch_add(1, Ordering::Relaxed);
+        }
         Err(TrySendError::Full(_)) => {
             service
                 .metrics()

@@ -33,6 +33,7 @@ use bi_util::{CodecError, Decode, Encode, Json};
 
 use crate::cache::{CacheConfig, CacheStats, ShardedLru};
 use crate::metrics::ServiceMetrics;
+use crate::persist::{DiskTier, DiskTierStats};
 
 /// A solvable game in either representation the solver serves.
 #[derive(Clone, Debug)]
@@ -206,19 +207,53 @@ pub struct SolveService {
     cache: ShardedLru<Arc<[u8]>>,
     /// Exact request-body bytes → response bytes, canonical bodies only.
     raw_index: ShardedLru<Arc<[u8]>>,
+    /// The second tier: LRU misses are looked up here (and promoted on a
+    /// hit); every computed report is appended behind the hot path. A
+    /// restarted node answers its old key space warm.
+    disk: Option<DiskTier>,
     metrics: ServiceMetrics,
 }
 
 impl SolveService {
     /// Creates a service with the given cache sizing (the raw-byte index
-    /// is sized identically).
+    /// is sized identically) and no disk tier.
     #[must_use]
     pub fn new(cache: CacheConfig) -> Self {
+        Self::with_disk(cache, None)
+    }
+
+    /// [`SolveService::new`] with an optional disk-backed second tier.
+    #[must_use]
+    pub fn with_disk(cache: CacheConfig, disk: Option<DiskTier>) -> Self {
         SolveService {
             cache: ShardedLru::new(cache),
             raw_index: ShardedLru::new(cache),
+            disk,
             metrics: ServiceMetrics::default(),
         }
+    }
+
+    /// The disk tier's snapshot (`None` when the node runs memory-only).
+    #[must_use]
+    pub fn disk_stats(&self) -> Option<DiskTierStats> {
+        self.disk.as_ref().map(DiskTier::stats)
+    }
+
+    /// Blocks until every disk append queued so far is durable — orderly
+    /// shutdown and the restart tests; the serving path never calls this.
+    pub fn sync_disk(&self) {
+        if let Some(disk) = &self.disk {
+            disk.sync();
+        }
+    }
+
+    /// Looks `key` up in the disk tier, promoting a hit into the LRU so
+    /// the next lookup stays in memory.
+    fn disk_lookup(&self, key: &[u8]) -> Option<Arc<[u8]>> {
+        let bytes = self.disk.as_ref()?.get(key)?;
+        let body: Arc<[u8]> = Arc::from(bytes);
+        self.cache.insert(key, Arc::clone(&body));
+        Some(body)
     }
 
     /// The service counters (the server records statuses here too).
@@ -236,7 +271,7 @@ impl SolveService {
     /// The `GET /metrics` document.
     #[must_use]
     pub fn metrics_json(&self) -> Json {
-        self.metrics.to_json(self.cache.stats())
+        self.metrics.to_json(self.cache.stats(), self.disk_stats())
     }
 
     /// The content address of a request: canonical bytes of
@@ -264,6 +299,12 @@ impl SolveService {
     pub fn solve(&self, request: &SolveRequest) -> Result<SolveOutcome, SolveError> {
         let key = Self::cache_key(&request.game, &request.config);
         if let Some(body) = self.cache.get(&key) {
+            return Ok(SolveOutcome {
+                body,
+                cache_hit: true,
+            });
+        }
+        if let Some(body) = self.disk_lookup(&key) {
             return Ok(SolveOutcome {
                 body,
                 cache_hit: true,
@@ -317,7 +358,8 @@ impl SolveService {
         let request = SolveRequest::decode_str(text)?;
         let key = Self::cache_key(&request.game, &request.config);
         let raw = canonical.then(|| body.to_vec());
-        if let Some(cached) = self.cache.get(&key) {
+        let cached = self.cache.get(&key).or_else(|| self.disk_lookup(&key));
+        if let Some(cached) = cached {
             self.metrics
                 .parsed_hits
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -379,7 +421,7 @@ impl SolveService {
         let mut ncs_misses: Vec<(usize, Vec<u8>, &BayesianNcsGame)> = Vec::new();
         for (i, game) in batch.games.iter().enumerate() {
             let key = Self::cache_key(game, &batch.config);
-            if let Some(body) = self.cache.get(&key) {
+            if let Some(body) = self.cache.get(&key).or_else(|| self.disk_lookup(&key)) {
                 results[i] = Some(Ok(SolveOutcome {
                     body,
                     cache_hit: true,
@@ -451,6 +493,11 @@ impl SolveService {
     fn insert_report(&self, key: Vec<u8>, report: &SolveReport) -> Arc<[u8]> {
         let body: Arc<[u8]> = Arc::from(report.canonical_bytes());
         self.cache.insert(&key, Arc::clone(&body));
+        if let Some(disk) = &self.disk {
+            // Write-behind: the append is queued, never blocking a
+            // solver or transport thread.
+            disk.append_shared(&key, Arc::clone(&body));
+        }
         body
     }
 }

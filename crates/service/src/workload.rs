@@ -60,6 +60,27 @@ pub fn ncs_game(seed: u64) -> GameSpec {
     GameSpec::Ncs(BayesianNcsGame::new(g, prior).expect("workload graphs are feasible"))
 }
 
+/// A deterministic *light* matrix game: 2×2 actions, 2×2 types, tiny
+/// enough that generating and solving 100k of them stays in seconds.
+/// Cluster benches use this profile so the unique-key count (which is
+/// what exercises routing and the disk tier) can be pushed far past
+/// what the heavyweight mixed profile affords.
+#[must_use]
+pub fn light_game(seed: u64) -> GameSpec {
+    let (game, _) = random_bayesian_potential_game(&[2, 2], &[2, 2], 2, derive_seed(seed, "light"));
+    GameSpec::Matrix(game)
+}
+
+/// The light workload: `size` distinct tiny matrix games, fully
+/// determined by `seed`. Every key is unique, so a replay of the same
+/// seed is an all-hits pass and a fresh seed is an all-misses pass.
+#[must_use]
+pub fn light_workload(seed: u64, size: usize) -> Vec<GameSpec> {
+    (0..size as u64)
+        .map(|i| light_game(derive_seed(seed, &format!("light{i}"))))
+        .collect()
+}
+
 /// The standard mixed workload: `size` distinct games, two thirds
 /// matrix-form and one third NCS, fully determined by `seed`.
 #[must_use]

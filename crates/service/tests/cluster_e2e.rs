@@ -1,0 +1,281 @@
+//! Cluster end-to-end tests: a real [`Router`] in front of real
+//! [`Server`] backends, all on ephemeral ports, driven over TCP.
+//!
+//! These pin the bi-cluster acceptance behaviors: routing is
+//! deterministic (same body → same backend, visible in `X-Backend`),
+//! responses through the router are byte-identical to direct solves,
+//! batches split per backend and re-merge in request order, a killed
+//! backend is ejected by its own failing traffic and its keys fail
+//! over without a 5xx, and a disk-backed server reboots warm — the
+//! whole pool replayed as byte-identical cache hits.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use bi_core::solve::{Solver, SolverConfig};
+use bi_service::http::{read_response, write_request, ClientResponse};
+use bi_service::workload::{light_workload, mixed_workload};
+use bi_service::{
+    BatchRequest, GameSpec, Router, RouterConfig, RouterHandle, Server, ServerConfig, ServerHandle,
+    SolveRequest,
+};
+use bi_util::{Encode, Json};
+
+fn start_backend() -> ServerHandle {
+    let server = Server::bind(ServerConfig {
+        workers: 1,
+        queue_capacity: 64,
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    })
+    .expect("bind backend");
+    server.start().expect("start backend")
+}
+
+/// Spins up `n` backends and a router over them.
+fn start_cluster(n: usize, config: RouterConfig) -> (Vec<ServerHandle>, RouterHandle) {
+    let backends: Vec<ServerHandle> = (0..n).map(|_| start_backend()).collect();
+    let addrs: Vec<String> = backends.iter().map(|b| b.addr().to_string()).collect();
+    let router = Router::bind(RouterConfig {
+        backends: addrs,
+        ..config
+    })
+    .expect("bind router");
+    let handle = router.start().expect("start router");
+    (backends, handle)
+}
+
+/// One request over a fresh connection.
+fn call(addr: std::net::SocketAddr, method: &str, path: &str, body: &[u8]) -> ClientResponse {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    write_request(&mut writer, method, path, body, false).expect("write request");
+    read_response(&mut reader).expect("read response")
+}
+
+fn solve_body(game: &GameSpec) -> Vec<u8> {
+    SolveRequest {
+        game: game.clone(),
+        config: SolverConfig::default(),
+    }
+    .canonical_bytes()
+}
+
+#[test]
+fn routing_is_deterministic_and_byte_identical_to_direct_solves() {
+    let (backends, router) = start_cluster(3, RouterConfig::default());
+    let games = mixed_workload(71, 9);
+    let mut owners = std::collections::BTreeSet::new();
+    for game in &games {
+        let body = solve_body(game);
+        let cold = call(router.addr(), "POST", "/solve", &body);
+        assert_eq!(cold.status, 200);
+        assert_eq!(cold.header("x-cache"), Some("miss"));
+        let owner = cold.header("x-backend").expect("owner header").to_string();
+        let warm = call(router.addr(), "POST", "/solve", &body);
+        assert_eq!(warm.status, 200);
+        assert_eq!(
+            warm.header("x-cache"),
+            Some("hit"),
+            "the rerouted key must land on the cache it warmed"
+        );
+        assert_eq!(
+            warm.header("x-backend"),
+            Some(owner.as_str()),
+            "same body must route to the same backend"
+        );
+        let direct = match game {
+            GameSpec::Matrix(g) => Solver::default().solve(g).unwrap(),
+            GameSpec::Ncs(g) => Solver::default().solve(g).unwrap(),
+        };
+        assert_eq!(cold.body, direct.canonical_bytes());
+        assert_eq!(warm.body, cold.body);
+        owners.insert(owner);
+    }
+    assert!(
+        owners.len() > 1,
+        "nine keys across three backends must spread: got {owners:?}"
+    );
+    let metrics = router.metrics_json();
+    let total_forwarded: u64 = metrics
+        .get("backends")
+        .and_then(Json::as_arr)
+        .expect("backends section")
+        .iter()
+        .map(|b| b.get("forwarded").and_then(|v| v.as_u64()).unwrap_or(0))
+        .sum();
+    assert_eq!(total_forwarded, 18, "every request was forwarded upstream");
+    router.stop();
+    for backend in backends {
+        backend.stop();
+    }
+}
+
+#[test]
+fn batches_split_per_backend_and_remerge_in_request_order() {
+    let (backends, router) = start_cluster(3, RouterConfig::default());
+    let games = mixed_workload(81, 6);
+    let body = BatchRequest {
+        games: games.clone(),
+        config: SolverConfig::default(),
+    }
+    .canonical_bytes();
+    let routed = call(router.addr(), "POST", "/solve_batch", &body);
+    assert_eq!(routed.status, 200);
+
+    // The same batch against one standalone server is the oracle: the
+    // split/re-merge must reproduce its response byte for byte.
+    let standalone = start_backend();
+    let direct = call(standalone.addr(), "POST", "/solve_batch", &body);
+    assert_eq!(direct.status, 200);
+    assert_eq!(
+        routed.body, direct.body,
+        "split-and-remerge must be invisible in the response bytes"
+    );
+    let doc = Json::parse(std::str::from_utf8(&routed.body).unwrap()).unwrap();
+    assert_eq!(doc.get("reports").unwrap().as_arr().unwrap().len(), 6);
+    standalone.stop();
+    router.stop();
+    for backend in backends {
+        backend.stop();
+    }
+}
+
+#[test]
+fn a_killed_backend_is_ejected_and_only_its_keys_move() {
+    let (mut backends, router) = start_cluster(
+        3,
+        RouterConfig {
+            fail_threshold: 1,
+            probe_interval: Duration::from_millis(50),
+            ..RouterConfig::default()
+        },
+    );
+    let games = mixed_workload(91, 9);
+    let bodies: Vec<Vec<u8>> = games.iter().map(solve_body).collect();
+    let owners: Vec<String> = bodies
+        .iter()
+        .map(|body| {
+            let response = call(router.addr(), "POST", "/solve", body);
+            assert_eq!(response.status, 200);
+            response.header("x-backend").expect("owner").to_string()
+        })
+        .collect();
+
+    // Kill the backend that owns the first key.
+    let victim = owners[0].clone();
+    let index = backends
+        .iter()
+        .position(|b| b.addr().to_string() == victim)
+        .expect("victim is a cluster backend");
+    backends.remove(index).stop();
+
+    // Every key must still answer 200 — the victim's keys fail over to
+    // a live backend (re-solved there: a miss is fine), everyone else's
+    // stay put on the cache they warmed.
+    for (body, owner) in bodies.iter().zip(&owners) {
+        let response = call(router.addr(), "POST", "/solve", body);
+        assert_eq!(
+            response.status, 200,
+            "no request may surface a 5xx while the ring heals"
+        );
+        let now = response.header("x-backend").expect("owner");
+        if owner == &victim {
+            assert_ne!(now, victim, "the dead backend must not be routed to");
+        } else {
+            assert_eq!(
+                now,
+                owner.as_str(),
+                "ejection must move only the ejected backend's arc"
+            );
+            assert_eq!(response.header("x-cache"), Some("hit"));
+        }
+    }
+    let metrics = router.metrics_json();
+    let rows = metrics.get("backends").and_then(Json::as_arr).unwrap();
+    let victim_row = rows
+        .iter()
+        .find(|row| row.get("addr").and_then(|v| v.as_str()) == Some(victim.as_str()))
+        .expect("victim row");
+    assert_eq!(victim_row.get("alive"), Some(&Json::Bool(false)));
+    assert_eq!(victim_row.get("ejects").and_then(|v| v.as_u64()), Some(1));
+    router.stop();
+    for backend in backends {
+        backend.stop();
+    }
+}
+
+/// A unique temp path per call so parallel tests never collide.
+fn temp_log(tag: &str) -> std::path::PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("bi-cluster-{}-{tag}-{n}.log", std::process::id()))
+}
+
+#[test]
+fn a_disk_backed_server_reboots_warm_and_byte_identical() {
+    let path = temp_log("warm");
+    let disk_config = ServerConfig {
+        workers: 1,
+        read_timeout: Duration::from_secs(5),
+        disk_path: Some(path.clone()),
+        ..ServerConfig::default()
+    };
+    let games = light_workload(101, 50);
+    let bodies: Vec<Vec<u8>> = games.iter().map(solve_body).collect();
+
+    // First life: solve the whole pool cold over the socket.
+    let first_run: Vec<Vec<u8>> = {
+        let handle = Server::bind(disk_config.clone())
+            .expect("bind disk-backed server")
+            .start()
+            .expect("start");
+        let responses: Vec<Vec<u8>> = bodies
+            .iter()
+            .map(|body| {
+                let response = call(handle.addr(), "POST", "/solve", body);
+                assert_eq!(response.status, 200);
+                response.body
+            })
+            .collect();
+        handle.service().sync_disk();
+        handle.stop();
+        responses
+    };
+
+    // Second life: same log, every replay must be a warm hit with the
+    // exact bytes of the first life.
+    let handle = Server::bind(disk_config)
+        .expect("rebind on the same log")
+        .start()
+        .expect("restart");
+    let mut hits = 0usize;
+    for (body, expected) in bodies.iter().zip(&first_run) {
+        let response = call(handle.addr(), "POST", "/solve", body);
+        assert_eq!(response.status, 200);
+        if response.header("x-cache") == Some("hit") {
+            hits += 1;
+        }
+        assert_eq!(
+            &response.body, expected,
+            "a disk-recovered report must be byte-identical"
+        );
+    }
+    let hit_rate = hits as f64 / bodies.len() as f64;
+    assert!(
+        hit_rate >= 0.99,
+        "warm restart must serve from the recovered log: hit rate {hit_rate}"
+    );
+    let metrics = call(handle.addr(), "GET", "/metrics", b"");
+    let doc = Json::parse(std::str::from_utf8(&metrics.body).unwrap()).unwrap();
+    let disk = doc.get("disk").expect("disk section in metrics");
+    assert_eq!(
+        disk.get("recovered_records").and_then(|v| v.as_u64()),
+        Some(bodies.len() as u64)
+    );
+    handle.stop();
+    std::fs::remove_file(&path).ok();
+}

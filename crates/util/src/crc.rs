@@ -1,0 +1,131 @@
+//! CRC-32 (IEEE 802.3) — the frame checksum of the disk cache tier.
+//!
+//! The service's append-only cache log frames every record with a CRC of
+//! its payload so a torn tail (crash mid-append) is detected on boot and
+//! truncated instead of served. The polynomial is the reflected IEEE one
+//! (`0xEDB88320`), table-driven, fully deterministic across platforms —
+//! the same properties that made FNV-1a ([`crate::hash`]) the cache's
+//! content address.
+//!
+//! # Examples
+//!
+//! ```
+//! use bi_util::crc32;
+//!
+//! // The classic check value of the IEEE polynomial.
+//! assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+//! assert_eq!(crc32(b""), 0);
+//! ```
+
+/// The reflected IEEE 802.3 polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry table of the byte-at-a-time reflected algorithm, built
+/// at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 (IEEE) of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// An incremental CRC-32 accumulator, for checksumming a frame that is
+/// written in pieces (key bytes then value bytes) without concatenating.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32 { state: !0 }
+    }
+}
+
+impl Crc32 {
+    /// A fresh accumulator.
+    #[must_use]
+    pub fn new() -> Crc32 {
+        Crc32::default()
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state >> 8) ^ TABLE[((self.state ^ u32::from(b)) & 0xFF) as usize];
+        }
+    }
+
+    /// The checksum of everything fed so far.
+    #[must_use]
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32/IEEE check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let mut acc = Crc32::new();
+        acc.update(b"key-bytes");
+        acc.update(b"");
+        acc.update(b"value-bytes");
+        assert_eq!(acc.finish(), crc32(b"key-bytesvalue-bytes"));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let frame = b"canonical-request-bytes".to_vec();
+        let good = crc32(&frame);
+        for i in 0..frame.len() {
+            let mut torn = frame.clone();
+            torn[i] ^= 0x01;
+            assert_ne!(
+                crc32(&torn),
+                good,
+                "bit flip at byte {i} must change the CRC"
+            );
+        }
+        let mut truncated = frame;
+        truncated.pop();
+        assert_ne!(crc32(&truncated), good);
+    }
+}

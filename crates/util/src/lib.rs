@@ -7,8 +7,9 @@
 //! log–log growth fitting ([`stats`]), seeded RNG construction
 //! ([`rng::seeded`]), plain-text table rendering for the experiment
 //! harnesses ([`table::TextTable`]), the canonical JSON wire codec of the
-//! solve service ([`json`]), and the FNV-1a content-address hash
-//! ([`hash`]).
+//! solve service ([`json`]), the FNV-1a content-address hash
+//! ([`hash`]), and the CRC-32 frame checksum of the disk cache tier
+//! ([`crc`]).
 //!
 //! # Examples
 //!
@@ -21,6 +22,7 @@
 //! assert_eq!(xs[0].get(), 1.0);
 //! ```
 
+pub mod crc;
 pub mod float;
 // Private module: its single item is re-exported below, and rustdoc rejects
 // a root-level module and function sharing the name `harmonic`.
@@ -31,6 +33,7 @@ pub mod rng;
 pub mod stats;
 pub mod table;
 
+pub use crc::{crc32, Crc32};
 pub use float::{approx_eq, approx_le, TotalF64, EPS};
 pub use harmonic::harmonic;
 pub use hash::{fnv1a, FnvBuildHasher};
