@@ -1,0 +1,296 @@
+//! The log₂-bucketed [`LatencyHistogram`] (moved here from
+//! `bi-service` so router and backend share one implementation) and
+//! [`StageTimings`], its per-[`Stage`] array surfaced under `"stages"`
+//! in `GET /metrics`.
+//!
+//! # The tearing fix
+//!
+//! The original histogram kept a separate `count` atomic, bumped by a
+//! third `fetch_add` in `record`; a reader interleaving with a writer
+//! could observe a `count` that disagreed with the bucket total (read
+//! `count` after the writer's bucket increment but the buckets before
+//! it, or vice versa). The fix is structural: **the count is no longer
+//! stored at all** — a [`HistogramSnapshot`] reads the buckets first
+//! and *derives* the count as their sum, so within any snapshot
+//! `count == Σ buckets[i]` holds by construction, for every possible
+//! interleaving. `sum_us` is read after the buckets and is documented
+//! as approximate (the mean can be off by the handful of samples that
+//! landed between the two reads — fine for observability, which is all
+//! this is).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bi_util::Json;
+
+use crate::span::Stage;
+
+/// Number of log₂ buckets of [`LatencyHistogram`]: covers `0 µs` to
+/// `2³⁹ µs` (≈ 6.4 days), clamping anything larger into the last bucket.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A lock-free log₂-bucketed latency histogram (relaxed atomics — the
+/// numbers are observability, not synchronization).
+///
+/// Bucket `i > 0` counts samples in `[2^(i−1), 2^i)` µs; bucket 0 counts
+/// `0 µs`. Percentile queries walk the cumulative counts and report the
+/// matched bucket's inclusive upper bound (`2^i − 1`), so quantiles are
+/// conservative within a factor of 2 — plenty to observe cold-path
+/// improvements on a running service.
+///
+/// All reads go through [`LatencyHistogram::snapshot`], which is
+/// tear-free by construction: see the module docs.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one sample, in microseconds. Two relaxed `fetch_add`s,
+    /// nothing else — there is deliberately no separate count to keep
+    /// in agreement with the buckets.
+    pub fn record(&self, micros: u64) {
+        let bucket = (u64::BITS - micros.leading_zeros()) as usize;
+        let bucket = bucket.min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram, internally consistent:
+    /// the buckets are read first and the count is their sum, so
+    /// `snapshot.count() == Σ snapshot.buckets` for every interleaving
+    /// with concurrent [`LatencyHistogram::record`] calls.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        // Buckets FIRST; sum_us after. The derived count then matches
+        // the buckets exactly, and only the mean is approximate.
+        let buckets = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        HistogramSnapshot {
+            buckets,
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of recorded samples (via a fresh snapshot).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.snapshot().count()
+    }
+
+    /// The `p`-quantile (`0.0 ..= 1.0`) as the matched bucket's upper
+    /// bound in µs, or 0 with no samples (via a fresh snapshot; take
+    /// one [`LatencyHistogram::snapshot`] yourself to query several
+    /// quantiles consistently).
+    #[must_use]
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        self.snapshot().percentile_us(p)
+    }
+
+    /// The histogram summary document: `count`, `mean_us`, and the
+    /// p50/p90/p99 bucket upper bounds — all derived from one snapshot.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        self.snapshot().to_json()
+    }
+}
+
+/// A consistent point-in-time copy of a [`LatencyHistogram`]. The
+/// count is not stored: it is the bucket sum, which is what makes the
+/// snapshot un-tearable (module docs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (bucket `i > 0` covers
+    /// `[2^(i−1), 2^i)` µs).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total microseconds recorded — read *after* the buckets, so the
+    /// derived mean is approximate under concurrent writes.
+    pub sum_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Number of samples: the bucket sum, by definition.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The `p`-quantile (`0.0 ..= 1.0`) as the matched bucket's upper
+    /// bound in µs, or 0 with no samples.
+    #[must_use]
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = (((count - 1) as f64) * p).round() as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen > rank {
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            }
+        }
+        (1u64 << (HISTOGRAM_BUCKETS - 1)) - 1
+    }
+
+    /// Mean sample in µs (approximate under concurrent writes — see
+    /// [`HistogramSnapshot::sum_us`]), or 0 with no samples.
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / count as f64
+        }
+    }
+
+    /// The summary document: `count`, `mean_us`, p50/p90/p99.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("count".into(), Json::from_u64(self.count())),
+            ("mean_us".into(), Json::num(self.mean_us())),
+            ("p50".into(), Json::from_u64(self.percentile_us(0.50))),
+            ("p90".into(), Json::from_u64(self.percentile_us(0.90))),
+            ("p99".into(), Json::from_u64(self.percentile_us(0.99))),
+        ])
+    }
+}
+
+/// One [`LatencyHistogram`] per pipeline [`Stage`] — the `"stages"`
+/// section of `GET /metrics`. Stage timings are recorded on every
+/// request regardless of tracing, so the histograms are complete while
+/// the span ring holds only the recent window.
+#[derive(Debug, Default)]
+pub struct StageTimings {
+    hists: [LatencyHistogram; Stage::COUNT],
+}
+
+impl StageTimings {
+    /// Records one sample for `stage`, in microseconds.
+    pub fn record(&self, stage: Stage, micros: u64) {
+        self.hists[stage as usize].record(micros);
+    }
+
+    /// The histogram of one stage.
+    #[must_use]
+    pub fn get(&self, stage: Stage) -> &LatencyHistogram {
+        &self.hists[stage as usize]
+    }
+
+    /// The `"stages"` document: one summary per stage, **every** stage
+    /// always present (CI asserts the schema, so the key set must not
+    /// depend on traffic).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            Stage::ALL
+                .into_iter()
+                .map(|s| (s.name().to_string(), self.get(s).to_json()))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_and_percentiles_match_the_original_semantics() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.percentile_us(0.5), 0);
+        // 90 fast samples in [64, 128) µs, 10 slow ones in [8192, 16384).
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(10_000);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.percentile_us(0.50), 127);
+        assert_eq!(h.percentile_us(0.90), 127);
+        assert_eq!(h.percentile_us(0.99), 16_383);
+        // Zero and huge samples clamp into the terminal buckets.
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 102);
+        let doc = h.to_json();
+        assert_eq!(doc.get("count").unwrap().as_u64(), Some(102));
+        assert!(doc.get("p99").is_some());
+    }
+
+    #[test]
+    fn snapshot_count_always_equals_bucket_sum() {
+        // Hammer one histogram from several threads while snapshotting;
+        // the derived count must equal the bucket sum in every snapshot
+        // (trivially true by construction) and monotonically approach
+        // the final total.
+        let h = LatencyHistogram::default();
+        const THREADS: u64 = 4;
+        const PER_THREAD: u64 = 50_000;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        h.record((t * 17 + i) % 5_000);
+                    }
+                });
+            }
+            let h = &h;
+            scope.spawn(move || {
+                let mut last = 0u64;
+                for _ in 0..200 {
+                    let snap = h.snapshot();
+                    let derived = snap.count();
+                    assert_eq!(
+                        derived,
+                        snap.buckets.iter().sum::<u64>(),
+                        "snapshot invariant broken"
+                    );
+                    assert!(derived >= last, "count went backwards");
+                    last = derived;
+                }
+            });
+        });
+        assert_eq!(h.count(), THREADS * PER_THREAD);
+    }
+
+    #[test]
+    fn stage_timings_emit_every_stage() {
+        let stages = StageTimings::default();
+        stages.record(Stage::Parse, 3);
+        stages.record(Stage::Solve, 900);
+        let doc = stages.to_json();
+        for stage in Stage::ALL {
+            let hist = doc
+                .get(stage.name())
+                .unwrap_or_else(|| panic!("stage {:?} missing from the stages document", stage));
+            assert!(hist.get("count").is_some());
+            assert!(hist.get("p99").is_some());
+        }
+        assert_eq!(
+            doc.get("parse").unwrap().get("count").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("solve").unwrap().get("p50").unwrap().as_u64(),
+            Some(1023)
+        );
+        assert_eq!(
+            doc.get("write").unwrap().get("count").unwrap().as_u64(),
+            Some(0)
+        );
+    }
+}

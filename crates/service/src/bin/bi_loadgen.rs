@@ -31,18 +31,26 @@
 //! routing. Exit status is non-zero if any request failed, if
 //! `--min-hit-rate` was given and the hot phase fell below it, or if
 //! `--max-hot-p50-us` was given and the hot median exceeded it.
+//!
+//! With `--trace`, every phase request carries a generator-minted
+//! `X-Bi-Trace` id; afterwards each target's `GET /debug/trace` window
+//! is scraped and folded into a per-stage latency breakdown (a text
+//! table on stdout, the `trace_stages` section in the report).
 
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::process::exit;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use bi_core::solve::SolverConfig;
-use bi_service::http::{read_response, write_request};
+use bi_obs::log as olog;
+use bi_service::http::{read_response, write_request, write_request_with};
 use bi_service::service::{BatchRequest, SolveRequest};
 use bi_service::workload::{light_workload, mixed_workload};
 use bi_util::rng::{derive_seed, seeded};
+use bi_util::table::TextTable;
 use bi_util::{fnv1a, Encode, Json};
 use rand::Rng;
 
@@ -69,6 +77,9 @@ OPTIONS:
                       report instead of overwriting the file
   --min-hit-rate F    fail unless the hot-phase cache-hit rate reaches F
   --max-hot-p50-us N  fail if the hot-phase median latency exceeds N µs
+  --trace             inject an X-Bi-Trace id per request, scrape each
+                      target's /debug/trace afterwards, and print a
+                      per-stage latency breakdown table
   --help              print this help
 ";
 
@@ -84,6 +95,18 @@ struct Args {
     merge_section: Option<String>,
     min_hit_rate: Option<f64>,
     max_hot_p50_us: Option<u64>,
+    trace: bool,
+}
+
+/// Monotonic counter behind [`next_trace_id`].
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh nonzero trace id: the generator's pid in the high half, a
+/// process-wide counter in the low — distinguishable from server-minted
+/// ids and unique across concurrent loadgen processes.
+fn next_trace_id() -> u64 {
+    let n = TRACE_SEQ.fetch_add(1, Ordering::Relaxed) + 1;
+    (u64::from(std::process::id()) << 32) | (n & 0xffff_ffff)
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -99,12 +122,17 @@ fn parse_args() -> Result<Args, String> {
         merge_section: None,
         min_hit_rate: None,
         max_hot_p50_us: None,
+        trace: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         if flag == "--help" {
             print!("{USAGE}");
             exit(0);
+        }
+        if flag == "--trace" {
+            parsed.trace = true;
+            continue;
         }
         let value = args
             .next()
@@ -340,10 +368,26 @@ impl Client {
         })
     }
 
-    /// Sends one request; returns `(latency_us, status, cache_hit)`.
-    fn solve(&mut self, path: &str, body: &[u8]) -> std::io::Result<(u64, u16, bool)> {
+    /// Sends one request (with an `X-Bi-Trace` header when `trace` is
+    /// set); returns `(latency_us, status, cache_hit)`.
+    fn solve(
+        &mut self,
+        path: &str,
+        body: &[u8],
+        trace: Option<u64>,
+    ) -> std::io::Result<(u64, u16, bool)> {
         let start = Instant::now();
-        write_request(&mut self.writer, "POST", path, body, true)?;
+        match trace {
+            Some(id) => write_request_with(
+                &mut self.writer,
+                "POST",
+                path,
+                body,
+                true,
+                &[("X-Bi-Trace", id.to_string())],
+            )?,
+            None => write_request(&mut self.writer, "POST", path, body, true)?,
+        }
         let response = read_response(&mut self.reader)?;
         let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
         let hit = response.header("x-cache") == Some("hit");
@@ -381,6 +425,7 @@ impl<'a> ClientSet<'a> {
         target: usize,
         path: &str,
         body: &[u8],
+        trace: Option<u64>,
     ) -> std::io::Result<(u64, u16, bool)> {
         if self.conns[target].is_none() {
             self.conns[target] = Some(Client::connect(&self.targets[target])?);
@@ -388,7 +433,7 @@ impl<'a> ClientSet<'a> {
         let result = self.conns[target]
             .as_mut()
             .expect("connection just ensured")
-            .solve(path, body);
+            .solve(path, body, trace);
         if result.is_err() {
             self.conns[target] = None;
         }
@@ -399,7 +444,11 @@ impl<'a> ClientSet<'a> {
 /// Runs one phase: `schedule[c]` is client `c`'s sequence of
 /// `(target, body)` requests; clients run concurrently, each with its
 /// own keep-alive connection per target.
-fn run_phase(targets: &[String], schedule: Vec<Vec<(usize, Arc<Vec<u8>>)>>) -> PhaseStats {
+fn run_phase(
+    targets: &[String],
+    schedule: Vec<Vec<(usize, Arc<Vec<u8>>)>>,
+    trace: bool,
+) -> PhaseStats {
     let start = Instant::now();
     let per_client: Vec<PhaseStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = schedule
@@ -409,7 +458,8 @@ fn run_phase(targets: &[String], schedule: Vec<Vec<(usize, Arc<Vec<u8>>)>>) -> P
                     let mut stats = PhaseStats::with_targets(targets.len());
                     let mut clients = ClientSet::new(targets);
                     for (target, body) in requests {
-                        let outcome = clients.solve(target, "/solve", &body);
+                        let id = trace.then(next_trace_id);
+                        let outcome = clients.solve(target, "/solve", &body, id);
                         stats.record(target, outcome);
                     }
                     stats
@@ -488,7 +538,7 @@ fn run_sweep_step(
                         barrier.wait();
                         let mut stats = PhaseStats::with_targets(set.targets.len());
                         for (target, body) in requests {
-                            let outcome = set.solve(target, "/solve", &body);
+                            let outcome = set.solve(target, "/solve", &body, None);
                             stats.record(target, outcome);
                         }
                         stats
@@ -538,18 +588,22 @@ fn main() {
     let args = match parse_args() {
         Ok(args) => args,
         Err(msg) => {
-            eprintln!("bi-loadgen: {msg}");
+            olog::error("bi-loadgen", "bad arguments", &[("detail", Json::str(msg))]);
             exit(2);
         }
     };
-    eprintln!(
-        "bi-loadgen: targets={} seed={} unique={} profile={} hot={} clients={}",
-        args.targets.join(","),
-        args.seed,
-        args.unique,
-        args.profile,
-        args.hot,
-        args.clients
+    olog::info(
+        "bi-loadgen",
+        "starting",
+        &[
+            ("targets", Json::str(args.targets.join(","))),
+            ("seed", Json::from_u64(args.seed)),
+            ("unique", Json::from_u64(args.unique as u64)),
+            ("profile", Json::str(&args.profile)),
+            ("hot", Json::from_u64(args.hot as u64)),
+            ("clients", Json::from_u64(args.clients as u64)),
+            ("trace", Json::Bool(args.trace)),
+        ],
     );
 
     // Build the workload once; request bodies are shared across clients
@@ -582,13 +636,16 @@ fn main() {
     for (i, request) in sharded.iter().enumerate() {
         cold_schedule[i % clients].push(request.clone());
     }
-    let cold = run_phase(&args.targets, cold_schedule);
-    eprintln!(
-        "bi-loadgen: cold {} req in {:.3}s ({:.0} rps, {} errors)",
-        cold.requests(),
-        cold.seconds,
-        cold.throughput_rps(),
-        cold.errors()
+    let cold = run_phase(&args.targets, cold_schedule, args.trace);
+    olog::info(
+        "bi-loadgen",
+        "cold phase done",
+        &[
+            ("requests", Json::from_u64(cold.requests() as u64)),
+            ("seconds", Json::num(cold.seconds)),
+            ("rps", Json::num(cold.throughput_rps())),
+            ("errors", Json::from_u64(cold.errors())),
+        ],
     );
 
     // Hot phase: seeded sampling over the now-cached pool.
@@ -601,19 +658,22 @@ fn main() {
                 .collect()
         })
         .collect();
-    let hot = run_phase(&args.targets, hot_schedule);
+    let hot = run_phase(&args.targets, hot_schedule, args.trace);
     let hot_hit_rate = if hot.requests() > 0 {
         hot.hits as f64 / hot.requests() as f64
     } else {
         0.0
     };
-    eprintln!(
-        "bi-loadgen: hot {} req in {:.3}s ({:.0} rps, hit rate {:.3}, {} errors)",
-        hot.requests(),
-        hot.seconds,
-        hot.throughput_rps(),
-        hot_hit_rate,
-        hot.errors()
+    olog::info(
+        "bi-loadgen",
+        "hot phase done",
+        &[
+            ("requests", Json::from_u64(hot.requests() as u64)),
+            ("seconds", Json::num(hot.seconds)),
+            ("rps", Json::num(hot.throughput_rps())),
+            ("hit_rate", Json::num(hot_hit_rate)),
+            ("errors", Json::from_u64(hot.errors())),
+        ],
     );
 
     // One batch over a slice of the pool (all cached by now). Sharded
@@ -630,7 +690,8 @@ fn main() {
     let mut batch_errors = 0u64;
     {
         let mut set = ClientSet::new(&args.targets);
-        match set.solve(batch_target, "/solve_batch", &batch_body) {
+        let id = args.trace.then(next_trace_id);
+        match set.solve(batch_target, "/solve_batch", &batch_body, id) {
             Ok((_, status, _)) => {
                 batch_ok = (200..300).contains(&status);
                 if !batch_ok {
@@ -652,14 +713,18 @@ fn main() {
         } else {
             0.0
         };
-        eprintln!(
-            "bi-loadgen: sweep {level} clients: {} req in {:.3}s ({:.0} rps, p50 {}us, p99 {}us, {} errors)",
-            step.requests(),
-            step.seconds,
-            step.throughput_rps(),
-            step.percentile_us(0.50),
-            step.percentile_us(0.99),
-            step.errors()
+        olog::info(
+            "bi-loadgen",
+            "sweep step done",
+            &[
+                ("clients", Json::from_u64(level as u64)),
+                ("requests", Json::from_u64(step.requests() as u64)),
+                ("seconds", Json::num(step.seconds)),
+                ("rps", Json::num(step.throughput_rps())),
+                ("p50_us", Json::from_u64(step.percentile_us(0.50))),
+                ("p99_us", Json::from_u64(step.percentile_us(0.99))),
+                ("errors", Json::from_u64(step.errors())),
+            ],
         );
         sweep_errors += step.errors();
         sweep_json.push(Json::Obj(vec![
@@ -691,6 +756,45 @@ fn main() {
         )
     };
 
+    // With --trace, scrape the span flight recorders and fold every
+    // stage's spans into a breakdown table (human-readable on stdout,
+    // `trace_stages` in the report).
+    let trace_stages = if args.trace {
+        let breakdown = stage_breakdown(&args.targets);
+        let mut table = TextTable::new(vec!["stage", "spans", "mean_us", "max_us"]);
+        for row in &breakdown {
+            table.add_row(vec![
+                row.stage.clone(),
+                row.spans.to_string(),
+                format!("{:.1}", row.mean_us()),
+                row.max_us.to_string(),
+            ]);
+        }
+        if table.is_empty() {
+            println!("bi-loadgen: no spans in any /debug/trace dump");
+        } else {
+            println!("bi-loadgen: per-stage span breakdown (recent window)");
+            print!("{table}");
+        }
+        Json::Obj(
+            breakdown
+                .iter()
+                .map(|row| {
+                    (
+                        row.stage.clone(),
+                        Json::Obj(vec![
+                            ("spans".into(), Json::from_u64(row.spans)),
+                            ("mean_us".into(), Json::num(row.mean_us())),
+                            ("max_us".into(), Json::from_u64(row.max_us)),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    } else {
+        Json::Null
+    };
+
     let speedup = if cold.throughput_rps() > 0.0 {
         hot.throughput_rps() / cold.throughput_rps()
     } else {
@@ -720,10 +824,18 @@ fn main() {
         ("hot_over_cold_throughput".into(), Json::num(speedup)),
         ("batch_2xx".into(), Json::Bool(batch_ok)),
         ("client_sweep".into(), Json::Arr(sweep_json)),
+        ("trace_stages".into(), trace_stages),
         ("server_metrics".into(), server_metrics),
     ]);
     if let Err(e) = write_report(&args.out, args.merge_section.as_deref(), report) {
-        eprintln!("bi-loadgen: cannot write {}: {e}", args.out);
+        olog::error(
+            "bi-loadgen",
+            "cannot write report",
+            &[
+                ("path", Json::str(&args.out)),
+                ("error", Json::str(e.to_string())),
+            ],
+        );
         exit(1);
     }
     println!(
@@ -737,22 +849,113 @@ fn main() {
 
     let total_errors = cold.errors() + hot.errors() + batch_errors + sweep_errors;
     if total_errors > 0 {
-        eprintln!("bi-loadgen: FAIL — {total_errors} request(s) failed");
+        olog::error(
+            "bi-loadgen",
+            "requests failed",
+            &[("failed", Json::from_u64(total_errors))],
+        );
         exit(1);
     }
     if let Some(min) = args.min_hit_rate {
         if hot_hit_rate < min {
-            eprintln!("bi-loadgen: FAIL — hot hit rate {hot_hit_rate:.3} < required {min:.3}");
+            olog::error(
+                "bi-loadgen",
+                "hot hit rate below threshold",
+                &[
+                    ("hit_rate", Json::num(hot_hit_rate)),
+                    ("required", Json::num(min)),
+                ],
+            );
             exit(1);
         }
     }
     if let Some(max) = args.max_hot_p50_us {
         let p50 = hot.percentile_us(0.50);
         if p50 > max {
-            eprintln!("bi-loadgen: FAIL — hot p50 {p50}us > allowed {max}us");
+            olog::error(
+                "bi-loadgen",
+                "hot p50 over budget",
+                &[
+                    ("p50_us", Json::from_u64(p50)),
+                    ("allowed_us", Json::from_u64(max)),
+                ],
+            );
             exit(1);
         }
     }
+}
+
+/// One stage's aggregate across every scraped `/debug/trace` dump.
+struct StageRow {
+    stage: String,
+    spans: u64,
+    total_us: u64,
+    max_us: u64,
+}
+
+impl StageRow {
+    fn mean_us(&self) -> f64 {
+        if self.spans == 0 {
+            0.0
+        } else {
+            self.total_us as f64 / self.spans as f64
+        }
+    }
+}
+
+/// Scrapes `/debug/trace` from every target and folds the span windows
+/// into per-stage rows, ordered by the pipeline's stage order.
+fn stage_breakdown(targets: &[String]) -> Vec<StageRow> {
+    let mut rows: Vec<StageRow> = Vec::new();
+    for addr in targets {
+        let Some(doc) = scrape_debug_trace(addr) else {
+            olog::warn(
+                "bi-loadgen",
+                "debug/trace scrape failed",
+                &[("addr", Json::str(addr))],
+            );
+            continue;
+        };
+        let Some(spans) = doc.get("spans").and_then(Json::as_arr) else {
+            continue;
+        };
+        for span in spans {
+            let Some(event) = bi_obs::SpanEvent::from_json(span) else {
+                continue;
+            };
+            let micros = event.t_end_ns.saturating_sub(event.t_start_ns) / 1_000;
+            let name = event.stage.name();
+            let row = match rows.iter_mut().find(|r| r.stage == name) {
+                Some(row) => row,
+                None => {
+                    rows.push(StageRow {
+                        stage: name.to_string(),
+                        spans: 0,
+                        total_us: 0,
+                        max_us: 0,
+                    });
+                    rows.last_mut().expect("just pushed")
+                }
+            };
+            row.spans += 1;
+            row.total_us += micros;
+            row.max_us = row.max_us.max(micros);
+        }
+    }
+    rows.sort_by_key(|row| {
+        bi_obs::Stage::ALL
+            .iter()
+            .position(|s| s.name() == row.stage)
+            .unwrap_or(usize::MAX)
+    });
+    rows
+}
+
+fn scrape_debug_trace(addr: &str) -> Option<Json> {
+    let mut client = Client::connect(addr).ok()?;
+    write_request(&mut client.writer, "GET", "/debug/trace", b"", false).ok()?;
+    let response = read_response(&mut client.reader).ok()?;
+    Json::parse(std::str::from_utf8(&response.body).ok()?).ok()
 }
 
 fn scrape_metrics(addr: &str) -> Option<Json> {

@@ -14,13 +14,19 @@
 //! ```
 //!
 //! Endpoints: `POST /solve`, `POST /solve_batch`, `GET /metrics`
-//! (router + per-backend counters), `GET /healthz`.
+//! (router + per-backend counters), `GET /healthz`, `GET /debug/trace`.
+//!
+//! Diagnostics go to stderr as JSON lines (`bi_obs::log`, level filter
+//! via `BI_LOG`); the only stdout line is the machine-readable
+//! `listening on` address that CI and the load generator parse.
 
 use std::io::Write;
 use std::process::exit;
 use std::time::Duration;
 
+use bi_obs::log as olog;
 use bi_service::{FallbackMode, Router, RouterConfig};
+use bi_util::Json;
 
 const USAGE: &str = "\
 bi-router — consistent-hash router over a bi-serve fleet
@@ -37,6 +43,8 @@ OPTIONS:
   --fail-threshold N    consecutive failures before eject (default 2)
   --timeout-secs N      idle keep-alive timeout per client connection
                         (default 10)
+  --trace-slow-us N     log the span tree of any request slower than N µs
+                        (default: off)
   --help                print this help
 ";
 
@@ -78,6 +86,9 @@ fn parse_args() -> Result<RouterConfig, String> {
             "--timeout-secs" => {
                 config.read_timeout = Duration::from_secs(parse_num(&flag, &value)? as u64);
             }
+            "--trace-slow-us" => {
+                config.trace_slow_us = Some(parse_num(&flag, &value)? as u64);
+            }
             other => return Err(format!("unknown flag {other} (see --help)")),
         }
     }
@@ -97,22 +108,39 @@ fn main() {
     let config = match parse_args() {
         Ok(config) => config,
         Err(msg) => {
-            eprintln!("bi-router: {msg}");
+            olog::error("bi-router", "bad arguments", &[("detail", Json::str(msg))]);
             exit(2);
         }
     };
-    eprintln!(
-        "bi-router: backends={} vnodes={} fallback={:?} probe={}ms threshold={}",
-        config.backends.join(","),
-        config.vnodes,
-        config.fallback,
-        config.probe_interval.as_millis(),
-        config.fail_threshold,
+    olog::info(
+        "bi-router",
+        "starting",
+        &[
+            ("backends", Json::str(config.backends.join(","))),
+            ("vnodes", Json::from_u64(config.vnodes as u64)),
+            ("fallback", Json::str(format!("{:?}", config.fallback))),
+            (
+                "probe_ms",
+                Json::from_u64(config.probe_interval.as_millis() as u64),
+            ),
+            (
+                "fail_threshold",
+                Json::from_u64(u64::from(config.fail_threshold)),
+            ),
+            (
+                "trace_slow_us",
+                config.trace_slow_us.map_or(Json::Null, Json::from_u64),
+            ),
+        ],
     );
     let router = match Router::bind(config) {
         Ok(router) => router,
         Err(e) => {
-            eprintln!("bi-router: bind failed: {e}");
+            olog::error(
+                "bi-router",
+                "bind failed",
+                &[("error", Json::str(e.to_string()))],
+            );
             exit(1);
         }
     };
@@ -122,7 +150,11 @@ fn main() {
     println!("bi-router listening on {addr}");
     std::io::stdout().flush().expect("stdout flush");
     if let Err(e) = router.run() {
-        eprintln!("bi-router: serving failed: {e}");
+        olog::error(
+            "bi-router",
+            "serving failed",
+            &[("error", Json::str(e.to_string()))],
+        );
         exit(1);
     }
 }

@@ -11,13 +11,20 @@
 //! ```
 //!
 //! Endpoints: `POST /solve`, `POST /solve_batch`, `GET /metrics`,
-//! `GET /healthz` — see the `bi_service::server` docs for wire formats.
+//! `GET /healthz`, `GET /debug/trace` — see the `bi_service::server`
+//! docs for wire formats.
+//!
+//! Diagnostics go to stderr as JSON lines (`bi_obs::log`, level filter
+//! via `BI_LOG`); the only stdout line is the machine-readable
+//! `listening on` address that CI and the load generator parse.
 
 use std::io::Write;
 use std::process::exit;
 use std::time::Duration;
 
+use bi_obs::log as olog;
 use bi_service::{Server, ServerConfig};
+use bi_util::Json;
 
 const USAGE: &str = "\
 bi-serve — concurrent Bayesian-ignorance solve service
@@ -34,6 +41,8 @@ OPTIONS:
   --timeout-secs N      idle keep-alive timeout per connection (default 10)
   --disk-cache PATH     append-only disk cache log; reboots replay it warm
                         (default: memory-only)
+  --trace-slow-us N     log the span tree of any request slower than N µs
+                        (default: off)
   --help                print this help
 ";
 
@@ -59,6 +68,9 @@ fn parse_args() -> Result<ServerConfig, String> {
                 config.read_timeout = Duration::from_secs(parse_num(&flag, &value)? as u64);
             }
             "--disk-cache" => config.disk_path = Some(value.into()),
+            "--trace-slow-us" => {
+                config.trace_slow_us = Some(parse_num(&flag, &value)? as u64);
+            }
             other => return Err(format!("unknown flag {other} (see --help)")),
         }
     }
@@ -75,27 +87,52 @@ fn main() {
     let config = match parse_args() {
         Ok(config) => config,
         Err(msg) => {
-            eprintln!("bi-serve: {msg}");
+            olog::error("bi-serve", "bad arguments", &[("detail", Json::str(msg))]);
             exit(2);
         }
     };
-    eprintln!(
-        "bi-serve: workers={} queue={} max-conns={} cache={}x{} timeout={}s disk={}",
-        config.workers,
-        config.queue_capacity,
-        config.max_connections,
-        config.cache.capacity,
-        config.cache.shards,
-        config.read_timeout.as_secs(),
-        config
-            .disk_path
-            .as_deref()
-            .map_or("none".into(), |p| p.display().to_string()),
+    olog::info(
+        "bi-serve",
+        "starting",
+        &[
+            ("workers", Json::from_u64(config.workers as u64)),
+            ("queue", Json::from_u64(config.queue_capacity as u64)),
+            (
+                "max_connections",
+                Json::from_u64(config.max_connections as u64),
+            ),
+            (
+                "cache_capacity",
+                Json::from_u64(config.cache.capacity as u64),
+            ),
+            ("cache_shards", Json::from_u64(config.cache.shards as u64)),
+            (
+                "timeout_secs",
+                Json::from_u64(config.read_timeout.as_secs()),
+            ),
+            (
+                "disk",
+                Json::str(
+                    config
+                        .disk_path
+                        .as_deref()
+                        .map_or("none".into(), |p| p.display().to_string()),
+                ),
+            ),
+            (
+                "trace_slow_us",
+                config.trace_slow_us.map_or(Json::Null, Json::from_u64),
+            ),
+        ],
     );
     let server = match Server::bind(config) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("bi-serve: bind failed: {e}");
+            olog::error(
+                "bi-serve",
+                "bind failed",
+                &[("error", Json::str(e.to_string()))],
+            );
             exit(1);
         }
     };
@@ -105,7 +142,11 @@ fn main() {
     println!("bi-serve listening on {addr}");
     std::io::stdout().flush().expect("stdout flush");
     if let Err(e) = server.run() {
-        eprintln!("bi-serve: serving failed: {e}");
+        olog::error(
+            "bi-serve",
+            "serving failed",
+            &[("error", Json::str(e.to_string()))],
+        );
         exit(1);
     }
 }

@@ -35,6 +35,15 @@
 //! waiting for the next probe cycle. Upstream connections are pooled and
 //! kept alive per backend. `/solve_batch` bodies are split by each
 //! game's key, forwarded as sub-batches, and re-merged in request order.
+//!
+//! **Tracing**: every downstream request gets a 64-bit trace id —
+//! adopted from an `X-Bi-Trace` header when present, minted otherwise —
+//! and a root `route` span. The router records `ring_lookup` and one
+//! `upstream` span per forward attempt into its [`Recorder`], and
+//! forwards the trace id plus the upstream span id (`X-Bi-Trace` /
+//! `X-Bi-Parent`) so the backend's own spans nest under this hop. The
+//! local fallback engine shares the router's recorder, so fallback
+//! solves land in the same `GET /debug/trace` dump.
 
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -43,6 +52,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bi_obs::{Recorder, Stage, StageTimings, TraceCtx};
 use bi_util::{fnv1a, Decode, Encode, Json};
 
 use crate::cache::{CacheConfig, ShardedLru};
@@ -140,6 +150,9 @@ pub struct RouterConfig {
     /// Sizing of the body-bytes → routing-hash cache (skips re-decoding
     /// hot canonical bodies).
     pub key_cache: CacheConfig,
+    /// When set, any request whose end-to-end routing time reaches this
+    /// many microseconds gets its span tree logged at `warn`.
+    pub trace_slow_us: Option<u64>,
 }
 
 impl Default for RouterConfig {
@@ -158,6 +171,7 @@ impl Default for RouterConfig {
             upstream_timeout: Duration::from_secs(30),
             pool_capacity: 8,
             key_cache: CacheConfig::default(),
+            trace_slow_us: None,
         }
     }
 }
@@ -223,6 +237,9 @@ struct RouterMetrics {
     responses_5xx: AtomicU64,
     fallback_local: AtomicU64,
     fallback_503: AtomicU64,
+    /// Per-stage latency histograms (`route`, `ring_lookup`,
+    /// `upstream`, …) — fed on every request regardless of tracing.
+    stages: StageTimings,
 }
 
 impl RouterMetrics {
@@ -244,8 +261,10 @@ struct Shared {
     metrics: RouterMetrics,
     /// Exact canonical body bytes → routing hash (skips re-decode).
     key_cache: ShardedLru<u64>,
-    /// The local-solve fallback engine.
+    /// The local-solve fallback engine (shares `recorder`).
     local: SolveService,
+    /// The span flight recorder behind `GET /debug/trace`.
+    recorder: Arc<Recorder>,
     shutdown: AtomicBool,
 }
 
@@ -266,12 +285,14 @@ impl Router {
         let ring = HashRing::new(&config.backends, config.vnodes);
         let backends = config.backends.iter().cloned().map(Backend::new).collect();
         let key_cache = ShardedLru::new(config.key_cache);
+        let recorder = Arc::new(Recorder::default());
         let shared = Arc::new(Shared {
             ring,
             backends,
             metrics: RouterMetrics::default(),
             key_cache,
-            local: SolveService::new(config.key_cache),
+            local: SolveService::with_recorder(config.key_cache, None, Arc::clone(&recorder)),
+            recorder,
             shutdown: AtomicBool::new(false),
             config,
         });
@@ -453,9 +474,28 @@ fn handle_conn(stream: &TcpStream, shared: &Shared) {
             .requests_total
             .fetch_add(1, Ordering::Relaxed);
         let keep_alive = request.keep_alive();
+        // Adopt the caller's trace id (mint one otherwise) and
+        // pre-allocate the root `route` span so the stages recorded
+        // below parent under it. Malformed header values degrade to a
+        // fresh trace, never an error.
+        let t_start = shared.recorder.now_ns();
+        let trace_id = request
+            .header("x-bi-trace")
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&id| id != 0)
+            .unwrap_or_else(|| shared.recorder.new_trace_id());
+        let parent = request
+            .header("x-bi-parent")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        let root = shared.recorder.next_span_id();
+        let ctx = TraceCtx {
+            trace_id,
+            parent: root,
+        };
         let response = match (request.method.as_str(), request.path.as_str()) {
-            ("POST", "/solve") => handle_solve(shared, &request.body),
-            ("POST", "/solve_batch") => handle_batch(shared, &request.body),
+            ("POST", "/solve") => handle_solve(shared, &request.body, ctx),
+            ("POST", "/solve_batch") => handle_batch(shared, &request.body, ctx),
             ("GET", "/healthz") => Response::json(
                 200,
                 Json::Obj(vec![("status".into(), Json::str("ok"))]).canonical_bytes(),
@@ -463,15 +503,53 @@ fn handle_conn(stream: &TcpStream, shared: &Shared) {
             ("GET", "/metrics") => {
                 Response::json(200, metrics_json(shared).to_string().into_bytes())
             }
-            (_, "/solve" | "/solve_batch" | "/healthz" | "/metrics") => {
+            ("GET", "/debug/trace") => {
+                Response::json(200, shared.recorder.to_json().to_string().into_bytes())
+            }
+            (_, "/solve" | "/solve_batch" | "/healthz" | "/metrics" | "/debug/trace") => {
                 Response::json(405, error_body("method not allowed"))
             }
             _ => Response::json(404, error_body("unknown endpoint")),
         };
         shared.metrics.record_status(response.status);
-        if response.write(&mut &*stream, keep_alive).is_err() || !keep_alive {
+        let write_failed = response.write(&mut &*stream, keep_alive).is_err();
+        finish_route(shared, trace_id, root, parent, t_start);
+        if write_failed || !keep_alive {
             return;
         }
+    }
+}
+
+/// Closes a request's root `route` span (response write included),
+/// feeds the stage histogram, and logs the whole span tree at `warn`
+/// when the request breaches the configured slow threshold.
+fn finish_route(shared: &Shared, trace_id: u64, root: u64, parent: u64, t_start: u64) {
+    let now = shared.recorder.now_ns();
+    let total_us = now.saturating_sub(t_start) / 1_000;
+    shared.metrics.stages.record(Stage::Route, total_us);
+    shared
+        .recorder
+        .record_span(root, trace_id, parent, Stage::Route, t_start, now);
+    let slow = shared
+        .config
+        .trace_slow_us
+        .is_some_and(|limit| total_us >= limit);
+    if slow && bi_obs::log::enabled(bi_obs::Level::Warn) {
+        let spans: Vec<Json> = shared
+            .recorder
+            .trace_spans(trace_id)
+            .iter()
+            .map(bi_obs::SpanEvent::to_json)
+            .collect();
+        bi_obs::log::warn(
+            "bi-router",
+            "slow request",
+            &[
+                ("trace", Json::from_u64(trace_id)),
+                ("total_us", Json::from_u64(total_us)),
+                ("spans", Json::Arr(spans)),
+            ],
+        );
     }
 }
 
@@ -497,24 +575,81 @@ fn routing_hash(shared: &Shared, body: &[u8]) -> Result<u64, Response> {
     Ok(hash)
 }
 
+/// Records `stage` ending now: histogram always, a span event only when
+/// the request carries an active trace.
+fn finish_stage(shared: &Shared, ctx: TraceCtx, stage: Stage, t0: u64) {
+    let t1 = shared.recorder.now_ns();
+    shared
+        .metrics
+        .stages
+        .record(stage, t1.saturating_sub(t0) / 1_000);
+    if ctx.active() {
+        shared
+            .recorder
+            .record(ctx.trace_id, ctx.parent, stage, t0, t1);
+    }
+}
+
+/// The `X-Bi-Trace` / `X-Bi-Parent` header pair for a forwarded hop, so
+/// the backend's spans nest under `span` in the shared trace.
+fn trace_headers(ctx: TraceCtx, span: u64) -> Vec<(&'static str, String)> {
+    if ctx.active() {
+        vec![
+            ("X-Bi-Trace", ctx.trace_id.to_string()),
+            ("X-Bi-Parent", span.to_string()),
+        ]
+    } else {
+        Vec::new()
+    }
+}
+
 /// Routes one `/solve` body: forward to the key's backend, failing over
 /// clockwise (each failure feeds the ejection counter), then fall back.
-fn handle_solve(shared: &Shared, body: &[u8]) -> Response {
+fn handle_solve(shared: &Shared, body: &[u8], ctx: TraceCtx) -> Response {
     shared
         .metrics
         .solve_requests
         .fetch_add(1, Ordering::Relaxed);
+    let t_lookup = shared.recorder.now_ns();
     let hash = match routing_hash(shared, body) {
         Ok(hash) => hash,
         Err(response) => return response,
     };
+    finish_stage(shared, ctx, Stage::RingLookup, t_lookup);
     let mut tried = vec![false; shared.backends.len()];
     while let Some(idx) = shared.ring.route(hash, |i| {
         !tried[i] && shared.backends[i].alive.load(Ordering::Relaxed)
     }) {
         tried[idx] = true;
         let backend = &shared.backends[idx];
-        match forward(shared, idx, "/solve", body) {
+        // Each attempt is its own `upstream` span; the span id is minted
+        // up front so it can ride the forwarded headers as the backend's
+        // parent.
+        let upstream_span = shared.recorder.next_span_id();
+        let t_fwd = shared.recorder.now_ns();
+        let outcome = forward(
+            shared,
+            idx,
+            "/solve",
+            body,
+            &trace_headers(ctx, upstream_span),
+        );
+        let t_done = shared.recorder.now_ns();
+        shared
+            .metrics
+            .stages
+            .record(Stage::Upstream, t_done.saturating_sub(t_fwd) / 1_000);
+        if ctx.active() {
+            shared.recorder.record_span(
+                upstream_span,
+                ctx.trace_id,
+                ctx.parent,
+                Stage::Upstream,
+                t_fwd,
+                t_done,
+            );
+        }
+        match outcome {
             Ok(upstream) => {
                 backend.record_success();
                 backend.forwarded.fetch_add(1, Ordering::Relaxed);
@@ -532,17 +667,23 @@ fn handle_solve(shared: &Shared, body: &[u8]) -> Response {
             }
         }
     }
-    fallback_solve(shared, body)
+    fallback_solve(shared, body, ctx)
 }
 
 /// Forwards one request to backend `idx` over a pooled connection,
 /// retrying once on a fresh socket (a pooled connection may have idled
 /// out on the backend side between bursts).
-fn forward(shared: &Shared, idx: usize, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
+fn forward(
+    shared: &Shared,
+    idx: usize,
+    path: &str,
+    body: &[u8],
+    extra: &[(&str, String)],
+) -> io::Result<ClientResponse> {
     let backend = &shared.backends[idx];
     let pooled = backend.pool.lock().expect("pool poisoned").pop();
     if let Some(mut client) = pooled {
-        if let Ok(response) = client.request("POST", path, body) {
+        if let Ok(response) = client.request_with("POST", path, body, extra) {
             release(shared, idx, client);
             return Ok(response);
         }
@@ -550,7 +691,7 @@ fn forward(shared: &Shared, idx: usize, path: &str, body: &[u8]) -> io::Result<C
     }
     let mut client = HttpClient::connect_timeout(&backend.addr, shared.config.connect_timeout)?;
     client.set_read_timeout(Some(shared.config.upstream_timeout))?;
-    let response = client.request("POST", path, body)?;
+    let response = client.request_with("POST", path, body, extra)?;
     release(shared, idx, client);
     Ok(response)
 }
@@ -564,8 +705,10 @@ fn release(shared: &Shared, idx: usize, client: HttpClient) {
     }
 }
 
-/// Answers a `/solve` when no live backend is left.
-fn fallback_solve(shared: &Shared, body: &[u8]) -> Response {
+/// Answers a `/solve` when no live backend is left. The local engine
+/// shares the router's recorder, so its `cache`/`solve`/`encode` spans
+/// land in the same trace as the routing stages.
+fn fallback_solve(shared: &Shared, body: &[u8], ctx: TraceCtx) -> Response {
     match shared.config.fallback {
         FallbackMode::Unavailable => {
             shared.metrics.fallback_503.fetch_add(1, Ordering::Relaxed);
@@ -576,7 +719,7 @@ fn fallback_solve(shared: &Shared, body: &[u8]) -> Response {
                 .metrics
                 .fallback_local
                 .fetch_add(1, Ordering::Relaxed);
-            let served = match shared.local.try_serve_fast(body) {
+            let served = match shared.local.try_serve_fast(body, ctx) {
                 Ok(FastOutcome::Hit(served)) => served,
                 Ok(FastOutcome::Miss(prepared)) => match shared.local.complete_solve(*prepared) {
                     Ok(served) => served,
@@ -594,7 +737,7 @@ fn fallback_solve(shared: &Shared, body: &[u8]) -> Response {
 /// Splits a `/solve_batch` by each game's cache key, forwards the
 /// sub-batches, and re-merges the reports in request order. A sub-batch
 /// whose backend fails (transport or non-200) falls back whole.
-fn handle_batch(shared: &Shared, body: &[u8]) -> Response {
+fn handle_batch(shared: &Shared, body: &[u8], ctx: TraceCtx) -> Response {
     shared
         .metrics
         .batch_requests
@@ -629,7 +772,32 @@ fn handle_batch(shared: &Shared, body: &[u8]) -> Response {
         };
         let sub_body = sub.encode().canonical_bytes();
         let backend = &shared.backends[idx];
-        match forward(shared, idx, "/solve_batch", &sub_body) {
+        // One `upstream` span per sub-batch hop, same as `/solve`.
+        let upstream_span = shared.recorder.next_span_id();
+        let t_fwd = shared.recorder.now_ns();
+        let outcome = forward(
+            shared,
+            idx,
+            "/solve_batch",
+            &sub_body,
+            &trace_headers(ctx, upstream_span),
+        );
+        let t_done = shared.recorder.now_ns();
+        shared
+            .metrics
+            .stages
+            .record(Stage::Upstream, t_done.saturating_sub(t_fwd) / 1_000);
+        if ctx.active() {
+            shared.recorder.record_span(
+                upstream_span,
+                ctx.trace_id,
+                ctx.parent,
+                Stage::Upstream,
+                t_fwd,
+                t_done,
+            );
+        }
+        match outcome {
             Ok(upstream) if upstream.status == 200 => {
                 backend.record_success();
                 backend.forwarded.fetch_add(1, Ordering::Relaxed);
@@ -815,6 +983,7 @@ fn metrics_json(shared: &Shared) -> Json {
                 ("unavailable_503".into(), load(&shared.metrics.fallback_503)),
             ]),
         ),
+        ("stages".into(), shared.metrics.stages.to_json()),
         (
             "key_cache".into(),
             Json::Obj(vec![

@@ -172,6 +172,13 @@ pub struct Head {
     pub body_len: usize,
     /// Whether the connection stays open after this exchange.
     pub keep_alive: bool,
+    /// The trace id adopted from an `X-Bi-Trace` header (decimal u64),
+    /// if the peer sent one — how a router's trace id survives the hop
+    /// into a backend. Malformed values are ignored, not errors.
+    pub trace_id: Option<u64>,
+    /// The parent span id from an `X-Bi-Parent` header (decimal u64):
+    /// the upstream span this request's root span nests under.
+    pub parent_span: Option<u64>,
 }
 
 impl Head {
@@ -224,6 +231,8 @@ pub fn parse_head(buf: &[u8]) -> Result<Option<Head>, HttpError> {
     }
     let mut body_len = 0usize;
     let mut keep_alive = true;
+    let mut trace_id = None;
+    let mut parent_span = None;
     let mut pos = line_end + 2;
     while pos < head_len - 2 {
         let rel_end = find_crlf(&head[pos..]).ok_or_else(|| bad("malformed header"))?;
@@ -246,6 +255,10 @@ pub fn parse_head(buf: &[u8]) -> Result<Option<Head>, HttpError> {
             }
         } else if name.eq_ignore_ascii_case(b"connection") {
             keep_alive = !value.eq_ignore_ascii_case(b"close");
+        } else if name.eq_ignore_ascii_case(b"x-bi-trace") {
+            trace_id = parse_decimal_u64(value);
+        } else if name.eq_ignore_ascii_case(b"x-bi-parent") {
+            parent_span = parse_decimal_u64(value);
         } else if name.eq_ignore_ascii_case(b"transfer-encoding")
             && !value.eq_ignore_ascii_case(b"identity")
         {
@@ -261,7 +274,16 @@ pub fn parse_head(buf: &[u8]) -> Result<Option<Head>, HttpError> {
         head_len,
         body_len,
         keep_alive,
+        trace_id,
+        parent_span,
     }))
+}
+
+/// A decimal `u64` header value, or `None` when malformed — trace
+/// headers are advisory, so garbage degrades to "untraced" rather than
+/// rejecting the request.
+fn parse_decimal_u64(value: &[u8]) -> Option<u64> {
+    std::str::from_utf8(value).ok()?.parse().ok()
 }
 
 /// Index just past the `\r\n\r\n` terminator, if present.
@@ -442,11 +464,34 @@ pub fn write_request<S: Write>(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_request_with(stream, method, path, body, keep_alive, &[])
+}
+
+/// [`write_request`] with extra `(name, value)` headers — how trace
+/// context (`X-Bi-Trace`, `X-Bi-Parent`) rides along a forwarded
+/// request without the router reserializing anything.
+///
+/// # Errors
+///
+/// Returns transport failures.
+pub fn write_request_with<S: Write>(
+    stream: &mut S,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra: &[(&str, String)],
+) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: bi-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: bi-serve\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
         body.len(),
     );
+    for (name, value) in extra {
+        use std::fmt::Write as _;
+        write!(head, "{name}: {value}\r\n").expect("writing to a String cannot fail");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()
@@ -588,6 +633,22 @@ impl HttpClient {
     /// Returns transport failures (the connection should be discarded).
     pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> io::Result<ClientResponse> {
         write_request(&mut self.writer, method, path, body, true)?;
+        read_response(&mut self.reader)
+    }
+
+    /// [`HttpClient::request`] with extra headers (trace propagation).
+    ///
+    /// # Errors
+    ///
+    /// Returns transport failures (the connection should be discarded).
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        extra: &[(&str, String)],
+    ) -> io::Result<ClientResponse> {
+        write_request_with(&mut self.writer, method, path, body, true, extra)?;
         read_response(&mut self.reader)
     }
 }
@@ -748,6 +809,55 @@ mod tests {
         let head = parse_head(wire).unwrap().unwrap();
         assert!(!head.keep_alive);
         assert_eq!(head.body_len, 0);
+        assert_eq!(head.trace_id, None);
+        assert_eq!(head.parent_span, None);
+    }
+
+    #[test]
+    fn incremental_parse_adopts_trace_headers() {
+        let wire =
+            b"POST /solve HTTP/1.1\r\nX-Bi-Trace: 424242\r\nx-bi-parent: 7\r\nContent-Length: 0\r\n\r\n";
+        let head = parse_head(wire).unwrap().unwrap();
+        assert_eq!(head.trace_id, Some(424_242));
+        assert_eq!(head.parent_span, Some(7));
+        // Malformed values degrade to untraced, never to an error.
+        let garbage = b"POST /solve HTTP/1.1\r\nX-Bi-Trace: zebra\r\nContent-Length: 0\r\n\r\n";
+        let head = parse_head(garbage).unwrap().unwrap();
+        assert_eq!(head.trace_id, None);
+    }
+
+    #[test]
+    fn extra_request_headers_survive_the_round_trip() {
+        let mut wire = Vec::new();
+        write_request_with(
+            &mut wire,
+            "POST",
+            "/solve",
+            b"{}",
+            true,
+            &[
+                ("X-Bi-Trace", "99".to_string()),
+                ("X-Bi-Parent", "3".to_string()),
+            ],
+        )
+        .unwrap();
+        // Visible to the blocking parser as ordinary headers…
+        let req = read_request(&mut BufReader::new(&wire[..]))
+            .unwrap()
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.header("x-bi-trace"), Some("99"));
+        assert_eq!(req.header("x-bi-parent"), Some("3"));
+        // …and to the incremental parser as adopted trace context.
+        let head = parse_head(&wire).unwrap().unwrap();
+        assert_eq!(head.trace_id, Some(99));
+        assert_eq!(head.parent_span, Some(3));
+        // Without extras the writers emit byte-identical requests.
+        let mut plain = Vec::new();
+        let mut with_empty = Vec::new();
+        write_request(&mut plain, "GET", "/healthz", b"", true).unwrap();
+        write_request_with(&mut with_empty, "GET", "/healthz", b"", true, &[]).unwrap();
+        assert_eq!(plain, with_empty);
     }
 
     #[test]

@@ -48,9 +48,10 @@
 //!   multiplexing every connection, a solver pool that only cache misses
 //!   cross into, `429` + `Retry-After` backpressure on the bounded
 //!   pending-solve queue, endpoints `POST /solve`, `POST /solve_batch`,
-//!   `GET /metrics`, `GET /healthz`;
+//!   `GET /metrics`, `GET /healthz`, `GET /debug/trace`;
 //! * [`metrics`] — the relaxed-atomic counters `GET /metrics` reports,
-//!   including the reactor's zero-copy/parsed hit split;
+//!   including the reactor's zero-copy/parsed hit split and the
+//!   per-stage latency histograms ([`bi_obs::StageTimings`]);
 //! * [`persist`] — the disk-backed second cache tier: an append-only log
 //!   of canonical-request-bytes → response-bytes with CRC-framed
 //!   records, rebuilt by a torn-tail-tolerant boot scan, appended behind
@@ -60,6 +61,14 @@
 //!   routing `/solve` bodies by canonical cache key across N `bi-serve`
 //!   backends over keep-alive upstream pools, with `/healthz` probing,
 //!   automatic eject/readmit, and batch split/re-merge.
+//!
+//! Every request is traced end to end through the `bi_obs` flight
+//! recorder: the router (or server) adopts an `X-Bi-Trace` id or mints
+//! one, stage spans (`route`/`ring_lookup`/`upstream` on the router;
+//! `request`/`parse`/`cache`/`disk_promote`/`solve`/`encode`/`write` on
+//! a backend) nest under it, and `GET /debug/trace` dumps the recent
+//! span window as JSON. The commonly needed tracing types are
+//! re-exported here as [`Recorder`], [`Stage`], and [`TraceCtx`].
 //!
 //! The three binaries are thin wrappers: `bi-serve` runs [`Server`];
 //! `bi-router` runs [`Router`] in front of N of them; `bi-loadgen`
@@ -100,6 +109,7 @@ pub mod server;
 pub mod service;
 pub mod workload;
 
+pub use bi_obs::{Recorder, SpanEvent, Stage, TraceCtx};
 pub use cache::{CacheConfig, CacheStats, ShardedLru};
 pub use cluster::{FallbackMode, HashRing, Router, RouterConfig, RouterHandle};
 pub use metrics::ServiceMetrics;

@@ -1,5 +1,10 @@
-//! Service counters and the solve-time histogram, surfaced as JSON by
+//! Service counters and the latency histograms, surfaced as JSON by
 //! `GET /metrics`.
+//!
+//! The histogram types themselves now live in [`bi_obs::hist`] (the
+//! router shares them) and are re-exported here so existing callers
+//! keep compiling; this module owns the counter set and the
+//! `GET /metrics` document shape.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -9,89 +14,7 @@ use bi_util::Json;
 use crate::cache::CacheStats;
 use crate::persist::DiskTierStats;
 
-/// Number of log₂ buckets of [`LatencyHistogram`]: covers `0 µs` to
-/// `2³⁹ µs` (≈ 6.4 days), clamping anything larger into the last bucket.
-const HISTOGRAM_BUCKETS: usize = 40;
-
-/// A lock-free log₂-bucketed latency histogram (relaxed atomics — the
-/// numbers are observability, not synchronization).
-///
-/// Bucket `i > 0` counts samples in `[2^(i−1), 2^i)` µs; bucket 0 counts
-/// `0 µs`. Percentile queries walk the cumulative counts and report the
-/// matched bucket's inclusive upper bound (`2^i − 1`), so quantiles are
-/// conservative within a factor of 2 — plenty to observe cold-path
-/// improvements on a running service.
-#[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_us: AtomicU64::new(0),
-        }
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one sample, in microseconds.
-    pub fn record(&self, micros: u64) {
-        let bucket = (u64::BITS - micros.leading_zeros()) as usize;
-        let bucket = bucket.min(HISTOGRAM_BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(micros, Ordering::Relaxed);
-    }
-
-    /// Number of recorded samples.
-    #[must_use]
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// The `p`-quantile (`0.0 ..= 1.0`) as the matched bucket's upper
-    /// bound in µs, or 0 with no samples.
-    #[must_use]
-    pub fn percentile_us(&self, p: f64) -> u64 {
-        let count = self.count();
-        if count == 0 {
-            return 0;
-        }
-        let rank = (((count - 1) as f64) * p).round() as u64;
-        let mut seen = 0u64;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen > rank {
-                return if i == 0 { 0 } else { (1u64 << i) - 1 };
-            }
-        }
-        (1u64 << (HISTOGRAM_BUCKETS - 1)) - 1
-    }
-
-    /// The histogram summary document: `count`, `mean_us`, and the
-    /// p50/p90/p99 bucket upper bounds.
-    #[must_use]
-    pub fn to_json(&self) -> Json {
-        let count = self.count();
-        let mean = if count > 0 {
-            self.sum_us.load(Ordering::Relaxed) as f64 / count as f64
-        } else {
-            0.0
-        };
-        Json::Obj(vec![
-            ("count".into(), Json::from_u64(count)),
-            ("mean_us".into(), Json::num(mean)),
-            ("p50".into(), Json::from_u64(self.percentile_us(0.50))),
-            ("p90".into(), Json::from_u64(self.percentile_us(0.90))),
-            ("p99".into(), Json::from_u64(self.percentile_us(0.99))),
-        ])
-    }
-}
+pub use bi_obs::{HistogramSnapshot, LatencyHistogram, StageTimings};
 
 /// Monotonic counters of the serving layer. All relaxed atomics — the
 /// numbers are observability, not synchronization.
@@ -156,6 +79,11 @@ pub struct ServiceMetrics {
     /// whether or not the solve succeeded — cache hits never touch it,
     /// so this is the cold-path histogram.
     pub solve_us: LatencyHistogram,
+    /// Per-pipeline-stage latency histograms (parse, cache, solve,
+    /// encode, write, disk_promote, …) — recorded on every request
+    /// whether or not its spans are still in the flight recorder, and
+    /// surfaced under `"stages"`.
+    pub stages: StageTimings,
     start: Instant,
 }
 
@@ -185,6 +113,7 @@ impl Default for ServiceMetrics {
             cfg_workers: AtomicU64::new(0),
             cfg_max_connections: AtomicU64::new(0),
             solve_us: LatencyHistogram::default(),
+            stages: StageTimings::default(),
             start: Instant::now(),
         }
     }
@@ -285,6 +214,7 @@ impl ServiceMetrics {
                 ]),
             ),
             ("solve_us".into(), self.solve_us.to_json()),
+            ("stages".into(), self.stages.to_json()),
             (
                 "cache".into(),
                 Json::Obj(vec![
@@ -382,6 +312,27 @@ mod tests {
         let solve = doc.get("solve_us").unwrap();
         assert_eq!(solve.get("count").unwrap().as_u64(), Some(1));
         assert_eq!(solve.get("p50").unwrap().as_u64(), Some(511));
+    }
+
+    #[test]
+    fn metrics_document_includes_every_stage_histogram() {
+        use bi_obs::Stage;
+        let m = ServiceMetrics::default();
+        m.stages.record(Stage::Parse, 2);
+        m.stages.record(Stage::Write, 5);
+        let doc = m.to_json(CacheStats::default(), None);
+        let stages = doc.get("stages").unwrap();
+        for stage in Stage::ALL {
+            assert!(
+                stages.get(stage.name()).is_some(),
+                "stage {} missing from /metrics",
+                stage.name()
+            );
+        }
+        assert_eq!(
+            stages.get("parse").unwrap().get("count").unwrap().as_u64(),
+            Some(1)
+        );
     }
 
     #[test]

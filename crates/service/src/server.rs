@@ -42,6 +42,16 @@
 //! | `POST /solve_batch` | many games, one config; misses go through `solve_many` |
 //! | `GET /metrics`      | service counters + reactor counters + cache stats |
 //! | `GET /healthz`      | liveness probe                                  |
+//! | `GET /debug/trace`  | the span flight recorder as JSON                |
+//!
+//! Every request is traced: the reactor adopts the trace id from an
+//! `X-Bi-Trace` header (how a router hop correlates with the backend)
+//! or mints one, records `parse`/`cache`/`encode`/`write` spans around
+//! its own work plus a root `request` span, and the solver pool
+//! records `solve`/`encode` under the same trace. Recording is a few
+//! relaxed atomic stores per stage — the zero-copy hit path stays
+//! intact. Requests slower than `--trace-slow-us` get their whole span
+//! tree logged as one JSON line.
 //!
 //! [`Solver`]: bi_core::solve::Solver
 
@@ -53,6 +63,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use bi_obs::{Stage, TraceCtx};
 use bi_util::Json;
 
 use crate::cache::CacheConfig;
@@ -87,6 +98,11 @@ pub struct ServerConfig {
     /// log is opened (and its torn tail repaired) at bind time; a
     /// restarted node replays its old key space warm.
     pub disk_path: Option<std::path::PathBuf>,
+    /// Slow-request sampling: a request whose end-to-end latency
+    /// reaches this many µs gets its full span tree logged as one JSON
+    /// line (`None` disables the sampler; spans are recorded either
+    /// way).
+    pub trace_slow_us: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +118,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             max_connections: 8192,
             disk_path: None,
+            trace_slow_us: None,
         }
     }
 }
@@ -199,6 +216,7 @@ impl Server {
             shutdown: Arc::clone(&shutdown),
             read_timeout: self.config.read_timeout,
             max_connections: self.config.max_connections.max(1),
+            trace_slow_us: self.config.trace_slow_us,
         };
         let reactor_handle = std::thread::spawn(move || reactor.run());
         Ok(ServerHandle {
@@ -278,6 +296,9 @@ enum Job {
         slot: usize,
         generation: u64,
         body: Vec<u8>,
+        /// The request's trace context — the worker records the batch
+        /// decode + solve as one `solve` span under it.
+        ctx: TraceCtx,
     },
 }
 
@@ -337,11 +358,22 @@ fn run_job(service: &SolveService, job: Job) -> Completion {
             slot,
             generation,
             body,
-        } => Completion {
-            slot,
-            generation,
-            response: handle_batch(service, &body),
-        },
+            ctx,
+        } => {
+            let t0 = service.recorder().now_ns();
+            let response = handle_batch(service, &body);
+            if ctx.active() {
+                let t1 = service.recorder().now_ns();
+                service
+                    .recorder()
+                    .record(ctx.trace_id, ctx.parent, Stage::Solve, t0, t1);
+            }
+            Completion {
+                slot,
+                generation,
+                response,
+            }
+        }
     }
 }
 
@@ -367,6 +399,27 @@ struct Conn {
     /// The peer finished sending; drop the connection once quiet.
     eof: bool,
     last_activity: Instant,
+    /// The trace of the request currently being answered, closed (root
+    /// `request` span + `write` span recorded) once its response is
+    /// fully flushed.
+    trace: Option<ConnTrace>,
+}
+
+/// Trace state of one in-progress request on a connection.
+struct ConnTrace {
+    /// The trace id (adopted from `X-Bi-Trace` or minted).
+    trace_id: u64,
+    /// The root `request` span id — pre-allocated so every stage span
+    /// can parent under it before the root itself is recorded.
+    root_span: u64,
+    /// The upstream parent span (from `X-Bi-Parent`; 0 when this node
+    /// is the trace origin).
+    parent: u64,
+    /// When the request's bytes were first seen complete (ns).
+    req_start_ns: u64,
+    /// When its response was staged (ns); 0 until then. The gap to the
+    /// final flush is the `write` span.
+    staged_ns: u64,
 }
 
 /// A slab slot: its occupant plus a generation counter so completions
@@ -398,6 +451,7 @@ struct Reactor {
     shutdown: Arc<AtomicBool>,
     read_timeout: Duration,
     max_connections: usize,
+    trace_slow_us: Option<u64>,
 }
 
 impl Reactor {
@@ -463,9 +517,23 @@ impl Reactor {
                 return;
             };
             let result = if fd.ready(POLLOUT) && !conn.out.is_empty() {
-                pump(conn, &self.service, &self.job_tx, idx, generation)
+                pump(
+                    conn,
+                    &self.service,
+                    &self.job_tx,
+                    idx,
+                    generation,
+                    self.trace_slow_us,
+                )
             } else if fd.ready(POLLIN) && !conn.in_flight && conn.out.is_empty() && !conn.eof {
-                on_readable(conn, &self.service, &self.job_tx, idx, generation)
+                on_readable(
+                    conn,
+                    &self.service,
+                    &self.job_tx,
+                    idx,
+                    generation,
+                    self.trace_slow_us,
+                )
             } else if fd.revents() & (POLLERR | POLLHUP | POLLNVAL) != 0 {
                 // An errored or hung-up peer we have nothing staged for
                 // (including one we are mid-solve for): drop it; any
@@ -513,6 +581,7 @@ impl Reactor {
                 close_after_write: false,
                 eof: false,
                 last_activity: Instant::now(),
+                trace: None,
             };
             let idx = match self.free.pop() {
                 Some(idx) => idx,
@@ -553,6 +622,7 @@ impl Reactor {
                     &self.job_tx,
                     idx,
                     completion.generation,
+                    self.trace_slow_us,
                 )
                 .unwrap_or(ConnAction::Remove)
             };
@@ -595,6 +665,7 @@ fn on_readable(
     job_tx: &SyncSender<Job>,
     slot: usize,
     generation: u64,
+    trace_slow_us: Option<u64>,
 ) -> io::Result<ConnAction> {
     let mut chunk = [0u8; READ_CHUNK];
     loop {
@@ -615,7 +686,7 @@ fn on_readable(
             Err(e) => return Err(e),
         }
     }
-    pump(conn, service, job_tx, slot, generation)
+    pump(conn, service, job_tx, slot, generation, trace_slow_us)
 }
 
 /// Drives one connection as far as it can go without blocking:
@@ -626,6 +697,7 @@ fn pump(
     job_tx: &SyncSender<Job>,
     slot: usize,
     generation: u64,
+    trace_slow_us: Option<u64>,
 ) -> io::Result<ConnAction> {
     loop {
         process_buffered(conn, service, job_tx, slot, generation);
@@ -642,10 +714,58 @@ fn pump(
         }
         conn.out.clear();
         conn.out_pos = 0;
+        finish_trace(conn, service, trace_slow_us);
         if conn.close_after_write {
             return Ok(ConnAction::Remove);
         }
         // Response delivered — loop to answer the next pipelined request.
+    }
+}
+
+/// Closes the flushed request's trace: records the `write` span (staged
+/// → fully flushed), the root `request` span covering the whole
+/// exchange, and — when the total crosses the slow threshold — logs the
+/// entire span tree as one JSON line.
+fn finish_trace(conn: &mut Conn, service: &SolveService, trace_slow_us: Option<u64>) {
+    let Some(trace) = conn.trace.take() else {
+        return;
+    };
+    let recorder = service.recorder();
+    let now = recorder.now_ns();
+    let staged = if trace.staged_ns == 0 {
+        now
+    } else {
+        trace.staged_ns
+    };
+    recorder.record(trace.trace_id, trace.root_span, Stage::Write, staged, now);
+    recorder.record_span(
+        trace.root_span,
+        trace.trace_id,
+        trace.parent,
+        Stage::Request,
+        trace.req_start_ns,
+        now,
+    );
+    let stages = &service.metrics().stages;
+    stages.record(Stage::Write, now.saturating_sub(staged) / 1_000);
+    let total_us = now.saturating_sub(trace.req_start_ns) / 1_000;
+    stages.record(Stage::Request, total_us);
+    if trace_slow_us.is_some_and(|limit| total_us >= limit)
+        && bi_obs::log::enabled(bi_obs::Level::Warn)
+    {
+        let spans = recorder.trace_spans(trace.trace_id);
+        bi_obs::log::warn(
+            "bi-serve",
+            "slow request",
+            &[
+                ("trace", Json::from_u64(trace.trace_id)),
+                ("total_us", Json::from_u64(total_us)),
+                (
+                    "spans",
+                    Json::Arr(spans.iter().map(bi_obs::SpanEvent::to_json).collect()),
+                ),
+            ],
+        );
     }
 }
 
@@ -660,6 +780,8 @@ fn process_buffered(
     generation: u64,
 ) {
     while conn.out.is_empty() && !conn.in_flight {
+        let recorder = service.recorder();
+        let t_parse = recorder.now_ns();
         let head = match parse_head(&conn.buf) {
             Ok(None) => return, // need more bytes
             Ok(Some(head)) => head,
@@ -677,16 +799,41 @@ fn process_buffered(
         let metrics = service.metrics();
         metrics.requests_total.fetch_add(1, Ordering::Relaxed);
         conn.req_keep_alive = head.keep_alive;
+        // Adopt the peer's trace id (a router hop) or mint one; the
+        // root span id is allocated now so every stage nests under it,
+        // and the root itself is recorded when the response flushes.
+        let trace_id = head.trace_id.unwrap_or_else(|| recorder.new_trace_id());
+        let root_span = recorder.next_span_id();
+        conn.trace = Some(ConnTrace {
+            trace_id,
+            root_span,
+            parent: head.parent_span.unwrap_or(0),
+            req_start_ns: t_parse,
+            staged_ns: 0,
+        });
+        let ctx = TraceCtx {
+            trace_id,
+            parent: root_span,
+        };
+        let t_parsed = recorder.now_ns();
+        recorder.record(trace_id, root_span, Stage::Parse, t_parse, t_parsed);
+        metrics
+            .stages
+            .record(Stage::Parse, t_parsed.saturating_sub(t_parse) / 1_000);
         let target = classify(&conn.buf[head.method.clone()], &conn.buf[head.path.clone()]);
         let body_range = head.head_len..total;
         match target {
             Target::Solve => {
                 metrics.solve_requests.fetch_add(1, Ordering::Relaxed);
-                match service.try_serve_fast(&conn.buf[body_range]) {
+                match service.try_serve_fast(&conn.buf[body_range], ctx) {
                     Ok(FastOutcome::Hit(served)) => {
                         let body = served.body;
                         conn.buf.drain(..total);
+                        // Staging the cached bytes is the hit path's
+                        // `encode` stage (head build + body copy).
+                        let t_enc = recorder.now_ns();
                         stage_bytes(conn, service, 200, &body, &[("X-Cache", "hit")]);
+                        service.finish_encode_stage(ctx, t_enc);
                     }
                     Ok(FastOutcome::Miss(prepared)) => {
                         conn.buf.drain(..total);
@@ -719,6 +866,7 @@ fn process_buffered(
                         slot,
                         generation,
                         body,
+                        ctx,
                     },
                 );
             }
@@ -729,6 +877,11 @@ fn process_buffered(
             Target::Metrics => {
                 conn.buf.drain(..total);
                 let body = service.metrics_json().to_string().into_bytes();
+                stage_bytes(conn, service, 200, &body, &[]);
+            }
+            Target::DebugTrace => {
+                conn.buf.drain(..total);
+                let body = service.trace_json().to_string().into_bytes();
                 stage_bytes(conn, service, 200, &body, &[]);
             }
             Target::MethodNotAllowed => {
@@ -819,6 +972,11 @@ fn stage_bytes(
     );
     conn.out.extend_from_slice(body);
     conn.out_pos = 0;
+    if let Some(trace) = &mut conn.trace {
+        if trace.staged_ns == 0 {
+            trace.staged_ns = service.recorder().now_ns();
+        }
+    }
     if !keep {
         conn.close_after_write = true;
     }
@@ -841,6 +999,7 @@ enum Target {
     Batch,
     Healthz,
     Metrics,
+    DebugTrace,
     MethodNotAllowed,
     NotFound,
 }
@@ -851,7 +1010,10 @@ fn classify(method: &[u8], path: &[u8]) -> Target {
         (b"POST", b"/solve_batch") => Target::Batch,
         (b"GET", b"/healthz") => Target::Healthz,
         (b"GET", b"/metrics") => Target::Metrics,
-        (_, b"/healthz" | b"/metrics" | b"/solve" | b"/solve_batch") => Target::MethodNotAllowed,
+        (b"GET", b"/debug/trace") => Target::DebugTrace,
+        (_, b"/healthz" | b"/metrics" | b"/debug/trace" | b"/solve" | b"/solve_batch") => {
+            Target::MethodNotAllowed
+        }
         _ => Target::NotFound,
     }
 }
@@ -930,8 +1092,10 @@ mod tests {
         assert_eq!(classify(b"POST", b"/solve_batch"), Target::Batch);
         assert_eq!(classify(b"GET", b"/healthz"), Target::Healthz);
         assert_eq!(classify(b"GET", b"/metrics"), Target::Metrics);
+        assert_eq!(classify(b"GET", b"/debug/trace"), Target::DebugTrace);
         assert_eq!(classify(b"DELETE", b"/solve"), Target::MethodNotAllowed);
         assert_eq!(classify(b"POST", b"/healthz"), Target::MethodNotAllowed);
+        assert_eq!(classify(b"POST", b"/debug/trace"), Target::MethodNotAllowed);
         assert_eq!(classify(b"GET", b"/nope"), Target::NotFound);
     }
 

@@ -28,6 +28,7 @@ use std::sync::Arc;
 use bi_core::solve::{SolveError, SolveReport, Solver, SolverConfig};
 use bi_core::BayesianGame;
 use bi_ncs::BayesianNcsGame;
+use bi_obs::{Recorder, Stage, TraceCtx};
 use bi_util::json::field;
 use bi_util::{CodecError, Decode, Encode, Json};
 
@@ -170,6 +171,9 @@ pub struct PreparedSolve {
     /// The raw body bytes when they were canonical — inserted into the
     /// raw index on success so the next byte-identical body is zero-copy.
     raw: Option<Vec<u8>>,
+    /// The trace context this miss was prepared under; the solver thread
+    /// records its `solve`/`encode` spans into the same trace.
+    ctx: TraceCtx,
 }
 
 impl PreparedSolve {
@@ -177,6 +181,12 @@ impl PreparedSolve {
     #[must_use]
     pub fn request(&self) -> &SolveRequest {
         &self.request
+    }
+
+    /// The trace context the miss carries into the solver pool.
+    #[must_use]
+    pub fn ctx(&self) -> TraceCtx {
+        self.ctx
     }
 }
 
@@ -212,6 +222,11 @@ pub struct SolveService {
     /// restarted node answers its old key space warm.
     disk: Option<DiskTier>,
     metrics: ServiceMetrics,
+    /// The span flight recorder every stage of this node records into
+    /// (`GET /debug/trace` dumps it). The router shares its recorder
+    /// with its fallback service so local-serve spans land in the same
+    /// dump as routing spans.
+    recorder: Arc<Recorder>,
 }
 
 impl SolveService {
@@ -225,11 +240,24 @@ impl SolveService {
     /// [`SolveService::new`] with an optional disk-backed second tier.
     #[must_use]
     pub fn with_disk(cache: CacheConfig, disk: Option<DiskTier>) -> Self {
+        Self::with_recorder(cache, disk, Arc::new(Recorder::default()))
+    }
+
+    /// [`SolveService::with_disk`] recording spans into a caller-owned
+    /// flight recorder (how the router and its local fallback service
+    /// share one `/debug/trace` dump).
+    #[must_use]
+    pub fn with_recorder(
+        cache: CacheConfig,
+        disk: Option<DiskTier>,
+        recorder: Arc<Recorder>,
+    ) -> Self {
         SolveService {
             cache: ShardedLru::new(cache),
             raw_index: ShardedLru::new(cache),
             disk,
             metrics: ServiceMetrics::default(),
+            recorder,
         }
     }
 
@@ -248,12 +276,47 @@ impl SolveService {
     }
 
     /// Looks `key` up in the disk tier, promoting a hit into the LRU so
-    /// the next lookup stays in memory.
-    fn disk_lookup(&self, key: &[u8]) -> Option<Arc<[u8]>> {
-        let bytes = self.disk.as_ref()?.get(key)?;
+    /// the next lookup stays in memory. A hit records the promotion as
+    /// a `disk_promote` stage (read + decompress + LRU insert).
+    fn disk_lookup(&self, key: &[u8], ctx: TraceCtx) -> Option<Arc<[u8]>> {
+        let disk = self.disk.as_ref()?;
+        let t0 = self.recorder.now_ns();
+        let bytes = disk.get(key)?;
         let body: Arc<[u8]> = Arc::from(bytes);
         self.cache.insert(key, Arc::clone(&body));
+        self.finish_stage(ctx, Stage::DiskPromote, t0);
         Some(body)
+    }
+
+    /// Closes one pipeline stage: feeds the per-stage histogram always,
+    /// and records a span when the request is traced.
+    fn finish_stage(&self, ctx: TraceCtx, stage: Stage, t0: u64) {
+        let t1 = self.recorder.now_ns();
+        self.metrics
+            .stages
+            .record(stage, t1.saturating_sub(t0) / 1_000);
+        if ctx.active() {
+            self.recorder
+                .record(ctx.trace_id, ctx.parent, stage, t0, t1);
+        }
+    }
+
+    /// Closes a transport-side `encode` stage opened at `t0` (the hit
+    /// path's response staging): histogram always, a span when traced.
+    pub fn finish_encode_stage(&self, ctx: TraceCtx, t0: u64) {
+        self.finish_stage(ctx, Stage::Encode, t0);
+    }
+
+    /// The span flight recorder this node records into.
+    #[must_use]
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// The `GET /debug/trace` document.
+    #[must_use]
+    pub fn trace_json(&self) -> Json {
+        self.recorder.to_json()
     }
 
     /// The service counters (the server records statuses here too).
@@ -304,7 +367,7 @@ impl SolveService {
                 cache_hit: true,
             });
         }
-        if let Some(body) = self.disk_lookup(&key) {
+        if let Some(body) = self.disk_lookup(&key, TraceCtx::NONE) {
             return Ok(SolveOutcome {
                 body,
                 cache_hit: true,
@@ -339,13 +402,18 @@ impl SolveService {
     ///
     /// Returns the [`CodecError`] when the body is not valid UTF-8 or
     /// fails to decode as a solve request.
-    pub fn try_serve_fast(&self, body: &[u8]) -> Result<FastOutcome, CodecError> {
+    pub fn try_serve_fast(&self, body: &[u8], ctx: TraceCtx) -> Result<FastOutcome, CodecError> {
+        // The whole lookup — raw index, decode, LRU, disk probe — is the
+        // `cache` stage of the request; the disk tier additionally
+        // records a nested `disk_promote` on a second-tier hit.
+        let t0 = self.recorder.now_ns();
         let canonical = bi_util::json::canon_check(body);
         if canonical {
             if let Some(cached) = self.raw_index.get(body) {
                 self.metrics
                     .zero_copy_hits
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.finish_stage(ctx, Stage::Cache, t0);
                 return Ok(FastOutcome::Hit(ServedResponse {
                     body: cached,
                     cache_hit: true,
@@ -358,7 +426,7 @@ impl SolveService {
         let request = SolveRequest::decode_str(text)?;
         let key = Self::cache_key(&request.game, &request.config);
         let raw = canonical.then(|| body.to_vec());
-        let cached = self.cache.get(&key).or_else(|| self.disk_lookup(&key));
+        let cached = self.cache.get(&key).or_else(|| self.disk_lookup(&key, ctx));
         if let Some(cached) = cached {
             self.metrics
                 .parsed_hits
@@ -368,16 +436,19 @@ impl SolveService {
             if let Some(raw) = &raw {
                 self.raw_index.insert(raw, Arc::clone(&cached));
             }
+            self.finish_stage(ctx, Stage::Cache, t0);
             return Ok(FastOutcome::Hit(ServedResponse {
                 body: cached,
                 cache_hit: true,
                 zero_copy: false,
             }));
         }
+        self.finish_stage(ctx, Stage::Cache, t0);
         Ok(FastOutcome::Miss(Box::new(PreparedSolve {
             request,
             key,
             raw,
+            ctx,
         })))
     }
 
@@ -388,20 +459,33 @@ impl SolveService {
     ///
     /// Returns the engine's [`SolveError`] (never cached).
     pub fn complete_solve(&self, prepared: PreparedSolve) -> Result<ServedResponse, SolveError> {
-        let PreparedSolve { request, key, raw } = prepared;
+        let PreparedSolve {
+            request,
+            key,
+            raw,
+            ctx,
+        } = prepared;
         let solver = Solver::from_config(request.config);
+        let t_solve = self.recorder.now_ns();
         let started = std::time::Instant::now();
         let result = match &request.game {
             GameSpec::Matrix(g) => solver.solve(g),
             GameSpec::Ncs(g) => solver.solve(g),
         };
         self.record_solve_time(started);
+        if ctx.active() {
+            let t1 = self.recorder.now_ns();
+            self.recorder
+                .record(ctx.trace_id, ctx.parent, Stage::Solve, t_solve, t1);
+        }
         let report = result?;
         self.record_computed(&report);
+        let t_encode = self.recorder.now_ns();
         let body = self.insert_report(key, &report);
         if let Some(raw) = &raw {
             self.raw_index.insert(raw, Arc::clone(&body));
         }
+        self.finish_stage(ctx, Stage::Encode, t_encode);
         Ok(ServedResponse {
             body,
             cache_hit: false,
@@ -421,7 +505,11 @@ impl SolveService {
         let mut ncs_misses: Vec<(usize, Vec<u8>, &BayesianNcsGame)> = Vec::new();
         for (i, game) in batch.games.iter().enumerate() {
             let key = Self::cache_key(game, &batch.config);
-            if let Some(body) = self.cache.get(&key).or_else(|| self.disk_lookup(&key)) {
+            if let Some(body) = self
+                .cache
+                .get(&key)
+                .or_else(|| self.disk_lookup(&key, TraceCtx::NONE))
+            {
                 results[i] = Some(Ok(SolveOutcome {
                     body,
                     cache_hit: true,
@@ -458,10 +546,12 @@ impl SolveService {
     }
 
     /// Feeds one engine invocation's wall-clock into the cold-path
-    /// histogram (`solve_us` in `GET /metrics`).
+    /// histogram (`solve_us` in `GET /metrics`) and the `solve` stage
+    /// histogram.
     fn record_solve_time(&self, started: std::time::Instant) {
         let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
         self.metrics.solve_us.record(micros);
+        self.metrics.stages.record(Stage::Solve, micros);
     }
 
     /// Bumps the per-solve counters for a freshly computed report,
@@ -775,7 +865,7 @@ mod tests {
         let req = request(matrix_game(12));
         let body = req.encode().canonical_bytes();
         // First sighting: decode once, miss, solve.
-        let prepared = match service.try_serve_fast(&body).unwrap() {
+        let prepared = match service.try_serve_fast(&body, TraceCtx::NONE).unwrap() {
             FastOutcome::Miss(p) => p,
             other => panic!("expected a miss, got {other:?}"),
         };
@@ -783,7 +873,7 @@ mod tests {
         assert!(!cold.cache_hit && !cold.zero_copy);
         // Second sighting of the exact same canonical bytes: answered
         // off the raw index, no parse.
-        let warm = match service.try_serve_fast(&body).unwrap() {
+        let warm = match service.try_serve_fast(&body, TraceCtx::NONE).unwrap() {
             FastOutcome::Hit(r) => r,
             other => panic!("expected a hit, got {other:?}"),
         };
@@ -793,7 +883,7 @@ mod tests {
         // the parse path — and yields byte-identical response bytes.
         let mut spaced = b" ".to_vec();
         spaced.extend_from_slice(&body);
-        let parsed = match service.try_serve_fast(&spaced).unwrap() {
+        let parsed = match service.try_serve_fast(&spaced, TraceCtx::NONE).unwrap() {
             FastOutcome::Hit(r) => r,
             other => panic!("expected a hit, got {other:?}"),
         };
@@ -817,12 +907,12 @@ mod tests {
         // index has never seen these bytes.
         service.solve(&req).unwrap();
         let body = req.encode().canonical_bytes();
-        let first = match service.try_serve_fast(&body).unwrap() {
+        let first = match service.try_serve_fast(&body, TraceCtx::NONE).unwrap() {
             FastOutcome::Hit(r) => r,
             other => panic!("expected a hit, got {other:?}"),
         };
         assert!(!first.zero_copy, "first sighting must take the parse path");
-        let second = match service.try_serve_fast(&body).unwrap() {
+        let second = match service.try_serve_fast(&body, TraceCtx::NONE).unwrap() {
             FastOutcome::Hit(r) => r,
             other => panic!("expected a hit, got {other:?}"),
         };
@@ -831,12 +921,55 @@ mod tests {
     }
 
     #[test]
+    fn traced_requests_record_cache_solve_and_encode_spans() {
+        let service = SolveService::new(CacheConfig::default());
+        let trace = service.recorder().new_trace_id();
+        let root = service.recorder().next_span_id();
+        let ctx = TraceCtx {
+            trace_id: trace,
+            parent: root,
+        };
+        let body = request(matrix_game(20)).encode().canonical_bytes();
+        let prepared = match service.try_serve_fast(&body, ctx).unwrap() {
+            FastOutcome::Miss(p) => p,
+            other => panic!("expected a miss, got {other:?}"),
+        };
+        assert_eq!(prepared.ctx(), ctx);
+        service.complete_solve(*prepared).unwrap();
+        let spans = service.recorder().trace_spans(trace);
+        let stages: Vec<&str> = spans.iter().map(|s| s.stage.name()).collect();
+        assert!(stages.contains(&"cache"), "stages: {stages:?}");
+        assert!(stages.contains(&"solve"), "stages: {stages:?}");
+        assert!(stages.contains(&"encode"), "stages: {stages:?}");
+        assert!(
+            spans.iter().all(|s| s.parent == root),
+            "every service span nests under the request root"
+        );
+        // The stage histograms fill regardless of tracing.
+        let m = service.metrics();
+        assert_eq!(m.stages.get(bi_obs::Stage::Cache).count(), 1);
+        assert_eq!(m.stages.get(bi_obs::Stage::Solve).count(), 1);
+        assert_eq!(m.stages.get(bi_obs::Stage::Encode).count(), 1);
+        // An untraced request fills histograms but records no spans.
+        let before = service.recorder().spans().len();
+        let warm = request(matrix_game(20)).encode().canonical_bytes();
+        match service.try_serve_fast(&warm, TraceCtx::NONE).unwrap() {
+            FastOutcome::Hit(r) => assert!(r.cache_hit),
+            other => panic!("expected a hit, got {other:?}"),
+        }
+        assert_eq!(service.recorder().spans().len(), before);
+        assert_eq!(m.stages.get(bi_obs::Stage::Cache).count(), 2);
+    }
+
+    #[test]
     fn fast_path_rejects_malformed_bodies_without_solving() {
         let service = SolveService::new(CacheConfig::default());
-        assert!(service.try_serve_fast(b"not json").is_err());
-        assert!(service.try_serve_fast(&[0xff, 0xfe]).is_err());
+        assert!(service.try_serve_fast(b"not json", TraceCtx::NONE).is_err());
+        assert!(service
+            .try_serve_fast(&[0xff, 0xfe], TraceCtx::NONE)
+            .is_err());
         let err = service
-            .try_serve_fast(br#"{"game":{"kind":"cubic"}}"#)
+            .try_serve_fast(br#"{"game":{"kind":"cubic"}}"#, TraceCtx::NONE)
             .unwrap_err();
         assert!(err.to_string().contains("unknown game kind"));
         assert_eq!(service.cache_stats().insertions, 0);

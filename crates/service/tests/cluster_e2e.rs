@@ -6,8 +6,10 @@
 //! responses through the router are byte-identical to direct solves,
 //! batches split per backend and re-merge in request order, a killed
 //! backend is ejected by its own failing traffic and its keys fail
-//! over without a 5xx, and a disk-backed server reboots warm — the
-//! whole pool replayed as byte-identical cache hits.
+//! over without a 5xx, a disk-backed server reboots warm — the
+//! whole pool replayed as byte-identical cache hits — and one injected
+//! `X-Bi-Trace` id stitches router and backend `/debug/trace` dumps
+//! into a single parent/child span tree.
 
 use std::io::BufReader;
 use std::net::TcpStream;
@@ -15,11 +17,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use bi_core::solve::{Solver, SolverConfig};
-use bi_service::http::{read_response, write_request, ClientResponse};
+use bi_service::http::{read_response, write_request, write_request_with, ClientResponse};
 use bi_service::workload::{light_workload, mixed_workload};
 use bi_service::{
     BatchRequest, GameSpec, Router, RouterConfig, RouterHandle, Server, ServerConfig, ServerHandle,
-    SolveRequest,
+    SolveRequest, SpanEvent, Stage,
 };
 use bi_util::{Encode, Json};
 
@@ -62,6 +64,115 @@ fn solve_body(game: &GameSpec) -> Vec<u8> {
         config: SolverConfig::default(),
     }
     .canonical_bytes()
+}
+
+/// One `/solve` over a fresh connection carrying an `X-Bi-Trace` id.
+fn call_traced(addr: std::net::SocketAddr, body: &[u8], trace_id: u64) -> ClientResponse {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    write_request_with(
+        &mut writer,
+        "POST",
+        "/solve",
+        body,
+        false,
+        &[("X-Bi-Trace", trace_id.to_string())],
+    )
+    .expect("write request");
+    read_response(&mut reader).expect("read response")
+}
+
+/// Scrapes `GET /debug/trace` and returns the spans of `trace_id`.
+fn trace_spans_of(addr: std::net::SocketAddr, trace_id: u64) -> Vec<SpanEvent> {
+    let response = call(addr, "GET", "/debug/trace", b"");
+    assert_eq!(response.status, 200);
+    let doc = Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+    doc.get("spans")
+        .and_then(Json::as_arr)
+        .expect("spans array")
+        .iter()
+        .filter_map(SpanEvent::from_json)
+        .filter(|span| span.trace_id == trace_id)
+        .collect()
+}
+
+#[test]
+fn one_trace_id_stitches_router_and_backend_span_trees() {
+    let (backends, router) = start_cluster(2, RouterConfig::default());
+    let game = &mixed_workload(111, 1)[0];
+    let body = solve_body(game);
+    let trace_id = 0xfeed_f00d_0dd5_beefu64;
+    let response = call_traced(router.addr(), &body, trace_id);
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("x-cache"), Some("miss"));
+
+    let router_spans = trace_spans_of(router.addr(), trace_id);
+    let backend_spans: Vec<SpanEvent> = backends
+        .iter()
+        .flat_map(|backend| trace_spans_of(backend.addr(), trace_id))
+        .collect();
+    let span_of = |spans: &[SpanEvent], stage: Stage| -> SpanEvent {
+        let matches: Vec<&SpanEvent> = spans.iter().filter(|s| s.stage == stage).collect();
+        assert_eq!(
+            matches.len(),
+            1,
+            "expected exactly one {} span for the trace",
+            stage.name()
+        );
+        matches[0].clone()
+    };
+
+    // Router tree: `route` is the root (no inbound parent), with
+    // `ring_lookup` and the forwarding `upstream` hop nested under it.
+    let route = span_of(&router_spans, Stage::Route);
+    assert_eq!(route.parent, 0, "no X-Bi-Parent was sent");
+    let ring = span_of(&router_spans, Stage::RingLookup);
+    let upstream = span_of(&router_spans, Stage::Upstream);
+    assert_eq!(ring.parent, route.span_id);
+    assert_eq!(upstream.parent, route.span_id);
+
+    // Backend tree: its `request` root adopted the forwarded upstream
+    // span as parent, and every serving stage nests under the root. A
+    // cold solve covers parse → cache (miss) → solve → encode → write.
+    let request = span_of(&backend_spans, Stage::Request);
+    assert_eq!(
+        request.parent, upstream.span_id,
+        "the backend root must nest under the router's upstream hop"
+    );
+    for stage in [
+        Stage::Parse,
+        Stage::Cache,
+        Stage::Solve,
+        Stage::Encode,
+        Stage::Write,
+    ] {
+        let span = span_of(&backend_spans, stage);
+        assert_eq!(
+            span.parent,
+            request.span_id,
+            "{} must nest under the backend request root",
+            stage.name()
+        );
+    }
+
+    // The acceptance bar: one id, at least five named stages, spread
+    // over the two dumps.
+    let mut stages: Vec<&str> = router_spans
+        .iter()
+        .chain(&backend_spans)
+        .map(|s| s.stage.name())
+        .collect();
+    stages.sort_unstable();
+    stages.dedup();
+    assert!(
+        stages.len() >= 5,
+        "expected >= 5 distinct stages for the trace, got {stages:?}"
+    );
+    router.stop();
+    for backend in backends {
+        backend.stop();
+    }
 }
 
 #[test]

@@ -10,6 +10,7 @@
 use bi_core::solve::{Solver, SolverConfig};
 use bi_core::BayesianGame;
 use bi_ncs::BayesianNcsGame;
+use bi_obs::TraceCtx;
 use bi_service::cache::CacheConfig;
 use bi_service::workload::mixed_workload;
 use bi_service::{FastOutcome, GameSpec, SolveRequest, SolveService};
@@ -50,7 +51,10 @@ fn respellings(body: &[u8]) -> Vec<Vec<u8>> {
 }
 
 fn served_bytes(service: &SolveService, body: &[u8]) -> (Vec<u8>, bool) {
-    match service.try_serve_fast(body).expect("body decodes") {
+    match service
+        .try_serve_fast(body, TraceCtx::NONE)
+        .expect("body decodes")
+    {
         FastOutcome::Hit(served) => (served.body.to_vec(), served.zero_copy),
         FastOutcome::Miss(prepared) => (
             service
