@@ -322,32 +322,57 @@ fn bench_orbit<M: BayesianModel>(model: &M, family: &str, repeats: u32) -> Json 
         ),
         "{family}: orbit-reduced sweep must agree bit-for-bit"
     );
-    let stats = auto_report
-        .orbit
-        .expect("orbit suites use symmetric families");
-    let reduction = stats.profiles_represented as f64 / stats.orbits_evaluated as f64;
     let speedup = if auto_secs > 0.0 {
         full_secs / auto_secs
     } else {
         0.0
     };
-    eprintln!(
-        "  {family:<28} {:>8} profiles -> {:>6} orbits  ({reduction:.1}x fewer, {speedup:.1}x faster)",
-        stats.profiles_represented, stats.orbits_evaluated
-    );
-    Json::Obj(vec![
-        ("family".into(), Json::str(family)),
-        (
-            "full_profiles".into(),
-            Json::from_u128(stats.profiles_represented),
-        ),
-        ("orbits".into(), Json::from_u128(stats.orbits_evaluated)),
-        ("group_order".into(), Json::from_u128(stats.group_order)),
-        ("reduction".into(), Json::num(reduction)),
-        ("seconds_full".into(), Json::num(full_secs)),
-        ("seconds_orbit".into(), Json::num(auto_secs)),
-        ("orbit_speedup".into(), Json::num(speedup)),
-    ])
+    // `Auto` may decline the reduction when the up-front detection
+    // checks cost more than the unreduced sweep (the k=14 matrix
+    // family used to clock an 0.13x "speedup" before that gate). A
+    // fallback run still pins the bitwise-agreement contract above;
+    // the report records it so the JSON distinguishes "reduced" from
+    // "judged not worth reducing".
+    match auto_report.orbit {
+        Some(stats) => {
+            let reduction = stats.profiles_represented as f64 / stats.orbits_evaluated as f64;
+            eprintln!(
+                "  {family:<28} {:>8} profiles -> {:>6} orbits  ({reduction:.1}x fewer, {speedup:.1}x faster)",
+                stats.profiles_represented, stats.orbits_evaluated
+            );
+            Json::Obj(vec![
+                ("family".into(), Json::str(family)),
+                ("fell_back".into(), Json::Bool(false)),
+                (
+                    "full_profiles".into(),
+                    Json::from_u128(stats.profiles_represented),
+                ),
+                ("orbits".into(), Json::from_u128(stats.orbits_evaluated)),
+                ("group_order".into(), Json::from_u128(stats.group_order)),
+                ("reduction".into(), Json::num(reduction)),
+                ("seconds_full".into(), Json::num(full_secs)),
+                ("seconds_orbit".into(), Json::num(auto_secs)),
+                ("orbit_speedup".into(), Json::num(speedup)),
+            ])
+        }
+        None => {
+            let profiles = full_report.profiles_evaluated;
+            eprintln!(
+                "  {family:<28} {profiles:>8} profiles -> full sweep (detection judged too \
+                 expensive, {speedup:.1}x vs Off)"
+            );
+            Json::Obj(vec![
+                ("family".into(), Json::str(family)),
+                ("fell_back".into(), Json::Bool(true)),
+                ("full_profiles".into(), Json::from_u128(profiles)),
+                ("orbits".into(), Json::from_u128(profiles)),
+                ("reduction".into(), Json::num(1.0)),
+                ("seconds_full".into(), Json::num(full_secs)),
+                ("seconds_orbit".into(), Json::num(auto_secs)),
+                ("orbit_speedup".into(), Json::num(speedup)),
+            ])
+        }
+    }
 }
 
 fn suite_json(representation: &str, instance: &str, rows: &[Row], speedup: f64) -> Json {

@@ -143,6 +143,24 @@ pub trait BayesianModel: Sync {
         false
     }
 
+    /// Estimated cost of **one** [`agents_interchangeable`] check, in
+    /// units comparable to one full-sweep profile evaluation.
+    ///
+    /// [`SymmetryMode::Auto`](crate::symmetry::SymmetryMode) uses this to
+    /// decide whether symmetry detection is worth running at all: when
+    /// the up-front verification work (roughly `num_agents - 1` checks)
+    /// would exceed the unreduced sweep itself, Auto skips detection and
+    /// sweeps the full space — detection overhead must never turn a
+    /// cheap solve into an expensive one. The default of `0` means
+    /// "detection is free" and always runs it; models whose check
+    /// rescans large cost tables (e.g. dense matrix games) should
+    /// return their per-check table work scaled to sweep-tick units.
+    ///
+    /// [`agents_interchangeable`]: Self::agents_interchangeable
+    fn interchangeable_check_cost(&self) -> u128 {
+        0
+    }
+
     /// Whether the slot `(agent, tau)` is interim-stable under `profile`:
     /// the played action's interim cost is (approximately) no worse than
     /// the exact best response's.

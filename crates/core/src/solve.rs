@@ -480,10 +480,26 @@ impl Solver {
                 // sweep domain to canonical orbit representatives; the
                 // budget then gates the work actually done (the orbit
                 // count), still exactly and before any sweeping.
+                //
+                // Detection itself costs up-front verification work
+                // (`agents_interchangeable` per candidate pair), so Auto
+                // first weighs that against the unreduced sweep: when
+                // the estimated check bill exceeds the full sweep, it
+                // falls back to sweeping the whole space — unless the
+                // full sweep is over budget anyway, in which case the
+                // reduction is the only path to an answer and detection
+                // always runs.
                 let symmetry = match self.symmetry {
                     SymmetryMode::Off => None,
                     SymmetryMode::Auto => {
-                        Some(Symmetry::detect(model, &space)).filter(|sym| !sym.is_trivial())
+                        let check_bill = model
+                            .interchangeable_check_cost()
+                            .saturating_mul(model.num_agents().saturating_sub(1) as u128);
+                        if check_bill < size || size > self.budget.max_profiles {
+                            Some(Symmetry::detect(model, &space)).filter(|sym| !sym.is_trivial())
+                        } else {
+                            None
+                        }
                     }
                 };
                 let sweep_size = match &symmetry {
@@ -1083,6 +1099,47 @@ mod tests {
             err,
             SolveError::BudgetExceeded { required: 4, .. }
         ));
+    }
+
+    #[test]
+    fn auto_symmetry_skips_detection_when_checks_cost_more_than_the_sweep() {
+        // The BENCH_solver.json regression family: 14 interchangeable
+        // binary agents. Verifying the 13 candidate pairs rescans 14
+        // tables of 2^14 entries each under a swapped index — several
+        // times the work of the 2^14-profile sweep — so Auto must fall
+        // back to the full sweep (orbit reporting stays `None`) rather
+        // than pay for a reduction that slows the solve down ~8x.
+        use crate::model::BayesianModel as _;
+        let game = symmetric_congestion_game(14, 2);
+        let check_bill = game
+            .interchangeable_check_cost()
+            .saturating_mul(game.num_agents() as u128 - 1);
+        assert!(
+            check_bill >= game.strategy_space_size().unwrap(),
+            "the fixture must make detection more expensive than sweeping"
+        );
+        let auto = Solver::builder()
+            .symmetry(SymmetryMode::Auto)
+            .build()
+            .solve(&game)
+            .unwrap();
+        assert_eq!(auto.orbit, None, "Auto must not pay for detection here");
+        assert_eq!(auto.profiles_evaluated, 1 << 14);
+        let full = Solver::default().solve(&game).unwrap();
+        assert_eq!(auto.measures, full.measures);
+
+        // But when the full sweep is over budget, the reduction is the
+        // only viable path, so Auto runs detection regardless of cost.
+        let gated = Solver::builder()
+            .symmetry(SymmetryMode::Auto)
+            .max_profiles(1 << 10)
+            .build()
+            .solve(&game)
+            .unwrap();
+        // 14 interchangeable binary agents: multichoose(2, 14) = 15
+        // orbits, well under the budget the full sweep busts.
+        assert_eq!(gated.profiles_evaluated, 15);
+        assert_eq!(gated.measures, full.measures);
     }
 
     #[test]

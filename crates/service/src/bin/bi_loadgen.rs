@@ -215,6 +215,7 @@ struct PhaseStats {
     errors_503: u64,
     errors_transport: u64,
     errors_other: u64,
+    retried_429: u64,
     per_target: Vec<TargetStats>,
     seconds: f64,
 }
@@ -274,6 +275,7 @@ impl PhaseStats {
         self.errors_503 += other.errors_503;
         self.errors_transport += other.errors_transport;
         self.errors_other += other.errors_other;
+        self.retried_429 += other.retried_429;
         for (mine, theirs) in self.per_target.iter_mut().zip(&other.per_target) {
             mine.requests += theirs.requests;
             mine.hits += theirs.hits;
@@ -323,6 +325,7 @@ impl PhaseStats {
                 "errors_by_cause".into(),
                 Json::Obj(vec![
                     ("status_429".into(), Json::from_u64(self.errors_429)),
+                    ("retried_429".into(), Json::from_u64(self.retried_429)),
                     ("status_503".into(), Json::from_u64(self.errors_503)),
                     ("transport".into(), Json::from_u64(self.errors_transport)),
                     ("other".into(), Json::from_u64(self.errors_other)),
@@ -369,13 +372,13 @@ impl Client {
     }
 
     /// Sends one request (with an `X-Bi-Trace` header when `trace` is
-    /// set); returns `(latency_us, status, cache_hit)`.
+    /// set); returns `(latency_us, status, cache_hit, retry_after_secs)`.
     fn solve(
         &mut self,
         path: &str,
         body: &[u8],
         trace: Option<u64>,
-    ) -> std::io::Result<(u64, u16, bool)> {
+    ) -> std::io::Result<(u64, u16, bool, Option<u64>)> {
         let start = Instant::now();
         match trace {
             Some(id) => write_request_with(
@@ -391,9 +394,20 @@ impl Client {
         let response = read_response(&mut self.reader)?;
         let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
         let hit = response.header("x-cache") == Some("hit");
-        Ok((micros, response.status, hit))
+        let retry_after = response
+            .header("retry-after")
+            .and_then(|secs| secs.trim().parse::<u64>().ok());
+        Ok((micros, response.status, hit, retry_after))
     }
 }
+
+/// Retries a 429 response grants before it counts as a terminal error.
+const RETRY_429_MAX: u32 = 2;
+/// Ceiling on the honored `Retry-After` sleep, so a pathological header
+/// cannot stall the generator.
+const RETRY_429_CAP_MS: u64 = 500;
+/// Sleep before retrying a 429 that carried no `Retry-After` header.
+const RETRY_429_DEFAULT_MS: u64 = 25;
 
 /// One client thread's keep-alive connections, one slot per target,
 /// connected lazily and dropped on transport error so the next request
@@ -420,13 +434,42 @@ impl<'a> ClientSet<'a> {
         Ok(())
     }
 
+    /// One solve with shed-load handling: a 429 is retried up to
+    /// [`RETRY_429_MAX`] times, honoring the server's `Retry-After`
+    /// header (capped at [`RETRY_429_CAP_MS`]); each retry bumps
+    /// `retried` so the report separates absorbed backpressure from
+    /// terminal 429s.
     fn solve(
         &mut self,
         target: usize,
         path: &str,
         body: &[u8],
         trace: Option<u64>,
+        retried: &mut u64,
     ) -> std::io::Result<(u64, u16, bool)> {
+        let mut attempts_left = RETRY_429_MAX;
+        loop {
+            let (micros, status, hit, retry_after) = self.solve_once(target, path, body, trace)?;
+            if status != 429 || attempts_left == 0 {
+                return Ok((micros, status, hit));
+            }
+            attempts_left -= 1;
+            *retried += 1;
+            let wait_ms = retry_after
+                .map(|secs| secs.saturating_mul(1000))
+                .unwrap_or(RETRY_429_DEFAULT_MS)
+                .min(RETRY_429_CAP_MS);
+            std::thread::sleep(std::time::Duration::from_millis(wait_ms));
+        }
+    }
+
+    fn solve_once(
+        &mut self,
+        target: usize,
+        path: &str,
+        body: &[u8],
+        trace: Option<u64>,
+    ) -> std::io::Result<(u64, u16, bool, Option<u64>)> {
         if self.conns[target].is_none() {
             self.conns[target] = Some(Client::connect(&self.targets[target])?);
         }
@@ -459,7 +502,8 @@ fn run_phase(
                     let mut clients = ClientSet::new(targets);
                     for (target, body) in requests {
                         let id = trace.then(next_trace_id);
-                        let outcome = clients.solve(target, "/solve", &body, id);
+                        let outcome =
+                            clients.solve(target, "/solve", &body, id, &mut stats.retried_429);
                         stats.record(target, outcome);
                     }
                     stats
@@ -538,7 +582,8 @@ fn run_sweep_step(
                         barrier.wait();
                         let mut stats = PhaseStats::with_targets(set.targets.len());
                         for (target, body) in requests {
-                            let outcome = set.solve(target, "/solve", &body, None);
+                            let outcome =
+                                set.solve(target, "/solve", &body, None, &mut stats.retried_429);
                             stats.record(target, outcome);
                         }
                         stats
@@ -691,7 +736,14 @@ fn main() {
     {
         let mut set = ClientSet::new(&args.targets);
         let id = args.trace.then(next_trace_id);
-        match set.solve(batch_target, "/solve_batch", &batch_body, id) {
+        let mut batch_retried = 0u64;
+        match set.solve(
+            batch_target,
+            "/solve_batch",
+            &batch_body,
+            id,
+            &mut batch_retried,
+        ) {
             Ok((_, status, _)) => {
                 batch_ok = (200..300).contains(&status);
                 if !batch_ok {

@@ -41,6 +41,16 @@ OPTIONS:
                         live, `503` refuses instead (default local)
   --probe-ms N          health-probe sweep interval in ms (default 500)
   --fail-threshold N    consecutive failures before eject (default 2)
+  --replication N       replica owners per key: solved results are written
+                        through to all N owners and dead owners are
+                        read-repaired when they return (default 1)
+  --deadline-ms N       per-request retry/backoff deadline budget
+                        (default 30000)
+  --retry-rounds N      retry rounds across live replicas per request
+                        (default 3)
+  --backoff-ms N        first-round retry backoff, doubled per round with
+                        jitter (default 10)
+  --backoff-max-ms N    retry backoff ceiling (default 500)
   --timeout-secs N      idle keep-alive timeout per client connection
                         (default 10)
   --trace-slow-us N     log the span tree of any request slower than N µs
@@ -82,6 +92,19 @@ fn parse_args() -> Result<RouterConfig, String> {
             }
             "--fail-threshold" => {
                 config.fail_threshold = parse_num(&flag, &value)?.max(1) as u32;
+            }
+            "--replication" => config.replication = parse_num(&flag, &value)?.max(1),
+            "--deadline-ms" => {
+                config.request_deadline = Duration::from_millis(parse_num(&flag, &value)? as u64);
+            }
+            "--retry-rounds" => {
+                config.max_retry_rounds = parse_num(&flag, &value)?.max(1) as u32;
+            }
+            "--backoff-ms" => {
+                config.retry_base_backoff = Duration::from_millis(parse_num(&flag, &value)? as u64);
+            }
+            "--backoff-max-ms" => {
+                config.retry_max_backoff = Duration::from_millis(parse_num(&flag, &value)? as u64);
             }
             "--timeout-secs" => {
                 config.read_timeout = Duration::from_secs(parse_num(&flag, &value)? as u64);
@@ -126,6 +149,15 @@ fn main() {
             (
                 "fail_threshold",
                 Json::from_u64(u64::from(config.fail_threshold)),
+            ),
+            ("replication", Json::from_u64(config.replication as u64)),
+            (
+                "deadline_ms",
+                Json::from_u64(config.request_deadline.as_millis() as u64),
+            ),
+            (
+                "retry_rounds",
+                Json::from_u64(u64::from(config.max_retry_rounds)),
             ),
             (
                 "trace_slow_us",

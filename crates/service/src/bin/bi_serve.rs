@@ -23,7 +23,7 @@ use std::process::exit;
 use std::time::Duration;
 
 use bi_obs::log as olog;
-use bi_service::{Server, ServerConfig};
+use bi_service::{FaultPlan, Server, ServerConfig};
 use bi_util::Json;
 
 const USAGE: &str = "\
@@ -41,6 +41,12 @@ OPTIONS:
   --timeout-secs N      idle keep-alive timeout per connection (default 10)
   --disk-cache PATH     append-only disk cache log; reboots replay it warm
                         (default: memory-only)
+  --compact-ratio N     rewrite the disk log once it exceeds N× its live
+                        bytes; 0 disables compaction (default 2)
+  --fault-plan SPEC     seeded deterministic fault injection, e.g.
+                        `seed=42,rate=50000,kinds=refuse+err500,delay-ms=5`
+                        (default: off; kinds also include disconnect,
+                        short-read, short-write, delay)
   --trace-slow-us N     log the span tree of any request slower than N µs
                         (default: off)
   --help                print this help
@@ -68,6 +74,12 @@ fn parse_args() -> Result<ServerConfig, String> {
                 config.read_timeout = Duration::from_secs(parse_num(&flag, &value)? as u64);
             }
             "--disk-cache" => config.disk_path = Some(value.into()),
+            "--compact-ratio" => {
+                config.disk.compact_ratio = parse_num(&flag, &value)? as u32;
+            }
+            "--fault-plan" => {
+                config.fault = Some(std::sync::Arc::new(FaultPlan::parse(&value)?));
+            }
             "--trace-slow-us" => {
                 config.trace_slow_us = Some(parse_num(&flag, &value)? as u64);
             }
@@ -118,6 +130,17 @@ fn main() {
                         .as_deref()
                         .map_or("none".into(), |p| p.display().to_string()),
                 ),
+            ),
+            (
+                "compact_ratio",
+                Json::from_u64(u64::from(config.disk.compact_ratio)),
+            ),
+            (
+                "fault_plan",
+                config
+                    .fault
+                    .as_ref()
+                    .map_or(Json::Null, |plan| plan.to_json()),
             ),
             (
                 "trace_slow_us",

@@ -36,6 +36,25 @@
 //! kept alive per backend. `/solve_batch` bodies are split by each
 //! game's key, forwarded as sub-batches, and re-merged in request order.
 //!
+//! **Replication** (`--replication R`): each key's *intended owners* are
+//! its first R distinct ring successors, liveness-blind
+//! ([`HashRing::route_replicas`]). Serving still walks the live ring —
+//! when the primary is dead the next live replica answers from its own
+//! copy — and a background worker brings the owners back in sync over
+//! `POST /cache_put`: freshly solved misses are **written through** to
+//! the other live owners, and owners that were dead at serve time get a
+//! **read-repair** queued until they return, so a restarted backend is
+//! repopulated without re-solving anything. Responses are pure functions
+//! of the canonical request bytes, which is what makes shipping them
+//! byte-for-byte between replicas correct.
+//!
+//! **Retries**: every `/solve` gets a deadline budget. Transport
+//! failures fail over to the next live replica immediately (and feed
+//! ejection); retryable statuses (`429`, `5xx`) are retried across
+//! replicas and rounds with capped, deterministically jittered
+//! exponential backoff, honoring an upstream `Retry-After`. An exhausted
+//! budget falls back per [`FallbackMode`], exactly like a dead cluster.
+//!
 //! **Tracing**: every downstream request gets a 64-bit trace id —
 //! adopted from an `X-Bi-Trace` header when present, minted otherwise —
 //! and a root `route` span. The router records `ring_lookup` and one
@@ -45,6 +64,7 @@
 //! local fallback engine shares the router's recorder, so fallback
 //! solves land in the same `GET /debug/trace` dump.
 
+use std::collections::{HashSet, VecDeque};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -122,6 +142,32 @@ impl HashRing {
             .map(|k| self.points[(start + k) % n].1)
             .find(|&idx| live(idx))
     }
+
+    /// The first `r` **distinct** backends at or clockwise after `hash`
+    /// that `live` accepts, in ring order — the key's replica owners.
+    /// `route` is exactly the first element. Returns fewer than `r`
+    /// owners when fewer distinct backends qualify. Because dead
+    /// backends are skipped at lookup time (never rebuilt into the
+    /// ring), an eject moves only the ejected backend's arcs: every
+    /// surviving owner keeps its position in every key's owner list.
+    pub fn route_replicas(&self, hash: u64, r: usize, live: impl Fn(usize) -> bool) -> Vec<usize> {
+        let mut owners = Vec::with_capacity(r.min(self.backends));
+        if self.points.is_empty() || r == 0 {
+            return owners;
+        }
+        let start = self.points.partition_point(|&(p, _)| p < hash);
+        let n = self.points.len();
+        for k in 0..n {
+            let idx = self.points[(start + k) % n].1;
+            if live(idx) && !owners.contains(&idx) {
+                owners.push(idx);
+                if owners.len() == r {
+                    break;
+                }
+            }
+        }
+        owners
+    }
 }
 
 /// Router addressing, ring shape, health policy, and timeouts.
@@ -153,6 +199,27 @@ pub struct RouterConfig {
     /// When set, any request whose end-to-end routing time reaches this
     /// many microseconds gets its span tree logged at `warn`.
     pub trace_slow_us: Option<u64>,
+    /// Replica owners per key (clamped to ≥ 1). At `1` the router
+    /// shards exactly as before (plus read-repair after a failover); at
+    /// `R` each solved result is written through to all `R` owners, so
+    /// killing any single backend loses no cached work.
+    pub replication: usize,
+    /// Total deadline budget per `/solve`: retries and backoff sleeps
+    /// stop once it is spent and the request falls back per
+    /// [`FallbackMode`].
+    pub request_deadline: Duration,
+    /// First-round retry backoff (doubled per round, deterministically
+    /// jittered, capped by `retry_max_backoff`).
+    pub retry_base_backoff: Duration,
+    /// Backoff ceiling across retry rounds.
+    pub retry_max_backoff: Duration,
+    /// Retry rounds per `/solve` (clamped to ≥ 1): each round walks
+    /// every live replica once; later rounds re-try backends that
+    /// answered a retryable status (`429`/`5xx`) earlier.
+    pub max_retry_rounds: u32,
+    /// Pending write-through/read-repair deliveries retained; overflow
+    /// is dropped (and counted) rather than growing without bound.
+    pub repair_queue_capacity: usize,
 }
 
 impl Default for RouterConfig {
@@ -172,6 +239,12 @@ impl Default for RouterConfig {
             pool_capacity: 8,
             key_cache: CacheConfig::default(),
             trace_slow_us: None,
+            replication: 1,
+            request_deadline: Duration::from_secs(30),
+            retry_base_backoff: Duration::from_millis(10),
+            retry_max_backoff: Duration::from_millis(500),
+            max_retry_rounds: 3,
+            repair_queue_capacity: 4096,
         }
     }
 }
@@ -187,6 +260,10 @@ struct Backend {
     upstream_errors: AtomicU64,
     ejects: AtomicU64,
     readmits: AtomicU64,
+    /// Milliseconds since router start of the last `/healthz` probe
+    /// (`u64::MAX` until the first probe lands) — surfaced by the
+    /// router's aggregated `/healthz`.
+    last_probe_ms: AtomicU64,
 }
 
 impl Backend {
@@ -200,6 +277,7 @@ impl Backend {
             upstream_errors: AtomicU64::new(0),
             ejects: AtomicU64::new(0),
             readmits: AtomicU64::new(0),
+            last_probe_ms: AtomicU64::new(u64::MAX),
         }
     }
 
@@ -237,6 +315,23 @@ struct RouterMetrics {
     responses_5xx: AtomicU64,
     fallback_local: AtomicU64,
     fallback_503: AtomicU64,
+    /// Forward attempts that failed at the transport (connect/read) —
+    /// these feed ejection and fail over to the next replica.
+    retries_transport: AtomicU64,
+    /// Forward attempts answered a retryable `5xx` (the backend is
+    /// alive; the work was lost — retried without ejection credit).
+    retries_5xx: AtomicU64,
+    /// Forward attempts answered `429` (shed load; retried after the
+    /// upstream's `Retry-After` when present).
+    retries_429: AtomicU64,
+    /// Write-through `cache_put` deliveries to owners that were live
+    /// when the result was solved.
+    replication_writes: AtomicU64,
+    /// Read-repair `cache_put` deliveries to owners that were dead at
+    /// serve time and have since returned.
+    read_repairs: AtomicU64,
+    /// Repair jobs dropped (queue overflow or delivery given up).
+    repair_drops: AtomicU64,
     /// Per-stage latency histograms (`route`, `ring_lookup`,
     /// `upstream`, …) — fed on every request regardless of tracing.
     stages: StageTimings,
@@ -253,6 +348,34 @@ impl RouterMetrics {
     }
 }
 
+/// One pending `POST /cache_put` delivery: bring `backend` a copy of
+/// the response for the key hashing to `hash`.
+struct RepairJob {
+    backend: usize,
+    hash: u64,
+    /// The framed `cache_put` body (`[request_len][request][response]`).
+    body: Vec<u8>,
+    /// `true` when the owner was dead at serve time (a read-repair);
+    /// `false` for a write-through to a live owner.
+    repair: bool,
+    /// Delivery attempts so far (given up — and counted dropped — at
+    /// [`REPAIR_MAX_ATTEMPTS`]).
+    attempts: u32,
+}
+
+/// The bounded write-through/read-repair delivery queue, deduplicated
+/// by `(backend, key hash)` so a hot key enqueues at most one pending
+/// delivery per owner.
+#[derive(Default)]
+struct RepairQueue {
+    jobs: VecDeque<RepairJob>,
+    pending: HashSet<(usize, u64)>,
+}
+
+/// Delivery attempts before a repair job is dropped (the target keeps
+/// refusing while nominally alive).
+const REPAIR_MAX_ATTEMPTS: u32 = 64;
+
 /// Everything the accept loop, connection threads, and prober share.
 struct Shared {
     config: RouterConfig,
@@ -265,6 +388,10 @@ struct Shared {
     local: SolveService,
     /// The span flight recorder behind `GET /debug/trace`.
     recorder: Arc<Recorder>,
+    /// Pending replica deliveries, drained by the repair worker.
+    repair: Mutex<RepairQueue>,
+    /// Router start time — the epoch of `last_probe_ms`.
+    started: Instant,
     shutdown: AtomicBool,
 }
 
@@ -293,6 +420,8 @@ impl Router {
             key_cache,
             local: SolveService::with_recorder(config.key_cache, None, Arc::clone(&recorder)),
             recorder,
+            repair: Mutex::new(RepairQueue::default()),
+            started: Instant::now(),
             shutdown: AtomicBool::new(false),
             config,
         });
@@ -325,11 +454,16 @@ impl Router {
             let shared = Arc::clone(&self.shared);
             std::thread::spawn(move || probe_loop(&shared))
         };
+        let repairer = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || repair_loop(&shared))
+        };
         Ok(RouterHandle {
             addr,
             shared: self.shared,
             accept: Some(accept),
             prober: Some(prober),
+            repairer: Some(repairer),
         })
     }
 
@@ -353,6 +487,7 @@ pub struct RouterHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     prober: Option<JoinHandle<()>>,
+    repairer: Option<JoinHandle<()>>,
 }
 
 impl RouterHandle {
@@ -378,6 +513,9 @@ impl RouterHandle {
         }
         if let Some(prober) = self.prober.take() {
             let _ = prober.join();
+        }
+        if let Some(repairer) = self.repairer.take() {
+            let _ = repairer.join();
         }
     }
 }
@@ -496,10 +634,7 @@ fn handle_conn(stream: &TcpStream, shared: &Shared) {
         let response = match (request.method.as_str(), request.path.as_str()) {
             ("POST", "/solve") => handle_solve(shared, &request.body, ctx),
             ("POST", "/solve_batch") => handle_batch(shared, &request.body, ctx),
-            ("GET", "/healthz") => Response::json(
-                200,
-                Json::Obj(vec![("status".into(), Json::str("ok"))]).canonical_bytes(),
-            ),
+            ("GET", "/healthz") => Response::json(200, healthz_json(shared).canonical_bytes()),
             ("GET", "/metrics") => {
                 Response::json(200, metrics_json(shared).to_string().into_bytes())
             }
@@ -575,6 +710,63 @@ fn routing_hash(shared: &Shared, body: &[u8]) -> Result<u64, Response> {
     Ok(hash)
 }
 
+/// The router's aggregated `GET /healthz`: overall status plus one row
+/// per backend with liveness, ejection/readmission counts, the failure
+/// streak, and probe recency — canonical JSON, so two routers over the
+/// same cluster state answer byte-identically (modulo probe timing).
+fn healthz_json(shared: &Shared) -> Json {
+    let now_ms = u64::try_from(shared.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let mut live = 0u64;
+    let rows: Vec<Json> = shared
+        .backends
+        .iter()
+        .map(|b| {
+            let alive = b.alive.load(Ordering::Relaxed);
+            live += u64::from(alive);
+            let last_probe = b.last_probe_ms.load(Ordering::Relaxed);
+            Json::Obj(vec![
+                ("addr".into(), Json::str(b.addr.clone())),
+                ("alive".into(), Json::Bool(alive)),
+                ("ejected".into(), Json::Bool(!alive)),
+                (
+                    "consecutive_failures".into(),
+                    Json::from_u64(b.consecutive_failures.load(Ordering::Relaxed)),
+                ),
+                (
+                    "ejects".into(),
+                    Json::from_u64(b.ejects.load(Ordering::Relaxed)),
+                ),
+                (
+                    "readmits".into(),
+                    Json::from_u64(b.readmits.load(Ordering::Relaxed)),
+                ),
+                (
+                    "last_probe_ms_ago".into(),
+                    if last_probe == u64::MAX {
+                        Json::Null
+                    } else {
+                        Json::from_u64(now_ms.saturating_sub(last_probe))
+                    },
+                ),
+            ])
+        })
+        .collect();
+    let status = if shared.backends.is_empty() || live > 0 {
+        "ok"
+    } else {
+        "degraded"
+    };
+    Json::Obj(vec![
+        ("status".into(), Json::str(status)),
+        ("live_backends".into(), Json::from_u64(live)),
+        (
+            "replication".into(),
+            Json::from_u64(shared.config.replication.max(1) as u64),
+        ),
+        ("backends".into(), Json::Arr(rows)),
+    ])
+}
+
 /// Records `stage` ending now: histogram always, a span event only when
 /// the request carries an active trace.
 fn finish_stage(shared: &Shared, ctx: TraceCtx, stage: Stage, t0: u64) {
@@ -603,8 +795,34 @@ fn trace_headers(ctx: TraceCtx, span: u64) -> Vec<(&'static str, String)> {
     }
 }
 
-/// Routes one `/solve` body: forward to the key's backend, failing over
-/// clockwise (each failure feeds the ejection counter), then fall back.
+/// A status the router retries on another replica (or a later round)
+/// instead of returning: the backend answered — it is alive and earns no
+/// ejection credit — but the work was shed (`429`) or lost (`5xx`).
+fn retryable_status(status: u16) -> bool {
+    matches!(status, 429 | 500 | 502..=504)
+}
+
+/// The sleep before retry round `round + 1`: exponential in the round,
+/// capped, with deterministic jitter in `[cap/2, cap]` drawn from the
+/// key hash — two routers never thundering-herd the same backend on the
+/// same schedule, yet a rerun of the same traffic backs off identically.
+fn retry_backoff(config: &RouterConfig, hash: u64, round: u32) -> Duration {
+    let base = u64::try_from(config.retry_base_backoff.as_millis().max(1)).unwrap_or(u64::MAX);
+    let cap = u64::try_from(config.retry_max_backoff.as_millis().max(1)).unwrap_or(u64::MAX);
+    let exp = base.saturating_mul(1u64 << round.min(16)).min(cap).max(1);
+    let mut seed = [0u8; 16];
+    seed[..8].copy_from_slice(&hash.to_le_bytes());
+    seed[8..].copy_from_slice(&u64::from(round).to_le_bytes());
+    Duration::from_millis(exp / 2 + fnv1a(&seed) % (exp / 2 + 1))
+}
+
+/// Routes one `/solve` body under a deadline budget: forward to the
+/// key's backend, failing over clockwise on transport errors (each
+/// feeds the ejection counter), retrying retryable statuses across
+/// replicas and rounds with capped jittered backoff (honoring upstream
+/// `Retry-After`), then falling back per [`FallbackMode`]. A served
+/// `200` schedules write-through/read-repair to the key's other
+/// intended owners.
 fn handle_solve(shared: &Shared, body: &[u8], ctx: TraceCtx) -> Response {
     shared
         .metrics
@@ -616,58 +834,225 @@ fn handle_solve(shared: &Shared, body: &[u8], ctx: TraceCtx) -> Response {
         Err(response) => return response,
     };
     finish_stage(shared, ctx, Stage::RingLookup, t_lookup);
-    let mut tried = vec![false; shared.backends.len()];
-    while let Some(idx) = shared.ring.route(hash, |i| {
-        !tried[i] && shared.backends[i].alive.load(Ordering::Relaxed)
-    }) {
-        tried[idx] = true;
-        let backend = &shared.backends[idx];
-        // Each attempt is its own `upstream` span; the span id is minted
-        // up front so it can ride the forwarded headers as the backend's
-        // parent.
-        let upstream_span = shared.recorder.next_span_id();
-        let t_fwd = shared.recorder.now_ns();
-        let outcome = forward(
-            shared,
-            idx,
-            "/solve",
-            body,
-            &trace_headers(ctx, upstream_span),
-        );
-        let t_done = shared.recorder.now_ns();
-        shared
-            .metrics
-            .stages
-            .record(Stage::Upstream, t_done.saturating_sub(t_fwd) / 1_000);
-        if ctx.active() {
-            shared.recorder.record_span(
-                upstream_span,
-                ctx.trace_id,
-                ctx.parent,
-                Stage::Upstream,
-                t_fwd,
-                t_done,
+    // The key's intended owners, liveness-blind: where its value should
+    // live. The serve walk below skips dead backends; `schedule_repairs`
+    // reconciles the difference after a successful serve.
+    let owners = shared
+        .ring
+        .route_replicas(hash, shared.config.replication.max(1), |_| true);
+    let deadline = Instant::now() + shared.config.request_deadline;
+    let mut retry_hint: Option<Duration> = None;
+    for round in 0..shared.config.max_retry_rounds.max(1) {
+        let mut tried = vec![false; shared.backends.len()];
+        let mut attempted = false;
+        while let Some(idx) = shared.ring.route(hash, |i| {
+            !tried[i] && shared.backends[i].alive.load(Ordering::Relaxed)
+        }) {
+            tried[idx] = true;
+            attempted = true;
+            let backend = &shared.backends[idx];
+            // Each attempt is its own `upstream` span; the span id is
+            // minted up front so it can ride the forwarded headers as
+            // the backend's parent.
+            let upstream_span = shared.recorder.next_span_id();
+            let t_fwd = shared.recorder.now_ns();
+            let outcome = forward(
+                shared,
+                idx,
+                "/solve",
+                body,
+                &trace_headers(ctx, upstream_span),
             );
-        }
-        match outcome {
-            Ok(upstream) => {
-                backend.record_success();
-                backend.forwarded.fetch_add(1, Ordering::Relaxed);
-                let cache = upstream.header("x-cache").map(str::to_string);
-                let mut response = Response::json(upstream.status, upstream.body)
-                    .with_header("X-Backend", backend.addr.clone());
-                if let Some(cache) = cache {
-                    response = response.with_header("X-Cache", cache);
-                }
-                return response;
+            let t_done = shared.recorder.now_ns();
+            shared
+                .metrics
+                .stages
+                .record(Stage::Upstream, t_done.saturating_sub(t_fwd) / 1_000);
+            if ctx.active() {
+                shared.recorder.record_span(
+                    upstream_span,
+                    ctx.trace_id,
+                    ctx.parent,
+                    Stage::Upstream,
+                    t_fwd,
+                    t_done,
+                );
             }
-            Err(_) => {
-                backend.upstream_errors.fetch_add(1, Ordering::Relaxed);
-                backend.record_failure(shared.config.fail_threshold);
+            match outcome {
+                Ok(upstream) if retryable_status(upstream.status) => {
+                    backend.record_success();
+                    let cause = if upstream.status == 429 {
+                        &shared.metrics.retries_429
+                    } else {
+                        &shared.metrics.retries_5xx
+                    };
+                    cause.fetch_add(1, Ordering::Relaxed);
+                    retry_hint = upstream
+                        .header("retry-after")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .map(Duration::from_secs)
+                        .or(retry_hint);
+                }
+                Ok(upstream) => {
+                    backend.record_success();
+                    backend.forwarded.fetch_add(1, Ordering::Relaxed);
+                    let cache = upstream.header("x-cache").map(str::to_string);
+                    if upstream.status == 200 {
+                        schedule_repairs(
+                            shared,
+                            &owners,
+                            Some(idx),
+                            hash,
+                            body,
+                            &upstream.body,
+                            cache.as_deref() == Some("miss"),
+                        );
+                    }
+                    let mut response = Response::json(upstream.status, upstream.body)
+                        .with_header("X-Backend", backend.addr.clone());
+                    if let Some(cache) = cache {
+                        response = response.with_header("X-Cache", cache);
+                    }
+                    return response;
+                }
+                Err(_) => {
+                    shared
+                        .metrics
+                        .retries_transport
+                        .fetch_add(1, Ordering::Relaxed);
+                    backend.upstream_errors.fetch_add(1, Ordering::Relaxed);
+                    backend.record_failure(shared.config.fail_threshold);
+                }
+            }
+        }
+        if !attempted || round + 1 >= shared.config.max_retry_rounds.max(1) {
+            break; // nobody live, or rounds exhausted
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break; // deadline budget spent
+        }
+        let wait = retry_hint
+            .take()
+            .unwrap_or_else(|| retry_backoff(&shared.config, hash, round));
+        std::thread::sleep(wait.min(remaining));
+    }
+    let response = fallback_solve(shared, body, ctx);
+    if response.status == 200 {
+        // A local fallback solve is still a solved result: bring the
+        // (currently dead or overloaded) owners a copy for when they
+        // return.
+        schedule_repairs(shared, &owners, None, hash, body, &response.body, true);
+    }
+    response
+}
+
+/// Queues `POST /cache_put` deliveries reconciling a just-served `200`
+/// with the key's intended owners: write-through of fresh misses to
+/// live owners that did not serve it, read-repair to dead owners so a
+/// returning backend is repopulated without re-solving. Live owners are
+/// skipped on cache hits (steady state — they were written through when
+/// the result was first solved). Deduplicated by `(owner, key hash)`
+/// and bounded; overflow is dropped and counted.
+fn schedule_repairs(
+    shared: &Shared,
+    owners: &[usize],
+    served_by: Option<usize>,
+    hash: u64,
+    request: &[u8],
+    response: &[u8],
+    miss: bool,
+) {
+    let Ok(request_len) = u32::try_from(request.len()) else {
+        return;
+    };
+    for &owner in owners {
+        if Some(owner) == served_by {
+            continue;
+        }
+        let owner_alive = shared.backends[owner].alive.load(Ordering::Relaxed);
+        if owner_alive && !miss {
+            continue;
+        }
+        let mut queue = shared.repair.lock().expect("repair queue poisoned");
+        if !queue.pending.insert((owner, hash)) {
+            continue; // a delivery for this (owner, key) is already queued
+        }
+        if queue.jobs.len() >= shared.config.repair_queue_capacity {
+            queue.pending.remove(&(owner, hash));
+            shared.metrics.repair_drops.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let mut framed = Vec::with_capacity(4 + request.len() + response.len());
+        framed.extend_from_slice(&request_len.to_le_bytes());
+        framed.extend_from_slice(request);
+        framed.extend_from_slice(response);
+        queue.jobs.push_back(RepairJob {
+            backend: owner,
+            hash,
+            body: framed,
+            repair: !owner_alive,
+            attempts: 0,
+        });
+    }
+}
+
+/// The repair worker: drains queued deliveries, holding jobs whose
+/// target is still ejected (re-queued until the prober readmits it —
+/// that is what repopulates a restarted backend), and giving up on jobs
+/// a live target keeps refusing.
+fn repair_loop(shared: &Shared) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        let job = shared
+            .repair
+            .lock()
+            .expect("repair queue poisoned")
+            .jobs
+            .pop_front();
+        let Some(mut job) = job else {
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        };
+        if !shared.backends[job.backend].alive.load(Ordering::Relaxed) {
+            // The target is ejected: hold the job for its return.
+            shared
+                .repair
+                .lock()
+                .expect("repair queue poisoned")
+                .jobs
+                .push_back(job);
+            std::thread::sleep(Duration::from_millis(20));
+            continue;
+        }
+        match forward(shared, job.backend, "/cache_put", &job.body, &[]) {
+            Ok(response) if response.status == 200 => {
+                shared
+                    .repair
+                    .lock()
+                    .expect("repair queue poisoned")
+                    .pending
+                    .remove(&(job.backend, job.hash));
+                let counter = if job.repair {
+                    &shared.metrics.read_repairs
+                } else {
+                    &shared.metrics.replication_writes
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                job.attempts += 1;
+                let mut queue = shared.repair.lock().expect("repair queue poisoned");
+                if job.attempts >= REPAIR_MAX_ATTEMPTS {
+                    queue.pending.remove(&(job.backend, job.hash));
+                    shared.metrics.repair_drops.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    queue.jobs.push_back(job);
+                }
+                drop(queue);
+                std::thread::sleep(Duration::from_millis(20));
             }
         }
     }
-    fallback_solve(shared, body, ctx)
 }
 
 /// Forwards one request to backend `idx` over a pooled connection,
@@ -904,6 +1289,10 @@ fn probe_loop(shared: &Shared) {
             } else {
                 backend.record_failure(shared.config.fail_threshold);
             }
+            backend.last_probe_ms.store(
+                u64::try_from(shared.started.elapsed().as_millis()).unwrap_or(u64::MAX),
+                Ordering::Relaxed,
+            );
         }
         let deadline = Instant::now() + shared.config.probe_interval;
         while Instant::now() < deadline {
@@ -981,6 +1370,37 @@ fn metrics_json(shared: &Shared) -> Json {
             Json::Obj(vec![
                 ("local_solves".into(), load(&shared.metrics.fallback_local)),
                 ("unavailable_503".into(), load(&shared.metrics.fallback_503)),
+            ]),
+        ),
+        (
+            "retries".into(),
+            Json::Obj(vec![
+                ("transport".into(), load(&shared.metrics.retries_transport)),
+                ("status_5xx".into(), load(&shared.metrics.retries_5xx)),
+                ("status_429".into(), load(&shared.metrics.retries_429)),
+            ]),
+        ),
+        (
+            "replication".into(),
+            Json::Obj(vec![
+                (
+                    "factor".into(),
+                    Json::from_u64(shared.config.replication.max(1) as u64),
+                ),
+                ("writes".into(), load(&shared.metrics.replication_writes)),
+                ("read_repairs".into(), load(&shared.metrics.read_repairs)),
+                ("repair_drops".into(), load(&shared.metrics.repair_drops)),
+                (
+                    "repair_queue_depth".into(),
+                    Json::from_u64(
+                        shared
+                            .repair
+                            .lock()
+                            .expect("repair queue poisoned")
+                            .jobs
+                            .len() as u64,
+                    ),
+                ),
             ]),
         ),
         ("stages".into(), shared.metrics.stages.to_json()),
@@ -1066,6 +1486,39 @@ mod tests {
         assert!(ring.route(12345, |i| i == 1).is_some());
         let empty: Vec<String> = Vec::new();
         assert_eq!(HashRing::new(&empty, 16).route(1, |_| true), None);
+    }
+
+    #[test]
+    fn route_replicas_yields_distinct_owners_led_by_the_primary() {
+        let ring = HashRing::new(&addrs(4), 64);
+        for i in 0..500u64 {
+            let hash = fnv1a(format!("key-{i}").as_bytes());
+            let owners = ring.route_replicas(hash, 2, |_| true);
+            assert_eq!(owners.len(), 2);
+            assert_ne!(owners[0], owners[1]);
+            assert_eq!(Some(owners[0]), ring.route(hash, |_| true));
+        }
+        // Asking for more replicas than backends yields every backend.
+        let mut all = ring.route_replicas(fnv1a(b"k"), 9, |_| true);
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        assert!(ring.route_replicas(fnv1a(b"k"), 0, |_| true).is_empty());
+    }
+
+    #[test]
+    fn ejecting_a_backend_keeps_every_surviving_owner_in_place() {
+        let ring = HashRing::new(&addrs(4), 64);
+        for i in 0..500u64 {
+            let hash = fnv1a(format!("key-{i}").as_bytes());
+            let before = ring.route_replicas(hash, 2, |_| true);
+            let after = ring.route_replicas(hash, 2, |b| b != 1);
+            // Surviving owners keep their relative order; the ejected
+            // backend's slot is backfilled by the next ring successor.
+            let survivors: Vec<usize> = before.iter().copied().filter(|&b| b != 1).collect();
+            assert_eq!(&after[..survivors.len()], &survivors[..]);
+            assert!(!after.contains(&1));
+            assert_eq!(after.len(), 2);
+        }
     }
 
     #[test]

@@ -101,6 +101,7 @@
 
 pub mod cache;
 pub mod cluster;
+pub mod fault;
 pub mod http;
 pub mod metrics;
 pub mod persist;
@@ -112,6 +113,7 @@ pub mod workload;
 pub use bi_obs::{Recorder, SpanEvent, Stage, TraceCtx};
 pub use cache::{CacheConfig, CacheStats, ShardedLru};
 pub use cluster::{FallbackMode, HashRing, Router, RouterConfig, RouterHandle};
+pub use fault::{FaultKind, FaultPlan};
 pub use metrics::ServiceMetrics;
 pub use persist::{DiskTier, DiskTierConfig, DiskTierStats};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -29,6 +29,10 @@ pub struct ServiceMetrics {
     /// Individual games solved by the engine (cache misses, including
     /// every game of a batch that missed).
     pub solves_computed: AtomicU64,
+    /// Responses installed via `POST /cache_put` — replication
+    /// write-throughs and read-repairs shipped by a router peer; each is
+    /// a solve this node never had to run.
+    pub cache_puts: AtomicU64,
     /// Responses with 2xx status.
     pub responses_2xx: AtomicU64,
     /// Responses with 4xx status (decode/validation failures).
@@ -94,6 +98,7 @@ impl Default for ServiceMetrics {
             solve_requests: AtomicU64::new(0),
             batch_requests: AtomicU64::new(0),
             solves_computed: AtomicU64::new(0),
+            cache_puts: AtomicU64::new(0),
             responses_2xx: AtomicU64::new(0),
             responses_4xx: AtomicU64::new(0),
             responses_5xx: AtomicU64::new(0),
@@ -178,6 +183,7 @@ impl ServiceMetrics {
             ("solve_requests".into(), count(&self.solve_requests)),
             ("batch_requests".into(), count(&self.batch_requests)),
             ("solves_computed".into(), count(&self.solves_computed)),
+            ("cache_puts".into(), count(&self.cache_puts)),
             ("responses_2xx".into(), count(&self.responses_2xx)),
             ("responses_4xx".into(), count(&self.responses_4xx)),
             ("responses_5xx".into(), count(&self.responses_5xx)),
@@ -246,6 +252,9 @@ impl ServiceMetrics {
                         "dropped_appends".into(),
                         Json::from_u64(disk.dropped_appends),
                     ),
+                    ("compactions".into(), Json::from_u64(disk.compactions)),
+                    ("log_bytes".into(), Json::from_u64(disk.log_bytes)),
+                    ("live_bytes".into(), Json::from_u64(disk.live_bytes)),
                     ("entries".into(), Json::num(disk.entries as f64)),
                 ]),
             ));

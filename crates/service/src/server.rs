@@ -67,7 +67,9 @@ use bi_obs::{Stage, TraceCtx};
 use bi_util::Json;
 
 use crate::cache::CacheConfig;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::http::{parse_head, write_head_into, Response};
+use crate::persist::DiskTierConfig;
 use crate::reactor::{
     listener_fd, raw_fd, PollFd, Poller, WakePair, Waker, POLLERR, POLLHUP, POLLIN, POLLNVAL,
     POLLOUT,
@@ -98,6 +100,13 @@ pub struct ServerConfig {
     /// log is opened (and its torn tail repaired) at bind time; a
     /// restarted node replays its old key space warm.
     pub disk_path: Option<std::path::PathBuf>,
+    /// Disk-tier sizing: the write-behind queue bound and the log
+    /// compaction trigger (ignored when `disk_path` is `None`).
+    pub disk: DiskTierConfig,
+    /// Deterministic fault injection (`--fault-plan` on `bi-serve`).
+    /// `None` serves faithfully; `Some` threads the seeded plan through
+    /// the reactor's accept/read/write/dispatch seams for chaos tests.
+    pub fault: Option<Arc<FaultPlan>>,
     /// Slow-request sampling: a request whose end-to-end latency
     /// reaches this many µs gets its full span tree logged as one JSON
     /// line (`None` disables the sampler; spans are recorded either
@@ -118,6 +127,8 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             max_connections: 8192,
             disk_path: None,
+            disk: DiskTierConfig::default(),
+            fault: None,
             trace_slow_us: None,
         }
     }
@@ -139,10 +150,7 @@ impl Server {
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let disk = match &config.disk_path {
-            Some(path) => Some(crate::persist::DiskTier::open(
-                path,
-                crate::persist::DiskTierConfig::default(),
-            )?),
+            Some(path) => Some(crate::persist::DiskTier::open(path, config.disk)?),
             None => None,
         };
         let service = Arc::new(SolveService::with_disk(config.cache, disk));
@@ -217,6 +225,7 @@ impl Server {
             read_timeout: self.config.read_timeout,
             max_connections: self.config.max_connections.max(1),
             trace_slow_us: self.config.trace_slow_us,
+            fault: self.config.fault.clone(),
         };
         let reactor_handle = std::thread::spawn(move || reactor.run());
         Ok(ServerHandle {
@@ -452,6 +461,9 @@ struct Reactor {
     read_timeout: Duration,
     max_connections: usize,
     trace_slow_us: Option<u64>,
+    /// The seeded fault plan, consulted at each seam (accept, read,
+    /// write, dispatch); `None` on a faithful server.
+    fault: Option<Arc<FaultPlan>>,
 }
 
 impl Reactor {
@@ -512,6 +524,7 @@ impl Reactor {
     /// Applies readiness to one connection and removes it on failure.
     fn handle_conn_event(&mut self, idx: usize, fd: PollFd) {
         let generation = self.slots[idx].generation;
+        let fault = self.fault.as_deref();
         let action = {
             let Some(conn) = self.slots[idx].conn.as_mut() else {
                 return;
@@ -524,6 +537,7 @@ impl Reactor {
                     idx,
                     generation,
                     self.trace_slow_us,
+                    fault,
                 )
             } else if fd.ready(POLLIN) && !conn.in_flight && conn.out.is_empty() && !conn.eof {
                 on_readable(
@@ -533,6 +547,7 @@ impl Reactor {
                     idx,
                     generation,
                     self.trace_slow_us,
+                    fault,
                 )
             } else if fd.revents() & (POLLERR | POLLHUP | POLLNVAL) != 0 {
                 // An errored or hung-up peer we have nothing staged for
@@ -563,6 +578,14 @@ impl Reactor {
                 .metrics()
                 .connections_total
                 .fetch_add(1, Ordering::Relaxed);
+            // The accept seam: a refused connection is dropped before a
+            // byte is exchanged, as if the listener's backlog reset it.
+            if let Some(plan) = &self.fault {
+                if plan.next() == Some(FaultKind::Refuse) {
+                    let _ = stream.shutdown(std::net::Shutdown::Both);
+                    continue;
+                }
+            }
             let open = self.slots.iter().filter(|s| s.conn.is_some()).count();
             if open >= self.max_connections {
                 reject_busy(stream, &self.service);
@@ -623,6 +646,7 @@ impl Reactor {
                     idx,
                     completion.generation,
                     self.trace_slow_us,
+                    self.fault.as_deref(),
                 )
                 .unwrap_or(ConnAction::Remove)
             };
@@ -666,10 +690,23 @@ fn on_readable(
     slot: usize,
     generation: u64,
     trace_slow_us: Option<u64>,
+    fault: Option<&FaultPlan>,
 ) -> io::Result<ConnAction> {
+    // The read seam: a disconnect drops the peer mid-body, a delay
+    // stalls the whole pass, a short read caps it at one byte (the
+    // request still completes — across many passes).
+    let mut read_cap = READ_CHUNK;
+    if let Some(plan) = fault {
+        match plan.next() {
+            Some(FaultKind::Disconnect) => return Ok(ConnAction::Remove),
+            Some(FaultKind::Delay) => std::thread::sleep(plan.delay()),
+            Some(FaultKind::ShortRead) => read_cap = 1,
+            _ => {}
+        }
+    }
     let mut chunk = [0u8; READ_CHUNK];
     loop {
-        match conn.stream.read(&mut chunk) {
+        match conn.stream.read(&mut chunk[..read_cap]) {
             Ok(0) => {
                 conn.eof = true;
                 break;
@@ -677,7 +714,7 @@ fn on_readable(
             Ok(n) => {
                 conn.buf.extend_from_slice(&chunk[..n]);
                 conn.last_activity = Instant::now();
-                if n < chunk.len() {
+                if n < read_cap || read_cap < READ_CHUNK {
                     break;
                 }
             }
@@ -686,7 +723,15 @@ fn on_readable(
             Err(e) => return Err(e),
         }
     }
-    pump(conn, service, job_tx, slot, generation, trace_slow_us)
+    pump(
+        conn,
+        service,
+        job_tx,
+        slot,
+        generation,
+        trace_slow_us,
+        fault,
+    )
 }
 
 /// Drives one connection as far as it can go without blocking:
@@ -698,9 +743,10 @@ fn pump(
     slot: usize,
     generation: u64,
     trace_slow_us: Option<u64>,
+    fault: Option<&FaultPlan>,
 ) -> io::Result<ConnAction> {
     loop {
-        process_buffered(conn, service, job_tx, slot, generation);
+        process_buffered(conn, service, job_tx, slot, generation, fault);
         if conn.out.is_empty() {
             // Waiting on more bytes or on the solver pool. A peer that
             // finished sending and owes us nothing is done.
@@ -709,7 +755,7 @@ fn pump(
             }
             return Ok(ConnAction::Keep);
         }
-        if !flush_out(conn)? {
+        if !flush_out(conn, fault)? {
             return Ok(ConnAction::Keep); // socket full; wait for POLLOUT
         }
         conn.out.clear();
@@ -778,6 +824,7 @@ fn process_buffered(
     job_tx: &SyncSender<Job>,
     slot: usize,
     generation: u64,
+    fault: Option<&FaultPlan>,
 ) {
     while conn.out.is_empty() && !conn.in_flight {
         let recorder = service.recorder();
@@ -822,6 +869,18 @@ fn process_buffered(
             .record(Stage::Parse, t_parsed.saturating_sub(t_parse) / 1_000);
         let target = classify(&conn.buf[head.method.clone()], &conn.buf[head.path.clone()]);
         let body_range = head.head_len..total;
+        // The dispatch seam: serving endpoints can answer an injected
+        // 500 — the request was understood, the work was "lost". Probes
+        // and metrics stay faithful so chaos runs remain observable.
+        if matches!(target, Target::Solve | Target::Batch | Target::CachePut) {
+            if let Some(plan) = fault {
+                if plan.next() == Some(FaultKind::Err500) {
+                    conn.buf.drain(..total);
+                    stage_bytes(conn, service, 500, &error_body("injected fault"), &[]);
+                    continue;
+                }
+            }
+        }
         match target {
             Target::Solve => {
                 metrics.solve_requests.fetch_add(1, Ordering::Relaxed);
@@ -874,9 +933,20 @@ fn process_buffered(
                 conn.buf.drain(..total);
                 stage_bytes(conn, service, 200, &healthz_body(), &[]);
             }
+            Target::CachePut => {
+                let (status, body) = handle_cache_put(service, &conn.buf[body_range]);
+                conn.buf.drain(..total);
+                stage_bytes(conn, service, status, &body, &[]);
+            }
             Target::Metrics => {
                 conn.buf.drain(..total);
-                let body = service.metrics_json().to_string().into_bytes();
+                let mut doc = service.metrics_json();
+                if let Some(plan) = fault {
+                    if let Json::Obj(fields) = &mut doc {
+                        fields.push(("faults".into(), plan.to_json()));
+                    }
+                }
+                let body = doc.to_string().into_bytes();
                 stage_bytes(conn, service, 200, &body, &[]);
             }
             Target::DebugTrace => {
@@ -935,13 +1005,30 @@ fn submit_job(conn: &mut Conn, service: &SolveService, job_tx: &SyncSender<Job>,
 
 /// Writes as much of the staged response as the socket accepts; `true`
 /// once fully flushed.
-fn flush_out(conn: &mut Conn) -> io::Result<bool> {
+fn flush_out(conn: &mut Conn, fault: Option<&FaultPlan>) -> io::Result<bool> {
+    // The write seam: a disconnect resets the peer mid-response, a
+    // delay stalls the flush, a short write pushes one byte and yields
+    // back to the poll loop (POLLOUT is level-triggered, so the rest
+    // follows on later passes).
+    let mut write_cap = usize::MAX;
+    if let Some(plan) = fault {
+        match plan.next() {
+            Some(FaultKind::Disconnect) => return Err(io::ErrorKind::ConnectionReset.into()),
+            Some(FaultKind::Delay) => std::thread::sleep(plan.delay()),
+            Some(FaultKind::ShortWrite) => write_cap = 1,
+            _ => {}
+        }
+    }
     while conn.out_pos < conn.out.len() {
-        match conn.stream.write(&conn.out[conn.out_pos..]) {
+        let end = conn.out_pos.saturating_add(write_cap).min(conn.out.len());
+        match conn.stream.write(&conn.out[conn.out_pos..end]) {
             Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
             Ok(n) => {
                 conn.out_pos += n;
                 conn.last_activity = Instant::now();
+                if write_cap != usize::MAX && conn.out_pos < conn.out.len() {
+                    return Ok(false); // short write injected; resume on POLLOUT
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -997,6 +1084,7 @@ fn stage_response(conn: &mut Conn, service: &SolveService, response: &Response) 
 enum Target {
     Solve,
     Batch,
+    CachePut,
     Healthz,
     Metrics,
     DebugTrace,
@@ -1008,12 +1096,15 @@ fn classify(method: &[u8], path: &[u8]) -> Target {
     match (method, path) {
         (b"POST", b"/solve") => Target::Solve,
         (b"POST", b"/solve_batch") => Target::Batch,
+        (b"POST", b"/cache_put") => Target::CachePut,
         (b"GET", b"/healthz") => Target::Healthz,
         (b"GET", b"/metrics") => Target::Metrics,
         (b"GET", b"/debug/trace") => Target::DebugTrace,
-        (_, b"/healthz" | b"/metrics" | b"/debug/trace" | b"/solve" | b"/solve_batch") => {
-            Target::MethodNotAllowed
-        }
+        (
+            _,
+            b"/healthz" | b"/metrics" | b"/debug/trace" | b"/solve" | b"/solve_batch"
+            | b"/cache_put",
+        ) => Target::MethodNotAllowed,
         _ => Target::NotFound,
     }
 }
@@ -1035,6 +1126,32 @@ fn reject_busy(mut stream: TcpStream, service: &SolveService) {
     let response = Response::json(503, error_body("connection limit reached, retry later"));
     let _ = response.write(&mut stream, false);
     let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Installs a peer-shipped response (`POST /cache_put`). The body is
+/// binary-framed — `[request_len u32 LE][request bytes][response
+/// bytes]` — so the solve request and its canonical response travel as
+/// one opaque payload with no JSON re-encoding on either side.
+fn handle_cache_put(service: &SolveService, body: &[u8]) -> (u16, Vec<u8>) {
+    if body.len() < 4 {
+        return (
+            400,
+            error_body("cache_put body is shorter than its length prefix"),
+        );
+    }
+    let req_len = u32::from_le_bytes(body[..4].try_into().expect("four bytes checked")) as usize;
+    let rest = &body[4..];
+    if req_len > rest.len() {
+        return (400, error_body("cache_put request length exceeds the body"));
+    }
+    let (request, response) = rest.split_at(req_len);
+    match service.cache_put(request, response) {
+        Ok(()) => (
+            200,
+            Json::Obj(vec![("status".into(), Json::str("stored"))]).canonical_bytes(),
+        ),
+        Err(e) => (400, error_body(&e.to_string())),
+    }
 }
 
 fn parse_body<T: bi_util::Decode>(body: &[u8]) -> Result<T, Response> {
@@ -1090,6 +1207,8 @@ mod tests {
     fn classification_covers_every_endpoint() {
         assert_eq!(classify(b"POST", b"/solve"), Target::Solve);
         assert_eq!(classify(b"POST", b"/solve_batch"), Target::Batch);
+        assert_eq!(classify(b"POST", b"/cache_put"), Target::CachePut);
+        assert_eq!(classify(b"GET", b"/cache_put"), Target::MethodNotAllowed);
         assert_eq!(classify(b"GET", b"/healthz"), Target::Healthz);
         assert_eq!(classify(b"GET", b"/metrics"), Target::Metrics);
         assert_eq!(classify(b"GET", b"/debug/trace"), Target::DebugTrace);

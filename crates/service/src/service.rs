@@ -580,6 +580,39 @@ impl SolveService {
         })
     }
 
+    /// Installs a peer-shipped response without solving — the handler
+    /// behind `POST /cache_put`, which a router uses for replication
+    /// write-through and read-repair. The embedded solve request is
+    /// decoded only to recompute the content address; the response
+    /// bytes are stored verbatim, so a repaired node serves
+    /// byte-identical answers to the node that solved them.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`CodecError`] when the embedded request is not a
+    /// valid solve request (the response bytes are never validated —
+    /// they are already canonical output of a peer's solve).
+    pub fn cache_put(&self, request_body: &[u8], response_body: &[u8]) -> Result<(), CodecError> {
+        let text = std::str::from_utf8(request_body)
+            .map_err(|_| CodecError::new("cache_put request bytes are not valid UTF-8"))?;
+        let request = SolveRequest::decode_str(text)?;
+        let key = Self::cache_key(&request.game, &request.config);
+        let body: Arc<[u8]> = Arc::from(response_body.to_vec());
+        self.cache.insert(&key, Arc::clone(&body));
+        if bi_util::json::canon_check(request_body) {
+            // Canonical request bytes warm the zero-copy index too, so a
+            // repaired node's next hit skips the parse entirely.
+            self.raw_index.insert(request_body, Arc::clone(&body));
+        }
+        if let Some(disk) = &self.disk {
+            disk.append_shared(&key, body);
+        }
+        self.metrics
+            .cache_puts
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
     fn insert_report(&self, key: Vec<u8>, report: &SolveReport) -> Arc<[u8]> {
         let body: Arc<[u8]> = Arc::from(report.canonical_bytes());
         self.cache.insert(&key, Arc::clone(&body));

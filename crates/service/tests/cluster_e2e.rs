@@ -319,6 +319,163 @@ fn a_killed_backend_is_ejected_and_only_its_keys_move() {
     }
 }
 
+/// Polls `check` every 25 ms until it passes or `timeout` elapses.
+fn poll_until(timeout: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        if check() {
+            return true;
+        }
+        if std::time::Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn replication_two_survives_a_kill_and_read_repairs_the_returning_backend() {
+    let (mut backends, router) = start_cluster(
+        3,
+        RouterConfig {
+            replication: 2,
+            fail_threshold: 1,
+            probe_interval: Duration::from_millis(50),
+            ..RouterConfig::default()
+        },
+    );
+    let games = light_workload(131, 40);
+    let bodies: Vec<Vec<u8>> = games.iter().map(solve_body).collect();
+
+    // The aggregated health document must carry the replication factor.
+    let health = call(router.addr(), "GET", "/healthz", b"");
+    assert_eq!(health.status, 200);
+    let health = Json::parse(std::str::from_utf8(&health.body).unwrap()).unwrap();
+    assert_eq!(health.get("replication").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(
+        health.get("live_backends").and_then(|v| v.as_u64()),
+        Some(3)
+    );
+
+    // Cold pass: every key solved once on its primary; the write-through
+    // ships each result to the key's second owner.
+    let owners: Vec<String> = bodies
+        .iter()
+        .map(|body| {
+            let response = call(router.addr(), "POST", "/solve", body);
+            assert_eq!(response.status, 200);
+            response.header("x-backend").expect("owner").to_string()
+        })
+        .collect();
+    let replication_metrics = |key: &str| -> u64 {
+        router
+            .metrics_json()
+            .get("replication")
+            .and_then(|section| section.get(key).and_then(|v| v.as_u64()))
+            .unwrap_or(0)
+    };
+    assert!(
+        poll_until(Duration::from_secs(10), || {
+            replication_metrics("writes") > 0 && replication_metrics("repair_queue_depth") == 0
+        }),
+        "replica write-through must drain: writes {}, queue {}",
+        replication_metrics("writes"),
+        replication_metrics("repair_queue_depth"),
+    );
+
+    // Kill the primary of the first key.
+    let victim = owners[0].clone();
+    let index = backends
+        .iter()
+        .position(|b| b.addr().to_string() == victim)
+        .expect("victim is a cluster backend");
+    backends.remove(index).stop();
+
+    // Hot pass with one owner down: zero client-visible 5xx, and the
+    // victim's keys are *hits* on their surviving replica — the cached
+    // work was not lost.
+    let mut hits = 0usize;
+    for body in &bodies {
+        let response = call(router.addr(), "POST", "/solve", body);
+        assert_eq!(
+            response.status, 200,
+            "no request may surface a 5xx while one replica is down"
+        );
+        assert_ne!(response.header("x-backend"), Some(victim.as_str()));
+        if response.header("x-cache") == Some("hit") {
+            hits += 1;
+        }
+    }
+    let hit_rate = hits as f64 / bodies.len() as f64;
+    assert!(
+        hit_rate >= 0.99,
+        "failover must serve from the replica caches: hit rate {hit_rate}"
+    );
+
+    // Restart the victim on its old address (retrying while the OS
+    // releases the port). It comes back cold; the router's prober
+    // readmits it and the queued read-repairs repopulate it.
+    let restarted = {
+        let config = ServerConfig {
+            addr: victim.clone(),
+            workers: 1,
+            queue_capacity: 64,
+            read_timeout: Duration::from_secs(5),
+            ..ServerConfig::default()
+        };
+        let mut bound = None;
+        for _ in 0..100 {
+            match Server::bind(config.clone()) {
+                Ok(server) => {
+                    bound = Some(server.start().expect("restart victim"));
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+        bound.expect("rebind the victim's address")
+    };
+
+    assert!(
+        poll_until(Duration::from_secs(10), || {
+            replication_metrics("read_repairs") > 0
+                && replication_metrics("repair_queue_depth") == 0
+        }),
+        "read-repairs must deliver once the backend is readmitted: repairs {}, queue {}",
+        replication_metrics("read_repairs"),
+        replication_metrics("repair_queue_depth"),
+    );
+    let backend_metrics = call(restarted.addr(), "GET", "/metrics", b"");
+    let doc = Json::parse(std::str::from_utf8(&backend_metrics.body).unwrap()).unwrap();
+    assert!(
+        doc.get("cache_puts").and_then(|v| v.as_u64()).unwrap_or(0) > 0,
+        "the restarted backend must be repopulated by read-repair"
+    );
+
+    // The repaired keys serve as hits from their rightful primary again.
+    let repaired = bodies
+        .iter()
+        .zip(&owners)
+        .find(|(_, owner)| *owner == &victim)
+        .map(|(body, _)| body)
+        .expect("the victim owned at least the first key");
+    assert!(
+        poll_until(Duration::from_secs(10), || {
+            let response = call(router.addr(), "POST", "/solve", repaired);
+            response.status == 200
+                && response.header("x-backend") == Some(victim.as_str())
+                && response.header("x-cache") == Some("hit")
+        }),
+        "a repaired key must come back as a hit on its readmitted primary"
+    );
+
+    router.stop();
+    restarted.stop();
+    for backend in backends {
+        backend.stop();
+    }
+}
+
 /// A unique temp path per call so parallel tests never collide.
 fn temp_log(tag: &str) -> std::path::PathBuf {
     static NEXT: AtomicU64 = AtomicU64::new(0);

@@ -161,4 +161,47 @@ proptest! {
             .sum();
         prop_assert_eq!(incidences, q * q * (q + 1));
     }
+
+    /// `route_replicas` hands every key `min(r, backends)` *distinct*
+    /// owners, led by exactly the backend `route` picks.
+    #[test]
+    fn route_replicas_owners_are_distinct_and_led_by_route(
+        hash in 0u64..u64::MAX,
+        backends in 1usize..8,
+        vnodes in 1usize..48,
+        r in 1usize..5,
+    ) {
+        let names: Vec<String> = (0..backends).map(|i| format!("10.0.0.{i}:4{i:03}")).collect();
+        let ring = bayesian_ignorance::service::HashRing::new(&names, vnodes);
+        let owners = ring.route_replicas(hash, r, |_| true);
+        prop_assert_eq!(owners.len(), r.min(backends));
+        let mut dedup = owners.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), owners.len());
+        prop_assert_eq!(owners.first().copied(), ring.route(hash, |_| true));
+    }
+
+    /// Ejecting one backend moves only its own arc: the surviving
+    /// owners of any key keep their relative order (they are a prefix
+    /// of the post-eject owner list), and the list refills to
+    /// `min(r, backends - 1)` from further around the ring.
+    #[test]
+    fn ejecting_a_backend_moves_only_its_own_arc(
+        hash in 0u64..u64::MAX,
+        backends in 2usize..8,
+        vnodes in 1usize..48,
+        r in 1usize..5,
+        dead_pick in 0u64..u64::MAX,
+    ) {
+        let names: Vec<String> = (0..backends).map(|i| format!("10.0.0.{i}:4{i:03}")).collect();
+        let ring = bayesian_ignorance::service::HashRing::new(&names, vnodes);
+        let before = ring.route_replicas(hash, r, |_| true);
+        let dead = (dead_pick as usize) % backends;
+        let after = ring.route_replicas(hash, r, |i| i != dead);
+        prop_assert!(!after.contains(&dead), "the ejected backend owns nothing");
+        prop_assert_eq!(after.len(), r.min(backends - 1));
+        let survivors: Vec<usize> = before.iter().copied().filter(|&i| i != dead).collect();
+        prop_assert_eq!(&after[..survivors.len()], survivors.as_slice());
+    }
 }
